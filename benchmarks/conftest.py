@@ -1,0 +1,41 @@
+"""Shared fixtures for the experiment benches.
+
+Each bench regenerates one paper artifact (figure/table) or one
+extension experiment from DESIGN.md's experiment index, printing the
+rows it reproduces (run with ``-s`` to see them) and asserting the
+qualitative shape the paper claims. Campaigns are simulated once per
+session and shared across benches.
+"""
+
+import pytest
+
+from repro.core import paper_config
+from repro.netsim import CampaignConfig, REGION_PRESETS, region_preset, simulate_region
+
+BENCH_SEED = 42
+BENCH_CAMPAIGN = CampaignConfig(subscribers=60, tests_per_client=250)
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Canonical paper configuration."""
+    return paper_config()
+
+
+@pytest.fixture(scope="session")
+def campaigns():
+    """One simulated campaign per canonical region preset."""
+    return {
+        name: simulate_region(
+            region_preset(name), seed=BENCH_SEED, config=BENCH_CAMPAIGN
+        )
+        for name in sorted(REGION_PRESETS)
+    }
+
+
+@pytest.fixture(scope="session")
+def sources_by_region(campaigns):
+    """Per-region per-dataset QuantileSources."""
+    return {
+        name: records.group_by_source() for name, records in campaigns.items()
+    }

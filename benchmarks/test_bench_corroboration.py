@@ -1,0 +1,111 @@
+"""Bench corrob — the paper's multi-dataset corroboration claim.
+
+Paper artifact: §2, "The benefit of using multiple datasets is to
+corroborate the insights of each other... if they all signal that a
+connection meets the throughput requirements for gaming, then it is
+more likely that that connection does meet the requirements."
+
+The bench measures, across all region presets:
+
+* how often the three datasets *disagree* on a requirement verdict
+  (the situations where a single-dataset barometer silently picks a
+  side), and
+* the spread of single-dataset IQB scores vs the corroborated score —
+  i.e. how much a decision-maker's number would depend on which
+  dataset they happened to trust.
+"""
+
+from repro.analysis.tables import render_table
+from repro.baselines import all_single_dataset_scores
+from repro.core import score_region
+
+
+def _disagreement_stats(breakdown):
+    total = 0
+    split = 0
+    for entry in breakdown.use_cases:
+        for req in entry.requirements:
+            if req.value is None or len(req.verdicts) < 2:
+                continue
+            total += 1
+            if not req.unanimous:
+                split += 1
+    return split, total
+
+
+def test_bench_dataset_disagreement_rates(benchmark, sources_by_region, config):
+    def analyze():
+        out = {}
+        for region, sources in sources_by_region.items():
+            breakdown = score_region(sources, config)
+            split, total = _disagreement_stats(breakdown)
+            out[region] = (split, total, breakdown.value)
+        return out
+
+    stats = benchmark(analyze)
+
+    rows = [
+        (region, f"{split}/{total}", f"{split / total:.0%}", score)
+        for region, (split, total, score) in sorted(stats.items())
+    ]
+    print("\n[corrob] Requirements on which datasets disagree:")
+    print(render_table(["Region", "Split verdicts", "Rate", "IQB"], rows))
+
+    # Disagreements exist somewhere (methodologies really differ)...
+    assert any(split > 0 for split, _, _ in stats.values())
+    # ...but most verdicts are corroborated (the datasets measure the
+    # same underlying links).
+    total_split = sum(s for s, _, _ in stats.values())
+    total_all = sum(t for _, t, _ in stats.values())
+    assert total_split / total_all < 0.5
+
+
+def test_bench_single_dataset_spread(benchmark, sources_by_region, config):
+    def analyze():
+        out = {}
+        for region, sources in sources_by_region.items():
+            singles = {
+                name: b.value
+                for name, b in all_single_dataset_scores(sources, config).items()
+            }
+            combined = score_region(sources, config).value
+            out[region] = (singles, combined)
+        return out
+
+    results = benchmark(analyze)
+
+    rows = []
+    for region, (singles, combined) in sorted(results.items()):
+        rows.append(
+            (
+                region,
+                singles["ndt"],
+                singles["cloudflare"],
+                singles["ookla"],
+                combined,
+                max(singles.values()) - min(singles.values()),
+            )
+        )
+    print("\n[corrob] Single-dataset IQB vs corroborated IQB:")
+    print(
+        render_table(
+            ["Region", "NDT only", "CF only", "Ookla only", "Corroborated",
+             "Spread"],
+            rows,
+        )
+    )
+
+    for region, (singles, combined) in results.items():
+        values = list(singles.values())
+        # The corroborated score is a within-envelope compromise.
+        assert min(values) - 1e-9 <= combined <= max(values) + 1e-9
+    # Somewhere the choice of dataset moves the score materially —
+    # single-dataset barometers are fragile.
+    assert any(
+        max(singles.values()) - min(singles.values()) > 0.05
+        for singles, _ in results.values()
+    )
+    # Ookla-only (peak methodology, no loss tier) is never below
+    # NDT-only (single-stream, loss-biased) on these presets.
+    for singles, _ in results.values():
+        assert singles["ookla"] >= singles["ndt"] - 1e-9

@@ -1,0 +1,64 @@
+"""Bench ext-diurnal — prime-time degradation per region.
+
+Paper artifact: the datasets tier ingests crowdsourced tests taken at
+all hours; whether a region's quality *survives the evening* is the
+congestion question a speed test taken at noon cannot answer. The
+bench splits each preset's campaign into prime-time (18-23h) and
+off-peak tests and scores both halves.
+
+Expected shape: oversubscribed regions (load factor > 1) degrade at
+peak; the lightly-loaded fiber metro barely moves; floor-limited
+regions (already ~0 off-peak) cannot show degradation.
+"""
+
+from repro.analysis.tables import render_table
+from repro.analysis.temporal import peak_vs_offpeak
+from repro.netsim import REGION_PRESETS
+
+
+def test_bench_peak_vs_offpeak(benchmark, campaigns, config):
+    def analyze():
+        return {
+            region: peak_vs_offpeak(records, region, config)
+            for region, records in campaigns.items()
+        }
+
+    contrasts = benchmark(analyze)
+
+    rows = []
+    for region, contrast in sorted(contrasts.items()):
+        rows.append(
+            (
+                region,
+                contrast.peak_score,
+                contrast.off_peak_score,
+                (
+                    "n/a"
+                    if contrast.degradation is None
+                    else f"{contrast.degradation:+.3f}"
+                ),
+                REGION_PRESETS[region].load_factor,
+            )
+        )
+    print("\n[ext-diurnal] Prime-time vs off-peak IQB:")
+    print(
+        render_table(
+            ["Region", "Peak", "Off-peak", "Degradation", "Load factor"],
+            rows,
+        )
+    )
+
+    for region, contrast in contrasts.items():
+        assert contrast.peak_score is not None, region
+        assert contrast.off_peak_score is not None, region
+        # Evenings are never clearly *better* than off-peak.
+        assert contrast.degradation >= -0.1, region
+
+    # Somewhere the evening bites visibly.
+    assert any(c.degradation > 0.05 for c in contrasts.values())
+    # The lightly-loaded fiber metro degrades less than the
+    # oversubscribed cable suburb.
+    assert (
+        contrasts["metro-fiber"].degradation
+        <= contrasts["suburban-cable"].degradation + 0.05
+    )

@@ -1,0 +1,83 @@
+"""Bench eq15 — the IQB score formulas (paper Eqs. 1-5) end to end.
+
+Paper artifact: §3, the tier-by-tier score definition. The bench scores
+a realistic simulated region through the full Eq. 1 → Eq. 2 → Eq. 4
+pipeline, prints every intermediate (the S_{u,r,d} verdicts, the
+S_{u,r} agreement scores, the S_u use-case scores, and S_IQB), and
+verifies the paper's algebra: the expanded Eq. 5 single-sum form equals
+the nested computation exactly.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core import score_region
+from repro.core.scoring import flat_score
+
+REGION = "suburban-cable"
+
+
+def test_bench_eq_scoring_pipeline(benchmark, sources_by_region, config):
+    sources = sources_by_region[REGION]
+    breakdown = benchmark(score_region, sources, config)
+
+    print(f"\n[eq15] Tier-by-tier IQB score for {REGION!r}:")
+    rows = []
+    for entry in breakdown.use_cases:
+        for req in entry.requirements:
+            verdicts = " ".join(
+                f"{v.dataset}={v.score}" for v in req.verdicts
+            )
+            rows.append(
+                (
+                    entry.use_case.value,
+                    req.metric.value,
+                    "skip" if req.value is None else f"{req.value:.2f}",
+                    verdicts or "(none)",
+                )
+            )
+    print(render_table(["Use case", "Requirement", "S_u,r (Eq.1)", "S_u,r,d"], rows))
+    print(
+        render_table(
+            ["Use case", "S_u (Eq.2)", "w_u"],
+            [
+                (e.use_case.value, e.value, e.weight)
+                for e in breakdown.use_cases
+            ],
+        )
+    )
+    print(f"S_IQB (Eq.4) = {breakdown.value:.4f}  grade={breakdown.grade}")
+
+    assert 0.0 <= breakdown.value <= 1.0
+    assert len(breakdown.use_cases) == 6
+
+
+def test_bench_eq5_expansion_identity(benchmark, sources_by_region, config):
+    """Eq. 5 (fully expanded) must equal Eqs. 1-4 composed — exactly."""
+    breakdowns = {
+        region: score_region(sources, config)
+        for region, sources in sources_by_region.items()
+    }
+
+    def expand_all():
+        return {region: flat_score(b) for region, b in breakdowns.items()}
+
+    expanded = benchmark(expand_all)
+
+    print("\n[eq15] Eq. 5 expansion vs nested Eqs. 1-4:")
+    print(
+        render_table(
+            ["Region", "Nested (Eq.1-4)", "Expanded (Eq.5)", "abs diff"],
+            [
+                (
+                    region,
+                    breakdowns[region].value,
+                    expanded[region],
+                    abs(breakdowns[region].value - expanded[region]),
+                )
+                for region in sorted(breakdowns)
+            ],
+        )
+    )
+    for region, breakdown in breakdowns.items():
+        assert expanded[region] == pytest.approx(breakdown.value, abs=1e-12)

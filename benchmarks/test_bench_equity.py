@@ -1,0 +1,56 @@
+"""Bench ext-equity — what a region-level score hides.
+
+Paper artifact: the expert panel behind Fig. 2 / Table 1 included
+"digital inclusion advocacy" (footnote 1); the equity question is why.
+A single regional IQB score averages over subscriber groups; this
+bench breaks the mixed-urban preset down by ISP and by access
+technology and reports the internal gap.
+
+Expected shape: the region's fiber minority scores far above its DSL
+pockets — a gap on the order of the *entire* spread between the best
+and worst region presets, invisible in the region-level number.
+"""
+
+from repro.analysis.equity import scores_by_isp, scores_by_technology
+from repro.analysis.tables import render_table
+
+REGION = "mixed-urban"
+
+
+def test_bench_equity_by_technology(benchmark, campaigns, config):
+    records = campaigns[REGION]
+    breakdown = benchmark(scores_by_technology, records, REGION, config)
+
+    rows = [
+        (g.group, "n/a" if g.score is None else f"{g.score:.3f}", g.samples)
+        for g in breakdown.scored_groups()
+    ]
+    print(
+        f"\n[ext-equity] {REGION!r} by access technology "
+        f"(region-level IQB {breakdown.overall:.3f}):"
+    )
+    print(render_table(["Technology", "IQB", "Tests"], rows))
+    print(f"Equity gap: {breakdown.gap:.3f}")
+
+    scores = {g.group: g.score for g in breakdown.scored_groups()}
+    assert scores["fiber"] > scores["cable"] > scores["dsl"]
+    # The internal divide rivals the cross-region spread.
+    assert breakdown.gap > 0.3
+    # The region-level score hides the worst group's experience.
+    assert breakdown.overall - scores["dsl"] > 0.2
+
+
+def test_bench_equity_by_isp(benchmark, campaigns, config):
+    records = campaigns[REGION]
+    breakdown = benchmark(scores_by_isp, records, REGION, config)
+
+    rows = [
+        (g.group, "n/a" if g.score is None else f"{g.score:.3f}", g.samples)
+        for g in breakdown.scored_groups()
+    ]
+    print(f"\n[ext-equity] {REGION!r} by ISP:")
+    print(render_table(["ISP", "IQB", "Tests"], rows))
+
+    scores = {g.group: g.score for g in breakdown.scored_groups()}
+    assert scores["UrbanFiber"] > scores["CityCable"]
+    assert breakdown.gap is not None and breakdown.gap > 0.1

@@ -1,0 +1,37 @@
+"""Bench fig1 — regenerate the paper's Fig. 1 framework tiers.
+
+Paper artifact: Fig. 1, "The IQB framework consisting of three tiers:
+use cases, network requirements, and datasets."
+
+This bench rebuilds the tier structure from the canonical configuration
+and prints it in the same use-cases → requirements → datasets shape.
+Assertions pin the tier content: six use cases, four requirements each,
+and the three corroborating datasets (with Ookla absent from the packet
+-loss tier, since its open data publishes no loss).
+"""
+
+from repro.core import IQBFramework, Metric, UseCase
+
+
+def test_bench_fig1_tier_map(benchmark, config):
+    framework = IQBFramework(config)
+    structure = benchmark(framework.tier_map)
+
+    print("\n[fig1] IQB framework tiers (paper Fig. 1):")
+    print(framework.render_tier_map())
+
+    assert set(structure) == {u.value for u in UseCase}
+    for use_case, requirements in structure.items():
+        assert set(requirements) == {m.value for m in Metric}
+        for metric, datasets in requirements.items():
+            if metric == Metric.PACKET_LOSS.value:
+                assert sorted(datasets) == ["cloudflare", "ndt"]
+            else:
+                assert sorted(datasets) == ["cloudflare", "ndt", "ookla"]
+
+
+def test_bench_fig1_render(benchmark, config):
+    framework = IQBFramework(config)
+    text = benchmark(framework.render_tier_map)
+    # 1 header + 6 use cases + 24 requirement lines.
+    assert len(text.splitlines()) == 31

@@ -1,0 +1,205 @@
+"""Bench ext-qoe — IQB vs a speed-only barometer against ground truth.
+
+Paper artifact: the poster's central motivation (§1): "'speed' ...
+overlooks the growing complexity of modern Internet use". The poster
+defers quantitative evaluation to its full report; this bench supplies
+the reproduction's version: across the six region presets, compare how
+well (a) the IQB score and (b) a speed-only score rank regions relative
+to the simulated population's ground-truth QoE.
+
+Expected shape: IQB's rank agreement with QoE is at least as high as
+the speed-only baseline's, and the speed baseline specifically misranks
+throughput-rich but latency/loss-poor regions (GEO satellite).
+"""
+
+from repro.analysis.correlation import evaluate_methods
+from repro.analysis.ranking import rank_regions
+from repro.analysis.tables import render_table
+from repro.netsim import REGION_PRESETS, random_region, region_preset
+from repro.netsim.simulator import CampaignConfig
+
+from conftest import BENCH_CAMPAIGN, BENCH_SEED
+
+
+def test_bench_iqb_vs_speed_only(benchmark, config):
+    profiles = {name: region_preset(name) for name in REGION_PRESETS}
+
+    result = benchmark.pedantic(
+        evaluate_methods,
+        kwargs=dict(
+            profiles=profiles,
+            seed=BENCH_SEED,
+            config=config,
+            campaign=BENCH_CAMPAIGN,
+            subscribers_for_qoe=60,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    iqb = result.methods["iqb"]
+    speed = result.methods["speed_only"]
+
+    rows = [
+        (
+            region,
+            iqb.scores[region],
+            speed.scores[region],
+            result.qoe[region],
+        )
+        for region, _ in rank_regions(result.qoe)
+    ]
+    print("\n[ext-qoe] Scores vs ground-truth QoE (QoE-ranked):")
+    print(render_table(["Region", "IQB", "Speed-only", "True QoE"], rows))
+    print(
+        render_table(
+            ["Method", "Spearman", "Kendall", "Pairwise flips vs QoE"],
+            [
+                (m.method, m.spearman, m.kendall, m.flips)
+                for m in (iqb, speed)
+            ],
+        )
+    )
+    print(f"Winner: {result.winner()}")
+
+    # The paper's claim, in rank-agreement form.
+    assert iqb.spearman >= speed.spearman
+    assert iqb.kendall >= speed.kendall
+    assert iqb.flips <= speed.flips
+    assert iqb.spearman >= 0.8  # IQB genuinely tracks experienced quality
+
+
+def test_bench_rank_agreement_across_seeds(benchmark, config):
+    """Robustness of the comparison across campaign realizations.
+
+    A single campaign can hand speed-only a lucky perfect ranking; over
+    several independently-seeded campaigns IQB must never lose and
+    should win at least once (speed-only misranking some region pair,
+    typically the asymmetric-cable vs mixed-urban boundary).
+    """
+    profiles = {name: region_preset(name) for name in REGION_PRESETS}
+    seeds = (41, 42, 43, 44, 45)
+
+    def evaluate_all_seeds():
+        return {
+            seed: evaluate_methods(
+                profiles,
+                seed=seed,
+                config=config,
+                campaign=BENCH_CAMPAIGN,
+                subscribers_for_qoe=60,
+            )
+            for seed in seeds
+        }
+
+    results = benchmark.pedantic(evaluate_all_seeds, rounds=1, iterations=1)
+
+    rows = [
+        (
+            seed,
+            result.methods["iqb"].spearman,
+            result.methods["speed_only"].spearman,
+            result.winner(),
+        )
+        for seed, result in sorted(results.items())
+    ]
+    print("\n[ext-qoe] Spearman vs QoE across campaign seeds:")
+    print(render_table(["Seed", "IQB", "Speed-only", "Winner"], rows))
+
+    iqb_mean = sum(r.methods["iqb"].spearman for r in results.values()) / len(seeds)
+    speed_mean = sum(
+        r.methods["speed_only"].spearman for r in results.values()
+    ) / len(seeds)
+    print(f"Mean Spearman: IQB={iqb_mean:.3f} speed-only={speed_mean:.3f}")
+
+    for result in results.values():
+        assert (
+            result.methods["iqb"].spearman
+            >= result.methods["speed_only"].spearman
+        )
+    assert iqb_mean >= speed_mean
+
+
+def test_bench_random_market_structures(benchmark, config):
+    """The comparison over 20 *random* markets — and an honest negative.
+
+    The six presets were authored with a quality ordering in mind; a
+    skeptic should ask whether IQB's advantage survives arbitrary
+    market structures. It does not, and the reproduction reports why:
+    random markets differ mostly in raw capacity across orders of
+    magnitude, and a *thresholded* composite discards all within-band
+    variation — a region at 5 Mb/s and one at 0.5 Mb/s fail the same
+    bars and tie, while their experienced quality differs hugely.
+    A continuous speed score resolves them trivially.
+
+    The GRADED extension (which uses Fig. 2's minimum tier as a second
+    rung) recovers part of the lost resolution, exactly as its design
+    predicts. The finding for the framework's next iteration (§4): add
+    within-band resolution (more tiers, or a piecewise-continuous
+    requirement score) if ordinal use across very heterogeneous regions
+    matters.
+    """
+    from repro.core import ScoreMode
+    from repro.core.scoring import score_region
+
+    profiles = {
+        f"market-{i:02d}": random_region(f"market-{i:02d}", seed=97)
+        for i in range(20)
+    }
+    campaign = CampaignConfig(subscribers=40, tests_per_client=150)
+    graded_config = config.with_(score_mode=ScoreMode.GRADED)
+
+    continuous_config = config.with_(score_mode=ScoreMode.CONTINUOUS)
+
+    def run():
+        result = evaluate_methods(
+            profiles,
+            seed=97,
+            config=config,
+            campaign=campaign,
+            subscribers_for_qoe=40,
+        )
+        from repro.analysis.ranking import spearman_rho
+        from repro.netsim import simulate_region
+
+        graded_scores = {}
+        continuous_scores = {}
+        for name, profile in profiles.items():
+            records = simulate_region(profile, seed=97, config=campaign)
+            sources = records.group_by_source()
+            graded_scores[name] = score_region(sources, graded_config).value
+            continuous_scores[name] = score_region(
+                sources, continuous_config
+            ).value
+        graded_rho = spearman_rho(graded_scores, dict(result.qoe))
+        continuous_rho = spearman_rho(continuous_scores, dict(result.qoe))
+        return result, graded_rho, continuous_rho
+
+    result, graded_rho, continuous_rho = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    iqb = result.methods["iqb"]
+    speed = result.methods["speed_only"]
+    print(
+        f"\n[ext-qoe] 20 random markets, Spearman vs QoE: "
+        f"IQB(binary) {iqb.spearman:.3f}, IQB(graded) {graded_rho:.3f}, "
+        f"IQB(continuous) {continuous_rho:.3f}, "
+        f"speed-only {speed.spearman:.3f}"
+    )
+    print(
+        "  Thresholded scores lose ordinal resolution across order-of-"
+        "magnitude capacity spreads; each added tier of resolution "
+        "recovers part of it (see docstring)."
+    )
+
+    # All readings are strongly informative...
+    assert iqb.spearman >= 0.6
+    # ...each resolution refinement recovers rank agreement...
+    assert graded_rho >= iqb.spearman
+    assert continuous_rho >= iqb.spearman
+    # ...and the continuous *speed* baseline still wins on capacity-
+    # dominated random markets — pinned as the documented finding.
+    # (Measured TCP speed is itself a composite: the Mathis law bakes
+    # RTT and loss into every throughput sample.)
+    assert speed.spearman > continuous_rho

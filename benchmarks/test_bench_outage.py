@@ -1,0 +1,99 @@
+"""Bench ext-outage — the barometer as an incident detector.
+
+Paper artifact: §4 pitches IQB as "actionable insights" for
+decision-makers; the most actionable insight a continuously-computed
+score can produce is "this region just got worse". The bench injects a
+two-day congestion incident into a ten-day campaign and runs the
+trailing-median drop detector over the daily IQB series.
+
+Expected shape: the incident days are flagged, the recovery days are
+not, and the quiet prefix produces no false alarms. The speed-only
+baseline is run through the same detector for contrast — congestion
+incidents hit latency/loss tails first, which headline speed can miss.
+"""
+
+from repro.analysis.tables import render_table
+from repro.analysis.temporal import detect_drops, score_time_series
+from repro.baselines import median_speed_score
+from repro.measurements.windows import time_buckets
+from repro.netsim import region_preset
+from repro.netsim.evolution import (
+    EvolutionStage,
+    simulate_evolution,
+    with_incident,
+)
+
+DAY = 86400.0
+QUIET_DAYS = 4.0
+INCIDENT_DAYS = 2.0
+RECOVERY_DAYS = 4.0
+
+
+def test_bench_incident_detection(benchmark, config):
+    profile = region_preset("suburban-cable")
+    stages = [
+        EvolutionStage(profile, days=QUIET_DAYS),
+        EvolutionStage(with_incident(profile, severity=1.2), days=INCIDENT_DAYS),
+        EvolutionStage(profile, days=RECOVERY_DAYS),
+    ]
+
+    def run():
+        records = simulate_evolution(
+            stages, seed=37, tests_per_client_per_stage=220, subscribers=60
+        )
+        points = score_time_series(
+            records, profile.name, config, window_seconds=DAY
+        )
+        anomalies = detect_drops(points, min_drop=0.08, trailing=3)
+        speed_series = [
+            (
+                bucket.start,
+                median_speed_score(bucket.records.group_by_source())
+                if len(bucket.records) >= 20
+                else None,
+            )
+            for bucket in time_buckets(records.for_region(profile.name), DAY)
+        ]
+        return points, anomalies, speed_series
+
+    points, anomalies, speed_series = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    speed_by_start = dict(speed_series)
+    rows = []
+    flagged = {anomaly.start for anomaly in anomalies}
+    for point in points:
+        day = int(point.start / DAY)
+        phase = (
+            "incident"
+            if QUIET_DAYS <= day < QUIET_DAYS + INCIDENT_DAYS
+            else "normal"
+        )
+        speed = speed_by_start.get(point.start)
+        rows.append(
+            (
+                f"day {day}",
+                phase,
+                "n/a" if point.score is None else f"{point.score:.3f}",
+                "n/a" if speed is None else f"{speed:.3f}",
+                "ALARM" if point.start in flagged else "",
+            )
+        )
+    print("\n[ext-outage] Daily IQB through a 2-day congestion incident:")
+    print(render_table(["Day", "Phase", "IQB", "Speed-only", "Detector"], rows))
+
+    assert anomalies, "the incident must raise at least one alarm"
+    for anomaly in anomalies:
+        # Alarms only during (or on the blended boundary window of)
+        # the incident.
+        assert (QUIET_DAYS - 1) * DAY <= anomaly.start < (
+            QUIET_DAYS + INCIDENT_DAYS
+        ) * DAY
+    # No alarms during the quiet prefix or after recovery.
+    quiet_alarms = [a for a in anomalies if a.start < (QUIET_DAYS - 1) * DAY]
+    recovery_alarms = [
+        a for a in anomalies if a.start >= (QUIET_DAYS + INCIDENT_DAYS) * DAY
+    ]
+    assert not quiet_alarms
+    assert not recovery_alarms

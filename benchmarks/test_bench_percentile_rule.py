@@ -1,0 +1,98 @@
+"""Bench agg95 — the paper's 95th-percentile aggregation rule.
+
+Paper artifact: §2, "IQB uses the 95th percentile of a dataset to
+evaluate a metric". The bench applies the rule to one region's three
+datasets and prints the aggregate each dataset would compare against
+the thresholds, making the methodology differences visible: Ookla's
+p95 download far exceeds NDT's on the same simulated links, while its
+idle-ping latency undercuts Cloudflare's loaded measurements.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import Metric, aggregate_metric
+
+REGION = "suburban-cable"
+
+
+def test_bench_percentile_aggregates(benchmark, sources_by_region, config):
+    sources = sources_by_region[REGION]
+
+    def aggregate_all():
+        return {
+            (dataset, metric): aggregate_metric(source, metric, config.aggregation)
+            for dataset, source in sources.items()
+            for metric in Metric
+        }
+
+    aggregates = benchmark(aggregate_all)
+
+    rows = []
+    for dataset in sorted(sources):
+        rows.append(
+            (
+                dataset,
+                f"{aggregates[(dataset, Metric.DOWNLOAD)]:.1f}",
+                f"{aggregates[(dataset, Metric.UPLOAD)]:.1f}",
+                f"{aggregates[(dataset, Metric.LATENCY)]:.1f}",
+                (
+                    f"{aggregates[(dataset, Metric.PACKET_LOSS)]:.4f}"
+                    if aggregates[(dataset, Metric.PACKET_LOSS)] is not None
+                    else "n/a"
+                ),
+            )
+        )
+    print(f"\n[agg95] 95th-percentile aggregates for {REGION!r}:")
+    print(
+        render_table(
+            ["Dataset", "p95 DL (Mb/s)", "p95 UL", "p95 RTT (ms)", "p95 loss"],
+            rows,
+        )
+    )
+
+    # Methodology shape: multi-stream peak (Ookla) > multi-connection
+    # (Cloudflare) > single-stream (NDT) on the same links.
+    ndt = aggregates[("ndt", Metric.DOWNLOAD)]
+    cloudflare = aggregates[("cloudflare", Metric.DOWNLOAD)]
+    ookla = aggregates[("ookla", Metric.DOWNLOAD)]
+    assert ndt < cloudflare < ookla
+    # Ookla publishes no loss; the others do.
+    assert aggregates[("ookla", Metric.PACKET_LOSS)] is None
+    assert aggregates[("ndt", Metric.PACKET_LOSS)] is not None
+    # Idle ping (Ookla) sits below loaded latency (Cloudflare).
+    assert (
+        aggregates[("ookla", Metric.LATENCY)]
+        < aggregates[("cloudflare", Metric.LATENCY)]
+    )
+
+
+def test_bench_percentile_vs_median_verdicts(benchmark, sources_by_region, config):
+    """The tail statistic is the strict part of the rule: compare the
+    requirement pass rate at p95 vs p50 across all regions."""
+    from repro.core.aggregation import AggregationPolicy
+    from repro.core.scoring import score_region
+
+    def score_both():
+        out = {}
+        for region, sources in sources_by_region.items():
+            p95 = score_region(sources, config).value
+            p50 = score_region(
+                sources,
+                config.with_(aggregation=AggregationPolicy(percentile=50.0)),
+            ).value
+            out[region] = (p95, p50)
+        return out
+
+    scores = benchmark(score_both)
+    print("\n[agg95] IQB at p95 (paper rule) vs p50 (median):")
+    print(
+        render_table(
+            ["Region", "IQB@p95", "IQB@p50"],
+            [(r, v[0], v[1]) for r, v in sorted(scores.items())],
+        )
+    )
+    # Latency/loss are judged at their bad tail under the paper rule, so
+    # the median variant can only look at least as good on those
+    # requirements; overall the p50 score should be >= p95 on the
+    # congested regions.
+    assert scores["rural-dsl"][1] >= scores["rural-dsl"][0]
+    assert scores["mobile-first"][1] >= scores["mobile-first"][0]

@@ -1,0 +1,111 @@
+"""Bench ext-sens — sensitivity of S_IQB to the paper's design choices.
+
+Paper artifact: §4, "IQB is designed to be easily adapted (e.g., based
+on the intended application, or through iterative refinements...)".
+This bench quantifies how much each adaptable choice actually moves the
+score on a mid-quality region:
+
+* the aggregation percentile (50 → 99),
+* LITERAL vs CONSERVATIVE percentile semantics (DESIGN.md ablation),
+* the resolution policy for Fig. 2's "50-100 Mb/s" range cell,
+* one-at-a-time ±1 requirement-weight perturbations (tornado top),
+* Monte-Carlo joint weight jitter (expert-disagreement envelope).
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.sensitivity import (
+    monte_carlo_weights,
+    percentile_sweep,
+    range_policy_comparison,
+    requirement_weight_sensitivity,
+    semantics_comparison,
+)
+
+REGION = "mixed-urban"
+
+
+def test_bench_percentile_sweep(benchmark, sources_by_region, config):
+    sources = sources_by_region[REGION]
+    sweep = benchmark(
+        percentile_sweep, sources, config, (50.0, 75.0, 90.0, 95.0, 99.0)
+    )
+    print(f"\n[ext-sens] S_IQB vs aggregation percentile ({REGION!r}):")
+    print(
+        render_table(
+            ["Percentile", "S_IQB"],
+            [(f"p{int(p)}", s) for p, s in sorted(sweep.items())],
+        )
+    )
+    assert all(0.0 <= v <= 1.0 for v in sweep.values())
+    # The choice matters: the sweep is not flat on a mid-quality region.
+    assert max(sweep.values()) - min(sweep.values()) > 0.02
+
+
+def test_bench_semantics_and_range_ablations(benchmark, sources_by_region, config):
+    sources = sources_by_region[REGION]
+
+    def ablate():
+        return (
+            semantics_comparison(sources, config),
+            range_policy_comparison(sources, config),
+        )
+
+    semantics, range_policy = benchmark(ablate)
+    print("\n[ext-sens] Percentile-semantics ablation:")
+    print(render_table(["Semantics", "S_IQB"], sorted(semantics.items())))
+    print("[ext-sens] Fig. 2 '50-100 Mb/s' range-policy ablation:")
+    print(render_table(["Policy", "S_IQB"], sorted(range_policy.items())))
+
+    # Conservative (worst-tail) semantics can only remove passes.
+    assert semantics["conservative"] <= semantics["literal"] + 1e-12
+    # Stricter range resolutions can only lower the score.
+    assert range_policy["high"] <= range_policy["low"] + 1e-12
+
+
+def test_bench_weight_tornado(benchmark, sources_by_region, config):
+    sources = sources_by_region[REGION]
+    impacts = benchmark(requirement_weight_sensitivity, sources, config)
+    top = impacts[:8]
+    print(f"\n[ext-sens] Top weight sensitivities (±1 OAT, {REGION!r}):")
+    print(
+        render_table(
+            ["Use case", "Requirement", "w", "S(w-1)", "S(w+1)", "Swing"],
+            [
+                (
+                    i.use_case.value,
+                    i.metric.value,
+                    i.base_weight,
+                    i.score_minus,
+                    i.score_plus,
+                    i.swing,
+                )
+                for i in top
+            ],
+        )
+    )
+    assert len(impacts) == 24
+    # Individual ±1 weight tweaks move the composite only modestly —
+    # the three-tier normalization damps single-cell changes.
+    assert impacts[0].swing < 0.15
+
+
+def test_bench_monte_carlo_weight_jitter(benchmark, sources_by_region, config):
+    sources = sources_by_region[REGION]
+    result = benchmark.pedantic(
+        monte_carlo_weights,
+        kwargs=dict(sources=sources, config=config, samples=150, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n[ext-sens] Monte-Carlo ±1 joint weight jitter ({REGION!r}): "
+        f"mean={result.mean:.3f} std={result.std:.3f} "
+        f"p05={result.p05:.3f} p95={result.p95:.3f}"
+    )
+    from repro.core.scoring import score_region
+
+    base = score_region(sources, config).value
+    # The published weights sit inside the jittered envelope, and the
+    # envelope is tight: the score is robust to expert disagreement.
+    assert result.p05 - 0.05 <= base <= result.p95 + 0.05
+    assert result.spread < 0.2

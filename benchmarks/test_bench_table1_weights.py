@@ -1,0 +1,91 @@
+"""Bench tab1 — regenerate the paper's Table 1 weight matrix.
+
+Paper artifact: Table 1, "Network requirement weights across use
+cases" — integer weights 1..5 per (use case, requirement), elicited
+from the expert panel.
+
+The bench rebuilds the matrix, prints it in the paper's layout, and
+additionally prints the normalized ``w'`` values (paper §3) that enter
+Eq. 2 — the quantities the poster defines but does not tabulate.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core import Metric, UseCase
+from repro.core.weights import paper_requirement_weights
+
+PAPER_ROWS = {
+    UseCase.WEB_BROWSING: (3, 2, 4, 4),
+    UseCase.VIDEO_STREAMING: (4, 2, 4, 4),
+    UseCase.AUDIO_STREAMING: (4, 1, 3, 4),
+    UseCase.VIDEO_CONFERENCING: (4, 4, 4, 4),
+    UseCase.ONLINE_BACKUP: (4, 4, 2, 4),
+    UseCase.GAMING: (4, 4, 5, 4),
+}
+
+
+def test_bench_table1_weight_matrix(benchmark):
+    weights = benchmark(paper_requirement_weights)
+
+    rows = [
+        (
+            use_case.display_name,
+            weights.get(use_case, Metric.DOWNLOAD),
+            weights.get(use_case, Metric.UPLOAD),
+            weights.get(use_case, Metric.LATENCY),
+            weights.get(use_case, Metric.PACKET_LOSS),
+        )
+        for use_case in UseCase.ordered()
+    ]
+    print("\n[tab1] Requirement weights (paper Table 1):")
+    print(
+        render_table(
+            ["Use Case", "Download", "Upload", "Latency", "Packet loss"],
+            rows,
+        )
+    )
+
+    for use_case, expected in PAPER_ROWS.items():
+        assert tuple(weights.row(use_case).values()) == expected
+
+
+def test_bench_table1_normalized_weights(benchmark):
+    weights = paper_requirement_weights()
+
+    def normalize_all():
+        return {u: weights.normalized_row(u) for u in UseCase.ordered()}
+
+    normalized = benchmark(normalize_all)
+
+    rows = [
+        (
+            use_case.display_name,
+            normalized[use_case][Metric.DOWNLOAD],
+            normalized[use_case][Metric.UPLOAD],
+            normalized[use_case][Metric.LATENCY],
+            normalized[use_case][Metric.PACKET_LOSS],
+        )
+        for use_case in UseCase.ordered()
+    ]
+    print("\n[tab1] Normalized w'_{u,r} entering Eq. 2:")
+    print(
+        render_table(
+            ["Use Case", "w'_dl", "w'_ul", "w'_lat", "w'_loss"], rows
+        )
+    )
+
+    for row in normalized.values():
+        assert sum(row.values()) == pytest.approx(1.0)
+    # Audio streaming's download/loss cells (4 of a 12-sum row) carry
+    # the largest normalized weight in the whole matrix.
+    largest = max(
+        value for row in normalized.values() for value in row.values()
+    )
+    assert largest == pytest.approx(4 / 12)
+    # Within gaming, latency (5/17) dominates its row, per the paper's
+    # emphasis on latency for gaming.
+    assert normalized[UseCase.GAMING][Metric.LATENCY] == pytest.approx(5 / 17)
+    assert normalized[UseCase.GAMING][Metric.LATENCY] == max(
+        normalized[UseCase.GAMING].values()
+    )

@@ -1,0 +1,56 @@
+"""Mixing raw and pre-aggregated datasets (the Ookla code path).
+
+Ookla's open data ships as regional aggregates, not raw tests. This
+example reproduces that pipeline end to end: simulate raw campaigns,
+"publish" the Ookla share as an aggregate table (quantile knots +
+counts only), then score the region from the *mixed* evidence — NDT and
+Cloudflare raw, Ookla aggregate — exactly as a real IQB deployment
+would consume the three sources. It also quantifies the information
+loss: scores from full raw data vs the aggregate-only Ookla feed.
+
+Usage::
+
+    python examples/aggregate_datasets.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import paper_config, score_region
+from repro.measurements import aggregate_measurements
+from repro.netsim import REGION_PRESETS, simulate_region
+
+SEED = 23
+
+
+def main() -> None:
+    config = paper_config()
+    rows = []
+    for name, profile in sorted(REGION_PRESETS.items()):
+        records = simulate_region(profile, seed=SEED)
+        raw_sources = records.group_by_source()
+
+        # Publisher step: reduce Ookla's raw tests to published knots.
+        published = aggregate_measurements(records, region=name, source="ookla")
+
+        mixed_sources = dict(raw_sources)
+        mixed_sources["ookla"] = published
+
+        raw_score = score_region(raw_sources, config).value
+        mixed_score = score_region(mixed_sources, config).value
+        rows.append((name, raw_score, mixed_score, mixed_score - raw_score))
+
+    print("Raw-everything vs raw+aggregated-Ookla IQB scores:")
+    print(
+        render_table(
+            ["Region", "All raw", "Ookla aggregated", "Delta"], rows
+        )
+    )
+    print(
+        "\nDeltas are small: the published 95th-percentile knot carries "
+        "exactly the statistic the IQB rule needs. They are nonzero only "
+        "when the scorer asks for a percentile between published knots "
+        "(interpolation) — e.g. under CONSERVATIVE semantics (p5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

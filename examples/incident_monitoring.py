@@ -1,0 +1,85 @@
+"""Continuous monitoring: a barometer operator's alerting loop.
+
+Drives :class:`repro.probing.monitor.BarometerMonitor` window by window
+through a simulated timeline in which one region suffers a two-day
+congestion incident, then archives every window's full breakdown in a
+:class:`repro.analysis.history.ScoreArchive` and uses the archive's
+exact period-over-period attribution to explain *which requirements*
+the incident broke.
+
+Usage::
+
+    python examples/incident_monitoring.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.history import ScoreArchive
+from repro.core import paper_config, score_region
+from repro.core.compare import render_attribution
+from repro.netsim import region_preset
+from repro.netsim.evolution import (
+    EvolutionStage,
+    simulate_evolution,
+    with_incident,
+)
+from repro.probing.monitor import BarometerMonitor
+
+DAY = 86400.0
+QUIET_DAYS = 4
+INCIDENT_DAYS = 2
+RECOVERY_DAYS = 3
+
+
+def main() -> None:
+    config = paper_config()
+    profile = region_preset("suburban-cable")
+    stages = [
+        EvolutionStage(profile, days=float(QUIET_DAYS)),
+        EvolutionStage(
+            with_incident(profile, severity=1.2), days=float(INCIDENT_DAYS)
+        ),
+        EvolutionStage(profile, days=float(RECOVERY_DAYS)),
+    ]
+    total_days = QUIET_DAYS + INCIDENT_DAYS + RECOVERY_DAYS
+    print(
+        f"Simulating {total_days} days over {profile.name!r} with a "
+        f"{INCIDENT_DAYS}-day congestion incident starting day {QUIET_DAYS}..."
+    )
+    records = simulate_evolution(
+        stages, seed=37, tests_per_client_per_stage=250, subscribers=60
+    )
+
+    monitor = BarometerMonitor(config, min_drop=0.08, trailing=3)
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = ScoreArchive(Path(tmp) / "windows.jsonl")
+        print("\nDaily ingest:")
+        for day in range(total_days):
+            window = records.between(day * DAY, (day + 1) * DAY)
+            alerts = monitor.ingest(window, day * DAY, (day + 1) * DAY)
+            breakdown = score_region(
+                window.for_region(profile.name).group_by_source(), config
+            )
+            archive.append(f"day-{day:02d}", profile.name, breakdown)
+            status = "; ".join(str(a) for a in alerts) if alerts else "ok"
+            print(f"  day {day}: IQB {breakdown.value:.3f}  [{status}]")
+
+        # Explain the first alerted day against the last quiet day.
+        alert_day = next(
+            day
+            for day in range(total_days)
+            if QUIET_DAYS <= day < QUIET_DAYS + INCIDENT_DAYS
+        )
+        print(
+            f"\nWhat the incident broke "
+            f"(day {QUIET_DAYS - 1} -> day {alert_day}):"
+        )
+        attribution = archive.compare(
+            profile.name, f"day-{QUIET_DAYS - 1:02d}", f"day-{alert_day:02d}"
+        )
+        print(render_attribution(attribution, top=5))
+
+
+if __name__ == "__main__":
+    main()

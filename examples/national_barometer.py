@@ -1,0 +1,105 @@
+"""A full national barometer run: the production workflow end to end.
+
+The pipeline a real IQB operator would run every reporting period:
+
+1. simulate measurement campaigns for every region (the stand-in for
+   pulling a week of NDT/Cloudflare/Ookla data);
+2. sanity-check the scoring config against the data (lint);
+3. estimate and apply cross-dataset methodology calibration;
+4. score every region and roll the results up into a
+   population-weighted national score with shortfall attribution;
+5. print consumer scorecards for the regions most responsible for the
+   national shortfall;
+6. explain the gap between the best and worst regions cell by cell.
+
+Usage::
+
+    python examples/national_barometer.py
+"""
+
+from repro.analysis.national import national_score, render_national
+from repro.analysis.scorecard import scorecard_from_breakdown, render_scorecard
+from repro.analysis.tables import render_table
+from repro.core import paper_config, score_region
+from repro.core.compare import attribute_difference, render_attribution
+from repro.core.lint import lint_config
+from repro.measurements.calibration import estimate_biases
+from repro.netsim import REGION_PRESETS, region_preset, simulate_regions
+
+SEED = 42
+
+#: Plausible populations per preset (millions scaled to units).
+POPULATIONS = {
+    "metro-fiber": 4.0e6,
+    "mixed-urban": 3.0e6,
+    "suburban-cable": 2.5e6,
+    "mobile-first": 1.2e6,
+    "rural-dsl": 0.9e6,
+    "satellite-remote": 0.4e6,
+}
+
+
+def main() -> None:
+    config = paper_config()
+    print("1. Collecting a week of measurements for every region...")
+    records = simulate_regions(
+        [region_preset(name) for name in sorted(REGION_PRESETS)], seed=SEED
+    )
+    print(f"   {len(records)} tests across {len(records.regions())} regions\n")
+
+    print("2. Linting the scoring config against the data...")
+    findings = lint_config(config, records)
+    if findings:
+        for finding in findings:
+            print(f"   {finding}")
+    else:
+        print("   config is clean for this dataset")
+
+    print("\n3. Calibrating methodology bias across datasets...")
+    model = estimate_biases(records)
+    for dataset in ("ndt", "cloudflare", "ookla"):
+        from repro.core.metrics import Metric
+
+        print(
+            f"   {dataset:10s} download x{model.factor(dataset, Metric.DOWNLOAD):.2f} "
+            f"upload x{model.factor(dataset, Metric.UPLOAD):.2f}"
+        )
+
+    print("\n4. Scoring regions (calibrated) and rolling up nationally...")
+    breakdowns = {}
+    for region in records.regions():
+        sources = model.calibrate(records.for_region(region).group_by_source())
+        breakdowns[region] = score_region(sources, config)
+    rows = [
+        (region, b.value, b.grade, b.credit)
+        for region, b in sorted(breakdowns.items(), key=lambda kv: -kv[1].value)
+    ]
+    print(render_table(["Region", "IQB", "Grade", "Credit"], rows, indent="   "))
+    national = national_score(
+        {region: b.value for region, b in breakdowns.items()}, POPULATIONS
+    )
+    print()
+    print(render_national(national))
+
+    print("\n5. Consumer labels for the top shortfall contributors:")
+    for share in national.ranked_by_shortfall()[:2]:
+        card = scorecard_from_breakdown(
+            breakdowns[share.region],
+            region=share.region,
+            tests=len(records.for_region(share.region)),
+            datasets=records.for_region(share.region).sources(),
+        )
+        print()
+        print(render_scorecard(card))
+
+    print("\n6. Why the best region beats the worst, cell by cell:")
+    ranked = sorted(breakdowns.items(), key=lambda kv: kv[1].value)
+    worst_region, worst = ranked[0]
+    best_region, best = ranked[-1]
+    attribution = attribute_difference(worst, best)
+    print(f"   {worst_region} -> {best_region}")
+    print(render_attribution(attribution, top=6))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Regional digital-divide comparison: IQB vs "speed" across six markets.
+
+The scenario the poster's introduction motivates: a decision-maker
+comparing regions must not rank them by headline speed alone. This
+example scores all six canonical region presets three ways —
+
+* the IQB score (paper methodology),
+* a speed-only baseline (median blended throughput / 100 Mbit/s),
+* the FCC 100/20 binary benchmark —
+
+and checks each against the simulated population's ground-truth QoE.
+Watch for regions that the speed baseline ranks high but that IQB
+(agreeing with QoE) ranks low: throughput-rich but latency/loss-poor
+markets, e.g. GEO satellite.
+
+Usage::
+
+    python examples/regional_comparison.py
+"""
+
+from repro.analysis.national import national_score, render_national
+from repro.analysis.ranking import rank_regions, spearman_rho
+from repro.analysis.tables import render_table
+from repro.baselines import fcc_verdict, median_speed_score
+from repro.core import paper_config, score_region
+from repro.netsim import REGION_PRESETS, simulate_region
+from repro.qoe import region_qoe
+
+SEED = 42
+
+
+def main() -> None:
+    config = paper_config()
+    rows = []
+    iqb, speed, qoe = {}, {}, {}
+    for name, profile in sorted(REGION_PRESETS.items()):
+        records = simulate_region(profile, seed=SEED)
+        sources = records.group_by_source()
+        breakdown = score_region(sources, config)
+        iqb[name] = breakdown.value
+        speed[name] = median_speed_score(sources)
+        fcc = fcc_verdict(sources)
+        qoe[name] = region_qoe(profile, seed=SEED).overall
+        rows.append(
+            (
+                name,
+                breakdown.value,
+                breakdown.grade,
+                speed[name],
+                "served" if fcc.served else "unserved",
+                qoe[name],
+            )
+        )
+
+    rows.sort(key=lambda row: -float(row[1]))
+    print("Region scores (higher is better):")
+    print(
+        render_table(
+            ["Region", "IQB", "Grade", "Speed-only", "FCC 100/20", "True QoE"],
+            rows,
+        )
+    )
+
+    print("\nRankings:")
+    for label, scores in (("IQB", iqb), ("Speed-only", speed), ("True QoE", qoe)):
+        ordered = ", ".join(name for name, _ in rank_regions(scores))
+        print(f"  {label:10s}: {ordered}")
+
+    print("\nAgreement with ground-truth QoE (Spearman):")
+    print(f"  IQB        : {spearman_rho(iqb, qoe):+.3f}")
+    print(f"  Speed-only : {spearman_rho(speed, qoe):+.3f}")
+
+    # National roll-up: weight each region by a plausible population.
+    populations = {
+        "metro-fiber": 4.0e6,
+        "mixed-urban": 3.0e6,
+        "suburban-cable": 2.5e6,
+        "mobile-first": 1.2e6,
+        "rural-dsl": 0.9e6,
+        "satellite-remote": 0.4e6,
+    }
+    national = national_score(iqb, populations)
+    print()
+    print(render_national(national))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on older pips) fall back to `setup.py develop`.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

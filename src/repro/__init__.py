@@ -1,0 +1,50 @@
+"""repro: a full reproduction of the Internet Quality Barometer (IQB).
+
+Reproduces "Poster: The Internet Quality Barometer Framework"
+(Measurement Lab, IMC 2025): the three-tier framework (use cases →
+network requirements → datasets), the published thresholds (Fig. 2) and
+weights (Table 1), the 95th-percentile aggregation rule, and the IQB
+score formulas (Eqs. 1-5) — plus the substrates a real deployment
+needs: dataset simulators for NDT/Cloudflare/Ookla methodologies, a
+probing framework, QoE ground-truth models, baselines, and analysis
+tooling. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import IQBFramework
+    from repro.netsim import region_preset, simulate_region
+
+    framework = IQBFramework()                  # paper defaults
+    records = simulate_region(region_preset("metro-fiber"), seed=42)
+    breakdown = framework.score_measurements(records, "metro-fiber")
+    print(breakdown.value, breakdown.grade)
+"""
+
+from .core import (
+    IQBConfig,
+    IQBFramework,
+    Metric,
+    QualityLevel,
+    ScoreBreakdown,
+    UseCase,
+    paper_config,
+    score_region,
+)
+from .measurements import Measurement, MeasurementSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IQBConfig",
+    "IQBFramework",
+    "Measurement",
+    "MeasurementSet",
+    "Metric",
+    "QualityLevel",
+    "ScoreBreakdown",
+    "UseCase",
+    "__version__",
+    "paper_config",
+    "score_region",
+]

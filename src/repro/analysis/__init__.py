@@ -1,0 +1,90 @@
+"""Reporting, ranking, and score-vs-QoE evaluation."""
+
+from .correlation import (
+    EvaluationResult,
+    MethodEvaluation,
+    evaluate_methods,
+)
+from .equity import (
+    EquityBreakdown,
+    GroupScore,
+    equity_table,
+    scores_by_isp,
+    scores_by_technology,
+)
+from .temporal import (
+    AnomalyWindow,
+    PeakContrast,
+    ScorePoint,
+    detect_drops,
+    peak_vs_offpeak,
+    score_time_series,
+    trend,
+    weekend_vs_weekday,
+)
+from .history import ScoreArchive
+from .national import (
+    NationalScore,
+    RegionalShare,
+    national_score,
+    render_national,
+)
+from .ranking import (
+    kendall_tau,
+    pairwise_flips,
+    pearson,
+    rank_regions,
+    ranks,
+    spearman_rho,
+)
+from .publish import build_publication
+from .report import comparison_report, region_report
+from .scorecard import (
+    Scorecard,
+    UseCaseLine,
+    build_scorecard,
+    render_scorecard,
+    scorecard_from_breakdown,
+)
+from .tables import render_markdown, render_table, sparkline
+
+__all__ = [
+    "AnomalyWindow",
+    "EquityBreakdown",
+    "EvaluationResult",
+    "GroupScore",
+    "MethodEvaluation",
+    "NationalScore",
+    "PeakContrast",
+    "RegionalShare",
+    "Scorecard",
+    "ScoreArchive",
+    "ScorePoint",
+    "UseCaseLine",
+    "build_publication",
+    "build_scorecard",
+    "comparison_report",
+    "detect_drops",
+    "equity_table",
+    "evaluate_methods",
+    "kendall_tau",
+    "national_score",
+    "pairwise_flips",
+    "peak_vs_offpeak",
+    "pearson",
+    "rank_regions",
+    "ranks",
+    "region_report",
+    "render_markdown",
+    "render_national",
+    "render_scorecard",
+    "render_table",
+    "scorecard_from_breakdown",
+    "score_time_series",
+    "scores_by_isp",
+    "scores_by_technology",
+    "sparkline",
+    "spearman_rho",
+    "trend",
+    "weekend_vs_weekday",
+]

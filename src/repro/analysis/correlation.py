@@ -1,0 +1,97 @@
+"""Score-vs-ground-truth evaluation.
+
+The decisive question for any composite quality metric: does it order
+regions the way *experienced quality* orders them? This module runs
+that comparison for the IQB score and each baseline against the QoE
+ground truth of :mod:`repro.qoe`, producing the data behind the
+``ext-qoe`` bench (the reproduction's stand-in for the evaluation the
+poster defers to its full report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.baselines.speed import median_speed_score
+from repro.core.aggregation import QuantileSource
+from repro.core.config import IQBConfig, paper_config
+from repro.core.scoring import score_region
+from repro.netsim.population import RegionProfile
+from repro.netsim.simulator import CampaignConfig, simulate_region
+from repro.qoe.composite import region_qoe
+
+from .ranking import kendall_tau, pairwise_flips, spearman_rho
+
+
+@dataclass(frozen=True)
+class MethodEvaluation:
+    """Agreement of one scoring method with the QoE ground truth."""
+
+    method: str
+    scores: Mapping[str, float]
+    spearman: float
+    kendall: float
+    flips: int
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Full IQB-vs-baselines evaluation over a set of regions."""
+
+    qoe: Mapping[str, float]
+    methods: Mapping[str, MethodEvaluation]
+
+    def winner(self) -> str:
+        """Method with the highest Spearman agreement with QoE."""
+        return max(self.methods.values(), key=lambda m: m.spearman).method
+
+
+def evaluate_methods(
+    profiles: Mapping[str, RegionProfile],
+    seed: int,
+    config: Optional[IQBConfig] = None,
+    campaign: Optional[CampaignConfig] = None,
+    subscribers_for_qoe: int = 150,
+) -> EvaluationResult:
+    """Score every region with IQB and the speed baseline; compare to QoE.
+
+    For each region: simulate a measurement campaign, compute (a) the
+    IQB score from the measurements and (b) the speed-only baseline
+    from the same measurements, then compute ground-truth QoE from the
+    underlying population. Agreement statistics are over regions.
+    """
+    config = config or paper_config()
+    iqb_scores: Dict[str, float] = {}
+    speed_scores: Dict[str, float] = {}
+    qoe_scores: Dict[str, float] = {}
+    for name, profile in profiles.items():
+        records = simulate_region(profile, seed=seed, config=campaign)
+        sources: Dict[str, QuantileSource] = records.group_by_source()
+        iqb_scores[name] = score_region(sources, config).value
+        speed_scores[name] = median_speed_score(sources)
+        qoe_scores[name] = region_qoe(
+            profile,
+            seed=seed,
+            subscribers=subscribers_for_qoe,
+            weights=config.use_case_weights,
+        ).overall
+    methods = {
+        "iqb": _evaluate("iqb", iqb_scores, qoe_scores),
+        "speed_only": _evaluate("speed_only", speed_scores, qoe_scores),
+    }
+    return EvaluationResult(qoe=qoe_scores, methods=methods)
+
+
+def _evaluate(
+    name: str,
+    scores: Mapping[str, float],
+    qoe: Mapping[str, float],
+) -> MethodEvaluation:
+    return MethodEvaluation(
+        method=name,
+        scores=dict(scores),
+        spearman=spearman_rho(scores, qoe),
+        kendall=kendall_tau(scores, qoe),
+        flips=len(pairwise_flips(scores, qoe)),
+    )

@@ -1,0 +1,152 @@
+"""Equity analysis: who inside a region gets the quality?
+
+A region-level IQB score can hide a stark internal divide — a fiber
+core scoring A while DSL pockets score E. This module breaks a region's
+score down by subscriber group (ISP or access technology) and
+summarizes the spread, the lens the paper's digital-inclusion audience
+(footnote 1 lists digital inclusion advocates among the experts) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import IQBConfig
+from repro.core.exceptions import DataError
+from repro.core.scoring import score_region
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+
+#: Groups with fewer tests than this are reported but not scored.
+MIN_SAMPLES_PER_GROUP = 30
+
+
+@dataclass(frozen=True)
+class GroupScore:
+    """One subscriber group's score within a region."""
+
+    group: str
+    score: Optional[float]
+    samples: int
+
+
+@dataclass(frozen=True)
+class EquityBreakdown:
+    """A region's score decomposed over subscriber groups."""
+
+    region: str
+    dimension: str
+    overall: float
+    groups: List[GroupScore]
+
+    def scored_groups(self) -> List[GroupScore]:
+        """Groups with enough data to carry a score, best first."""
+        scored = [g for g in self.groups if g.score is not None]
+        return sorted(scored, key=lambda g: (-g.score, g.group))
+
+    @property
+    def gap(self) -> Optional[float]:
+        """Best-minus-worst group score (the headline divide number)."""
+        scored = self.scored_groups()
+        if len(scored) < 2:
+            return None
+        return scored[0].score - scored[-1].score
+
+    @property
+    def worst_group(self) -> Optional[GroupScore]:
+        """The group the region-level score hides, if any."""
+        scored = self.scored_groups()
+        return scored[-1] if scored else None
+
+
+def _breakdown(
+    records: MeasurementSet,
+    region: str,
+    config: IQBConfig,
+    dimension: str,
+    key: Callable[[Measurement], str],
+    min_samples: int,
+) -> EquityBreakdown:
+    subset = records.for_region(region)
+    if len(subset) == 0:
+        raise DataError(f"no measurements for region {region!r}")
+    overall = score_region(subset.group_by_source(), config).value
+    names = sorted({key(r) for r in subset if key(r)})
+    groups: List[GroupScore] = []
+    for name in names:
+        group_records = subset.filter(lambda r, n=name: key(r) == n)
+        if len(group_records) < min_samples:
+            groups.append(
+                GroupScore(group=name, score=None, samples=len(group_records))
+            )
+            continue
+        try:
+            value = score_region(group_records.group_by_source(), config).value
+        except DataError:
+            value = None
+        groups.append(
+            GroupScore(group=name, score=value, samples=len(group_records))
+        )
+    return EquityBreakdown(
+        region=region, dimension=dimension, overall=overall, groups=groups
+    )
+
+
+def scores_by_isp(
+    records: MeasurementSet,
+    region: str,
+    config: IQBConfig,
+    min_samples: int = MIN_SAMPLES_PER_GROUP,
+) -> EquityBreakdown:
+    """Per-ISP IQB scores within one region.
+
+    Raises:
+        DataError: when the region has no records.
+    """
+    return _breakdown(
+        records, region, config, "isp", lambda r: r.isp, min_samples
+    )
+
+
+def scores_by_technology(
+    records: MeasurementSet,
+    region: str,
+    config: IQBConfig,
+    min_samples: int = MIN_SAMPLES_PER_GROUP,
+) -> EquityBreakdown:
+    """Per-access-technology IQB scores within one region.
+
+    Raises:
+        DataError: when the region has no records.
+    """
+    return _breakdown(
+        records, region, config, "access_tech", lambda r: r.access_tech,
+        min_samples,
+    )
+
+
+def equity_table(breakdown: EquityBreakdown) -> List[Dict[str, object]]:
+    """Row dicts (group, score, samples, delta vs overall) for rendering."""
+    rows: List[Dict[str, object]] = []
+    for group in breakdown.groups:
+        rows.append(
+            {
+                "group": group.group,
+                "score": group.score,
+                "samples": group.samples,
+                "delta_vs_region": (
+                    None
+                    if group.score is None
+                    else group.score - breakdown.overall
+                ),
+            }
+        )
+    rows.sort(
+        key=lambda row: (
+            row["score"] is None,
+            -(row["score"] or 0.0),
+            row["group"],
+        )
+    )
+    return rows

@@ -1,0 +1,124 @@
+"""Score archives: the barometer's own history, persisted.
+
+A production barometer keeps every period's full breakdowns, because
+next quarter someone will ask "what changed, exactly?". The archive is
+an append-only JSONL of (period, region, breakdown) documents built on
+:meth:`~repro.core.scoring.ScoreBreakdown.to_dict`, and
+:meth:`ScoreArchive.compare` answers the what-changed question with the
+exact attribution machinery — across periods instead of regions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.compare import Attribution, attribute_difference
+from repro.core.exceptions import DataError, SchemaError
+from repro.core.scoring import ScoreBreakdown
+
+
+class ScoreArchive:
+    """Append-only archive of scored periods, one JSONL file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[Tuple[str, str], ScoreBreakdown] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line)
+                    key = (str(document["period"]), str(document["region"]))
+                    self._entries[key] = ScoreBreakdown.from_dict(
+                        document["breakdown"]
+                    )
+                except (json.JSONDecodeError, KeyError, DataError) as exc:
+                    raise SchemaError(
+                        f"{self.path}:{lineno}: bad archive entry: {exc}"
+                    ) from exc
+
+    # -- writing -----------------------------------------------------------
+
+    def append(
+        self, period: str, region: str, breakdown: ScoreBreakdown
+    ) -> None:
+        """Record one (period, region) breakdown, durably.
+
+        Raises:
+            DataError: when the (period, region) pair already exists —
+                archives are append-only and immutable per cell.
+        """
+        key = (period, region)
+        if key in self._entries:
+            raise DataError(
+                f"archive already holds {region!r} for period {period!r}"
+            )
+        document = {
+            "period": period,
+            "region": region,
+            "breakdown": breakdown.to_dict(),
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True))
+            handle.write("\n")
+        self._entries[key] = breakdown
+
+    # -- reading -----------------------------------------------------------
+
+    def periods(self) -> Tuple[str, ...]:
+        """Distinct periods, sorted lexicographically (use sortable ids)."""
+        return tuple(sorted({period for period, _ in self._entries}))
+
+    def regions(self, period: Optional[str] = None) -> Tuple[str, ...]:
+        """Regions archived (optionally within one period)."""
+        return tuple(
+            sorted(
+                {
+                    region
+                    for p, region in self._entries
+                    if period is None or p == period
+                }
+            )
+        )
+
+    def get(self, period: str, region: str) -> ScoreBreakdown:
+        """One archived breakdown.
+
+        Raises:
+            DataError: when the cell is absent.
+        """
+        try:
+            return self._entries[(period, region)]
+        except KeyError:
+            raise DataError(
+                f"archive has no entry for {region!r} in period {period!r}"
+            )
+
+    def series(self, region: str) -> List[Tuple[str, float]]:
+        """(period, score) history of one region, period-sorted."""
+        return [
+            (period, self._entries[(period, region)].value)
+            for period in self.periods()
+            if (period, region) in self._entries
+        ]
+
+    # -- analysis ----------------------------------------------------------
+
+    def compare(
+        self, region: str, period_a: str, period_b: str
+    ) -> Attribution:
+        """Exact attribution of a region's change between two periods."""
+        return attribute_difference(
+            self.get(period_a, region), self.get(period_b, region)
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,160 @@
+"""Publication builder: the periodic barometer report as Markdown.
+
+A deployed barometer publishes a document, not a dict: headline
+national score, the regional table, per-region drill-downs (grades,
+failing requirements, improvement targets), and data provenance. This
+module assembles that document from a measurement set so `iqb publish`
+(and any scheduled job wrapping it) is one call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from repro.core.config import IQBConfig, paper_config
+from repro.core.scoring import ScoreBreakdown, score_region
+from repro.core.targets import metric_targets
+from repro.measurements.collection import MeasurementSet
+
+from .national import national_score
+from .ranking import rank_regions
+from .tables import render_markdown
+
+
+def build_publication(
+    records: MeasurementSet,
+    config: Optional[IQBConfig] = None,
+    populations: Optional[Mapping[str, float]] = None,
+    title: str = "Internet Quality Barometer report",
+) -> str:
+    """Assemble the full Markdown publication for a measurement set.
+
+    Args:
+        records: the reporting period's measurements (all regions).
+        config: scoring config (default: the paper's).
+        populations: region → population; when provided, a national
+            roll-up section is included.
+
+    Raises:
+        DataError: when the measurement set is empty (nothing to
+            publish) — via the underlying scorers.
+    """
+    config = config or paper_config()
+    breakdowns: dict = {}
+    for region in records.regions():
+        sources = records.for_region(region).group_by_source()
+        breakdowns[region] = score_region(sources, config)
+
+    sections: List[str] = [f"# {title}", ""]
+    sections.extend(_headline_section(breakdowns, populations))
+    sections.extend(_regional_table(records, breakdowns))
+    for region, _ in rank_regions(
+        {name: b.value for name, b in breakdowns.items()}
+    ):
+        sections.extend(_region_section(region, breakdowns[region]))
+    sections.extend(_provenance_section(records, config))
+    return "\n".join(sections)
+
+
+def _headline_section(
+    breakdowns: Mapping[str, ScoreBreakdown],
+    populations: Optional[Mapping[str, float]],
+) -> List[str]:
+    if not populations:
+        return []
+    national = national_score(
+        {region: b.value for region, b in breakdowns.items()}, populations
+    )
+    lines = [
+        "## National headline",
+        "",
+        f"**National IQB: {national.value:.3f}** "
+        f"(grade-equivalent spread below; shortfall {national.shortfall:.3f})",
+        "",
+        "Largest shortfall contributors:",
+        "",
+    ]
+    for share in national.ranked_by_shortfall()[:3]:
+        lines.append(
+            f"- **{share.region}** — score {share.score:.3f}, "
+            f"{share.weight:.1%} of population, "
+            f"{share.shortfall_contribution:.3f} of the shortfall"
+        )
+    lines.append("")
+    return lines
+
+
+def _regional_table(
+    records: MeasurementSet,
+    breakdowns: Mapping[str, ScoreBreakdown],
+) -> List[str]:
+    rows = []
+    for region, score in rank_regions(
+        {name: b.value for name, b in breakdowns.items()}
+    ):
+        breakdown = breakdowns[region]
+        rows.append(
+            (
+                region,
+                f"{score:.3f}",
+                breakdown.grade,
+                breakdown.credit,
+                len(records.for_region(region)),
+            )
+        )
+    return [
+        "## Regional scores",
+        "",
+        render_markdown(
+            ["Region", "IQB", "Grade", "Credit", "Tests"], rows
+        ),
+        "",
+    ]
+
+
+def _region_section(region: str, breakdown: ScoreBreakdown) -> List[str]:
+    lines = [
+        f"## {region}",
+        "",
+        f"Score **{breakdown.value:.3f}** (grade {breakdown.grade}).",
+        "",
+        render_markdown(
+            ["Use case", "Score"],
+            [
+                (entry.use_case.display_name, f"{entry.value:.2f}")
+                for entry in breakdown.use_cases
+            ],
+        ),
+        "",
+    ]
+    targets = metric_targets(breakdown)
+    if targets:
+        lines.append("Improvement needed to clear every failing bar:")
+        lines.append("")
+        for metric, value in sorted(
+            targets.items(), key=lambda kv: kv[0].value
+        ):
+            lines.append(f"- {metric.display_name}: {value:.3g} {metric.unit}")
+        lines.append("")
+    else:
+        lines.append("Every requirement threshold is met.")
+        lines.append("")
+    return lines
+
+
+def _provenance_section(
+    records: MeasurementSet, config: IQBConfig
+) -> List[str]:
+    sources = ", ".join(records.sources())
+    return [
+        "## Methodology & provenance",
+        "",
+        f"- {len(records)} measurements from: {sources}",
+        f"- Aggregation: p{config.aggregation.percentile:g} "
+        f"({config.aggregation.semantics.value} semantics)",
+        f"- Quality level: {config.quality_level.value}; "
+        f"score mode: {config.score_mode.value}",
+        "- Scoring per the IQB framework (Fig. 2 thresholds, Table 1 "
+        "weights unless overridden).",
+        "",
+    ]

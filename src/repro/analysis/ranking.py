@@ -1,0 +1,122 @@
+"""Region rankings and rank-agreement statistics.
+
+A barometer's consumers mostly use it ordinally — which regions are
+worst, who improved past whom — so rank agreement is the right lens for
+comparing scoring methods. Kendall's tau and Spearman's rho are
+implemented directly (exact, no ties-handling surprises hidden in a
+library call) and validated against scipy in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def rank_regions(scores: Mapping[str, float]) -> List[Tuple[str, float]]:
+    """(region, score) best-first; ties break alphabetically."""
+    return sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+
+
+def ranks(scores: Mapping[str, float]) -> Dict[str, float]:
+    """Fractional ranks (1 = best); ties share the average rank."""
+    ordered = sorted(scores.items(), key=lambda item: -item[1])
+    out: Dict[str, float] = {}
+    i = 0
+    while i < len(ordered):
+        j = i
+        while j + 1 < len(ordered) and ordered[j + 1][1] == ordered[i][1]:
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            out[ordered[k][0]] = average
+        i = j + 1
+    return out
+
+
+def _paired(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> Tuple[List[float], List[float]]:
+    keys = sorted(set(a) & set(b))
+    if len(keys) < 2:
+        raise ValueError(
+            f"need at least 2 shared keys to correlate, got {len(keys)}"
+        )
+    return [a[k] for k in keys], [b[k] for k in keys]
+
+
+def kendall_tau(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Kendall's tau-b between two score mappings (ties-adjusted)."""
+    xs, ys = _paired(a, b)
+    n = len(xs)
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            if dx == 0 and dy == 0:
+                continue
+            if dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    denom_x = concordant + discordant + ties_x
+    denom_y = concordant + discordant + ties_y
+    if denom_x == 0 or denom_y == 0:
+        return 0.0
+    return (concordant - discordant) / (denom_x * denom_y) ** 0.5
+
+
+def spearman_rho(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Spearman's rho: Pearson correlation of fractional ranks."""
+    keys = sorted(set(a) & set(b))
+    if len(keys) < 2:
+        raise ValueError(
+            f"need at least 2 shared keys to correlate, got {len(keys)}"
+        )
+    ranks_a = ranks({k: a[k] for k in keys})
+    ranks_b = ranks({k: b[k] for k in keys})
+    xs = [ranks_a[k] for k in keys]
+    ys = [ranks_b[k] for k in keys]
+    return pearson(xs, ys)
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Plain Pearson correlation of two equal-length sequences."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least 2 points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def pairwise_flips(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> List[Tuple[str, str]]:
+    """Region pairs ordered differently by the two scores.
+
+    Each tuple (x, y) means: ``a`` ranks x above y but ``b`` ranks y
+    above x. These are the disagreements a decision-maker would actually
+    notice when switching barometers.
+    """
+    keys = sorted(set(a) & set(b))
+    flips: List[Tuple[str, str]] = []
+    for i, x in enumerate(keys):
+        for y in keys[i + 1 :]:
+            da = a[x] - a[y]
+            db = b[x] - b[y]
+            if da * db < 0:
+                flips.append((x, y) if da > 0 else (y, x))
+    return flips

@@ -1,0 +1,111 @@
+"""Plain-text and Markdown table rendering.
+
+Every bench and report in this repository prints aligned monospace
+tables (paper-style rows) through these two functions, so the output
+format is uniform and trivially diffable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+Cell = object  # anything with a sensible str()
+
+
+def _stringify(rows: Iterable[Sequence[Cell]]) -> List[List[str]]:
+    return [[_format(cell) for cell in row] for row in rows]
+
+
+def _format(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    indent: str = "",
+) -> str:
+    """Aligned monospace table.
+
+    Floats render with three decimals; everything else via ``str``.
+
+    Raises:
+        ValueError: when a row's width differs from the header's.
+    """
+    body = _stringify(rows)
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        indent + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        indent + "  ".join("-" * w for w in widths),
+    ]
+    for row in body:
+        lines.append(
+            indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+#: Eight-level block characters for sparklines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[Optional[float]],
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> str:
+    """A one-line unicode sparkline; None values render as spaces.
+
+    Values are scaled into [low, high] (defaulting to the data range).
+    Useful for showing an IQB time series inline in CLI output.
+
+    >>> sparkline([0.0, 0.5, 1.0])
+    '▁▅█'
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return " " * len(values)
+    lo = min(present) if low is None else low
+    hi = max(present) if high is None else high
+    span = hi - lo
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_SPARK_BLOCKS[-1])
+            continue
+        index = int((value - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
+        chars.append(_SPARK_BLOCKS[min(max(index, 0), len(_SPARK_BLOCKS) - 1)])
+    return "".join(chars)
+
+
+def render_markdown(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> str:
+    """GitHub-flavoured Markdown table with the same cell formatting."""
+    body = _stringify(rows)
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}: {row}"
+            )
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Temporal analysis: the barometer over time.
+
+Turns a time-stamped measurement set into:
+
+* a per-window IQB time series (:func:`score_time_series`);
+* the prime-time vs off-peak contrast (:func:`peak_vs_offpeak`) — the
+  quantity that separates congestion problems (evening-only) from
+  provisioning problems (all-day);
+* a least-squares trend over the series (:func:`trend`), for "is this
+  region improving?" questions.
+
+Windows without enough data score ``None`` rather than pretending; the
+minimum sample count is explicit because a 95th percentile of five
+tests is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import IQBConfig
+from repro.core.exceptions import DataError
+from repro.core.scoring import score_region
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.windows import peak_split, time_buckets
+
+#: Fewer tests than this per window → the window's score is None.
+MIN_SAMPLES_PER_WINDOW = 20
+
+
+@dataclass(frozen=True)
+class ScorePoint:
+    """One window of the IQB time series."""
+
+    start: float
+    end: float
+    score: Optional[float]
+    samples: int
+
+
+def _score_or_none(
+    records: MeasurementSet, config: IQBConfig, min_samples: int
+) -> Optional[float]:
+    if len(records) < min_samples:
+        return None
+    try:
+        return score_region(records.group_by_source(), config).value
+    except DataError:
+        return None
+
+
+def score_time_series(
+    records: MeasurementSet,
+    region: str,
+    config: IQBConfig,
+    window_seconds: float = 86400.0,
+    min_samples: int = MIN_SAMPLES_PER_WINDOW,
+) -> List[ScorePoint]:
+    """IQB score per fixed-width window for one region.
+
+    Raises:
+        DataError: when the region has no records at all.
+    """
+    subset = records.for_region(region)
+    if len(subset) == 0:
+        raise DataError(f"no measurements for region {region!r}")
+    points: List[ScorePoint] = []
+    for bucket in time_buckets(subset, window_seconds):
+        points.append(
+            ScorePoint(
+                start=bucket.start,
+                end=bucket.end,
+                score=_score_or_none(bucket.records, config, min_samples),
+                samples=len(bucket.records),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class PeakContrast:
+    """Prime-time vs off-peak scores for one region."""
+
+    peak_score: Optional[float]
+    off_peak_score: Optional[float]
+    peak_samples: int
+    off_peak_samples: int
+
+    @property
+    def degradation(self) -> Optional[float]:
+        """Off-peak minus peak score (positive = evenings are worse)."""
+        if self.peak_score is None or self.off_peak_score is None:
+            return None
+        return self.off_peak_score - self.peak_score
+
+
+def peak_vs_offpeak(
+    records: MeasurementSet,
+    region: str,
+    config: IQBConfig,
+    min_samples: int = MIN_SAMPLES_PER_WINDOW,
+) -> PeakContrast:
+    """Score a region separately from its peak and off-peak tests.
+
+    Raises:
+        DataError: when the region has no records at all.
+    """
+    subset = records.for_region(region)
+    if len(subset) == 0:
+        raise DataError(f"no measurements for region {region!r}")
+    peak, off_peak = peak_split(subset)
+    return PeakContrast(
+        peak_score=_score_or_none(peak, config, min_samples),
+        off_peak_score=_score_or_none(off_peak, config, min_samples),
+        peak_samples=len(peak),
+        off_peak_samples=len(off_peak),
+    )
+
+
+def weekend_vs_weekday(
+    records: MeasurementSet,
+    region: str,
+    config: IQBConfig,
+    min_samples: int = MIN_SAMPLES_PER_WINDOW,
+) -> PeakContrast:
+    """Score a region separately from weekend and weekday tests.
+
+    Returns a :class:`PeakContrast` with the *weekend* playing the
+    "peak" role (``degradation`` positive ⇒ weekends are worse). The
+    simulator's calendar starts on a Monday; day indices 5 and 6 are
+    the weekend.
+
+    Raises:
+        DataError: when the region has no records at all.
+    """
+    from repro.timeutil import is_weekend
+
+    subset = records.for_region(region)
+    if len(subset) == 0:
+        raise DataError(f"no measurements for region {region!r}")
+    weekend = subset.filter(lambda r: is_weekend(r.timestamp))
+    weekday = subset.filter(lambda r: not is_weekend(r.timestamp))
+    return PeakContrast(
+        peak_score=_score_or_none(weekend, config, min_samples),
+        off_peak_score=_score_or_none(weekday, config, min_samples),
+        peak_samples=len(weekend),
+        off_peak_samples=len(weekday),
+    )
+
+
+@dataclass(frozen=True)
+class AnomalyWindow:
+    """One window flagged as an abrupt quality drop."""
+
+    start: float
+    end: float
+    score: float
+    baseline: float
+
+    @property
+    def drop(self) -> float:
+        """How far below the trailing baseline the window fell."""
+        return self.baseline - self.score
+
+
+def detect_drops(
+    points: List[ScorePoint],
+    min_drop: float = 0.1,
+    trailing: int = 3,
+) -> List[AnomalyWindow]:
+    """Flag windows whose score collapses below the recent baseline.
+
+    The baseline for each window is the median of the previous
+    ``trailing`` *scored* windows; a window is flagged when its score
+    falls more than ``min_drop`` below that. Simple trailing-median
+    change detection is deliberately chosen over anything smarter: a
+    barometer's alert must be explainable in one sentence.
+
+    Windows without a score never alarm (no data is a monitoring gap,
+    not an outage), and the first ``trailing`` scored windows cannot
+    alarm (no baseline yet).
+
+    Raises:
+        ValueError: for non-positive ``min_drop`` or ``trailing``.
+    """
+    if min_drop <= 0:
+        raise ValueError(f"min_drop must be positive: {min_drop}")
+    if trailing < 1:
+        raise ValueError(f"trailing must be >= 1: {trailing}")
+    anomalies: List[AnomalyWindow] = []
+    history: List[float] = []
+    for point in points:
+        if point.score is None:
+            continue
+        if len(history) >= trailing:
+            recent = sorted(history[-trailing:])
+            baseline = recent[len(recent) // 2]
+            if point.score < baseline - min_drop:
+                anomalies.append(
+                    AnomalyWindow(
+                        start=point.start,
+                        end=point.end,
+                        score=point.score,
+                        baseline=baseline,
+                    )
+                )
+                # An alarmed window does not enter the baseline: a long
+                # outage should stay alarmed, not become the new normal.
+                continue
+        history.append(point.score)
+    return anomalies
+
+
+def trend(points: List[ScorePoint]) -> Tuple[float, float]:
+    """Least-squares (slope per day, intercept) over scored windows.
+
+    Windows whose score is None are excluded. The slope is per *day*
+    regardless of the window width, so trends are comparable across
+    windowings.
+
+    Raises:
+        DataError: with fewer than two scored windows.
+    """
+    scored = [(p.start + p.end) / 2.0 for p in points if p.score is not None]
+    values = [p.score for p in points if p.score is not None]
+    if len(scored) < 2:
+        raise DataError(
+            f"need >= 2 scored windows for a trend, have {len(scored)}"
+        )
+    days = [t / 86400.0 for t in scored]
+    n = len(days)
+    mean_x = sum(days) / n
+    mean_y = sum(values) / n
+    var_x = sum((x - mean_x) ** 2 for x in days)
+    if var_x == 0:
+        return 0.0, mean_y
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(days, values)
+    ) / var_x
+    intercept = mean_y - slope * mean_x
+    return slope, intercept

@@ -1,0 +1,28 @@
+"""Comparator scores: speed-only, FCC benchmark, IQB ablations."""
+
+from .fcc import FCC_DOWN_MBPS, FCC_UP_MBPS, FCCVerdict, fcc_verdict
+from .naive import (
+    all_single_dataset_scores,
+    single_dataset_score,
+    unweighted_config,
+    unweighted_score,
+)
+from .speed import (
+    DEFAULT_REFERENCE_MBPS,
+    mean_speed_score,
+    median_speed_score,
+)
+
+__all__ = [
+    "DEFAULT_REFERENCE_MBPS",
+    "FCC_DOWN_MBPS",
+    "FCC_UP_MBPS",
+    "FCCVerdict",
+    "all_single_dataset_scores",
+    "fcc_verdict",
+    "mean_speed_score",
+    "median_speed_score",
+    "single_dataset_score",
+    "unweighted_config",
+    "unweighted_score",
+]

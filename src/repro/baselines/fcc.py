@@ -1,0 +1,76 @@
+"""FCC-style binary broadband benchmark.
+
+The 2024 FCC benchmark defines "served" as 100 Mbit/s down / 20 Mbit/s
+up. Applied at the region level with IQB's own percentile rule, this is
+the natural *policy* baseline: a region either clears the bar or it
+does not, with no latency, loss, or use-case nuance. Comparing its
+coarse verdicts against the IQB score shows what the richer framework
+adds (and costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.aggregation import AggregationPolicy, QuantileSource, aggregate_metric
+from repro.core.exceptions import DataError
+from repro.core.metrics import Metric
+
+FCC_DOWN_MBPS = 100.0
+FCC_UP_MBPS = 20.0
+
+
+@dataclass(frozen=True)
+class FCCVerdict:
+    """Region-level outcome of the FCC benchmark."""
+
+    download_mbps: float
+    upload_mbps: float
+    download_ok: bool
+    upload_ok: bool
+
+    @property
+    def served(self) -> bool:
+        """True when both directions clear the benchmark."""
+        return self.download_ok and self.upload_ok
+
+    @property
+    def score(self) -> float:
+        """Binary benchmark as a degenerate [0, 1] score."""
+        return 1.0 if self.served else 0.0
+
+
+def fcc_verdict(
+    sources: Mapping[str, QuantileSource],
+    policy: AggregationPolicy = AggregationPolicy(),
+    down_mbps: float = FCC_DOWN_MBPS,
+    up_mbps: float = FCC_UP_MBPS,
+) -> FCCVerdict:
+    """Evaluate the FCC benchmark across corroborating datasets.
+
+    Each direction passes when *every* dataset observing it clears the
+    bar (the benchmark's own all-locations spirit applied to datasets).
+
+    Raises:
+        DataError: when no dataset observes a direction.
+    """
+    down_values = []
+    up_values = []
+    for source in sources.values():
+        down = aggregate_metric(source, Metric.DOWNLOAD, policy)
+        if down is not None:
+            down_values.append(down)
+        up = aggregate_metric(source, Metric.UPLOAD, policy)
+        if up is not None:
+            up_values.append(up)
+    if not down_values or not up_values:
+        raise DataError("FCC benchmark needs download and upload observations")
+    down_aggregate = min(down_values)
+    up_aggregate = min(up_values)
+    return FCCVerdict(
+        download_mbps=down_aggregate,
+        upload_mbps=up_aggregate,
+        download_ok=down_aggregate >= down_mbps,
+        upload_ok=up_aggregate >= up_mbps,
+    )

@@ -1,0 +1,81 @@
+"""Single-dataset and unweighted IQB ablations.
+
+Two "IQB minus one idea" baselines for the ablation benches:
+
+* :func:`single_dataset_score` — the full IQB formulas run on *one*
+  dataset only. The gap to the corroborated score measures what the
+  multi-dataset tier contributes.
+* :func:`unweighted_score` — IQB with all weights forced to 1. The gap
+  to the expert-weighted score measures what Table 1 contributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.core.aggregation import QuantileSource
+from repro.core.config import IQBConfig
+from repro.core.exceptions import DataError
+from repro.core.metrics import Metric
+from repro.core.scoring import ScoreBreakdown, score_region
+from repro.core.usecases import UseCase
+from repro.core.weights import (
+    DatasetWeights,
+    RequirementWeights,
+    UseCaseWeights,
+)
+
+
+def single_dataset_score(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+    dataset: str,
+) -> ScoreBreakdown:
+    """IQB computed from one dataset alone (no corroboration).
+
+    Raises:
+        DataError: when the requested dataset is not among the sources.
+    """
+    if dataset not in sources:
+        raise DataError(
+            f"dataset {dataset!r} not present (have {sorted(sources)})"
+        )
+    return score_region({dataset: sources[dataset]}, config)
+
+
+def all_single_dataset_scores(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+) -> Dict[str, ScoreBreakdown]:
+    """Single-dataset IQB for every available dataset."""
+    return {
+        dataset: single_dataset_score(sources, config, dataset)
+        for dataset in sorted(sources)
+    }
+
+
+def unweighted_config(config: IQBConfig) -> IQBConfig:
+    """A copy of ``config`` with every weight forced to 1."""
+    requirement = RequirementWeights(
+        {(u, m): 1 for u in UseCase for m in Metric}
+    )
+    use_case = UseCaseWeights({u: 1 for u in UseCase})
+    dataset_entries: Dict[Tuple[UseCase, Metric, str], int] = {}
+    for u in UseCase:
+        for m in Metric:
+            for d, w in config.dataset_weights.row(u, m).items():
+                if w > 0:
+                    dataset_entries[(u, m, d)] = 1
+    return config.with_(
+        requirement_weights=requirement,
+        use_case_weights=use_case,
+        dataset_weights=DatasetWeights(dataset_entries),
+    )
+
+
+def unweighted_score(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+) -> ScoreBreakdown:
+    """IQB with all weights flattened to 1 (structure only)."""
+    return score_region(sources, unweighted_config(config))

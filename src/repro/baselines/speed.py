@@ -1,0 +1,99 @@
+"""Speed-only baseline scores.
+
+The strawman the IQB poster argues against: "the faster data can move,
+the better we expect the performance to be". These baselines reduce a
+region's measurements to throughput alone, exactly the way headline
+speed-test statistics do, so the evaluation benches can ask whether the
+multi-metric IQB ranks regions closer to experienced quality.
+
+Two flavours:
+
+* :func:`median_speed_score` — median download (optionally blended with
+  upload), normalized by a reference speed and clipped at 1;
+* :func:`mean_speed_score` — the same on the mean, which headline
+  statistics often (mis)use.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.aggregation import QuantileSource
+from repro.core.exceptions import DataError
+from repro.core.metrics import Metric
+
+#: "Gigabit-class is as good as it gets": the normalization reference.
+DEFAULT_REFERENCE_MBPS = 100.0
+#: Headline speed statistics blend download-heavy.
+DOWNLOAD_SHARE = 0.8
+
+
+def _combined_quantile(
+    sources: Mapping[str, QuantileSource],
+    metric: Metric,
+    percentile: float,
+) -> float:
+    """Sample-weighted mean of a quantile across datasets.
+
+    Raw values from different datasets cannot be pooled (they are
+    methodologically different), so the baseline does what public
+    dashboards do: average each dataset's published statistic, weighted
+    by its sample count.
+    """
+    total_weight = 0
+    acc = 0.0
+    for source in sources.values():
+        value = source.quantile(metric, percentile)
+        if value is None:
+            continue
+        count = max(1, source.sample_count(metric))
+        acc += value * count
+        total_weight += count
+    if total_weight == 0:
+        raise DataError(f"no dataset observes {metric.value}")
+    return acc / total_weight
+
+
+def median_speed_score(
+    sources: Mapping[str, QuantileSource],
+    reference_mbps: float = DEFAULT_REFERENCE_MBPS,
+    download_share: float = DOWNLOAD_SHARE,
+) -> float:
+    """Speed-only score in [0, 1] from median throughputs.
+
+    ``score = min(1, blend(median_down, median_up) / reference)``.
+    """
+    return _speed_score(sources, 50.0, reference_mbps, download_share)
+
+
+def mean_speed_score(
+    sources: Mapping[str, QuantileSource],
+    reference_mbps: float = DEFAULT_REFERENCE_MBPS,
+    download_share: float = DOWNLOAD_SHARE,
+) -> float:
+    """Speed-only score using a mean-like high quantile (p60).
+
+    Public "average speed" headlines sit above the median because the
+    mean of a right-skewed speed distribution does; p60 is a quantile
+    stand-in that keeps the QuantileSource interface sufficient.
+    """
+    return _speed_score(sources, 60.0, reference_mbps, download_share)
+
+
+def _speed_score(
+    sources: Mapping[str, QuantileSource],
+    percentile: float,
+    reference_mbps: float,
+    download_share: float,
+) -> float:
+    if reference_mbps <= 0:
+        raise ValueError(f"reference_mbps must be positive: {reference_mbps}")
+    if not 0.0 <= download_share <= 1.0:
+        raise ValueError(f"download_share outside [0, 1]: {download_share}")
+    down = _combined_quantile(sources, Metric.DOWNLOAD, percentile)
+    try:
+        up = _combined_quantile(sources, Metric.UPLOAD, percentile)
+    except DataError:
+        up = down  # upload unobserved anywhere: fall back to download
+    blended = download_share * down + (1.0 - download_share) * up
+    return min(1.0, blended / reference_mbps)

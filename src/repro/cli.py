@@ -1,0 +1,514 @@
+"""Command-line interface: ``iqb`` / ``python -m repro``.
+
+Subcommands:
+
+* ``simulate`` — run a measurement campaign over region presets and
+  write the records to JSONL;
+* ``score``    — score a JSONL measurement file (all regions, table);
+* ``report``   — full drill-down report for one region;
+* ``config``   — print (or write) the canonical paper configuration;
+* ``tiers``    — render the Fig. 1 tier structure;
+* ``sweep``    — percentile-sensitivity sweep for one region;
+* ``trend``    — windowed IQB time series + slope for one region;
+* ``peak``     — prime-time vs off-peak contrast for one region;
+* ``equity``   — per-ISP / per-technology breakdown for one region;
+* ``compare``  — exact attribution of the score gap between two regions;
+* ``label``    — consumer broadband-label scorecard for one region;
+* ``publish``  — assemble the full Markdown barometer report;
+* ``monitor``  — replay a measurement file through the alerting monitor;
+* ``adaptive`` — demonstrate uncertainty-driven probe allocation.
+
+Every command is pure stdlib ``argparse`` over the library API, so the
+CLI is also living documentation of the public surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import comparison_report, region_report
+from repro.analysis.tables import render_table
+from repro.core.config import IQBConfig, paper_config
+from repro.core.framework import IQBFramework
+from repro.core.sensitivity import percentile_sweep
+from repro.measurements.io import read_jsonl, write_jsonl
+from repro.netsim.population import REGION_PRESETS, region_preset
+from repro.netsim.simulator import CampaignConfig, simulate_regions
+
+
+def _load_config(path: Optional[str]) -> IQBConfig:
+    return paper_config() if path is None else IQBConfig.load(path)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    names = args.regions or sorted(REGION_PRESETS)
+    profiles = [region_preset(name) for name in names]
+    campaign = CampaignConfig(
+        subscribers=args.subscribers,
+        tests_per_client=args.tests,
+        days=args.days,
+        wifi_share=args.wifi_share,
+    )
+    records = simulate_regions(profiles, seed=args.seed, config=campaign)
+    count = write_jsonl(records, args.output)
+    print(f"wrote {count} measurements for {len(profiles)} regions to {args.output}")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    if args.lint:
+        from repro.core.lint import lint_config
+
+        findings = lint_config(config, records)
+        for finding in findings:
+            print(finding)
+        if findings:
+            print()
+    if args.json:
+        import json as json_module
+
+        from repro.core.scoring import score_region
+
+        document = {
+            region: score_region(
+                records.for_region(region).group_by_source(), config
+            ).to_dict()
+            for region in records.regions()
+        }
+        print(json_module.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(comparison_report(records, config))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    print(region_report(records, args.region, config))
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    config = paper_config()
+    if args.output:
+        config.save(args.output)
+        print(f"wrote canonical paper config to {args.output}")
+    else:
+        print(config.to_json())
+    return 0
+
+
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    framework = IQBFramework(_load_config(args.config))
+    print(framework.render_tier_map())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    sources = records.for_region(args.region).group_by_source()
+    sweep = percentile_sweep(sources, config, percentiles=args.percentiles)
+    print(
+        render_table(
+            ["Percentile", "IQB score"],
+            [(f"p{int(p)}", score) for p, score in sorted(sweep.items())],
+        )
+    )
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.analysis.temporal import score_time_series, trend
+    from repro.core.exceptions import DataError
+
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    points = score_time_series(
+        records,
+        args.region,
+        config,
+        window_seconds=args.window_days * 86400.0,
+    )
+    rows = [
+        (
+            f"{point.start / 86400.0:.1f}d",
+            "n/a" if point.score is None else f"{point.score:.3f}",
+            point.samples,
+        )
+        for point in points
+    ]
+    print(render_table(["Window start", "IQB", "Tests"], rows))
+    from repro.analysis.tables import sparkline
+
+    print(
+        "Series: "
+        + sparkline([point.score for point in points], low=0.0, high=1.0)
+        + "  (scaled 0..1)"
+    )
+    try:
+        slope, _ = trend(points)
+        print(f"Trend: {slope:+.4f} IQB/day")
+    except DataError:
+        print("Trend: not enough scored windows")
+    return 0
+
+
+def _cmd_peak(args: argparse.Namespace) -> int:
+    from repro.analysis.temporal import peak_vs_offpeak
+
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    contrast = peak_vs_offpeak(records, args.region, config)
+    fmt = lambda v: "n/a" if v is None else f"{v:.3f}"
+    print(f"Peak (18-23h) : {fmt(contrast.peak_score)} "
+          f"({contrast.peak_samples} tests)")
+    print(f"Off-peak      : {fmt(contrast.off_peak_score)} "
+          f"({contrast.off_peak_samples} tests)")
+    if contrast.degradation is not None:
+        print(f"Degradation   : {contrast.degradation:+.3f} "
+              f"(positive = evenings worse)")
+    return 0
+
+
+def _cmd_equity(args: argparse.Namespace) -> int:
+    from repro.analysis.equity import (
+        equity_table,
+        scores_by_isp,
+        scores_by_technology,
+    )
+
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    analyze = scores_by_isp if args.by == "isp" else scores_by_technology
+    breakdown = analyze(records, args.region, config)
+    rows = [
+        (
+            row["group"],
+            "n/a" if row["score"] is None else f"{row['score']:.3f}",
+            row["samples"],
+            (
+                "n/a"
+                if row["delta_vs_region"] is None
+                else f"{row['delta_vs_region']:+.3f}"
+            ),
+        )
+        for row in equity_table(breakdown)
+    ]
+    print(f"Region {args.region}: overall IQB {breakdown.overall:.3f}")
+    print(render_table([args.by.upper(), "IQB", "Tests", "vs region"], rows))
+    if breakdown.gap is not None:
+        print(f"Equity gap (best - worst group): {breakdown.gap:.3f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import attribute_difference, render_attribution
+    from repro.core.scoring import score_region
+
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    breakdowns = []
+    for region in (args.region_a, args.region_b):
+        sources = records.for_region(region).group_by_source()
+        breakdowns.append(score_region(sources, config))
+    attribution = attribute_difference(breakdowns[0], breakdowns[1])
+    print(f"{args.region_a}: {attribution.score_a:.3f}")
+    print(f"{args.region_b}: {attribution.score_b:.3f}")
+    print(render_attribution(attribution, top=args.top))
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.publish import build_publication
+
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    populations = None
+    if args.populations:
+        with open(args.populations, "r", encoding="utf-8") as handle:
+            populations = {
+                str(region): float(value)
+                for region, value in json_module.load(handle).items()
+            }
+    document = build_publication(records, config, populations=populations)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(f"wrote publication to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    from repro.analysis.scorecard import build_scorecard, render_scorecard
+
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    card = build_scorecard(records, args.region, config)
+    print(render_scorecard(card))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.probing.monitor import BarometerMonitor
+
+    records = read_jsonl(args.input, on_error=args.on_error)
+    config = _load_config(args.config)
+    if len(records) == 0:
+        print("no measurements to monitor")
+        return 0
+    monitor = BarometerMonitor(
+        config, min_drop=args.min_drop, trailing=args.trailing
+    )
+    width = args.window_days * 86400.0
+    timestamps = [record.timestamp for record in records]
+    start = min(timestamps)
+    end = max(timestamps)
+    total_alerts = 0
+    window_start = start
+    while window_start <= end:
+        window_end = window_start + width
+        alerts = monitor.ingest(records, window_start, window_end)
+        day = (window_start - start) / 86400.0
+        if alerts:
+            total_alerts += len(alerts)
+            for alert in alerts:
+                print(f"window +{day:.1f}d: {alert}")
+        elif args.verbose:
+            scores = ", ".join(
+                f"{region}="
+                + (
+                    "n/a"
+                    if monitor.history(region)[-1].score is None
+                    else f"{monitor.history(region)[-1].score:.3f}"
+                )
+                for region in monitor.regions()
+            )
+            print(f"window +{day:.1f}d: ok ({scores})")
+        window_start = window_end
+    print(f"{total_alerts} alert(s) over {len(records)} measurements")
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from repro.probing.adaptive import AdaptiveAllocator, uniform_campaign
+    from repro.probing.backends import SimulatedBackend
+
+    config = _load_config(args.config)
+    names = args.regions or sorted(REGION_PRESETS)
+    profiles = [region_preset(name) for name in names]
+
+    def backend():
+        return SimulatedBackend(
+            profiles=profiles, seed=args.seed, subscribers=args.subscribers
+        )
+
+    adaptive = AdaptiveAllocator(
+        backend(),
+        config,
+        seed=args.seed,
+        pilot_per_region=args.pilot,
+    ).run(total_budget=args.budget, rounds=args.rounds)
+    uniform = uniform_campaign(
+        backend(), config, total_budget=args.budget, seed=args.seed
+    )
+    adaptive_counts = adaptive.tests_per_region()
+    uniform_counts = uniform.tests_per_region()
+    rows = [
+        (
+            region,
+            adaptive_counts.get(region, 0),
+            adaptive.final_ci_widths[region],
+            uniform_counts.get(region, 0),
+            uniform.final_ci_widths[region],
+        )
+        for region in sorted(adaptive.final_ci_widths)
+    ]
+    print(f"Probe budget {args.budget}, {args.rounds} adaptive rounds:")
+    print(
+        render_table(
+            ["Region", "Adaptive tests", "Adaptive CI", "Uniform tests",
+             "Uniform CI"],
+            rows,
+        )
+    )
+    print(
+        f"Worst-case CI: adaptive {adaptive.worst_ci_width:.3f} "
+        f"vs uniform {uniform.worst_ci_width:.3f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="iqb",
+        description="Internet Quality Barometer (IQB) reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a measurement campaign to JSONL"
+    )
+    simulate.add_argument("output", help="output JSONL path")
+    simulate.add_argument(
+        "--regions",
+        nargs="*",
+        choices=sorted(REGION_PRESETS),
+        help="region presets (default: all)",
+    )
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--subscribers", type=int, default=150)
+    simulate.add_argument(
+        "--tests", type=int, default=400, help="tests per dataset per region"
+    )
+    simulate.add_argument("--days", type=float, default=7.0)
+    simulate.add_argument(
+        "--wifi-share",
+        type=float,
+        default=0.0,
+        help="share of tests run behind imperfect home WiFi (confounder)",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input", help="JSONL measurement file")
+        p.add_argument("--config", help="IQB config JSON (default: paper)")
+        p.add_argument(
+            "--on-error",
+            choices=("raise", "skip"),
+            default="raise",
+            help="malformed-line handling when reading input",
+        )
+
+    score = sub.add_parser("score", help="score all regions in a JSONL file")
+    add_common(score)
+    score.add_argument(
+        "--lint",
+        action="store_true",
+        help="check the config against the data before scoring",
+    )
+    score.add_argument(
+        "--json",
+        action="store_true",
+        help="emit full machine-readable breakdowns instead of the table",
+    )
+    score.set_defaults(func=_cmd_score)
+
+    report = sub.add_parser("report", help="detailed report for one region")
+    add_common(report)
+    report.add_argument("region", help="region name to report on")
+    report.set_defaults(func=_cmd_report)
+
+    config_cmd = sub.add_parser("config", help="print the canonical paper config")
+    config_cmd.add_argument("--output", help="write to a file instead of stdout")
+    config_cmd.set_defaults(func=_cmd_config)
+
+    tiers = sub.add_parser("tiers", help="render the Fig. 1 tier structure")
+    tiers.add_argument("--config", help="IQB config JSON (default: paper)")
+    tiers.set_defaults(func=_cmd_tiers)
+
+    sweep = sub.add_parser("sweep", help="percentile sensitivity for a region")
+    add_common(sweep)
+    sweep.add_argument("region", help="region name to sweep")
+    sweep.add_argument(
+        "--percentiles",
+        nargs="*",
+        type=float,
+        default=[50.0, 75.0, 90.0, 95.0, 99.0],
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    trend = sub.add_parser("trend", help="windowed IQB time series for a region")
+    add_common(trend)
+    trend.add_argument("region", help="region name")
+    trend.add_argument("--window-days", type=float, default=1.0)
+    trend.set_defaults(func=_cmd_trend)
+
+    peak = sub.add_parser("peak", help="prime-time vs off-peak contrast")
+    add_common(peak)
+    peak.add_argument("region", help="region name")
+    peak.set_defaults(func=_cmd_peak)
+
+    equity = sub.add_parser("equity", help="per-ISP/per-tech score breakdown")
+    add_common(equity)
+    equity.add_argument("region", help="region name")
+    equity.add_argument("--by", choices=("isp", "tech"), default="isp")
+    equity.set_defaults(func=_cmd_equity)
+
+    compare = sub.add_parser(
+        "compare", help="attribute the score gap between two regions"
+    )
+    add_common(compare)
+    compare.add_argument("region_a", help="baseline region")
+    compare.add_argument("region_b", help="comparison region")
+    compare.add_argument("--top", type=int, default=6)
+    compare.set_defaults(func=_cmd_compare)
+
+    label = sub.add_parser(
+        "label", help="consumer scorecard (broadband-label style)"
+    )
+    add_common(label)
+    label.add_argument("region", help="region name")
+    label.set_defaults(func=_cmd_label)
+
+    publish = sub.add_parser(
+        "publish", help="build the full Markdown barometer report"
+    )
+    add_common(publish)
+    publish.add_argument(
+        "--populations",
+        help="JSON file mapping region -> population (adds national section)",
+    )
+    publish.add_argument("--output", help="write to a file instead of stdout")
+    publish.set_defaults(func=_cmd_publish)
+
+    monitor = sub.add_parser(
+        "monitor", help="replay measurements through the drop detector"
+    )
+    add_common(monitor)
+    monitor.add_argument("--window-days", type=float, default=1.0)
+    monitor.add_argument("--min-drop", type=float, default=0.1)
+    monitor.add_argument("--trailing", type=int, default=3)
+    monitor.add_argument(
+        "--verbose", action="store_true", help="print quiet windows too"
+    )
+    monitor.set_defaults(func=_cmd_monitor)
+
+    adaptive = sub.add_parser(
+        "adaptive", help="adaptive vs uniform probe-budget allocation demo"
+    )
+    adaptive.add_argument(
+        "--regions",
+        nargs="*",
+        choices=sorted(REGION_PRESETS),
+        help="region presets (default: all)",
+    )
+    adaptive.add_argument("--budget", type=int, default=600)
+    adaptive.add_argument("--rounds", type=int, default=3)
+    adaptive.add_argument("--pilot", type=int, default=40)
+    adaptive.add_argument("--subscribers", type=int, default=40)
+    adaptive.add_argument("--seed", type=int, default=42)
+    adaptive.add_argument("--config", help="IQB config JSON (default: paper)")
+    adaptive.set_defaults(func=_cmd_adaptive)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

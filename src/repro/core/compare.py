@@ -1,0 +1,157 @@
+"""Score attribution: *why* do two IQB scores differ?
+
+A barometer's consumers constantly compare two numbers — this month vs
+last month, region A vs region B, policy config vs paper config — and
+need the difference decomposed into causes. Because the IQB score is a
+weighted sum over (use case, requirement) cells (Eq. 5), every
+breakdown admits an exact additive decomposition:
+
+``S_IQB = Σ_{u,r} contribution(u, r)`` where
+``contribution(u, r) = w'_u · w'_{u,r} · S_{u,r}`` under the
+breakdown's own effective normalizations.
+
+:func:`requirement_contributions` computes that decomposition, and
+:func:`attribute_difference` subtracts two of them cell-by-cell: the
+per-cell deltas sum *exactly* to the score difference (property-tested),
+so "conferencing latency explains −0.042 of the −0.07 drop" is a
+mathematically complete statement, not a heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .metrics import Metric
+from .scoring import ScoreBreakdown
+from .usecases import UseCase
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One cell's exact additive share of ``S_IQB``."""
+
+    use_case: UseCase
+    metric: Metric
+    agreement: float
+    effective_weight: float
+
+    @property
+    def value(self) -> float:
+        """The cell's contribution to the composite score."""
+        return self.effective_weight * self.agreement
+
+
+def requirement_contributions(
+    breakdown: ScoreBreakdown,
+) -> Dict[Tuple[UseCase, Metric], Contribution]:
+    """Exact additive decomposition of a breakdown's score.
+
+    Cells skipped for missing data carry zero effective weight (they
+    did not participate in the score). The contributions sum to
+    ``breakdown.value`` exactly.
+    """
+    total_u = sum(entry.weight for entry in breakdown.use_cases)
+    out: Dict[Tuple[UseCase, Metric], Contribution] = {}
+    for entry in breakdown.use_cases:
+        w_u = entry.weight / total_u
+        contributing = [r for r in entry.requirements if r.value is not None]
+        total_r = sum(r.weight for r in contributing)
+        for req in entry.requirements:
+            if req.value is None or total_r <= 0:
+                weight = 0.0
+                agreement = 0.0
+            else:
+                weight = w_u * req.weight / total_r
+                agreement = req.value
+            out[(entry.use_case, req.metric)] = Contribution(
+                use_case=entry.use_case,
+                metric=req.metric,
+                agreement=agreement,
+                effective_weight=weight,
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class AttributionEntry:
+    """One cell's share of the difference between two scores."""
+
+    use_case: UseCase
+    metric: Metric
+    contribution_a: float
+    contribution_b: float
+
+    @property
+    def delta(self) -> float:
+        """b minus a: positive means the cell pushed b's score higher."""
+        return self.contribution_b - self.contribution_a
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Full decomposition of ``S_b − S_a`` into per-cell deltas."""
+
+    score_a: float
+    score_b: float
+    entries: Tuple[AttributionEntry, ...]
+
+    @property
+    def difference(self) -> float:
+        """The total score difference being explained."""
+        return self.score_b - self.score_a
+
+    def top(self, n: int = 5) -> List[AttributionEntry]:
+        """The n cells with the largest absolute deltas."""
+        return sorted(self.entries, key=lambda e: -abs(e.delta))[:n]
+
+    def check(self) -> float:
+        """Residual of the decomposition (zero up to float error)."""
+        return self.difference - sum(entry.delta for entry in self.entries)
+
+
+def attribute_difference(
+    a: ScoreBreakdown, b: ScoreBreakdown
+) -> Attribution:
+    """Decompose ``b.value − a.value`` into per-cell contributions.
+
+    Works for any pair of breakdowns — two regions under one config,
+    one region under two configs, or two time windows — because each
+    side's contributions are computed under its own effective weights.
+    """
+    contributions_a = requirement_contributions(a)
+    contributions_b = requirement_contributions(b)
+    entries: List[AttributionEntry] = []
+    for use_case in UseCase.ordered():
+        for metric in Metric.ordered():
+            key = (use_case, metric)
+            entries.append(
+                AttributionEntry(
+                    use_case=use_case,
+                    metric=metric,
+                    contribution_a=contributions_a[key].value,
+                    contribution_b=contributions_b[key].value,
+                )
+            )
+    return Attribution(
+        score_a=a.value, score_b=b.value, entries=tuple(entries)
+    )
+
+
+def render_attribution(attribution: Attribution, top: int = 6) -> str:
+    """Plain-text summary of an attribution, largest movers first."""
+    lines = [
+        f"Score difference: {attribution.score_b:.3f} - "
+        f"{attribution.score_a:.3f} = {attribution.difference:+.3f}"
+    ]
+    for entry in attribution.top(top):
+        if entry.delta == 0.0:
+            continue
+        lines.append(
+            f"  {entry.delta:+.4f}  {entry.use_case.value}/"
+            f"{entry.metric.value} "
+            f"({entry.contribution_a:.3f} -> {entry.contribution_b:.3f})"
+        )
+    if len(lines) == 1:
+        lines.append("  (no per-cell differences)")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the IQB reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`IQBError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class IQBError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(IQBError):
+    """A config object (weights, thresholds, policies) is invalid.
+
+    Raised eagerly at construction or load time, never during scoring:
+    a successfully built :class:`~repro.core.config.IQBConfig` is always
+    scoreable.
+    """
+
+
+class WeightError(ConfigurationError):
+    """A weight is outside the integer range 0..5 or a tier sums to zero."""
+
+
+class ThresholdError(ConfigurationError):
+    """A threshold value is missing, non-positive, or inverted."""
+
+
+class SchemaError(IQBError):
+    """A measurement record or serialized document fails validation."""
+
+
+class DataError(IQBError):
+    """A dataset is unusable for the requested operation.
+
+    Examples: asking for the 95th percentile of an empty measurement set,
+    or scoring a requirement for which no dataset has observations.
+    """
+
+
+class AggregationError(DataError):
+    """An aggregation request cannot be satisfied (e.g. empty input)."""
+
+
+class ProbeError(IQBError):
+    """A probe test failed to execute against its backend."""
+
+
+class BackendError(ProbeError):
+    """The measurement backend rejected or failed a probe request."""

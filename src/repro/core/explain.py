@@ -1,0 +1,172 @@
+"""Explainability: why did a region score what it scored?
+
+The poster pitches IQB at decision-makers; a composite score they cannot
+interrogate is a number, not a barometer. This module turns a
+:class:`~repro.core.scoring.ScoreBreakdown` into:
+
+* the list of failing / partially-met requirements,
+* dataset disagreements (where corroboration is weak),
+* ranked improvement opportunities — which single requirement, if
+  fixed, would raise ``S_IQB`` the most,
+* a full plain-text explanation for reports and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .metrics import Metric
+from .scoring import RequirementScore, ScoreBreakdown, UseCaseScore
+from .usecases import UseCase
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One requirement-level observation about a breakdown."""
+
+    use_case: UseCase
+    metric: Metric
+    agreement: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class Opportunity:
+    """Estimated IQB gain from fully meeting one requirement."""
+
+    use_case: UseCase
+    metric: Metric
+    current_agreement: float
+    iqb_gain: float
+
+
+def failing_requirements(
+    breakdown: ScoreBreakdown, threshold: float = 1.0
+) -> List[Finding]:
+    """Requirements whose agreement score falls below ``threshold``.
+
+    With the default threshold of 1.0 this lists every requirement not
+    unanimously met; pass 0.5 to list only majority-failed ones.
+    """
+    findings: List[Finding] = []
+    for entry in breakdown.use_cases:
+        for req in entry.requirements:
+            if req.value is None or req.value >= threshold:
+                continue
+            verdicts = ", ".join(
+                f"{v.dataset}={'pass' if v.passed else 'fail'}"
+                f"({v.aggregate:.3g} vs {v.threshold:.3g})"
+                for v in req.verdicts
+            )
+            findings.append(
+                Finding(
+                    use_case=entry.use_case,
+                    metric=req.metric,
+                    agreement=req.value,
+                    detail=verdicts,
+                )
+            )
+    findings.sort(key=lambda f: (f.agreement, f.use_case.value, f.metric.value))
+    return findings
+
+
+def disagreements(breakdown: ScoreBreakdown) -> List[Finding]:
+    """Requirements on which the corroborating datasets disagree.
+
+    These are exactly the places where the poster's multi-dataset
+    argument earns its keep: a single dataset would have given a
+    confident (and possibly wrong) verdict.
+    """
+    findings: List[Finding] = []
+    for entry in breakdown.use_cases:
+        for req in entry.requirements:
+            if req.value is None or req.unanimous:
+                continue
+            verdicts = ", ".join(
+                f"{v.dataset}:{'pass' if v.passed else 'fail'}"
+                for v in req.verdicts
+            )
+            findings.append(
+                Finding(
+                    use_case=entry.use_case,
+                    metric=req.metric,
+                    agreement=req.value,
+                    detail=verdicts,
+                )
+            )
+    return findings
+
+
+def improvement_opportunities(breakdown: ScoreBreakdown) -> List[Opportunity]:
+    """Rank requirements by how much fixing each would raise ``S_IQB``.
+
+    The gain of requirement (u, r) is its headroom ``1 - S_{u,r}`` times
+    its effective weight in the composite: ``w'_u · w'_{u,r}`` computed
+    over the same effective normalizations the score used.
+    """
+    total_u = sum(entry.weight for entry in breakdown.use_cases)
+    opportunities: List[Opportunity] = []
+    for entry in breakdown.use_cases:
+        w_u = entry.weight / total_u
+        contributing = [r for r in entry.requirements if r.value is not None]
+        total_r = sum(r.weight for r in contributing)
+        if total_r <= 0:
+            continue
+        for req in contributing:
+            headroom = 1.0 - req.value
+            if headroom <= 0:
+                continue
+            gain = w_u * (req.weight / total_r) * headroom
+            opportunities.append(
+                Opportunity(
+                    use_case=entry.use_case,
+                    metric=req.metric,
+                    current_agreement=req.value,
+                    iqb_gain=gain,
+                )
+            )
+    opportunities.sort(
+        key=lambda o: (-o.iqb_gain, o.use_case.value, o.metric.value)
+    )
+    return opportunities
+
+
+def _render_requirement(req: RequirementScore) -> str:
+    if req.value is None:
+        return f"      {req.metric.value}: no data (skipped)"
+    verdicts = " ".join(
+        f"[{v.dataset} {'PASS' if v.passed else 'FAIL'} "
+        f"{v.aggregate:.3g}/{v.threshold:.3g} n={v.sample_count}]"
+        for v in req.verdicts
+    )
+    return (
+        f"      {req.metric.value}: S={req.value:.2f} w={req.weight} {verdicts}"
+    )
+
+
+def _render_use_case(entry: UseCaseScore) -> List[str]:
+    lines = [f"  {entry.use_case.display_name}: S_u={entry.value:.3f} "
+             f"(w={entry.weight})"]
+    lines.extend(_render_requirement(req) for req in entry.requirements)
+    return lines
+
+
+def explain(breakdown: ScoreBreakdown) -> str:
+    """Full plain-text explanation of a breakdown, tier by tier."""
+    lines: List[str] = [
+        f"IQB score: {breakdown.value:.3f} "
+        f"(grade {breakdown.grade}, credit-style {breakdown.credit})"
+    ]
+    for entry in breakdown.use_cases:
+        lines.extend(_render_use_case(entry))
+    gaps = improvement_opportunities(breakdown)
+    if gaps:
+        lines.append("  Top improvement opportunities:")
+        for opportunity in gaps[:5]:
+            lines.append(
+                f"    +{opportunity.iqb_gain:.3f} IQB if "
+                f"{opportunity.use_case.value}/{opportunity.metric.value} "
+                f"were fully met (currently {opportunity.current_agreement:.2f})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""The IQBFramework facade: datasets in, scores out.
+
+This is the top-level entry point a downstream user touches first:
+
+>>> from repro import IQBFramework
+>>> from repro.netsim import region_preset, simulate_region
+>>> framework = IQBFramework()                      # paper defaults
+>>> records = simulate_region(region_preset("metro-fiber"), seed=1)
+>>> breakdown = framework.score_measurements(records, "metro-fiber")
+>>> 0.0 <= breakdown.value <= 1.0
+True
+
+The facade also renders the paper's Fig. 1 tier structure
+(:meth:`IQBFramework.tier_map`), which the ``fig1`` bench regenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.measurements.collection import MeasurementSet
+
+from .aggregation import QuantileSource
+from .config import IQBConfig, paper_config
+from .exceptions import DataError
+from .metrics import Metric
+from .scoring import ScoreBreakdown, score_region
+from .usecases import UseCase
+
+
+class IQBFramework:
+    """User-facing facade over configuration + scoring."""
+
+    def __init__(self, config: Optional[IQBConfig] = None) -> None:
+        self.config = config if config is not None else paper_config()
+
+    # -- scoring ------------------------------------------------------------
+
+    def score_sources(
+        self, sources: Mapping[str, QuantileSource]
+    ) -> ScoreBreakdown:
+        """Score pre-grouped per-dataset sources (raw or aggregate)."""
+        return score_region(sources, self.config)
+
+    def score_measurements(
+        self, records: MeasurementSet, region: str
+    ) -> ScoreBreakdown:
+        """Score one region of a mixed measurement set.
+
+        Records are filtered to ``region`` and grouped by their source
+        dataset; each group becomes one corroborating QuantileSource.
+
+        Raises:
+            DataError: when the region has no records.
+        """
+        subset = records.for_region(region)
+        if len(subset) == 0:
+            raise DataError(f"no measurements for region {region!r}")
+        return self.score_sources(subset.group_by_source())
+
+    def score_all_regions(
+        self, records: MeasurementSet
+    ) -> Dict[str, ScoreBreakdown]:
+        """Score every region present in a measurement set."""
+        return {
+            region: self.score_measurements(records, region)
+            for region in records.regions()
+        }
+
+    # -- framework structure (Fig. 1) ----------------------------------------
+
+    def tier_map(self) -> Dict[str, Dict[str, List[str]]]:
+        """The three-tier structure of Fig. 1 as plain data.
+
+        Maps each use case to the requirements that matter for it
+        (weight > 0), and each requirement to the datasets trusted for
+        it (weight > 0), using this framework's configuration.
+        """
+        structure: Dict[str, Dict[str, List[str]]] = {}
+        for use_case in UseCase.ordered():
+            requirements: Dict[str, List[str]] = {}
+            for metric in Metric.ordered():
+                if self.config.requirement_weights.get(use_case, metric) <= 0:
+                    continue
+                datasets = [
+                    name
+                    for name, weight in sorted(
+                        self.config.dataset_weights.row(use_case, metric).items()
+                    )
+                    if weight > 0
+                ]
+                requirements[metric.value] = datasets
+            structure[use_case.value] = requirements
+        return structure
+
+    def render_tier_map(self) -> str:
+        """Fig. 1 as indented text (use cases → requirements → datasets)."""
+        lines: List[str] = ["IQB framework tiers"]
+        for use_case, requirements in self.tier_map().items():
+            lines.append(f"  {use_case}")
+            for metric, datasets in requirements.items():
+                joined = ", ".join(datasets) if datasets else "(no dataset)"
+                lines.append(f"    {metric} <- {joined}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"IQBFramework(percentile={self.config.aggregation.percentile}, "
+            f"level={self.config.quality_level.value})"
+        )
+
+
+def region_scores_table(
+    scores: Mapping[str, ScoreBreakdown],
+) -> List[Tuple[str, float, str]]:
+    """(region, score, grade) rows sorted by descending score."""
+    rows = [
+        (region, breakdown.value, breakdown.grade)
+        for region, breakdown in scores.items()
+    ]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows

@@ -1,0 +1,218 @@
+"""Config linting: catch quiet misconfigurations before they mis-score.
+
+An :class:`~repro.core.config.IQBConfig` can be structurally valid yet
+silently wrong for the data it is about to score — a dataset trusted in
+the weights but absent from the measurements, loss thresholds that look
+like percent values stored as fractions, a requirement no available
+dataset observes. The scorer handles all of these *mechanically*
+(missing-data policies, zero rows); the linter's job is to make sure a
+human meant them.
+
+Lints are advisory: :func:`lint_config` returns findings, it never
+raises. Severity ``ERROR`` marks configurations that will definitely
+not do what a reasonable user intended; ``WARNING`` marks probable
+mistakes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from repro.measurements.collection import MeasurementSet
+
+from .config import IQBConfig
+from .metrics import Metric
+from .quality import QualityLevel
+from .usecases import UseCase
+
+
+class Severity(enum.Enum):
+    """How bad a lint finding is."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One advisory finding about a config (optionally vs a dataset)."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def lint_config(
+    config: IQBConfig,
+    records: Optional[MeasurementSet] = None,
+) -> List[LintFinding]:
+    """Lint a config, optionally against the data it will score.
+
+    Config-only checks always run; data checks run when ``records`` is
+    provided.
+    """
+    findings: List[LintFinding] = []
+    findings.extend(_check_unobservable_requirements(config))
+    findings.extend(_check_suspicious_loss_thresholds(config))
+    findings.extend(_check_degenerate_aggregation(config))
+    if records is not None:
+        findings.extend(_check_dataset_coverage(config, records))
+        findings.extend(_check_threshold_reachability(config, records))
+    return findings
+
+
+def _check_unobservable_requirements(config: IQBConfig) -> List[LintFinding]:
+    """Requirements weighted > 0 that no dataset can ever observe."""
+    findings = []
+    for use_case in UseCase:
+        for metric in Metric:
+            if config.requirement_weights.get(use_case, metric) <= 0:
+                continue
+            if config.dataset_weights.row_total(use_case, metric) == 0:
+                findings.append(
+                    LintFinding(
+                        severity=Severity.WARNING,
+                        code="unobservable-requirement",
+                        message=(
+                            f"{use_case.value}/{metric.value} has weight "
+                            f"{config.requirement_weights.get(use_case, metric)} "
+                            f"but no dataset is trusted for it; the "
+                            f"'{config.missing_data.value}' policy will apply"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _check_suspicious_loss_thresholds(config: IQBConfig) -> List[LintFinding]:
+    """Loss thresholds that look like percents stored as fractions."""
+    findings = []
+    for use_case in UseCase:
+        cell = config.thresholds.get(use_case, Metric.PACKET_LOSS)
+        for level in QualityLevel:
+            value = cell.value(level, config.range_policy)
+            if value > 0.2:
+                findings.append(
+                    LintFinding(
+                        severity=Severity.ERROR,
+                        code="loss-threshold-units",
+                        message=(
+                            f"{use_case.value} packet-loss "
+                            f"{level.value}-quality threshold is {value} — "
+                            f"loss is stored as a fraction; did you mean "
+                            f"{value / 100.0}?"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _check_degenerate_aggregation(config: IQBConfig) -> List[LintFinding]:
+    """Percentiles at the extremes judge a single best/worst test."""
+    findings = []
+    percentile = config.aggregation.percentile
+    if percentile in (0.0, 100.0):
+        findings.append(
+            LintFinding(
+                severity=Severity.WARNING,
+                code="extreme-percentile",
+                message=(
+                    f"aggregation percentile {percentile:g} judges a single "
+                    f"extreme measurement; the paper uses 95"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_dataset_coverage(
+    config: IQBConfig, records: MeasurementSet
+) -> List[LintFinding]:
+    """Trusted-but-absent and present-but-untrusted datasets."""
+    findings = []
+    present = set(records.sources())
+    trusted = {
+        dataset
+        for dataset in config.dataset_weights.datasets
+        if any(
+            config.dataset_weights.get(u, m, dataset) > 0
+            for u in UseCase
+            for m in Metric
+        )
+    }
+    for dataset in sorted(trusted - present):
+        findings.append(
+            LintFinding(
+                severity=Severity.WARNING,
+                code="trusted-dataset-missing",
+                message=(
+                    f"dataset {dataset!r} carries weight in the config but "
+                    f"contributes no measurements; corroboration is weaker "
+                    f"than configured"
+                ),
+            )
+        )
+    for dataset in sorted(present - trusted):
+        findings.append(
+            LintFinding(
+                severity=Severity.WARNING,
+                code="untrusted-dataset-present",
+                message=(
+                    f"dataset {dataset!r} contributes measurements but has "
+                    f"zero weight everywhere; its data will be ignored"
+                ),
+            )
+        )
+    return findings
+
+
+def _summarize_metric(
+    records: MeasurementSet, metric: Metric
+) -> Optional[Tuple[float, float]]:
+    values = records.values(metric)
+    if not values:
+        return None
+    return min(values), max(values)
+
+
+def _check_threshold_reachability(
+    config: IQBConfig, records: MeasurementSet
+) -> List[LintFinding]:
+    """High thresholds that lie entirely outside the observed data range.
+
+    A threshold above every observed value (for higher-is-better) is
+    not *wrong*, but if it exceeds the observed maximum by an order of
+    magnitude the config likely mixes units (kbit vs Mbit, ms vs s).
+    """
+    findings = []
+    for metric in (Metric.DOWNLOAD, Metric.UPLOAD, Metric.LATENCY):
+        observed = _summarize_metric(records, metric)
+        if observed is None:
+            continue
+        low, high = observed
+        for use_case in UseCase:
+            threshold = config.threshold_value(use_case, metric)
+            if metric is Metric.LATENCY:
+                suspicious = threshold < low / 10.0 and threshold < 1.0
+                hint = "threshold in seconds while data is in ms?"
+            else:
+                suspicious = threshold > high * 10.0
+                hint = "threshold in kbit/s while data is in Mbit/s?"
+            if suspicious:
+                findings.append(
+                    LintFinding(
+                        severity=Severity.WARNING,
+                        code="threshold-unit-mismatch",
+                        message=(
+                            f"{use_case.value}/{metric.value} threshold "
+                            f"{threshold:g} is far outside the observed "
+                            f"range [{low:.3g}, {high:.3g}] — {hint}"
+                        ),
+                    )
+                )
+    return findings

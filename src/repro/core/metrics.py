@@ -1,0 +1,122 @@
+"""Network-requirement metrics (tier 2 of the IQB framework).
+
+The poster's *network requirements* tier maps each use case onto four
+measurable metrics: download throughput, upload throughput, latency, and
+packet loss. This module defines those metrics together with the two
+pieces of semantics the rest of the framework needs:
+
+* **direction** — whether a larger value is better (throughput) or worse
+  (latency, loss), which controls threshold comparisons and the
+  "conservative" percentile semantics;
+* **units** — the canonical unit every subsystem stores the metric in
+  (Mbit/s, milliseconds, loss *fraction* in [0, 1]).
+
+Packet loss is stored as a fraction, not a percent: the poster's "1%"
+threshold is ``0.01`` here. :func:`loss_percent_to_fraction` exists so
+config files may use the paper's percent notation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Direction(enum.Enum):
+    """Whether larger metric values indicate better or worse quality."""
+
+    HIGHER_IS_BETTER = "higher_is_better"
+    LOWER_IS_BETTER = "lower_is_better"
+
+
+class Metric(enum.Enum):
+    """The four network requirements of the IQB framework (paper Fig. 1/2)."""
+
+    DOWNLOAD = "download_mbps"
+    UPLOAD = "upload_mbps"
+    LATENCY = "latency_ms"
+    PACKET_LOSS = "packet_loss"
+
+    @property
+    def direction(self) -> Direction:
+        """Quality direction of this metric."""
+        if self in (Metric.DOWNLOAD, Metric.UPLOAD):
+            return Direction.HIGHER_IS_BETTER
+        return Direction.LOWER_IS_BETTER
+
+    @property
+    def unit(self) -> str:
+        """Canonical storage unit."""
+        return _UNITS[self]
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name as used in the paper's tables."""
+        return _DISPLAY_NAMES[self]
+
+    @property
+    def field_name(self) -> str:
+        """Attribute name on a :class:`~repro.measurements.record.Measurement`."""
+        return self.value
+
+    def meets(self, value: float, threshold: float) -> bool:
+        """Return True when ``value`` satisfies ``threshold`` for this metric.
+
+        For higher-is-better metrics the value must be at least the
+        threshold; for lower-is-better metrics it must be at most the
+        threshold. Thresholds are inclusive in both directions, matching
+        the paper's "10 Mb/s for minimum quality" phrasing (10.0 passes).
+        """
+        if self.direction is Direction.HIGHER_IS_BETTER:
+            return value >= threshold
+        return value <= threshold
+
+    def better(self, a: float, b: float) -> float:
+        """Return whichever of ``a``/``b`` represents better quality."""
+        if self.direction is Direction.HIGHER_IS_BETTER:
+            return max(a, b)
+        return min(a, b)
+
+    def worse(self, a: float, b: float) -> float:
+        """Return whichever of ``a``/``b`` represents worse quality."""
+        if self.direction is Direction.HIGHER_IS_BETTER:
+            return min(a, b)
+        return max(a, b)
+
+    @classmethod
+    def ordered(cls) -> Tuple["Metric", ...]:
+        """Metrics in the column order of the paper's Fig. 2 / Table 1."""
+        return (cls.DOWNLOAD, cls.UPLOAD, cls.LATENCY, cls.PACKET_LOSS)
+
+
+_UNITS = {
+    Metric.DOWNLOAD: "Mbit/s",
+    Metric.UPLOAD: "Mbit/s",
+    Metric.LATENCY: "ms",
+    Metric.PACKET_LOSS: "fraction",
+}
+
+_DISPLAY_NAMES = {
+    Metric.DOWNLOAD: "Download Throughput",
+    Metric.UPLOAD: "Upload Throughput",
+    Metric.LATENCY: "Latency",
+    Metric.PACKET_LOSS: "Packet Loss",
+}
+
+
+def loss_percent_to_fraction(percent: float) -> float:
+    """Convert the paper's percent notation (``1%`` → ``0.01``).
+
+    Raises:
+        ValueError: if ``percent`` is outside [0, 100].
+    """
+    if not 0.0 <= percent <= 100.0:
+        raise ValueError(f"packet-loss percent out of range: {percent!r}")
+    return percent / 100.0
+
+
+def loss_fraction_to_percent(fraction: float) -> float:
+    """Convert a stored loss fraction back to percent for display."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"packet-loss fraction out of range: {fraction!r}")
+    return fraction * 100.0

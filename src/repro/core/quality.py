@@ -1,0 +1,75 @@
+"""Quality levels and composite-score presentation scales.
+
+The poster defines two threshold tiers per requirement — *minimum* and
+*high* quality (Fig. 2) — and motivates the IQB score by analogy with the
+Nutri-Score (letter bands) and credit scores (a familiar numeric range).
+This module provides those three presentation layers:
+
+* :class:`QualityLevel` — which threshold tier a score is computed against;
+* :func:`grade` — Nutri-Score-style A..E letter bands over the [0, 1] score;
+* :func:`credit_scale` — an affine map of the score onto the familiar
+  300..850 credit-score range.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class QualityLevel(enum.Enum):
+    """Which threshold tier of Fig. 2 a binary requirement score targets."""
+
+    MINIMUM = "minimum"
+    HIGH = "high"
+
+
+#: Letter-band boundaries, Nutri-Score style. A band applies when the
+#: score is >= its lower bound; bounds are half-open [lo, hi).
+GRADE_BANDS: Tuple[Tuple[str, float], ...] = (
+    ("A", 0.80),
+    ("B", 0.60),
+    ("C", 0.40),
+    ("D", 0.20),
+    ("E", 0.00),
+)
+
+CREDIT_MIN = 300
+CREDIT_MAX = 850
+
+
+def _check_unit_interval(score: float) -> None:
+    if not 0.0 <= score <= 1.0:
+        raise ValueError(f"score out of [0, 1]: {score!r}")
+
+
+def grade(score: float) -> str:
+    """Map a [0, 1] IQB score onto a Nutri-Score-style letter A..E.
+
+    >>> grade(1.0), grade(0.8), grade(0.79), grade(0.0)
+    ('A', 'A', 'B', 'E')
+    """
+    _check_unit_interval(score)
+    for letter, lower in GRADE_BANDS:
+        if score >= lower:
+            return letter
+    return GRADE_BANDS[-1][0]  # unreachable; keeps mypy/readers honest
+
+
+def credit_scale(score: float) -> int:
+    """Map a [0, 1] IQB score onto the familiar 300..850 credit range.
+
+    >>> credit_scale(0.0), credit_scale(1.0)
+    (300, 850)
+    """
+    _check_unit_interval(score)
+    return round(CREDIT_MIN + score * (CREDIT_MAX - CREDIT_MIN))
+
+
+def describe(score: float) -> str:
+    """One-line human description combining both presentation scales.
+
+    >>> describe(0.75)  # 712: banker's rounding of 712.5
+    'IQB 0.750 (grade B, 712/850)'
+    """
+    return f"IQB {score:.3f} (grade {grade(score)}, {credit_scale(score)}/{CREDIT_MAX})"

@@ -1,0 +1,240 @@
+"""Sensitivity analysis over the IQB configuration.
+
+The poster's §4 stresses that every constant — weights, thresholds, the
+aggregation percentile — is a design choice open to iteration. This
+module quantifies how much each choice matters for a given region:
+
+* one-at-a-time (OAT) weight perturbation → tornado-style ranking;
+* percentile sweeps (does the verdict flip at p90? p50?);
+* range-policy and percentile-semantics ablations (DESIGN.md's
+  documented interpretation choices);
+* Monte-Carlo weight jitter → distribution of ``S_IQB`` under plausible
+  expert disagreement.
+
+All analyses re-score from the same sources, so they are exact, not
+linearized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .aggregation import AggregationPolicy, PercentileSemantics, QuantileSource
+from .config import IQBConfig
+from .metrics import Metric
+from .scoring import score_region
+from .thresholds import RangePolicy
+from .usecases import UseCase
+from .weights import WEIGHT_MAX, WEIGHT_MIN
+
+
+@dataclass(frozen=True)
+class WeightImpact:
+    """Effect of perturbing one requirement weight by ±delta."""
+
+    use_case: UseCase
+    metric: Metric
+    base_weight: int
+    score_minus: float
+    score_plus: float
+
+    @property
+    def swing(self) -> float:
+        """Total score movement across the ±delta interval."""
+        return abs(self.score_plus - self.score_minus)
+
+
+def requirement_weight_sensitivity(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+    delta: int = 1,
+) -> List[WeightImpact]:
+    """OAT perturbation of every ``w_{u,r}`` by ±delta (clamped to 0..5).
+
+    Returns impacts sorted by descending swing — a tornado chart in data
+    form. Cells whose perturbation is entirely clamped away still appear
+    (with zero swing) so the output shape is stable.
+    """
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1: {delta}")
+    impacts: List[WeightImpact] = []
+    for use_case in UseCase.ordered():
+        for metric in Metric.ordered():
+            base = config.requirement_weights.get(use_case, metric)
+            lo = max(WEIGHT_MIN, base - delta)
+            hi = min(WEIGHT_MAX, base + delta)
+            score_lo = _rescore_weight(sources, config, use_case, metric, lo)
+            score_hi = _rescore_weight(sources, config, use_case, metric, hi)
+            impacts.append(
+                WeightImpact(
+                    use_case=use_case,
+                    metric=metric,
+                    base_weight=base,
+                    score_minus=score_lo,
+                    score_plus=score_hi,
+                )
+            )
+    impacts.sort(key=lambda i: (-i.swing, i.use_case.value, i.metric.value))
+    return impacts
+
+
+def _rescore_weight(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+    use_case: UseCase,
+    metric: Metric,
+    weight: int,
+) -> float:
+    weights = config.requirement_weights.replace({(use_case, metric): weight})
+    return score_region(sources, config.with_(requirement_weights=weights)).value
+
+
+def use_case_weight_sensitivity(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+    delta: int = 1,
+) -> Dict[UseCase, Tuple[float, float]]:
+    """OAT perturbation of every ``w_u``: use case → (score-, score+)."""
+    out: Dict[UseCase, Tuple[float, float]] = {}
+    for use_case in UseCase.ordered():
+        base = config.use_case_weights.get(use_case)
+        lo = max(WEIGHT_MIN, base - delta)
+        hi = min(WEIGHT_MAX, base + delta)
+        score_lo = score_region(
+            sources,
+            config.with_(
+                use_case_weights=config.use_case_weights.replace({use_case: lo})
+            ),
+        ).value
+        score_hi = score_region(
+            sources,
+            config.with_(
+                use_case_weights=config.use_case_weights.replace({use_case: hi})
+            ),
+        ).value
+        out[use_case] = (score_lo, score_hi)
+    return out
+
+
+def percentile_sweep(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+    percentiles: Sequence[float] = (50.0, 75.0, 90.0, 95.0, 99.0),
+) -> Dict[float, float]:
+    """``S_IQB`` as a function of the aggregation percentile."""
+    out: Dict[float, float] = {}
+    for percentile in percentiles:
+        policy = AggregationPolicy(
+            percentile=percentile, semantics=config.aggregation.semantics
+        )
+        out[percentile] = score_region(
+            sources, config.with_(aggregation=policy)
+        ).value
+    return out
+
+
+def semantics_comparison(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+) -> Dict[str, float]:
+    """``S_IQB`` under LITERAL vs CONSERVATIVE percentile semantics."""
+    out: Dict[str, float] = {}
+    for semantics in PercentileSemantics:
+        policy = AggregationPolicy(
+            percentile=config.aggregation.percentile, semantics=semantics
+        )
+        out[semantics.value] = score_region(
+            sources, config.with_(aggregation=policy)
+        ).value
+    return out
+
+
+def range_policy_comparison(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+) -> Dict[str, float]:
+    """``S_IQB`` under each resolution of Fig. 2's "50-100 Mb/s" range."""
+    return {
+        policy.value: score_region(
+            sources, config.with_(range_policy=policy)
+        ).value
+        for policy in RangePolicy
+    }
+
+
+def score_mode_comparison(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+) -> Dict[str, float]:
+    """``S_IQB`` under each requirement score mode (binary/graded/continuous)."""
+    from .config import ScoreMode
+
+    return {
+        mode.value: score_region(
+            sources, config.with_(score_mode=mode)
+        ).value
+        for mode in ScoreMode
+    }
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Distribution of ``S_IQB`` under random weight jitter."""
+
+    scores: Tuple[float, ...]
+    mean: float
+    std: float
+    p05: float
+    p95: float
+
+    @property
+    def spread(self) -> float:
+        """Width of the central 90 % interval."""
+        return self.p95 - self.p05
+
+
+def monte_carlo_weights(
+    sources: Mapping[str, QuantileSource],
+    config: IQBConfig,
+    samples: int = 200,
+    seed: int = 0,
+    jitter: int = 1,
+) -> MonteCarloResult:
+    """Re-score under ``samples`` random joint weight perturbations.
+
+    Every ``w_{u,r}`` independently moves by an integer in
+    [-jitter, +jitter] (clamped to 0..5; rows are re-validated, and draws
+    that would zero out a whole use case are clamped back to 1). This
+    models plausible disagreement among the paper's expert panel.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1: {samples}")
+    rng = np.random.default_rng(seed)
+    scores: List[float] = []
+    for _ in range(samples):
+        overrides: Dict[Tuple[UseCase, Metric], int] = {}
+        for use_case in UseCase:
+            row: Dict[Metric, int] = {}
+            for metric in Metric:
+                base = config.requirement_weights.get(use_case, metric)
+                moved = base + int(rng.integers(-jitter, jitter + 1))
+                row[metric] = min(WEIGHT_MAX, max(WEIGHT_MIN, moved))
+            if sum(row.values()) == 0:
+                row[Metric.DOWNLOAD] = 1
+            for metric, weight in row.items():
+                overrides[(use_case, metric)] = weight
+        weights = config.requirement_weights.replace(overrides)
+        scores.append(
+            score_region(sources, config.with_(requirement_weights=weights)).value
+        )
+    array = np.asarray(scores)
+    return MonteCarloResult(
+        scores=tuple(scores),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        p05=float(np.percentile(array, 5.0)),
+        p95=float(np.percentile(array, 95.0)),
+    )

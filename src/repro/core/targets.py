@@ -1,0 +1,174 @@
+"""Distance-to-threshold planning: *how much* must improve, not just what.
+
+Attribution (:mod:`repro.core.compare`) says which cells cost the most
+score; an infrastructure planner's next question is quantitative: "our
+p95 latency is 61 ms against a 50 ms bar — so we need an 11 ms
+improvement at the tail". This module computes that gap for every
+failing (use case, requirement, dataset) verdict, expressed both
+absolutely and relatively, and aggregates the per-metric headline:
+the largest improvement any use case demands of that metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .metrics import Direction, Metric
+from .scoring import ScoreBreakdown
+from .usecases import UseCase
+
+
+@dataclass(frozen=True)
+class ThresholdGap:
+    """One failing verdict's distance to its threshold."""
+
+    use_case: UseCase
+    metric: Metric
+    dataset: str
+    aggregate: float
+    threshold: float
+
+    @property
+    def absolute_gap(self) -> float:
+        """How far the aggregate must move to pass (non-negative)."""
+        if self.metric.direction is Direction.HIGHER_IS_BETTER:
+            return max(0.0, self.threshold - self.aggregate)
+        return max(0.0, self.aggregate - self.threshold)
+
+    @property
+    def relative_gap(self) -> float:
+        """Gap as a fraction of the threshold (comparable across metrics)."""
+        if self.threshold == 0:
+            return float("inf") if self.absolute_gap > 0 else 0.0
+        return self.absolute_gap / self.threshold
+
+    def describe(self) -> str:
+        """One-line human description of the needed improvement."""
+        direction = (
+            "raise"
+            if self.metric.direction is Direction.HIGHER_IS_BETTER
+            else "cut"
+        )
+        return (
+            f"{self.use_case.value}/{self.metric.value} [{self.dataset}]: "
+            f"{direction} {self.aggregate:.3g} "
+            f"to {self.threshold:.3g} "
+            f"({self.absolute_gap:.3g} {self.metric.unit})"
+        )
+
+
+def threshold_gaps(breakdown: ScoreBreakdown) -> List[ThresholdGap]:
+    """Every failing verdict's gap, largest relative gap first."""
+    gaps: List[ThresholdGap] = []
+    for entry in breakdown.use_cases:
+        for req in entry.requirements:
+            for verdict in req.verdicts:
+                if verdict.passed:
+                    continue
+                gaps.append(
+                    ThresholdGap(
+                        use_case=entry.use_case,
+                        metric=req.metric,
+                        dataset=verdict.dataset,
+                        aggregate=verdict.aggregate,
+                        threshold=verdict.threshold,
+                    )
+                )
+    gaps.sort(
+        key=lambda gap: (
+            -gap.relative_gap,
+            gap.use_case.value,
+            gap.metric.value,
+            gap.dataset,
+        )
+    )
+    return gaps
+
+
+@dataclass(frozen=True)
+class VerdictMargin:
+    """How much slack a *passing* verdict has before it flips."""
+
+    use_case: UseCase
+    metric: Metric
+    dataset: str
+    aggregate: float
+    threshold: float
+
+    @property
+    def absolute_margin(self) -> float:
+        """Degradation the aggregate can absorb and still pass."""
+        if self.metric.direction is Direction.HIGHER_IS_BETTER:
+            return max(0.0, self.aggregate - self.threshold)
+        return max(0.0, self.threshold - self.aggregate)
+
+    @property
+    def relative_margin(self) -> float:
+        """Margin as a fraction of the threshold."""
+        if self.threshold == 0:
+            return float("inf") if self.absolute_margin > 0 else 0.0
+        return self.absolute_margin / self.threshold
+
+
+def verdict_margins(breakdown: ScoreBreakdown) -> List[VerdictMargin]:
+    """Slack of every passing verdict, tightest first.
+
+    The mirror image of :func:`threshold_gaps`: the tightest margins
+    are the verdicts a small seasonal shift (or a near-threshold
+    bootstrap replicate) will flip — the fragile part of a region's
+    score.
+    """
+    margins: List[VerdictMargin] = []
+    for entry in breakdown.use_cases:
+        for req in entry.requirements:
+            for verdict in req.verdicts:
+                if not verdict.passed:
+                    continue
+                margins.append(
+                    VerdictMargin(
+                        use_case=entry.use_case,
+                        metric=req.metric,
+                        dataset=verdict.dataset,
+                        aggregate=verdict.aggregate,
+                        threshold=verdict.threshold,
+                    )
+                )
+    margins.sort(
+        key=lambda margin: (
+            margin.relative_margin,
+            margin.use_case.value,
+            margin.metric.value,
+            margin.dataset,
+        )
+    )
+    return margins
+
+
+def metric_targets(breakdown: ScoreBreakdown) -> Dict[Metric, float]:
+    """Per metric: the worst absolute improvement any failing cell needs.
+
+    This is the engineering headline ("the region needs 38 more Mbit/s
+    of p95 download and 14 ms less p95 latency to clear every currently
+    -failing bar"). Metrics with no failing verdicts are absent.
+    """
+    targets: Dict[Metric, float] = {}
+    for gap in threshold_gaps(breakdown):
+        current = targets.get(gap.metric, 0.0)
+        targets[gap.metric] = max(current, gap.absolute_gap)
+    return targets
+
+
+def render_targets(breakdown: ScoreBreakdown, top: int = 8) -> str:
+    """Plain-text improvement plan for a region."""
+    gaps = threshold_gaps(breakdown)
+    if not gaps:
+        return "All thresholds met: no improvement targets."
+    lines = ["Improvement targets (largest relative gaps first):"]
+    for gap in gaps[:top]:
+        lines.append(f"  {gap.describe()}")
+    headline = metric_targets(breakdown)
+    lines.append("Per-metric worst-case gaps:")
+    for metric, value in sorted(headline.items(), key=lambda kv: kv[0].value):
+        lines.append(f"  {metric.value}: {value:.3g} {metric.unit}")
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Quality thresholds per use case and metric (paper Fig. 2).
+
+The poster publishes, for every (use case, metric) pair, the value a
+connection must reach for a *minimum*-quality and a *high*-quality
+experience. Two cells need interpretation (documented in DESIGN.md):
+
+* the high-quality download threshold for video streaming is a range,
+  "50-100 Mb/s" — represented by :class:`ThresholdRange` and resolved to
+  a single value by a :class:`RangePolicy`;
+* the high-quality upload cells for web browsing and gaming read
+  "Other" — no high threshold is published. We store ``None`` and the
+  lookup falls back to the minimum-quality threshold, which is the most
+  conservative reading that keeps every (u, r) pair scoreable.
+
+All thresholds are stored in canonical units (Mbit/s, ms, loss fraction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from .exceptions import ThresholdError
+from .metrics import Metric, loss_percent_to_fraction
+from .quality import QualityLevel
+from .usecases import UseCase
+
+
+class RangePolicy(enum.Enum):
+    """How a :class:`ThresholdRange` collapses to one number for scoring."""
+
+    LOW = "low"
+    MID = "mid"
+    HIGH = "high"
+
+
+@dataclass(frozen=True)
+class ThresholdRange:
+    """A published threshold given as an interval (e.g. "50-100 Mb/s")."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high <= 0:
+            raise ThresholdError(f"range bounds must be positive: {self}")
+        if self.low > self.high:
+            raise ThresholdError(f"inverted range: {self}")
+
+    def resolve(self, policy: RangePolicy) -> float:
+        """Collapse the range to a scalar according to ``policy``."""
+        if policy is RangePolicy.LOW:
+            return self.low
+        if policy is RangePolicy.HIGH:
+            return self.high
+        return (self.low + self.high) / 2.0
+
+
+ThresholdValue = Union[float, ThresholdRange, None]
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """Minimum- and high-quality thresholds for one (use case, metric) cell.
+
+    ``high`` may be ``None`` (the paper's "Other" cells); lookups then fall
+    back to ``minimum``.
+    """
+
+    minimum: float
+    high: ThresholdValue
+
+    def __post_init__(self) -> None:
+        if self.minimum <= 0:
+            raise ThresholdError(f"minimum threshold must be positive: {self}")
+        if isinstance(self.high, float) and self.high <= 0:
+            raise ThresholdError(f"high threshold must be positive: {self}")
+
+    def value(
+        self,
+        level: QualityLevel,
+        range_policy: RangePolicy = RangePolicy.LOW,
+    ) -> float:
+        """The scalar threshold to compare a measurement against.
+
+        High-quality lookups on an "Other" cell fall back to the
+        minimum-quality threshold.
+        """
+        if level is QualityLevel.MINIMUM or self.high is None:
+            return self.minimum
+        if isinstance(self.high, ThresholdRange):
+            return self.high.resolve(range_policy)
+        return self.high
+
+    @property
+    def high_published(self) -> bool:
+        """Whether the paper publishes a distinct high-quality value."""
+        return self.high is not None
+
+
+class ThresholdTable:
+    """The full 6x4 matrix of Fig. 2, with typed lookups.
+
+    The table is immutable after construction; use :meth:`replace` to build
+    a variant with some cells overridden (sensitivity analysis needs this).
+    """
+
+    def __init__(self, cells: Mapping[Tuple[UseCase, Metric], Threshold]) -> None:
+        missing = [
+            (u, m)
+            for u in UseCase
+            for m in Metric
+            if (u, m) not in cells
+        ]
+        if missing:
+            raise ThresholdError(f"threshold table incomplete; missing {missing}")
+        for (use_case, metric), cell in cells.items():
+            _check_ordering(use_case, metric, cell)
+        self._cells: Dict[Tuple[UseCase, Metric], Threshold] = dict(cells)
+
+    def get(self, use_case: UseCase, metric: Metric) -> Threshold:
+        """The threshold cell for ``(use_case, metric)``."""
+        return self._cells[(use_case, metric)]
+
+    def value(
+        self,
+        use_case: UseCase,
+        metric: Metric,
+        level: QualityLevel,
+        range_policy: RangePolicy = RangePolicy.LOW,
+    ) -> float:
+        """Scalar threshold for a cell at a quality level."""
+        return self.get(use_case, metric).value(level, range_policy)
+
+    def replace(
+        self, overrides: Mapping[Tuple[UseCase, Metric], Threshold]
+    ) -> "ThresholdTable":
+        """A copy of this table with some cells replaced."""
+        cells = dict(self._cells)
+        cells.update(overrides)
+        return ThresholdTable(cells)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[UseCase, Metric], Threshold]]:
+        for use_case in UseCase.ordered():
+            for metric in Metric.ordered():
+                yield (use_case, metric), self._cells[(use_case, metric)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ThresholdTable):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __repr__(self) -> str:
+        return f"ThresholdTable({len(self._cells)} cells)"
+
+
+def _check_ordering(use_case: UseCase, metric: Metric, cell: Threshold) -> None:
+    """High-quality thresholds must be at least as demanding as minimum.
+
+    For higher-is-better metrics the high threshold may not be below the
+    minimum one; for lower-is-better metrics it may not exceed it.
+    """
+    if cell.high is None:
+        return
+    for policy in RangePolicy:
+        high = cell.value(QualityLevel.HIGH, policy)
+        if metric.better(high, cell.minimum) != high and high != cell.minimum:
+            raise ThresholdError(
+                f"high threshold less demanding than minimum for "
+                f"({use_case.value}, {metric.value}): "
+                f"min={cell.minimum}, high={high}"
+            )
+
+
+def _loss(percent_min: float, percent_high: float) -> Threshold:
+    """Fig. 2 publishes loss in percent; store fractions (lower better,
+    so the *high*-quality threshold is the smaller number)."""
+    return Threshold(
+        minimum=loss_percent_to_fraction(percent_min),
+        high=loss_percent_to_fraction(percent_high),
+    )
+
+
+def paper_thresholds() -> ThresholdTable:
+    """The canonical Fig. 2 threshold table.
+
+    Values transcribed cell by cell from the poster; the two "Other" cells
+    are ``high=None`` and the "50-100 Mb/s" cell is a
+    :class:`ThresholdRange`.
+    """
+    u, m = UseCase, Metric
+    cells: Dict[Tuple[UseCase, Metric], Threshold] = {
+        # Web Browsing
+        (u.WEB_BROWSING, m.DOWNLOAD): Threshold(10.0, 100.0),
+        (u.WEB_BROWSING, m.UPLOAD): Threshold(10.0, None),  # "Other"
+        (u.WEB_BROWSING, m.LATENCY): Threshold(100.0, 50.0),
+        (u.WEB_BROWSING, m.PACKET_LOSS): _loss(1.0, 0.5),
+        # Video Streaming
+        (u.VIDEO_STREAMING, m.DOWNLOAD): Threshold(25.0, ThresholdRange(50.0, 100.0)),
+        (u.VIDEO_STREAMING, m.UPLOAD): Threshold(10.0, 10.0),
+        (u.VIDEO_STREAMING, m.LATENCY): Threshold(100.0, 50.0),
+        (u.VIDEO_STREAMING, m.PACKET_LOSS): _loss(1.0, 0.1),
+        # Video Conferencing
+        (u.VIDEO_CONFERENCING, m.DOWNLOAD): Threshold(10.0, 100.0),
+        (u.VIDEO_CONFERENCING, m.UPLOAD): Threshold(25.0, 100.0),
+        (u.VIDEO_CONFERENCING, m.LATENCY): Threshold(50.0, 20.0),
+        (u.VIDEO_CONFERENCING, m.PACKET_LOSS): _loss(0.5, 0.1),
+        # Audio Streaming
+        (u.AUDIO_STREAMING, m.DOWNLOAD): Threshold(10.0, 50.0),
+        (u.AUDIO_STREAMING, m.UPLOAD): Threshold(10.0, 50.0),
+        (u.AUDIO_STREAMING, m.LATENCY): Threshold(100.0, 50.0),
+        (u.AUDIO_STREAMING, m.PACKET_LOSS): _loss(1.0, 0.1),
+        # Online Backup
+        (u.ONLINE_BACKUP, m.DOWNLOAD): Threshold(10.0, 10.0),
+        (u.ONLINE_BACKUP, m.UPLOAD): Threshold(25.0, 200.0),
+        (u.ONLINE_BACKUP, m.LATENCY): Threshold(100.0, 100.0),
+        (u.ONLINE_BACKUP, m.PACKET_LOSS): _loss(1.0, 0.1),
+        # Gaming
+        (u.GAMING, m.DOWNLOAD): Threshold(10.0, 100.0),
+        (u.GAMING, m.UPLOAD): Threshold(10.0, None),  # "Other"
+        (u.GAMING, m.LATENCY): Threshold(100.0, 50.0),
+        (u.GAMING, m.PACKET_LOSS): _loss(1.0, 0.5),
+    }
+    return ThresholdTable(cells)

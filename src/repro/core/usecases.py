@@ -1,0 +1,109 @@
+"""Use cases (tier 1 of the IQB framework).
+
+The poster follows Cranor et al.'s consumer broadband-label study and
+considers six use cases. Each carries a short description plus the
+metadata the rest of the system uses: an interactivity flag (drives the
+QoE models' sensitivity to latency) and a default popularity share used
+by the optional popularity-weighted preset for ``w_u``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+
+class UseCase(enum.Enum):
+    """The six IQB use cases (paper §2, Fig. 1)."""
+
+    WEB_BROWSING = "web_browsing"
+    VIDEO_STREAMING = "video_streaming"
+    VIDEO_CONFERENCING = "video_conferencing"
+    AUDIO_STREAMING = "audio_streaming"
+    ONLINE_BACKUP = "online_backup"
+    GAMING = "gaming"
+
+    @property
+    def display_name(self) -> str:
+        """Name as printed in the paper's tables."""
+        return _PROFILES[self].display_name
+
+    @property
+    def description(self) -> str:
+        """One-line description of the activity."""
+        return _PROFILES[self].description
+
+    @property
+    def interactive(self) -> bool:
+        """True for real-time interactive use cases (latency-critical)."""
+        return _PROFILES[self].interactive
+
+    @property
+    def default_popularity(self) -> float:
+        """Share of users engaging in this use case (popularity preset).
+
+        These are plausibility constants for the *optional* popularity
+        preset only; the paper's score uses equal ``w_u`` by default.
+        """
+        return _PROFILES[self].popularity
+
+    @classmethod
+    def ordered(cls) -> Tuple["UseCase", ...]:
+        """Use cases in the row order of the paper's Fig. 2."""
+        return (
+            cls.WEB_BROWSING,
+            cls.VIDEO_STREAMING,
+            cls.VIDEO_CONFERENCING,
+            cls.AUDIO_STREAMING,
+            cls.ONLINE_BACKUP,
+            cls.GAMING,
+        )
+
+
+@dataclass(frozen=True)
+class _UseCaseProfile:
+    display_name: str
+    description: str
+    interactive: bool
+    popularity: float
+
+
+_PROFILES: Mapping[UseCase, _UseCaseProfile] = {
+    UseCase.WEB_BROWSING: _UseCaseProfile(
+        display_name="Web Browsing",
+        description="Loading and interacting with Web pages.",
+        interactive=True,
+        popularity=0.95,
+    ),
+    UseCase.VIDEO_STREAMING: _UseCaseProfile(
+        display_name="Video Streaming",
+        description="On-demand adaptive-bitrate video playback.",
+        interactive=False,
+        popularity=0.85,
+    ),
+    UseCase.VIDEO_CONFERENCING: _UseCaseProfile(
+        display_name="Video Conferencing",
+        description="Real-time two-way audio/video calls.",
+        interactive=True,
+        popularity=0.65,
+    ),
+    UseCase.AUDIO_STREAMING: _UseCaseProfile(
+        display_name="Audio Streaming",
+        description="Music and podcast streaming.",
+        interactive=False,
+        popularity=0.70,
+    ),
+    UseCase.ONLINE_BACKUP: _UseCaseProfile(
+        display_name="Online Backup",
+        description="Bulk upload of files to cloud storage.",
+        interactive=False,
+        popularity=0.40,
+    ),
+    UseCase.GAMING: _UseCaseProfile(
+        display_name="Gaming",
+        description="Real-time online multiplayer gaming.",
+        interactive=True,
+        popularity=0.45,
+    ),
+}

@@ -1,0 +1,272 @@
+"""Weight tables for the three tiers of the IQB score.
+
+The paper defines three families of integer weights in 0..5:
+
+* ``w_{u,r}`` — how much metric *r* matters for use case *u* (Table 1);
+* ``w_{u,r,d}`` — how much dataset *d* is trusted for metric *r* under
+  use case *u* (not published in the poster; defaults to equal weight for
+  every dataset that can observe the metric);
+* ``w_u`` — how much use case *u* contributes to the composite score
+  (not published; defaults to equal, with a popularity preset).
+
+Each family normalizes within its tier: ``w' = w / Σw`` (paper §3). A tier
+whose weights sum to zero cannot be normalized and raises
+:class:`~repro.core.exceptions.WeightError` — except dataset weights,
+where a zero-sum (no dataset observes the metric) is a *data* condition
+handled by the scorer, not a configuration error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .exceptions import WeightError
+from .metrics import Metric
+from .usecases import UseCase
+
+WEIGHT_MIN = 0
+WEIGHT_MAX = 5
+
+
+def validate_weight(value: int, context: str = "weight") -> int:
+    """Check a raw weight is an integer in 0..5 and return it.
+
+    Booleans are rejected: ``True`` is technically an ``int`` in Python
+    but almost certainly a caller bug here.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WeightError(f"{context} must be an int, got {value!r}")
+    if not WEIGHT_MIN <= value <= WEIGHT_MAX:
+        raise WeightError(
+            f"{context} must be in {WEIGHT_MIN}..{WEIGHT_MAX}, got {value}"
+        )
+    return value
+
+
+def normalize(weights: Mapping, context: str = "weights") -> Dict:
+    """Normalize a weight mapping so values sum to 1 (paper's ``w'``).
+
+    Raises:
+        WeightError: if the weights sum to zero.
+    """
+    total = sum(weights.values())
+    if total <= 0:
+        raise WeightError(f"cannot normalize {context}: weights sum to {total}")
+    return {key: value / total for key, value in weights.items()}
+
+
+class RequirementWeights:
+    """The ``w_{u,r}`` matrix (paper Table 1)."""
+
+    def __init__(self, matrix: Mapping[Tuple[UseCase, Metric], int]) -> None:
+        missing = [
+            (u, m) for u in UseCase for m in Metric if (u, m) not in matrix
+        ]
+        if missing:
+            raise WeightError(f"requirement weights incomplete; missing {missing}")
+        self._matrix: Dict[Tuple[UseCase, Metric], int] = {}
+        for key, value in matrix.items():
+            use_case, metric = key
+            self._matrix[key] = validate_weight(
+                value, f"w[{use_case.value},{metric.value}]"
+            )
+        for use_case in UseCase:
+            if sum(self._matrix[(use_case, m)] for m in Metric) == 0:
+                raise WeightError(
+                    f"all requirement weights are zero for {use_case.value}"
+                )
+
+    def get(self, use_case: UseCase, metric: Metric) -> int:
+        """Raw integer weight ``w_{u,r}``."""
+        return self._matrix[(use_case, metric)]
+
+    def row(self, use_case: UseCase) -> Dict[Metric, int]:
+        """All metric weights for one use case."""
+        return {m: self._matrix[(use_case, m)] for m in Metric.ordered()}
+
+    def normalized_row(self, use_case: UseCase) -> Dict[Metric, float]:
+        """``w'_{u,r}`` for one use case (sums to 1)."""
+        return normalize(self.row(use_case), f"w[{use_case.value},*]")
+
+    def replace(
+        self, overrides: Mapping[Tuple[UseCase, Metric], int]
+    ) -> "RequirementWeights":
+        """A copy with some cells overridden (sensitivity analysis)."""
+        matrix = dict(self._matrix)
+        matrix.update(overrides)
+        return RequirementWeights(matrix)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequirementWeights):
+            return NotImplemented
+        return self._matrix == other._matrix
+
+    def __repr__(self) -> str:
+        return f"RequirementWeights({len(self._matrix)} cells)"
+
+
+class UseCaseWeights:
+    """The ``w_u`` vector weighting use cases into the composite score."""
+
+    def __init__(self, weights: Mapping[UseCase, int]) -> None:
+        missing = [u for u in UseCase if u not in weights]
+        if missing:
+            raise WeightError(f"use-case weights incomplete; missing {missing}")
+        self._weights = {
+            u: validate_weight(w, f"w[{u.value}]") for u, w in weights.items()
+        }
+        if sum(self._weights.values()) == 0:
+            raise WeightError("all use-case weights are zero")
+
+    def get(self, use_case: UseCase) -> int:
+        """Raw integer weight ``w_u``."""
+        return self._weights[use_case]
+
+    def as_dict(self) -> Dict[UseCase, int]:
+        """Copy of the raw weight vector."""
+        return dict(self._weights)
+
+    def normalized(self) -> Dict[UseCase, float]:
+        """``w'_u`` (sums to 1)."""
+        return normalize(self._weights, "use-case weights")
+
+    def replace(self, overrides: Mapping[UseCase, int]) -> "UseCaseWeights":
+        """A copy with some entries overridden."""
+        weights = dict(self._weights)
+        weights.update(overrides)
+        return UseCaseWeights(weights)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UseCaseWeights):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __repr__(self) -> str:
+        return f"UseCaseWeights({self._weights!r})"
+
+
+class DatasetWeights:
+    """The ``w_{u,r,d}`` tensor trusting datasets per (use case, metric).
+
+    Unlike the other two tiers, a zero row here is *legal*: it means no
+    dataset observes that metric, and the scorer decides how to handle
+    the gap (see ``MissingDataPolicy``). Dataset names are free-form
+    strings so user-supplied datasets plug in without registry changes.
+    """
+
+    def __init__(
+        self, tensor: Mapping[Tuple[UseCase, Metric, str], int]
+    ) -> None:
+        self._tensor: Dict[Tuple[UseCase, Metric, str], int] = {}
+        datasets = set()
+        for key, value in tensor.items():
+            use_case, metric, dataset = key
+            self._tensor[key] = validate_weight(
+                value, f"w[{use_case.value},{metric.value},{dataset}]"
+            )
+            datasets.add(dataset)
+        self._datasets: Tuple[str, ...] = tuple(sorted(datasets))
+
+    @property
+    def datasets(self) -> Tuple[str, ...]:
+        """All dataset names mentioned anywhere in the tensor."""
+        return self._datasets
+
+    def get(self, use_case: UseCase, metric: Metric, dataset: str) -> int:
+        """Raw weight; datasets absent from the tensor weigh 0."""
+        return self._tensor.get((use_case, metric, dataset), 0)
+
+    def row(self, use_case: UseCase, metric: Metric) -> Dict[str, int]:
+        """Weights of every known dataset for one (use case, metric)."""
+        return {
+            d: self.get(use_case, metric, d) for d in self._datasets
+        }
+
+    def normalized_row(
+        self, use_case: UseCase, metric: Metric
+    ) -> Dict[str, float]:
+        """``w'_{u,r,d}``; raises WeightError when the row sums to zero."""
+        return normalize(
+            self.row(use_case, metric),
+            f"w[{use_case.value},{metric.value},*]",
+        )
+
+    def row_total(self, use_case: UseCase, metric: Metric) -> int:
+        """Sum of the raw weights in one row (0 means "no data source")."""
+        return sum(self.row(use_case, metric).values())
+
+    def replace(
+        self, overrides: Mapping[Tuple[UseCase, Metric, str], int]
+    ) -> "DatasetWeights":
+        """A copy with some entries overridden."""
+        tensor = dict(self._tensor)
+        tensor.update(overrides)
+        return DatasetWeights(tensor)
+
+    @classmethod
+    def equal(
+        cls,
+        capabilities: Mapping[str, Iterable[Metric]],
+        weight: int = 1,
+    ) -> "DatasetWeights":
+        """Equal trust for every dataset that can observe a metric.
+
+        ``capabilities`` maps dataset name → metrics it reports. This is
+        the poster's implicit default: all corroborating datasets count
+        the same.
+        """
+        tensor: Dict[Tuple[UseCase, Metric, str], int] = {}
+        for dataset, metrics in capabilities.items():
+            for metric in metrics:
+                for use_case in UseCase:
+                    tensor[(use_case, metric, dataset)] = weight
+        return cls(tensor)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatasetWeights):
+            return NotImplemented
+        return self._tensor == other._tensor
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetWeights({len(self._tensor)} entries, "
+            f"datasets={list(self._datasets)!r})"
+        )
+
+
+def paper_requirement_weights() -> RequirementWeights:
+    """The canonical Table 1 weight matrix."""
+    u, m = UseCase, Metric
+    rows = {
+        u.WEB_BROWSING: (3, 2, 4, 4),
+        u.VIDEO_STREAMING: (4, 2, 4, 4),
+        u.AUDIO_STREAMING: (4, 1, 3, 4),
+        u.VIDEO_CONFERENCING: (4, 4, 4, 4),
+        u.ONLINE_BACKUP: (4, 4, 2, 4),
+        u.GAMING: (4, 4, 5, 4),
+    }
+    matrix: Dict[Tuple[UseCase, Metric], int] = {}
+    for use_case, (dl, ul, lat, loss) in rows.items():
+        matrix[(use_case, m.DOWNLOAD)] = dl
+        matrix[(use_case, m.UPLOAD)] = ul
+        matrix[(use_case, m.LATENCY)] = lat
+        matrix[(use_case, m.PACKET_LOSS)] = loss
+    return RequirementWeights(matrix)
+
+
+def equal_use_case_weights(weight: int = 1) -> UseCaseWeights:
+    """The default ``w_u``: every use case counts the same."""
+    return UseCaseWeights({u: weight for u in UseCase})
+
+
+def popularity_use_case_weights() -> UseCaseWeights:
+    """Optional preset: ``w_u`` proportional to use-case popularity.
+
+    Popularity shares are scaled onto the 1..5 integer grid the paper's
+    weights live on.
+    """
+    weights: Dict[UseCase, int] = {}
+    for use_case in UseCase:
+        scaled = round(use_case.default_popularity * WEIGHT_MAX)
+        weights[use_case] = max(1, min(WEIGHT_MAX, scaled))
+    return UseCaseWeights(weights)

@@ -1,0 +1,140 @@
+"""Cross-dataset calibration.
+
+The corroboration tier's weakness is systematic methodology bias: NDT's
+single TCP stream *reliably* reports less throughput than Ookla's
+multi-stream peak on the same links, so their verdicts disagree in a
+structured, predictable way — not as independent noise. Calibration
+estimates each dataset's multiplicative bias against the cross-dataset
+consensus and rescales, so the corroborating verdicts argue about the
+*link*, not about the methodology.
+
+Procedure (robust, per metric):
+
+1. per calibration region, compute each dataset's median;
+2. the region's consensus is the median of those dataset medians;
+3. a dataset's bias factor is the median over regions of
+   (dataset median / consensus median);
+4. :class:`CalibratedSource` divides a dataset's quantiles by its factor.
+
+Medians-of-ratios keep single weird regions from poisoning the factor.
+Calibration maps every dataset onto the *consensus* scale — which is
+not ground truth; it removes methodology spread, not shared bias. The
+``ext-calib`` bench quantifies exactly that: single-dataset IQB scores
+converge after calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.aggregation import QuantileSource, percentile_of
+from repro.core.exceptions import DataError
+from repro.core.metrics import Metric
+
+from .collection import MeasurementSet
+
+#: Metrics calibrated by default: the throughput methodologies differ
+#: most; latency and loss estimators differ too but their biases are
+#: partly additive, so rescaling them is opt-in.
+DEFAULT_CALIBRATED_METRICS: Tuple[Metric, ...] = (
+    Metric.DOWNLOAD,
+    Metric.UPLOAD,
+)
+
+#: Minimum tests a (region, dataset, metric) cell needs to participate.
+MIN_SAMPLES_PER_CELL = 20
+
+
+@dataclass(frozen=True)
+class BiasModel:
+    """Estimated multiplicative biases per (dataset, metric)."""
+
+    factors: Mapping[Tuple[str, Metric], float]
+    regions_used: Tuple[str, ...]
+
+    def factor(self, dataset: str, metric: Metric) -> float:
+        """The dataset's bias factor for a metric (1.0 if unknown)."""
+        return self.factors.get((dataset, metric), 1.0)
+
+    def calibrate(
+        self, sources: Mapping[str, QuantileSource]
+    ) -> Dict[str, "CalibratedSource"]:
+        """Wrap every source with its estimated corrections."""
+        return {
+            name: CalibratedSource(source, self, name)
+            for name, source in sources.items()
+        }
+
+
+class CalibratedSource:
+    """QuantileSource adapter dividing quantiles by the dataset's bias."""
+
+    def __init__(
+        self,
+        source: QuantileSource,
+        model: BiasModel,
+        dataset: str,
+    ) -> None:
+        self._source = source
+        self._model = model
+        self._dataset = dataset
+
+    def quantile(self, metric: Metric, percentile: float) -> Optional[float]:
+        value = self._source.quantile(metric, percentile)
+        if value is None:
+            return None
+        return value / self._model.factor(self._dataset, metric)
+
+    def sample_count(self, metric: Metric) -> int:
+        return self._source.sample_count(metric)
+
+
+def _median(values: Sequence[float]) -> float:
+    return percentile_of(values, 50.0)
+
+
+def estimate_biases(
+    records: MeasurementSet,
+    metrics: Sequence[Metric] = DEFAULT_CALIBRATED_METRICS,
+    min_samples: int = MIN_SAMPLES_PER_CELL,
+) -> BiasModel:
+    """Fit a :class:`BiasModel` from a multi-region calibration set.
+
+    Every region present in ``records`` contributes one bias ratio per
+    (dataset, metric) cell that has at least ``min_samples`` tests from
+    at least two datasets (a consensus of one is no consensus).
+
+    Raises:
+        DataError: when no (dataset, metric) cell can be estimated.
+    """
+    by_region = records.group_by_region()
+    ratios: Dict[Tuple[str, Metric], list] = {}
+    for region, regional in by_region.items():
+        by_source = regional.group_by_source()
+        for metric in metrics:
+            medians: Dict[str, float] = {}
+            for dataset, subset in by_source.items():
+                values = subset.values(metric)
+                if len(values) >= min_samples:
+                    medians[dataset] = _median(values)
+            if len(medians) < 2:
+                continue
+            consensus = _median(sorted(medians.values()))
+            if consensus <= 0:
+                continue
+            for dataset, median in medians.items():
+                ratios.setdefault((dataset, metric), []).append(
+                    median / consensus
+                )
+    if not ratios:
+        raise DataError(
+            "no (dataset, metric) cell had enough corroborated data "
+            "to estimate biases"
+        )
+    factors = {
+        key: _median(sorted(values)) for key, values in ratios.items()
+    }
+    return BiasModel(
+        factors=factors, regions_used=tuple(sorted(by_region))
+    )

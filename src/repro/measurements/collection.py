@@ -1,0 +1,160 @@
+"""MeasurementSet: a queryable collection of measurement records.
+
+This is the workhorse container between data generation/ingest and
+scoring. It implements the :class:`~repro.core.aggregation.QuantileSource`
+protocol, so a filtered MeasurementSet can be handed directly to
+``score_region`` as one dataset's evidence.
+
+Filters return new (shallow-copied) sets; the underlying records are
+frozen dataclasses, so sharing is safe.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.core.aggregation import percentile_of
+from repro.core.metrics import Metric
+
+from .record import Measurement
+
+
+class MeasurementSet:
+    """An immutable-ish bag of :class:`Measurement` records."""
+
+    def __init__(self, records: Iterable[Measurement] = ()) -> None:
+        self._records: List[Measurement] = list(records)
+
+    # -- container basics -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Measurement:
+        return self._records[index]
+
+    def __add__(self, other: "MeasurementSet") -> "MeasurementSet":
+        if not isinstance(other, MeasurementSet):
+            return NotImplemented
+        return MeasurementSet(self._records + other._records)
+
+    def __repr__(self) -> str:
+        return f"MeasurementSet({len(self._records)} records)"
+
+    # -- filtering / grouping ---------------------------------------------
+
+    def filter(
+        self, predicate: Callable[[Measurement], bool]
+    ) -> "MeasurementSet":
+        """Records matching an arbitrary predicate."""
+        return MeasurementSet(r for r in self._records if predicate(r))
+
+    def for_region(self, region: str) -> "MeasurementSet":
+        """Records from one region."""
+        return self.filter(lambda r: r.region == region)
+
+    def for_source(self, source: str) -> "MeasurementSet":
+        """Records from one dataset."""
+        return self.filter(lambda r: r.source == source)
+
+    def for_isp(self, isp: str) -> "MeasurementSet":
+        """Records from one ISP."""
+        return self.filter(lambda r: r.isp == isp)
+
+    def between(self, start: float, end: float) -> "MeasurementSet":
+        """Records with ``start <= timestamp < end``."""
+        return self.filter(lambda r: start <= r.timestamp < end)
+
+    def regions(self) -> Tuple[str, ...]:
+        """Distinct regions, sorted."""
+        return tuple(sorted({r.region for r in self._records}))
+
+    def sources(self) -> Tuple[str, ...]:
+        """Distinct dataset names, sorted."""
+        return tuple(sorted({r.source for r in self._records}))
+
+    def isps(self) -> Tuple[str, ...]:
+        """Distinct ISPs, sorted (empty names excluded)."""
+        return tuple(sorted({r.isp for r in self._records if r.isp}))
+
+    def group_by_region(self) -> Dict[str, "MeasurementSet"]:
+        """Split into one set per region."""
+        groups: Dict[str, List[Measurement]] = defaultdict(list)
+        for record in self._records:
+            groups[record.region].append(record)
+        return {
+            region: MeasurementSet(records)
+            for region, records in groups.items()
+        }
+
+    def group_by_source(self) -> Dict[str, "MeasurementSet"]:
+        """Split into one set per dataset, ready for ``score_region``."""
+        groups: Dict[str, List[Measurement]] = defaultdict(list)
+        for record in self._records:
+            groups[record.source].append(record)
+        return {
+            source: MeasurementSet(records)
+            for source, records in groups.items()
+        }
+
+    # -- metric access / QuantileSource protocol ---------------------------
+
+    def values(self, metric: Metric) -> List[float]:
+        """All non-missing values of ``metric``, in record order."""
+        out: List[float] = []
+        for record in self._records:
+            value = record.value(metric)
+            if value is not None:
+                out.append(value)
+        return out
+
+    def quantile(self, metric: Metric, percentile: float) -> Optional[float]:
+        """Percentile of the stored metric values (QuantileSource)."""
+        values = self.values(metric)
+        if not values:
+            return None
+        return percentile_of(values, percentile)
+
+    def sample_count(self, metric: Metric) -> int:
+        """Observation count for the metric (QuantileSource)."""
+        return len(self.values(metric))
+
+    # -- summaries ---------------------------------------------------------
+
+    def mean(self, metric: Metric) -> Optional[float]:
+        """Arithmetic mean of the metric (None when unobserved)."""
+        values = self.values(metric)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def median(self, metric: Metric) -> Optional[float]:
+        """Median of the metric (None when unobserved)."""
+        return self.quantile(metric, 50.0)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-metric count/mean/median/p95 digest for reports."""
+        digest: Dict[str, Dict[str, float]] = {}
+        for metric in Metric:
+            values = self.values(metric)
+            if not values:
+                continue
+            digest[metric.value] = {
+                "count": float(len(values)),
+                "mean": sum(values) / len(values),
+                "median": percentile_of(values, 50.0),
+                "p95": percentile_of(values, 95.0),
+            }
+        return digest

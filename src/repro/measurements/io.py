@@ -1,0 +1,128 @@
+"""Reading and writing measurement records (JSONL and CSV).
+
+JSON Lines is the primary interchange format: one measurement document
+per line, append-friendly, and the natural shape for the probing
+framework's streaming sinks. CSV import/export exists for spreadsheet
+interoperability; the CSV dialect is plain (header row, comma, no
+quoting surprises) with ``meta`` omitted.
+
+Readers are strict by default — a malformed line raises
+:class:`~repro.core.exceptions.SchemaError` naming the line number — and
+tolerant on request (``on_error="skip"``), because real measurement
+dumps do contain garbage rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.core.exceptions import SchemaError
+from repro.core.metrics import Metric
+
+from .collection import MeasurementSet
+from .record import Measurement
+
+_PathLike = Union[str, Path]
+
+CSV_FIELDS = (
+    "region",
+    "source",
+    "timestamp",
+    "download_mbps",
+    "upload_mbps",
+    "latency_ms",
+    "packet_loss",
+    "isp",
+    "access_tech",
+)
+
+
+def write_jsonl(records: MeasurementSet, path: _PathLike) -> int:
+    """Write records as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_jsonl(
+    path: _PathLike, on_error: str = "raise"
+) -> Iterator[Measurement]:
+    """Stream records from a JSONL file.
+
+    Args:
+        on_error: ``"raise"`` (default) aborts on the first bad line;
+            ``"skip"`` silently drops undecodable or invalid lines.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+                yield Measurement.from_dict(document)
+            except (json.JSONDecodeError, SchemaError) as exc:
+                if on_error == "skip":
+                    continue
+                raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+
+
+def read_jsonl(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
+    """Load a whole JSONL file into a MeasurementSet."""
+    return MeasurementSet(iter_jsonl(path, on_error=on_error))
+
+
+def write_csv(records: MeasurementSet, path: _PathLike) -> int:
+    """Write records as CSV (``meta`` is not representable and dropped)."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for record in records:
+            row = {field: "" for field in CSV_FIELDS}
+            row["region"] = record.region
+            row["source"] = record.source
+            row["timestamp"] = repr(record.timestamp)
+            for metric in Metric:
+                value = record.value(metric)
+                if value is not None:
+                    row[metric.field_name] = repr(value)
+            row["isp"] = record.isp
+            row["access_tech"] = record.access_tech
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def read_csv(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
+    """Load measurements from a CSV produced by :func:`write_csv`.
+
+    Unknown extra columns are ignored; missing metric cells become None.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
+    records = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                document = {
+                    key: value
+                    for key, value in row.items()
+                    if value not in ("", None)
+                }
+                records.append(Measurement.from_dict(document))
+            except SchemaError as exc:
+                if on_error == "skip":
+                    continue
+                raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+    return MeasurementSet(records)

@@ -1,0 +1,166 @@
+"""Quantile estimation: exact and streaming (P²).
+
+The IQB pipeline is percentile-centric — the whole scoring rule hinges
+on "the 95th percentile of a region's measurements" — so quantiles get
+their own module:
+
+* :class:`ExactQuantiles` keeps all values and answers any percentile
+  exactly (linear interpolation, matching ``numpy.percentile``);
+* :class:`P2Quantile` is the classic Jain & Chlamtac (1985) P² streaming
+  estimator: O(1) memory per tracked quantile, suitable for the probing
+  runner's long-lived sinks where holding every raw test is wasteful.
+
+Property-based tests assert P² converges to the exact estimator on
+well-behaved streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.aggregation import percentile_of
+from repro.core.exceptions import AggregationError
+
+
+class ExactQuantiles:
+    """Exact percentile answers over an accumulated value list."""
+
+    def __init__(self, values: Sequence[float] = ()) -> None:
+        self._values: List[float] = list(values)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many observations."""
+        self._values.extend(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def quantile(self, percentile: float) -> float:
+        """Exact percentile (linear interpolation).
+
+        Raises:
+            AggregationError: when no values have been recorded.
+        """
+        return percentile_of(self._values, percentile)
+
+
+class P2Quantile:
+    """Streaming quantile estimation via the P² algorithm.
+
+    Tracks a single quantile ``q`` (as a fraction in (0, 1)) using five
+    markers whose heights approximate the quantile curve. Until five
+    observations have arrived, answers are exact.
+
+    Reference: Jain & Chlamtac, "The P² algorithm for dynamic
+    calculation of quantiles and histograms without storing
+    observations", CACM 1985.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise AggregationError(f"P2 quantile fraction must be in (0,1): {q!r}")
+        self.q = q
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, value: float) -> None:
+        """Feed one observation to the estimator."""
+        value = float(value)
+        self._count += 1
+        if len(self._heights) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._bootstrap()
+            return
+        self._update(value)
+
+    def _bootstrap(self) -> None:
+        self._initial.sort()
+        q = self.q
+        self._heights = list(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [
+            1.0,
+            1.0 + 2.0 * q,
+            1.0 + 4.0 * q,
+            3.0 + 2.0 * q,
+            5.0,
+        ]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._initial = []
+
+    def _update(self, value: float) -> None:
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            for i in range(4):
+                if heights[i] <= value < heights[i + 1]:
+                    cell = i
+                    break
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            step_up = positions[i + 1] - positions[i]
+            step_down = positions[i - 1] - positions[i]
+            if (delta >= 1.0 and step_up > 1.0) or (
+                delta <= -1.0 and step_down < -1.0
+            ):
+                direction = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + direction / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + direction)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - direction)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, direction: float) -> float:
+        h, n = self._heights, self._positions
+        step = int(direction)
+        return h[i] + direction * (h[i + step] - h[i]) / (n[i + step] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate.
+
+        Raises:
+            AggregationError: when no values have been recorded.
+        """
+        if self._count == 0:
+            raise AggregationError("P2 estimator has seen no values")
+        if self._heights:
+            return self._heights[2]
+        return percentile_of(self._initial, self.q * 100.0)
+
+    def value_or_none(self) -> Optional[float]:
+        """Like :meth:`value` but None instead of raising when empty."""
+        return None if self._count == 0 else self.value()

@@ -1,0 +1,168 @@
+"""A merging t-digest for distributed quantile collection.
+
+The P² estimator (:mod:`.quantile`) is O(1) per tracked quantile but
+has a hard limitation for real deployments: two P² states cannot be
+combined, so a fleet of collectors (M-Lab runs hundreds of sites)
+cannot shard the work. The t-digest (Dunning & Ertl) can: centroids are
+mergeable, accuracy concentrates at the tails — exactly where the IQB's
+95th-percentile rule lives — and memory stays bounded by the
+compression parameter.
+
+This is the *merging* variant: incoming values buffer and periodically
+merge into the centroid list under a size bound of
+``4 · total · q(1−q) / δ`` per centroid (the classic q(1−q) bound),
+which keeps tail centroids tiny and mid-range centroids coarse.
+
+Accuracy is property-tested against the exact estimator; shard-merge
+equivalence is exercised by the distributed-collection integration
+test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.exceptions import AggregationError
+
+#: Default compression: ~2x delta centroids retained.
+DEFAULT_DELTA = 100
+
+
+class TDigest:
+    """Mergeable streaming quantile sketch."""
+
+    def __init__(self, delta: int = DEFAULT_DELTA) -> None:
+        if delta < 10:
+            raise AggregationError(f"delta must be >= 10: {delta}")
+        self.delta = delta
+        #: (mean, weight) centroids, kept sorted by mean after merges.
+        self._centroids: List[Tuple[float, float]] = []
+        self._buffer: List[Tuple[float, float]] = []
+        self._count = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Add one observation (optionally weighted)."""
+        if weight <= 0:
+            raise AggregationError(f"weight must be positive: {weight}")
+        value = float(value)
+        self._buffer.append((value, float(weight)))
+        self._count += weight
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if len(self._buffer) >= 4 * self.delta:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "TDigest") -> "TDigest":
+        """A new digest summarizing both inputs (inputs unchanged)."""
+        merged = TDigest(delta=min(self.delta, other.delta))
+        for source in (self, other):
+            for mean, weight in source._all_centroids():
+                merged.add(mean, weight)
+        merged._min = _opt_min(self._min, other._min)
+        merged._max = _opt_max(self._max, other._max)
+        merged._compress()
+        return merged
+
+    def _all_centroids(self) -> List[Tuple[float, float]]:
+        return self._centroids + self._buffer
+
+    def _compress(self) -> None:
+        points = sorted(self._all_centroids())
+        self._buffer = []
+        if not points:
+            self._centroids = []
+            return
+        total = sum(weight for _, weight in points)
+        compressed: List[Tuple[float, float]] = []
+        current_mean, current_weight = points[0]
+        cumulative = 0.0
+        for mean, weight in points[1:]:
+            q = (cumulative + current_weight / 2.0) / total
+            limit = max(1.0, 4.0 * total * q * (1.0 - q) / self.delta)
+            if current_weight + weight <= limit:
+                merged_weight = current_weight + weight
+                current_mean = (
+                    current_mean * current_weight + mean * weight
+                ) / merged_weight
+                current_weight = merged_weight
+            else:
+                compressed.append((current_mean, current_weight))
+                cumulative += current_weight
+                current_mean, current_weight = mean, weight
+        compressed.append((current_mean, current_weight))
+        self._centroids = compressed
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._count)
+
+    @property
+    def centroid_count(self) -> int:
+        """Current sketch size (memory proxy)."""
+        return len(self._all_centroids())
+
+    def quantile(self, percentile: float) -> float:
+        """Estimate the percentile in [0, 100].
+
+        Raises:
+            AggregationError: on an empty digest or bad percentile.
+        """
+        if self._count == 0:
+            raise AggregationError("t-digest has seen no values")
+        if not 0.0 <= percentile <= 100.0:
+            raise AggregationError(
+                f"percentile out of [0, 100]: {percentile!r}"
+            )
+        self._compress()
+        centroids = self._centroids
+        assert self._min is not None and self._max is not None
+        if percentile == 0.0:
+            return self._min
+        if percentile == 100.0:
+            return self._max
+        target = percentile / 100.0 * self._count
+        cumulative = 0.0
+        previous_mean = self._min
+        previous_cum = 0.0
+        for mean, weight in centroids:
+            centre = cumulative + weight / 2.0
+            if target <= centre:
+                span = centre - previous_cum
+                if span <= 0:
+                    return mean
+                frac = (target - previous_cum) / span
+                return previous_mean + frac * (mean - previous_mean)
+            previous_mean = mean
+            previous_cum = centre
+            cumulative += weight
+        return self._max
+
+    def quantile_or_none(self, percentile: float) -> Optional[float]:
+        """Like :meth:`quantile` but None when empty."""
+        return None if self._count == 0 else self.quantile(percentile)
+
+
+def _opt_min(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _opt_max(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)

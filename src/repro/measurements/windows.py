@@ -1,0 +1,121 @@
+"""Time windowing of measurement sets.
+
+A barometer is tracked over time: daily scores, prime-time vs off-peak
+contrasts, month-over-month trends. This module slices a
+:class:`~repro.measurements.collection.MeasurementSet` along its
+timestamps:
+
+* :func:`time_buckets` — fixed-width windows (e.g. daily);
+* :func:`by_hour_of_day` — fold the campaign onto the 24-hour clock;
+* :func:`peak_split` — the prime-time / off-peak partition (the
+  contrast that congestion-sensitive metrics live or die by).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.timeutil import hour_of_day
+
+from .collection import MeasurementSet
+
+#: The evening window regulators and ISPs both call "peak".
+PEAK_START_HOUR = 18.0
+PEAK_END_HOUR = 23.0
+
+
+@dataclass(frozen=True)
+class TimeBucket:
+    """One fixed-width window of a campaign."""
+
+    start: float
+    end: float
+    records: MeasurementSet
+
+    @property
+    def midpoint(self) -> float:
+        """Centre timestamp, convenient for plotting/trend fits."""
+        return (self.start + self.end) / 2.0
+
+
+def time_buckets(
+    records: MeasurementSet,
+    width_seconds: float,
+    start: float = None,  # type: ignore[assignment]
+) -> List[TimeBucket]:
+    """Slice records into consecutive fixed-width windows.
+
+    Windows are half-open ``[start, start+width)`` and cover the full
+    timestamp span; empty interior windows are preserved (a monitoring
+    gap is information, not something to silently squeeze out).
+
+    Raises:
+        ValueError: for a non-positive width or an empty record set.
+    """
+    if width_seconds <= 0:
+        raise ValueError(f"width_seconds must be positive: {width_seconds}")
+    if len(records) == 0:
+        raise ValueError("cannot bucket an empty measurement set")
+    timestamps = [record.timestamp for record in records]
+    first = min(timestamps) if start is None else start
+    last = max(timestamps)
+    buckets: List[TimeBucket] = []
+    window_start = first
+    while window_start <= last:
+        window_end = window_start + width_seconds
+        buckets.append(
+            TimeBucket(
+                start=window_start,
+                end=window_end,
+                records=records.between(window_start, window_end),
+            )
+        )
+        window_start = window_end
+    return buckets
+
+
+def by_hour_of_day(
+    records: MeasurementSet, bin_hours: float = 1.0
+) -> Dict[float, MeasurementSet]:
+    """Fold a campaign onto the 24-hour clock.
+
+    Returns {bin start hour → records}, with every bin present (possibly
+    empty) so diurnal plots have a complete x-axis.
+
+    Raises:
+        ValueError: when ``bin_hours`` does not divide 24.
+    """
+    if bin_hours <= 0 or (24.0 / bin_hours) != int(24.0 / bin_hours):
+        raise ValueError(f"bin_hours must evenly divide 24: {bin_hours}")
+    bins: Dict[float, List] = {
+        i * bin_hours: [] for i in range(int(24.0 / bin_hours))
+    }
+    for record in records:
+        hour = hour_of_day(record.timestamp)
+        bin_start = (hour // bin_hours) * bin_hours
+        bins[bin_start].append(record)
+    return {start: MeasurementSet(items) for start, items in bins.items()}
+
+
+def peak_split(
+    records: MeasurementSet,
+    peak_start: float = PEAK_START_HOUR,
+    peak_end: float = PEAK_END_HOUR,
+) -> Tuple[MeasurementSet, MeasurementSet]:
+    """Partition records into (peak, off_peak) by local hour.
+
+    The peak window is ``[peak_start, peak_end)`` and must not wrap
+    midnight (the canonical 18:00-23:00 window does not).
+    """
+    if not 0.0 <= peak_start < peak_end <= 24.0:
+        raise ValueError(
+            f"invalid peak window: [{peak_start}, {peak_end})"
+        )
+    peak = records.filter(
+        lambda r: peak_start <= hour_of_day(r.timestamp) < peak_end
+    )
+    off_peak = records.filter(
+        lambda r: not peak_start <= hour_of_day(r.timestamp) < peak_end
+    )
+    return peak, off_peak

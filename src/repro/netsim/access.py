@@ -1,0 +1,229 @@
+"""Access-technology profiles.
+
+A subscriber's last-mile technology determines the statistical envelope
+of their link: how much capacity they bought, the symmetry of that
+capacity, baseline RTT to nearby servers, steady-state random loss, and
+how badly the link bloats under load. The constants here are plausible
+2024-era characterizations (e.g. GPON fiber is symmetric and low-RTT;
+DOCSIS cable is highly asymmetric with moderate bufferbloat; GEO
+satellite has ~600 ms physics-bound RTT), chosen so that the *relative*
+behaviour across technologies matches common measurement-community
+knowledge. Absolute calibration is irrelevant to the reproduction — IQB
+consumes whatever distribution it is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .rng import bounded_lognormal
+
+
+@dataclass(frozen=True)
+class AccessTechnology:
+    """Distributional envelope of one last-mile technology."""
+
+    name: str
+    #: Median purchased downstream capacity (Mbit/s) and lognormal sigma.
+    down_median_mbps: float
+    down_sigma: float
+    #: Upload expressed as a ratio of the drawn downstream capacity.
+    up_ratio_low: float
+    up_ratio_high: float
+    #: Idle RTT envelope (ms): median, sigma, floor, ceiling.
+    rtt_median_ms: float
+    rtt_sigma: float
+    rtt_floor_ms: float
+    rtt_ceiling_ms: float
+    #: Steady-state random loss (fraction): median and sigma (lognormal).
+    loss_median: float
+    loss_sigma: float
+    #: Extra queueing delay at full utilization (ms): uniform range.
+    bloat_low_ms: float
+    bloat_high_ms: float
+    #: Capacity clip range (Mbit/s) for the downstream draw.
+    down_floor_mbps: float = 1.0
+    down_ceiling_mbps: float = 5000.0
+
+    def draw_down_capacity(self, rng: np.random.Generator) -> float:
+        """Sample one subscriber's downstream capacity (Mbit/s)."""
+        return bounded_lognormal(
+            rng,
+            self.down_median_mbps,
+            self.down_sigma,
+            self.down_floor_mbps,
+            self.down_ceiling_mbps,
+        )
+
+    def draw_up_ratio(self, rng: np.random.Generator) -> float:
+        """Sample the upload/download capacity ratio."""
+        return float(rng.uniform(self.up_ratio_low, self.up_ratio_high))
+
+    def draw_base_rtt(self, rng: np.random.Generator) -> float:
+        """Sample one subscriber's idle RTT (ms)."""
+        return bounded_lognormal(
+            rng,
+            self.rtt_median_ms,
+            self.rtt_sigma,
+            self.rtt_floor_ms,
+            self.rtt_ceiling_ms,
+        )
+
+    def draw_loss(self, rng: np.random.Generator) -> float:
+        """Sample one subscriber's steady-state random loss fraction."""
+        return bounded_lognormal(
+            rng, self.loss_median, self.loss_sigma, 1e-6, 0.2
+        )
+
+    def draw_bloat(self, rng: np.random.Generator) -> float:
+        """Sample bufferbloat: added ms of delay at 100 % utilization."""
+        return float(rng.uniform(self.bloat_low_ms, self.bloat_high_ms))
+
+
+FIBER = AccessTechnology(
+    name="fiber",
+    down_median_mbps=500.0,
+    down_sigma=0.5,
+    up_ratio_low=0.8,
+    up_ratio_high=1.0,
+    rtt_median_ms=8.0,
+    rtt_sigma=0.35,
+    rtt_floor_ms=2.0,
+    rtt_ceiling_ms=40.0,
+    loss_median=0.0005,
+    loss_sigma=0.8,
+    bloat_low_ms=2.0,
+    bloat_high_ms=20.0,
+)
+
+CABLE = AccessTechnology(
+    name="cable",
+    down_median_mbps=300.0,
+    down_sigma=0.6,
+    up_ratio_low=0.05,
+    up_ratio_high=0.15,
+    rtt_median_ms=15.0,
+    rtt_sigma=0.4,
+    rtt_floor_ms=5.0,
+    rtt_ceiling_ms=80.0,
+    loss_median=0.001,
+    loss_sigma=0.9,
+    bloat_low_ms=20.0,
+    bloat_high_ms=150.0,
+)
+
+DSL = AccessTechnology(
+    name="dsl",
+    down_median_mbps=25.0,
+    down_sigma=0.55,
+    up_ratio_low=0.1,
+    up_ratio_high=0.3,
+    rtt_median_ms=30.0,
+    rtt_sigma=0.4,
+    rtt_floor_ms=10.0,
+    rtt_ceiling_ms=120.0,
+    loss_median=0.003,
+    loss_sigma=0.9,
+    bloat_low_ms=30.0,
+    bloat_high_ms=250.0,
+    down_ceiling_mbps=100.0,
+)
+
+LTE = AccessTechnology(
+    name="lte",
+    down_median_mbps=60.0,
+    down_sigma=0.7,
+    up_ratio_low=0.2,
+    up_ratio_high=0.5,
+    rtt_median_ms=40.0,
+    rtt_sigma=0.45,
+    rtt_floor_ms=15.0,
+    rtt_ceiling_ms=200.0,
+    loss_median=0.004,
+    loss_sigma=1.0,
+    bloat_low_ms=40.0,
+    bloat_high_ms=300.0,
+)
+
+SATELLITE_GEO = AccessTechnology(
+    name="satellite_geo",
+    down_median_mbps=80.0,
+    down_sigma=0.4,
+    up_ratio_low=0.05,
+    up_ratio_high=0.15,
+    rtt_median_ms=620.0,
+    rtt_sigma=0.1,
+    rtt_floor_ms=550.0,
+    rtt_ceiling_ms=800.0,
+    loss_median=0.006,
+    loss_sigma=0.8,
+    bloat_low_ms=50.0,
+    bloat_high_ms=400.0,
+)
+
+SATELLITE_LEO = AccessTechnology(
+    name="satellite_leo",
+    down_median_mbps=120.0,
+    down_sigma=0.5,
+    up_ratio_low=0.1,
+    up_ratio_high=0.25,
+    rtt_median_ms=45.0,
+    rtt_sigma=0.35,
+    rtt_floor_ms=20.0,
+    rtt_ceiling_ms=150.0,
+    loss_median=0.005,
+    loss_sigma=0.9,
+    bloat_low_ms=30.0,
+    bloat_high_ms=200.0,
+)
+
+FIXED_WIRELESS = AccessTechnology(
+    name="fixed_wireless",
+    down_median_mbps=50.0,
+    down_sigma=0.6,
+    up_ratio_low=0.15,
+    up_ratio_high=0.4,
+    rtt_median_ms=25.0,
+    rtt_sigma=0.45,
+    rtt_floor_ms=8.0,
+    rtt_ceiling_ms=150.0,
+    loss_median=0.004,
+    loss_sigma=1.0,
+    bloat_low_ms=30.0,
+    bloat_high_ms=250.0,
+)
+
+#: Registry by name, for config files and CLI flags.
+TECHNOLOGIES: Dict[str, AccessTechnology] = {
+    tech.name: tech
+    for tech in (
+        FIBER,
+        CABLE,
+        DSL,
+        LTE,
+        SATELLITE_GEO,
+        SATELLITE_LEO,
+        FIXED_WIRELESS,
+    )
+}
+
+
+def technology(name: str) -> AccessTechnology:
+    """Look up a technology by name.
+
+    Raises:
+        KeyError: naming the unknown technology and the known ones.
+    """
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise KeyError(f"unknown access technology {name!r}; known: {known}")
+
+
+def technology_names() -> Tuple[str, ...]:
+    """All registered technology names, sorted."""
+    return tuple(sorted(TECHNOLOGIES))

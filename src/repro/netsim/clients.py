@@ -1,0 +1,261 @@
+"""Measurement-client methodologies: NDT, Cloudflare, Ookla.
+
+The three datasets the poster builds on measure "the same" link in
+fundamentally different ways (§2: "NDT, Ookla and Cloudflare each
+measure throughput in a fundamentally different way"). Each client here
+observes a ground-truth :class:`~repro.netsim.link.SubscriberLink`
+through its own methodology:
+
+* **NDT** — one TCP stream for 10 s. Single-stream TCP is loss- and
+  RTT-bound (Mathis law), so NDT under-reports capacity on lossy or
+  long-RTT links. Latency is the minimum RTT seen during the loaded
+  transfer; loss is inferred from retransmissions (a biased proxy).
+* **Cloudflare** — several parallel connections, reporting both idle
+  and loaded latency; loss measured with a dedicated probe train
+  (unbiased but quantized by the probe count).
+* **Ookla** — many parallel streams, reporting the *peak* transfer
+  rate, which tracks available capacity closely; latency is an idle
+  ping; no loss is published.
+
+All clients add multiplicative measurement noise. Every draw comes from
+the caller-provided RNG, so campaigns are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.metrics import Metric
+from repro.measurements.record import Measurement
+
+from .link import SubscriberLink
+from .tcp import multi_stream_throughput
+
+
+def _noisy(rng: np.random.Generator, value: float, sigma: float) -> float:
+    """Multiplicative lognormal measurement noise."""
+    return float(value * rng.lognormal(mean=0.0, sigma=sigma))
+
+
+class MeasurementClient(ABC):
+    """One dataset's measurement methodology."""
+
+    #: Dataset name as it appears in ``Measurement.source`` and configs.
+    name: str = ""
+    #: Metrics this methodology observes.
+    metrics: Tuple[Metric, ...] = ()
+
+    @abstractmethod
+    def measure(
+        self,
+        link: SubscriberLink,
+        utilization: float,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> Measurement:
+        """Run one test against a link under the given utilization."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass(frozen=True)
+class _Conditions:
+    """Effective link conditions at test time."""
+
+    rtt_ms: float
+    loss: float
+    down_mbps: float
+    up_mbps: float
+
+
+def _conditions(link: SubscriberLink, utilization: float) -> _Conditions:
+    return _Conditions(
+        rtt_ms=link.rtt_under_load(utilization),
+        loss=link.loss_under_load(utilization),
+        down_mbps=link.down_available_mbps(utilization),
+        up_mbps=link.up_available_mbps(utilization),
+    )
+
+
+class NDTClient(MeasurementClient):
+    """M-Lab NDT-style single-stream TCP test."""
+
+    name = "ndt"
+    metrics = (Metric.DOWNLOAD, Metric.UPLOAD, Metric.LATENCY, Metric.PACKET_LOSS)
+
+    #: Retransmission-based loss estimates over-count genuine loss
+    #: (spurious retransmits, reordering); a fixed multiplicative bias.
+    RETRANS_BIAS = 1.3
+    NOISE_SIGMA = 0.10
+
+    def measure(
+        self,
+        link: SubscriberLink,
+        utilization: float,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> Measurement:
+        cond = _conditions(link, utilization)
+        down = multi_stream_throughput(
+            cond.down_mbps, cond.rtt_ms, cond.loss, streams=1
+        )
+        up = multi_stream_throughput(
+            cond.up_mbps, cond.rtt_ms, cond.loss, streams=1
+        )
+        # Minimum RTT during a loaded transfer sits between idle and
+        # fully-loaded delay; NDT reports close to the idle floor.
+        latency = link.base_rtt_ms + 0.25 * (cond.rtt_ms - link.base_rtt_ms)
+        retrans = min(1.0, cond.loss * self.RETRANS_BIAS)
+        return Measurement(
+            region=link.region,
+            source=self.name,
+            timestamp=timestamp,
+            download_mbps=_noisy(rng, down, self.NOISE_SIGMA),
+            upload_mbps=_noisy(rng, up, self.NOISE_SIGMA),
+            latency_ms=_noisy(rng, latency, 0.05),
+            packet_loss=min(1.0, _noisy(rng, retrans, 0.20)),
+            isp=link.isp,
+            access_tech=link.tech,
+            meta={"streams": 1, "methodology": "single-stream-tcp"},
+        )
+
+
+class CloudflareClient(MeasurementClient):
+    """Cloudflare-style multi-connection test with a probe train."""
+
+    name = "cloudflare"
+    metrics = (Metric.DOWNLOAD, Metric.UPLOAD, Metric.LATENCY, Metric.PACKET_LOSS)
+
+    STREAMS = 4
+    PROBE_COUNT = 1000
+    NOISE_SIGMA = 0.08
+
+    def measure(
+        self,
+        link: SubscriberLink,
+        utilization: float,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> Measurement:
+        cond = _conditions(link, utilization)
+        down = multi_stream_throughput(
+            cond.down_mbps, cond.rtt_ms, cond.loss, streams=self.STREAMS
+        )
+        up = multi_stream_throughput(
+            cond.up_mbps, cond.rtt_ms, cond.loss, streams=self.STREAMS
+        )
+        # Reported latency blends idle and loaded RTT (AIM-style).
+        latency = 0.5 * (link.base_rtt_ms + cond.rtt_ms)
+        # Unbiased but quantized loss estimate from a finite probe train.
+        lost = int(rng.binomial(self.PROBE_COUNT, cond.loss))
+        loss = lost / self.PROBE_COUNT
+        return Measurement(
+            region=link.region,
+            source=self.name,
+            timestamp=timestamp,
+            download_mbps=_noisy(rng, down, self.NOISE_SIGMA),
+            upload_mbps=_noisy(rng, up, self.NOISE_SIGMA),
+            latency_ms=_noisy(rng, latency, 0.05),
+            packet_loss=loss,
+            isp=link.isp,
+            access_tech=link.tech,
+            meta={"streams": self.STREAMS, "probes": self.PROBE_COUNT},
+        )
+
+
+class OoklaClient(MeasurementClient):
+    """Ookla-style many-stream peak-rate test (no loss published)."""
+
+    name = "ookla"
+    metrics = (Metric.DOWNLOAD, Metric.UPLOAD, Metric.LATENCY)
+
+    STREAMS = 8
+    #: Peak-rate selection recovers most of the available capacity.
+    PEAK_EFFICIENCY = 0.97
+    NOISE_SIGMA = 0.06
+
+    def measure(
+        self,
+        link: SubscriberLink,
+        utilization: float,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> Measurement:
+        cond = _conditions(link, utilization)
+        down = self.PEAK_EFFICIENCY * multi_stream_throughput(
+            cond.down_mbps, cond.rtt_ms, cond.loss, streams=self.STREAMS
+        )
+        up = self.PEAK_EFFICIENCY * multi_stream_throughput(
+            cond.up_mbps, cond.rtt_ms, cond.loss, streams=self.STREAMS
+        )
+        # Idle ping to a nearby server: unaffected by the transfer load.
+        latency = link.base_rtt_ms
+        return Measurement(
+            region=link.region,
+            source=self.name,
+            timestamp=timestamp,
+            download_mbps=_noisy(rng, down, self.NOISE_SIGMA),
+            upload_mbps=_noisy(rng, up, self.NOISE_SIGMA),
+            latency_ms=_noisy(rng, latency, 0.04),
+            packet_loss=None,
+            isp=link.isp,
+            access_tech=link.tech,
+            meta={"streams": self.STREAMS, "selection": "peak"},
+        )
+
+
+class AtlasPingClient(MeasurementClient):
+    """RIPE-Atlas-style anchor: latency/loss probes, no throughput.
+
+    Dedicated probe hardware sends small ICMP/UDP trains continuously;
+    it observes delay and loss under whatever load the household
+    happens to have, and never measures throughput at all. Useful as a
+    fourth corroborating dataset for exactly the two metrics speed
+    tests measure worst.
+    """
+
+    name = "atlas"
+    metrics = (Metric.LATENCY, Metric.PACKET_LOSS)
+
+    PROBE_COUNT = 100
+
+    def measure(
+        self,
+        link: SubscriberLink,
+        utilization: float,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> Measurement:
+        cond = _conditions(link, utilization)
+        # Small probes ride the real queue: loaded RTT, lightly noised.
+        latency = _noisy(rng, cond.rtt_ms, 0.04)
+        lost = int(rng.binomial(self.PROBE_COUNT, cond.loss))
+        return Measurement(
+            region=link.region,
+            source=self.name,
+            timestamp=timestamp,
+            download_mbps=None,
+            upload_mbps=None,
+            latency_ms=latency,
+            packet_loss=lost / self.PROBE_COUNT,
+            isp=link.isp,
+            access_tech=link.tech,
+            meta={"probes": self.PROBE_COUNT, "methodology": "ping-train"},
+        )
+
+
+#: The canonical client trio, keyed by dataset name.
+DEFAULT_CLIENTS: Dict[str, MeasurementClient] = {
+    client.name: client
+    for client in (NDTClient(), CloudflareClient(), OoklaClient())
+}
+
+
+def default_clients() -> Tuple[MeasurementClient, ...]:
+    """Fresh references to the canonical NDT/Cloudflare/Ookla trio."""
+    return tuple(DEFAULT_CLIENTS[name] for name in sorted(DEFAULT_CLIENTS))

@@ -1,0 +1,102 @@
+"""Diurnal congestion model.
+
+Residential access networks breathe: utilization is lowest in the small
+hours and peaks in the evening ("prime time"). The model is a smooth
+two-bump curve — a small daytime plateau and a dominant evening peak —
+scaled by a per-region load factor, plus zero-mean noise drawn per
+measurement so two tests in the same hour do not see identical
+conditions.
+
+Hours are local fractional hours in [0, 24); timestamps convert via
+``hour_of_day``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timeutil import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    hour_of_day,
+    is_weekend,
+)
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "DiurnalProfile",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "hour_of_day",
+    "is_weekend",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Shape parameters for a region's daily utilization curve."""
+
+    #: Baseline night-time utilization.
+    base: float = 0.10
+    #: Height of the daytime (working-hours) plateau.
+    day_bump: float = 0.15
+    #: Height of the evening prime-time peak.
+    evening_peak: float = 0.45
+    #: Hour of the evening peak centre.
+    evening_hour: float = 20.5
+    #: Width (std-dev, hours) of the evening peak.
+    evening_width: float = 2.5
+    #: Per-measurement gaussian noise on utilization.
+    noise_sigma: float = 0.05
+    #: Extra daytime utilization on weekends (people are home).
+    weekend_day_bump: float = 0.12
+
+    def utilization(
+        self,
+        hour: float,
+        load_factor: float = 1.0,
+        weekend: bool = False,
+    ) -> float:
+        """Mean utilization at ``hour``, scaled by the region's load.
+
+        The result is clamped to [0, 1]; ``load_factor`` above 1 models
+        oversubscribed regions that saturate in prime time. Weekends
+        raise the daytime plateau (residential traffic moves home) but
+        leave the evening peak in place.
+        """
+        if not 0.0 <= hour < 24.0:
+            hour = hour % 24.0
+        day_height = self.day_bump + (self.weekend_day_bump if weekend else 0.0)
+        day = day_height * _bump(hour, centre=14.0, width=4.0)
+        evening = self.evening_peak * _bump(
+            hour, centre=self.evening_hour, width=self.evening_width
+        )
+        value = (self.base + day + evening) * load_factor
+        return min(max(value, 0.0), 1.0)
+
+    def sample_utilization(
+        self,
+        rng: np.random.Generator,
+        timestamp: float,
+        load_factor: float = 1.0,
+    ) -> float:
+        """Utilization at a timestamp, with per-measurement noise."""
+        mean = self.utilization(
+            hour_of_day(timestamp), load_factor, weekend=is_weekend(timestamp)
+        )
+        value = mean + float(rng.normal(0.0, self.noise_sigma))
+        return min(max(value, 0.0), 1.0)
+
+
+def _bump(hour: float, centre: float, width: float) -> float:
+    """Circular gaussian bump on the 24-hour clock, peak value 1."""
+    delta = abs(hour - centre)
+    delta = min(delta, 24.0 - delta)
+    return math.exp(-0.5 * (delta / width) ** 2)
+
+
+#: A single shared default; regions differ through ``load_factor``.
+DEFAULT_PROFILE = DiurnalProfile()

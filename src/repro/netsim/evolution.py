@@ -1,0 +1,178 @@
+"""Infrastructure evolution: the same region, changing over time.
+
+Barometers exist to track change — a fiber buildout, an oversubscribed
+segment getting split, a new LEO constellation. This module simulates a
+region whose market structure shifts across consecutive periods, each
+period measured with its own campaign on a shared timeline, producing a
+single longitudinal :class:`~repro.measurements.collection.MeasurementSet`
+suitable for :mod:`repro.analysis.temporal`.
+
+:func:`fiber_buildout` builds the canonical upgrade story: a DSL-heavy
+region migrating a share of subscribers to fiber each period. The
+interesting property for the reproduction: the upgrade improves latency
+and loss *before* it moves headline median speed much (early adopters
+are few), so the IQB score starts moving before a speed-only metric
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.measurements.collection import MeasurementSet
+from repro.netsim.congestion import SECONDS_PER_DAY
+
+from .population import ISPProfile, RegionProfile
+from .simulator import CampaignConfig, simulate_region
+
+
+@dataclass(frozen=True)
+class EvolutionStage:
+    """One period of a region's history."""
+
+    profile: RegionProfile
+    days: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError(f"stage length must be positive: {self.days}")
+
+
+def simulate_evolution(
+    stages: Sequence[EvolutionStage],
+    seed: int,
+    tests_per_client_per_stage: int = 300,
+    subscribers: int = 120,
+) -> MeasurementSet:
+    """Measure every stage on one continuous timeline.
+
+    All stages must describe the same region (same profile name) —
+    evolution is within-region change, not a region comparison.
+
+    Raises:
+        ValueError: on empty stages or mismatched region names.
+    """
+    stage_list = list(stages)
+    if not stage_list:
+        raise ValueError("simulate_evolution needs at least one stage")
+    names = {stage.profile.name for stage in stage_list}
+    if len(names) != 1:
+        raise ValueError(
+            f"evolution stages must share one region name, got {sorted(names)}"
+        )
+    combined = MeasurementSet()
+    start = 0.0
+    for index, stage in enumerate(stage_list):
+        campaign = CampaignConfig(
+            subscribers=subscribers,
+            tests_per_client=tests_per_client_per_stage,
+            days=stage.days,
+            start_timestamp=start,
+        )
+        combined = combined + simulate_region(
+            stage.profile, seed=seed + index, config=campaign
+        )
+        start += stage.days * SECONDS_PER_DAY
+    return combined
+
+
+def _interpolated_profile(
+    name: str,
+    description: str,
+    fiber_share: float,
+    load_factor: float,
+) -> RegionProfile:
+    """A one-ISP region part-way through a DSL→fiber migration."""
+    if not 0.0 <= fiber_share <= 1.0:
+        raise ValueError(f"fiber_share outside [0, 1]: {fiber_share}")
+    if fiber_share <= 0.0:
+        mix = {"dsl": 1.0}
+    elif fiber_share >= 1.0:
+        mix = {"fiber": 1.0}
+    else:
+        mix = {"fiber": fiber_share, "dsl": 1.0 - fiber_share}
+    return RegionProfile(
+        name=name,
+        description=description,
+        isps=(ISPProfile("Incumbent", mix, 1.0),),
+        load_factor=load_factor,
+    )
+
+
+def fiber_buildout(
+    region_name: str = "buildout",
+    periods: int = 6,
+    final_fiber_share: float = 1.0,
+    days_per_period: float = 30.0,
+    initial_load_factor: float = 1.15,
+) -> List[EvolutionStage]:
+    """The canonical upgrade scenario: DSL region migrating to fiber.
+
+    Fiber share ramps linearly from 0 to ``final_fiber_share`` over the
+    periods; congestion eases slightly as traffic moves off the DSL
+    plant (load factor relaxes toward 1.0).
+
+    Raises:
+        ValueError: for fewer than two periods.
+    """
+    if periods < 2:
+        raise ValueError(f"a buildout needs >= 2 periods: {periods}")
+    stages: List[EvolutionStage] = []
+    for index in range(periods):
+        progress = index / (periods - 1)
+        share = progress * final_fiber_share
+        load = initial_load_factor + (1.0 - initial_load_factor) * progress
+        stages.append(
+            EvolutionStage(
+                profile=_interpolated_profile(
+                    name=region_name,
+                    description=(
+                        f"DSL-to-fiber buildout, period {index + 1}/{periods} "
+                        f"({share:.0%} fiber)"
+                    ),
+                    fiber_share=share,
+                    load_factor=load,
+                ),
+                days=days_per_period,
+            )
+        )
+    return stages
+
+
+def with_incident(
+    profile: RegionProfile, severity: float = 0.5
+) -> RegionProfile:
+    """A copy of ``profile`` suffering a congestion incident.
+
+    ``severity`` scales the extra load: 0.5 means the region runs 50 %
+    hotter than usual (a failed peering link, a flash crowd, storm
+    damage concentrating traffic on surviving plant). Congestion then
+    degrades latency (bufferbloat) and loss (queue-tail drops) through
+    the normal link laws — no special-case physics.
+
+    Raises:
+        ValueError: for negative severity.
+    """
+    if severity < 0:
+        raise ValueError(f"severity must be non-negative: {severity}")
+    return RegionProfile(
+        name=profile.name,
+        description=f"{profile.description} [incident, severity {severity:g}]",
+        isps=profile.isps,
+        load_factor=profile.load_factor * (1.0 + severity),
+        diurnal=profile.diurnal,
+    )
+
+
+def stage_boundaries(
+    stages: Sequence[EvolutionStage],
+) -> List[Tuple[float, float]]:
+    """(start, end) timestamps of each stage on the shared timeline."""
+    boundaries: List[Tuple[float, float]] = []
+    start = 0.0
+    for stage in stages:
+        end = start + stage.days * SECONDS_PER_DAY
+        boundaries.append((start, end))
+        start = end
+    return boundaries

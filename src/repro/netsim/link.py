@@ -1,0 +1,134 @@
+"""Per-subscriber link state.
+
+A :class:`SubscriberLink` is the ground truth the simulator measures
+*against*: the actual capacity, idle RTT, random loss and bufferbloat of
+one household's connection. Measurement clients (NDT, Cloudflare,
+Ookla) observe this ground truth imperfectly, each through its own
+methodology — which is precisely the phenomenon the IQB poster's
+"corroboration" argument is about.
+
+The load model is deliberately simple and smooth:
+
+* effective RTT grows linearly with utilization through the bufferbloat
+  term: ``rtt(u) = base_rtt + u · bloat``;
+* loss grows superlinearly once utilization approaches saturation
+  (queue-tail drops): ``loss(u) = base_loss + congestion_loss · u⁴``;
+* available capacity shrinks with cross-traffic utilization:
+  ``capacity(u) = capacity · (1 - u · share)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .access import AccessTechnology
+
+#: Extra loss contributed at full saturation (queue-tail drops).
+CONGESTION_LOSS_AT_SATURATION = 0.02
+#: Fraction of capacity the neighbourhood's cross-traffic can claim.
+CROSS_TRAFFIC_SHARE = 0.45
+
+
+@dataclass(frozen=True)
+class SubscriberLink:
+    """Ground-truth state of one subscriber's access link."""
+
+    subscriber_id: str
+    region: str
+    isp: str
+    tech: str
+    down_capacity_mbps: float
+    up_capacity_mbps: float
+    base_rtt_ms: float
+    base_loss: float
+    bloat_ms: float
+
+    def rtt_under_load(self, utilization: float) -> float:
+        """Effective RTT (ms) at a given neighbourhood utilization."""
+        utilization = _clamp_utilization(utilization)
+        return self.base_rtt_ms + utilization * self.bloat_ms
+
+    def loss_under_load(self, utilization: float) -> float:
+        """Effective loss fraction at a given utilization."""
+        utilization = _clamp_utilization(utilization)
+        loss = self.base_loss + CONGESTION_LOSS_AT_SATURATION * utilization**4
+        return min(loss, 1.0)
+
+    def down_available_mbps(self, utilization: float) -> float:
+        """Downstream capacity left after cross-traffic at ``utilization``."""
+        utilization = _clamp_utilization(utilization)
+        return self.down_capacity_mbps * (1.0 - utilization * CROSS_TRAFFIC_SHARE)
+
+    def up_available_mbps(self, utilization: float) -> float:
+        """Upstream capacity left after cross-traffic at ``utilization``."""
+        utilization = _clamp_utilization(utilization)
+        return self.up_capacity_mbps * (1.0 - utilization * CROSS_TRAFFIC_SHARE)
+
+
+def _clamp_utilization(utilization: float) -> float:
+    if not 0.0 <= utilization <= 1.5:
+        raise ValueError(f"utilization out of [0, 1.5]: {utilization!r}")
+    return min(utilization, 1.0)
+
+
+#: Envelope of home-WiFi degradation applied per affected test.
+WIFI_CAP_LOW_MBPS = 30.0
+WIFI_CAP_HIGH_MBPS = 400.0
+WIFI_EXTRA_RTT_LOW_MS = 2.0
+WIFI_EXTRA_RTT_HIGH_MS = 25.0
+WIFI_EXTRA_LOSS_HIGH = 0.01
+
+
+def apply_wifi(
+    link: SubscriberLink, rng: np.random.Generator
+) -> SubscriberLink:
+    """The link as seen from a device behind imperfect home WiFi.
+
+    Crowdsourced speed tests mostly run over WiFi, which caps
+    throughput below the access link on fast plans and adds delay and
+    loss — a classic confounder: the *measurement* degrades while the
+    ISP's service does not. The returned link is a derived copy whose
+    capacities are capped by a drawn WiFi rate and whose base RTT/loss
+    carry the WiFi hop's contribution.
+    """
+    wifi_cap = float(rng.uniform(WIFI_CAP_LOW_MBPS, WIFI_CAP_HIGH_MBPS))
+    extra_rtt = float(
+        rng.uniform(WIFI_EXTRA_RTT_LOW_MS, WIFI_EXTRA_RTT_HIGH_MS)
+    )
+    extra_loss = float(rng.uniform(0.0, WIFI_EXTRA_LOSS_HIGH))
+    return SubscriberLink(
+        subscriber_id=link.subscriber_id,
+        region=link.region,
+        isp=link.isp,
+        tech=link.tech,
+        down_capacity_mbps=min(link.down_capacity_mbps, wifi_cap),
+        up_capacity_mbps=min(link.up_capacity_mbps, wifi_cap),
+        base_rtt_ms=link.base_rtt_ms + extra_rtt,
+        base_loss=min(1.0, link.base_loss + extra_loss),
+        bloat_ms=link.bloat_ms,
+    )
+
+
+def draw_link(
+    rng: np.random.Generator,
+    subscriber_id: str,
+    region: str,
+    isp: str,
+    tech: AccessTechnology,
+) -> SubscriberLink:
+    """Sample one subscriber's link from a technology envelope."""
+    down = tech.draw_down_capacity(rng)
+    up = down * tech.draw_up_ratio(rng)
+    return SubscriberLink(
+        subscriber_id=subscriber_id,
+        region=region,
+        isp=isp,
+        tech=tech.name,
+        down_capacity_mbps=down,
+        up_capacity_mbps=up,
+        base_rtt_ms=tech.draw_base_rtt(rng),
+        base_loss=tech.draw_loss(rng),
+        bloat_ms=tech.draw_bloat(rng),
+    )

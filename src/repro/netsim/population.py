@@ -1,0 +1,278 @@
+"""Vantage-point populations: regions, ISPs, subscribers.
+
+A :class:`RegionProfile` describes the market structure of one region —
+which ISPs operate there, each ISP's technology mix, and how loaded the
+region's networks run. :func:`build_links` expands a profile into a
+deterministic population of :class:`~repro.netsim.link.SubscriberLink`
+ground truths.
+
+Six presets span the quality spectrum the IQB score is meant to resolve,
+from an all-fiber metro to a GEO-satellite-dependent remote region. The
+presets are the standard fixture for every example and bench in this
+repository, so their names appear throughout EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from .access import technology
+from .congestion import DiurnalProfile, DEFAULT_PROFILE
+from .link import SubscriberLink, draw_link
+from .rng import make_rng
+
+
+@dataclass(frozen=True)
+class ISPProfile:
+    """One ISP's presence in a region."""
+
+    name: str
+    #: Technology name → share of this ISP's subscribers (sums to 1).
+    tech_mix: Mapping[str, float]
+    #: Share of the region's subscribers on this ISP (sums to 1 region-wide).
+    subscriber_share: float
+
+    def __post_init__(self) -> None:
+        if not self.tech_mix:
+            raise ValueError(f"ISP {self.name!r} has an empty tech mix")
+        total = sum(self.tech_mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"ISP {self.name!r} tech mix sums to {total}, expected 1"
+            )
+        for tech_name in self.tech_mix:
+            technology(tech_name)  # raises KeyError on unknown tech
+        if not 0.0 < self.subscriber_share <= 1.0:
+            raise ValueError(
+                f"ISP {self.name!r} share out of (0, 1]: {self.subscriber_share}"
+            )
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Market structure and load level of one region."""
+
+    name: str
+    description: str
+    isps: Tuple[ISPProfile, ...]
+    #: Scales the diurnal utilization curve (>1 = oversubscribed).
+    load_factor: float = 1.0
+    diurnal: DiurnalProfile = field(default_factory=lambda: DEFAULT_PROFILE)
+
+    def __post_init__(self) -> None:
+        if not self.isps:
+            raise ValueError(f"region {self.name!r} has no ISPs")
+        total = sum(isp.subscriber_share for isp in self.isps)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"region {self.name!r} ISP shares sum to {total}, expected 1"
+            )
+        if self.load_factor <= 0:
+            raise ValueError(f"load factor must be positive: {self.load_factor}")
+
+
+def build_links(
+    profile: RegionProfile,
+    subscribers: int,
+    seed: int,
+) -> List[SubscriberLink]:
+    """Expand a region profile into a deterministic subscriber population.
+
+    Subscribers are allocated to ISPs and technologies proportionally
+    (largest-remainder rounding, so counts are exact and deterministic),
+    then each link is drawn from its technology envelope under a
+    per-subscriber RNG stream.
+    """
+    if subscribers < 1:
+        raise ValueError(f"subscribers must be >= 1: {subscribers}")
+    allocations = _allocate(
+        {isp.name: isp.subscriber_share for isp in profile.isps}, subscribers
+    )
+    links: List[SubscriberLink] = []
+    for isp in profile.isps:
+        isp_count = allocations[isp.name]
+        if isp_count == 0:
+            continue
+        tech_counts = _allocate(dict(isp.tech_mix), isp_count)
+        index = 0
+        for tech_name in sorted(tech_counts):
+            for _ in range(tech_counts[tech_name]):
+                subscriber_id = f"{profile.name}/{isp.name}/{index:05d}"
+                rng = make_rng(seed, "link", profile.name, isp.name, index)
+                links.append(
+                    draw_link(
+                        rng,
+                        subscriber_id=subscriber_id,
+                        region=profile.name,
+                        isp=isp.name,
+                        tech=technology(tech_name),
+                    )
+                )
+                index += 1
+    return links
+
+
+def _allocate(shares: Dict[str, float], total: int) -> Dict[str, int]:
+    """Integer allocation proportional to shares (largest remainder)."""
+    raw = {name: share * total for name, share in shares.items()}
+    counts = {name: int(value) for name, value in raw.items()}
+    shortfall = total - sum(counts.values())
+    remainders = sorted(
+        shares, key=lambda name: (raw[name] - counts[name], name), reverse=True
+    )
+    for name in remainders[:shortfall]:
+        counts[name] += 1
+    return counts
+
+
+def _region(
+    name: str,
+    description: str,
+    isps: Tuple[ISPProfile, ...],
+    load_factor: float = 1.0,
+) -> RegionProfile:
+    return RegionProfile(
+        name=name, description=description, isps=isps, load_factor=load_factor
+    )
+
+
+METRO_FIBER = _region(
+    "metro-fiber",
+    "Dense metro with competitive symmetric fiber.",
+    (
+        ISPProfile("CityFiber", {"fiber": 1.0}, 0.6),
+        ISPProfile("MetroNet", {"fiber": 0.8, "cable": 0.2}, 0.4),
+    ),
+    load_factor=0.8,
+)
+
+SUBURBAN_CABLE = _region(
+    "suburban-cable",
+    "Suburb dominated by DOCSIS cable, some fiber overbuild.",
+    (
+        ISPProfile("CoaxCo", {"cable": 1.0}, 0.7),
+        ISPProfile("FiberNow", {"fiber": 1.0}, 0.3),
+    ),
+    load_factor=1.0,
+)
+
+RURAL_DSL = _region(
+    "rural-dsl",
+    "Rural incumbent DSL with fixed-wireless challenger.",
+    (
+        ISPProfile("TelcoLegacy", {"dsl": 0.85, "fixed_wireless": 0.15}, 0.8),
+        ISPProfile("AirLink", {"fixed_wireless": 1.0}, 0.2),
+    ),
+    load_factor=1.15,
+)
+
+MOBILE_FIRST = _region(
+    "mobile-first",
+    "Region where most households rely on LTE home broadband.",
+    (
+        ISPProfile("CellOne", {"lte": 1.0}, 0.65),
+        ISPProfile("WaveMobile", {"lte": 0.8, "fixed_wireless": 0.2}, 0.35),
+    ),
+    load_factor=1.2,
+)
+
+SATELLITE_REMOTE = _region(
+    "satellite-remote",
+    "Remote region served mainly by GEO satellite, some LEO adoption.",
+    (
+        ISPProfile("SkyBeam", {"satellite_geo": 1.0}, 0.7),
+        ISPProfile("OrbitNet", {"satellite_leo": 1.0}, 0.3),
+    ),
+    load_factor=1.1,
+)
+
+MIXED_URBAN = _region(
+    "mixed-urban",
+    "Large city with an uneven mix: fiber cores, cable, legacy DSL pockets.",
+    (
+        ISPProfile("UrbanFiber", {"fiber": 1.0}, 0.35),
+        ISPProfile("CityCable", {"cable": 1.0}, 0.45),
+        ISPProfile("OldTelco", {"dsl": 0.7, "fiber": 0.3}, 0.2),
+    ),
+    load_factor=1.05,
+)
+
+#: The canonical region fixtures used by examples, tests and benches.
+REGION_PRESETS: Dict[str, RegionProfile] = {
+    profile.name: profile
+    for profile in (
+        METRO_FIBER,
+        SUBURBAN_CABLE,
+        RURAL_DSL,
+        MOBILE_FIRST,
+        SATELLITE_REMOTE,
+        MIXED_URBAN,
+    )
+}
+
+
+def random_region(name: str, seed: int) -> RegionProfile:
+    """Generate a random but plausible region profile.
+
+    Used by the evaluation benches to test claims across *many* market
+    structures instead of only the six designed presets: 1-3 ISPs with
+    Dirichlet-ish random subscriber shares, each mixing 1-3 random
+    access technologies, and a load factor across the under/over-
+    subscribed range. Deterministic under (name, seed).
+    """
+    from .access import technology_names
+    from .rng import make_rng
+
+    rng = make_rng(seed, "random-region", name)
+    isp_count = int(rng.integers(1, 4))
+    raw_shares = rng.dirichlet([2.0] * isp_count)
+    technologies = list(technology_names())
+    isps: List[ISPProfile] = []
+    for index in range(isp_count):
+        tech_count = int(rng.integers(1, 4))
+        chosen = rng.choice(technologies, size=tech_count, replace=False)
+        mix_raw = rng.dirichlet([2.0] * tech_count)
+        mix = {
+            str(tech): float(weight)
+            for tech, weight in zip(chosen, mix_raw)
+        }
+        # Normalize away float drift so ISPProfile's sum check passes.
+        total = sum(mix.values())
+        mix = {tech: weight / total for tech, weight in mix.items()}
+        isps.append(
+            ISPProfile(
+                name=f"isp-{index}",
+                tech_mix=mix,
+                subscriber_share=float(raw_shares[index]),
+            )
+        )
+    # Largest-remainder float drift: rescale shares exactly.
+    total_share = sum(isp.subscriber_share for isp in isps)
+    isps = [
+        ISPProfile(
+            name=isp.name,
+            tech_mix=isp.tech_mix,
+            subscriber_share=isp.subscriber_share / total_share,
+        )
+        for isp in isps
+    ]
+    return RegionProfile(
+        name=name,
+        description=f"randomly generated market (seed {seed})",
+        isps=tuple(isps),
+        load_factor=float(rng.uniform(0.8, 1.3)),
+    )
+
+
+def region_preset(name: str) -> RegionProfile:
+    """Look up a preset region by name.
+
+    Raises:
+        KeyError: naming the unknown region and the known presets.
+    """
+    try:
+        return REGION_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(REGION_PRESETS))
+        raise KeyError(f"unknown region preset {name!r}; known: {known}")

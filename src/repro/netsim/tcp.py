@@ -1,0 +1,112 @@
+"""Steady-state TCP throughput models.
+
+Measurement clients observe throughput *through TCP*, and TCP's loss/RTT
+sensitivity is exactly why NDT (single stream) and Ookla (many streams)
+report systematically different numbers for the same link — the
+methodological diversity the IQB poster leans on for corroboration.
+
+Two classic closed-form models:
+
+* :func:`mathis_throughput` — Mathis et al. (1997):
+  ``B = (MSS / RTT) · C / sqrt(p)``. Simple inverse-sqrt loss law.
+* :func:`padhye_throughput` — Padhye et al. (1998) full model including
+  retransmission timeouts; more pessimistic at high loss.
+
+Both return Mbit/s given RTT in ms and loss as a fraction, and
+:func:`multi_stream_throughput` composes either model with the path
+capacity for n parallel streams.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Standard Ethernet-era maximum segment size (bytes).
+DEFAULT_MSS_BYTES = 1460
+#: Mathis constant for periodic loss and delayed ACKs.
+MATHIS_C = math.sqrt(3.0 / 2.0)
+#: Loss floor: a loss-free path is window-limited, not model-limited;
+#: using a tiny floor keeps the formulas finite and lets capacity clip.
+LOSS_FLOOR = 1e-6
+
+
+def mathis_throughput(
+    rtt_ms: float,
+    loss: float,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+) -> float:
+    """Mathis-model single-stream TCP throughput in Mbit/s.
+
+    Raises:
+        ValueError: on non-positive RTT or loss outside [0, 1].
+    """
+    _check(rtt_ms, loss)
+    loss = max(loss, LOSS_FLOOR)
+    bytes_per_second = (mss_bytes / (rtt_ms / 1000.0)) * MATHIS_C / math.sqrt(loss)
+    return bytes_per_second * 8.0 / 1e6
+
+
+def padhye_throughput(
+    rtt_ms: float,
+    loss: float,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+    rto_ms: float = 200.0,
+    b_ack: int = 2,
+    w_max: int = 65535 * 8 // DEFAULT_MSS_BYTES,
+) -> float:
+    """Padhye-model (PFTK) single-stream TCP throughput in Mbit/s.
+
+    Includes the retransmission-timeout term that dominates at high
+    loss, making this model noticeably more pessimistic than Mathis
+    above ~2 % loss.
+    """
+    _check(rtt_ms, loss)
+    p = max(loss, LOSS_FLOOR)
+    rtt = rtt_ms / 1000.0
+    rto = rto_ms / 1000.0
+    term_wnd = math.sqrt(2.0 * b_ack * p / 3.0)
+    term_to = min(1.0, 3.0 * math.sqrt(3.0 * b_ack * p / 8.0)) * p * (
+        1.0 + 32.0 * p * p
+    )
+    denominator = rtt * term_wnd + rto * term_to
+    segments_per_second = min(w_max / rtt, 1.0 / denominator)
+    return segments_per_second * mss_bytes * 8.0 / 1e6
+
+
+def multi_stream_throughput(
+    capacity_mbps: float,
+    rtt_ms: float,
+    loss: float,
+    streams: int = 1,
+    model: str = "mathis",
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+) -> float:
+    """Aggregate throughput of ``streams`` parallel TCP flows.
+
+    Each stream independently obeys the chosen loss/RTT law; the sum is
+    clipped at the available path capacity. More streams therefore mask
+    loss sensitivity — which is why multi-stream methodologies (Ookla,
+    Cloudflare) report closer to capacity than single-stream NDT on
+    lossy links.
+
+    Raises:
+        ValueError: on non-positive capacity/streams or unknown model.
+    """
+    if capacity_mbps < 0:
+        raise ValueError(f"capacity must be non-negative: {capacity_mbps}")
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1: {streams}")
+    if model == "mathis":
+        per_stream = mathis_throughput(rtt_ms, loss, mss_bytes)
+    elif model == "padhye":
+        per_stream = padhye_throughput(rtt_ms, loss, mss_bytes)
+    else:
+        raise ValueError(f"unknown TCP model {model!r} (mathis|padhye)")
+    return min(capacity_mbps, streams * per_stream)
+
+
+def _check(rtt_ms: float, loss: float) -> None:
+    if rtt_ms <= 0:
+        raise ValueError(f"rtt_ms must be positive: {rtt_ms}")
+    if not 0.0 <= loss <= 1.0:
+        raise ValueError(f"loss outside [0, 1]: {loss}")

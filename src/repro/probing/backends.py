@@ -1,0 +1,145 @@
+"""Measurement backends for the probing framework.
+
+A backend is where probes actually run. The protocol is deliberately
+tiny — one method turning a probe request into a
+:class:`~repro.measurements.record.Measurement` — so that the simulated
+backend shipped here and any future live backend (a real NDT client, a
+Cloudflare API wrapper) are interchangeable from the scheduler's and
+runner's point of view.
+
+:class:`SimulatedBackend` wraps :mod:`repro.netsim`: it owns the
+subscriber populations of one or more regions and serves tests from the
+registered measurement clients, with optional failure injection so the
+runner's retry logic can be exercised honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.exceptions import BackendError
+from repro.measurements.record import Measurement
+from repro.netsim.clients import MeasurementClient, default_clients
+from repro.netsim.link import SubscriberLink
+from repro.netsim.population import RegionProfile, build_links
+from repro.netsim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ProbeRequest:
+    """One unit of measurement work: which dataset, where, when."""
+
+    client: str
+    region: str
+    timestamp: float
+
+
+@runtime_checkable
+class MeasurementBackend(Protocol):
+    """Anything that can execute a ProbeRequest."""
+
+    def run(self, request: ProbeRequest) -> Measurement:
+        """Execute one probe; raises BackendError on failure."""
+        ...
+
+    def regions(self) -> Tuple[str, ...]:
+        """Regions this backend can probe."""
+        ...
+
+    def clients(self) -> Tuple[str, ...]:
+        """Dataset clients this backend can run."""
+        ...
+
+
+class SimulatedBackend:
+    """Probe backend over simulated vantage-point populations."""
+
+    def __init__(
+        self,
+        profiles: Iterable[RegionProfile],
+        seed: int,
+        subscribers: int = 150,
+        clients: Optional[Iterable[MeasurementClient]] = None,
+        failure_rate: float = 0.0,
+    ) -> None:
+        """Args:
+            profiles: regions to host vantage points in.
+            seed: master seed; everything downstream is deterministic.
+            subscribers: population size per region.
+            clients: measurement methodologies (default: NDT/Cloudflare/
+                Ookla trio).
+            failure_rate: probability that any probe fails with
+                BackendError (models unreachable servers, aborted tests).
+        """
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(f"failure_rate outside [0, 1): {failure_rate}")
+        profile_list = list(profiles)
+        if not profile_list:
+            raise ValueError("SimulatedBackend needs at least one region")
+        self._seed = seed
+        self._failure_rate = failure_rate
+        self._profiles: Dict[str, RegionProfile] = {
+            profile.name: profile for profile in profile_list
+        }
+        self._links: Dict[str, List[SubscriberLink]] = {
+            name: build_links(profile, subscribers, seed)
+            for name, profile in self._profiles.items()
+        }
+        client_list = (
+            list(clients) if clients is not None else list(default_clients())
+        )
+        self._clients: Dict[str, MeasurementClient] = {
+            client.name: client for client in client_list
+        }
+        self._rngs: Dict[Tuple[str, str], np.random.Generator] = {}
+        self.probes_run = 0
+        self.probes_failed = 0
+
+    def regions(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._profiles))
+
+    def clients(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._clients))
+
+    def _rng(self, region: str, client: str) -> np.random.Generator:
+        key = (region, client)
+        if key not in self._rngs:
+            self._rngs[key] = make_rng(self._seed, "probe", region, client)
+        return self._rngs[key]
+
+    def run(self, request: ProbeRequest) -> Measurement:
+        """Execute one probe against the simulated population.
+
+        Raises:
+            BackendError: for unknown regions/clients or injected
+                transient failures.
+        """
+        profile = self._profiles.get(request.region)
+        if profile is None:
+            raise BackendError(
+                f"unknown region {request.region!r} "
+                f"(have {sorted(self._profiles)})"
+            )
+        client = self._clients.get(request.client)
+        if client is None:
+            raise BackendError(
+                f"unknown client {request.client!r} "
+                f"(have {sorted(self._clients)})"
+            )
+        rng = self._rng(request.region, request.client)
+        self.probes_run += 1
+        if self._failure_rate > 0 and rng.random() < self._failure_rate:
+            self.probes_failed += 1
+            raise BackendError(
+                f"transient failure running {request.client} in "
+                f"{request.region} at t={request.timestamp:.0f}"
+            )
+        links = self._links[request.region]
+        link = links[int(rng.integers(0, len(links)))]
+        utilization = profile.diurnal.sample_utilization(
+            rng, request.timestamp, profile.load_factor
+        )
+        return client.measure(link, utilization, request.timestamp, rng)

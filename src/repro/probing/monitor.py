@@ -1,0 +1,154 @@
+"""Continuous barometer monitoring: windows in, alerts out.
+
+:class:`BarometerMonitor` is the long-running-operator composition of
+the pieces below it: each reporting window's measurements are ingested,
+every region's IQB is appended to its history, and the trailing-median
+drop detector (:func:`repro.analysis.temporal.detect_drops`) decides
+whether the *new* window constitutes an alert. The monitor is
+deliberately batch-synchronous — feed it a window, get back alerts —
+so it is trivially drivable from a cron job, a stream consumer, or a
+simulation loop (see ``examples/incident_monitoring.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.temporal import ScorePoint, detect_drops
+from repro.core.config import IQBConfig
+from repro.core.exceptions import DataError
+from repro.core.scoring import score_region
+from repro.measurements.collection import MeasurementSet
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One region's score collapsed in the just-ingested window."""
+
+    region: str
+    window_start: float
+    window_end: float
+    score: float
+    baseline: float
+
+    @property
+    def drop(self) -> float:
+        """How far below the trailing baseline the window fell."""
+        return self.baseline - self.score
+
+    def __str__(self) -> str:
+        return (
+            f"ALERT {self.region}: IQB {self.score:.3f} "
+            f"vs baseline {self.baseline:.3f} "
+            f"(-{self.drop:.3f}) in window starting "
+            f"{self.window_start / 86400.0:.1f}d"
+        )
+
+
+class BarometerMonitor:
+    """Stateful window-by-window monitor over one or more regions."""
+
+    def __init__(
+        self,
+        config: IQBConfig,
+        min_drop: float = 0.1,
+        trailing: int = 3,
+        min_samples: int = 20,
+    ) -> None:
+        """Args:
+            config: scoring configuration for every window.
+            min_drop: alert threshold below the trailing baseline.
+            trailing: windows in the baseline median.
+            min_samples: windows with fewer tests are recorded as
+                unscored (they never alert and never enter baselines).
+        """
+        if min_drop <= 0:
+            raise ValueError(f"min_drop must be positive: {min_drop}")
+        if trailing < 1:
+            raise ValueError(f"trailing must be >= 1: {trailing}")
+        self.config = config
+        self.min_drop = min_drop
+        self.trailing = trailing
+        self.min_samples = min_samples
+        self._history: Dict[str, List[ScorePoint]] = {}
+
+    def history(self, region: str) -> Tuple[ScorePoint, ...]:
+        """The region's full window history so far."""
+        return tuple(self._history.get(region, ()))
+
+    def regions(self) -> Tuple[str, ...]:
+        """Regions seen so far, sorted."""
+        return tuple(sorted(self._history))
+
+    def _score_window(self, records: MeasurementSet) -> Optional[float]:
+        if len(records) < self.min_samples:
+            return None
+        try:
+            return score_region(records.group_by_source(), self.config).value
+        except DataError:
+            return None
+
+    def ingest(
+        self,
+        records: MeasurementSet,
+        window_start: float,
+        window_end: float,
+    ) -> List[Alert]:
+        """Ingest one window of measurements; return new alerts.
+
+        Every region present in ``records`` gets a window entry;
+        previously-seen regions absent from this window get an unscored
+        gap entry (a silent region must not freeze its baseline
+        forever without trace).
+
+        Raises:
+            ValueError: on an empty or inverted window.
+        """
+        if window_end <= window_start:
+            raise ValueError(
+                f"inverted window: [{window_start}, {window_end})"
+            )
+        window = records.between(window_start, window_end)
+        present = set(window.regions())
+        alerts: List[Alert] = []
+        for region in sorted(present | set(self._history)):
+            if region in present:
+                score = self._score_window(window.for_region(region))
+                samples = len(window.for_region(region))
+            else:
+                score = None
+                samples = 0
+            point = ScorePoint(
+                start=window_start,
+                end=window_end,
+                score=score,
+                samples=samples,
+            )
+            history = self._history.setdefault(region, [])
+            history.append(point)
+            alert = self._evaluate(region, history)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def _evaluate(
+        self, region: str, history: List[ScorePoint]
+    ) -> Optional[Alert]:
+        """Alert iff the newest window is flagged by the detector."""
+        newest = history[-1]
+        if newest.score is None:
+            return None
+        anomalies = detect_drops(
+            history, min_drop=self.min_drop, trailing=self.trailing
+        )
+        for anomaly in anomalies:
+            if anomaly.start == newest.start:
+                return Alert(
+                    region=region,
+                    window_start=anomaly.start,
+                    window_end=anomaly.end,
+                    score=anomaly.score,
+                    baseline=anomaly.baseline,
+                )
+        return None

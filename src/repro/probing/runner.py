@@ -1,0 +1,111 @@
+"""The probe runner: schedules in, measurements out.
+
+Executes every :class:`~repro.probing.backends.ProbeRequest` of a
+schedule against a backend, with bounded retries on
+:class:`~repro.core.exceptions.BackendError` (transient failures are a
+fact of life for real measurement infrastructure) and a final abandon
+count, delivering successes to a sink and returning an auditable
+:class:`RunReport`.
+
+The runner is synchronous and single-threaded on purpose: probe
+*timing* lives in the schedule's timestamps, not in wall-clock
+concurrency, so a deterministic loop is both sufficient and exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.core.exceptions import BackendError
+
+from .backends import MeasurementBackend, ProbeRequest
+from .sinks import ResultSink
+
+
+@dataclass(frozen=True)
+class FailedProbe:
+    """A probe abandoned after exhausting its retries."""
+
+    request: ProbeRequest
+    attempts: int
+    last_error: str
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome accounting for one runner invocation."""
+
+    scheduled: int
+    succeeded: int
+    retried: int
+    abandoned: Tuple[FailedProbe, ...]
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of scheduled probes that eventually succeeded."""
+        if self.scheduled == 0:
+            return 1.0
+        return self.succeeded / self.scheduled
+
+
+class ProbeRunner:
+    """Executes probe schedules against a backend with retries."""
+
+    def __init__(
+        self,
+        backend: MeasurementBackend,
+        sink: ResultSink,
+        max_attempts: int = 3,
+    ) -> None:
+        """Args:
+            backend: where probes run.
+            sink: where successful measurements go.
+            max_attempts: total tries per probe (1 = no retries).
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        self.backend = backend
+        self.sink = sink
+        self.max_attempts = max_attempts
+
+    def run(self, schedule: Iterable[ProbeRequest]) -> RunReport:
+        """Execute every request in the schedule.
+
+        BackendErrors are retried up to ``max_attempts`` times and then
+        abandoned (recorded in the report); any other exception is a
+        bug and propagates.
+        """
+        scheduled = 0
+        succeeded = 0
+        retried = 0
+        abandoned: List[FailedProbe] = []
+        for request in schedule:
+            scheduled += 1
+            last_error = ""
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    measurement = self.backend.run(request)
+                except BackendError as exc:
+                    last_error = str(exc)
+                    if attempt < self.max_attempts:
+                        retried += 1
+                    continue
+                self.sink.accept(measurement)
+                succeeded += 1
+                break
+            else:
+                abandoned.append(
+                    FailedProbe(
+                        request=request,
+                        attempts=self.max_attempts,
+                        last_error=last_error,
+                    )
+                )
+        return RunReport(
+            scheduled=scheduled,
+            succeeded=succeeded,
+            retried=retried,
+            abandoned=tuple(abandoned),
+        )

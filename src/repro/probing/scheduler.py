@@ -1,0 +1,130 @@
+"""Probe schedules: when and where to measure.
+
+A schedule is just an iterable of
+:class:`~repro.probing.backends.ProbeRequest`, generated
+deterministically from a seed. Three generators cover the shapes real
+measurement campaigns take:
+
+* :class:`UniformSchedule` — tests spread uniformly over the window
+  (infrastructure-driven probing, e.g. RIPE-Atlas-style anchors);
+* :class:`DiurnalSchedule` — evening-biased (crowdsourced speed tests:
+  people measure when the network feels slow);
+* :class:`PoissonSchedule` — memoryless arrivals at a target rate
+  (organic test traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.netsim.congestion import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.netsim.rng import make_rng
+
+from .backends import ProbeRequest
+
+
+def _check_window(days: float) -> None:
+    if days <= 0:
+        raise ValueError(f"days must be positive: {days}")
+
+
+def _cross(regions: Sequence[str], clients: Sequence[str]) -> List[Tuple[str, str]]:
+    if not regions:
+        raise ValueError("schedule needs at least one region")
+    if not clients:
+        raise ValueError("schedule needs at least one client")
+    return [(r, c) for r in regions for c in clients]
+
+
+@dataclass(frozen=True)
+class UniformSchedule:
+    """Evenly spread tests per (region, client) over the window."""
+
+    regions: Tuple[str, ...]
+    clients: Tuple[str, ...]
+    tests_per_pair: int = 200
+    days: float = 7.0
+    start_timestamp: float = 0.0
+    seed: int = 0
+
+    def __iter__(self) -> Iterator[ProbeRequest]:
+        _check_window(self.days)
+        window = self.days * SECONDS_PER_DAY
+        for region, client in _cross(self.regions, self.clients):
+            rng = make_rng(self.seed, "uniform", region, client)
+            for i in range(self.tests_per_pair):
+                # Stratified-uniform: one test per equal slice, jittered.
+                slice_start = window * i / self.tests_per_pair
+                slice_width = window / self.tests_per_pair
+                timestamp = (
+                    self.start_timestamp
+                    + slice_start
+                    + float(rng.uniform(0.0, slice_width))
+                )
+                yield ProbeRequest(client=client, region=region, timestamp=timestamp)
+
+
+@dataclass(frozen=True)
+class DiurnalSchedule:
+    """Crowdsourced-style schedule: a share of tests in the evening."""
+
+    regions: Tuple[str, ...]
+    clients: Tuple[str, ...]
+    tests_per_pair: int = 200
+    days: float = 7.0
+    start_timestamp: float = 0.0
+    evening_bias: float = 0.5
+    seed: int = 0
+
+    def __iter__(self) -> Iterator[ProbeRequest]:
+        _check_window(self.days)
+        if not 0.0 <= self.evening_bias <= 1.0:
+            raise ValueError(f"evening_bias outside [0, 1]: {self.evening_bias}")
+        whole_days = max(1, int(self.days))
+        window_end = self.start_timestamp + self.days * SECONDS_PER_DAY
+        for region, client in _cross(self.regions, self.clients):
+            rng = make_rng(self.seed, "diurnal", region, client)
+            for _ in range(self.tests_per_pair):
+                day = float(rng.integers(0, whole_days))
+                if rng.random() < self.evening_bias:
+                    hour = float(rng.uniform(18.0, 23.0))
+                else:
+                    hour = float(rng.uniform(0.0, 24.0))
+                timestamp = (
+                    self.start_timestamp
+                    + day * SECONDS_PER_DAY
+                    + hour * SECONDS_PER_HOUR
+                )
+                # Fractional final days: keep the draw inside the window.
+                timestamp = min(timestamp, window_end - 1.0)
+                yield ProbeRequest(client=client, region=region, timestamp=timestamp)
+
+
+@dataclass(frozen=True)
+class PoissonSchedule:
+    """Memoryless arrivals at ``rate_per_day`` per (region, client)."""
+
+    regions: Tuple[str, ...]
+    clients: Tuple[str, ...]
+    rate_per_day: float = 30.0
+    days: float = 7.0
+    start_timestamp: float = 0.0
+    seed: int = 0
+
+    def __iter__(self) -> Iterator[ProbeRequest]:
+        _check_window(self.days)
+        if self.rate_per_day <= 0:
+            raise ValueError(f"rate_per_day must be positive: {self.rate_per_day}")
+        window = self.days * SECONDS_PER_DAY
+        mean_gap = SECONDS_PER_DAY / self.rate_per_day
+        for region, client in _cross(self.regions, self.clients):
+            rng = make_rng(self.seed, "poisson", region, client)
+            t = float(rng.exponential(mean_gap))
+            while t < window:
+                yield ProbeRequest(
+                    client=client,
+                    region=region,
+                    timestamp=self.start_timestamp + t,
+                )
+                t += float(rng.exponential(mean_gap))

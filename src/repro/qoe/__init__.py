@@ -1,0 +1,44 @@
+"""Ground-truth QoE models, one per IQB use case."""
+
+from .audio import AudioModel
+from .backup import BackupModel
+from .conditions import NetworkConditions, clamp01, from_link
+from .conferencing import (
+    ConferencingModel,
+    delay_impairment,
+    loss_impairment,
+    r_factor,
+    r_to_mos,
+)
+from .composite import (
+    PRIME_TIME_HOUR,
+    PopulationQoE,
+    UseCaseModels,
+    region_qoe,
+    regions_qoe,
+)
+from .gaming import GamingModel
+from .video import DEFAULT_LADDER, VideoModel
+from .web import WebModel
+
+__all__ = [
+    "AudioModel",
+    "BackupModel",
+    "ConferencingModel",
+    "DEFAULT_LADDER",
+    "GamingModel",
+    "NetworkConditions",
+    "PRIME_TIME_HOUR",
+    "PopulationQoE",
+    "UseCaseModels",
+    "VideoModel",
+    "WebModel",
+    "clamp01",
+    "delay_impairment",
+    "from_link",
+    "loss_impairment",
+    "r_factor",
+    "r_to_mos",
+    "region_qoe",
+    "regions_qoe",
+]

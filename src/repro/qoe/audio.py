@@ -1,0 +1,65 @@
+"""Audio-streaming QoE: stall-probability model.
+
+Music streaming needs little bandwidth (0.32 Mbit/s for 320 kb/s
+streams) but suffers when the effective throughput cannot keep the
+playout buffer ahead, or when loss forces rebuffering of the small
+audio segments. Latency matters only mildly (startup and seek times).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netsim.tcp import multi_stream_throughput
+
+from .conditions import NetworkConditions, clamp01
+
+#: High-quality stream bitrate (Mbit/s).
+DEFAULT_BITRATE_MBPS = 0.32
+#: Buffer headroom audio players keep.
+HEADROOM = 2.0
+
+
+@dataclass(frozen=True)
+class AudioModel:
+    """Audio stall model → satisfaction."""
+
+    bitrate_mbps: float = DEFAULT_BITRATE_MBPS
+
+    def stall_risk(self, conditions: NetworkConditions) -> float:
+        """Probability-like stall risk in [0, 1]."""
+        throughput = multi_stream_throughput(
+            conditions.download_mbps,
+            conditions.rtt_ms,
+            conditions.loss,
+            streams=1,
+        )
+        required = self.bitrate_mbps * HEADROOM
+        if throughput >= required:
+            return clamp01(conditions.loss * 1.5)
+        deficit = 1.0 - throughput / required
+        return clamp01(deficit + conditions.loss * 1.5)
+
+    def startup_delay(self, conditions: NetworkConditions) -> float:
+        """Seconds to first audio (handshake + initial buffer)."""
+        rtt_s = conditions.rtt_ms / 1000.0
+        throughput = max(
+            multi_stream_throughput(
+                conditions.download_mbps,
+                conditions.rtt_ms,
+                conditions.loss,
+                streams=1,
+            ),
+            0.05,
+        )
+        buffer_seconds = 5.0 * self.bitrate_mbps / throughput
+        return 3.0 * rtt_s + buffer_seconds
+
+    def satisfaction(self, conditions: NetworkConditions) -> float:
+        """Satisfaction in [0, 1]: stall-dominated, mildly startup-aware."""
+        stall = self.stall_risk(conditions)
+        startup = self.startup_delay(conditions)
+        startup_penalty = clamp01((startup - 1.0) / 9.0)
+        quality = math.exp(-4.0 * stall) * (1.0 - 0.3 * startup_penalty)
+        return clamp01(quality)

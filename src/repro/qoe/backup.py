@@ -1,0 +1,52 @@
+"""Online-backup QoE: completion-time utility.
+
+Bulk backup is throughput-bound and asymmetric: only the upload path
+matters, latency barely does (long-lived flows amortize handshakes),
+and loss matters only through its effect on sustained TCP rate. The
+utility question users actually have is "does tonight's backup finish
+overnight?" — so satisfaction is a logistic in completion hours against
+an overnight window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netsim.tcp import multi_stream_throughput
+
+from .conditions import NetworkConditions, clamp01
+
+#: A respectable nightly incremental backup (bytes).
+DEFAULT_BACKUP_BYTES = 20e9
+#: Backup clients open several parallel transfer streams.
+BACKUP_STREAMS = 4
+#: Completion time (h) at which satisfaction crosses 0.5.
+TOLERANCE_HOURS = 8.0
+
+
+@dataclass(frozen=True)
+class BackupModel:
+    """Upload completion time → satisfaction."""
+
+    backup_bytes: float = DEFAULT_BACKUP_BYTES
+    tolerance_hours: float = TOLERANCE_HOURS
+
+    def completion_hours(self, conditions: NetworkConditions) -> float:
+        """Hours to push the backup at sustained upload rate."""
+        throughput = multi_stream_throughput(
+            conditions.upload_mbps,
+            conditions.rtt_ms,
+            conditions.loss,
+            streams=BACKUP_STREAMS,
+        )
+        throughput = max(throughput, 0.05)
+        seconds = self.backup_bytes * 8.0 / (throughput * 1e6)
+        return seconds / 3600.0
+
+    def satisfaction(self, conditions: NetworkConditions) -> float:
+        """Satisfaction in [0, 1]; 0.5 when the overnight window is hit."""
+        hours = self.completion_hours(conditions)
+        return clamp01(
+            1.0 / (1.0 + math.exp(0.6 * (hours - self.tolerance_hours)))
+        )

@@ -1,0 +1,136 @@
+"""Population-level QoE ground truth per region.
+
+Evaluates every use-case model over a region's simulated subscriber
+population at prime-time conditions, yielding the "true experienced
+quality" that the evaluation benches compare scores against: if IQB is
+a better barometer than a speed-only metric, its region ranking should
+track this ground truth more closely (the poster's central claim).
+
+The mapping between IQB use cases and QoE models is one-to-one, and the
+composite aggregates with the same use-case weights as the IQB config
+under study — so the comparison isolates the *scoring* methodology, not
+the choice of use cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.usecases import UseCase
+from repro.core.weights import UseCaseWeights, equal_use_case_weights
+from repro.netsim.population import RegionProfile, build_links
+from repro.netsim.rng import make_rng
+
+from .audio import AudioModel
+from .backup import BackupModel
+from .conditions import NetworkConditions, from_link
+from .conferencing import ConferencingModel
+from .gaming import GamingModel
+from .video import VideoModel
+from .web import WebModel
+
+#: Prime-time hour at which ground-truth QoE is evaluated.
+PRIME_TIME_HOUR = 20.5
+
+
+class UseCaseModels:
+    """The six per-use-case QoE models, keyed by IQB use case."""
+
+    def __init__(
+        self,
+        web: Optional[WebModel] = None,
+        video: Optional[VideoModel] = None,
+        conferencing: Optional[ConferencingModel] = None,
+        audio: Optional[AudioModel] = None,
+        backup: Optional[BackupModel] = None,
+        gaming: Optional[GamingModel] = None,
+    ) -> None:
+        self._models = {
+            UseCase.WEB_BROWSING: web or WebModel(),
+            UseCase.VIDEO_STREAMING: video or VideoModel(),
+            UseCase.VIDEO_CONFERENCING: conferencing or ConferencingModel(),
+            UseCase.AUDIO_STREAMING: audio or AudioModel(),
+            UseCase.ONLINE_BACKUP: backup or BackupModel(),
+            UseCase.GAMING: gaming or GamingModel(),
+        }
+
+    def satisfaction(
+        self, use_case: UseCase, conditions: NetworkConditions
+    ) -> float:
+        """One use case's satisfaction under the given conditions."""
+        return self._models[use_case].satisfaction(conditions)
+
+
+@dataclass(frozen=True)
+class PopulationQoE:
+    """Ground-truth QoE digest for one region."""
+
+    region: str
+    #: Mean satisfaction per use case across the population.
+    per_use_case: Mapping[UseCase, float]
+    #: Weighted composite (same ``w_u`` convention as the IQB score).
+    overall: float
+    subscribers: int
+
+
+def region_qoe(
+    profile: RegionProfile,
+    seed: int,
+    subscribers: int = 150,
+    models: Optional[UseCaseModels] = None,
+    weights: Optional[UseCaseWeights] = None,
+    hour: float = PRIME_TIME_HOUR,
+) -> PopulationQoE:
+    """Evaluate ground-truth QoE over a region's population.
+
+    Each subscriber is evaluated at the region's prime-time utilization
+    (with the same per-draw noise the simulator applies), so the ground
+    truth reflects the loaded network the 95th-percentile rule also
+    tends to see.
+    """
+    models = models or UseCaseModels()
+    weights = weights or equal_use_case_weights()
+    links = build_links(profile, subscribers, seed)
+    rng = make_rng(seed, "qoe", profile.name)
+    sums: Dict[UseCase, float] = {u: 0.0 for u in UseCase}
+    for link in links:
+        utilization = profile.diurnal.utilization(hour, profile.load_factor)
+        noisy = min(
+            1.0,
+            max(0.0, utilization + float(rng.normal(0.0, 0.05))),
+        )
+        conditions = from_link(link, noisy)
+        for use_case in UseCase:
+            sums[use_case] += models.satisfaction(use_case, conditions)
+    per_use_case = {u: sums[u] / len(links) for u in UseCase}
+    normalized = weights.normalized()
+    overall = sum(normalized[u] * per_use_case[u] for u in UseCase)
+    return PopulationQoE(
+        region=profile.name,
+        per_use_case=per_use_case,
+        overall=overall,
+        subscribers=len(links),
+    )
+
+
+def regions_qoe(
+    profiles: Mapping[str, RegionProfile],
+    seed: int,
+    subscribers: int = 150,
+    models: Optional[UseCaseModels] = None,
+    weights: Optional[UseCaseWeights] = None,
+) -> Dict[str, PopulationQoE]:
+    """Ground-truth QoE for several regions."""
+    return {
+        name: region_qoe(
+            profile,
+            seed=seed,
+            subscribers=subscribers,
+            models=models,
+            weights=weights,
+        )
+        for name, profile in profiles.items()
+    }

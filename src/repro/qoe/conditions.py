@@ -1,0 +1,47 @@
+"""Shared input type for the QoE models.
+
+Every per-use-case model maps one set of *ground-truth* network
+conditions — what the subscriber's link actually delivers, not what a
+speed test reported — onto a satisfaction value in [0, 1]. Conditions
+typically come from :class:`~repro.netsim.link.SubscriberLink` at a
+chosen utilization via :func:`from_link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.link import SubscriberLink
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Effective link conditions a QoE model evaluates."""
+
+    download_mbps: float
+    upload_mbps: float
+    rtt_ms: float
+    loss: float
+
+    def __post_init__(self) -> None:
+        if self.download_mbps < 0 or self.upload_mbps < 0:
+            raise ValueError(f"negative throughput in {self}")
+        if self.rtt_ms <= 0:
+            raise ValueError(f"non-positive rtt in {self}")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss outside [0, 1] in {self}")
+
+
+def from_link(link: SubscriberLink, utilization: float) -> NetworkConditions:
+    """Ground-truth conditions of a simulated link at a utilization."""
+    return NetworkConditions(
+        download_mbps=link.down_available_mbps(utilization),
+        upload_mbps=link.up_available_mbps(utilization),
+        rtt_ms=link.rtt_under_load(utilization),
+        loss=link.loss_under_load(utilization),
+    )
+
+
+def clamp01(value: float) -> float:
+    """Clamp a satisfaction value into [0, 1]."""
+    return min(1.0, max(0.0, value))

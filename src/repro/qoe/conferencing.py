@@ -1,0 +1,97 @@
+"""Video-conferencing QoE: a simplified ITU-T G.107 E-model.
+
+The E-model scores a conversational path with a transmission rating
+``R`` starting from ~93 and subtracting impairments:
+
+* ``Id`` — delay impairment, negligible below ~160 ms mouth-to-ear and
+  steep beyond ~300 ms (we map one-way delay ≈ RTT/2 + jitter-buffer);
+* ``Ie_eff`` — equipment/loss impairment for the codec, growing with
+  packet loss against the codec's loss robustness (Bpl).
+
+``R`` maps to MOS via the standard cubic, and MOS (1..4.5) normalizes
+to satisfaction in [0, 1]. A throughput floor handicaps links that
+cannot carry the video at all — the E-model alone is audio-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .conditions import NetworkConditions, clamp01
+
+#: Default transmission rating with modern wideband codecs.
+R0 = 93.2
+#: Jitter-buffer + capture/encode delay added to the network path (ms).
+PROCESSING_DELAY_MS = 40.0
+#: Codec baseline impairment and loss robustness (Opus-like).
+IE_CODEC = 0.0
+BPL_CODEC = 25.0
+#: Bitrates (Mbit/s) below which video degrades / fails outright.
+VIDEO_GOOD_MBPS = 2.5
+VIDEO_MIN_MBPS = 0.6
+
+
+def delay_impairment(one_way_ms: float) -> float:
+    """``Id``: the classic G.107 delay-impairment approximation.
+
+    ``Id = 0.024·d + 0.11·(d − 177.3)·H(d − 177.3)`` with d the one-way
+    mouth-to-ear delay in ms (Cole & Rosenbluth's widely used fit).
+    """
+    impairment = 0.024 * one_way_ms
+    if one_way_ms > 177.3:
+        impairment += 0.11 * (one_way_ms - 177.3)
+    return impairment
+
+
+def loss_impairment(loss: float) -> float:
+    """``Ie_eff``: codec + packet-loss impairment."""
+    loss_percent = loss * 100.0
+    return IE_CODEC + (95.0 - IE_CODEC) * loss_percent / (loss_percent + BPL_CODEC)
+
+
+def r_factor(conditions: NetworkConditions) -> float:
+    """Transmission rating R in [0, ~93]."""
+    one_way = conditions.rtt_ms / 2.0 + PROCESSING_DELAY_MS
+    r = R0 - delay_impairment(one_way) - loss_impairment(conditions.loss)
+    return max(0.0, r)
+
+
+def r_to_mos(r: float) -> float:
+    """The standard G.107 R→MOS cubic, clamped to [1, 4.5]."""
+    if r <= 0:
+        return 1.0
+    if r >= 100:
+        return 4.5
+    mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6
+    return min(4.5, max(1.0, mos))
+
+
+@dataclass(frozen=True)
+class ConferencingModel:
+    """E-model audio score with a video throughput gate."""
+
+    video_good_mbps: float = VIDEO_GOOD_MBPS
+    video_min_mbps: float = VIDEO_MIN_MBPS
+
+    def mos(self, conditions: NetworkConditions) -> float:
+        """Call MOS in [1, 4.5] (audio E-model, video-gated)."""
+        audio_mos = r_to_mos(r_factor(conditions))
+        return audio_mos * self._video_gate(conditions)
+
+    def _video_gate(self, conditions: NetworkConditions) -> float:
+        """Multiplier in [0.55, 1] for the sendable/receivable video.
+
+        Conferencing is bidirectional: the *minimum* of up and down
+        governs, since either direction starving kills the call.
+        """
+        usable = min(conditions.download_mbps, conditions.upload_mbps)
+        if usable >= self.video_good_mbps:
+            return 1.0
+        if usable <= self.video_min_mbps:
+            return 0.55
+        span = self.video_good_mbps - self.video_min_mbps
+        return 0.55 + 0.45 * (usable - self.video_min_mbps) / span
+
+    def satisfaction(self, conditions: NetworkConditions) -> float:
+        """MOS normalized onto [0, 1] (MOS 1 → 0, MOS 4.5 → 1)."""
+        return clamp01((self.mos(conditions) - 1.0) / 3.5)

@@ -1,0 +1,61 @@
+"""Online-gaming QoE: responsiveness model.
+
+Competitive online play is dominated by the motion-to-photon chain:
+network RTT plus loss-induced retransmission/rollback. Published
+player studies put the playability cliff between 100 and 150 ms RTT,
+with loss above ~1 % causing visible rubber-banding regardless of
+latency. Throughput matters only as a low floor (game state streams
+are tens of kb/s; downloads are a separate use case).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .conditions import NetworkConditions, clamp01
+
+#: RTT (ms) below which play feels local.
+RTT_EXCELLENT_MS = 30.0
+#: RTT (ms) at which satisfaction crosses 0.5.
+RTT_TOLERANCE_MS = 110.0
+#: Throughput floor (Mbit/s) for state updates + voice + patch trickle.
+THROUGHPUT_FLOOR_MBPS = 3.0
+
+
+@dataclass(frozen=True)
+class GamingModel:
+    """Latency/loss playability model → satisfaction."""
+
+    rtt_tolerance_ms: float = RTT_TOLERANCE_MS
+    #: Logistic steepness (1/ms).
+    steepness: float = 0.045
+
+    def responsiveness(self, conditions: NetworkConditions) -> float:
+        """Latency-only playability in [0, 1] (logistic in RTT)."""
+        rtt = max(conditions.rtt_ms, 1.0)
+        if rtt <= RTT_EXCELLENT_MS:
+            return 1.0
+        return clamp01(
+            1.0
+            / (1.0 + math.exp(self.steepness * (rtt - self.rtt_tolerance_ms)))
+        )
+
+    def loss_penalty(self, conditions: NetworkConditions) -> float:
+        """Multiplier in [0, 1]: rubber-banding from packet loss."""
+        return math.exp(-80.0 * conditions.loss)
+
+    def throughput_gate(self, conditions: NetworkConditions) -> float:
+        """Multiplier in [0.5, 1] for links below the state-update floor."""
+        usable = min(conditions.download_mbps, conditions.upload_mbps * 4.0)
+        if usable >= THROUGHPUT_FLOOR_MBPS:
+            return 1.0
+        return 0.5 + 0.5 * usable / THROUGHPUT_FLOOR_MBPS
+
+    def satisfaction(self, conditions: NetworkConditions) -> float:
+        """Playability in [0, 1]."""
+        return clamp01(
+            self.responsiveness(conditions)
+            * self.loss_penalty(conditions)
+            * self.throughput_gate(conditions)
+        )

@@ -1,0 +1,92 @@
+"""Video-streaming QoE: adaptive-bitrate ladder + rebuffer penalty.
+
+An ABR player picks the highest ladder rung that fits safely inside the
+sustainable TCP throughput, then suffers rebuffering when conditions
+leave too little headroom. Satisfaction combines:
+
+* the *perceptual value* of the selected rung (diminishing returns with
+  bitrate — 4K over 1080p matters less than 480p over 240p), and
+* a rebuffer penalty that grows as the throughput safety margin shrinks
+  and as loss spikes eat the buffer.
+
+The ladder matches common streaming tiers (240p ... 4K).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.netsim.tcp import multi_stream_throughput
+
+from .conditions import NetworkConditions, clamp01
+
+#: (label, bitrate Mbit/s, perceptual value in [0, 1]).
+DEFAULT_LADDER: Tuple[Tuple[str, float, float], ...] = (
+    ("240p", 0.4, 0.15),
+    ("480p", 1.5, 0.45),
+    ("720p", 3.5, 0.70),
+    ("1080p", 6.0, 0.85),
+    ("1440p", 10.0, 0.93),
+    ("2160p", 18.0, 1.00),
+)
+
+#: Players keep a safety margin: sustained throughput must exceed the
+#: rung bitrate by this factor.
+HEADROOM = 1.25
+#: Streams a player typically uses for segment fetches.
+PLAYER_STREAMS = 2
+
+
+@dataclass(frozen=True)
+class VideoModel:
+    """ABR rung selection → satisfaction model."""
+
+    ladder: Tuple[Tuple[str, float, float], ...] = DEFAULT_LADDER
+    #: Weight of the rebuffer penalty in the final satisfaction.
+    rebuffer_weight: float = 0.5
+
+    def sustainable_mbps(self, conditions: NetworkConditions) -> float:
+        """Sustained fetch throughput the player can count on."""
+        return multi_stream_throughput(
+            conditions.download_mbps,
+            conditions.rtt_ms,
+            conditions.loss,
+            streams=PLAYER_STREAMS,
+        )
+
+    def select_rung(self, conditions: NetworkConditions) -> Tuple[str, float, float]:
+        """The ladder rung the ABR controller would settle on.
+
+        Returns the lowest rung when even 240p does not fit — playback
+        then rebuffers chronically, which the penalty term captures.
+        """
+        throughput = self.sustainable_mbps(conditions)
+        selected = self.ladder[0]
+        for rung in self.ladder:
+            _, bitrate, _ = rung
+            if throughput >= bitrate * HEADROOM:
+                selected = rung
+        return selected
+
+    def rebuffer_ratio(self, conditions: NetworkConditions) -> float:
+        """Fraction of playback time lost to stalls, in [0, 1]."""
+        throughput = self.sustainable_mbps(conditions)
+        _, bitrate, _ = self.select_rung(conditions)
+        margin = throughput / (bitrate * HEADROOM) if bitrate > 0 else 0.0
+        if margin >= 1.0:
+            # Headroom respected: stalls come only from loss bursts.
+            return clamp01(conditions.loss * 2.0)
+        # Under-provisioned: stall fraction grows with the deficit.
+        deficit = 1.0 - margin
+        return clamp01(deficit + conditions.loss * 2.0)
+
+    def satisfaction(self, conditions: NetworkConditions) -> float:
+        """Satisfaction in [0, 1] combining rung value and stalls."""
+        _, _, value = self.select_rung(conditions)
+        stall = self.rebuffer_ratio(conditions)
+        # Rebuffering is perceptually catastrophic: exponential penalty.
+        penalty = 1.0 - math.exp(-6.0 * stall)
+        return clamp01(value * (1.0 - self.rebuffer_weight * penalty)
+                       - 0.5 * penalty * self.rebuffer_weight)

@@ -1,0 +1,62 @@
+"""Web-browsing QoE: a page-load-time model.
+
+Loading a modern page costs several round trips before any payload
+moves (DNS, TCP, TLS, then request/response waterfalls), followed by
+transferring a few megabytes over loss-limited TCP. The model:
+
+``PLT = setup_rtts · RTT + page_bytes / effective_throughput + render``
+
+with effective throughput the Mathis-capped single-ish-connection rate
+(browsers multiplex, so we model 3 effective streams), and satisfaction
+an APDEX-style logistic: ~1.0 below one second, ~0.5 at the tolerance
+point, →0 beyond frustration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netsim.tcp import multi_stream_throughput
+
+from .conditions import NetworkConditions, clamp01
+
+#: Median 2024-era page weight (bytes).
+DEFAULT_PAGE_BYTES = 2.5e6
+#: Round trips spent before the payload flows (DNS+TCP+TLS+HTML fetch).
+SETUP_RTTS = 5.0
+#: Client-side parse/render time (s), network-independent.
+RENDER_SECONDS = 0.4
+#: Browsers fetch over a handful of multiplexed connections.
+EFFECTIVE_STREAMS = 3
+
+
+@dataclass(frozen=True)
+class WebModel:
+    """Page-load-time → satisfaction model."""
+
+    page_bytes: float = DEFAULT_PAGE_BYTES
+    #: PLT (s) at which users rate the experience 0.5.
+    tolerance_seconds: float = 4.0
+    #: Logistic steepness (1/s).
+    steepness: float = 1.2
+
+    def page_load_time(self, conditions: NetworkConditions) -> float:
+        """Estimated page load time in seconds."""
+        rtt_s = conditions.rtt_ms / 1000.0
+        throughput = multi_stream_throughput(
+            conditions.download_mbps,
+            conditions.rtt_ms,
+            conditions.loss,
+            streams=EFFECTIVE_STREAMS,
+        )
+        throughput = max(throughput, 0.05)  # keep transfer time finite
+        transfer = self.page_bytes * 8.0 / (throughput * 1e6)
+        return SETUP_RTTS * rtt_s + transfer + RENDER_SECONDS
+
+    def satisfaction(self, conditions: NetworkConditions) -> float:
+        """Satisfaction in [0, 1]; 0.5 at the tolerance PLT."""
+        plt = self.page_load_time(conditions)
+        return clamp01(
+            1.0 / (1.0 + math.exp(self.steepness * (plt - self.tolerance_seconds)))
+        )

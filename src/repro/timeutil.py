@@ -1,0 +1,30 @@
+"""Shared clock arithmetic.
+
+POSIX-second timestamps are the one time representation used across the
+project (records, schedules, simulation); these helpers are the single
+source of truth for turning them into local clock positions.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_HOUR = 3600.0
+
+
+def hour_of_day(timestamp: float) -> float:
+    """Local fractional hour in [0, 24) of a POSIX timestamp."""
+    return (timestamp % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+
+def day_of_week(timestamp: float) -> int:
+    """Day index 0..6 of a POSIX timestamp (day 0 = the epoch's day).
+
+    The simulator treats campaign timelines as starting on a Monday, so
+    indices 5 and 6 are the weekend.
+    """
+    return int(timestamp // SECONDS_PER_DAY) % 7
+
+
+def is_weekend(timestamp: float) -> bool:
+    """True on the simulator's weekend days (indices 5 and 6)."""
+    return day_of_week(timestamp) >= 5

@@ -1,0 +1,121 @@
+"""Unit tests for drop detection (analysis.temporal.detect_drops)."""
+
+import pytest
+
+from repro.analysis.temporal import AnomalyWindow, ScorePoint, detect_drops
+
+DAY = 86400.0
+
+
+def point(day, score, samples=100):
+    return ScorePoint(start=day * DAY, end=(day + 1) * DAY, score=score,
+                      samples=samples)
+
+
+class TestDetectDrops:
+    def test_flat_series_never_alarms(self):
+        points = [point(i, 0.5) for i in range(10)]
+        assert detect_drops(points) == []
+
+    def test_single_drop_detected(self):
+        points = [point(i, 0.6) for i in range(4)] + [point(4, 0.3)]
+        anomalies = detect_drops(points, min_drop=0.1)
+        assert len(anomalies) == 1
+        assert anomalies[0].start == 4 * DAY
+        assert anomalies[0].drop == pytest.approx(0.3)
+
+    def test_small_dips_below_threshold_ignored(self):
+        points = [point(i, 0.6) for i in range(4)] + [point(4, 0.55)]
+        assert detect_drops(points, min_drop=0.1) == []
+
+    def test_long_outage_stays_alarmed(self):
+        # Alarmed windows are excluded from the baseline, so a sustained
+        # collapse keeps alarming instead of becoming the new normal.
+        points = [point(i, 0.6) for i in range(4)] + [
+            point(i, 0.2) for i in range(4, 8)
+        ]
+        anomalies = detect_drops(points, min_drop=0.1, trailing=3)
+        assert len(anomalies) == 4
+        assert all(a.baseline == pytest.approx(0.6) for a in anomalies)
+
+    def test_recovery_does_not_alarm(self):
+        points = (
+            [point(i, 0.6) for i in range(4)]
+            + [point(4, 0.2)]
+            + [point(i, 0.6) for i in range(5, 8)]
+        )
+        anomalies = detect_drops(points, min_drop=0.1)
+        assert [a.start for a in anomalies] == [4 * DAY]
+
+    def test_no_baseline_no_alarm(self):
+        # The very first windows cannot alarm: nothing to compare against.
+        points = [point(0, 0.9), point(1, 0.1), point(2, 0.1)]
+        assert detect_drops(points, min_drop=0.1, trailing=3) == []
+
+    def test_unscored_windows_skipped(self):
+        points = (
+            [point(i, 0.6) for i in range(3)]
+            + [ScorePoint(start=3 * DAY, end=4 * DAY, score=None, samples=2)]
+            + [point(4, 0.3)]
+        )
+        anomalies = detect_drops(points, min_drop=0.1, trailing=3)
+        assert len(anomalies) == 1
+        assert anomalies[0].start == 4 * DAY
+
+    def test_gradual_decline_can_evade(self):
+        # Documented limitation: a slow slide tracks the baseline down.
+        points = [point(i, 0.6 - 0.03 * i) for i in range(10)]
+        assert detect_drops(points, min_drop=0.1, trailing=3) == []
+
+    def test_validation(self):
+        points = [point(0, 0.5)]
+        with pytest.raises(ValueError):
+            detect_drops(points, min_drop=0.0)
+        with pytest.raises(ValueError):
+            detect_drops(points, trailing=0)
+
+
+class TestEndToEndIncident:
+    def test_congestion_incident_detected(self, config):
+        from repro.analysis.temporal import score_time_series
+        from repro.netsim import region_preset
+        from repro.netsim.evolution import (
+            EvolutionStage,
+            simulate_evolution,
+            with_incident,
+        )
+
+        profile = region_preset("suburban-cable")
+        stages = [
+            EvolutionStage(profile, days=4.0),
+            EvolutionStage(with_incident(profile, severity=1.2), days=2.0),
+            EvolutionStage(profile, days=4.0),
+        ]
+        records = simulate_evolution(
+            stages, seed=3, tests_per_client_per_stage=200, subscribers=60
+        )
+        points = score_time_series(
+            records, "suburban-cable", config, window_seconds=86400.0
+        )
+        anomalies = detect_drops(points, min_drop=0.08, trailing=3)
+        assert anomalies, "the incident must be detected"
+        # Every alarm falls inside (or on the boundary window of) the
+        # incident period, days 4-6.
+        for anomaly in anomalies:
+            assert 3.0 * 86400.0 <= anomaly.start < 6.0 * 86400.0
+
+    def test_incident_profile_validation(self):
+        from repro.netsim import region_preset
+        from repro.netsim.evolution import with_incident
+
+        with pytest.raises(ValueError):
+            with_incident(region_preset("metro-fiber"), severity=-0.1)
+
+    def test_incident_scales_load(self):
+        from repro.netsim import region_preset
+        from repro.netsim.evolution import with_incident
+
+        base = region_preset("metro-fiber")
+        hit = with_incident(base, severity=0.5)
+        assert hit.load_factor == pytest.approx(base.load_factor * 1.5)
+        assert hit.name == base.name

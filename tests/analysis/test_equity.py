@@ -1,0 +1,107 @@
+"""Unit tests for repro.analysis.equity."""
+
+import pytest
+
+from repro.analysis.equity import (
+    equity_table,
+    scores_by_isp,
+    scores_by_technology,
+)
+from repro.core.exceptions import DataError
+from repro.netsim import CampaignConfig, region_preset, simulate_region
+
+
+@pytest.fixture(scope="module")
+def mixed_records():
+    # mixed-urban has three ISPs across fiber/cable/DSL: the equity case.
+    return simulate_region(
+        region_preset("mixed-urban"),
+        seed=17,
+        config=CampaignConfig(subscribers=90, tests_per_client=500),
+    )
+
+
+class TestScoresByISP:
+    def test_all_isps_listed(self, mixed_records, config):
+        breakdown = scores_by_isp(mixed_records, "mixed-urban", config)
+        assert {g.group for g in breakdown.groups} == {
+            "UrbanFiber",
+            "CityCable",
+            "OldTelco",
+        }
+        assert breakdown.dimension == "isp"
+
+    def test_fiber_isp_beats_cable_isp(self, mixed_records, config):
+        breakdown = scores_by_isp(mixed_records, "mixed-urban", config)
+        scores = {g.group: g.score for g in breakdown.groups}
+        assert scores["UrbanFiber"] > scores["CityCable"]
+
+    def test_gap_and_worst_group(self, mixed_records, config):
+        breakdown = scores_by_isp(mixed_records, "mixed-urban", config)
+        assert breakdown.gap is not None and breakdown.gap > 0.0
+        assert breakdown.worst_group is not None
+        best = breakdown.scored_groups()[0]
+        assert best.score - breakdown.worst_group.score == pytest.approx(
+            breakdown.gap
+        )
+
+    def test_overall_matches_region_score(self, mixed_records, config):
+        from repro.core import score_region
+
+        breakdown = scores_by_isp(mixed_records, "mixed-urban", config)
+        direct = score_region(
+            mixed_records.for_region("mixed-urban").group_by_source(), config
+        ).value
+        assert breakdown.overall == pytest.approx(direct)
+
+    def test_min_samples_gate(self, mixed_records, config):
+        breakdown = scores_by_isp(
+            mixed_records, "mixed-urban", config, min_samples=10_000
+        )
+        assert all(g.score is None for g in breakdown.groups)
+        assert breakdown.gap is None
+
+    def test_unknown_region_raises(self, mixed_records, config):
+        with pytest.raises(DataError):
+            scores_by_isp(mixed_records, "atlantis", config)
+
+
+class TestScoresByTechnology:
+    def test_technologies_listed(self, mixed_records, config):
+        breakdown = scores_by_technology(mixed_records, "mixed-urban", config)
+        assert {g.group for g in breakdown.groups} == {"fiber", "cable", "dsl"}
+
+    def test_fiber_beats_dsl(self, mixed_records, config):
+        breakdown = scores_by_technology(mixed_records, "mixed-urban", config)
+        scores = {g.group: g.score for g in breakdown.groups}
+        assert scores["fiber"] > scores["dsl"]
+
+    def test_region_score_between_best_and_worst_tech(
+        self, mixed_records, config
+    ):
+        breakdown = scores_by_technology(mixed_records, "mixed-urban", config)
+        scored = breakdown.scored_groups()
+        assert scored[-1].score - 0.05 <= breakdown.overall
+
+
+class TestEquityTable:
+    def test_rows_sorted_best_first(self, mixed_records, config):
+        breakdown = scores_by_isp(mixed_records, "mixed-urban", config)
+        rows = equity_table(breakdown)
+        scores = [row["score"] for row in rows if row["score"] is not None]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_delta_vs_overall(self, mixed_records, config):
+        breakdown = scores_by_isp(mixed_records, "mixed-urban", config)
+        for row in equity_table(breakdown):
+            if row["score"] is not None:
+                assert row["delta_vs_region"] == pytest.approx(
+                    row["score"] - breakdown.overall
+                )
+
+    def test_unscored_groups_sink_to_bottom(self, mixed_records, config):
+        breakdown = scores_by_isp(
+            mixed_records, "mixed-urban", config, min_samples=10_000
+        )
+        rows = equity_table(breakdown)
+        assert all(row["score"] is None for row in rows)

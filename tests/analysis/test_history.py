@@ -1,0 +1,89 @@
+"""Unit tests for repro.analysis.history (ScoreArchive)."""
+
+import pytest
+
+from repro.analysis.history import ScoreArchive
+from repro.core.exceptions import DataError, SchemaError
+from repro.core.scoring import score_region
+
+
+@pytest.fixture()
+def breakdowns(fiber_sources, dsl_sources, config):
+    return {
+        "fiber": score_region(fiber_sources, config),
+        "dsl": score_region(dsl_sources, config),
+    }
+
+
+class TestArchiveLifecycle:
+    def test_append_and_get(self, tmp_path, breakdowns):
+        archive = ScoreArchive(tmp_path / "scores.jsonl")
+        archive.append("2026-06", "metro", breakdowns["fiber"])
+        archive.append("2026-06", "rural", breakdowns["dsl"])
+        assert len(archive) == 2
+        assert archive.get("2026-06", "metro") == breakdowns["fiber"]
+
+    def test_persists_across_instances(self, tmp_path, breakdowns):
+        path = tmp_path / "scores.jsonl"
+        ScoreArchive(path).append("2026-06", "metro", breakdowns["fiber"])
+        reloaded = ScoreArchive(path)
+        assert reloaded.get("2026-06", "metro").value == pytest.approx(
+            breakdowns["fiber"].value
+        )
+
+    def test_duplicate_cell_rejected(self, tmp_path, breakdowns):
+        archive = ScoreArchive(tmp_path / "scores.jsonl")
+        archive.append("2026-06", "metro", breakdowns["fiber"])
+        with pytest.raises(DataError, match="already holds"):
+            archive.append("2026-06", "metro", breakdowns["dsl"])
+
+    def test_missing_cell_raises(self, tmp_path):
+        archive = ScoreArchive(tmp_path / "scores.jsonl")
+        with pytest.raises(DataError, match="no entry"):
+            archive.get("2026-06", "metro")
+
+    def test_corrupt_file_rejected_with_location(self, tmp_path):
+        path = tmp_path / "scores.jsonl"
+        path.write_text('{"period": "x"}\n')
+        with pytest.raises(SchemaError, match=":1"):
+            ScoreArchive(path)
+
+
+class TestQueries:
+    def test_periods_and_regions(self, tmp_path, breakdowns):
+        archive = ScoreArchive(tmp_path / "scores.jsonl")
+        archive.append("2026-05", "metro", breakdowns["dsl"])
+        archive.append("2026-06", "metro", breakdowns["fiber"])
+        archive.append("2026-06", "rural", breakdowns["dsl"])
+        assert archive.periods() == ("2026-05", "2026-06")
+        assert archive.regions() == ("metro", "rural")
+        assert archive.regions(period="2026-05") == ("metro",)
+
+    def test_series(self, tmp_path, breakdowns):
+        archive = ScoreArchive(tmp_path / "scores.jsonl")
+        archive.append("2026-05", "metro", breakdowns["dsl"])
+        archive.append("2026-06", "metro", breakdowns["fiber"])
+        series = archive.series("metro")
+        assert [period for period, _ in series] == ["2026-05", "2026-06"]
+        assert series[1][1] > series[0][1]  # the region improved
+
+
+class TestCompare:
+    def test_period_over_period_attribution(self, tmp_path, breakdowns):
+        archive = ScoreArchive(tmp_path / "scores.jsonl")
+        archive.append("2026-05", "metro", breakdowns["dsl"])
+        archive.append("2026-06", "metro", breakdowns["fiber"])
+        attribution = archive.compare("metro", "2026-05", "2026-06")
+        assert attribution.difference == pytest.approx(
+            breakdowns["fiber"].value - breakdowns["dsl"].value
+        )
+        assert attribution.check() == pytest.approx(0.0, abs=1e-12)
+
+    def test_compare_survives_reload(self, tmp_path, breakdowns):
+        path = tmp_path / "scores.jsonl"
+        archive = ScoreArchive(path)
+        archive.append("2026-05", "metro", breakdowns["dsl"])
+        archive.append("2026-06", "metro", breakdowns["fiber"])
+        reloaded = ScoreArchive(path)
+        attribution = reloaded.compare("metro", "2026-05", "2026-06")
+        assert attribution.check() == pytest.approx(0.0, abs=1e-12)

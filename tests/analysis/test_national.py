@@ -1,0 +1,89 @@
+"""Unit tests for repro.analysis.national."""
+
+import pytest
+
+from repro.analysis.national import national_score, render_national
+from repro.core.exceptions import DataError
+
+
+SCORES = {"metro": 0.8, "suburb": 0.6, "rural": 0.2}
+POPULATIONS = {"metro": 5_000_000, "suburb": 3_000_000, "rural": 2_000_000}
+
+
+class TestNationalScore:
+    def test_population_weighted_mean(self):
+        national = national_score(SCORES, POPULATIONS)
+        expected = (0.8 * 5 + 0.6 * 3 + 0.2 * 2) / 10
+        assert national.value == pytest.approx(expected)
+
+    def test_equal_populations_reduce_to_mean(self):
+        national = national_score(SCORES, {r: 1.0 for r in SCORES})
+        assert national.value == pytest.approx(sum(SCORES.values()) / 3)
+
+    def test_weights_sum_to_one(self):
+        national = national_score(SCORES, POPULATIONS)
+        assert sum(s.weight for s in national.regions) == pytest.approx(1.0)
+
+    def test_shortfall_decomposition_exact(self):
+        national = national_score(SCORES, POPULATIONS)
+        assert national.check() == pytest.approx(0.0, abs=1e-12)
+        assert national.shortfall == pytest.approx(1.0 - national.value)
+
+    def test_ranked_by_shortfall(self):
+        national = national_score(SCORES, POPULATIONS)
+        ranked = national.ranked_by_shortfall()
+        contributions = [s.shortfall_contribution for s in ranked]
+        assert contributions == sorted(contributions, reverse=True)
+        # rural: 0.2 pop-share x 0.8 shortfall = 0.16 — the biggest.
+        assert ranked[0].region == "rural"
+
+    def test_small_population_large_gap_can_outweigh(self):
+        # A tiny terrible region vs a huge near-perfect one.
+        national = national_score(
+            {"big": 0.95, "tiny": 0.0},
+            {"big": 9_000_000, "tiny": 1_000_000},
+        )
+        ranked = national.ranked_by_shortfall()
+        assert ranked[0].region == "tiny"
+
+    def test_extra_population_entries_ignored(self):
+        populations = dict(POPULATIONS, elsewhere=99e9)
+        national = national_score(SCORES, populations)
+        assert {s.region for s in national.regions} == set(SCORES)
+
+    def test_validation(self):
+        with pytest.raises(DataError, match="at least one"):
+            national_score({}, {})
+        with pytest.raises(DataError, match="without population"):
+            national_score(SCORES, {"metro": 1.0})
+        with pytest.raises(DataError, match="positive"):
+            national_score({"x": 0.5}, {"x": 0.0})
+        with pytest.raises(DataError, match="outside"):
+            national_score({"x": 1.5}, {"x": 1.0})
+
+
+class TestRender:
+    def test_mentions_value_and_top_contributor(self):
+        national = national_score(SCORES, POPULATIONS)
+        text = render_national(national)
+        assert "National IQB" in text
+        assert "rural" in text
+        assert "shortfall" in text
+
+
+class TestEndToEnd:
+    def test_from_simulated_regions(self, small_campaign, config):
+        from repro.core import IQBFramework
+
+        framework = IQBFramework(config)
+        scores = {
+            region: breakdown.value
+            for region, breakdown in framework.score_all_regions(
+                small_campaign
+            ).items()
+        }
+        national = national_score(
+            scores, {"metro-fiber": 1e6, "rural-dsl": 8e5}
+        )
+        assert scores["rural-dsl"] <= national.value <= scores["metro-fiber"]
+        assert national.ranked_by_shortfall()[0].region == "rural-dsl"

@@ -1,0 +1,111 @@
+"""Unit tests for repro.analysis.publish and the publish CLI command."""
+
+import json
+
+import pytest
+
+from repro.analysis.publish import build_publication
+from repro.core.usecases import UseCase
+
+
+class TestBuildPublication:
+    def test_contains_all_sections(self, small_campaign, config):
+        document = build_publication(
+            small_campaign,
+            config,
+            populations={"metro-fiber": 2e6, "rural-dsl": 1e6},
+        )
+        assert document.startswith("# Internet Quality Barometer report")
+        assert "## National headline" in document
+        assert "## Regional scores" in document
+        assert "## metro-fiber" in document
+        assert "## rural-dsl" in document
+        assert "## Methodology & provenance" in document
+
+    def test_no_national_section_without_populations(
+        self, small_campaign, config
+    ):
+        document = build_publication(small_campaign, config)
+        assert "## National headline" not in document
+        assert "## Regional scores" in document
+
+    def test_regions_ordered_best_first(self, small_campaign, config):
+        document = build_publication(small_campaign, config)
+        assert document.index("## metro-fiber") < document.index("## rural-dsl")
+
+    def test_use_case_tables_present(self, small_campaign, config):
+        document = build_publication(small_campaign, config)
+        for use_case in UseCase:
+            assert use_case.display_name in document
+
+    def test_improvement_targets_for_failing_region(
+        self, small_campaign, config
+    ):
+        document = build_publication(small_campaign, config)
+        assert "Improvement needed" in document
+        assert "Mbit/s" in document
+
+    def test_provenance_records_methodology(self, small_campaign, config):
+        document = build_publication(small_campaign, config)
+        assert "p95" in document
+        assert "literal semantics" in document
+        assert "cloudflare, ndt, ookla" in document
+
+    def test_custom_title(self, small_campaign, config):
+        document = build_publication(
+            small_campaign, config, title="Q3 Barometer"
+        )
+        assert document.startswith("# Q3 Barometer")
+
+
+class TestPublishCli:
+    @pytest.fixture()
+    def campaign_file(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "campaign.jsonl"
+        main(
+            [
+                "simulate",
+                str(path),
+                "--regions",
+                "metro-fiber",
+                "rural-dsl",
+                "--tests",
+                "80",
+                "--subscribers",
+                "25",
+            ]
+        )
+        return path
+
+    def test_publish_to_stdout(self, campaign_file, capsys):
+        from repro.cli import main
+
+        assert main(["publish", str(campaign_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# Internet Quality Barometer report" in out
+
+    def test_publish_to_file_with_populations(
+        self, campaign_file, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        populations = tmp_path / "pop.json"
+        populations.write_text(
+            json.dumps({"metro-fiber": 2e6, "rural-dsl": 1e6})
+        )
+        output = tmp_path / "report.md"
+        assert main(
+            [
+                "publish",
+                str(campaign_file),
+                "--populations",
+                str(populations),
+                "--output",
+                str(output),
+            ]
+        ) == 0
+        document = output.read_text()
+        assert "## National headline" in document
+        assert "wrote publication" in capsys.readouterr().out

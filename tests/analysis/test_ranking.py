@@ -1,0 +1,133 @@
+"""Unit tests for repro.analysis.ranking, cross-checked against scipy."""
+
+import pytest
+import scipy.stats
+
+from repro.analysis.ranking import (
+    kendall_tau,
+    pairwise_flips,
+    pearson,
+    rank_regions,
+    ranks,
+    spearman_rho,
+)
+
+
+class TestRankRegions:
+    def test_best_first(self):
+        ordered = rank_regions({"a": 0.2, "b": 0.9, "c": 0.5})
+        assert [name for name, _ in ordered] == ["b", "c", "a"]
+
+    def test_ties_break_alphabetically(self):
+        ordered = rank_regions({"z": 0.5, "a": 0.5})
+        assert [name for name, _ in ordered] == ["a", "z"]
+
+
+class TestRanks:
+    def test_simple(self):
+        assert ranks({"a": 0.9, "b": 0.5, "c": 0.1}) == {
+            "a": 1.0,
+            "b": 2.0,
+            "c": 3.0,
+        }
+
+    def test_ties_share_average_rank(self):
+        result = ranks({"a": 0.9, "b": 0.5, "c": 0.5, "d": 0.1})
+        assert result["b"] == result["c"] == 2.5
+        assert result["d"] == 4.0
+
+
+class TestCorrelations:
+    def scores(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        keys = [f"r{i}" for i in range(12)]
+        a = {k: float(rng.normal()) for k in keys}
+        b = {k: a[k] * 0.5 + float(rng.normal()) * 0.5 for k in keys}
+        return a, b
+
+    def test_spearman_matches_scipy(self):
+        a, b = self.scores()
+        keys = sorted(a)
+        expected = scipy.stats.spearmanr(
+            [a[k] for k in keys], [b[k] for k in keys]
+        ).statistic
+        assert spearman_rho(a, b) == pytest.approx(float(expected))
+
+    def test_kendall_matches_scipy(self):
+        a, b = self.scores()
+        keys = sorted(a)
+        expected = scipy.stats.kendalltau(
+            [a[k] for k in keys], [b[k] for k in keys]
+        ).statistic
+        assert kendall_tau(a, b) == pytest.approx(float(expected))
+
+    def test_kendall_with_ties_matches_scipy(self):
+        a = {"r1": 1.0, "r2": 1.0, "r3": 0.5, "r4": 0.2, "r5": 0.2}
+        b = {"r1": 0.9, "r2": 0.7, "r3": 0.7, "r4": 0.1, "r5": 0.3}
+        keys = sorted(a)
+        expected = scipy.stats.kendalltau(
+            [a[k] for k in keys], [b[k] for k in keys]
+        ).statistic
+        assert kendall_tau(a, b) == pytest.approx(float(expected))
+
+    def test_perfect_agreement(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert spearman_rho(a, a) == pytest.approx(1.0)
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        b = {"x": 3.0, "y": 2.0, "z": 1.0}
+        assert spearman_rho(a, b) == pytest.approx(-1.0)
+        assert kendall_tau(a, b) == pytest.approx(-1.0)
+
+    def test_only_shared_keys_used(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0, "only_a": 9.0}
+        b = {"x": 1.0, "y": 2.0, "z": 3.0, "only_b": -9.0}
+        assert spearman_rho(a, b) == pytest.approx(1.0)
+
+    def test_too_few_keys_rejected(self):
+        with pytest.raises(ValueError):
+            spearman_rho({"x": 1.0}, {"x": 1.0})
+        with pytest.raises(ValueError):
+            kendall_tau({"x": 1.0}, {"y": 1.0})
+
+    def test_constant_input_returns_zero(self):
+        a = {"x": 1.0, "y": 1.0, "z": 1.0}
+        b = {"x": 0.1, "y": 0.5, "z": 0.9}
+        assert spearman_rho(a, b) == 0.0
+
+
+class TestPearson:
+    def test_linear_relation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+
+class TestPairwiseFlips:
+    def test_no_flips_when_identical_order(self):
+        a = {"x": 1.0, "y": 2.0}
+        assert pairwise_flips(a, a) == []
+
+    def test_flip_detected_and_oriented(self):
+        a = {"x": 2.0, "y": 1.0}  # a ranks x above y
+        b = {"x": 1.0, "y": 2.0}  # b ranks y above x
+        assert pairwise_flips(a, b) == [("x", "y")]
+
+    def test_ties_do_not_count_as_flips(self):
+        a = {"x": 1.0, "y": 1.0}
+        b = {"x": 0.1, "y": 0.9}
+        assert pairwise_flips(a, b) == []
+
+    def test_flip_count_matches_kendall_discordance(self):
+        a = {"r1": 4.0, "r2": 3.0, "r3": 2.0, "r4": 1.0}
+        b = {"r1": 4.0, "r2": 1.0, "r3": 2.0, "r4": 3.0}
+        flips = pairwise_flips(a, b)
+        assert len(flips) == 3  # (r2,r3), (r2,r4), (r3,r4)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.report and correlation."""
+
+import pytest
+
+from repro.analysis.correlation import evaluate_methods
+from repro.analysis.report import comparison_report, region_report
+from repro.netsim.population import region_preset
+from repro.netsim.simulator import CampaignConfig
+
+
+class TestRegionReport:
+    def test_contains_headline_numbers(self, small_campaign, config):
+        text = region_report(small_campaign, "rural-dsl", config)
+        assert "IQB report: rural-dsl" in text
+        assert "IQB score" in text
+        assert "Grade" in text
+        assert "/850" in text
+
+    def test_lists_datasets(self, small_campaign, config):
+        text = region_report(small_campaign, "metro-fiber", config)
+        assert "ndt" in text and "cloudflare" in text and "ookla" in text
+
+    def test_requirement_detail_table(self, small_campaign, config):
+        text = region_report(small_campaign, "rural-dsl", config)
+        assert "Requirement detail" in text
+        assert "latency_ms" in text
+        assert "packet_loss" in text
+
+    def test_opportunities_for_imperfect_region(self, small_campaign, config):
+        text = region_report(small_campaign, "rural-dsl", config)
+        assert "improvement opportunities" in text
+
+    def test_default_config_used_when_omitted(self, small_campaign):
+        assert "IQB score" in region_report(small_campaign, "metro-fiber")
+
+
+class TestComparisonReport:
+    def test_all_regions_listed_sorted(self, small_campaign, config):
+        text = comparison_report(small_campaign, config)
+        lines = text.splitlines()
+        fiber_line = next(i for i, l in enumerate(lines) if "metro-fiber" in l)
+        dsl_line = next(i for i, l in enumerate(lines) if "rural-dsl" in l)
+        assert fiber_line < dsl_line  # better region first
+
+    def test_row_contents(self, small_campaign, config):
+        text = comparison_report(small_campaign, config)
+        assert "Grade" in text
+        assert "Tests" in text
+
+
+class TestEvaluateMethods:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        profiles = {
+            name: region_preset(name)
+            for name in ("metro-fiber", "suburban-cable", "rural-dsl",
+                         "satellite-remote")
+        }
+        campaign = CampaignConfig(subscribers=40, tests_per_client=120)
+        return evaluate_methods(
+            profiles, seed=13, config=config, campaign=campaign,
+            subscribers_for_qoe=40,
+        )
+
+    def test_both_methods_evaluated(self, result):
+        assert set(result.methods) == {"iqb", "speed_only"}
+
+    def test_qoe_covers_regions(self, result):
+        assert len(result.qoe) == 4
+
+    def test_statistics_bounded(self, result):
+        for method in result.methods.values():
+            assert -1.0 <= method.spearman <= 1.0
+            assert -1.0 <= method.kendall <= 1.0
+            assert method.flips >= 0
+
+    def test_iqb_tracks_qoe_strongly(self, result):
+        assert result.methods["iqb"].spearman >= 0.7
+
+    def test_winner_is_a_method(self, result):
+        assert result.winner() in result.methods

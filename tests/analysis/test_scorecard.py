@@ -1,0 +1,84 @@
+"""Unit tests for repro.analysis.scorecard."""
+
+import pytest
+
+from repro.analysis.scorecard import (
+    VERDICTS,
+    build_scorecard,
+    render_scorecard,
+    scorecard_from_breakdown,
+)
+from repro.core.scoring import score_region
+from repro.core.usecases import UseCase
+
+
+class TestBuildScorecard:
+    def test_shape(self, small_campaign, config):
+        card = build_scorecard(small_campaign, "rural-dsl", config)
+        assert card.region == "rural-dsl"
+        assert 0.0 <= card.score <= 1.0
+        assert card.grade in "ABCDE"
+        assert 300 <= card.credit <= 850
+        assert len(card.lines) == 6
+        assert card.tests == len(small_campaign.for_region("rural-dsl"))
+        assert card.datasets == ("cloudflare", "ndt", "ookla")
+
+    def test_lines_cover_every_use_case(self, small_campaign, config):
+        card = build_scorecard(small_campaign, "metro-fiber", config)
+        assert {line.use_case for line in card.lines} == set(UseCase)
+
+    def test_verdicts_match_grades(self, small_campaign, config):
+        card = build_scorecard(small_campaign, "rural-dsl", config)
+        for line in card.lines:
+            assert line.verdict == VERDICTS[line.grade]
+
+    def test_fix_first_present_for_imperfect_region(
+        self, small_campaign, config
+    ):
+        card = build_scorecard(small_campaign, "rural-dsl", config)
+        assert card.fix_first is not None
+        assert "+0." in card.fix_first
+
+    def test_fix_first_absent_for_perfect_region(
+        self, perfect_sources, config
+    ):
+        breakdown = score_region(perfect_sources, config)
+        card = scorecard_from_breakdown(breakdown, region="perfectville")
+        assert card.fix_first is None
+        assert card.grade == "A"
+
+
+class TestRenderScorecard:
+    def test_label_structure(self, small_campaign, config):
+        card = build_scorecard(small_campaign, "rural-dsl", config)
+        text = render_scorecard(card)
+        lines = text.splitlines()
+        assert lines[0].startswith("+--")
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "INTERNET QUALITY BAROMETER" in text
+        assert "rural-dsl" in text
+
+    def test_mentions_every_use_case(self, small_campaign, config):
+        card = build_scorecard(small_campaign, "metro-fiber", config)
+        text = render_scorecard(card)
+        for use_case in UseCase:
+            assert use_case.display_name in text
+
+    def test_mentions_data_provenance(self, small_campaign, config):
+        card = build_scorecard(small_campaign, "metro-fiber", config)
+        text = render_scorecard(card)
+        assert "tests from: cloudflare, ndt, ookla" in text
+
+    def test_score_bars_scale(self, perfect_sources, terrible_sources, config):
+        good = scorecard_from_breakdown(
+            score_region(perfect_sources, config), region="good"
+        )
+        bad = scorecard_from_breakdown(
+            score_region(terrible_sources, config), region="bad"
+        )
+        assert render_scorecard(good).count("#") > render_scorecard(bad).count("#")
+
+    def test_custom_width(self, small_campaign, config):
+        card = build_scorecard(small_campaign, "metro-fiber", config)
+        text = render_scorecard(card, width=80)
+        assert all(len(line) == 80 for line in text.splitlines())

@@ -1,0 +1,84 @@
+"""Unit tests for repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis.tables import render_markdown, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["Name", "Score"], [("alpha", 0.5), ("b", 1.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All lines padded to equal visible structure.
+        assert lines[0].startswith("Name")
+        assert "-----" in lines[1]
+        assert lines[2].startswith("alpha")
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(0.123456,)])
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_non_float_cells_via_str(self):
+        text = render_table(["x"], [(42,), ("hello",)])
+        assert "42" in text and "hello" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [(1,)])
+
+    def test_indent(self):
+        text = render_table(["x"], [(1,)], indent="  ")
+        assert all(line.startswith("  ") for line in text.splitlines())
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestSparkline:
+    def test_scaling(self):
+        from repro.analysis.tables import sparkline
+
+        assert sparkline([0.0, 0.5, 1.0]) == "▁▅█"
+
+    def test_none_values_become_spaces(self):
+        from repro.analysis.tables import sparkline
+
+        assert sparkline([0.0, None, 1.0]) == "▁ █"
+
+    def test_all_none(self):
+        from repro.analysis.tables import sparkline
+
+        assert sparkline([None, None]) == "  "
+
+    def test_constant_series(self):
+        from repro.analysis.tables import sparkline
+
+        assert sparkline([0.4, 0.4, 0.4]) == "███"
+
+    def test_explicit_bounds(self):
+        from repro.analysis.tables import sparkline
+
+        # With 0..1 bounds, 0.5 maps mid-scale even if the data is flat.
+        assert sparkline([0.5], low=0.0, high=1.0) in "▄▅"
+
+    def test_length_preserved(self):
+        from repro.analysis.tables import sparkline
+
+        values = [0.1 * i if i % 3 else None for i in range(10)]
+        assert len(sparkline(values)) == 10
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown(["Region", "IQB"], [("x", 0.5)])
+        lines = text.splitlines()
+        assert lines[0] == "| Region | IQB |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| x | 0.500 |"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown(["a"], [(1, 2)])

@@ -1,0 +1,153 @@
+"""Unit tests for repro.analysis.temporal."""
+
+import pytest
+
+from repro.analysis.temporal import (
+    PeakContrast,
+    ScorePoint,
+    peak_vs_offpeak,
+    score_time_series,
+    trend,
+)
+from repro.core.exceptions import DataError
+
+DAY = 86400.0
+
+
+class TestScoreTimeSeries:
+    def test_daily_series_shape(self, small_campaign, config):
+        points = score_time_series(
+            small_campaign, "metro-fiber", config, window_seconds=DAY
+        )
+        assert len(points) == 7  # the fixture campaign spans a week
+        for point in points:
+            assert point.end - point.start == pytest.approx(DAY)
+            if point.score is not None:
+                assert 0.0 <= point.score <= 1.0
+
+    def test_min_samples_gate(self, small_campaign, config):
+        points = score_time_series(
+            small_campaign,
+            "metro-fiber",
+            config,
+            window_seconds=DAY,
+            min_samples=10_000,
+        )
+        assert all(point.score is None for point in points)
+
+    def test_unknown_region_raises(self, small_campaign, config):
+        with pytest.raises(DataError):
+            score_time_series(small_campaign, "atlantis", config)
+
+    def test_samples_reported(self, small_campaign, config):
+        points = score_time_series(small_campaign, "rural-dsl", config)
+        assert sum(p.samples for p in points) == len(
+            small_campaign.for_region("rural-dsl")
+        )
+
+
+class TestPeakVsOffpeak:
+    def test_contrast_computed(self, small_campaign, config):
+        contrast = peak_vs_offpeak(small_campaign, "rural-dsl", config)
+        assert contrast.peak_samples + contrast.off_peak_samples == len(
+            small_campaign.for_region("rural-dsl")
+        )
+        assert contrast.peak_score is not None
+        assert contrast.off_peak_score is not None
+        assert contrast.degradation == pytest.approx(
+            contrast.off_peak_score - contrast.peak_score
+        )
+
+    def test_oversubscribed_region_degrades_at_peak(self, config):
+        from repro.netsim import CampaignConfig, region_preset, simulate_region
+
+        # Heavy-load region, lots of samples for a stable contrast.
+        records = simulate_region(
+            region_preset("suburban-cable"),
+            seed=31,
+            config=CampaignConfig(subscribers=60, tests_per_client=600),
+        )
+        contrast = peak_vs_offpeak(records, "suburban-cable", config)
+        assert contrast.degradation is not None
+        assert contrast.degradation >= -0.05  # evenings never clearly better
+
+    def test_degradation_none_when_undersampled(self, small_campaign, config):
+        contrast = peak_vs_offpeak(
+            small_campaign, "metro-fiber", config, min_samples=10_000
+        )
+        assert contrast.degradation is None
+
+    def test_unknown_region_raises(self, small_campaign, config):
+        with pytest.raises(DataError):
+            peak_vs_offpeak(small_campaign, "atlantis", config)
+
+
+class TestWeekendVsWeekday:
+    def test_partition_complete(self, small_campaign, config):
+        from repro.analysis.temporal import weekend_vs_weekday
+
+        contrast = weekend_vs_weekday(small_campaign, "metro-fiber", config)
+        assert contrast.peak_samples + contrast.off_peak_samples == len(
+            small_campaign.for_region("metro-fiber")
+        )
+
+    def test_weekend_days_are_two_sevenths(self, small_campaign, config):
+        from repro.analysis.temporal import weekend_vs_weekday
+
+        contrast = weekend_vs_weekday(small_campaign, "rural-dsl", config)
+        share = contrast.peak_samples / (
+            contrast.peak_samples + contrast.off_peak_samples
+        )
+        assert share == pytest.approx(2 / 7, abs=0.08)
+
+    def test_weekends_never_clearly_better(self, config):
+        from repro.analysis.temporal import weekend_vs_weekday
+        from repro.netsim import CampaignConfig, region_preset, simulate_region
+
+        records = simulate_region(
+            region_preset("suburban-cable"),
+            seed=61,
+            config=CampaignConfig(subscribers=60, tests_per_client=900),
+        )
+        contrast = weekend_vs_weekday(records, "suburban-cable", config)
+        assert contrast.degradation is not None
+        assert contrast.degradation >= -0.08
+
+    def test_unknown_region_raises(self, small_campaign, config):
+        from repro.analysis.temporal import weekend_vs_weekday
+
+        with pytest.raises(DataError):
+            weekend_vs_weekday(small_campaign, "atlantis", config)
+
+
+class TestTrend:
+    def point(self, day, score):
+        return ScorePoint(
+            start=day * DAY, end=(day + 1) * DAY, score=score, samples=100
+        )
+
+    def test_positive_slope(self):
+        points = [self.point(i, 0.1 * i) for i in range(5)]
+        slope, intercept = trend(points)
+        assert slope == pytest.approx(0.1)
+        assert intercept == pytest.approx(0.1 * 0.5 - 0.05, abs=0.06)
+
+    def test_flat_series(self):
+        points = [self.point(i, 0.5) for i in range(4)]
+        slope, _ = trend(points)
+        assert slope == pytest.approx(0.0)
+
+    def test_none_windows_excluded(self):
+        points = [
+            self.point(0, 0.0),
+            self.point(1, None),
+            self.point(2, 0.2),
+        ]
+        slope, _ = trend(points)
+        assert slope == pytest.approx(0.1)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(DataError):
+            trend([self.point(0, 0.5)])
+        with pytest.raises(DataError):
+            trend([self.point(0, None), self.point(1, None)])

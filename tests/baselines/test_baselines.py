@@ -1,0 +1,156 @@
+"""Unit tests for repro.baselines (speed, FCC, ablations)."""
+
+import pytest
+
+from repro.baselines.fcc import FCCVerdict, fcc_verdict
+from repro.baselines.naive import (
+    all_single_dataset_scores,
+    single_dataset_score,
+    unweighted_config,
+    unweighted_score,
+)
+from repro.baselines.speed import mean_speed_score, median_speed_score
+from repro.core.aggregation import SequenceSource
+from repro.core.exceptions import DataError
+from repro.core.metrics import Metric
+from repro.core.scoring import score_region
+from repro.core.usecases import UseCase
+
+
+def source(down, up=None, latency=None, loss=None, n=20):
+    return SequenceSource(
+        download_mbps=[down] * n,
+        upload_mbps=None if up is None else [up] * n,
+        latency_ms=None if latency is None else [latency] * n,
+        packet_loss=None if loss is None else [loss] * n,
+    )
+
+
+class TestSpeedScores:
+    def test_reference_speed_scores_one(self):
+        sources = {"a": source(150.0, up=150.0)}
+        assert median_speed_score(sources) == 1.0
+
+    def test_blend_weighting(self):
+        # 80/20 blend of down=100, up=0 → 80 / 100 reference.
+        sources = {"a": source(100.0, up=0.0)}
+        assert median_speed_score(sources) == pytest.approx(0.8)
+
+    def test_upload_falls_back_to_download(self):
+        sources = {"a": source(50.0)}
+        assert median_speed_score(sources) == pytest.approx(0.5)
+
+    def test_sample_weighted_combination(self):
+        sources = {
+            "big": SequenceSource(
+                download_mbps=[100.0] * 90, upload_mbps=[100.0] * 90
+            ),
+            "small": SequenceSource(
+                download_mbps=[0.0] * 10, upload_mbps=[0.0] * 10
+            ),
+        }
+        assert median_speed_score(sources) == pytest.approx(0.9)
+
+    def test_no_throughput_anywhere_raises(self):
+        sources = {"a": SequenceSource(latency_ms=[10.0] * 5)}
+        with pytest.raises(DataError):
+            median_speed_score(sources)
+
+    def test_mean_score_at_least_median_for_right_skew(self):
+        skewed = SequenceSource(
+            download_mbps=[10.0] * 90 + [500.0] * 10,
+            upload_mbps=[10.0] * 90 + [500.0] * 10,
+        )
+        assert mean_speed_score({"a": skewed}) >= median_speed_score({"a": skewed})
+
+    def test_parameter_validation(self):
+        sources = {"a": source(50.0)}
+        with pytest.raises(ValueError):
+            median_speed_score(sources, reference_mbps=0.0)
+        with pytest.raises(ValueError):
+            median_speed_score(sources, download_share=1.5)
+
+
+class TestFCC:
+    def test_served_region(self):
+        sources = {"a": source(200.0, up=50.0)}
+        verdict = fcc_verdict(sources)
+        assert verdict.served
+        assert verdict.score == 1.0
+
+    def test_upload_shortfall_unserves(self):
+        sources = {"a": source(500.0, up=5.0)}
+        verdict = fcc_verdict(sources)
+        assert verdict.download_ok and not verdict.upload_ok
+        assert not verdict.served
+        assert verdict.score == 0.0
+
+    def test_worst_dataset_governs(self):
+        sources = {
+            "optimist": source(500.0, up=100.0),
+            "pessimist": source(50.0, up=100.0),
+        }
+        verdict = fcc_verdict(sources)
+        assert verdict.download_mbps == pytest.approx(50.0)
+        assert not verdict.served
+
+    def test_missing_direction_raises(self):
+        with pytest.raises(DataError):
+            fcc_verdict({"a": source(100.0)})
+
+    def test_custom_bar(self):
+        sources = {"a": source(30.0, up=10.0)}
+        verdict = fcc_verdict(sources, down_mbps=25.0, up_mbps=3.0)
+        assert verdict.served
+
+
+class TestAblations:
+    @pytest.fixture()
+    def mixed_sources(self, fiber_sources):
+        return fiber_sources
+
+    def test_single_dataset_score(self, mixed_sources, config):
+        breakdown = single_dataset_score(mixed_sources, config, "ndt")
+        assert 0.0 <= breakdown.value <= 1.0
+
+    def test_unknown_dataset_rejected(self, mixed_sources, config):
+        with pytest.raises(DataError, match="mystery"):
+            single_dataset_score(mixed_sources, config, "mystery")
+
+    def test_all_single_dataset_scores(self, mixed_sources, config):
+        scores = all_single_dataset_scores(mixed_sources, config)
+        assert set(scores) == set(mixed_sources)
+
+    def test_corroborated_score_within_single_dataset_envelope(
+        self, mixed_sources, config
+    ):
+        singles = all_single_dataset_scores(mixed_sources, config)
+        combined = score_region(mixed_sources, config).value
+        values = [b.value for b in singles.values()]
+        assert min(values) - 1e-9 <= combined <= max(values) + 1e-9
+
+    def test_unweighted_config_flattens_everything(self, config):
+        flat = unweighted_config(config)
+        for use_case in UseCase:
+            for metric in Metric:
+                assert flat.requirement_weights.get(use_case, metric) == 1
+            assert flat.use_case_weights.get(use_case) == 1
+
+    def test_unweighted_preserves_capabilities(self, config):
+        flat = unweighted_config(config)
+        assert flat.dataset_weights.get(
+            UseCase.GAMING, Metric.PACKET_LOSS, "ookla"
+        ) == 0
+        assert flat.dataset_weights.get(
+            UseCase.GAMING, Metric.PACKET_LOSS, "ndt"
+        ) == 1
+
+    def test_unweighted_score_differs_from_weighted(
+        self, dsl_sources, config
+    ):
+        weighted = score_region(dsl_sources, config).value
+        flat = unweighted_score(dsl_sources, config).value
+        assert 0.0 <= flat <= 1.0
+        # Table 1 is not flat, so on a partially-failing region the two
+        # scores should differ (they agree only by coincidence).
+        assert flat != pytest.approx(weighted, abs=1e-6)

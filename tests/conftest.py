@@ -1,0 +1,67 @@
+"""Shared fixtures for the IQB reproduction test suite."""
+
+import pytest
+
+from repro.core import paper_config
+from repro.core.aggregation import SequenceSource
+from repro.netsim import CampaignConfig, region_preset, simulate_region
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The canonical paper configuration."""
+    return paper_config()
+
+
+@pytest.fixture(scope="session")
+def small_campaign():
+    """A small but realistic simulated campaign over two regions."""
+    campaign = CampaignConfig(subscribers=40, tests_per_client=120)
+    records = simulate_region(
+        region_preset("metro-fiber"), seed=7, config=campaign
+    ) + simulate_region(region_preset("rural-dsl"), seed=7, config=campaign)
+    return records
+
+
+@pytest.fixture(scope="session")
+def fiber_sources(small_campaign):
+    """Per-dataset sources for the metro-fiber region."""
+    return small_campaign.for_region("metro-fiber").group_by_source()
+
+
+@pytest.fixture(scope="session")
+def dsl_sources(small_campaign):
+    """Per-dataset sources for the rural-dsl region."""
+    return small_campaign.for_region("rural-dsl").group_by_source()
+
+
+def perfect_source():
+    """A source whose metrics pass every paper threshold at any percentile."""
+    return SequenceSource(
+        download_mbps=[500.0] * 20,
+        upload_mbps=[500.0] * 20,
+        latency_ms=[5.0] * 20,
+        packet_loss=[0.0] * 20,
+    )
+
+
+def terrible_source():
+    """A source whose metrics fail every paper threshold at any percentile."""
+    return SequenceSource(
+        download_mbps=[1.0] * 20,
+        upload_mbps=[0.5] * 20,
+        latency_ms=[900.0] * 20,
+        packet_loss=[0.15] * 20,
+    )
+
+
+@pytest.fixture()
+def perfect_sources():
+    """Three perfect datasets (every requirement passes)."""
+    return {name: perfect_source() for name in ("ndt", "cloudflare", "ookla")}
+
+
+@pytest.fixture()
+def terrible_sources():
+    """Three terrible datasets (every requirement fails)."""
+    return {name: terrible_source() for name in ("ndt", "cloudflare", "ookla")}

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.aggregation (the 95th-percentile rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    AggregationPolicy,
+    PercentileSemantics,
+    SequenceSource,
+    aggregate_metric,
+    percentile_of,
+)
+from repro.core.exceptions import AggregationError
+from repro.core.metrics import Metric
+
+
+class TestPolicy:
+    def test_default_is_literal_p95(self):
+        policy = AggregationPolicy()
+        assert policy.percentile == 95.0
+        assert policy.semantics is PercentileSemantics.LITERAL
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(AggregationError):
+            AggregationPolicy(percentile=101.0)
+        with pytest.raises(AggregationError):
+            AggregationPolicy(percentile=-1.0)
+
+    def test_literal_applies_same_percentile_everywhere(self):
+        policy = AggregationPolicy(percentile=95.0)
+        for metric in Metric:
+            assert policy.effective_percentile(metric) == 95.0
+
+    def test_conservative_mirrors_for_throughput(self):
+        policy = AggregationPolicy(
+            percentile=95.0, semantics=PercentileSemantics.CONSERVATIVE
+        )
+        assert policy.effective_percentile(Metric.DOWNLOAD) == 5.0
+        assert policy.effective_percentile(Metric.UPLOAD) == 5.0
+
+    def test_conservative_keeps_percentile_for_latency_and_loss(self):
+        policy = AggregationPolicy(
+            percentile=95.0, semantics=PercentileSemantics.CONSERVATIVE
+        )
+        assert policy.effective_percentile(Metric.LATENCY) == 95.0
+        assert policy.effective_percentile(Metric.PACKET_LOSS) == 95.0
+
+
+class TestPercentileOf:
+    def test_single_value(self):
+        assert percentile_of([42.0], 95.0) == 42.0
+
+    def test_median_of_two(self):
+        assert percentile_of([10.0, 20.0], 50.0) == 15.0
+
+    def test_matches_numpy_linear_interpolation(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for percentile in (0.0, 5.0, 50.0, 95.0, 100.0):
+            assert percentile_of(values, percentile) == pytest.approx(
+                float(np.percentile(values, percentile))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(AggregationError, match="no values"):
+            percentile_of([], 95.0)
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(AggregationError):
+            percentile_of([1.0], 150.0)
+
+    def test_p0_and_p100_are_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile_of(values, 0.0) == 1.0
+        assert percentile_of(values, 100.0) == 9.0
+
+
+class TestSequenceSource:
+    def test_quantile_of_present_metric(self):
+        source = SequenceSource(download_mbps=[10.0, 20.0, 30.0])
+        assert source.quantile(Metric.DOWNLOAD, 50.0) == 20.0
+
+    def test_missing_metric_returns_none(self):
+        source = SequenceSource(download_mbps=[10.0])
+        assert source.quantile(Metric.LATENCY, 50.0) is None
+
+    def test_empty_sequence_counts_as_missing(self):
+        source = SequenceSource(latency_ms=[])
+        assert source.quantile(Metric.LATENCY, 50.0) is None
+        assert source.sample_count(Metric.LATENCY) == 0
+
+    def test_sample_count(self):
+        source = SequenceSource(packet_loss=[0.0, 0.01, 0.02])
+        assert source.sample_count(Metric.PACKET_LOSS) == 3
+
+
+class TestAggregateMetric:
+    def test_uses_effective_percentile(self):
+        source = SequenceSource(download_mbps=list(map(float, range(1, 101))))
+        literal = AggregationPolicy(95.0, PercentileSemantics.LITERAL)
+        conservative = AggregationPolicy(95.0, PercentileSemantics.CONSERVATIVE)
+        high = aggregate_metric(source, Metric.DOWNLOAD, literal)
+        low = aggregate_metric(source, Metric.DOWNLOAD, conservative)
+        assert high > low  # p95 of 1..100 vs p5 of 1..100
+
+    def test_missing_metric_is_none(self):
+        source = SequenceSource(download_mbps=[1.0])
+        assert aggregate_metric(source, Metric.LATENCY, AggregationPolicy()) is None

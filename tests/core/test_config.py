@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.aggregation import AggregationPolicy, PercentileSemantics
+from repro.core.config import (
+    DEFAULT_DATASET_CAPABILITIES,
+    CONFIG_VERSION,
+    IQBConfig,
+    MissingDataPolicy,
+    paper_config,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.core.metrics import Metric
+from repro.core.quality import QualityLevel
+from repro.core.thresholds import RangePolicy
+from repro.core.usecases import UseCase
+
+U, M = UseCase, Metric
+
+
+class TestPaperConfig:
+    def test_defaults_match_paper(self, config):
+        assert config.aggregation.percentile == 95.0
+        assert config.aggregation.semantics is PercentileSemantics.LITERAL
+        assert config.quality_level is QualityLevel.HIGH
+        assert config.range_policy is RangePolicy.LOW
+        assert config.missing_data is MissingDataPolicy.SKIP
+
+    def test_default_dataset_capabilities(self, config):
+        assert config.dataset_weights.get(U.GAMING, M.DOWNLOAD, "ndt") == 1
+        assert config.dataset_weights.get(U.GAMING, M.PACKET_LOSS, "ookla") == 0
+        assert set(config.dataset_weights.datasets) == {
+            "ndt",
+            "cloudflare",
+            "ookla",
+        }
+
+    def test_ookla_has_no_loss_capability(self):
+        assert Metric.PACKET_LOSS not in DEFAULT_DATASET_CAPABILITIES["ookla"]
+
+    def test_threshold_value_high_level(self, config):
+        assert config.threshold_value(U.WEB_BROWSING, M.DOWNLOAD) == 100.0
+
+    def test_threshold_value_range_cell_uses_policy(self, config):
+        assert config.threshold_value(U.VIDEO_STREAMING, M.DOWNLOAD) == 50.0
+        mid = config.with_(range_policy=RangePolicy.MID)
+        assert mid.threshold_value(U.VIDEO_STREAMING, M.DOWNLOAD) == 75.0
+
+    def test_threshold_value_at_minimum_level(self, config):
+        minimum = config.with_(quality_level=QualityLevel.MINIMUM)
+        assert minimum.threshold_value(U.WEB_BROWSING, M.DOWNLOAD) == 10.0
+
+    def test_overrides_kwarg(self):
+        config = paper_config(quality_level=QualityLevel.MINIMUM)
+        assert config.quality_level is QualityLevel.MINIMUM
+
+    def test_custom_datasets(self):
+        config = paper_config(datasets={"mine": (M.DOWNLOAD,)})
+        assert config.dataset_weights.datasets == ("mine",)
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self, config):
+        changed = config.with_(missing_data=MissingDataPolicy.STRICT)
+        assert changed.missing_data is MissingDataPolicy.STRICT
+        assert config.missing_data is MissingDataPolicy.SKIP
+
+    def test_with_rejects_unknown_fields(self, config):
+        with pytest.raises(TypeError):
+            config.with_(nonsense=1)
+
+
+class TestSerialization:
+    def test_round_trip_dict(self, config):
+        rebuilt = IQBConfig.from_dict(config.to_dict())
+        assert rebuilt.thresholds == config.thresholds
+        assert rebuilt.requirement_weights == config.requirement_weights
+        assert rebuilt.use_case_weights == config.use_case_weights
+        assert rebuilt.dataset_weights == config.dataset_weights
+        assert rebuilt.aggregation == config.aggregation
+        assert rebuilt.quality_level is config.quality_level
+        assert rebuilt.range_policy is config.range_policy
+        assert rebuilt.missing_data is config.missing_data
+
+    def test_round_trip_json_string(self, config):
+        rebuilt = IQBConfig.from_json(config.to_json())
+        assert rebuilt.to_dict() == config.to_dict()
+
+    def test_round_trip_preserves_range_and_other_cells(self, config):
+        rebuilt = IQBConfig.from_json(config.to_json())
+        cell = rebuilt.thresholds.get(U.VIDEO_STREAMING, M.DOWNLOAD)
+        assert cell.high is not None and not isinstance(cell.high, float)
+        assert not rebuilt.thresholds.get(U.GAMING, M.UPLOAD).high_published
+
+    def test_round_trip_file(self, config, tmp_path):
+        path = tmp_path / "config.json"
+        config.save(path)
+        assert IQBConfig.load(path).to_dict() == config.to_dict()
+
+    def test_version_checked(self, config):
+        document = config.to_dict()
+        document["version"] = CONFIG_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            IQBConfig.from_dict(document)
+
+    def test_missing_section_rejected(self, config):
+        document = config.to_dict()
+        del document["thresholds"]
+        with pytest.raises(ConfigurationError, match="malformed"):
+            IQBConfig.from_dict(document)
+
+    def test_bad_enum_rejected(self, config):
+        document = config.to_dict()
+        document["quality_level"] = "luxurious"
+        with pytest.raises(ConfigurationError):
+            IQBConfig.from_dict(document)
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            IQBConfig.from_json("{nope")
+
+    def test_non_literal_aggregation_round_trips(self, config):
+        tweaked = config.with_(
+            aggregation=AggregationPolicy(
+                percentile=90.0, semantics=PercentileSemantics.CONSERVATIVE
+            )
+        )
+        rebuilt = IQBConfig.from_json(tweaked.to_json())
+        assert rebuilt.aggregation.percentile == 90.0
+        assert rebuilt.aggregation.semantics is PercentileSemantics.CONSERVATIVE
+
+    def test_zero_weight_datasets_omitted_from_json(self, config):
+        document = config.to_dict()
+        loss_row = document["dataset_weights"]["gaming"]["packet_loss"]
+        assert "ookla" not in loss_row
+        assert set(loss_row) == {"ndt", "cloudflare"}

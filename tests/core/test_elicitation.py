@@ -1,0 +1,68 @@
+"""Unit tests for repro.core.elicitation (simulated expert panels)."""
+
+import pytest
+
+from repro.core.elicitation import recovery_curve, simulate_panel
+from repro.core.metrics import Metric
+from repro.core.usecases import UseCase
+from repro.core.weights import paper_requirement_weights
+
+
+class TestSimulatePanel:
+    def test_zero_noise_recovers_exactly(self):
+        result = simulate_panel(experts=10, noise_sigma=0.0, seed=1)
+        assert result.recovery_rate == 1.0
+        assert result.consensus == paper_requirement_weights()
+
+    def test_reproducible(self):
+        a = simulate_panel(experts=20, noise_sigma=0.8, seed=3)
+        b = simulate_panel(experts=20, noise_sigma=0.8, seed=3)
+        assert a.consensus == b.consensus
+        assert a.recovery_rate == b.recovery_rate
+
+    def test_large_panel_mostly_recovers_published_weights(self):
+        result = simulate_panel(experts=60, noise_sigma=0.8, seed=0)
+        assert result.recovery_rate >= 0.8
+
+    def test_consensus_is_valid_weight_matrix(self):
+        result = simulate_panel(experts=7, noise_sigma=2.5, seed=9)
+        for use_case in UseCase:
+            for metric in Metric:
+                assert 0 <= result.consensus.get(use_case, metric) <= 5
+
+    def test_dispersion_reported_per_cell(self):
+        result = simulate_panel(experts=30, noise_sigma=1.0, seed=2)
+        assert len(result.dispersion) == 24
+        assert all(d >= 0.0 for d in result.dispersion.values())
+
+    def test_dispersion_scales_with_noise(self):
+        quiet = simulate_panel(experts=40, noise_sigma=0.2, seed=4)
+        loud = simulate_panel(experts=40, noise_sigma=2.0, seed=4)
+        mean = lambda r: sum(r.dispersion.values()) / len(r.dispersion)
+        assert mean(loud) > mean(quiet)
+
+    def test_mean_consensus_supported(self):
+        result = simulate_panel(experts=25, noise_sigma=0.5, seed=5, consensus="mean")
+        assert result.recovery_rate > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_panel(experts=0)
+        with pytest.raises(ValueError):
+            simulate_panel(consensus="mode")
+
+
+class TestRecoveryCurve:
+    def test_returns_all_sizes(self):
+        curve = recovery_curve(panel_sizes=(5, 40), trials=5, seed=1)
+        assert set(curve) == {5, 40}
+
+    def test_bigger_panels_recover_better(self):
+        curve = recovery_curve(
+            panel_sizes=(3, 60), noise_sigma=1.2, trials=10, seed=2
+        )
+        assert curve[60] >= curve[3]
+
+    def test_rates_are_fractions(self):
+        curve = recovery_curve(panel_sizes=(10,), trials=4, seed=3)
+        assert 0.0 <= curve[10] <= 1.0

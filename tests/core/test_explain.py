@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.explain."""
+
+import pytest
+
+from repro.core.aggregation import SequenceSource
+from repro.core.config import paper_config
+from repro.core.explain import (
+    disagreements,
+    explain,
+    failing_requirements,
+    improvement_opportunities,
+)
+from repro.core.scoring import score_region
+from repro.core.weights import DatasetWeights
+from repro.core.metrics import Metric
+from repro.core.usecases import UseCase
+
+
+def split_config():
+    """Two fully-capable synthetic datasets with equal trust."""
+    return paper_config(datasets={"a": tuple(Metric), "b": tuple(Metric)})
+
+
+def perfect():
+    return SequenceSource(
+        download_mbps=[500.0] * 10,
+        upload_mbps=[500.0] * 10,
+        latency_ms=[5.0] * 10,
+        packet_loss=[0.0] * 10,
+    )
+
+
+def terrible():
+    return SequenceSource(
+        download_mbps=[1.0] * 10,
+        upload_mbps=[0.5] * 10,
+        latency_ms=[900.0] * 10,
+        packet_loss=[0.2] * 10,
+    )
+
+
+class TestFailingRequirements:
+    def test_perfect_region_has_no_findings(self, perfect_sources, config):
+        breakdown = score_region(perfect_sources, config)
+        assert failing_requirements(breakdown) == []
+
+    def test_terrible_region_fails_everything(self, terrible_sources, config):
+        breakdown = score_region(terrible_sources, config)
+        findings = failing_requirements(breakdown)
+        assert len(findings) == 24  # 6 use cases x 4 requirements
+        assert all(f.agreement == 0.0 for f in findings)
+
+    def test_threshold_filters_partial_agreements(self):
+        config = split_config()
+        breakdown = score_region({"a": perfect(), "b": terrible()}, config)
+        # Everything is split 0.5: included at threshold 1.0, excluded at 0.5.
+        assert len(failing_requirements(breakdown, threshold=1.0)) == 24
+        assert failing_requirements(breakdown, threshold=0.5) == []
+
+    def test_findings_carry_dataset_detail(self):
+        config = split_config()
+        breakdown = score_region({"a": perfect(), "b": terrible()}, config)
+        finding = failing_requirements(breakdown)[0]
+        assert "a=pass" in finding.detail
+        assert "b=fail" in finding.detail
+
+
+class TestDisagreements:
+    def test_unanimous_verdicts_produce_none(self, perfect_sources, config):
+        breakdown = score_region(perfect_sources, config)
+        assert disagreements(breakdown) == []
+
+    def test_split_verdicts_detected(self):
+        config = split_config()
+        breakdown = score_region({"a": perfect(), "b": terrible()}, config)
+        findings = disagreements(breakdown)
+        assert len(findings) == 24
+        assert all(0.0 < f.agreement < 1.0 for f in findings)
+
+
+class TestOpportunities:
+    def test_gains_sum_to_headroom_when_fully_observed(self):
+        config = split_config()
+        breakdown = score_region({"a": perfect(), "b": terrible()}, config)
+        gains = sum(o.iqb_gain for o in improvement_opportunities(breakdown))
+        assert gains == pytest.approx(1.0 - breakdown.value)
+
+    def test_sorted_by_gain(self, dsl_sources, config):
+        breakdown = score_region(dsl_sources, config)
+        opportunities = improvement_opportunities(breakdown)
+        gains = [o.iqb_gain for o in opportunities]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_perfect_region_has_no_opportunities(self, perfect_sources, config):
+        breakdown = score_region(perfect_sources, config)
+        assert improvement_opportunities(breakdown) == []
+
+
+class TestExplainText:
+    def test_mentions_score_and_grade(self, dsl_sources, config):
+        text = explain(score_region(dsl_sources, config))
+        assert "IQB score:" in text
+        assert "grade" in text
+
+    def test_lists_every_use_case(self, dsl_sources, config):
+        text = explain(score_region(dsl_sources, config))
+        for use_case in UseCase:
+            assert use_case.display_name in text
+
+    def test_mentions_opportunities_when_imperfect(self, dsl_sources, config):
+        text = explain(score_region(dsl_sources, config))
+        assert "improvement opportunities" in text
+
+    def test_skipped_requirement_rendered(self):
+        config = split_config()
+        source = SequenceSource(
+            download_mbps=[500.0] * 5,
+            upload_mbps=[500.0] * 5,
+            packet_loss=[0.0] * 5,
+        )
+        text = explain(score_region({"a": source}, config))
+        assert "no data (skipped)" in text

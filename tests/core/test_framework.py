@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.framework (the facade and Fig. 1 tiers)."""
+
+import pytest
+
+from repro.core.exceptions import DataError
+from repro.core.framework import IQBFramework, region_scores_table
+from repro.core.metrics import Metric
+from repro.core.usecases import UseCase
+from repro.measurements.collection import MeasurementSet
+
+
+class TestScoring:
+    def test_default_config_is_paper(self):
+        framework = IQBFramework()
+        assert framework.config.aggregation.percentile == 95.0
+
+    def test_score_measurements_filters_region(self, small_campaign):
+        framework = IQBFramework()
+        fiber = framework.score_measurements(small_campaign, "metro-fiber")
+        dsl = framework.score_measurements(small_campaign, "rural-dsl")
+        assert fiber.value > dsl.value
+
+    def test_unknown_region_raises(self, small_campaign):
+        framework = IQBFramework()
+        with pytest.raises(DataError, match="atlantis"):
+            framework.score_measurements(small_campaign, "atlantis")
+
+    def test_empty_set_raises(self):
+        framework = IQBFramework()
+        with pytest.raises(DataError):
+            framework.score_measurements(MeasurementSet(), "anywhere")
+
+    def test_score_all_regions(self, small_campaign):
+        framework = IQBFramework()
+        scores = framework.score_all_regions(small_campaign)
+        assert set(scores) == {"metro-fiber", "rural-dsl"}
+
+    def test_score_sources_direct(self, fiber_sources):
+        framework = IQBFramework()
+        assert 0.0 <= framework.score_sources(fiber_sources).value <= 1.0
+
+
+class TestTierMap:
+    def test_covers_all_use_cases(self):
+        structure = IQBFramework().tier_map()
+        assert set(structure) == {u.value for u in UseCase}
+
+    def test_all_requirements_present_with_paper_weights(self):
+        # Table 1 has no zero weight, so every metric appears everywhere.
+        structure = IQBFramework().tier_map()
+        for requirements in structure.values():
+            assert set(requirements) == {m.value for m in Metric}
+
+    def test_ookla_absent_from_loss_tier(self):
+        structure = IQBFramework().tier_map()
+        assert "ookla" not in structure["gaming"]["packet_loss"]
+        assert "ookla" in structure["gaming"]["download_mbps"]
+
+    def test_render_mentions_every_tier(self):
+        text = IQBFramework().render_tier_map()
+        assert "web_browsing" in text
+        assert "latency_ms" in text
+        assert "cloudflare" in text
+
+    def test_repr_is_informative(self):
+        assert "percentile=95.0" in repr(IQBFramework())
+
+
+class TestScoresTable:
+    def test_sorted_descending(self, small_campaign):
+        framework = IQBFramework()
+        rows = region_scores_table(framework.score_all_regions(small_campaign))
+        scores = [score for _, score, _ in rows]
+        assert scores == sorted(scores, reverse=True)
+        assert rows[0][0] == "metro-fiber"
+
+    def test_rows_carry_grades(self, small_campaign):
+        framework = IQBFramework()
+        rows = region_scores_table(framework.score_all_regions(small_campaign))
+        for _, score, letter in rows:
+            assert letter in "ABCDE"
+            assert 0.0 <= score <= 1.0

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.lint."""
+
+import pytest
+
+from repro.core.aggregation import AggregationPolicy
+from repro.core.config import paper_config
+from repro.core.lint import Severity, lint_config
+from repro.core.metrics import Metric
+from repro.core.thresholds import Threshold
+from repro.core.usecases import UseCase
+from repro.core.weights import DatasetWeights
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestConfigOnlyLints:
+    def test_paper_config_is_clean(self, config):
+        assert lint_config(config) == []
+
+    def test_unobservable_requirement_flagged(self):
+        config = paper_config(datasets={"ookla": (Metric.DOWNLOAD,)})
+        findings = lint_config(config)
+        assert "unobservable-requirement" in codes(findings)
+        # upload/latency/loss for every use case → 18 findings.
+        assert codes(findings).count("unobservable-requirement") == 18
+
+    def test_percent_as_fraction_loss_threshold_flagged(self, config):
+        broken = config.with_(
+            thresholds=config.thresholds.replace(
+                {
+                    (UseCase.GAMING, Metric.PACKET_LOSS): Threshold(
+                        1.0, 0.5
+                    )  # "1%" typed as 1.0
+                }
+            )
+        )
+        findings = lint_config(broken)
+        assert "loss-threshold-units" in codes(findings)
+        assert any(f.severity is Severity.ERROR for f in findings)
+        assert any("0.01" in f.message for f in findings)
+
+    def test_extreme_percentile_flagged(self, config):
+        for percentile in (0.0, 100.0):
+            tweaked = config.with_(
+                aggregation=AggregationPolicy(percentile=percentile)
+            )
+            assert "extreme-percentile" in codes(lint_config(tweaked))
+
+    def test_findings_render_readably(self, config):
+        broken = config.with_(
+            aggregation=AggregationPolicy(percentile=100.0)
+        )
+        finding = lint_config(broken)[0]
+        assert str(finding).startswith("[warning] extreme-percentile:")
+
+
+class TestDataLints:
+    def test_clean_match(self, config, small_campaign):
+        findings = lint_config(config, small_campaign.for_region("metro-fiber"))
+        assert findings == []
+
+    def test_trusted_dataset_missing_from_data(self, config, small_campaign):
+        ndt_only = small_campaign.for_source("ndt")
+        findings = lint_config(config, ndt_only)
+        missing = [
+            f for f in findings if f.code == "trusted-dataset-missing"
+        ]
+        assert {("cloudflare" in f.message or "ookla" in f.message)
+                for f in missing} == {True}
+        assert len(missing) == 2
+
+    def test_untrusted_dataset_in_data(self, small_campaign):
+        config = paper_config().with_(
+            dataset_weights=DatasetWeights(
+                {
+                    (u, m, "ndt"): 1
+                    for u in UseCase
+                    for m in Metric
+                }
+            )
+        )
+        findings = lint_config(config, small_campaign)
+        untrusted = [
+            f for f in findings if f.code == "untrusted-dataset-present"
+        ]
+        assert len(untrusted) == 2  # cloudflare, ookla ignored
+
+    def test_kbit_threshold_mismatch_detected(self, config):
+        records = MeasurementSet(
+            Measurement(
+                region="r", source="ndt", timestamp=float(i),
+                download_mbps=50.0 + i,
+            )
+            for i in range(30)
+        )
+        broken = config.with_(
+            thresholds=config.thresholds.replace(
+                {
+                    (UseCase.GAMING, Metric.DOWNLOAD): Threshold(
+                        10_000.0, 100_000.0  # kbit/s typed as Mbit/s
+                    )
+                }
+            )
+        )
+        findings = lint_config(broken, records)
+        assert "threshold-unit-mismatch" in codes(findings)
+        assert any("kbit" in f.message for f in findings)
+
+    def test_seconds_latency_threshold_detected(self, config):
+        records = MeasurementSet(
+            Measurement(
+                region="r", source="ndt", timestamp=float(i),
+                latency_ms=20.0 + i,
+            )
+            for i in range(30)
+        )
+        broken = config.with_(
+            thresholds=config.thresholds.replace(
+                {
+                    (UseCase.GAMING, Metric.LATENCY): Threshold(
+                        0.1, 0.05  # seconds typed into a ms field
+                    )
+                }
+            )
+        )
+        findings = lint_config(broken, records)
+        assert "threshold-unit-mismatch" in codes(findings)
+        assert any("seconds" in f.message for f in findings)
+
+    def test_reachable_thresholds_not_flagged(self, config, small_campaign):
+        findings = lint_config(config, small_campaign)
+        assert "threshold-unit-mismatch" not in codes(findings)

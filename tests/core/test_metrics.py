@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    Direction,
+    Metric,
+    loss_fraction_to_percent,
+    loss_percent_to_fraction,
+)
+
+
+class TestDirection:
+    def test_throughput_metrics_are_higher_is_better(self):
+        assert Metric.DOWNLOAD.direction is Direction.HIGHER_IS_BETTER
+        assert Metric.UPLOAD.direction is Direction.HIGHER_IS_BETTER
+
+    def test_latency_and_loss_are_lower_is_better(self):
+        assert Metric.LATENCY.direction is Direction.LOWER_IS_BETTER
+        assert Metric.PACKET_LOSS.direction is Direction.LOWER_IS_BETTER
+
+
+class TestUnits:
+    def test_throughput_unit(self):
+        assert Metric.DOWNLOAD.unit == "Mbit/s"
+        assert Metric.UPLOAD.unit == "Mbit/s"
+
+    def test_latency_unit(self):
+        assert Metric.LATENCY.unit == "ms"
+
+    def test_loss_unit_is_fraction(self):
+        assert Metric.PACKET_LOSS.unit == "fraction"
+
+    def test_display_names_match_paper_columns(self):
+        assert Metric.DOWNLOAD.display_name == "Download Throughput"
+        assert Metric.PACKET_LOSS.display_name == "Packet Loss"
+
+    def test_field_names_are_record_attributes(self):
+        assert Metric.DOWNLOAD.field_name == "download_mbps"
+        assert Metric.LATENCY.field_name == "latency_ms"
+
+
+class TestMeets:
+    def test_higher_is_better_above_threshold(self):
+        assert Metric.DOWNLOAD.meets(150.0, 100.0)
+
+    def test_higher_is_better_below_threshold(self):
+        assert not Metric.DOWNLOAD.meets(50.0, 100.0)
+
+    def test_threshold_is_inclusive_for_throughput(self):
+        assert Metric.UPLOAD.meets(10.0, 10.0)
+
+    def test_lower_is_better_below_threshold(self):
+        assert Metric.LATENCY.meets(30.0, 50.0)
+
+    def test_lower_is_better_above_threshold(self):
+        assert not Metric.LATENCY.meets(80.0, 50.0)
+
+    def test_threshold_is_inclusive_for_latency(self):
+        assert Metric.LATENCY.meets(50.0, 50.0)
+
+    def test_loss_comparison(self):
+        assert Metric.PACKET_LOSS.meets(0.001, 0.005)
+        assert not Metric.PACKET_LOSS.meets(0.01, 0.005)
+
+
+class TestBetterWorse:
+    def test_better_throughput_is_larger(self):
+        assert Metric.DOWNLOAD.better(10.0, 20.0) == 20.0
+
+    def test_better_latency_is_smaller(self):
+        assert Metric.LATENCY.better(10.0, 20.0) == 10.0
+
+    def test_worse_is_the_other_one(self):
+        assert Metric.DOWNLOAD.worse(10.0, 20.0) == 10.0
+        assert Metric.LATENCY.worse(10.0, 20.0) == 20.0
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_better_and_worse_partition_the_pair(self, metric):
+        a, b = 3.0, 7.0
+        assert {metric.better(a, b), metric.worse(a, b)} == {a, b}
+
+
+class TestOrdering:
+    def test_ordered_matches_paper_columns(self):
+        assert Metric.ordered() == (
+            Metric.DOWNLOAD,
+            Metric.UPLOAD,
+            Metric.LATENCY,
+            Metric.PACKET_LOSS,
+        )
+
+    def test_ordered_covers_all_metrics(self):
+        assert set(Metric.ordered()) == set(Metric)
+
+
+class TestLossConversions:
+    def test_paper_one_percent(self):
+        assert loss_percent_to_fraction(1.0) == pytest.approx(0.01)
+
+    def test_paper_half_percent(self):
+        assert loss_percent_to_fraction(0.5) == pytest.approx(0.005)
+
+    def test_round_trip(self):
+        assert loss_fraction_to_percent(
+            loss_percent_to_fraction(0.1)
+        ) == pytest.approx(0.1)
+
+    def test_percent_out_of_range(self):
+        with pytest.raises(ValueError):
+            loss_percent_to_fraction(101.0)
+        with pytest.raises(ValueError):
+            loss_percent_to_fraction(-0.1)
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            loss_fraction_to_percent(1.5)
+        with pytest.raises(ValueError):
+            loss_fraction_to_percent(-0.01)
+
+    def test_boundaries_accepted(self):
+        assert loss_percent_to_fraction(0.0) == 0.0
+        assert loss_percent_to_fraction(100.0) == 1.0

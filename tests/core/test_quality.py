@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.quality."""
+
+import pytest
+
+from repro.core.quality import (
+    CREDIT_MAX,
+    CREDIT_MIN,
+    GRADE_BANDS,
+    QualityLevel,
+    credit_scale,
+    describe,
+    grade,
+)
+
+
+class TestQualityLevel:
+    def test_two_levels_as_in_fig2(self):
+        assert {level.value for level in QualityLevel} == {"minimum", "high"}
+
+
+class TestGrade:
+    @pytest.mark.parametrize(
+        "score,expected",
+        [
+            (1.0, "A"),
+            (0.80, "A"),
+            (0.7999, "B"),
+            (0.60, "B"),
+            (0.5999, "C"),
+            (0.40, "C"),
+            (0.3999, "D"),
+            (0.20, "D"),
+            (0.1999, "E"),
+            (0.0, "E"),
+        ],
+    )
+    def test_band_boundaries(self, score, expected):
+        assert grade(score) == expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            grade(1.01)
+        with pytest.raises(ValueError):
+            grade(-0.01)
+
+    def test_bands_are_descending(self):
+        bounds = [lower for _, lower in GRADE_BANDS]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_bands_cover_zero(self):
+        assert GRADE_BANDS[-1][1] == 0.0
+
+
+class TestCreditScale:
+    def test_endpoints(self):
+        assert credit_scale(0.0) == CREDIT_MIN == 300
+        assert credit_scale(1.0) == CREDIT_MAX == 850
+
+    def test_midpoint(self):
+        assert credit_scale(0.5) == 575
+
+    def test_monotonic(self):
+        values = [credit_scale(s / 20.0) for s in range(21)]
+        assert values == sorted(values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            credit_scale(2.0)
+
+
+class TestDescribe:
+    def test_contains_all_presentations(self):
+        text = describe(0.75)
+        assert "0.750" in text
+        assert "grade B" in text
+        assert "/850" in text

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.sensitivity."""
+
+import pytest
+
+from repro.core.aggregation import PercentileSemantics
+from repro.core.metrics import Metric
+from repro.core.sensitivity import (
+    monte_carlo_weights,
+    percentile_sweep,
+    range_policy_comparison,
+    requirement_weight_sensitivity,
+    semantics_comparison,
+    use_case_weight_sensitivity,
+)
+from repro.core.usecases import UseCase
+
+
+class TestRequirementWeightSensitivity:
+    def test_covers_all_cells(self, fiber_sources, config):
+        impacts = requirement_weight_sensitivity(fiber_sources, config)
+        assert len(impacts) == 24
+        assert {(i.use_case, i.metric) for i in impacts} == {
+            (u, m) for u in UseCase for m in Metric
+        }
+
+    def test_sorted_by_swing(self, fiber_sources, config):
+        impacts = requirement_weight_sensitivity(fiber_sources, config)
+        swings = [i.swing for i in impacts]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_scores_stay_bounded(self, dsl_sources, config):
+        for impact in requirement_weight_sensitivity(dsl_sources, config):
+            assert 0.0 <= impact.score_minus <= 1.0
+            assert 0.0 <= impact.score_plus <= 1.0
+
+    def test_perfect_region_is_insensitive(self, perfect_sources, config):
+        # Every S_{u,r,d} is 1, so reweighting changes nothing.
+        for impact in requirement_weight_sensitivity(perfect_sources, config):
+            assert impact.swing == pytest.approx(0.0)
+
+    def test_delta_validation(self, fiber_sources, config):
+        with pytest.raises(ValueError):
+            requirement_weight_sensitivity(fiber_sources, config, delta=0)
+
+    def test_base_weights_recorded(self, fiber_sources, config):
+        impacts = requirement_weight_sensitivity(fiber_sources, config)
+        by_cell = {(i.use_case, i.metric): i for i in impacts}
+        assert by_cell[(UseCase.GAMING, Metric.LATENCY)].base_weight == 5
+
+
+class TestUseCaseWeightSensitivity:
+    def test_covers_all_use_cases(self, fiber_sources, config):
+        out = use_case_weight_sensitivity(fiber_sources, config)
+        assert set(out) == set(UseCase)
+
+    def test_bounded(self, dsl_sources, config):
+        for lo, hi in use_case_weight_sensitivity(dsl_sources, config).values():
+            assert 0.0 <= lo <= 1.0
+            assert 0.0 <= hi <= 1.0
+
+
+class TestSweeps:
+    def test_percentile_sweep_keys(self, fiber_sources, config):
+        sweep = percentile_sweep(fiber_sources, config, percentiles=(50.0, 95.0))
+        assert set(sweep) == {50.0, 95.0}
+        assert all(0.0 <= v <= 1.0 for v in sweep.values())
+
+    def test_semantics_comparison_has_both(self, fiber_sources, config):
+        out = semantics_comparison(fiber_sources, config)
+        assert set(out) == {s.value for s in PercentileSemantics}
+
+    def test_conservative_never_scores_higher(
+        self, fiber_sources, dsl_sources, config
+    ):
+        # Conservative semantics judges the worst tail of throughput, so
+        # it can only remove passes relative to literal semantics.
+        for sources in (fiber_sources, dsl_sources):
+            out = semantics_comparison(sources, config)
+            assert out["conservative"] <= out["literal"] + 1e-12
+
+    def test_range_policy_comparison(self, fiber_sources, config):
+        out = range_policy_comparison(fiber_sources, config)
+        assert set(out) == {"low", "mid", "high"}
+        # A stricter resolution of "50-100" can only lower the score.
+        assert out["high"] <= out["mid"] + 1e-12 <= out["low"] + 2e-12
+
+
+class TestScoreModeComparison:
+    def test_all_modes_present_and_ordered(self, dsl_sources, config):
+        from repro.core.sensitivity import score_mode_comparison
+
+        out = score_mode_comparison(dsl_sources, config)
+        assert set(out) == {"binary", "graded", "continuous"}
+        assert out["binary"] - 1e-12 <= out["graded"] <= out["continuous"] + 1e-12
+
+
+class TestMonteCarlo:
+    def test_reproducible(self, fiber_sources, config):
+        a = monte_carlo_weights(fiber_sources, config, samples=30, seed=5)
+        b = monte_carlo_weights(fiber_sources, config, samples=30, seed=5)
+        assert a.scores == b.scores
+
+    def test_different_seeds_differ(self, fiber_sources, config):
+        a = monte_carlo_weights(fiber_sources, config, samples=30, seed=5)
+        b = monte_carlo_weights(fiber_sources, config, samples=30, seed=6)
+        assert a.scores != b.scores
+
+    def test_statistics_consistent(self, dsl_sources, config):
+        result = monte_carlo_weights(dsl_sources, config, samples=50, seed=1)
+        assert len(result.scores) == 50
+        assert result.p05 <= result.mean <= result.p95
+        assert result.spread == pytest.approx(result.p95 - result.p05)
+        assert all(0.0 <= s <= 1.0 for s in result.scores)
+
+    def test_sample_validation(self, fiber_sources, config):
+        with pytest.raises(ValueError):
+            monte_carlo_weights(fiber_sources, config, samples=0)

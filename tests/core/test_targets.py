@@ -1,0 +1,158 @@
+"""Unit tests for repro.core.targets (distance-to-threshold planning)."""
+
+import pytest
+
+from repro.core.aggregation import SequenceSource
+from repro.core.config import paper_config
+from repro.core.metrics import Metric
+from repro.core.scoring import score_region
+from repro.core.targets import metric_targets, render_targets, threshold_gaps
+from repro.core.usecases import UseCase
+
+
+def single_config():
+    return paper_config(datasets={"a": tuple(Metric)})
+
+
+def sources(down=500.0, up=500.0, latency=5.0, loss=0.0):
+    return {
+        "a": SequenceSource(
+            download_mbps=[down] * 10,
+            upload_mbps=[up] * 10,
+            latency_ms=[latency] * 10,
+            packet_loss=[loss] * 10,
+        )
+    }
+
+
+class TestThresholdGaps:
+    def test_perfect_region_has_no_gaps(self, perfect_sources, config):
+        breakdown = score_region(perfect_sources, config)
+        assert threshold_gaps(breakdown) == []
+
+    def test_gap_arithmetic_higher_is_better(self):
+        # 60 Mb/s against web-browsing's 100 Mb/s high bar → gap 40.
+        breakdown = score_region(sources(down=60.0), single_config())
+        gaps = [
+            g
+            for g in threshold_gaps(breakdown)
+            if g.use_case is UseCase.WEB_BROWSING and g.metric is Metric.DOWNLOAD
+        ]
+        assert len(gaps) == 1
+        assert gaps[0].absolute_gap == pytest.approx(40.0)
+        assert gaps[0].relative_gap == pytest.approx(0.4)
+
+    def test_gap_arithmetic_lower_is_better(self):
+        # 61 ms against gaming's 50 ms bar → cut 11 ms.
+        breakdown = score_region(sources(latency=61.0), single_config())
+        gaps = [
+            g
+            for g in threshold_gaps(breakdown)
+            if g.use_case is UseCase.GAMING and g.metric is Metric.LATENCY
+        ]
+        assert gaps[0].absolute_gap == pytest.approx(11.0)
+        assert "cut" in gaps[0].describe()
+
+    def test_sorted_by_relative_gap(self, dsl_sources, config):
+        gaps = threshold_gaps(score_region(dsl_sources, config))
+        rel = [g.relative_gap for g in gaps]
+        assert rel == sorted(rel, reverse=True)
+
+    def test_gap_is_per_dataset(self, config):
+        # Each failing dataset produces its own gap entry.
+        two = paper_config(datasets={"a": tuple(Metric), "b": tuple(Metric)})
+        shared = sources(latency=61.0)["a"]
+        breakdown = score_region({"a": shared, "b": shared}, two)
+        gaming_latency = [
+            g
+            for g in threshold_gaps(breakdown)
+            if g.use_case is UseCase.GAMING and g.metric is Metric.LATENCY
+        ]
+        assert {g.dataset for g in gaming_latency} == {"a", "b"}
+
+
+class TestMetricTargets:
+    def test_worst_gap_per_metric(self):
+        # Latency 61 ms fails gaming (50) and conferencing (20):
+        # the worst gap is 41 ms.
+        breakdown = score_region(sources(latency=61.0), single_config())
+        targets = metric_targets(breakdown)
+        assert targets[Metric.LATENCY] == pytest.approx(41.0)
+
+    def test_passing_metrics_absent(self):
+        breakdown = score_region(sources(latency=61.0), single_config())
+        targets = metric_targets(breakdown)
+        assert Metric.PACKET_LOSS not in targets
+
+    def test_realistic_region_targets(self, dsl_sources, config):
+        breakdown = score_region(dsl_sources, config)
+        targets = metric_targets(breakdown)
+        # A DSL region needs more of everything.
+        assert Metric.DOWNLOAD in targets
+        assert Metric.UPLOAD in targets
+        assert all(value > 0 for value in targets.values())
+
+
+class TestVerdictMargins:
+    def test_margin_arithmetic_higher_is_better(self):
+        # 200 Mb/s against web-browsing's 100 Mb/s bar → 100 of slack.
+        from repro.core.targets import verdict_margins
+
+        breakdown = score_region(sources(down=200.0), single_config())
+        margins = [
+            m
+            for m in verdict_margins(breakdown)
+            if m.use_case is UseCase.WEB_BROWSING and m.metric is Metric.DOWNLOAD
+        ]
+        assert margins[0].absolute_margin == pytest.approx(100.0)
+        assert margins[0].relative_margin == pytest.approx(1.0)
+
+    def test_margin_arithmetic_lower_is_better(self):
+        from repro.core.targets import verdict_margins
+
+        # 15 ms against conferencing's 20 ms bar → 5 ms slack.
+        breakdown = score_region(sources(latency=15.0), single_config())
+        margins = [
+            m
+            for m in verdict_margins(breakdown)
+            if m.use_case is UseCase.VIDEO_CONFERENCING
+            and m.metric is Metric.LATENCY
+        ]
+        assert margins[0].absolute_margin == pytest.approx(5.0)
+
+    def test_sorted_tightest_first(self, fiber_sources, config):
+        from repro.core.targets import verdict_margins
+
+        margins = verdict_margins(score_region(fiber_sources, config))
+        rel = [m.relative_margin for m in margins]
+        assert rel == sorted(rel)
+
+    def test_failing_verdicts_excluded(self, terrible_sources, config):
+        from repro.core.targets import verdict_margins
+
+        assert verdict_margins(score_region(terrible_sources, config)) == []
+
+    def test_gaps_and_margins_partition_verdicts(self, dsl_sources, config):
+        from repro.core.targets import verdict_margins
+
+        breakdown = score_region(dsl_sources, config)
+        total_verdicts = sum(
+            len(req.verdicts)
+            for entry in breakdown.use_cases
+            for req in entry.requirements
+        )
+        assert len(threshold_gaps(breakdown)) + len(
+            verdict_margins(breakdown)
+        ) == total_verdicts
+
+
+class TestRender:
+    def test_no_gaps_message(self, perfect_sources, config):
+        text = render_targets(score_region(perfect_sources, config))
+        assert "no improvement targets" in text
+
+    def test_plan_structure(self, dsl_sources, config):
+        text = render_targets(score_region(dsl_sources, config))
+        assert "Improvement targets" in text
+        assert "Per-metric worst-case gaps" in text
+        assert "Mbit/s" in text

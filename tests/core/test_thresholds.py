@@ -1,0 +1,178 @@
+"""Unit tests for repro.core.thresholds (paper Fig. 2)."""
+
+import pytest
+
+from repro.core.exceptions import ThresholdError
+from repro.core.metrics import Metric
+from repro.core.quality import QualityLevel
+from repro.core.thresholds import (
+    RangePolicy,
+    Threshold,
+    ThresholdRange,
+    ThresholdTable,
+    paper_thresholds,
+)
+from repro.core.usecases import UseCase
+
+U, M = UseCase, Metric
+
+
+class TestThresholdRange:
+    def test_resolve_low(self):
+        assert ThresholdRange(50.0, 100.0).resolve(RangePolicy.LOW) == 50.0
+
+    def test_resolve_mid(self):
+        assert ThresholdRange(50.0, 100.0).resolve(RangePolicy.MID) == 75.0
+
+    def test_resolve_high(self):
+        assert ThresholdRange(50.0, 100.0).resolve(RangePolicy.HIGH) == 100.0
+
+    def test_degenerate_range_allowed(self):
+        assert ThresholdRange(50.0, 50.0).resolve(RangePolicy.MID) == 50.0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ThresholdError):
+            ThresholdRange(100.0, 50.0)
+
+    def test_non_positive_bounds_rejected(self):
+        with pytest.raises(ThresholdError):
+            ThresholdRange(0.0, 50.0)
+        with pytest.raises(ThresholdError):
+            ThresholdRange(-1.0, 50.0)
+
+
+class TestThreshold:
+    def test_minimum_level_lookup(self):
+        cell = Threshold(10.0, 100.0)
+        assert cell.value(QualityLevel.MINIMUM) == 10.0
+
+    def test_high_level_lookup(self):
+        cell = Threshold(10.0, 100.0)
+        assert cell.value(QualityLevel.HIGH) == 100.0
+
+    def test_other_cell_falls_back_to_minimum(self):
+        cell = Threshold(10.0, None)
+        assert cell.value(QualityLevel.HIGH) == 10.0
+        assert not cell.high_published
+
+    def test_range_cell_uses_policy(self):
+        cell = Threshold(25.0, ThresholdRange(50.0, 100.0))
+        assert cell.value(QualityLevel.HIGH, RangePolicy.LOW) == 50.0
+        assert cell.value(QualityLevel.HIGH, RangePolicy.MID) == 75.0
+        assert cell.value(QualityLevel.HIGH, RangePolicy.HIGH) == 100.0
+
+    def test_range_policy_irrelevant_at_minimum_level(self):
+        cell = Threshold(25.0, ThresholdRange(50.0, 100.0))
+        assert cell.value(QualityLevel.MINIMUM, RangePolicy.HIGH) == 25.0
+
+    def test_non_positive_minimum_rejected(self):
+        with pytest.raises(ThresholdError):
+            Threshold(0.0, 10.0)
+
+    def test_non_positive_high_rejected(self):
+        with pytest.raises(ThresholdError):
+            Threshold(10.0, -5.0)
+
+
+class TestPaperTable:
+    """Cell-by-cell transcription check of the poster's Fig. 2."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return paper_thresholds()
+
+    @pytest.mark.parametrize(
+        "use_case,metric,minimum,high",
+        [
+            (U.WEB_BROWSING, M.DOWNLOAD, 10.0, 100.0),
+            (U.WEB_BROWSING, M.LATENCY, 100.0, 50.0),
+            (U.WEB_BROWSING, M.PACKET_LOSS, 0.01, 0.005),
+            (U.VIDEO_STREAMING, M.DOWNLOAD, 25.0, 50.0),
+            (U.VIDEO_STREAMING, M.UPLOAD, 10.0, 10.0),
+            (U.VIDEO_STREAMING, M.PACKET_LOSS, 0.01, 0.001),
+            (U.VIDEO_CONFERENCING, M.DOWNLOAD, 10.0, 100.0),
+            (U.VIDEO_CONFERENCING, M.UPLOAD, 25.0, 100.0),
+            (U.VIDEO_CONFERENCING, M.LATENCY, 50.0, 20.0),
+            (U.VIDEO_CONFERENCING, M.PACKET_LOSS, 0.005, 0.001),
+            (U.AUDIO_STREAMING, M.DOWNLOAD, 10.0, 50.0),
+            (U.AUDIO_STREAMING, M.UPLOAD, 10.0, 50.0),
+            (U.AUDIO_STREAMING, M.LATENCY, 100.0, 50.0),
+            (U.AUDIO_STREAMING, M.PACKET_LOSS, 0.01, 0.001),
+            (U.ONLINE_BACKUP, M.DOWNLOAD, 10.0, 10.0),
+            (U.ONLINE_BACKUP, M.UPLOAD, 25.0, 200.0),
+            (U.ONLINE_BACKUP, M.LATENCY, 100.0, 100.0),
+            (U.ONLINE_BACKUP, M.PACKET_LOSS, 0.01, 0.001),
+            (U.GAMING, M.DOWNLOAD, 10.0, 100.0),
+            (U.GAMING, M.LATENCY, 100.0, 50.0),
+            (U.GAMING, M.PACKET_LOSS, 0.01, 0.005),
+        ],
+    )
+    def test_cell_values(self, table, use_case, metric, minimum, high):
+        cell = table.get(use_case, metric)
+        assert cell.minimum == pytest.approx(minimum)
+        assert cell.value(QualityLevel.HIGH, RangePolicy.LOW) == pytest.approx(high)
+
+    def test_other_cells_have_no_high_threshold(self):
+        table = paper_thresholds()
+        assert not table.get(U.WEB_BROWSING, M.UPLOAD).high_published
+        assert not table.get(U.GAMING, M.UPLOAD).high_published
+
+    def test_video_streaming_download_is_a_range(self):
+        cell = paper_thresholds().get(U.VIDEO_STREAMING, M.DOWNLOAD)
+        assert isinstance(cell.high, ThresholdRange)
+        assert (cell.high.low, cell.high.high) == (50.0, 100.0)
+
+    def test_latency_high_is_stricter_than_minimum(self, table):
+        for use_case in UseCase:
+            cell = table.get(use_case, M.LATENCY)
+            assert cell.value(QualityLevel.HIGH) <= cell.minimum
+
+    def test_loss_thresholds_are_fractions(self, table):
+        for use_case in UseCase:
+            cell = table.get(use_case, M.PACKET_LOSS)
+            assert 0.0 < cell.minimum <= 0.01
+
+
+class TestThresholdTable:
+    def test_incomplete_table_rejected(self):
+        with pytest.raises(ThresholdError, match="incomplete"):
+            ThresholdTable({(U.GAMING, M.LATENCY): Threshold(100.0, 50.0)})
+
+    def test_iteration_is_row_major_paper_order(self):
+        keys = [key for key, _ in paper_thresholds()]
+        assert keys[0] == (U.WEB_BROWSING, M.DOWNLOAD)
+        assert keys[3] == (U.WEB_BROWSING, M.PACKET_LOSS)
+        assert keys[4] == (U.VIDEO_STREAMING, M.DOWNLOAD)
+        assert len(keys) == 24
+
+    def test_replace_creates_modified_copy(self):
+        table = paper_thresholds()
+        new = table.replace({(U.GAMING, M.LATENCY): Threshold(80.0, 40.0)})
+        assert new.get(U.GAMING, M.LATENCY).minimum == 80.0
+        assert table.get(U.GAMING, M.LATENCY).minimum == 100.0
+
+    def test_equality(self):
+        assert paper_thresholds() == paper_thresholds()
+        changed = paper_thresholds().replace(
+            {(U.GAMING, M.LATENCY): Threshold(80.0, 40.0)}
+        )
+        assert changed != paper_thresholds()
+
+    def test_inverted_high_threshold_rejected(self):
+        # High-quality latency above the minimum bar is nonsense.
+        with pytest.raises(ThresholdError, match="less demanding"):
+            paper_thresholds().replace(
+                {(U.GAMING, M.LATENCY): Threshold(50.0, 100.0)}
+            )
+
+    def test_inverted_throughput_threshold_rejected(self):
+        with pytest.raises(ThresholdError, match="less demanding"):
+            paper_thresholds().replace(
+                {(U.GAMING, M.DOWNLOAD): Threshold(100.0, 10.0)}
+            )
+
+    def test_value_shortcut_matches_cell_lookup(self):
+        table = paper_thresholds()
+        assert table.value(
+            U.VIDEO_STREAMING, M.DOWNLOAD, QualityLevel.HIGH, RangePolicy.MID
+        ) == pytest.approx(75.0)

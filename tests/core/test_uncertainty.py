@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.uncertainty (bootstrap)."""
+
+import pytest
+
+from repro.core.aggregation import SequenceSource
+from repro.core.uncertainty import bootstrap_score, sample_size_curve
+
+
+class TestBootstrapScore:
+    def test_reproducible(self, fiber_sources, config):
+        a = bootstrap_score(fiber_sources, config, replicates=25, seed=3)
+        b = bootstrap_score(fiber_sources, config, replicates=25, seed=3)
+        assert a.scores == b.scores
+
+    def test_point_estimate_matches_direct_score(self, fiber_sources, config):
+        from repro.core.scoring import score_region
+
+        result = bootstrap_score(fiber_sources, config, replicates=10, seed=0)
+        assert result.point_estimate == pytest.approx(
+            score_region(fiber_sources, config).value
+        )
+
+    def test_interval_ordering(self, dsl_sources, config):
+        result = bootstrap_score(dsl_sources, config, replicates=50, seed=0)
+        lo, hi = result.interval(0.95)
+        assert lo <= hi
+        assert result.width95 == pytest.approx(hi - lo)
+        narrow_lo, narrow_hi = result.interval(0.5)
+        assert narrow_hi - narrow_lo <= hi - lo + 1e-12
+
+    def test_interval_validation(self, fiber_sources, config):
+        result = bootstrap_score(fiber_sources, config, replicates=10, seed=0)
+        with pytest.raises(ValueError):
+            result.interval(0.0)
+        with pytest.raises(ValueError):
+            result.interval(1.5)
+
+    def test_replicate_validation(self, fiber_sources, config):
+        with pytest.raises(ValueError):
+            bootstrap_score(fiber_sources, config, replicates=0)
+
+    def test_degenerate_data_has_zero_width(self, perfect_sources, config):
+        # SequenceSources are not resampleable and every verdict is
+        # deterministic: the bootstrap distribution collapses.
+        result = bootstrap_score(perfect_sources, config, replicates=20, seed=0)
+        assert result.width95 == pytest.approx(0.0)
+        assert result.std == pytest.approx(0.0)
+
+    def test_non_measurement_sources_held_fixed(self, fiber_sources, config):
+        mixed = dict(fiber_sources)
+        mixed["extra"] = SequenceSource(download_mbps=[500.0] * 5)
+        result = bootstrap_score(mixed, config, replicates=10, seed=0)
+        assert len(result.scores) == 10
+
+    def test_scores_bounded(self, dsl_sources, config):
+        result = bootstrap_score(dsl_sources, config, replicates=30, seed=0)
+        assert all(0.0 <= s <= 1.0 for s in result.scores)
+
+
+class TestSampleSizeCurve:
+    def test_returns_requested_sizes(self, fiber_sources, config):
+        curve = sample_size_curve(
+            fiber_sources, config, sizes=(20, 60), replicates=20, seed=0
+        )
+        assert set(curve) == {20, 60}
+
+    def test_more_data_does_not_widen_much(self, dsl_sources, config):
+        # CI width should broadly shrink with sample size; allow noise.
+        curve = sample_size_curve(
+            dsl_sources, config, sizes=(15, 120), replicates=60, seed=0
+        )
+        assert curve[120].width95 <= curve[15].width95 + 0.15
+
+    def test_size_validation(self, fiber_sources, config):
+        with pytest.raises(ValueError):
+            sample_size_curve(fiber_sources, config, sizes=(0,), replicates=5)

@@ -1,0 +1,55 @@
+"""Unit tests for repro.core.usecases."""
+
+from repro.core.usecases import UseCase
+
+
+class TestUseCaseSet:
+    def test_six_use_cases_as_in_paper(self):
+        assert len(UseCase) == 6
+
+    def test_ordered_matches_fig2_rows(self):
+        assert UseCase.ordered() == (
+            UseCase.WEB_BROWSING,
+            UseCase.VIDEO_STREAMING,
+            UseCase.VIDEO_CONFERENCING,
+            UseCase.AUDIO_STREAMING,
+            UseCase.ONLINE_BACKUP,
+            UseCase.GAMING,
+        )
+
+    def test_ordered_covers_all(self):
+        assert set(UseCase.ordered()) == set(UseCase)
+
+
+class TestProfiles:
+    def test_display_names(self):
+        assert UseCase.WEB_BROWSING.display_name == "Web Browsing"
+        assert UseCase.VIDEO_CONFERENCING.display_name == "Video Conferencing"
+
+    def test_every_use_case_has_a_description(self):
+        for use_case in UseCase:
+            assert use_case.description
+            assert use_case.description.endswith(".")
+
+    def test_interactive_flags(self):
+        assert UseCase.GAMING.interactive
+        assert UseCase.VIDEO_CONFERENCING.interactive
+        assert UseCase.WEB_BROWSING.interactive
+        assert not UseCase.VIDEO_STREAMING.interactive
+        assert not UseCase.ONLINE_BACKUP.interactive
+        assert not UseCase.AUDIO_STREAMING.interactive
+
+    def test_popularity_in_unit_interval(self):
+        for use_case in UseCase:
+            assert 0.0 < use_case.default_popularity <= 1.0
+
+    def test_web_browsing_is_most_popular(self):
+        assert UseCase.WEB_BROWSING.default_popularity == max(
+            u.default_popularity for u in UseCase
+        )
+
+    def test_values_are_stable_identifiers(self):
+        # Serialized configs depend on these strings; breaking them
+        # silently breaks every stored config.
+        assert UseCase.WEB_BROWSING.value == "web_browsing"
+        assert UseCase.ONLINE_BACKUP.value == "online_backup"

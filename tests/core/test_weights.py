@@ -1,0 +1,199 @@
+"""Unit tests for repro.core.weights (paper Table 1)."""
+
+import pytest
+
+from repro.core.exceptions import WeightError
+from repro.core.metrics import Metric
+from repro.core.usecases import UseCase
+from repro.core.weights import (
+    DatasetWeights,
+    RequirementWeights,
+    UseCaseWeights,
+    equal_use_case_weights,
+    normalize,
+    paper_requirement_weights,
+    popularity_use_case_weights,
+    validate_weight,
+)
+
+U, M = UseCase, Metric
+
+
+class TestValidateWeight:
+    def test_valid_range(self):
+        for value in range(6):
+            assert validate_weight(value) == value
+
+    def test_out_of_range(self):
+        with pytest.raises(WeightError):
+            validate_weight(6)
+        with pytest.raises(WeightError):
+            validate_weight(-1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(WeightError):
+            validate_weight(2.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(WeightError):
+            validate_weight(True)
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        result = normalize({"a": 2, "b": 3})
+        assert sum(result.values()) == pytest.approx(1.0)
+        assert result["a"] == pytest.approx(0.4)
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(WeightError, match="sum to 0"):
+            normalize({"a": 0, "b": 0})
+
+
+class TestPaperTable1:
+    """Cell-by-cell transcription check of the poster's Table 1."""
+
+    @pytest.fixture(scope="class")
+    def weights(self):
+        return paper_requirement_weights()
+
+    @pytest.mark.parametrize(
+        "use_case,row",
+        [
+            (U.WEB_BROWSING, (3, 2, 4, 4)),
+            (U.VIDEO_STREAMING, (4, 2, 4, 4)),
+            (U.AUDIO_STREAMING, (4, 1, 3, 4)),
+            (U.VIDEO_CONFERENCING, (4, 4, 4, 4)),
+            (U.ONLINE_BACKUP, (4, 4, 2, 4)),
+            (U.GAMING, (4, 4, 5, 4)),
+        ],
+    )
+    def test_rows(self, weights, use_case, row):
+        assert tuple(weights.row(use_case).values()) == row
+
+    def test_gaming_latency_is_the_only_five(self, weights):
+        fives = [
+            (u, m)
+            for u in UseCase
+            for m in Metric
+            if weights.get(u, m) == 5
+        ]
+        assert fives == [(U.GAMING, M.LATENCY)]
+
+    def test_normalized_rows_sum_to_one(self, weights):
+        for use_case in UseCase:
+            row = weights.normalized_row(use_case)
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_gaming_normalization(self, weights):
+        row = weights.normalized_row(U.GAMING)
+        assert row[M.LATENCY] == pytest.approx(5 / 17)
+        assert row[M.DOWNLOAD] == pytest.approx(4 / 17)
+
+
+class TestRequirementWeights:
+    def test_incomplete_matrix_rejected(self):
+        with pytest.raises(WeightError, match="incomplete"):
+            RequirementWeights({(U.GAMING, M.LATENCY): 5})
+
+    def test_all_zero_row_rejected(self):
+        matrix = {(u, m): 1 for u in UseCase for m in Metric}
+        for metric in Metric:
+            matrix[(U.GAMING, metric)] = 0
+        with pytest.raises(WeightError, match="all requirement weights"):
+            RequirementWeights(matrix)
+
+    def test_replace_is_nondestructive(self):
+        base = paper_requirement_weights()
+        new = base.replace({(U.GAMING, M.LATENCY): 3})
+        assert new.get(U.GAMING, M.LATENCY) == 3
+        assert base.get(U.GAMING, M.LATENCY) == 5
+
+    def test_replace_validates(self):
+        with pytest.raises(WeightError):
+            paper_requirement_weights().replace({(U.GAMING, M.LATENCY): 9})
+
+    def test_equality(self):
+        assert paper_requirement_weights() == paper_requirement_weights()
+        assert paper_requirement_weights() != paper_requirement_weights().replace(
+            {(U.GAMING, M.LATENCY): 4}
+        )
+
+
+class TestUseCaseWeights:
+    def test_equal_preset(self):
+        weights = equal_use_case_weights()
+        assert all(weights.get(u) == 1 for u in UseCase)
+        normalized = weights.normalized()
+        assert all(v == pytest.approx(1 / 6) for v in normalized.values())
+
+    def test_popularity_preset_bounds(self):
+        weights = popularity_use_case_weights()
+        for use_case in UseCase:
+            assert 1 <= weights.get(use_case) <= 5
+
+    def test_popularity_orders_web_above_backup(self):
+        weights = popularity_use_case_weights()
+        assert weights.get(U.WEB_BROWSING) > weights.get(U.ONLINE_BACKUP)
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(WeightError, match="incomplete"):
+            UseCaseWeights({U.GAMING: 3})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(WeightError, match="zero"):
+            UseCaseWeights({u: 0 for u in UseCase})
+
+    def test_as_dict_is_a_copy(self):
+        weights = equal_use_case_weights()
+        copy = weights.as_dict()
+        copy[U.GAMING] = 5
+        assert weights.get(U.GAMING) == 1
+
+
+class TestDatasetWeights:
+    def test_equal_builder_respects_capabilities(self):
+        weights = DatasetWeights.equal(
+            {"ndt": (M.DOWNLOAD, M.LATENCY), "ookla": (M.DOWNLOAD,)}
+        )
+        assert weights.get(U.GAMING, M.DOWNLOAD, "ndt") == 1
+        assert weights.get(U.GAMING, M.DOWNLOAD, "ookla") == 1
+        assert weights.get(U.GAMING, M.LATENCY, "ookla") == 0
+
+    def test_unknown_dataset_weighs_zero(self):
+        weights = DatasetWeights.equal({"ndt": (M.DOWNLOAD,)})
+        assert weights.get(U.GAMING, M.DOWNLOAD, "mystery") == 0
+
+    def test_row_total_zero_when_no_capability(self):
+        weights = DatasetWeights.equal({"ookla": (M.DOWNLOAD,)})
+        assert weights.row_total(U.GAMING, M.PACKET_LOSS) == 0
+
+    def test_normalized_row(self):
+        weights = DatasetWeights(
+            {
+                (U.GAMING, M.LATENCY, "ndt"): 3,
+                (U.GAMING, M.LATENCY, "ookla"): 1,
+            }
+        )
+        row = weights.normalized_row(U.GAMING, M.LATENCY)
+        assert row["ndt"] == pytest.approx(0.75)
+        assert row["ookla"] == pytest.approx(0.25)
+
+    def test_normalized_zero_row_raises(self):
+        weights = DatasetWeights({(U.GAMING, M.LATENCY, "ndt"): 0})
+        with pytest.raises(WeightError):
+            weights.normalized_row(U.GAMING, M.LATENCY)
+
+    def test_datasets_listing(self):
+        weights = DatasetWeights.equal({"b": (M.DOWNLOAD,), "a": (M.UPLOAD,)})
+        assert weights.datasets == ("a", "b")
+
+    def test_replace(self):
+        base = DatasetWeights.equal({"ndt": (M.DOWNLOAD,)})
+        new = base.replace({(U.GAMING, M.DOWNLOAD, "ndt"): 5})
+        assert new.get(U.GAMING, M.DOWNLOAD, "ndt") == 5
+        assert base.get(U.GAMING, M.DOWNLOAD, "ndt") == 1
+
+    def test_weight_validation(self):
+        with pytest.raises(WeightError):
+            DatasetWeights({(U.GAMING, M.DOWNLOAD, "ndt"): 7})

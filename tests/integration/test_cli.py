@@ -1,0 +1,125 @@
+"""Integration tests for the ``iqb`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def campaign_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "campaign.jsonl"
+    code = main(
+        [
+            "simulate",
+            str(path),
+            "--regions",
+            "metro-fiber",
+            "rural-dsl",
+            "--tests",
+            "80",
+            "--subscribers",
+            "25",
+            "--seed",
+            "9",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_region_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "out.jsonl", "--regions", "oz"])
+
+
+class TestSimulate(object):
+    def test_writes_jsonl(self, campaign_file):
+        lines = campaign_file.read_text().strip().splitlines()
+        assert len(lines) == 2 * 3 * 80  # regions x clients x tests
+        record = json.loads(lines[0])
+        assert record["region"] in ("metro-fiber", "rural-dsl")
+
+
+class TestScore:
+    def test_prints_table(self, campaign_file, capsys):
+        assert main(["score", str(campaign_file)]) == 0
+        out = capsys.readouterr().out
+        assert "metro-fiber" in out
+        assert "rural-dsl" in out
+        assert "Grade" in out
+
+    def test_custom_config(self, campaign_file, capsys, tmp_path):
+        config_path = tmp_path / "config.json"
+        assert main(["config", "--output", str(config_path)]) == 0
+        assert main(["score", str(campaign_file), "--config", str(config_path)]) == 0
+        assert "metro-fiber" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_full_report(self, campaign_file, capsys):
+        assert main(["report", str(campaign_file), "rural-dsl"]) == 0
+        out = capsys.readouterr().out
+        assert "IQB report: rural-dsl" in out
+        assert "Requirement detail" in out
+
+
+class TestConfig:
+    def test_prints_json(self, capsys):
+        assert main(["config"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["aggregation"]["percentile"] == 95.0
+
+    def test_written_file_loads(self, tmp_path):
+        from repro.core import IQBConfig
+
+        path = tmp_path / "c.json"
+        assert main(["config", "--output", str(path)]) == 0
+        assert IQBConfig.load(path).aggregation.percentile == 95.0
+
+
+class TestTiers:
+    def test_renders_structure(self, capsys):
+        assert main(["tiers"]) == 0
+        out = capsys.readouterr().out
+        assert "web_browsing" in out
+        assert "ookla" in out
+
+
+class TestSweep:
+    def test_prints_percentile_table(self, campaign_file, capsys):
+        assert main(
+            [
+                "sweep",
+                str(campaign_file),
+                "metro-fiber",
+                "--percentiles",
+                "50",
+                "95",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out
+
+
+class TestErrorHandling:
+    def test_malformed_input_raises_by_default(self, tmp_path):
+        from repro.core.exceptions import SchemaError
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n")
+        with pytest.raises(SchemaError):
+            main(["score", str(bad)])
+
+    def test_malformed_input_skippable(self, campaign_file, tmp_path, capsys):
+        mixed = tmp_path / "mixed.jsonl"
+        mixed.write_text(campaign_file.read_text() + "{broken\n")
+        assert main(["score", str(mixed), "--on-error", "skip"]) == 0
+        assert "metro-fiber" in capsys.readouterr().out

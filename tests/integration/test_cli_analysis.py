@@ -1,0 +1,191 @@
+"""Integration tests for the analysis CLI commands (trend/peak/equity/compare)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def campaign_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-analysis") / "campaign.jsonl"
+    code = main(
+        [
+            "simulate",
+            str(path),
+            "--regions",
+            "mixed-urban",
+            "rural-dsl",
+            "--tests",
+            "200",
+            "--subscribers",
+            "50",
+            "--seed",
+            "23",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestTrend:
+    def test_daily_series(self, campaign_file, capsys):
+        assert main(["trend", str(campaign_file), "mixed-urban"]) == 0
+        out = capsys.readouterr().out
+        assert "Window start" in out
+        assert "Trend:" in out
+        assert "IQB/day" in out
+
+    def test_custom_window(self, campaign_file, capsys):
+        assert main(
+            ["trend", str(campaign_file), "mixed-urban", "--window-days", "3.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        # 7-day campaign / 3.5-day windows = 2-3 rows + header + trend.
+        assert out.count("d ") >= 2
+
+    def test_sparse_data_reports_na(self, campaign_file, capsys):
+        assert main(
+            ["trend", str(campaign_file), "mixed-urban", "--window-days", "0.01"]
+        ) == 0
+        assert "n/a" in capsys.readouterr().out
+
+
+class TestPeak:
+    def test_contrast_printed(self, campaign_file, capsys):
+        assert main(["peak", str(campaign_file), "mixed-urban"]) == 0
+        out = capsys.readouterr().out
+        assert "Peak (18-23h)" in out
+        assert "Off-peak" in out
+        assert "Degradation" in out
+
+
+class TestEquity:
+    def test_by_isp_default(self, campaign_file, capsys):
+        assert main(["equity", str(campaign_file), "mixed-urban"]) == 0
+        out = capsys.readouterr().out
+        assert "ISP" in out
+        assert "UrbanFiber" in out
+        assert "Equity gap" in out
+
+    def test_by_tech(self, campaign_file, capsys):
+        assert main(
+            ["equity", str(campaign_file), "mixed-urban", "--by", "tech"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TECH" in out
+        assert "fiber" in out
+
+    def test_rejects_unknown_dimension(self, campaign_file):
+        with pytest.raises(SystemExit):
+            main(["equity", str(campaign_file), "mixed-urban", "--by", "age"])
+
+
+class TestLabel:
+    def test_scorecard_rendered(self, campaign_file, capsys):
+        assert main(["label", str(campaign_file), "mixed-urban"]) == 0
+        out = capsys.readouterr().out
+        assert "INTERNET QUALITY BAROMETER" in out
+        assert "mixed-urban" in out
+        assert "Gaming" in out
+        assert "tests from:" in out
+
+
+class TestAdaptiveCommand:
+    def test_comparison_table_printed(self, capsys):
+        assert main(
+            [
+                "adaptive",
+                "--regions",
+                "metro-fiber",
+                "rural-dsl",
+                "--budget",
+                "200",
+                "--pilot",
+                "25",
+                "--subscribers",
+                "20",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Adaptive tests" in out
+        assert "Worst-case CI" in out
+        assert "metro-fiber" in out
+
+
+class TestTrendSparkline:
+    def test_series_line_printed(self, campaign_file, capsys):
+        assert main(["trend", str(campaign_file), "mixed-urban"]) == 0
+        out = capsys.readouterr().out
+        assert "Series: " in out
+        assert "(scaled 0..1)" in out
+
+
+class TestMonitorCommand:
+    def test_quiet_campaign_reports_no_alerts(self, campaign_file, capsys):
+        assert main(["monitor", str(campaign_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 alert(s)" in out
+
+    def test_verbose_prints_windows(self, campaign_file, capsys):
+        assert main(["monitor", str(campaign_file), "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "window +0.0d" in out
+        assert "mixed-urban=" in out
+
+    def test_incident_file_raises_alert(self, tmp_path, capsys):
+        from repro.measurements.io import write_jsonl
+        from repro.netsim import region_preset
+        from repro.netsim.evolution import (
+            EvolutionStage,
+            simulate_evolution,
+            with_incident,
+        )
+
+        profile = region_preset("suburban-cable")
+        stages = [
+            EvolutionStage(profile, days=4.0),
+            EvolutionStage(with_incident(profile, severity=1.2), days=2.0),
+        ]
+        records = simulate_evolution(
+            stages, seed=37, tests_per_client_per_stage=200, subscribers=50
+        )
+        path = tmp_path / "incident.jsonl"
+        write_jsonl(records, path)
+        assert main(["monitor", str(path), "--min-drop", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT suburban-cable" in out
+
+    def test_empty_file_handled(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["monitor", str(path)]) == 0
+        assert "no measurements" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_attribution_printed(self, campaign_file, capsys):
+        assert main(
+            ["compare", str(campaign_file), "rural-dsl", "mixed-urban"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rural-dsl:" in out
+        assert "mixed-urban:" in out
+        assert "Score difference" in out
+        # The gap must be explained by named cells.
+        assert "/" in out
+
+    def test_top_limits_movers(self, campaign_file, capsys):
+        assert main(
+            [
+                "compare",
+                str(campaign_file),
+                "rural-dsl",
+                "mixed-urban",
+                "--top",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        mover_lines = [l for l in out.splitlines() if l.startswith("  +")
+                       or l.startswith("  -")]
+        assert len(mover_lines) <= 2

@@ -1,0 +1,96 @@
+"""Integration test: the complete operator workflow, end to end.
+
+Exercises the composition the national_barometer example demonstrates:
+simulate → lint → calibrate → score → archive → national roll-up →
+publication → scorecards → period-over-period attribution — asserting
+the cross-module contracts rather than any single module's behaviour.
+"""
+
+import pytest
+
+from repro.analysis.history import ScoreArchive
+from repro.analysis.national import national_score
+from repro.analysis.publish import build_publication
+from repro.analysis.scorecard import scorecard_from_breakdown
+from repro.core import paper_config, score_region
+from repro.core.lint import lint_config
+from repro.measurements.calibration import estimate_biases
+from repro.netsim import CampaignConfig, region_preset, simulate_regions
+
+REGIONS = ("metro-fiber", "suburban-cable", "rural-dsl")
+POPULATIONS = {"metro-fiber": 3e6, "suburban-cable": 2e6, "rural-dsl": 1e6}
+
+
+@pytest.fixture(scope="module")
+def periods():
+    """Two reporting periods of measurements, the second slightly shifted."""
+    campaign = CampaignConfig(subscribers=40, tests_per_client=150)
+    profiles = [region_preset(name) for name in REGIONS]
+    return {
+        "2026-05": simulate_regions(profiles, seed=71, config=campaign),
+        "2026-06": simulate_regions(profiles, seed=72, config=campaign),
+    }
+
+
+class TestOperatorWorkflow:
+    def test_full_period_cycle(self, periods, tmp_path, config):
+        archive = ScoreArchive(tmp_path / "archive.jsonl")
+        publications = {}
+        for period, records in sorted(periods.items()):
+            # 1. lint: the paper config matches the simulated datasets.
+            assert lint_config(config, records) == []
+            # 2. calibrate on the period's own data.
+            model = estimate_biases(records)
+            # 3. score every region from calibrated sources; archive.
+            scores = {}
+            for region in records.regions():
+                sources = model.calibrate(
+                    records.for_region(region).group_by_source()
+                )
+                breakdown = score_region(sources, config)
+                archive.append(period, region, breakdown)
+                scores[region] = breakdown.value
+            # 4. national roll-up is population-bounded by its regions.
+            national = national_score(scores, POPULATIONS)
+            assert min(scores.values()) <= national.value <= max(
+                scores.values()
+            )
+            # 5. the publication contains every region and the headline.
+            publications[period] = build_publication(
+                records, config, populations=POPULATIONS
+            )
+            for region in REGIONS:
+                assert f"## {region}" in publications[period]
+
+        # 6. cross-period: archive answers what changed, exactly.
+        assert archive.periods() == ("2026-05", "2026-06")
+        for region in REGIONS:
+            attribution = archive.compare(region, "2026-05", "2026-06")
+            assert attribution.check() == pytest.approx(0.0, abs=1e-12)
+
+    def test_scorecards_consistent_with_archive(self, periods, tmp_path, config):
+        records = periods["2026-05"]
+        region = "suburban-cable"
+        breakdown = score_region(
+            records.for_region(region).group_by_source(), config
+        )
+        card = scorecard_from_breakdown(breakdown, region=region)
+        assert card.score == pytest.approx(breakdown.value)
+        assert card.grade == breakdown.grade
+        # The label's use-case grades agree with the breakdown's values.
+        for line in card.lines:
+            assert line.score == pytest.approx(
+                breakdown.use_case(line.use_case).value
+            )
+
+    def test_calibration_is_period_stable(self, periods):
+        # The methodology biases are properties of the clients, not of
+        # the period: two independent periods estimate similar factors.
+        from repro.core.metrics import Metric
+
+        model_a = estimate_biases(periods["2026-05"])
+        model_b = estimate_biases(periods["2026-06"])
+        for dataset in ("ndt", "cloudflare", "ookla"):
+            assert model_a.factor(dataset, Metric.DOWNLOAD) == pytest.approx(
+                model_b.factor(dataset, Metric.DOWNLOAD), rel=0.25
+            )

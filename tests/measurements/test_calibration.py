@@ -1,0 +1,141 @@
+"""Unit tests for repro.measurements.calibration."""
+
+import pytest
+
+from repro.core.exceptions import DataError
+from repro.core.metrics import Metric
+from repro.measurements.calibration import (
+    BiasModel,
+    CalibratedSource,
+    estimate_biases,
+)
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+
+
+def records_with_bias(
+    regions=("r1", "r2", "r3"),
+    biases={"low": 0.5, "ref": 1.0, "high": 2.0},
+    base_down=100.0,
+    n=30,
+):
+    """Synthetic multi-region set with exact multiplicative biases."""
+    out = []
+    for i, region in enumerate(regions):
+        truth = base_down * (1.0 + 0.3 * i)  # regions differ in truth
+        for dataset, factor in biases.items():
+            for k in range(n):
+                out.append(
+                    Measurement(
+                        region=region,
+                        source=dataset,
+                        timestamp=float(k),
+                        download_mbps=truth * factor,
+                        upload_mbps=truth * factor / 2.0,
+                    )
+                )
+    return MeasurementSet(out)
+
+
+class TestEstimateBiases:
+    def test_recovers_exact_factors(self):
+        model = estimate_biases(records_with_bias())
+        assert model.factor("low", Metric.DOWNLOAD) == pytest.approx(0.5)
+        assert model.factor("ref", Metric.DOWNLOAD) == pytest.approx(1.0)
+        assert model.factor("high", Metric.DOWNLOAD) == pytest.approx(2.0)
+        assert model.factor("high", Metric.UPLOAD) == pytest.approx(2.0)
+
+    def test_regions_recorded(self):
+        model = estimate_biases(records_with_bias())
+        assert model.regions_used == ("r1", "r2", "r3")
+
+    def test_unknown_dataset_factor_is_one(self):
+        model = estimate_biases(records_with_bias())
+        assert model.factor("mystery", Metric.DOWNLOAD) == 1.0
+
+    def test_uncalibrated_metric_factor_is_one(self):
+        model = estimate_biases(records_with_bias())
+        assert model.factor("low", Metric.LATENCY) == 1.0
+
+    def test_min_samples_gate(self):
+        # With a gate above n, nothing can be estimated.
+        with pytest.raises(DataError, match="enough corroborated"):
+            estimate_biases(records_with_bias(n=5), min_samples=20)
+
+    def test_single_dataset_region_cannot_contribute(self):
+        records = records_with_bias(biases={"only": 1.0})
+        with pytest.raises(DataError):
+            estimate_biases(records)
+
+    def test_robust_to_one_weird_region(self):
+        # One region where 'low' accidentally looks unbiased must not
+        # move the median-of-ratios much.
+        clean = records_with_bias()
+        weird = records_with_bias(regions=("weird",), biases={"low": 1.0,
+                                                              "ref": 1.0,
+                                                              "high": 2.0})
+        model = estimate_biases(clean + weird)
+        assert model.factor("low", Metric.DOWNLOAD) == pytest.approx(0.5)
+
+
+class TestCalibratedSource:
+    def test_quantiles_rescaled(self):
+        records = records_with_bias(regions=("r1",))
+        model = estimate_biases(records_with_bias())
+        sources = records.for_region("r1").group_by_source()
+        calibrated = model.calibrate(sources)
+        raw_low = sources["low"].quantile(Metric.DOWNLOAD, 50.0)
+        cal_low = calibrated["low"].quantile(Metric.DOWNLOAD, 50.0)
+        cal_high = calibrated["high"].quantile(Metric.DOWNLOAD, 50.0)
+        assert cal_low == pytest.approx(raw_low / 0.5)
+        # After calibration, the two datasets agree on the link.
+        assert cal_low == pytest.approx(cal_high)
+
+    def test_uncalibrated_metrics_untouched(self):
+        source_records = MeasurementSet(
+            [
+                Measurement(
+                    region="r",
+                    source="low",
+                    timestamp=0.0,
+                    latency_ms=40.0,
+                )
+            ]
+        )
+        model = BiasModel(
+            factors={("low", Metric.DOWNLOAD): 0.5}, regions_used=("x",)
+        )
+        wrapped = CalibratedSource(source_records, model, "low")
+        assert wrapped.quantile(Metric.LATENCY, 50.0) == 40.0
+
+    def test_missing_metrics_stay_missing(self):
+        records = records_with_bias(regions=("r1",))
+        model = estimate_biases(records_with_bias())
+        calibrated = model.calibrate(
+            records.for_region("r1").group_by_source()
+        )
+        assert calibrated["low"].quantile(Metric.PACKET_LOSS, 95.0) is None
+        assert calibrated["low"].sample_count(Metric.DOWNLOAD) == 30
+
+
+class TestCalibrationShrinksSpread:
+    def test_single_dataset_scores_converge(self, config):
+        """The headline claim the ext-calib bench quantifies."""
+        from repro.baselines import all_single_dataset_scores
+        from repro.netsim import REGION_PRESETS, region_preset, simulate_regions
+
+        records = simulate_regions(
+            [region_preset(name) for name in REGION_PRESETS], seed=9
+        )
+        model = estimate_biases(records)
+        target = records.for_region("mixed-urban").group_by_source()
+        raw_scores = all_single_dataset_scores(target, config)
+        calibrated_scores = all_single_dataset_scores(
+            model.calibrate(target), config
+        )
+
+        def spread(scores):
+            values = [b.value for b in scores.values()]
+            return max(values) - min(values)
+
+        assert spread(calibrated_scores) < spread(raw_scores)

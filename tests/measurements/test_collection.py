@@ -1,0 +1,117 @@
+"""Unit tests for repro.measurements.collection."""
+
+import pytest
+
+from repro.core.metrics import Metric
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+
+
+def rec(region="r1", source="ndt", ts=0.0, isp="ispA", **metrics):
+    metrics.setdefault("download_mbps", 50.0)
+    return Measurement(
+        region=region, source=source, timestamp=ts, isp=isp, **metrics
+    )
+
+
+@pytest.fixture()
+def records():
+    return MeasurementSet(
+        [
+            rec(region="r1", source="ndt", ts=10.0, download_mbps=10.0),
+            rec(region="r1", source="ookla", ts=20.0, download_mbps=20.0),
+            rec(region="r2", source="ndt", ts=30.0, download_mbps=30.0,
+                isp="ispB"),
+            rec(region="r2", source="cloudflare", ts=40.0, download_mbps=40.0,
+                latency_ms=25.0),
+        ]
+    )
+
+
+class TestContainer:
+    def test_len_iter_getitem(self, records):
+        assert len(records) == 4
+        assert [r.timestamp for r in records] == [10.0, 20.0, 30.0, 40.0]
+        assert records[0].download_mbps == 10.0
+
+    def test_addition_concatenates(self, records):
+        combined = records + records
+        assert len(combined) == 8
+
+    def test_empty_set(self):
+        empty = MeasurementSet()
+        assert len(empty) == 0
+        assert empty.regions() == ()
+        assert empty.quantile(Metric.DOWNLOAD, 95.0) is None
+
+    def test_repr(self, records):
+        assert "4 records" in repr(records)
+
+
+class TestFiltering:
+    def test_for_region(self, records):
+        assert len(records.for_region("r1")) == 2
+        assert len(records.for_region("missing")) == 0
+
+    def test_for_source(self, records):
+        assert len(records.for_source("ndt")) == 2
+
+    def test_for_isp(self, records):
+        assert len(records.for_isp("ispB")) == 1
+
+    def test_between_is_half_open(self, records):
+        window = records.between(10.0, 30.0)
+        assert [r.timestamp for r in window] == [10.0, 20.0]
+
+    def test_filter_predicate(self, records):
+        fast = records.filter(lambda r: (r.download_mbps or 0) > 25.0)
+        assert len(fast) == 2
+
+    def test_filters_do_not_mutate_original(self, records):
+        records.for_region("r1")
+        assert len(records) == 4
+
+
+class TestGrouping:
+    def test_distinct_listings(self, records):
+        assert records.regions() == ("r1", "r2")
+        assert records.sources() == ("cloudflare", "ndt", "ookla")
+        assert records.isps() == ("ispA", "ispB")
+
+    def test_group_by_region(self, records):
+        groups = records.group_by_region()
+        assert set(groups) == {"r1", "r2"}
+        assert len(groups["r1"]) == 2
+
+    def test_group_by_source(self, records):
+        groups = records.group_by_source()
+        assert set(groups) == {"ndt", "ookla", "cloudflare"}
+        assert len(groups["ndt"]) == 2
+
+
+class TestQuantileSource:
+    def test_values_skip_missing(self, records):
+        assert records.values(Metric.LATENCY) == [25.0]
+
+    def test_quantile(self, records):
+        assert records.quantile(Metric.DOWNLOAD, 50.0) == 25.0
+
+    def test_quantile_none_when_unobserved(self, records):
+        assert records.quantile(Metric.PACKET_LOSS, 95.0) is None
+
+    def test_sample_count(self, records):
+        assert records.sample_count(Metric.DOWNLOAD) == 4
+        assert records.sample_count(Metric.LATENCY) == 1
+
+
+class TestSummaries:
+    def test_mean_median(self, records):
+        assert records.mean(Metric.DOWNLOAD) == 25.0
+        assert records.median(Metric.DOWNLOAD) == 25.0
+        assert records.mean(Metric.PACKET_LOSS) is None
+
+    def test_summary_digest(self, records):
+        digest = records.summary()
+        assert digest["download_mbps"]["count"] == 4.0
+        assert "packet_loss" not in digest
+        assert digest["latency_ms"]["p95"] == 25.0

@@ -1,0 +1,149 @@
+"""Unit tests for repro.measurements.io (JSONL and CSV round trips)."""
+
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.io import (
+    iter_jsonl,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.measurements.record import Measurement
+
+
+@pytest.fixture()
+def records():
+    return MeasurementSet(
+        [
+            Measurement(
+                region="r1",
+                source="ndt",
+                timestamp=1.5,
+                download_mbps=50.25,
+                upload_mbps=10.0,
+                latency_ms=20.0,
+                packet_loss=0.01,
+                isp="ispA",
+                access_tech="cable",
+                meta={"streams": 1},
+            ),
+            Measurement(
+                region="r2",
+                source="ookla",
+                timestamp=2.5,
+                download_mbps=100.0,
+                latency_ms=9.0,
+            ),
+        ]
+    )
+
+
+class TestJsonl:
+    def test_round_trip(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        assert write_jsonl(records, path) == 2
+        loaded = read_jsonl(path)
+        assert list(loaded) == list(records)
+
+    def test_iter_streams_lazily(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(records, path)
+        iterator = iter_jsonl(path)
+        first = next(iterator)
+        assert first.region == "r1"
+
+    def test_blank_lines_skipped(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(records, path)
+        text = path.read_text()
+        path.write_text("\n" + text + "\n\n")
+        assert len(read_jsonl(path)) == 2
+
+    def test_malformed_line_raises_with_location(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(records, path)
+        with open(path, "a") as handle:
+            handle.write("{not json}\n")
+        with pytest.raises(SchemaError, match=":3"):
+            read_jsonl(path)
+
+    def test_malformed_line_skippable(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(records, path)
+        with open(path, "a") as handle:
+            handle.write("{not json}\n")
+            handle.write('{"region": "r3"}\n')  # valid JSON, invalid record
+        assert len(read_jsonl(path, on_error="skip")) == 2
+
+    def test_on_error_validated(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="on_error"):
+            read_jsonl(path, on_error="ignore")
+
+    def test_empty_file_loads_empty_set(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text("")
+        assert len(read_jsonl(path)) == 0
+
+
+class TestCsv:
+    def test_round_trip_drops_meta_only(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        assert write_csv(records, path) == 2
+        loaded = read_csv(path)
+        assert len(loaded) == 2
+        first = loaded[0]
+        assert first.region == "r1"
+        assert first.download_mbps == 50.25
+        assert first.timestamp == 1.5
+        assert first.isp == "ispA"
+        assert first.meta == {}  # meta is not representable in CSV
+
+    def test_missing_metrics_stay_missing(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(records, path)
+        loaded = read_csv(path)
+        assert loaded[1].packet_loss is None
+        assert loaded[1].upload_mbps is None
+
+    def test_float_precision_preserved(self, tmp_path):
+        precise = MeasurementSet(
+            [
+                Measurement(
+                    region="r",
+                    source="s",
+                    timestamp=0.1 + 0.2,
+                    download_mbps=1.0 / 3.0,
+                )
+            ]
+        )
+        path = tmp_path / "data.csv"
+        write_csv(precise, path)
+        loaded = read_csv(path)
+        assert loaded[0].download_mbps == 1.0 / 3.0
+        assert loaded[0].timestamp == 0.1 + 0.2
+
+    def test_bad_row_raises_with_location(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(records, path)
+        with open(path, "a") as handle:
+            handle.write("r3,ndt,notanumber,1,,,,,\n")
+        with pytest.raises(SchemaError, match=":4"):
+            read_csv(path)
+
+    def test_bad_row_skippable(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(records, path)
+        with open(path, "a") as handle:
+            handle.write("r3,ndt,notanumber,1,,,,,\n")
+        assert len(read_csv(path, on_error="skip")) == 2
+
+    def test_on_error_validated(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("region,source\n")
+        with pytest.raises(ValueError, match="on_error"):
+            read_csv(path, on_error="ignore")

@@ -1,0 +1,91 @@
+"""Unit tests for repro.measurements.quantile (exact + P²)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AggregationError
+from repro.measurements.quantile import ExactQuantiles, P2Quantile
+
+
+class TestExactQuantiles:
+    def test_add_and_query(self):
+        estimator = ExactQuantiles()
+        estimator.extend([1.0, 2.0, 3.0, 4.0])
+        estimator.add(5.0)
+        assert len(estimator) == 5
+        assert estimator.quantile(50.0) == 3.0
+
+    def test_matches_numpy(self):
+        values = list(np.random.default_rng(0).normal(size=200))
+        estimator = ExactQuantiles(values)
+        for percentile in (5.0, 50.0, 95.0):
+            assert estimator.quantile(percentile) == pytest.approx(
+                float(np.percentile(values, percentile))
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(AggregationError):
+            ExactQuantiles().quantile(50.0)
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            estimator.add(value)
+        assert estimator.value() == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(AggregationError):
+            P2Quantile(0.5).value()
+
+    def test_value_or_none(self):
+        estimator = P2Quantile(0.5)
+        assert estimator.value_or_none() is None
+        estimator.add(1.0)
+        assert estimator.value_or_none() == 1.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(AggregationError):
+            P2Quantile(0.0)
+        with pytest.raises(AggregationError):
+            P2Quantile(1.0)
+
+    def test_count_tracked(self):
+        estimator = P2Quantile(0.9)
+        for i in range(100):
+            estimator.add(float(i))
+        assert len(estimator) == 100
+
+    @pytest.mark.parametrize("q", [0.05, 0.5, 0.95])
+    def test_converges_on_uniform_stream(self, q):
+        rng = np.random.default_rng(42)
+        values = rng.uniform(0.0, 100.0, size=5000)
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.add(float(value))
+        exact = float(np.percentile(values, q * 100.0))
+        assert estimator.value() == pytest.approx(exact, abs=2.5)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95])
+    def test_converges_on_lognormal_stream(self, q):
+        # Heavy-tailed streams are the realistic case (throughputs).
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=3.0, sigma=0.6, size=8000)
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.add(float(value))
+        exact = float(np.percentile(values, q * 100.0))
+        assert estimator.value() == pytest.approx(exact, rel=0.08)
+
+    def test_monotone_markers_on_sorted_input(self):
+        estimator = P2Quantile(0.95)
+        for i in range(1000):
+            estimator.add(float(i))
+        assert 900.0 <= estimator.value() <= 1000.0
+
+    def test_constant_stream(self):
+        estimator = P2Quantile(0.95)
+        for _ in range(50):
+            estimator.add(7.0)
+        assert estimator.value() == pytest.approx(7.0)

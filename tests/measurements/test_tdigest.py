@@ -1,0 +1,144 @@
+"""Unit and property tests for the merging t-digest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exceptions import AggregationError
+from repro.measurements.tdigest import TDigest
+
+
+class TestBasics:
+    def test_empty_raises(self):
+        with pytest.raises(AggregationError, match="no values"):
+            TDigest().quantile(50.0)
+
+    def test_quantile_or_none(self):
+        digest = TDigest()
+        assert digest.quantile_or_none(50.0) is None
+        digest.add(5.0)
+        assert digest.quantile_or_none(50.0) == 5.0
+
+    def test_single_value(self):
+        digest = TDigest()
+        digest.add(42.0)
+        for percentile in (0.0, 50.0, 100.0):
+            assert digest.quantile(percentile) == 42.0
+
+    def test_extremes_are_exact(self):
+        digest = TDigest()
+        digest.extend(float(i) for i in range(1000))
+        assert digest.quantile(0.0) == 0.0
+        assert digest.quantile(100.0) == 999.0
+
+    def test_count_tracked(self):
+        digest = TDigest()
+        digest.extend([1.0] * 250)
+        assert len(digest) == 250
+
+    def test_validation(self):
+        with pytest.raises(AggregationError):
+            TDigest(delta=5)
+        digest = TDigest()
+        digest.add(1.0)
+        with pytest.raises(AggregationError):
+            digest.quantile(101.0)
+        with pytest.raises(AggregationError):
+            digest.add(1.0, weight=0.0)
+
+    def test_memory_bounded(self):
+        digest = TDigest(delta=100)
+        rng = np.random.default_rng(1)
+        for value in rng.normal(size=50_000):
+            digest.add(float(value))
+        digest.quantile(50.0)  # forces a final compress
+        assert digest.centroid_count < 600
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("percentile", [5.0, 50.0, 95.0, 99.0])
+    def test_uniform_stream(self, percentile):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 100.0, size=20_000)
+        digest = TDigest()
+        digest.extend(map(float, values))
+        exact = float(np.percentile(values, percentile))
+        assert digest.quantile(percentile) == pytest.approx(exact, abs=1.5)
+
+    @pytest.mark.parametrize("percentile", [50.0, 95.0])
+    def test_lognormal_stream(self, percentile):
+        rng = np.random.default_rng(4)
+        values = rng.lognormal(3.0, 0.7, size=20_000)
+        digest = TDigest()
+        digest.extend(map(float, values))
+        exact = float(np.percentile(values, percentile))
+        assert digest.quantile(percentile) == pytest.approx(exact, rel=0.05)
+
+    def test_tail_accuracy_beats_midrange_resolution(self):
+        # The q(1-q) bound keeps tail centroids tiny: p99 error (rel to
+        # the distribution's scale) stays small even for heavy tails.
+        rng = np.random.default_rng(5)
+        values = rng.pareto(3.0, size=30_000)
+        digest = TDigest()
+        digest.extend(map(float, values))
+        exact = float(np.percentile(values, 99.0))
+        assert digest.quantile(99.0) == pytest.approx(exact, rel=0.1)
+
+
+class TestMerge:
+    def test_merge_matches_single_digest(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(50.0, 10.0, size=20_000)
+        whole = TDigest()
+        whole.extend(map(float, values))
+        shards = [TDigest() for _ in range(4)]
+        for i, value in enumerate(values):
+            shards[i % 4].add(float(value))
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        assert len(merged) == len(whole)
+        for percentile in (5.0, 50.0, 95.0):
+            assert merged.quantile(percentile) == pytest.approx(
+                whole.quantile(percentile), abs=1.0
+            )
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = TDigest(), TDigest()
+        a.extend([1.0, 2.0, 3.0])
+        b.extend([10.0, 20.0])
+        a.merge(b)
+        assert len(a) == 3
+        assert len(b) == 2
+
+    def test_merge_preserves_extremes(self):
+        a, b = TDigest(), TDigest()
+        a.extend(range(100))
+        b.extend(range(1000, 1100))
+        merged = a.merge(b)
+        assert merged.quantile(0.0) == 0.0
+        assert merged.quantile(100.0) == 1099.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=500
+    ),
+    percentile=st.floats(0.0, 100.0),
+)
+def test_property_estimate_within_range(values, percentile):
+    digest = TDigest()
+    digest.extend(values)
+    estimate = digest.quantile(percentile)
+    assert min(values) <= estimate <= max(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.floats(0.0, 1000.0), min_size=50, max_size=500))
+def test_property_median_reasonable(values):
+    digest = TDigest()
+    digest.extend(values)
+    spread = max(values) - min(values)
+    exact = float(np.percentile(values, 50.0))
+    assert abs(digest.quantile(50.0) - exact) <= max(0.2 * spread, 1e-9)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.measurements.windows."""
+
+import pytest
+
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+from repro.measurements.windows import (
+    by_hour_of_day,
+    peak_split,
+    time_buckets,
+)
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def rec(ts):
+    return Measurement(region="r", source="s", timestamp=ts, download_mbps=1.0)
+
+
+@pytest.fixture()
+def two_days():
+    # One record every 6 hours across two days: 0h, 6h, 12h, 18h, ...
+    return MeasurementSet(rec(i * 6 * HOUR) for i in range(8))
+
+
+class TestTimeBuckets:
+    def test_daily_buckets(self, two_days):
+        buckets = time_buckets(two_days, DAY)
+        assert len(buckets) == 2
+        assert len(buckets[0].records) == 4
+        assert len(buckets[1].records) == 4
+
+    def test_half_open_windows(self):
+        records = MeasurementSet([rec(0.0), rec(DAY)])
+        buckets = time_buckets(records, DAY)
+        assert [len(b.records) for b in buckets] == [1, 1]
+
+    def test_empty_interior_windows_preserved(self):
+        records = MeasurementSet([rec(0.0), rec(3 * DAY)])
+        buckets = time_buckets(records, DAY)
+        assert [len(b.records) for b in buckets] == [1, 0, 0, 1]
+
+    def test_explicit_start(self, two_days):
+        buckets = time_buckets(two_days, DAY, start=-DAY)
+        assert len(buckets[0].records) == 0
+
+    def test_midpoint(self):
+        bucket = time_buckets(MeasurementSet([rec(0.0)]), DAY)[0]
+        assert bucket.midpoint == DAY / 2.0
+
+    def test_validation(self, two_days):
+        with pytest.raises(ValueError):
+            time_buckets(two_days, 0.0)
+        with pytest.raises(ValueError):
+            time_buckets(MeasurementSet(), DAY)
+
+
+class TestByHourOfDay:
+    def test_all_bins_present(self, two_days):
+        bins = by_hour_of_day(two_days)
+        assert len(bins) == 24
+        assert set(bins) == {float(h) for h in range(24)}
+
+    def test_records_fold_across_days(self, two_days):
+        bins = by_hour_of_day(two_days)
+        assert len(bins[0.0]) == 2  # midnight of both days
+        assert len(bins[6.0]) == 2
+        assert len(bins[1.0]) == 0
+
+    def test_coarser_bins(self, two_days):
+        bins = by_hour_of_day(two_days, bin_hours=6.0)
+        assert set(bins) == {0.0, 6.0, 12.0, 18.0}
+        assert all(len(records) == 2 for records in bins.values())
+
+    def test_bin_width_must_divide_day(self, two_days):
+        with pytest.raises(ValueError):
+            by_hour_of_day(two_days, bin_hours=5.0)
+
+
+class TestPeakSplit:
+    def test_default_window(self):
+        records = MeasurementSet(
+            [rec(17.9 * HOUR), rec(18.0 * HOUR), rec(20.0 * HOUR),
+             rec(22.9 * HOUR), rec(23.0 * HOUR)]
+        )
+        peak, off_peak = peak_split(records)
+        assert len(peak) == 3
+        assert len(off_peak) == 2
+
+    def test_partition_is_complete(self, two_days):
+        peak, off_peak = peak_split(two_days)
+        assert len(peak) + len(off_peak) == len(two_days)
+
+    def test_custom_window(self):
+        records = MeasurementSet([rec(9.0 * HOUR), rec(14.0 * HOUR)])
+        peak, off_peak = peak_split(records, peak_start=8.0, peak_end=12.0)
+        assert len(peak) == 1
+
+    def test_validation(self, two_days):
+        with pytest.raises(ValueError):
+            peak_split(two_days, peak_start=23.0, peak_end=2.0)

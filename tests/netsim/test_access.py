@@ -1,0 +1,80 @@
+"""Unit tests for repro.netsim.access (technology envelopes)."""
+
+import pytest
+
+from repro.netsim.access import (
+    CABLE,
+    DSL,
+    FIBER,
+    SATELLITE_GEO,
+    TECHNOLOGIES,
+    technology,
+    technology_names,
+)
+from repro.netsim.rng import make_rng
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert technology("fiber") is FIBER
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="fiber"):
+            technology("carrier-pigeon")
+
+    def test_names_sorted(self):
+        names = technology_names()
+        assert list(names) == sorted(names)
+        assert "satellite_geo" in names
+
+    def test_registry_keys_match_profile_names(self):
+        for name, tech in TECHNOLOGIES.items():
+            assert tech.name == name
+
+
+class TestEnvelopeShape:
+    """Relative technology characteristics measurement folklore expects."""
+
+    def test_fiber_is_fastest_median(self):
+        assert FIBER.down_median_mbps > CABLE.down_median_mbps > DSL.down_median_mbps
+
+    def test_fiber_is_symmetric_cable_is_not(self):
+        assert FIBER.up_ratio_low >= 0.8
+        assert CABLE.up_ratio_high <= 0.2
+
+    def test_geo_satellite_rtt_is_physics_bound(self):
+        assert SATELLITE_GEO.rtt_floor_ms >= 500.0
+
+    def test_fiber_lowest_loss(self):
+        assert FIBER.loss_median == min(
+            tech.loss_median for tech in TECHNOLOGIES.values()
+        )
+
+    def test_cable_bloats_more_than_fiber(self):
+        assert CABLE.bloat_high_ms > FIBER.bloat_high_ms
+
+
+class TestDraws:
+    @pytest.mark.parametrize("tech", list(TECHNOLOGIES.values()), ids=lambda t: t.name)
+    def test_draws_respect_envelopes(self, tech):
+        rng = make_rng(11, "draws", tech.name)
+        for _ in range(100):
+            down = tech.draw_down_capacity(rng)
+            assert tech.down_floor_mbps <= down <= tech.down_ceiling_mbps
+            ratio = tech.draw_up_ratio(rng)
+            assert tech.up_ratio_low <= ratio <= tech.up_ratio_high
+            rtt = tech.draw_base_rtt(rng)
+            assert tech.rtt_floor_ms <= rtt <= tech.rtt_ceiling_ms
+            loss = tech.draw_loss(rng)
+            assert 0.0 < loss <= 0.2
+            bloat = tech.draw_bloat(rng)
+            assert tech.bloat_low_ms <= bloat <= tech.bloat_high_ms
+
+    def test_draws_deterministic_under_seed(self):
+        a = FIBER.draw_down_capacity(make_rng(1, "d"))
+        b = FIBER.draw_down_capacity(make_rng(1, "d"))
+        assert a == b
+
+    def test_dsl_ceiling_caps_capacity(self):
+        rng = make_rng(2, "dsl")
+        assert all(DSL.draw_down_capacity(rng) <= 100.0 for _ in range(200))

@@ -1,0 +1,90 @@
+"""Unit tests for the Atlas-style latency/loss probe client."""
+
+import pytest
+
+from repro.core.config import paper_config
+from repro.core.metrics import Metric
+from repro.core.scoring import score_region
+from repro.netsim.clients import AtlasPingClient, default_clients
+from repro.netsim.link import SubscriberLink
+from repro.netsim.population import region_preset
+from repro.netsim.rng import make_rng
+from repro.netsim.simulator import CampaignConfig, simulate_region
+
+
+@pytest.fixture()
+def link():
+    return SubscriberLink(
+        subscriber_id="s",
+        region="r",
+        isp="i",
+        tech="cable",
+        down_capacity_mbps=200.0,
+        up_capacity_mbps=20.0,
+        base_rtt_ms=18.0,
+        base_loss=0.005,
+        bloat_ms=100.0,
+    )
+
+
+class TestAtlasClient:
+    def test_measures_only_latency_and_loss(self, link):
+        record = AtlasPingClient().measure(link, 0.5, 0.0, make_rng(1, "a"))
+        assert record.source == "atlas"
+        assert record.download_mbps is None
+        assert record.upload_mbps is None
+        assert record.latency_ms is not None
+        assert record.packet_loss is not None
+
+    def test_not_in_default_trio(self):
+        assert "atlas" not in {c.name for c in default_clients()}
+
+    def test_sees_loaded_latency(self, link):
+        rng = make_rng(2, "a")
+        client = AtlasPingClient()
+        idle = sum(
+            client.measure(link, 0.0, 0.0, rng).latency_ms for _ in range(50)
+        )
+        loaded = sum(
+            client.measure(link, 1.0, 0.0, rng).latency_ms for _ in range(50)
+        )
+        assert loaded > idle * 2  # 100 ms bloat on an 18 ms base
+
+    def test_loss_quantized_by_probe_count(self, link):
+        record = AtlasPingClient().measure(link, 0.5, 0.0, make_rng(3, "a"))
+        scaled = record.packet_loss * AtlasPingClient.PROBE_COUNT
+        assert scaled == pytest.approx(round(scaled))
+
+
+class TestFourthDatasetScoring:
+    def test_scoring_with_atlas_as_fourth_dataset(self):
+        clients = tuple(default_clients()) + (AtlasPingClient(),)
+        campaign = CampaignConfig(subscribers=30, tests_per_client=120)
+        records = simulate_region(
+            region_preset("suburban-cable"), seed=11, config=campaign,
+            clients=clients,
+        )
+        assert "atlas" in records.sources()
+
+        capabilities = {
+            "ndt": tuple(Metric),
+            "cloudflare": tuple(Metric),
+            "ookla": (Metric.DOWNLOAD, Metric.UPLOAD, Metric.LATENCY),
+            "atlas": (Metric.LATENCY, Metric.PACKET_LOSS),
+        }
+        config = paper_config(datasets=capabilities)
+        breakdown = score_region(records.group_by_source(), config)
+        assert 0.0 <= breakdown.value <= 1.0
+
+        # Atlas contributes verdicts exactly where it has capability.
+        from repro.core.usecases import UseCase
+
+        gaming = breakdown.use_case(UseCase.GAMING)
+        latency_datasets = {
+            v.dataset for v in gaming.requirement(Metric.LATENCY).verdicts
+        }
+        download_datasets = {
+            v.dataset for v in gaming.requirement(Metric.DOWNLOAD).verdicts
+        }
+        assert "atlas" in latency_datasets
+        assert "atlas" not in download_datasets

@@ -1,0 +1,134 @@
+"""Unit tests for repro.netsim.clients (dataset methodologies)."""
+
+import pytest
+
+from repro.core.metrics import Metric
+from repro.netsim.clients import (
+    DEFAULT_CLIENTS,
+    CloudflareClient,
+    NDTClient,
+    OoklaClient,
+    default_clients,
+)
+from repro.netsim.link import SubscriberLink
+from repro.netsim.rng import make_rng
+
+
+@pytest.fixture()
+def lossy_link():
+    """A high-capacity but lossy, bloated link (cable-at-peak style)."""
+    return SubscriberLink(
+        subscriber_id="s",
+        region="r",
+        isp="i",
+        tech="cable",
+        down_capacity_mbps=300.0,
+        up_capacity_mbps=30.0,
+        base_rtt_ms=15.0,
+        base_loss=0.008,
+        bloat_ms=120.0,
+    )
+
+
+def measure(client, link, utilization=0.5, seed=1):
+    return client.measure(link, utilization, timestamp=1000.0, rng=make_rng(seed, "m"))
+
+
+class TestRegistry:
+    def test_trio_registered(self):
+        assert set(DEFAULT_CLIENTS) == {"ndt", "cloudflare", "ookla"}
+
+    def test_default_clients_sorted(self):
+        assert [c.name for c in default_clients()] == [
+            "cloudflare",
+            "ndt",
+            "ookla",
+        ]
+
+    def test_declared_metrics(self):
+        assert Metric.PACKET_LOSS in NDTClient.metrics
+        assert Metric.PACKET_LOSS in CloudflareClient.metrics
+        assert Metric.PACKET_LOSS not in OoklaClient.metrics
+
+
+class TestRecordShape:
+    @pytest.mark.parametrize(
+        "client", [NDTClient(), CloudflareClient(), OoklaClient()],
+        ids=lambda c: c.name,
+    )
+    def test_record_fields(self, client, lossy_link):
+        record = measure(client, lossy_link)
+        assert record.source == client.name
+        assert record.region == "r"
+        assert record.isp == "i"
+        assert record.access_tech == "cable"
+        assert record.timestamp == 1000.0
+        assert record.download_mbps is not None and record.download_mbps >= 0
+        assert record.latency_ms is not None and record.latency_ms > 0
+
+    def test_ookla_publishes_no_loss(self, lossy_link):
+        assert measure(OoklaClient(), lossy_link).packet_loss is None
+
+    def test_ndt_and_cloudflare_publish_loss(self, lossy_link):
+        assert measure(NDTClient(), lossy_link).packet_loss is not None
+        assert measure(CloudflareClient(), lossy_link).packet_loss is not None
+
+    def test_deterministic_under_seed(self, lossy_link):
+        a = measure(NDTClient(), lossy_link, seed=9)
+        b = measure(NDTClient(), lossy_link, seed=9)
+        assert a == b
+
+
+class TestMethodologyBiases:
+    """The systematic differences the corroboration argument rests on."""
+
+    def average(self, client, link, utilization, attr, n=60):
+        rng = make_rng(33, "avg", client.name, attr)
+        total = 0.0
+        for _ in range(n):
+            record = client.measure(link, utilization, 0.0, rng)
+            total += getattr(record, attr)
+        return total / n
+
+    def test_ookla_reports_more_throughput_than_ndt_on_lossy_link(
+        self, lossy_link
+    ):
+        ndt = self.average(NDTClient(), lossy_link, 0.6, "download_mbps")
+        ookla = self.average(OoklaClient(), lossy_link, 0.6, "download_mbps")
+        assert ookla > 2.0 * ndt
+
+    def test_cloudflare_sits_between(self, lossy_link):
+        ndt = self.average(NDTClient(), lossy_link, 0.6, "download_mbps")
+        cf = self.average(CloudflareClient(), lossy_link, 0.6, "download_mbps")
+        ookla = self.average(OoklaClient(), lossy_link, 0.6, "download_mbps")
+        assert ndt < cf < ookla
+
+    def test_ookla_idle_ping_below_loaded_latency(self, lossy_link):
+        ookla = self.average(OoklaClient(), lossy_link, 0.8, "latency_ms")
+        cloudflare = self.average(CloudflareClient(), lossy_link, 0.8, "latency_ms")
+        assert ookla < cloudflare
+
+    def test_ndt_retransmission_overstates_loss(self, lossy_link):
+        true_loss = lossy_link.loss_under_load(0.5)
+        ndt = self.average(NDTClient(), lossy_link, 0.5, "packet_loss")
+        assert ndt > true_loss
+
+    def test_cloudflare_loss_unbiased(self, lossy_link):
+        true_loss = lossy_link.loss_under_load(0.5)
+        cf = self.average(CloudflareClient(), lossy_link, 0.5, "packet_loss", n=200)
+        assert cf == pytest.approx(true_loss, rel=0.25)
+
+    def test_cloudflare_loss_quantized_by_probe_count(self, lossy_link):
+        record = measure(CloudflareClient(), lossy_link)
+        assert (record.packet_loss * CloudflareClient.PROBE_COUNT) == pytest.approx(
+            round(record.packet_loss * CloudflareClient.PROBE_COUNT)
+        )
+
+    def test_throughput_never_exceeds_capacity_much(self, lossy_link):
+        # Noise is multiplicative but peak selection can't invent capacity
+        # beyond noise headroom.
+        for client in default_clients():
+            rng = make_rng(44, "cap", client.name)
+            for _ in range(50):
+                record = client.measure(lossy_link, 0.0, 0.0, rng)
+                assert record.download_mbps < lossy_link.down_capacity_mbps * 1.5

@@ -1,0 +1,118 @@
+"""Unit tests for repro.netsim.congestion (diurnal model)."""
+
+import pytest
+
+from repro.netsim.congestion import (
+    DEFAULT_PROFILE,
+    DiurnalProfile,
+    hour_of_day,
+)
+from repro.netsim.rng import make_rng
+
+
+class TestHourOfDay:
+    def test_midnight(self):
+        assert hour_of_day(0.0) == 0.0
+
+    def test_noon(self):
+        assert hour_of_day(12 * 3600.0) == 12.0
+
+    def test_wraps_across_days(self):
+        assert hour_of_day(86400.0 + 3600.0) == 1.0
+
+    def test_fractional_hours(self):
+        assert hour_of_day(90 * 60.0) == 1.5
+
+
+class TestUtilizationCurve:
+    def test_bounded(self):
+        for hour in range(24):
+            value = DEFAULT_PROFILE.utilization(float(hour))
+            assert 0.0 <= value <= 1.0
+
+    def test_evening_peak_dominates(self):
+        evening = DEFAULT_PROFILE.utilization(20.5)
+        night = DEFAULT_PROFILE.utilization(4.0)
+        midday = DEFAULT_PROFILE.utilization(14.0)
+        assert evening > midday > night
+
+    def test_peak_is_at_configured_hour(self):
+        values = {h / 2.0: DEFAULT_PROFILE.utilization(h / 2.0) for h in range(48)}
+        peak_hour = max(values, key=values.get)
+        assert peak_hour == pytest.approx(DEFAULT_PROFILE.evening_hour, abs=0.5)
+
+    def test_load_factor_scales(self):
+        base = DEFAULT_PROFILE.utilization(20.5, load_factor=1.0)
+        loaded = DEFAULT_PROFILE.utilization(20.5, load_factor=1.4)
+        assert loaded == pytest.approx(min(1.0, base * 1.4))
+
+    def test_saturation_clamped(self):
+        profile = DiurnalProfile(evening_peak=0.9)
+        assert profile.utilization(20.5, load_factor=5.0) == 1.0
+
+    def test_hours_wrap(self):
+        assert DEFAULT_PROFILE.utilization(25.0) == pytest.approx(
+            DEFAULT_PROFILE.utilization(1.0)
+        )
+
+    def test_circular_continuity_at_midnight(self):
+        before = DEFAULT_PROFILE.utilization(23.999)
+        after = DEFAULT_PROFILE.utilization(0.001)
+        assert before == pytest.approx(after, abs=0.01)
+
+
+class TestWeekend:
+    def test_weekend_daytime_runs_hotter(self):
+        weekday = DEFAULT_PROFILE.utilization(14.0, weekend=False)
+        weekend = DEFAULT_PROFILE.utilization(14.0, weekend=True)
+        assert weekend > weekday + 0.05
+
+    def test_weekend_night_unchanged(self):
+        weekday = DEFAULT_PROFILE.utilization(3.0, weekend=False)
+        weekend = DEFAULT_PROFILE.utilization(3.0, weekend=True)
+        assert weekend == pytest.approx(weekday, abs=0.01)
+
+    def test_sampling_uses_calendar(self):
+        from repro.timeutil import SECONDS_PER_DAY
+
+        rng_a = make_rng(9, "wk")
+        rng_b = make_rng(9, "wk")
+        noon = 12 * 3600.0
+        weekday_samples = [
+            DEFAULT_PROFILE.sample_utilization(rng_a, 2 * SECONDS_PER_DAY + noon)
+            for _ in range(500)
+        ]
+        weekend_samples = [
+            DEFAULT_PROFILE.sample_utilization(rng_b, 5 * SECONDS_PER_DAY + noon)
+            for _ in range(500)
+        ]
+        weekday_mean = sum(weekday_samples) / len(weekday_samples)
+        weekend_mean = sum(weekend_samples) / len(weekend_samples)
+        assert weekend_mean > weekday_mean
+
+    def test_day_of_week_helpers(self):
+        from repro.timeutil import SECONDS_PER_DAY, day_of_week, is_weekend
+
+        assert day_of_week(0.0) == 0
+        assert day_of_week(6.5 * SECONDS_PER_DAY) == 6
+        assert day_of_week(7 * SECONDS_PER_DAY) == 0
+        assert not is_weekend(4.9 * SECONDS_PER_DAY)
+        assert is_weekend(5.0 * SECONDS_PER_DAY)
+        assert is_weekend(6.9 * SECONDS_PER_DAY)
+
+
+class TestSampling:
+    def test_noise_centred_on_curve(self):
+        rng = make_rng(5, "diurnal")
+        timestamp = 20.5 * 3600.0
+        samples = [
+            DEFAULT_PROFILE.sample_utilization(rng, timestamp) for _ in range(2000)
+        ]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(DEFAULT_PROFILE.utilization(20.5), abs=0.02)
+
+    def test_samples_bounded(self):
+        rng = make_rng(6, "diurnal")
+        for i in range(500):
+            value = DEFAULT_PROFILE.sample_utilization(rng, i * 977.0, 1.3)
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,106 @@
+"""Unit tests for repro.netsim.evolution."""
+
+import pytest
+
+from repro.netsim.evolution import (
+    EvolutionStage,
+    fiber_buildout,
+    simulate_evolution,
+    stage_boundaries,
+)
+from repro.netsim.population import region_preset
+
+DAY = 86400.0
+
+
+class TestFiberBuildout:
+    def test_shares_ramp_linearly(self):
+        stages = fiber_buildout(periods=5)
+        mixes = [
+            stage.profile.isps[0].tech_mix.get("fiber", 0.0)
+            for stage in stages
+        ]
+        assert mixes == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_first_stage_is_pure_dsl(self):
+        stage = fiber_buildout()[0]
+        assert stage.profile.isps[0].tech_mix == {"dsl": 1.0}
+
+    def test_final_stage_reaches_target(self):
+        stages = fiber_buildout(final_fiber_share=0.6, periods=4)
+        final = stages[-1].profile.isps[0].tech_mix
+        assert final["fiber"] == pytest.approx(0.6)
+        assert final["dsl"] == pytest.approx(0.4)
+
+    def test_load_relaxes_toward_one(self):
+        stages = fiber_buildout(periods=4, initial_load_factor=1.2)
+        loads = [stage.profile.load_factor for stage in stages]
+        assert loads[0] == pytest.approx(1.2)
+        assert loads[-1] == pytest.approx(1.0)
+        assert loads == sorted(loads, reverse=True)
+
+    def test_shared_region_name(self):
+        stages = fiber_buildout(region_name="upgrade-town")
+        assert {stage.profile.name for stage in stages} == {"upgrade-town"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fiber_buildout(periods=1)
+
+
+class TestStageBoundaries:
+    def test_contiguous(self):
+        stages = fiber_buildout(periods=3, days_per_period=10.0)
+        bounds = stage_boundaries(stages)
+        assert bounds == [
+            (0.0, 10 * DAY),
+            (10 * DAY, 20 * DAY),
+            (20 * DAY, 30 * DAY),
+        ]
+
+
+class TestSimulateEvolution:
+    def test_records_span_all_stages(self):
+        stages = fiber_buildout(periods=3, days_per_period=5.0)
+        records = simulate_evolution(
+            stages, seed=1, tests_per_client_per_stage=50, subscribers=30
+        )
+        assert len(records) == 3 * 3 * 50  # stages x clients x tests
+        for (start, end), stage in zip(stage_boundaries(stages), stages):
+            window = records.between(start, end)
+            assert len(window) == 150
+
+    def test_technology_shift_visible_in_records(self):
+        stages = fiber_buildout(periods=3, days_per_period=5.0)
+        records = simulate_evolution(
+            stages, seed=2, tests_per_client_per_stage=80, subscribers=40
+        )
+        bounds = stage_boundaries(stages)
+        first = records.between(*bounds[0])
+        last = records.between(*bounds[-1])
+        assert {r.access_tech for r in first} == {"dsl"}
+        assert {r.access_tech for r in last} == {"fiber"}
+
+    def test_deterministic(self):
+        stages = fiber_buildout(periods=2, days_per_period=3.0)
+        a = simulate_evolution(stages, seed=5, tests_per_client_per_stage=20,
+                               subscribers=10)
+        b = simulate_evolution(stages, seed=5, tests_per_client_per_stage=20,
+                               subscribers=10)
+        assert list(a) == list(b)
+
+    def test_mismatched_regions_rejected(self):
+        stages = [
+            EvolutionStage(profile=region_preset("metro-fiber")),
+            EvolutionStage(profile=region_preset("rural-dsl")),
+        ]
+        with pytest.raises(ValueError, match="share one region"):
+            simulate_evolution(stages, seed=1)
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_evolution([], seed=1)
+
+    def test_stage_length_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            EvolutionStage(profile=region_preset("metro-fiber"), days=0.0)

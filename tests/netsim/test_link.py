@@ -1,0 +1,90 @@
+"""Unit tests for repro.netsim.link."""
+
+import pytest
+
+from repro.netsim.access import FIBER
+from repro.netsim.link import SubscriberLink, draw_link
+from repro.netsim.rng import make_rng
+
+
+@pytest.fixture()
+def link():
+    return SubscriberLink(
+        subscriber_id="r/isp/0",
+        region="r",
+        isp="isp",
+        tech="fiber",
+        down_capacity_mbps=100.0,
+        up_capacity_mbps=50.0,
+        base_rtt_ms=10.0,
+        base_loss=0.001,
+        bloat_ms=100.0,
+    )
+
+
+class TestLoadModel:
+    def test_idle_link_matches_base_values(self, link):
+        assert link.rtt_under_load(0.0) == 10.0
+        assert link.loss_under_load(0.0) == 0.001
+        assert link.down_available_mbps(0.0) == 100.0
+        assert link.up_available_mbps(0.0) == 50.0
+
+    def test_rtt_grows_linearly_with_bloat(self, link):
+        assert link.rtt_under_load(0.5) == pytest.approx(60.0)
+        assert link.rtt_under_load(1.0) == pytest.approx(110.0)
+
+    def test_loss_grows_superlinearly(self, link):
+        mild = link.loss_under_load(0.25) - link.base_loss
+        heavy = link.loss_under_load(1.0) - link.base_loss
+        assert heavy > 16 * mild * 0.9  # u^4 law
+
+    def test_loss_capped_at_one(self):
+        lossy = SubscriberLink(
+            subscriber_id="x",
+            region="r",
+            isp="i",
+            tech="dsl",
+            down_capacity_mbps=10.0,
+            up_capacity_mbps=1.0,
+            base_rtt_ms=30.0,
+            base_loss=0.999,
+            bloat_ms=10.0,
+        )
+        assert lossy.loss_under_load(1.0) == 1.0
+
+    def test_capacity_shrinks_with_cross_traffic(self, link):
+        assert link.down_available_mbps(1.0) < link.down_capacity_mbps
+        assert link.down_available_mbps(0.5) > link.down_available_mbps(1.0)
+
+    def test_utilization_clamped_above_one(self, link):
+        assert link.rtt_under_load(1.2) == link.rtt_under_load(1.0)
+
+    def test_invalid_utilization_rejected(self, link):
+        with pytest.raises(ValueError):
+            link.rtt_under_load(-0.1)
+        with pytest.raises(ValueError):
+            link.loss_under_load(2.0)
+
+    def test_monotone_in_utilization(self, link):
+        grid = [i / 10.0 for i in range(11)]
+        rtts = [link.rtt_under_load(u) for u in grid]
+        losses = [link.loss_under_load(u) for u in grid]
+        downs = [link.down_available_mbps(u) for u in grid]
+        assert rtts == sorted(rtts)
+        assert losses == sorted(losses)
+        assert downs == sorted(downs, reverse=True)
+
+
+class TestDrawLink:
+    def test_fields_populated(self):
+        link = draw_link(make_rng(1, "l"), "sub", "region", "isp", FIBER)
+        assert link.subscriber_id == "sub"
+        assert link.tech == "fiber"
+        assert link.up_capacity_mbps <= link.down_capacity_mbps
+        assert link.base_rtt_ms > 0
+        assert 0 < link.base_loss <= 0.2
+
+    def test_deterministic(self):
+        a = draw_link(make_rng(1, "l"), "s", "r", "i", FIBER)
+        b = draw_link(make_rng(1, "l"), "s", "r", "i", FIBER)
+        assert a == b

@@ -1,0 +1,169 @@
+"""Unit tests for repro.netsim.population."""
+
+import pytest
+
+from repro.netsim.population import (
+    ISPProfile,
+    REGION_PRESETS,
+    RegionProfile,
+    build_links,
+    region_preset,
+)
+
+
+class TestISPProfile:
+    def test_valid_profile(self):
+        isp = ISPProfile("X", {"fiber": 0.5, "cable": 0.5}, 1.0)
+        assert isp.name == "X"
+
+    def test_tech_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sums to"):
+            ISPProfile("X", {"fiber": 0.5, "cable": 0.4}, 1.0)
+
+    def test_unknown_tech_rejected(self):
+        with pytest.raises(KeyError):
+            ISPProfile("X", {"quantum": 1.0}, 1.0)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ISPProfile("X", {}, 1.0)
+
+    def test_share_bounds(self):
+        with pytest.raises(ValueError, match="share"):
+            ISPProfile("X", {"fiber": 1.0}, 0.0)
+        with pytest.raises(ValueError, match="share"):
+            ISPProfile("X", {"fiber": 1.0}, 1.5)
+
+
+class TestRegionProfile:
+    def test_isp_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="shares sum"):
+            RegionProfile(
+                name="bad",
+                description="",
+                isps=(
+                    ISPProfile("A", {"fiber": 1.0}, 0.5),
+                    ISPProfile("B", {"cable": 1.0}, 0.4),
+                ),
+            )
+
+    def test_no_isps_rejected(self):
+        with pytest.raises(ValueError, match="no ISPs"):
+            RegionProfile(name="bad", description="", isps=())
+
+    def test_load_factor_positive(self):
+        with pytest.raises(ValueError, match="load factor"):
+            RegionProfile(
+                name="bad",
+                description="",
+                isps=(ISPProfile("A", {"fiber": 1.0}, 1.0),),
+                load_factor=0.0,
+            )
+
+
+class TestPresets:
+    def test_six_presets(self):
+        assert len(REGION_PRESETS) == 6
+
+    def test_lookup(self):
+        assert region_preset("metro-fiber").name == "metro-fiber"
+
+    def test_unknown_preset_lists_known(self):
+        with pytest.raises(KeyError, match="metro-fiber"):
+            region_preset("narnia")
+
+    def test_presets_span_load_spectrum(self):
+        loads = [p.load_factor for p in REGION_PRESETS.values()]
+        assert min(loads) < 1.0 < max(loads)
+
+
+class TestRandomRegion:
+    def test_deterministic(self):
+        from repro.netsim.population import random_region
+
+        assert random_region("x", 3) == random_region("x", 3)
+
+    def test_name_and_seed_both_matter(self):
+        from repro.netsim.population import random_region
+
+        assert random_region("x", 3) != random_region("x", 4)
+        assert random_region("x", 3) != random_region("y", 3)
+
+    def test_structurally_valid(self):
+        from repro.netsim.population import random_region
+
+        for i in range(20):
+            profile = random_region(f"r{i}", seed=7)
+            assert 1 <= len(profile.isps) <= 3
+            assert 0.8 <= profile.load_factor <= 1.3
+            total = sum(isp.subscriber_share for isp in profile.isps)
+            assert total == pytest.approx(1.0)
+
+    def test_buildable_and_simulatable(self):
+        from repro.netsim.population import random_region
+        from repro.netsim.simulator import CampaignConfig, simulate_region
+
+        profile = random_region("sim-check", seed=11)
+        records = simulate_region(
+            profile,
+            seed=11,
+            config=CampaignConfig(subscribers=15, tests_per_client=20),
+        )
+        assert len(records) == 60
+
+    def test_diversity_across_names(self):
+        from repro.netsim.population import random_region
+
+        profiles = [random_region(f"d{i}", seed=5) for i in range(15)]
+        isp_counts = {len(profile.isps) for profile in profiles}
+        assert len(isp_counts) >= 2  # not all identical structures
+
+
+class TestBuildLinks:
+    def test_exact_count(self):
+        links = build_links(region_preset("mixed-urban"), 100, seed=1)
+        assert len(links) == 100
+
+    def test_deterministic(self):
+        a = build_links(region_preset("rural-dsl"), 50, seed=3)
+        b = build_links(region_preset("rural-dsl"), 50, seed=3)
+        assert a == b
+
+    def test_seed_changes_population(self):
+        a = build_links(region_preset("rural-dsl"), 50, seed=3)
+        b = build_links(region_preset("rural-dsl"), 50, seed=4)
+        assert a != b
+
+    def test_isp_allocation_proportional(self):
+        links = build_links(region_preset("suburban-cable"), 100, seed=1)
+        by_isp = {}
+        for link in links:
+            by_isp[link.isp] = by_isp.get(link.isp, 0) + 1
+        assert by_isp == {"CoaxCo": 70, "FiberNow": 30}
+
+    def test_tech_mix_respected(self):
+        links = build_links(region_preset("rural-dsl"), 200, seed=2)
+        techs = {link.tech for link in links}
+        assert techs == {"dsl", "fixed_wireless"}
+
+    def test_subscriber_ids_unique(self):
+        links = build_links(region_preset("mixed-urban"), 150, seed=5)
+        assert len({l.subscriber_id for l in links}) == 150
+
+    def test_region_stamped(self):
+        links = build_links(region_preset("metro-fiber"), 10, seed=1)
+        assert all(link.region == "metro-fiber" for link in links)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            build_links(region_preset("metro-fiber"), 0, seed=1)
+
+    def test_single_subscriber(self):
+        links = build_links(region_preset("metro-fiber"), 1, seed=1)
+        assert len(links) == 1
+
+    def test_fiber_population_faster_than_dsl(self):
+        fiber = build_links(region_preset("metro-fiber"), 100, seed=6)
+        dsl = build_links(region_preset("rural-dsl"), 100, seed=6)
+        median = lambda links: sorted(l.down_capacity_mbps for l in links)[50]
+        assert median(fiber) > 3 * median(dsl)

@@ -1,0 +1,139 @@
+"""Unit tests for repro.netsim.simulator."""
+
+import pytest
+
+from repro.core.metrics import Metric
+from repro.netsim.congestion import hour_of_day
+from repro.netsim.clients import NDTClient
+from repro.netsim.population import region_preset
+from repro.netsim.simulator import (
+    CampaignConfig,
+    ground_truth,
+    simulate_region,
+    simulate_regions,
+)
+
+
+class TestCampaignConfig:
+    def test_defaults(self):
+        config = CampaignConfig()
+        assert config.subscribers == 150
+        assert config.days == 7.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"subscribers": 0},
+            {"tests_per_client": 0},
+            {"days": 0.0},
+            {"evening_bias": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CampaignConfig(**kwargs)
+
+
+class TestSimulateRegion:
+    def test_record_count(self):
+        config = CampaignConfig(subscribers=20, tests_per_client=50)
+        records = simulate_region(region_preset("metro-fiber"), 1, config)
+        assert len(records) == 150  # 3 clients x 50
+
+    def test_all_three_datasets_present(self):
+        config = CampaignConfig(subscribers=20, tests_per_client=30)
+        records = simulate_region(region_preset("metro-fiber"), 1, config)
+        assert records.sources() == ("cloudflare", "ndt", "ookla")
+
+    def test_deterministic(self):
+        config = CampaignConfig(subscribers=10, tests_per_client=20)
+        a = simulate_region(region_preset("rural-dsl"), 5, config)
+        b = simulate_region(region_preset("rural-dsl"), 5, config)
+        assert list(a) == list(b)
+
+    def test_seed_matters(self):
+        config = CampaignConfig(subscribers=10, tests_per_client=20)
+        a = simulate_region(region_preset("rural-dsl"), 5, config)
+        b = simulate_region(region_preset("rural-dsl"), 6, config)
+        assert list(a) != list(b)
+
+    def test_timestamps_inside_window(self):
+        config = CampaignConfig(subscribers=10, tests_per_client=100, days=3.0)
+        records = simulate_region(region_preset("metro-fiber"), 2, config)
+        for record in records:
+            assert 0.0 <= record.timestamp < 3.0 * 86400.0
+
+    def test_evening_bias_shapes_timestamps(self):
+        config = CampaignConfig(
+            subscribers=10, tests_per_client=400, evening_bias=0.9
+        )
+        records = simulate_region(region_preset("metro-fiber"), 3, config)
+        evening = sum(
+            1 for r in records if 18.0 <= hour_of_day(r.timestamp) <= 23.0
+        )
+        assert evening / len(records) > 0.8
+
+    def test_custom_client_subset(self):
+        config = CampaignConfig(subscribers=10, tests_per_client=10)
+        records = simulate_region(
+            region_preset("metro-fiber"), 1, config, clients=[NDTClient()]
+        )
+        assert records.sources() == ("ndt",)
+
+    def test_records_carry_isp_and_tech(self):
+        config = CampaignConfig(subscribers=10, tests_per_client=10)
+        records = simulate_region(region_preset("suburban-cable"), 1, config)
+        assert all(r.isp for r in records)
+        assert {r.access_tech for r in records} <= {"cable", "fiber"}
+
+
+class TestSimulateRegions:
+    def test_combines_regions(self):
+        config = CampaignConfig(subscribers=10, tests_per_client=10)
+        records = simulate_regions(
+            [region_preset("metro-fiber"), region_preset("rural-dsl")],
+            seed=1,
+            config=config,
+        )
+        assert records.regions() == ("metro-fiber", "rural-dsl")
+        assert len(records) == 60
+
+    def test_regions_independent_of_order(self):
+        config = CampaignConfig(subscribers=10, tests_per_client=10)
+        ab = simulate_regions(
+            [region_preset("metro-fiber"), region_preset("rural-dsl")],
+            seed=1,
+            config=config,
+        )
+        ba = simulate_regions(
+            [region_preset("rural-dsl"), region_preset("metro-fiber")],
+            seed=1,
+            config=config,
+        )
+        assert sorted(
+            ab.for_region("metro-fiber"), key=lambda r: (r.source, r.timestamp)
+        ) == sorted(
+            ba.for_region("metro-fiber"), key=lambda r: (r.source, r.timestamp)
+        )
+
+
+class TestGroundTruth:
+    def test_medians_reported(self):
+        truth = ground_truth(region_preset("metro-fiber"), seed=1, subscribers=50)
+        assert truth.region == "metro-fiber"
+        assert truth.median_down_mbps > truth.median_up_mbps * 0.5
+        assert len(truth.links) == 50
+
+    def test_fiber_truth_beats_satellite(self):
+        fiber = ground_truth(region_preset("metro-fiber"), seed=1)
+        satellite = ground_truth(region_preset("satellite-remote"), seed=1)
+        assert fiber.median_rtt_ms < satellite.median_rtt_ms / 5.0
+
+    def test_measured_medians_track_truth(self):
+        # Ookla's peak methodology should land near true capacity medians.
+        profile = region_preset("metro-fiber")
+        truth = ground_truth(profile, seed=9, subscribers=60)
+        config = CampaignConfig(subscribers=60, tests_per_client=300)
+        records = simulate_region(profile, 9, config).for_source("ookla")
+        measured = records.median(Metric.DOWNLOAD)
+        assert measured == pytest.approx(truth.median_down_mbps, rel=0.45)

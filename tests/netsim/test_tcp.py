@@ -1,0 +1,99 @@
+"""Unit tests for repro.netsim.tcp (Mathis / Padhye models)."""
+
+import pytest
+
+from repro.netsim.tcp import (
+    mathis_throughput,
+    multi_stream_throughput,
+    padhye_throughput,
+)
+
+
+class TestMathis:
+    def test_inverse_sqrt_loss_law(self):
+        # Quadrupling loss should halve Mathis throughput.
+        fast = mathis_throughput(rtt_ms=20.0, loss=0.001)
+        slow = mathis_throughput(rtt_ms=20.0, loss=0.004)
+        assert fast / slow == pytest.approx(2.0, rel=1e-6)
+
+    def test_inverse_rtt_law(self):
+        near = mathis_throughput(rtt_ms=10.0, loss=0.01)
+        far = mathis_throughput(rtt_ms=100.0, loss=0.01)
+        assert near / far == pytest.approx(10.0, rel=1e-6)
+
+    def test_textbook_magnitude(self):
+        # 1460 B MSS, 100 ms RTT, 1 % loss → ~1.4 Mbit/s (classic value).
+        value = mathis_throughput(rtt_ms=100.0, loss=0.01)
+        assert value == pytest.approx(1.43, rel=0.05)
+
+    def test_loss_floor_keeps_result_finite(self):
+        assert mathis_throughput(rtt_ms=10.0, loss=0.0) < float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mathis_throughput(rtt_ms=0.0, loss=0.01)
+        with pytest.raises(ValueError):
+            mathis_throughput(rtt_ms=10.0, loss=1.5)
+
+
+class TestPadhye:
+    def test_close_to_mathis_at_low_loss(self):
+        mathis = mathis_throughput(rtt_ms=50.0, loss=0.0005)
+        padhye = padhye_throughput(rtt_ms=50.0, loss=0.0005)
+        assert padhye == pytest.approx(mathis, rel=0.35)
+
+    def test_more_pessimistic_at_high_loss(self):
+        # The RTO term dominates: Padhye must fall below Mathis.
+        assert padhye_throughput(rtt_ms=50.0, loss=0.05) < mathis_throughput(
+            rtt_ms=50.0, loss=0.05
+        )
+
+    def test_window_limit_caps_lossless_path(self):
+        # At ~zero loss the receiver window bounds the rate.
+        value = padhye_throughput(rtt_ms=100.0, loss=0.0)
+        w_max_segments = 65535 * 8 // 1460
+        cap = w_max_segments / 0.1 * 1460 * 8 / 1e6
+        assert value <= cap * 1.01
+
+    def test_monotone_in_loss(self):
+        losses = [0.001, 0.005, 0.02, 0.08]
+        rates = [padhye_throughput(rtt_ms=40.0, loss=p) for p in losses]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestMultiStream:
+    def test_capacity_clips(self):
+        value = multi_stream_throughput(
+            capacity_mbps=50.0, rtt_ms=5.0, loss=0.0001, streams=8
+        )
+        assert value == 50.0
+
+    def test_streams_scale_until_capacity(self):
+        one = multi_stream_throughput(1000.0, 50.0, 0.01, streams=1)
+        four = multi_stream_throughput(1000.0, 50.0, 0.01, streams=4)
+        assert four == pytest.approx(4 * one)
+
+    def test_multi_stream_masks_loss_sensitivity(self):
+        # The NDT-vs-Ookla phenomenon: on a lossy link the 8-stream
+        # methodology recovers far more of the capacity.
+        capacity = 100.0
+        single = multi_stream_throughput(capacity, 40.0, 0.001, streams=1)
+        eight = multi_stream_throughput(capacity, 40.0, 0.001, streams=8)
+        assert single < 0.2 * capacity
+        assert eight > 0.9 * capacity
+
+    def test_padhye_model_selectable(self):
+        mathis = multi_stream_throughput(1e6, 40.0, 0.02, streams=1, model="mathis")
+        padhye = multi_stream_throughput(1e6, 40.0, 0.02, streams=1, model="padhye")
+        assert padhye < mathis
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_stream_throughput(-1.0, 10.0, 0.01)
+        with pytest.raises(ValueError):
+            multi_stream_throughput(10.0, 10.0, 0.01, streams=0)
+        with pytest.raises(ValueError, match="unknown TCP model"):
+            multi_stream_throughput(10.0, 10.0, 0.01, model="bbr")
+
+    def test_zero_capacity_gives_zero(self):
+        assert multi_stream_throughput(0.0, 10.0, 0.01) == 0.0

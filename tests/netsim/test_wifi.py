@@ -1,0 +1,105 @@
+"""Unit tests for WiFi confounding (netsim.link.apply_wifi + simulator)."""
+
+import pytest
+
+from repro.core import score_region
+from repro.core.metrics import Metric
+from repro.netsim.link import SubscriberLink, apply_wifi
+from repro.netsim.population import region_preset
+from repro.netsim.rng import make_rng
+from repro.netsim.simulator import CampaignConfig, simulate_region
+
+
+@pytest.fixture()
+def fast_link():
+    return SubscriberLink(
+        subscriber_id="s",
+        region="r",
+        isp="i",
+        tech="fiber",
+        down_capacity_mbps=1000.0,
+        up_capacity_mbps=1000.0,
+        base_rtt_ms=5.0,
+        base_loss=0.0005,
+        bloat_ms=10.0,
+    )
+
+
+class TestApplyWifi:
+    def test_never_improves_the_link(self, fast_link):
+        rng = make_rng(1, "wifi")
+        for _ in range(100):
+            degraded = apply_wifi(fast_link, rng)
+            assert degraded.down_capacity_mbps <= fast_link.down_capacity_mbps
+            assert degraded.up_capacity_mbps <= fast_link.up_capacity_mbps
+            assert degraded.base_rtt_ms >= fast_link.base_rtt_ms
+            assert degraded.base_loss >= fast_link.base_loss
+
+    def test_caps_gigabit_plans_hard(self, fast_link):
+        rng = make_rng(2, "wifi")
+        capped = [apply_wifi(fast_link, rng).down_capacity_mbps
+                  for _ in range(200)]
+        assert max(capped) <= 400.0
+
+    def test_slow_links_keep_their_capacity(self):
+        slow = SubscriberLink(
+            subscriber_id="s",
+            region="r",
+            isp="i",
+            tech="dsl",
+            down_capacity_mbps=15.0,
+            up_capacity_mbps=3.0,
+            base_rtt_ms=30.0,
+            base_loss=0.003,
+            bloat_ms=100.0,
+        )
+        rng = make_rng(3, "wifi")
+        degraded = apply_wifi(slow, rng)
+        # WiFi caps above 30 Mb/s never bind on a 15 Mb/s plan.
+        assert degraded.down_capacity_mbps == 15.0
+
+    def test_identity_fields_preserved(self, fast_link):
+        degraded = apply_wifi(fast_link, make_rng(4, "wifi"))
+        assert degraded.subscriber_id == fast_link.subscriber_id
+        assert degraded.region == fast_link.region
+        assert degraded.tech == fast_link.tech
+
+
+class TestWifiConfounding:
+    def simulate(self, wifi_share, seed=13):
+        campaign = CampaignConfig(
+            subscribers=40, tests_per_client=200, wifi_share=wifi_share
+        )
+        return simulate_region(
+            region_preset("metro-fiber"), seed=seed, config=campaign
+        )
+
+    def test_wifi_lowers_measured_throughput(self):
+        clean = self.simulate(0.0)
+        confounded = self.simulate(0.8)
+        assert confounded.median(Metric.DOWNLOAD) < clean.median(
+            Metric.DOWNLOAD
+        )
+
+    def test_wifi_lowers_the_score_without_touching_the_network(self, config):
+        # Same ground-truth population (same seed), different test
+        # environment: the confounder moves the barometer.
+        clean = score_region(self.simulate(0.0).group_by_source(), config)
+        confounded = score_region(
+            self.simulate(0.8).group_by_source(), config
+        )
+        assert confounded.value < clean.value
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError, match="wifi_share"):
+            CampaignConfig(wifi_share=1.5)
+
+    def test_zero_share_is_exactly_the_old_behaviour(self):
+        # wifi_share=0 must not consume RNG draws: byte-identical runs.
+        campaign_a = CampaignConfig(subscribers=20, tests_per_client=50)
+        campaign_b = CampaignConfig(
+            subscribers=20, tests_per_client=50, wifi_share=0.0
+        )
+        a = simulate_region(region_preset("rural-dsl"), 7, campaign_a)
+        b = simulate_region(region_preset("rural-dsl"), 7, campaign_b)
+        assert list(a) == list(b)

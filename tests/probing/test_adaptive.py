@@ -1,0 +1,124 @@
+"""Unit tests for repro.probing.adaptive."""
+
+import pytest
+
+from repro.netsim.population import region_preset
+from repro.probing.adaptive import AdaptiveAllocator, uniform_campaign
+from repro.probing.backends import SimulatedBackend
+
+REGIONS = ("metro-fiber", "suburban-cable", "rural-dsl")
+
+
+@pytest.fixture()
+def backend():
+    return SimulatedBackend(
+        profiles=[region_preset(name) for name in REGIONS],
+        seed=5,
+        subscribers=25,
+    )
+
+
+def make_allocator(backend, config, **kwargs):
+    defaults = dict(
+        seed=5, pilot_per_region=45, bootstrap_replicates=30, window_days=7.0
+    )
+    defaults.update(kwargs)
+    return AdaptiveAllocator(backend, config, **defaults)
+
+
+class TestProportionalAllocation:
+    def test_budget_exactly_spent(self):
+        allocation = AdaptiveAllocator._proportional(
+            {"a": 0.3, "b": 0.1, "c": 0.0}, budget=100, minimum=5
+        )
+        assert sum(allocation.values()) == 100
+
+    def test_wider_ci_gets_more(self):
+        allocation = AdaptiveAllocator._proportional(
+            {"a": 0.4, "b": 0.1}, budget=100, minimum=5
+        )
+        assert allocation["a"] > allocation["b"]
+
+    def test_floor_respected(self):
+        allocation = AdaptiveAllocator._proportional(
+            {"a": 1.0, "b": 0.0}, budget=50, minimum=8
+        )
+        assert allocation["b"] >= 8
+
+    def test_zero_widths_fall_back_to_floor_sharing(self):
+        allocation = AdaptiveAllocator._proportional(
+            {"a": 0.0, "b": 0.0}, budget=20, minimum=3
+        )
+        assert allocation == {"a": 3, "b": 3}
+
+    def test_budget_below_floor_never_overspends(self):
+        allocation = AdaptiveAllocator._proportional(
+            {"a": 0.5, "b": 0.1, "c": 0.3}, budget=7, minimum=5
+        )
+        assert sum(allocation.values()) == 7
+        assert all(count >= 0 for count in allocation.values())
+
+
+class TestAdaptiveRun:
+    def test_budget_and_rounds_accounting(self, backend, config):
+        allocator = make_allocator(backend, config)
+        result = allocator.run(total_budget=240, rounds=3)
+        assert len(result.records) == 240
+        assert len(result.rounds) == 3
+        assert result.rounds[0].allocation == {r: 45 for r in REGIONS}
+
+    def test_all_regions_keep_receiving_probes(self, backend, config):
+        result = make_allocator(backend, config).run(
+            total_budget=300, rounds=3, min_per_region_per_round=6
+        )
+        counts = result.tests_per_region()
+        assert set(counts) == set(REGIONS)
+        assert all(count >= 45 + 2 * 6 for count in counts.values())
+
+    def test_deterministic(self, config):
+        def run():
+            backend = SimulatedBackend(
+                profiles=[region_preset(name) for name in REGIONS],
+                seed=5,
+                subscribers=25,
+            )
+            return make_allocator(backend, config).run(
+                total_budget=200, rounds=2
+            )
+
+        a, b = run(), run()
+        assert list(a.records) == list(b.records)
+        assert a.final_ci_widths == b.final_ci_widths
+
+    def test_final_widths_cover_all_regions(self, backend, config):
+        result = make_allocator(backend, config).run(total_budget=200, rounds=2)
+        assert set(result.final_ci_widths) == set(REGIONS)
+        assert result.worst_ci_width == max(result.final_ci_widths.values())
+
+    def test_budget_validation(self, backend, config):
+        allocator = make_allocator(backend, config)
+        with pytest.raises(ValueError, match="pilot requirement"):
+            allocator.run(total_budget=10, rounds=2)
+        with pytest.raises(ValueError, match="rounds"):
+            allocator.run(total_budget=500, rounds=0)
+
+    def test_pilot_must_cover_clients(self, backend, config):
+        with pytest.raises(ValueError, match="every client"):
+            make_allocator(backend, config, pilot_per_region=2)
+
+    def test_single_round_is_pure_pilot(self, backend, config):
+        result = make_allocator(backend, config).run(
+            total_budget=200, rounds=1
+        )
+        assert len(result.rounds) == 1
+        assert len(result.records) == 45 * len(REGIONS)
+
+
+class TestUniformComparator:
+    def test_even_split(self, backend, config):
+        result = uniform_campaign(
+            backend, config, total_budget=150, seed=5,
+            bootstrap_replicates=30,
+        )
+        counts = result.tests_per_region()
+        assert all(count == 50 for count in counts.values())

@@ -1,0 +1,91 @@
+"""Unit tests for repro.probing.backends."""
+
+import pytest
+
+from repro.core.exceptions import BackendError
+from repro.netsim.clients import NDTClient
+from repro.netsim.population import region_preset
+from repro.probing.backends import ProbeRequest, SimulatedBackend
+
+
+@pytest.fixture()
+def backend():
+    return SimulatedBackend(
+        profiles=[region_preset("metro-fiber"), region_preset("rural-dsl")],
+        seed=1,
+        subscribers=20,
+    )
+
+
+class TestConstruction:
+    def test_regions_and_clients(self, backend):
+        assert backend.regions() == ("metro-fiber", "rural-dsl")
+        assert backend.clients() == ("cloudflare", "ndt", "ookla")
+
+    def test_needs_regions(self):
+        with pytest.raises(ValueError, match="at least one region"):
+            SimulatedBackend(profiles=[], seed=1)
+
+    def test_failure_rate_validated(self):
+        with pytest.raises(ValueError, match="failure_rate"):
+            SimulatedBackend(
+                profiles=[region_preset("metro-fiber")], seed=1, failure_rate=1.0
+            )
+
+    def test_custom_client_subset(self):
+        backend = SimulatedBackend(
+            profiles=[region_preset("metro-fiber")],
+            seed=1,
+            clients=[NDTClient()],
+        )
+        assert backend.clients() == ("ndt",)
+
+
+class TestRun:
+    def test_successful_probe(self, backend):
+        record = backend.run(
+            ProbeRequest(client="ndt", region="metro-fiber", timestamp=1000.0)
+        )
+        assert record.source == "ndt"
+        assert record.region == "metro-fiber"
+        assert backend.probes_run == 1
+
+    def test_unknown_region(self, backend):
+        with pytest.raises(BackendError, match="unknown region"):
+            backend.run(ProbeRequest(client="ndt", region="oz", timestamp=0.0))
+
+    def test_unknown_client(self, backend):
+        with pytest.raises(BackendError, match="unknown client"):
+            backend.run(
+                ProbeRequest(client="mystery", region="metro-fiber", timestamp=0.0)
+            )
+
+    def test_deterministic_across_instances(self):
+        def collect():
+            backend = SimulatedBackend(
+                profiles=[region_preset("metro-fiber")], seed=5, subscribers=10
+            )
+            request = ProbeRequest(
+                client="ookla", region="metro-fiber", timestamp=100.0
+            )
+            return [backend.run(request) for _ in range(5)]
+
+        assert collect() == collect()
+
+    def test_failure_injection_rate(self):
+        backend = SimulatedBackend(
+            profiles=[region_preset("metro-fiber")],
+            seed=2,
+            subscribers=10,
+            failure_rate=0.3,
+        )
+        request = ProbeRequest(client="ndt", region="metro-fiber", timestamp=0.0)
+        failures = 0
+        for _ in range(300):
+            try:
+                backend.run(request)
+            except BackendError:
+                failures += 1
+        assert failures == pytest.approx(90, abs=30)
+        assert backend.probes_failed == failures
+        assert backend.probes_run == 300

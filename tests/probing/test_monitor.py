@@ -1,0 +1,109 @@
+"""Unit tests for repro.probing.monitor (BarometerMonitor)."""
+
+import pytest
+
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+from repro.probing.monitor import BarometerMonitor
+
+DAY = 86400.0
+
+
+def window_records(day, region="r", latency=20.0, n=40):
+    """One day of healthy-or-not records for a region.
+
+    All four metrics present so every requirement is scoreable; the
+    latency knob alone flips the score between good and bad.
+    """
+    return MeasurementSet(
+        Measurement(
+            region=region,
+            source="ndt" if i % 2 == 0 else "cloudflare",
+            timestamp=day * DAY + i * 1000.0,
+            download_mbps=500.0,
+            upload_mbps=200.0,
+            latency_ms=latency,
+            packet_loss=0.0005,
+        )
+        for i in range(n)
+    )
+
+
+def feed(monitor, day, records):
+    return monitor.ingest(records, day * DAY, (day + 1) * DAY)
+
+
+class TestIngest:
+    def test_healthy_stream_never_alerts(self, config):
+        monitor = BarometerMonitor(config)
+        for day in range(6):
+            assert feed(monitor, day, window_records(day)) == []
+        assert monitor.regions() == ("r",)
+        assert len(monitor.history("r")) == 6
+
+    def test_collapse_alerts_once_baseline_exists(self, config):
+        monitor = BarometerMonitor(config, min_drop=0.1, trailing=3)
+        for day in range(4):
+            feed(monitor, day, window_records(day))
+        alerts = feed(monitor, 4, window_records(4, latency=500.0))
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.region == "r"
+        assert alert.drop > 0.1
+        assert "ALERT r" in str(alert)
+
+    def test_no_alert_without_baseline(self, config):
+        monitor = BarometerMonitor(config, trailing=3)
+        assert feed(monitor, 0, window_records(0, latency=500.0)) == []
+
+    def test_sparse_window_never_alerts(self, config):
+        monitor = BarometerMonitor(config, min_samples=50)
+        for day in range(4):
+            feed(monitor, day, window_records(day))
+        alerts = feed(monitor, 4, window_records(4, latency=500.0, n=10))
+        assert alerts == []
+        assert monitor.history("r")[-1].score is None
+
+    def test_silent_region_recorded_as_gap(self, config):
+        monitor = BarometerMonitor(config)
+        feed(monitor, 0, window_records(0))
+        feed(monitor, 1, MeasurementSet())  # nothing measured anywhere
+        history = monitor.history("r")
+        assert len(history) == 2
+        assert history[1].score is None
+
+    def test_multiple_regions_independent(self, config):
+        monitor = BarometerMonitor(config, min_drop=0.1, trailing=3)
+        for day in range(4):
+            combined = window_records(day, region="a") + window_records(
+                day, region="b"
+            )
+            feed(monitor, day, combined)
+        mixed = window_records(4, region="a", latency=500.0) + window_records(
+            4, region="b"
+        )
+        alerts = feed(monitor, 4, mixed)
+        assert [alert.region for alert in alerts] == ["a"]
+
+    def test_window_filtering(self, config):
+        # Records outside the declared window are ignored.
+        monitor = BarometerMonitor(config)
+        records = window_records(0) + window_records(5)
+        feed(monitor, 0, records)
+        assert monitor.history("r")[0].samples == 40
+
+    def test_validation(self, config):
+        monitor = BarometerMonitor(config)
+        with pytest.raises(ValueError, match="inverted"):
+            monitor.ingest(MeasurementSet(), 10.0, 10.0)
+        with pytest.raises(ValueError):
+            BarometerMonitor(config, min_drop=0.0)
+        with pytest.raises(ValueError):
+            BarometerMonitor(config, trailing=0)
+
+    def test_recovery_after_alert_is_quiet(self, config):
+        monitor = BarometerMonitor(config, min_drop=0.1, trailing=3)
+        for day in range(4):
+            feed(monitor, day, window_records(day))
+        feed(monitor, 4, window_records(4, latency=500.0))
+        assert feed(monitor, 5, window_records(5)) == []

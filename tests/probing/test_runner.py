@@ -1,0 +1,104 @@
+"""Unit tests for repro.probing.runner (retries, failure accounting)."""
+
+import pytest
+
+from repro.core.exceptions import BackendError
+from repro.measurements.record import Measurement
+from repro.probing.backends import ProbeRequest
+from repro.probing.runner import ProbeRunner
+from repro.probing.sinks import MemorySink
+
+
+def request(i=0):
+    return ProbeRequest(client="ndt", region="r", timestamp=float(i))
+
+
+def record(ts):
+    return Measurement(
+        region="r", source="ndt", timestamp=ts, download_mbps=10.0
+    )
+
+
+class ScriptedBackend:
+    """Fails the first ``failures_per_probe`` attempts of each probe."""
+
+    def __init__(self, failures_per_probe=0):
+        self.failures_per_probe = failures_per_probe
+        self.attempts = {}
+
+    def run(self, probe):
+        key = probe.timestamp
+        seen = self.attempts.get(key, 0)
+        self.attempts[key] = seen + 1
+        if seen < self.failures_per_probe:
+            raise BackendError(f"scripted failure #{seen + 1}")
+        return record(probe.timestamp)
+
+    def regions(self):
+        return ("r",)
+
+    def clients(self):
+        return ("ndt",)
+
+
+class ExplodingBackend(ScriptedBackend):
+    def run(self, probe):
+        raise RuntimeError("a genuine bug, not a transient failure")
+
+
+class TestRunner:
+    def test_clean_run(self):
+        sink = MemorySink()
+        report = ProbeRunner(ScriptedBackend(), sink).run(
+            [request(i) for i in range(10)]
+        )
+        assert report.scheduled == 10
+        assert report.succeeded == 10
+        assert report.retried == 0
+        assert report.abandoned == ()
+        assert report.success_rate == 1.0
+        assert len(sink) == 10
+
+    def test_retry_recovers_transients(self):
+        sink = MemorySink()
+        runner = ProbeRunner(ScriptedBackend(failures_per_probe=2), sink,
+                             max_attempts=3)
+        report = runner.run([request(i) for i in range(5)])
+        assert report.succeeded == 5
+        assert report.retried == 10  # 2 retries per probe
+        assert report.abandoned == ()
+
+    def test_abandon_after_max_attempts(self):
+        sink = MemorySink()
+        runner = ProbeRunner(ScriptedBackend(failures_per_probe=5), sink,
+                             max_attempts=3)
+        report = runner.run([request(i) for i in range(4)])
+        assert report.succeeded == 0
+        assert len(report.abandoned) == 4
+        failed = report.abandoned[0]
+        assert failed.attempts == 3
+        assert "scripted failure" in failed.last_error
+        assert report.success_rate == 0.0
+        assert len(sink) == 0
+
+    def test_no_retries_when_max_attempts_one(self):
+        sink = MemorySink()
+        runner = ProbeRunner(ScriptedBackend(failures_per_probe=1), sink,
+                             max_attempts=1)
+        report = runner.run([request(0)])
+        assert report.retried == 0
+        assert len(report.abandoned) == 1
+
+    def test_non_backend_errors_propagate(self):
+        runner = ProbeRunner(ExplodingBackend(), MemorySink())
+        with pytest.raises(RuntimeError, match="genuine bug"):
+            runner.run([request(0)])
+
+    def test_empty_schedule(self):
+        report = ProbeRunner(ScriptedBackend(), MemorySink()).run([])
+        assert report.scheduled == 0
+        assert report.success_rate == 1.0
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            ProbeRunner(ScriptedBackend(), MemorySink(), max_attempts=0)

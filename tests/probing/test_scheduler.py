@@ -1,0 +1,117 @@
+"""Unit tests for repro.probing.scheduler."""
+
+import pytest
+
+from repro.netsim.congestion import hour_of_day
+from repro.probing.scheduler import (
+    DiurnalSchedule,
+    PoissonSchedule,
+    UniformSchedule,
+)
+
+REGIONS = ("r1", "r2")
+CLIENTS = ("ndt", "ookla")
+
+
+class TestUniformSchedule:
+    def make(self, **kwargs):
+        defaults = dict(
+            regions=REGIONS, clients=CLIENTS, tests_per_pair=50, days=2.0, seed=1
+        )
+        defaults.update(kwargs)
+        return UniformSchedule(**defaults)
+
+    def test_count(self):
+        assert len(list(self.make())) == 200  # 2 regions x 2 clients x 50
+
+    def test_all_pairs_covered(self):
+        requests = list(self.make())
+        pairs = {(r.region, r.client) for r in requests}
+        assert pairs == {(r, c) for r in REGIONS for c in CLIENTS}
+
+    def test_window_respected(self):
+        for request in self.make(days=2.0):
+            assert 0.0 <= request.timestamp < 2.0 * 86400.0
+
+    def test_stratification_spreads_evenly(self):
+        requests = [r for r in self.make(tests_per_pair=96) if r.region == "r1"
+                    and r.client == "ndt"]
+        first_day = sum(1 for r in requests if r.timestamp < 86400.0)
+        assert first_day == 48  # exactly half in each day
+
+    def test_deterministic(self):
+        assert list(self.make()) == list(self.make())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(self.make(days=0.0))
+        with pytest.raises(ValueError, match="region"):
+            list(UniformSchedule(regions=(), clients=CLIENTS))
+        with pytest.raises(ValueError, match="client"):
+            list(UniformSchedule(regions=REGIONS, clients=()))
+
+
+class TestDiurnalSchedule:
+    def make(self, **kwargs):
+        defaults = dict(
+            regions=REGIONS,
+            clients=CLIENTS,
+            tests_per_pair=200,
+            days=7.0,
+            evening_bias=0.8,
+            seed=3,
+        )
+        defaults.update(kwargs)
+        return DiurnalSchedule(**defaults)
+
+    def test_count(self):
+        assert len(list(self.make())) == 800
+
+    def test_evening_bias(self):
+        requests = list(self.make(evening_bias=0.9))
+        evening = sum(
+            1 for r in requests if 18.0 <= hour_of_day(r.timestamp) <= 23.0
+        )
+        assert evening / len(requests) > 0.85
+
+    def test_no_bias_is_roughly_uniform(self):
+        requests = list(self.make(evening_bias=0.0))
+        evening = sum(
+            1 for r in requests if 18.0 <= hour_of_day(r.timestamp) <= 23.0
+        )
+        assert evening / len(requests) == pytest.approx(5.0 / 24.0, abs=0.06)
+
+    def test_bias_validation(self):
+        with pytest.raises(ValueError, match="evening_bias"):
+            list(self.make(evening_bias=1.5))
+
+    def test_deterministic(self):
+        assert list(self.make()) == list(self.make())
+
+
+class TestPoissonSchedule:
+    def make(self, **kwargs):
+        defaults = dict(
+            regions=("r1",), clients=("ndt",), rate_per_day=40.0, days=10.0, seed=5
+        )
+        defaults.update(kwargs)
+        return PoissonSchedule(**defaults)
+
+    def test_rate_approximately_met(self):
+        requests = list(self.make())
+        assert len(requests) == pytest.approx(400, abs=80)
+
+    def test_timestamps_sorted_per_pair(self):
+        timestamps = [r.timestamp for r in self.make()]
+        assert timestamps == sorted(timestamps)
+
+    def test_window_respected(self):
+        for request in self.make():
+            assert 0.0 <= request.timestamp < 10.0 * 86400.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="rate_per_day"):
+            list(self.make(rate_per_day=0.0))
+
+    def test_deterministic(self):
+        assert list(self.make()) == list(self.make())

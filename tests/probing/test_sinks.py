@@ -1,0 +1,114 @@
+"""Unit tests for repro.probing.sinks."""
+
+import pytest
+
+from repro.core.metrics import Metric
+from repro.measurements.io import read_jsonl
+from repro.measurements.record import Measurement
+from repro.probing.sinks import (
+    FanOutSink,
+    JsonlSink,
+    MemorySink,
+    StreamingQuantileSink,
+)
+
+
+def record(i, region="r", source="ndt"):
+    return Measurement(
+        region=region,
+        source=source,
+        timestamp=float(i),
+        download_mbps=float(i + 1),
+        latency_ms=10.0 + i,
+    )
+
+
+class TestMemorySink:
+    def test_accumulates(self):
+        sink = MemorySink()
+        for i in range(5):
+            sink.accept(record(i))
+        assert len(sink) == 5
+        assert len(sink.as_set()) == 5
+
+    def test_as_set_snapshot(self):
+        sink = MemorySink()
+        sink.accept(record(0))
+        snapshot = sink.as_set()
+        sink.accept(record(1))
+        assert len(snapshot) == 1
+
+
+class TestJsonlSink:
+    def test_streams_to_file(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlSink(path) as sink:
+            for i in range(4):
+                sink.accept(record(i))
+            assert sink.written == 4
+        loaded = read_jsonl(path)
+        assert len(loaded) == 4
+        assert loaded[2].download_mbps == 3.0
+
+    def test_appends_across_openings(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlSink(path) as sink:
+            sink.accept(record(0))
+        with JsonlSink(path) as sink:
+            sink.accept(record(1))
+        assert len(read_jsonl(path)) == 2
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "out.jsonl")
+        sink.accept(record(0))
+        sink.close()
+        sink.close()
+
+
+class TestStreamingQuantileSink:
+    def test_tracks_quantiles_per_region_source(self):
+        sink = StreamingQuantileSink()
+        for i in range(200):
+            sink.accept(record(i, region="a", source="ndt"))
+            sink.accept(record(i + 1000, region="b", source="ookla"))
+        assert sink.accepted == 400
+        assert sink.regions() == ("a", "b")
+        sources = sink.sources_for("a")
+        assert set(sources) == {"ndt"}
+        view = sources["ndt"]
+        # download values in region a are 1..200: p95 ≈ 190.
+        assert view.quantile(Metric.DOWNLOAD, 95.0) == pytest.approx(190.0, abs=8.0)
+        assert view.sample_count(Metric.DOWNLOAD) == 200
+
+    def test_untracked_percentile_returns_none(self):
+        sink = StreamingQuantileSink(percentiles=(95.0,))
+        for i in range(50):
+            sink.accept(record(i))
+        view = sink.sources_for("r")["ndt"]
+        assert view.quantile(Metric.DOWNLOAD, 42.0) is None
+
+    def test_unobserved_metric_returns_none(self):
+        sink = StreamingQuantileSink()
+        sink.accept(record(0))
+        view = sink.sources_for("r")["ndt"]
+        assert view.quantile(Metric.PACKET_LOSS, 95.0) is None
+        assert view.sample_count(Metric.PACKET_LOSS) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingQuantileSink(percentiles=())
+        with pytest.raises(ValueError):
+            StreamingQuantileSink(percentiles=(0.0,))
+
+
+class TestFanOutSink:
+    def test_forwards_to_all_children(self, tmp_path):
+        memory_a, memory_b = MemorySink(), MemorySink()
+        fan = FanOutSink(memory_a, memory_b)
+        fan.accept(record(0))
+        assert len(memory_a) == 1
+        assert len(memory_b) == 1
+
+    def test_needs_children(self):
+        with pytest.raises(ValueError):
+            FanOutSink()

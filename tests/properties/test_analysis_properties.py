@@ -1,0 +1,152 @@
+"""Property-based tests for the analysis layer (hypothesis).
+
+Pin the exact-decomposition identities and detector invariants under
+arbitrary inputs:
+
+* attribution deltas sum exactly to the score difference for any two
+  breakdowns;
+* contributions sum exactly to the score;
+* national shortfall decomposition is exact and weights sum to one;
+* the drop detector never alarms on monotone non-decreasing series and
+  every alarm's drop exceeds the threshold;
+* graded scoring is always sandwiched between the binary readings.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.national import national_score
+from repro.analysis.temporal import ScorePoint, detect_drops
+from repro.core.aggregation import SequenceSource
+from repro.core.compare import attribute_difference, requirement_contributions
+from repro.core.config import ScoreMode, paper_config
+from repro.core.metrics import Metric
+from repro.core.quality import QualityLevel
+from repro.core.scoring import score_region
+
+ALL_METRICS = tuple(Metric)
+
+
+def metric_values(metric):
+    if metric is Metric.PACKET_LOSS:
+        element = st.floats(0.0, 1.0, allow_nan=False)
+    elif metric is Metric.LATENCY:
+        element = st.floats(0.1, 2000.0, allow_nan=False)
+    else:
+        element = st.floats(0.0, 2000.0, allow_nan=False)
+    return st.lists(element, min_size=1, max_size=20)
+
+
+def sources_strategy():
+    one = st.tuples(*(metric_values(m) for m in Metric.ordered()))
+    return one.map(
+        lambda values: {
+            "d0": SequenceSource(
+                download_mbps=values[0],
+                upload_mbps=values[1],
+                latency_ms=values[2],
+                packet_loss=values[3],
+            )
+        }
+    )
+
+
+CONFIG = paper_config(datasets={"d0": ALL_METRICS})
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=sources_strategy(), b=sources_strategy())
+def test_attribution_identity(a, b):
+    breakdown_a = score_region(a, CONFIG)
+    breakdown_b = score_region(b, CONFIG)
+    attribution = attribute_difference(breakdown_a, breakdown_b)
+    assert attribution.check() == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sources=sources_strategy())
+def test_contributions_sum_to_score(sources):
+    breakdown = score_region(sources, CONFIG)
+    contributions = requirement_contributions(breakdown)
+    assert sum(c.value for c in contributions.values()) == pytest.approx(
+        breakdown.value, abs=1e-12
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(sources=sources_strategy())
+def test_graded_sandwiched_between_binary_readings(sources):
+    high = score_region(sources, CONFIG).value
+    minimum = score_region(
+        sources, CONFIG.with_(quality_level=QualityLevel.MINIMUM)
+    ).value
+    graded = score_region(
+        sources, CONFIG.with_(score_mode=ScoreMode.GRADED)
+    ).value
+    assert high - 1e-12 <= graded <= minimum + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(sources=sources_strategy())
+def test_continuous_dominates_graded_dominates_binary(sources):
+    binary = score_region(sources, CONFIG).value
+    graded = score_region(
+        sources, CONFIG.with_(score_mode=ScoreMode.GRADED)
+    ).value
+    continuous = score_region(
+        sources, CONFIG.with_(score_mode=ScoreMode.CONTINUOUS)
+    ).value
+    assert binary - 1e-12 <= graded <= continuous + 1e-12
+    assert 0.0 <= continuous <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.text(min_size=1, max_size=6),
+        st.tuples(st.floats(0.0, 1.0), st.floats(1.0, 1e7)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_national_decomposition_exact(entries):
+    scores = {region: score for region, (score, _) in entries.items()}
+    populations = {region: pop for region, (_, pop) in entries.items()}
+    national = national_score(scores, populations)
+    assert 0.0 <= national.value <= 1.0
+    assert sum(s.weight for s in national.regions) == pytest.approx(1.0)
+    assert national.check() == pytest.approx(0.0, abs=1e-9)
+    assert min(scores.values()) - 1e-9 <= national.value <= max(
+        scores.values()
+    ) + 1e-9
+
+
+def _series(values):
+    return [
+        ScorePoint(start=i * 86400.0, end=(i + 1) * 86400.0, score=v,
+                   samples=100)
+        for i, v in enumerate(values)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=30),
+    min_drop=st.floats(0.01, 0.5),
+    trailing=st.integers(1, 5),
+)
+def test_detector_alarms_exceed_threshold(values, min_drop, trailing):
+    anomalies = detect_drops(_series(values), min_drop=min_drop,
+                             trailing=trailing)
+    for anomaly in anomalies:
+        assert anomaly.drop > min_drop - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=30),
+    min_drop=st.floats(0.01, 0.5),
+)
+def test_detector_silent_on_nondecreasing_series(values, min_drop):
+    increasing = sorted(values)
+    assert detect_drops(_series(increasing), min_drop=min_drop) == []

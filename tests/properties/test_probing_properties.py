@@ -1,0 +1,95 @@
+"""Property-based tests for the probing schedules (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.probing.scheduler import (
+    DiurnalSchedule,
+    PoissonSchedule,
+    UniformSchedule,
+)
+
+region_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=10
+    ),
+    min_size=1,
+    max_size=4,
+    unique=True,
+).map(tuple)
+client_names = st.sampled_from(
+    [("ndt",), ("ndt", "ookla"), ("ndt", "cloudflare", "ookla")]
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    regions=region_names,
+    clients=client_names,
+    tests=st.integers(1, 60),
+    days=st.floats(0.5, 14.0),
+    seed=st.integers(0, 1000),
+)
+def test_uniform_schedule_invariants(regions, clients, tests, days, seed):
+    schedule = UniformSchedule(
+        regions=regions,
+        clients=clients,
+        tests_per_pair=tests,
+        days=days,
+        seed=seed,
+    )
+    requests = list(schedule)
+    assert len(requests) == len(regions) * len(clients) * tests
+    for request in requests:
+        assert 0.0 <= request.timestamp < days * 86400.0
+        assert request.region in regions
+        assert request.client in clients
+    # Determinism: same parameters, same schedule.
+    assert requests == list(schedule)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    regions=region_names,
+    clients=client_names,
+    tests=st.integers(1, 60),
+    bias=st.floats(0.0, 1.0),
+    days=st.floats(0.5, 14.0),
+    seed=st.integers(0, 1000),
+)
+def test_diurnal_schedule_invariants(regions, clients, tests, bias, days, seed):
+    schedule = DiurnalSchedule(
+        regions=regions,
+        clients=clients,
+        tests_per_pair=tests,
+        days=days,
+        evening_bias=bias,
+        seed=seed,
+    )
+    requests = list(schedule)
+    assert len(requests) == len(regions) * len(clients) * tests
+    for request in requests:
+        assert 0.0 <= request.timestamp < days * 86400.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rate=st.floats(1.0, 200.0),
+    days=st.floats(0.5, 14.0),
+    seed=st.integers(0, 1000),
+)
+def test_poisson_schedule_invariants(rate, days, seed):
+    schedule = PoissonSchedule(
+        regions=("r",),
+        clients=("ndt",),
+        rate_per_day=rate,
+        days=days,
+        seed=seed,
+    )
+    timestamps = [request.timestamp for request in schedule]
+    assert timestamps == sorted(timestamps)
+    for timestamp in timestamps:
+        assert 0.0 <= timestamp < days * 86400.0
+    # Count concentrates around rate*days: very loose 5-sigma bound.
+    expected = rate * days
+    assert abs(len(timestamps) - expected) <= 5.0 * max(expected**0.5, 1.0)

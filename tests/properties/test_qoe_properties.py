@@ -1,0 +1,83 @@
+"""Property-based tests for the QoE models (hypothesis).
+
+Every use-case model must respect the physics of its inputs: quality
+never improves when latency or loss worsen, never degrades when
+throughput improves, and always stays in [0, 1]. These are exactly the
+properties that make the QoE layer a legitimate ground truth for the
+IQB-vs-speed evaluation — a non-monotone ground truth would let either
+metric "win" by accident.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qoe.audio import AudioModel
+from repro.qoe.backup import BackupModel
+from repro.qoe.conditions import NetworkConditions
+from repro.qoe.conferencing import ConferencingModel
+from repro.qoe.gaming import GamingModel
+from repro.qoe.video import VideoModel
+from repro.qoe.web import WebModel
+
+ALL_MODELS = [
+    WebModel(),
+    VideoModel(),
+    ConferencingModel(),
+    AudioModel(),
+    BackupModel(),
+    GamingModel(),
+]
+
+conditions_strategy = st.builds(
+    NetworkConditions,
+    download_mbps=st.floats(0.0, 2000.0, allow_nan=False),
+    upload_mbps=st.floats(0.0, 2000.0, allow_nan=False),
+    rtt_ms=st.floats(1.0, 1500.0, allow_nan=False),
+    loss=st.floats(0.0, 0.3, allow_nan=False),
+)
+
+
+def _replace(c: NetworkConditions, **changes) -> NetworkConditions:
+    fields = dict(
+        download_mbps=c.download_mbps,
+        upload_mbps=c.upload_mbps,
+        rtt_ms=c.rtt_ms,
+        loss=c.loss,
+    )
+    fields.update(changes)
+    return NetworkConditions(**fields)
+
+
+@settings(max_examples=40, deadline=None)
+@given(conditions=conditions_strategy)
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_satisfaction_bounded(model, conditions):
+    assert 0.0 <= model.satisfaction(conditions) <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(conditions=conditions_strategy, factor=st.floats(1.0, 20.0))
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_more_throughput_never_hurts(model, conditions, factor):
+    better = _replace(
+        conditions,
+        download_mbps=conditions.download_mbps * factor,
+        upload_mbps=conditions.upload_mbps * factor,
+    )
+    assert model.satisfaction(better) >= model.satisfaction(conditions) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(conditions=conditions_strategy, factor=st.floats(1.0, 20.0))
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_more_latency_never_helps(model, conditions, factor):
+    worse = _replace(conditions, rtt_ms=min(conditions.rtt_ms * factor, 1500.0))
+    assert model.satisfaction(worse) <= model.satisfaction(conditions) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(conditions=conditions_strategy, extra=st.floats(0.0, 0.3))
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_more_loss_never_helps(model, conditions, extra):
+    worse = _replace(conditions, loss=min(conditions.loss + extra, 0.3))
+    assert model.satisfaction(worse) <= model.satisfaction(conditions) + 1e-9

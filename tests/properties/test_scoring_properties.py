@@ -1,0 +1,201 @@
+"""Property-based tests for the IQB score (hypothesis).
+
+These pin the algebraic invariants of Eqs. 1-5 under arbitrary
+configurations and data, not just the fixtures the unit tests use:
+
+* the score is always in [0, 1];
+* the flat Eq. 5 expansion always equals the tier-by-tier computation;
+* improving any metric of any dataset never lowers the score
+  (monotonicity), under both percentile semantics;
+* normalized weights always sum to 1.
+"""
+
+from typing import Dict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import (
+    AggregationPolicy,
+    PercentileSemantics,
+    SequenceSource,
+)
+from repro.core.config import ScoreMode, paper_config
+from repro.core.metrics import Metric
+from repro.core.scoring import flat_score, score_region
+from repro.core.usecases import UseCase
+from repro.core.weights import (
+    RequirementWeights,
+    UseCaseWeights,
+    normalize,
+)
+
+ALL_METRICS = tuple(Metric)
+
+
+def weight_matrix():
+    """A valid random requirement-weight matrix (no all-zero row)."""
+    cell = st.integers(min_value=0, max_value=5)
+
+    def build(values):
+        matrix = {}
+        index = 0
+        for use_case in UseCase:
+            row = values[index : index + 4]
+            if sum(row) == 0:
+                row = (1, row[1], row[2], row[3])
+            for metric, weight in zip(Metric.ordered(), row):
+                matrix[(use_case, metric)] = weight
+            index += 4
+        return RequirementWeights(matrix)
+
+    return st.lists(cell, min_size=24, max_size=24).map(tuple).map(build)
+
+
+def use_case_weights():
+    def build(values):
+        if sum(values) == 0:
+            values = (1,) + tuple(values[1:])
+        return UseCaseWeights(dict(zip(UseCase.ordered(), values)))
+
+    return (
+        st.lists(st.integers(0, 5), min_size=6, max_size=6).map(tuple).map(build)
+    )
+
+
+def metric_values(metric: Metric):
+    if metric is Metric.PACKET_LOSS:
+        element = st.floats(0.0, 1.0, allow_nan=False)
+    elif metric is Metric.LATENCY:
+        element = st.floats(0.1, 2000.0, allow_nan=False)
+    else:
+        element = st.floats(0.0, 2000.0, allow_nan=False)
+    return st.lists(element, min_size=1, max_size=30)
+
+
+def sources_strategy(n_datasets=2):
+    names = [f"d{i}" for i in range(n_datasets)]
+
+    def build(per_dataset):
+        return {
+            name: SequenceSource(
+                download_mbps=values[0],
+                upload_mbps=values[1],
+                latency_ms=values[2],
+                packet_loss=values[3],
+            )
+            for name, values in zip(names, per_dataset)
+        }
+
+    one = st.tuples(*(metric_values(m) for m in Metric.ordered()))
+    return st.lists(one, min_size=n_datasets, max_size=n_datasets).map(build)
+
+
+def config_for(sources_names, requirement_weights=None, use_case=None,
+               percentile=95.0, semantics=PercentileSemantics.LITERAL):
+    config = paper_config(
+        datasets={name: ALL_METRICS for name in sources_names}
+    )
+    if requirement_weights is not None:
+        config = config.with_(requirement_weights=requirement_weights)
+    if use_case is not None:
+        config = config.with_(use_case_weights=use_case)
+    return config.with_(
+        aggregation=AggregationPolicy(percentile=percentile, semantics=semantics)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(sources=sources_strategy(), weights=weight_matrix(), uw=use_case_weights())
+def test_score_bounded_and_flat_expansion_exact(sources, weights, uw):
+    config = config_for(sources, requirement_weights=weights, use_case=uw)
+    breakdown = score_region(sources, config)
+    assert 0.0 <= breakdown.value <= 1.0
+    assert flat_score(breakdown) == pytest.approx(breakdown.value, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sources=sources_strategy(),
+    percentile=st.floats(0.0, 100.0),
+    semantics=st.sampled_from(list(PercentileSemantics)),
+)
+def test_score_bounded_for_any_percentile(sources, percentile, semantics):
+    config = config_for(sources, percentile=percentile, semantics=semantics)
+    breakdown = score_region(sources, config)
+    assert 0.0 <= breakdown.value <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sources=sources_strategy(n_datasets=1),
+    factor=st.floats(1.0, 10.0),
+    metric=st.sampled_from(list(Metric)),
+    semantics=st.sampled_from(list(PercentileSemantics)),
+    score_mode=st.sampled_from(list(ScoreMode)),
+)
+def test_improving_a_metric_never_lowers_the_score(
+    sources, factor, metric, semantics, score_mode
+):
+    """Monotonicity: uniformly improving one metric cannot hurt,
+    under every score mode (binary, graded, continuous)."""
+    config = config_for(sources, semantics=semantics).with_(
+        score_mode=score_mode
+    )
+    base = score_region(sources, config).value
+
+    def improve(values):
+        if values is None:
+            return None
+        if metric.value in ("download_mbps", "upload_mbps"):
+            return [v * factor for v in values]
+        if metric is Metric.LATENCY:
+            return [max(v / factor, 0.1) for v in values]
+        return [v / factor for v in values]
+
+    (name, source), = sources.items()
+    improved: Dict[str, SequenceSource] = {
+        name: SequenceSource(
+            download_mbps=(
+                improve(source.download_mbps)
+                if metric is Metric.DOWNLOAD
+                else source.download_mbps
+            ),
+            upload_mbps=(
+                improve(source.upload_mbps)
+                if metric is Metric.UPLOAD
+                else source.upload_mbps
+            ),
+            latency_ms=(
+                improve(source.latency_ms)
+                if metric is Metric.LATENCY
+                else source.latency_ms
+            ),
+            packet_loss=(
+                improve(source.packet_loss)
+                if metric is Metric.PACKET_LOSS
+                else source.packet_loss
+            ),
+        )
+    }
+    assert score_region(improved, config).value >= base - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=5),
+        st.integers(0, 5),
+        min_size=1,
+        max_size=8,
+    ).filter(lambda d: sum(d.values()) > 0)
+)
+def test_normalize_always_sums_to_one(weights):
+    assert sum(normalize(weights).values()) == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weights=weight_matrix())
+def test_normalized_rows_sum_to_one(weights):
+    for use_case in UseCase:
+        assert sum(weights.normalized_row(use_case).values()) == pytest.approx(1.0)

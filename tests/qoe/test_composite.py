@@ -1,0 +1,74 @@
+"""Unit tests for repro.qoe.composite (population ground truth)."""
+
+import pytest
+
+from repro.core.usecases import UseCase
+from repro.core.weights import UseCaseWeights
+from repro.netsim.population import REGION_PRESETS, region_preset
+from repro.qoe.composite import UseCaseModels, region_qoe, regions_qoe
+
+
+class TestRegionQoE:
+    def test_shape(self):
+        result = region_qoe(region_preset("metro-fiber"), seed=1, subscribers=40)
+        assert result.region == "metro-fiber"
+        assert set(result.per_use_case) == set(UseCase)
+        assert result.subscribers == 40
+        assert 0.0 <= result.overall <= 1.0
+
+    def test_reproducible(self):
+        a = region_qoe(region_preset("rural-dsl"), seed=2, subscribers=30)
+        b = region_qoe(region_preset("rural-dsl"), seed=2, subscribers=30)
+        assert a.overall == b.overall
+        assert a.per_use_case == b.per_use_case
+
+    def test_fiber_dominates_satellite_for_interactive_use(self):
+        fiber = region_qoe(region_preset("metro-fiber"), seed=3, subscribers=60)
+        satellite = region_qoe(
+            region_preset("satellite-remote"), seed=3, subscribers=60
+        )
+        assert (
+            fiber.per_use_case[UseCase.VIDEO_CONFERENCING]
+            > satellite.per_use_case[UseCase.VIDEO_CONFERENCING] + 0.3
+        )
+        assert (
+            fiber.per_use_case[UseCase.GAMING]
+            > satellite.per_use_case[UseCase.GAMING] + 0.3
+        )
+
+    def test_overall_is_weighted_average(self):
+        result = region_qoe(region_preset("metro-fiber"), seed=1, subscribers=20)
+        mean = sum(result.per_use_case.values()) / 6.0
+        assert result.overall == pytest.approx(mean)  # equal default weights
+
+    def test_custom_weights_shift_overall(self):
+        gaming_only = UseCaseWeights(
+            {u: (5 if u is UseCase.GAMING else 0) for u in UseCase}
+        )
+        profile = region_preset("satellite-remote")
+        weighted = region_qoe(profile, seed=1, subscribers=20, weights=gaming_only)
+        assert weighted.overall == pytest.approx(
+            weighted.per_use_case[UseCase.GAMING]
+        )
+
+    def test_custom_models_injectable(self):
+        class AlwaysHappy:
+            def satisfaction(self, conditions):
+                return 1.0
+
+        models = UseCaseModels(web=AlwaysHappy())
+        result = region_qoe(
+            region_preset("rural-dsl"), seed=1, subscribers=10, models=models
+        )
+        assert result.per_use_case[UseCase.WEB_BROWSING] == 1.0
+
+
+class TestRegionsQoE:
+    def test_all_regions_covered(self):
+        results = regions_qoe(REGION_PRESETS, seed=1, subscribers=20)
+        assert set(results) == set(REGION_PRESETS)
+
+    def test_quality_gradient_matches_intuition(self):
+        results = regions_qoe(REGION_PRESETS, seed=4, subscribers=60)
+        assert results["metro-fiber"].overall > results["rural-dsl"].overall
+        assert results["metro-fiber"].overall > results["satellite-remote"].overall

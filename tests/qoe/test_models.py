@@ -1,0 +1,220 @@
+"""Unit tests for the per-use-case QoE models."""
+
+import pytest
+
+from repro.qoe.audio import AudioModel
+from repro.qoe.backup import BackupModel
+from repro.qoe.conditions import NetworkConditions, clamp01, from_link
+from repro.qoe.conferencing import (
+    ConferencingModel,
+    delay_impairment,
+    loss_impairment,
+    r_factor,
+    r_to_mos,
+)
+from repro.qoe.gaming import GamingModel
+from repro.qoe.video import VideoModel
+from repro.qoe.web import WebModel
+from repro.netsim.link import SubscriberLink
+
+
+def conditions(down=100.0, up=50.0, rtt=20.0, loss=0.001):
+    return NetworkConditions(
+        download_mbps=down, upload_mbps=up, rtt_ms=rtt, loss=loss
+    )
+
+
+GOOD = conditions()
+BAD = conditions(down=2.0, up=0.5, rtt=400.0, loss=0.05)
+
+ALL_MODELS = [
+    WebModel(),
+    VideoModel(),
+    ConferencingModel(),
+    AudioModel(),
+    BackupModel(),
+    GamingModel(),
+]
+
+
+class TestConditions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conditions(down=-1.0)
+        with pytest.raises(ValueError):
+            conditions(rtt=0.0)
+        with pytest.raises(ValueError):
+            conditions(loss=1.5)
+
+    def test_from_link(self):
+        link = SubscriberLink(
+            subscriber_id="s",
+            region="r",
+            isp="i",
+            tech="fiber",
+            down_capacity_mbps=100.0,
+            up_capacity_mbps=50.0,
+            base_rtt_ms=10.0,
+            base_loss=0.001,
+            bloat_ms=50.0,
+        )
+        c = from_link(link, 0.5)
+        assert c.rtt_ms == pytest.approx(35.0)
+        assert c.download_mbps < 100.0
+
+    def test_clamp(self):
+        assert clamp01(1.5) == 1.0
+        assert clamp01(-0.5) == 0.0
+        assert clamp01(0.3) == 0.3
+
+
+class TestUniversalProperties:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_satisfaction_bounded(self, model):
+        for c in (GOOD, BAD, conditions(down=0.0, up=0.0)):
+            assert 0.0 <= model.satisfaction(c) <= 1.0
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_good_beats_bad(self, model):
+        assert model.satisfaction(GOOD) > model.satisfaction(BAD)
+
+
+class TestWebModel:
+    def test_plt_components(self):
+        model = WebModel()
+        fast = model.page_load_time(GOOD)
+        assert 0.4 < fast < 2.0
+        slow = model.page_load_time(conditions(rtt=600.0, down=5.0))
+        assert slow > fast + 2.0
+
+    def test_latency_matters_even_with_huge_throughput(self):
+        model = WebModel()
+        low_lat = model.satisfaction(conditions(down=1000.0, rtt=10.0))
+        high_lat = model.satisfaction(conditions(down=1000.0, rtt=500.0))
+        assert low_lat - high_lat > 0.2
+
+    def test_bigger_pages_load_slower(self):
+        small = WebModel(page_bytes=1e6).page_load_time(GOOD)
+        large = WebModel(page_bytes=10e6).page_load_time(GOOD)
+        assert large > small
+
+
+class TestVideoModel:
+    def test_rung_selection_scales_with_throughput(self):
+        model = VideoModel()
+        slow = model.select_rung(conditions(down=2.0))[0]
+        fast = model.select_rung(conditions(down=100.0))[0]
+        assert slow in ("240p", "480p")
+        assert fast == "2160p"
+
+    def test_headroom_respected(self):
+        model = VideoModel()
+        label, bitrate, _ = model.select_rung(conditions(down=7.0))
+        assert bitrate * 1.25 <= 7.0
+
+    def test_rebuffer_grows_with_loss(self):
+        model = VideoModel()
+        clean = model.rebuffer_ratio(conditions(loss=0.0))
+        lossy = model.rebuffer_ratio(conditions(loss=0.05))
+        assert lossy > clean
+
+    def test_starved_link_rebuffers_chronically(self):
+        model = VideoModel()
+        assert model.rebuffer_ratio(conditions(down=0.2)) > 0.4
+
+
+class TestConferencing:
+    def test_delay_impairment_shape(self):
+        # Gentle below the 177.3 ms knee, steep beyond it.
+        assert delay_impairment(50.0) < 2.0
+        assert delay_impairment(200.0) > delay_impairment(150.0)
+        assert delay_impairment(400.0) > delay_impairment(299.0) + 10.0
+        # Cole-Rosenbluth anchor: Id(350) ≈ 0.024*350 + 0.11*172.7 ≈ 27.4.
+        assert delay_impairment(350.0) == pytest.approx(27.4, abs=0.5)
+
+    def test_loss_impairment_monotone(self):
+        losses = [0.0, 0.01, 0.05, 0.2]
+        values = [loss_impairment(p) for p in losses]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_r_to_mos_anchors(self):
+        assert r_to_mos(0.0) == 1.0
+        assert r_to_mos(100.0) == 4.5
+        assert r_to_mos(93.0) == pytest.approx(4.4, abs=0.2)
+
+    def test_mos_degrades_with_rtt(self):
+        model = ConferencingModel()
+        assert model.mos(conditions(rtt=20.0)) > model.mos(conditions(rtt=600.0))
+
+    def test_asymmetric_upload_hurts(self):
+        model = ConferencingModel()
+        symmetric = model.satisfaction(conditions(up=10.0))
+        starved = model.satisfaction(conditions(up=0.3))
+        assert symmetric > starved
+
+    def test_satellite_rtt_is_painful_despite_bandwidth(self):
+        model = ConferencingModel()
+        satellite = model.satisfaction(conditions(down=100.0, up=20.0, rtt=620.0))
+        fiber = model.satisfaction(conditions(down=100.0, up=20.0, rtt=15.0))
+        assert satellite < 0.7
+        assert fiber - satellite > 0.25
+
+
+class TestAudioModel:
+    def test_low_bandwidth_suffices(self):
+        model = AudioModel()
+        assert model.satisfaction(conditions(down=2.0, rtt=40.0, loss=0.001)) > 0.7
+
+    def test_stall_risk_from_starvation(self):
+        model = AudioModel()
+        assert model.stall_risk(conditions(down=0.1)) > 0.3
+
+    def test_startup_delay_grows_with_rtt(self):
+        model = AudioModel()
+        assert model.startup_delay(conditions(rtt=600.0)) > model.startup_delay(
+            conditions(rtt=20.0)
+        )
+
+
+class TestBackupModel:
+    def test_upload_bound(self):
+        model = BackupModel()
+        fast_up = model.satisfaction(conditions(up=100.0))
+        slow_up = model.satisfaction(conditions(up=1.0))
+        assert fast_up > slow_up
+
+    def test_download_is_irrelevant(self):
+        model = BackupModel()
+        a = model.satisfaction(conditions(down=1000.0, up=10.0))
+        b = model.satisfaction(conditions(down=5.0, up=10.0))
+        assert a == pytest.approx(b)
+
+    def test_completion_hours_inverse_in_upload(self):
+        model = BackupModel()
+        assert model.completion_hours(conditions(up=10.0)) > model.completion_hours(
+            conditions(up=100.0)
+        ) * 5.0
+
+
+class TestGamingModel:
+    def test_latency_cliff(self):
+        model = GamingModel()
+        lan = model.satisfaction(conditions(rtt=15.0))
+        ok = model.satisfaction(conditions(rtt=80.0))
+        bad = model.satisfaction(conditions(rtt=250.0))
+        assert lan > ok > bad
+        assert lan > 0.9
+        assert bad < 0.1
+
+    def test_loss_causes_rubber_banding(self):
+        model = GamingModel()
+        clean = model.satisfaction(conditions(loss=0.0))
+        lossy = model.satisfaction(conditions(loss=0.03))
+        assert clean > 2.0 * lossy
+
+    def test_throughput_is_secondary(self):
+        model = GamingModel()
+        modest = model.satisfaction(conditions(down=10.0, up=5.0, rtt=20.0))
+        gigabit = model.satisfaction(conditions(down=1000.0, up=1000.0, rtt=20.0))
+        assert modest == pytest.approx(gigabit, abs=0.05)

@@ -1,0 +1,28 @@
+"""Run the docstring examples scattered through the public modules.
+
+Doctests double as documentation smoke tests: if an example in a
+docstring drifts from the code, these fail.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.tables
+import repro.core.quality
+import repro.measurements.adapters
+import repro.netsim.rng
+
+MODULES = [
+    repro.analysis.tables,
+    repro.core.quality,
+    repro.measurements.adapters,
+    repro.netsim.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0
