@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Scoring-benchmark regression gate.
+
+Runs the scale and Eq. 1-5 scoring benches under ``pytest-benchmark``,
+writes the machine-readable results to ``BENCH_scale.json``, and fails
+(exit code 1) when any scoring benchmark's median time regresses more
+than the allowed fraction (default 20%) against the checked-in baseline
+``benchmarks/BENCH_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py
+    PYTHONPATH=src python benchmarks/compare_bench.py --threshold 0.1
+    PYTHONPATH=src python benchmarks/compare_bench.py --update-baseline
+
+``--update-baseline`` re-records the baseline from the fresh run (use
+after an intentional perf change, and commit the result). Benchmarks
+present in only one of the two files are reported but never fail the
+gate, so adding a bench does not break CI until a baseline exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
+RESULTS_PATH = REPO_ROOT / "BENCH_scale.json"
+BENCH_FILES = ("test_bench_scale.py", "test_bench_eq_scoring.py")
+
+
+def run_benches(results_path: Path) -> int:
+    """Run the scoring benches, writing pytest-benchmark JSON."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[str(BENCH_DIR / name) for name in BENCH_FILES],
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={results_path}",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    return completed.returncode
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """benchmark name → median seconds from a pytest-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return {
+        bench["name"]: float(bench["stats"]["median"])
+        for bench in document.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+) -> int:
+    """Print the comparison table; return the number of regressions."""
+    regressions = 0
+    width = max((len(name) for name in current), default=10)
+    print(f"{'benchmark'.ljust(width)}  baseline    current     ratio")
+    for name in sorted(current):
+        median = current[name]
+        base = baseline.get(name)
+        if base is None or base <= 0.0:
+            print(f"{name.ljust(width)}  {'n/a':>9}  {median:9.6f}  (no baseline)")
+            continue
+        ratio = median / base
+        verdict = ""
+        if ratio > 1.0 + threshold:
+            verdict = f"  REGRESSION (> +{threshold:.0%})"
+            regressions += 1
+        print(
+            f"{name.ljust(width)}  {base:9.6f}  {median:9.6f}  {ratio:8.2f}x"
+            f"{verdict}"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name.ljust(width)}  (in baseline only; not run)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed median-time regression fraction (default 0.20)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record this run as the new checked-in baseline",
+    )
+    parser.add_argument(
+        "--results",
+        default=str(RESULTS_PATH),
+        help="where to write the fresh benchmark JSON",
+    )
+    args = parser.parse_args(argv)
+
+    results_path = Path(args.results)
+    code = run_benches(results_path)
+    if code != 0:
+        print(f"benchmark run failed with exit code {code}", file=sys.stderr)
+        return code
+    print(f"wrote {results_path}")
+
+    if args.update_baseline:
+        shutil.copyfile(results_path, BASELINE_PATH)
+        print(f"updated baseline at {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(
+            f"no baseline at {BASELINE_PATH}; run with --update-baseline "
+            f"to record one",
+            file=sys.stderr,
+        )
+        return 1
+
+    regressions = compare(
+        load_medians(BASELINE_PATH),
+        load_medians(results_path),
+        args.threshold,
+    )
+    if regressions:
+        print(
+            f"{regressions} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs {BASELINE_PATH.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print("no scoring benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,8 @@ scoring pipeline costs. Two benches:
 
 import pytest
 
-from repro.core import score_region
-from repro.measurements import MeasurementSet
+from repro.core import score_region, score_regions
+from repro.measurements import ColumnarStore, MeasurementSet
 from repro.netsim import CampaignConfig, region_preset, simulate_region
 
 
@@ -54,3 +54,26 @@ def test_bench_grouping_cost(benchmark, config):
 
     scores = benchmark(group_and_score)
     assert len(scores) == 3
+
+
+def test_bench_batch_score_regions(benchmark, config):
+    """The columnar batch path over a cold store, including transpose."""
+    campaign = CampaignConfig(subscribers=60, tests_per_client=400)
+    combined = MeasurementSet()
+    for name in ("metro-fiber", "rural-dsl", "mixed-urban"):
+        combined = combined + simulate_region(region_preset(name), 7, campaign)
+    records = list(combined)
+
+    def batch_score():
+        # Rebuild the store every round so the bench includes the
+        # one-pass transpose + grouping, not just warm-cache hits.
+        return score_regions(ColumnarStore(records), config)
+
+    breakdowns = benchmark(batch_score)
+
+    assert len(breakdowns) == 3
+    # The fast path must agree with the reference loop bit-for-bit.
+    for region, subset in combined.group_by_region().items():
+        assert breakdowns[region] == score_region(
+            subset.group_by_source(), config
+        )

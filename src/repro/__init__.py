@@ -30,12 +30,14 @@ from .core import (
     UseCase,
     paper_config,
     score_region,
+    score_regions,
 )
-from .measurements import Measurement, MeasurementSet
+from .measurements import ColumnarStore, Measurement, MeasurementSet
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ColumnarStore",
     "IQBConfig",
     "IQBFramework",
     "Measurement",
@@ -47,4 +49,5 @@ __all__ = [
     "__version__",
     "paper_config",
     "score_region",
+    "score_regions",
 ]

@@ -26,6 +26,7 @@ from .history import ScoreArchive
 from .national import (
     NationalScore,
     RegionalShare,
+    national_breakdown,
     national_score,
     render_national,
 )
@@ -43,6 +44,7 @@ from .scorecard import (
     Scorecard,
     UseCaseLine,
     build_scorecard,
+    build_scorecards,
     render_scorecard,
     scorecard_from_breakdown,
 )
@@ -63,11 +65,13 @@ __all__ = [
     "UseCaseLine",
     "build_publication",
     "build_scorecard",
+    "build_scorecards",
     "comparison_report",
     "detect_drops",
     "equity_table",
     "evaluate_methods",
     "kendall_tau",
+    "national_breakdown",
     "national_score",
     "pairwise_flips",
     "peak_vs_offpeak",

@@ -16,9 +16,14 @@ against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.exceptions import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import IQBConfig
+    from repro.core.scoring import ScoreBreakdown
+    from repro.measurements.collection import MeasurementSet
 
 
 @dataclass(frozen=True)
@@ -105,6 +110,37 @@ def national_score(
     )
     value = sum(share.weight * share.score for share in shares)
     return NationalScore(value=value, regions=shares)
+
+
+def national_breakdown(
+    records: "MeasurementSet",
+    populations: Mapping[str, float],
+    config: Optional["IQBConfig"] = None,
+) -> Tuple[NationalScore, Dict[str, "ScoreBreakdown"]]:
+    """Score a whole national measurement batch and roll it up.
+
+    The columnar fast path for barometer refreshes: the batch is grouped
+    once (via :func:`repro.core.scoring.score_regions`, which shares
+    sorted per-metric columns across regions) instead of re-filtering
+    the record stream once per region, then the regional scores are
+    population-weighted into the national headline.
+
+    Returns:
+        ``(national, breakdowns)`` — the roll-up plus every region's
+        full :class:`~repro.core.scoring.ScoreBreakdown` for drill-down.
+
+    Raises:
+        DataError: on empty input or missing populations (see
+            :func:`national_score`).
+    """
+    from repro.core.config import paper_config
+    from repro.core.scoring import score_regions
+
+    breakdowns = score_regions(records, config or paper_config())
+    national = national_score(
+        {region: b.value for region, b in breakdowns.items()}, populations
+    )
+    return national, breakdowns
 
 
 def render_national(national: NationalScore, top: int = 5) -> str:

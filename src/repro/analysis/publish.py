@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Mapping, Optional
 
 from repro.core.config import IQBConfig, paper_config
-from repro.core.scoring import ScoreBreakdown, score_region
+from repro.core.scoring import ScoreBreakdown, score_regions
 from repro.core.targets import metric_targets
 from repro.measurements.collection import MeasurementSet
 
@@ -40,10 +40,8 @@ def build_publication(
             publish) — via the underlying scorers.
     """
     config = config or paper_config()
-    breakdowns: dict = {}
-    for region in records.regions():
-        sources = records.for_region(region).group_by_source()
-        breakdowns[region] = score_region(sources, config)
+    # Batch fast path: one grouping pass + shared columns for all regions.
+    breakdowns = score_regions(records, config)
 
     sections: List[str] = [f"# {title}", ""]
     sections.extend(_headline_section(breakdowns, populations))

@@ -14,7 +14,7 @@ from typing import List, Optional
 from repro.core.config import IQBConfig, paper_config
 from repro.core.explain import disagreements, improvement_opportunities
 from repro.core.metrics import Metric
-from repro.core.scoring import ScoreBreakdown, score_region
+from repro.core.scoring import ScoreBreakdown, score_region, score_regions
 from repro.measurements.collection import MeasurementSet
 
 from .tables import render_table
@@ -117,10 +117,11 @@ def comparison_report(
 ) -> str:
     """Side-by-side score table for every region in a measurement set."""
     config = config or paper_config()
+    # Batch fast path: group once, score every region off shared columns.
+    # An empty set renders as an empty table, matching the old loop.
+    breakdowns = score_regions(records, config) if len(records) else {}
     rows = []
-    for region in records.regions():
-        sources = records.for_region(region).group_by_source()
-        breakdown = score_region(sources, config)
+    for region, breakdown in breakdowns.items():
         rows.append(
             (
                 region,

@@ -11,12 +11,12 @@ thing most worth fixing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import IQBConfig, paper_config
 from repro.core.explain import improvement_opportunities
 from repro.core.quality import credit_scale, grade
-from repro.core.scoring import ScoreBreakdown, score_region
+from repro.core.scoring import ScoreBreakdown, score_region, score_regions
 from repro.core.usecases import UseCase
 from repro.measurements.collection import MeasurementSet
 
@@ -70,6 +70,30 @@ def build_scorecard(
         tests=len(subset),
         datasets=tuple(sorted(sources)),
     )
+
+
+def build_scorecards(
+    records: MeasurementSet,
+    config: Optional[IQBConfig] = None,
+) -> Dict[str, Scorecard]:
+    """Scorecards for every region of a batch, off shared columns.
+
+    The comparison-site workload: one national measurement batch in,
+    one label per region out. Grouping and quantile aggregation are
+    shared across regions via :func:`repro.core.scoring.score_regions`.
+    """
+    config = config or paper_config()
+    breakdowns = score_regions(records, config)
+    by_region = records.group_by_region()
+    return {
+        region: scorecard_from_breakdown(
+            breakdown,
+            region=region,
+            tests=len(by_region[region]),
+            datasets=by_region[region].sources(),
+        )
+        for region, breakdown in breakdowns.items()
+    }
 
 
 def scorecard_from_breakdown(

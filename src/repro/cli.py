@@ -71,13 +71,12 @@ def _cmd_score(args: argparse.Namespace) -> int:
     if args.json:
         import json as json_module
 
-        from repro.core.scoring import score_region
+        from repro.core.scoring import score_regions
 
+        breakdowns = score_regions(records, config) if len(records) else {}
         document = {
-            region: score_region(
-                records.for_region(region).group_by_source(), config
-            ).to_dict()
-            for region in records.regions()
+            region: breakdown.to_dict()
+            for region, breakdown in breakdowns.items()
         }
         print(json_module.dumps(document, indent=2, sort_keys=True))
     else:

@@ -64,6 +64,7 @@ from .scoring import (
     UseCaseScore,
     flat_score,
     score_region,
+    score_regions,
     score_requirement,
     score_use_case,
 )
@@ -146,6 +147,7 @@ __all__ = [
     "render_targets",
     "requirement_contributions",
     "score_region",
+    "score_regions",
     "score_requirement",
     "score_use_case",
     "threshold_gaps",

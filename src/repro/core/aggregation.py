@@ -23,6 +23,7 @@ tables plug in interchangeably.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence, runtime_checkable
 
@@ -87,12 +88,48 @@ class QuantileSource(Protocol):
         ...
 
 
-def percentile_of(values: Sequence[float], percentile: float) -> float:
+#: Below this many values the pure-Python interpolation beats the cost of
+#: building a numpy array and dispatching ``np.percentile``.
+_SMALL_N = 8
+
+
+def _interpolate_sorted(values: Sequence[float], percentile: float) -> float:
+    """Linear interpolation over an already-sorted sequence.
+
+    Replicates ``np.percentile``'s "linear" method bit-for-bit, including
+    its ``t >= 0.5`` lerp branch, so callers holding pre-sorted data get
+    answers identical to the numpy path.
+    """
+    n = len(values)
+    pos = (percentile / 100.0) * (n - 1)
+    lo = math.floor(pos)
+    hi = min(lo + 1, n - 1)
+    gamma = pos - lo
+    a = float(values[lo])
+    b = float(values[hi])
+    if gamma >= 0.5:
+        return b - (b - a) * (1.0 - gamma)
+    return a + (b - a) * gamma
+
+
+def percentile_of(
+    values: Sequence[float],
+    percentile: float,
+    assume_sorted: bool = False,
+) -> float:
     """Linear-interpolation percentile of a non-empty value sequence.
 
     This is the single percentile definition used across the project, so
     exact collections, the streaming estimator's tests, and the scorer
     all agree on interpolation behaviour.
+
+    Args:
+        values: observations; any sequence (list, tuple, numpy array).
+        percentile: in [0, 100].
+        assume_sorted: when True, ``values`` is taken to be sorted
+            ascending and the answer is computed by O(1) index
+            interpolation — no copy, no re-sort. The caller is
+            responsible for the sortedness invariant.
 
     Raises:
         AggregationError: if ``values`` is empty or percentile is out of
@@ -102,6 +139,10 @@ def percentile_of(values: Sequence[float], percentile: float) -> float:
         raise AggregationError("cannot take a percentile of no values")
     if not 0.0 <= percentile <= 100.0:
         raise AggregationError(f"percentile out of [0, 100]: {percentile!r}")
+    if assume_sorted:
+        return _interpolate_sorted(values, percentile)
+    if len(values) <= _SMALL_N:
+        return _interpolate_sorted(sorted(values), percentile)
     return float(np.percentile(np.asarray(values, dtype=float), percentile))
 
 

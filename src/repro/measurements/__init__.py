@@ -20,6 +20,7 @@ from .calibration import (
     estimate_biases,
 )
 from .collection import MeasurementSet
+from .columnar import ColumnarStore, ColumnarView
 from .io import (
     iter_jsonl,
     read_csv,
@@ -43,6 +44,8 @@ __all__ = [
     "AggregateTable",
     "BiasModel",
     "CalibratedSource",
+    "ColumnarStore",
+    "ColumnarView",
     "DEFAULT_PUBLISHED_PERCENTILES",
     "ExactQuantiles",
     "Measurement",

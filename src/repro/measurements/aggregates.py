@@ -90,17 +90,24 @@ class AggregateTable:
         self.region = region
         self.source = source
         self._metrics: Dict[Metric, MetricAggregate] = dict(metrics)
+        # The scorer asks the same (metric, percentile) up to once per
+        # use case; knots never change after construction, so answers
+        # are memoized for the life of the table.
+        self._quantile_cache: Dict[Tuple[Metric, float], Optional[float]] = {}
 
     def metrics(self) -> Tuple[Metric, ...]:
         """Metrics this table publishes, in canonical order."""
         return tuple(m for m in Metric.ordered() if m in self._metrics)
 
     def quantile(self, metric: Metric, percentile: float) -> Optional[float]:
-        """Interpolated percentile (QuantileSource protocol)."""
+        """Interpolated percentile (QuantileSource protocol, memoized)."""
+        key = (metric, percentile)
+        if key in self._quantile_cache:
+            return self._quantile_cache[key]
         aggregate = self._metrics.get(metric)
-        if aggregate is None:
-            return None
-        return aggregate.quantile(percentile)
+        answer = None if aggregate is None else aggregate.quantile(percentile)
+        self._quantile_cache[key] = answer
+        return answer
 
     def sample_count(self, metric: Metric) -> int:
         """Published test count behind the metric (QuantileSource)."""
@@ -164,6 +171,8 @@ def aggregate_measurements(
         SchemaError: when the records contain none of the requested
             metrics for the region.
     """
+    import numpy as np
+
     subset = records.for_region(region).for_source(source)
     wanted = tuple(metrics) if metrics is not None else Metric.ordered()
     table: Dict[Metric, MetricAggregate] = {}
@@ -171,8 +180,12 @@ def aggregate_measurements(
         values = subset.values(metric)
         if not values:
             continue
+        # Sort once per metric; every knot interpolates off the same array.
+        ordered = np.asarray(values, dtype=np.float64)
+        ordered.sort()
         knots = tuple(
-            (float(p), _percentile(values, p)) for p in sorted(percentiles)
+            (float(p), _percentile(ordered, p, assume_sorted=True))
+            for p in sorted(percentiles)
         )
         table[metric] = MetricAggregate(knots=knots, count=len(values))
     if not table:
@@ -183,7 +196,9 @@ def aggregate_measurements(
     return AggregateTable(region=region, source=source, metrics=table)
 
 
-def _percentile(values: Sequence[float], percentile: float) -> float:
+def _percentile(
+    values: Sequence[float], percentile: float, assume_sorted: bool = False
+) -> float:
     from repro.core.aggregation import percentile_of
 
-    return percentile_of(values, percentile)
+    return percentile_of(values, percentile, assume_sorted=assume_sorted)

@@ -5,13 +5,21 @@ scoring. It implements the :class:`~repro.core.aggregation.QuantileSource`
 protocol, so a filtered MeasurementSet can be handed directly to
 ``score_region`` as one dataset's evidence.
 
-Filters return new (shallow-copied) sets; the underlying records are
-frozen dataclasses, so sharing is safe.
+Filters return new sets sharing the underlying frozen records; grouping
+results and the per-metric value/quantile plane are memoized, because
+the IQB scorer asks the same (metric, percentile) question up to six
+times per score (once per use case). Mutating a set via :meth:`add` /
+:meth:`extend` invalidates every cache; sets handed out by the cached
+group indexes copy-on-write before mutating so siblings and parents
+never see each other's appends. For batch scoring of many regions at
+once, prefer the columnar plane
+(:class:`~repro.measurements.columnar.ColumnarStore` via
+:func:`repro.core.scoring.score_regions`), which shares sorted columns
+across every grouping instead of caching per set.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import (
     Callable,
     Dict,
@@ -22,6 +30,8 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from repro.core.aggregation import percentile_of
 from repro.core.metrics import Metric
 
@@ -29,10 +39,45 @@ from .record import Measurement
 
 
 class MeasurementSet:
-    """An immutable-ish bag of :class:`Measurement` records."""
+    """An immutable-ish bag of :class:`Measurement` records.
+
+    "Immutable-ish": the only mutators are :meth:`add` and
+    :meth:`extend`, which invalidate the set's caches. Everything else
+    returns shared or fresh sets without touching the receiver.
+    """
 
     def __init__(self, records: Iterable[Measurement] = ()) -> None:
         self._records: List[Measurement] = list(records)
+        self._shared = False
+        self._parent_cache: Optional[Tuple[Dict[str, "MeasurementSet"], str]] = None
+        self._reset_caches()
+
+    @classmethod
+    def _adopt(
+        cls, records: List[Measurement], shared: bool = True
+    ) -> "MeasurementSet":
+        """Wrap an existing list without copying.
+
+        ``shared=True`` marks the list as aliased elsewhere (e.g. a
+        parent's group index); the first mutation then copies-on-write.
+        """
+        out = cls.__new__(cls)
+        out._records = records
+        out._shared = shared
+        out._parent_cache = None
+        out._reset_caches()
+        return out
+
+    def _reset_caches(self) -> None:
+        self._values_cache: Dict[Metric, List[float]] = {}
+        self._sorted_cache: Dict[Metric, np.ndarray] = {}
+        self._quantile_cache: Dict[Tuple[Metric, float], Optional[float]] = {}
+        self._region_groups: Optional[Dict[str, List[Measurement]]] = None
+        self._source_groups: Optional[Dict[str, List[Measurement]]] = None
+        self._isp_groups: Optional[Dict[str, List[Measurement]]] = None
+        self._region_sets: Dict[str, "MeasurementSet"] = {}
+        self._source_sets: Dict[str, "MeasurementSet"] = {}
+        self._isp_sets: Dict[str, "MeasurementSet"] = {}
 
     # -- container basics -------------------------------------------------
 
@@ -48,10 +93,47 @@ class MeasurementSet:
     def __add__(self, other: "MeasurementSet") -> "MeasurementSet":
         if not isinstance(other, MeasurementSet):
             return NotImplemented
-        return MeasurementSet(self._records + other._records)
+        # Empty-side fast paths: share the non-empty set instead of
+        # re-copying its records (both sets are marked shared so a later
+        # mutation of either copies-on-write first).
+        if not other._records:
+            self._shared = True
+            return MeasurementSet._adopt(self._records)
+        if not self._records:
+            other._shared = True
+            return MeasurementSet._adopt(other._records)
+        return MeasurementSet._adopt(
+            self._records + other._records, shared=False
+        )
 
     def __repr__(self) -> str:
         return f"MeasurementSet({len(self._records)} records)"
+
+    # -- mutation ----------------------------------------------------------
+
+    def _prepare_mutation(self) -> None:
+        if self._shared:
+            self._records = list(self._records)
+            self._shared = False
+        if self._parent_cache is not None:
+            # A cached group subset diverges from its parent on first
+            # mutation: drop it from the parent's handout cache so the
+            # parent keeps serving unmutated snapshots.
+            cache, key = self._parent_cache
+            if cache.get(key) is self:
+                del cache[key]
+            self._parent_cache = None
+        self._reset_caches()
+
+    def add(self, record: Measurement) -> None:
+        """Append one record, invalidating every cached answer."""
+        self._prepare_mutation()
+        self._records.append(record)
+
+    def extend(self, records: Iterable[Measurement]) -> None:
+        """Append many records, invalidating every cached answer."""
+        self._prepare_mutation()
+        self._records.extend(records)
 
     # -- filtering / grouping ---------------------------------------------
 
@@ -59,73 +141,124 @@ class MeasurementSet:
         self, predicate: Callable[[Measurement], bool]
     ) -> "MeasurementSet":
         """Records matching an arbitrary predicate."""
-        return MeasurementSet(r for r in self._records if predicate(r))
+        if not self._records:
+            return self
+        matched = [r for r in self._records if predicate(r)]
+        if len(matched) == len(self._records):
+            # Everything matched: share the record list instead of
+            # carrying a second copy of it.
+            self._shared = True
+            return MeasurementSet._adopt(self._records)
+        return MeasurementSet._adopt(matched, shared=False)
+
+    def _grouped(
+        self, axis: str
+    ) -> Dict[str, List[Measurement]]:
+        attr = f"_{axis}_groups"
+        groups = getattr(self, attr)
+        if groups is None:
+            groups = {}
+            for record in self._records:
+                key = getattr(record, axis)
+                groups.setdefault(key, []).append(record)
+            setattr(self, attr, groups)
+        return groups
+
+    def _group_set(self, axis: str, key: str) -> "MeasurementSet":
+        sets = getattr(self, f"_{axis}_sets")
+        subset = sets.get(key)
+        if subset is None:
+            records = self._grouped(axis).get(key)
+            if records is None:
+                subset = MeasurementSet()
+            else:
+                subset = MeasurementSet._adopt(records)
+            subset._parent_cache = (sets, key)
+            sets[key] = subset
+        return subset
 
     def for_region(self, region: str) -> "MeasurementSet":
-        """Records from one region."""
-        return self.filter(lambda r: r.region == region)
+        """Records from one region (cached; reuses the group index)."""
+        return self._group_set("region", region)
 
     def for_source(self, source: str) -> "MeasurementSet":
-        """Records from one dataset."""
-        return self.filter(lambda r: r.source == source)
+        """Records from one dataset (cached; reuses the group index)."""
+        return self._group_set("source", source)
 
     def for_isp(self, isp: str) -> "MeasurementSet":
-        """Records from one ISP."""
-        return self.filter(lambda r: r.isp == isp)
+        """Records from one ISP (cached; reuses the group index)."""
+        return self._group_set("isp", isp)
 
     def between(self, start: float, end: float) -> "MeasurementSet":
         """Records with ``start <= timestamp < end``."""
         return self.filter(lambda r: start <= r.timestamp < end)
 
     def regions(self) -> Tuple[str, ...]:
-        """Distinct regions, sorted."""
-        return tuple(sorted({r.region for r in self._records}))
+        """Distinct regions, sorted (from the cached group index)."""
+        return tuple(sorted(self._grouped("region")))
 
     def sources(self) -> Tuple[str, ...]:
-        """Distinct dataset names, sorted."""
-        return tuple(sorted({r.source for r in self._records}))
+        """Distinct dataset names, sorted (from the cached group index)."""
+        return tuple(sorted(self._grouped("source")))
 
     def isps(self) -> Tuple[str, ...]:
         """Distinct ISPs, sorted (empty names excluded)."""
-        return tuple(sorted({r.isp for r in self._records if r.isp}))
+        return tuple(sorted(key for key in self._grouped("isp") if key))
 
     def group_by_region(self) -> Dict[str, "MeasurementSet"]:
-        """Split into one set per region."""
-        groups: Dict[str, List[Measurement]] = defaultdict(list)
-        for record in self._records:
-            groups[record.region].append(record)
+        """Split into one set per region (shared with :meth:`for_region`)."""
         return {
-            region: MeasurementSet(records)
-            for region, records in groups.items()
+            region: self._group_set("region", region)
+            for region in self._grouped("region")
         }
 
     def group_by_source(self) -> Dict[str, "MeasurementSet"]:
         """Split into one set per dataset, ready for ``score_region``."""
-        groups: Dict[str, List[Measurement]] = defaultdict(list)
-        for record in self._records:
-            groups[record.source].append(record)
         return {
-            source: MeasurementSet(records)
-            for source, records in groups.items()
+            source: self._group_set("source", source)
+            for source in self._grouped("source")
         }
 
     # -- metric access / QuantileSource protocol ---------------------------
 
     def values(self, metric: Metric) -> List[float]:
-        """All non-missing values of ``metric``, in record order."""
-        out: List[float] = []
-        for record in self._records:
-            value = record.value(metric)
-            if value is not None:
-                out.append(value)
-        return out
+        """All non-missing values of ``metric``, in record order (cached)."""
+        cached = self._values_cache.get(metric)
+        if cached is None:
+            field = metric.field_name
+            cached = [
+                value
+                for value in (getattr(r, field) for r in self._records)
+                if value is not None
+            ]
+            self._values_cache[metric] = cached
+        return cached
+
+    def _sorted_values(self, metric: Metric) -> np.ndarray:
+        cached = self._sorted_cache.get(metric)
+        if cached is None:
+            cached = np.asarray(self.values(metric), dtype=np.float64)
+            cached.sort()
+            self._sorted_cache[metric] = cached
+        return cached
 
     def quantile(self, metric: Metric, percentile: float) -> Optional[float]:
-        """Percentile of the stored metric values (QuantileSource)."""
-        values = self.values(metric)
-        if not values:
-            return None
-        return percentile_of(values, percentile)
+        """Percentile of the stored metric values (QuantileSource).
+
+        Memoized per (metric, percentile); the backing value array is
+        sorted once per metric so distinct percentiles share the sort.
+        """
+        key = (metric, percentile)
+        if key in self._quantile_cache:
+            return self._quantile_cache[key]
+        values = self._sorted_values(metric)
+        answer: Optional[float]
+        if values.size == 0:
+            answer = None
+        else:
+            answer = percentile_of(values, percentile, assume_sorted=True)
+        self._quantile_cache[key] = answer
+        return answer
 
     def sample_count(self, metric: Metric) -> int:
         """Observation count for the metric (QuantileSource)."""
@@ -154,7 +287,7 @@ class MeasurementSet:
             digest[metric.value] = {
                 "count": float(len(values)),
                 "mean": sum(values) / len(values),
-                "median": percentile_of(values, 50.0),
-                "p95": percentile_of(values, 95.0),
+                "median": self.quantile(metric, 50.0),
+                "p95": self.quantile(metric, 95.0),
             }
         return digest

@@ -1,0 +1,280 @@
+"""Columnar measurement plane: the scoring hot path's fast layout.
+
+The IQB scoring rule is percentile-centric, so barometer-scale cost is
+dominated by repeated quantile aggregation over the same measurements.
+The row-oriented :class:`~repro.measurements.collection.MeasurementSet`
+is the right *ingest* shape — one frozen record per test — but scoring
+six use cases over four metrics re-reads every record dozens of times.
+
+:class:`ColumnarStore` transposes a record batch once into per-metric
+numpy columns plus dict-based group indexes (region / source / ISP),
+then hands out :class:`ColumnarView` objects — lightweight row-index
+selections that implement the QuantileSource protocol. Views share the
+store's columns (no record copying), lazily materialize one sorted
+value array per metric they are asked about, and memoize every
+(metric, percentile) answer. Scoring all regions of a national batch
+therefore groups once, sorts each (region, source, metric) column once,
+and answers the six-use-case percentile fan-out from cache.
+
+Numerical contract: every quantile a view answers is bit-identical to
+``MeasurementSet.quantile`` over the same records (both reduce to the
+single :func:`~repro.core.aggregation.percentile_of` definition), which
+is what lets :func:`repro.core.scoring.score_regions` swap in for the
+per-region re-group loop without changing a single ScoreBreakdown.
+
+The store is deliberately immutable: build it from a finished batch.
+Accumulating sinks rebuild (cheaply, one pass) when they need fresh
+columns — see :class:`repro.probing.sinks.MemorySink`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import percentile_of
+from repro.core.metrics import Metric
+
+from .record import Measurement
+
+#: Group axes the store indexes out of the box.
+AXES = ("region", "source", "isp")
+
+
+class ColumnarView:
+    """A row selection of a :class:`ColumnarStore` (QuantileSource).
+
+    Holds only a reference to the parent store and an integer row-index
+    array; per-metric sorted value arrays and quantile answers are
+    materialized on first use and cached for the life of the view.
+    """
+
+    __slots__ = ("_store", "_rows", "_sorted", "_quantiles")
+
+    def __init__(self, store: "ColumnarStore", rows: np.ndarray) -> None:
+        self._store = store
+        self._rows = rows
+        self._sorted: Dict[Metric, np.ndarray] = {}
+        self._quantiles: Dict[Tuple[Metric, float], Optional[float]] = {}
+
+    def __len__(self) -> int:
+        return int(self._rows.size)
+
+    def __repr__(self) -> str:
+        return f"ColumnarView({self._rows.size} rows)"
+
+    def sorted_values(self, metric: Metric) -> np.ndarray:
+        """Sorted non-missing values of ``metric`` in this view (cached)."""
+        cached = self._sorted.get(metric)
+        if cached is None:
+            column = self._store.column(metric)
+            values = column[self._rows] if self._rows.size else column[:0]
+            values = values[~np.isnan(values)]
+            values.sort()
+            self._sorted[metric] = cached = values
+        return cached
+
+    def values(self, metric: Metric) -> List[float]:
+        """Non-missing values of ``metric``, in record order."""
+        column = self._store.column(metric)
+        selected = column[self._rows] if self._rows.size else column[:0]
+        return selected[~np.isnan(selected)].tolist()
+
+    # -- QuantileSource protocol ------------------------------------------
+
+    def quantile(self, metric: Metric, percentile: float) -> Optional[float]:
+        """Memoized percentile over the view's sorted column."""
+        key = (metric, percentile)
+        if key in self._quantiles:
+            return self._quantiles[key]
+        values = self.sorted_values(metric)
+        answer: Optional[float]
+        if values.size == 0:
+            answer = None
+        else:
+            answer = percentile_of(values, percentile, assume_sorted=True)
+        self._quantiles[key] = answer
+        return answer
+
+    def sample_count(self, metric: Metric) -> int:
+        """Observation count for the metric (QuantileSource)."""
+        return int(self.sorted_values(metric).size)
+
+
+class ColumnarStore:
+    """Per-metric columns + group indexes over one measurement batch.
+
+    Construction is O(records); every column, index, and view is built
+    lazily on first request and shared thereafter. The record list is
+    adopted as-is when a list is passed (the store never mutates it).
+    """
+
+    def __init__(self, records: Iterable[Measurement] = ()) -> None:
+        self._records: List[Measurement] = (
+            records if isinstance(records, list) else list(records)
+        )
+        self._columns: Dict[Metric, np.ndarray] = {}
+        self._indexes: Dict[str, Dict[str, np.ndarray]] = {}
+        self._pair_index: Optional[Dict[Tuple[str, str], np.ndarray]] = None
+        self._all_view: Optional[ColumnarView] = None
+        self._axis_views: Dict[Tuple[str, str], ColumnarView] = {}
+        self._by_region: Optional[Dict[str, Dict[str, ColumnarView]]] = None
+
+    @classmethod
+    def from_measurements(
+        cls, records: Iterable[Measurement]
+    ) -> "ColumnarStore":
+        """Build a store from any record iterable (incl. MeasurementSet)."""
+        return cls(list(records))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"ColumnarStore({len(self._records)} records)"
+
+    def records(self) -> Tuple[Measurement, ...]:
+        """The underlying records (row order preserved)."""
+        return tuple(self._records)
+
+    # -- columns & indexes -------------------------------------------------
+
+    def column(self, metric: Metric) -> np.ndarray:
+        """The full value column for ``metric`` (NaN where unobserved)."""
+        cached = self._columns.get(metric)
+        if cached is None:
+            field = metric.field_name
+            cached = np.array(
+                [
+                    value if value is not None else np.nan
+                    for value in (
+                        getattr(record, field) for record in self._records
+                    )
+                ],
+                dtype=np.float64,
+            )
+            self._columns[metric] = cached
+        return cached
+
+    def index(self, axis: str) -> Dict[str, np.ndarray]:
+        """Group index for one axis: key → row-index array.
+
+        Axes are ``"region"``, ``"source"``, ``"isp"``. The ISP index
+        excludes empty ISP names, matching ``MeasurementSet.isps``.
+        """
+        if axis not in AXES:
+            raise KeyError(f"unknown group axis: {axis!r} (have {AXES})")
+        cached = self._indexes.get(axis)
+        if cached is None:
+            buckets: Dict[str, List[int]] = {}
+            for row, record in enumerate(self._records):
+                key = getattr(record, axis)
+                if not key:
+                    continue
+                buckets.setdefault(key, []).append(row)
+            cached = {
+                key: np.asarray(rows, dtype=np.intp)
+                for key, rows in buckets.items()
+            }
+            self._indexes[axis] = cached
+        return cached
+
+    def regions(self) -> Tuple[str, ...]:
+        """Distinct regions, sorted."""
+        return tuple(sorted(self.index("region")))
+
+    def sources(self) -> Tuple[str, ...]:
+        """Distinct dataset names, sorted."""
+        return tuple(sorted(self.index("source")))
+
+    def isps(self) -> Tuple[str, ...]:
+        """Distinct ISPs, sorted (empty names excluded)."""
+        return tuple(sorted(self.index("isp")))
+
+    # -- views -------------------------------------------------------------
+
+    def view(
+        self,
+        region: Optional[str] = None,
+        source: Optional[str] = None,
+        isp: Optional[str] = None,
+    ) -> ColumnarView:
+        """A QuantileSource over the selected rows.
+
+        With no arguments, the whole store; with one argument the cached
+        per-group view; with several, the intersection of the group
+        indexes (row order preserved).
+        """
+        selected = [
+            (axis, key)
+            for axis, key in (
+                ("region", region),
+                ("source", source),
+                ("isp", isp),
+            )
+            if key is not None
+        ]
+        if not selected:
+            if self._all_view is None:
+                self._all_view = ColumnarView(
+                    self, np.arange(len(self._records), dtype=np.intp)
+                )
+            return self._all_view
+        if len(selected) == 1:
+            axis, key = selected[0]
+            cache_key = (axis, key)
+            view = self._axis_views.get(cache_key)
+            if view is None:
+                rows = self.index(axis).get(
+                    key, np.empty(0, dtype=np.intp)
+                )
+                view = ColumnarView(self, rows)
+                self._axis_views[cache_key] = view
+            return view
+        rows: Optional[np.ndarray] = None
+        for axis, key in selected:
+            axis_rows = self.index(axis).get(key, np.empty(0, dtype=np.intp))
+            rows = (
+                axis_rows
+                if rows is None
+                else np.intersect1d(rows, axis_rows, assume_unique=True)
+            )
+        return ColumnarView(self, rows)
+
+    def sources_by_region(self) -> Dict[str, Dict[str, ColumnarView]]:
+        """region → dataset → QuantileSource, grouped in one pass.
+
+        This is the batch-scoring plane: the mapping plugs straight into
+        :func:`repro.core.scoring.score_region` per region (or, better,
+        :func:`repro.core.scoring.score_regions` consumes it wholesale).
+        Views are cached, so repeated scoring shares every sorted column.
+        """
+        if self._by_region is None:
+            if self._pair_index is None:
+                buckets: Dict[Tuple[str, str], List[int]] = {}
+                for row, record in enumerate(self._records):
+                    buckets.setdefault(
+                        (record.region, record.source), []
+                    ).append(row)
+                self._pair_index = {
+                    key: np.asarray(rows, dtype=np.intp)
+                    for key, rows in buckets.items()
+                }
+            grouped: Dict[str, Dict[str, ColumnarView]] = {}
+            for (region, source), rows in self._pair_index.items():
+                grouped.setdefault(region, {})[source] = ColumnarView(
+                    self, rows
+                )
+            self._by_region = grouped
+        return {region: dict(views) for region, views in self._by_region.items()}
+
+    # -- whole-store QuantileSource ---------------------------------------
+
+    def quantile(self, metric: Metric, percentile: float) -> Optional[float]:
+        """Percentile over every record in the store (QuantileSource)."""
+        return self.view().quantile(metric, percentile)
+
+    def sample_count(self, metric: Metric) -> int:
+        """Store-wide observation count for the metric (QuantileSource)."""
+        return self.view().sample_count(metric)

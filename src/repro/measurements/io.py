@@ -78,7 +78,9 @@ def iter_jsonl(
 
 def read_jsonl(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
     """Load a whole JSONL file into a MeasurementSet."""
-    return MeasurementSet(iter_jsonl(path, on_error=on_error))
+    return MeasurementSet._adopt(
+        list(iter_jsonl(path, on_error=on_error)), shared=False
+    )
 
 
 def write_csv(records: MeasurementSet, path: _PathLike) -> int:
@@ -125,4 +127,4 @@ def read_csv(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
                 if on_error == "skip":
                     continue
                 raise SchemaError(f"{path}:{lineno}: {exc}") from exc
-    return MeasurementSet(records)
+    return MeasurementSet._adopt(records, shared=False)

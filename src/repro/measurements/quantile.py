@@ -16,36 +16,72 @@ well-behaved streams.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.aggregation import percentile_of
 from repro.core.exceptions import AggregationError
 
 
 class ExactQuantiles:
-    """Exact percentile answers over an accumulated value list."""
+    """Exact percentile answers over an accumulated value list.
+
+    Quantile answers are memoized over a lazily-sorted copy of the
+    values; :meth:`add` and :meth:`extend` invalidate both caches, so a
+    query after a mutation is always answered fresh.
+    """
 
     def __init__(self, values: Sequence[float] = ()) -> None:
-        self._values: List[float] = list(values)
+        self._values: List[float] = []
+        self._sorted: Optional[np.ndarray] = None
+        self._memo: Dict[float, float] = {}
+        self.extend(values)
+
+    def _invalidate(self) -> None:
+        self._sorted = None
+        self._memo.clear()
 
     def add(self, value: float) -> None:
         """Record one observation."""
         self._values.append(float(value))
+        self._invalidate()
 
     def extend(self, values: Sequence[float]) -> None:
-        """Record many observations."""
-        self._values.extend(float(v) for v in values)
+        """Record many observations.
+
+        Accepts any array-like wholesale (lists, tuples, generators,
+        numpy arrays of any shape) via one ``np.asarray`` conversion
+        instead of a per-element ``float()`` round-trip.
+        """
+        array = np.asarray(
+            list(values) if not hasattr(values, "__len__") else values,
+            dtype=np.float64,
+        )
+        if array.size:
+            self._values.extend(array.ravel().tolist())
+            self._invalidate()
 
     def __len__(self) -> int:
         return len(self._values)
 
     def quantile(self, percentile: float) -> float:
-        """Exact percentile (linear interpolation).
+        """Exact percentile (linear interpolation, memoized).
 
         Raises:
             AggregationError: when no values have been recorded.
         """
-        return percentile_of(self._values, percentile)
+        if not self._values:
+            raise AggregationError("cannot take a percentile of no values")
+        cached = self._memo.get(percentile)
+        if cached is not None:
+            return cached
+        if self._sorted is None:
+            self._sorted = np.asarray(self._values, dtype=np.float64)
+            self._sorted.sort()
+        answer = percentile_of(self._sorted, percentile, assume_sorted=True)
+        self._memo[percentile] = answer
+        return answer
 
 
 class P2Quantile:

@@ -110,12 +110,14 @@ class BarometerMonitor:
                 f"inverted window: [{window_start}, {window_end})"
             )
         window = records.between(window_start, window_end)
-        present = set(window.regions())
+        # Group the window once; every region's subset shares the index.
+        by_region = window.group_by_region()
         alerts: List[Alert] = []
-        for region in sorted(present | set(self._history)):
-            if region in present:
-                score = self._score_window(window.for_region(region))
-                samples = len(window.for_region(region))
+        for region in sorted(set(by_region) | set(self._history)):
+            subset = by_region.get(region)
+            if subset is not None:
+                score = self._score_window(subset)
+                samples = len(subset)
             else:
                 score = None
                 samples = 0

@@ -16,14 +16,27 @@ implementations cover the realistic deployment modes:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional, Protocol, Tuple, Union, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 import json
 
 from repro.core.metrics import Metric
 from repro.measurements.collection import MeasurementSet
+from repro.measurements.columnar import ColumnarStore, ColumnarView
 from repro.measurements.quantile import P2Quantile
 from repro.measurements.record import Measurement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import IQBConfig
+    from repro.core.scoring import ScoreBreakdown
 
 
 @runtime_checkable
@@ -36,13 +49,22 @@ class ResultSink(Protocol):
 
 
 class MemorySink:
-    """Accumulates measurements in memory."""
+    """Accumulates measurements in memory.
+
+    Besides the raw :meth:`as_set` snapshot, the sink maintains a lazy
+    columnar plane over everything collected so far: :meth:`as_columnar`
+    transposes once and is reused until the next :meth:`accept`, so
+    periodically re-scoring a live campaign does not re-group the
+    ever-growing record list from scratch each refresh.
+    """
 
     def __init__(self) -> None:
         self._records = []
+        self._columnar: Optional[ColumnarStore] = None
 
     def accept(self, measurement: Measurement) -> None:
         self._records.append(measurement)
+        self._columnar = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -50,6 +72,22 @@ class MemorySink:
     def as_set(self) -> MeasurementSet:
         """Everything collected so far."""
         return MeasurementSet(self._records)
+
+    def as_columnar(self) -> ColumnarStore:
+        """Columnar view of everything collected so far (cached)."""
+        if self._columnar is None:
+            self._columnar = ColumnarStore(list(self._records))
+        return self._columnar
+
+    def sources_by_region(self) -> Dict[str, Dict[str, "ColumnarView"]]:
+        """region → dataset → QuantileSource over the collected batch."""
+        return self.as_columnar().sources_by_region()
+
+    def score_all(self, config: "IQBConfig") -> Dict[str, "ScoreBreakdown"]:
+        """Batch-score every region collected so far (columnar path)."""
+        from repro.core.scoring import score_regions
+
+        return score_regions(self.as_columnar(), config)
 
 
 class JsonlSink:

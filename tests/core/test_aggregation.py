@@ -105,3 +105,40 @@ class TestAggregateMetric:
     def test_missing_metric_is_none(self):
         source = SequenceSource(download_mbps=[1.0])
         assert aggregate_metric(source, Metric.LATENCY, AggregationPolicy()) is None
+
+
+class TestPercentileFastPaths:
+    """assume_sorted and small-n paths must match np.percentile exactly."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("p", [0.0, 5.0, 37.5, 50.0, 95.0, 100.0])
+    def test_small_n_matches_numpy_bitwise(self, n, p):
+        rng = np.random.default_rng(n * 1000 + int(p * 10))
+        values = list(rng.uniform(-1e6, 1e6, size=n))
+        assert percentile_of(values, p) == float(np.percentile(values, p))
+
+    @pytest.mark.parametrize("p", [0.0, 5.0, 50.0, 95.0, 99.9, 100.0])
+    def test_sorted_path_matches_numpy_bitwise(self, p):
+        rng = np.random.default_rng(7)
+        values = np.sort(rng.lognormal(mean=3.0, sigma=0.8, size=500))
+        assert percentile_of(values, p, assume_sorted=True) == float(
+            np.percentile(values, p)
+        )
+
+    def test_sorted_path_on_plain_list(self):
+        assert percentile_of([1.0, 2.0, 3.0], 50.0, assume_sorted=True) == 2.0
+
+    def test_sorted_path_single_value(self):
+        assert percentile_of([42.0], 95.0, assume_sorted=True) == 42.0
+
+    def test_sorted_path_rejects_empty(self):
+        with pytest.raises(AggregationError):
+            percentile_of([], 50.0, assume_sorted=True)
+
+    def test_sorted_path_rejects_bad_percentile(self):
+        with pytest.raises(AggregationError):
+            percentile_of([1.0], 101.0, assume_sorted=True)
+
+    def test_unsorted_input_without_flag_still_correct(self):
+        # The small-n path sorts internally; order must not matter.
+        assert percentile_of([3.0, 1.0, 2.0], 50.0) == 2.0

@@ -115,3 +115,68 @@ class TestSummaries:
         assert digest["download_mbps"]["count"] == 4.0
         assert "packet_loss" not in digest
         assert digest["latency_ms"]["p95"] == 25.0
+
+
+class TestMutationInvalidation:
+    """add/extend/__add__ must never serve stale cached answers."""
+
+    def test_add_refreshes_quantile(self, records):
+        assert records.quantile(Metric.DOWNLOAD, 100.0) == 40.0
+        records.add(rec(region="r1", source="ndt", ts=99.0,
+                        download_mbps=400.0))
+        assert records.quantile(Metric.DOWNLOAD, 100.0) == 400.0
+        assert records.sample_count(Metric.DOWNLOAD) == 5
+
+    def test_extend_refreshes_groups_and_values(self, records):
+        assert records.regions() == ("r1", "r2")
+        records.extend(
+            [rec(region="r3", source="ndt", ts=99.0, download_mbps=5.0)]
+        )
+        assert records.regions() == ("r1", "r2", "r3")
+        assert 5.0 in records.values(Metric.DOWNLOAD)
+
+    def test_dunder_add_result_sees_both_sides(self, records):
+        other = MeasurementSet(
+            [rec(region="r9", source="ndt", ts=1.0, download_mbps=90.0)]
+        )
+        records.quantile(Metric.DOWNLOAD, 50.0)  # warm the cache
+        combined = records + other
+        assert combined.quantile(Metric.DOWNLOAD, 100.0) == 90.0
+        assert combined.regions() == ("r1", "r2", "r9")
+
+    def test_mutating_a_group_subset_leaves_parent_intact(self, records):
+        subset = records.for_region("r1")
+        subset.add(rec(region="r1", source="ndt", ts=98.0))
+        assert len(subset) == 3
+        assert len(records.for_region("r1")) == 2
+        assert len(records) == 4
+
+
+class TestSharedFastPaths:
+    def test_add_empty_right_shares_records(self, records):
+        combined = records + MeasurementSet()
+        assert combined._records is records._records
+        assert len(combined) == 4
+
+    def test_add_empty_left_shares_records(self, records):
+        combined = MeasurementSet() + records
+        assert combined._records is records._records
+
+    def test_shared_result_copies_on_write(self, records):
+        combined = records + MeasurementSet()
+        combined.add(rec(region="r5", source="ndt", ts=77.0))
+        assert len(combined) == 5
+        assert len(records) == 4
+
+    def test_filter_on_empty_returns_self(self):
+        empty = MeasurementSet()
+        assert empty.filter(lambda r: True) is empty
+
+    def test_filter_matching_everything_shares_records(self, records):
+        everything = records.filter(lambda r: True)
+        assert everything._records is records._records
+
+    def test_group_subsets_are_cached(self, records):
+        assert records.for_region("r1") is records.for_region("r1")
+        assert records.for_source("ndt") is records.for_source("ndt")
+        assert records.for_isp("ispA") is records.for_isp("ispA")

@@ -89,3 +89,51 @@ class TestP2Quantile:
         for _ in range(50):
             estimator.add(7.0)
         assert estimator.value() == pytest.approx(7.0)
+
+
+class TestExactQuantilesCache:
+    """The memoized plane must invalidate on every mutation."""
+
+    def test_add_after_cached_query_refreshes(self):
+        estimator = ExactQuantiles([1.0, 2.0, 3.0])
+        assert estimator.quantile(100.0) == 3.0
+        estimator.add(10.0)
+        assert estimator.quantile(100.0) == 10.0
+
+    def test_extend_after_cached_query_refreshes(self):
+        estimator = ExactQuantiles([1.0, 2.0, 3.0])
+        assert estimator.quantile(50.0) == 2.0
+        estimator.extend([100.0, 200.0])
+        assert estimator.quantile(100.0) == 200.0
+        assert estimator.quantile(50.0) == 3.0
+
+    def test_extend_accepts_numpy_array_wholesale(self):
+        estimator = ExactQuantiles()
+        estimator.extend(np.array([3.0, 1.0, 2.0]))
+        assert len(estimator) == 3
+        assert estimator.quantile(50.0) == 2.0
+
+    def test_extend_accepts_generator(self):
+        estimator = ExactQuantiles()
+        estimator.extend(float(i) for i in range(5))
+        assert len(estimator) == 5
+        assert estimator.quantile(100.0) == 4.0
+
+    def test_extend_with_2d_array_flattens(self):
+        estimator = ExactQuantiles()
+        estimator.extend(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert len(estimator) == 4
+        assert estimator.quantile(100.0) == 4.0
+
+    def test_extend_empty_is_noop(self):
+        estimator = ExactQuantiles([5.0])
+        assert estimator.quantile(50.0) == 5.0
+        estimator.extend([])
+        assert len(estimator) == 1
+        assert estimator.quantile(50.0) == 5.0
+
+    def test_repeated_queries_hit_memo(self):
+        estimator = ExactQuantiles([1.0, 2.0, 3.0, 4.0])
+        first = estimator.quantile(95.0)
+        assert estimator.quantile(95.0) == first
+        assert 95.0 in estimator._memo

@@ -112,3 +112,55 @@ class TestFanOutSink:
     def test_needs_children(self):
         with pytest.raises(ValueError):
             FanOutSink()
+
+
+class TestMemorySinkColumnar:
+    def test_as_columnar_caches_until_next_accept(self):
+        sink = MemorySink()
+        for i in range(4):
+            sink.accept(record(i))
+        store = sink.as_columnar()
+        assert store is sink.as_columnar()
+        assert len(store) == 4
+        sink.accept(record(4))
+        fresh = sink.as_columnar()
+        assert fresh is not store
+        assert len(fresh) == 5
+        assert len(store) == 4  # old snapshot untouched
+
+    def test_sources_by_region_shape(self):
+        sink = MemorySink()
+        sink.accept(record(0, region="a", source="ndt"))
+        sink.accept(record(1, region="a", source="ookla"))
+        sink.accept(record(2, region="b", source="ndt"))
+        grouped = sink.sources_by_region()
+        assert set(grouped) == {"a", "b"}
+        assert set(grouped["a"]) == {"ndt", "ookla"}
+        assert grouped["b"]["ndt"].sample_count(Metric.DOWNLOAD) == 1
+
+    def test_score_all_matches_per_region_scoring(self):
+        from repro.core import paper_config
+        from repro.core.scoring import score_region
+
+        config = paper_config()
+        sink = MemorySink()
+        for i in range(60):
+            for source in ("ndt", "cloudflare"):
+                sink.accept(
+                    Measurement(
+                        region="a" if i % 2 else "b",
+                        source=source,
+                        timestamp=float(i),
+                        download_mbps=100.0 + i,
+                        upload_mbps=20.0 + i,
+                        latency_ms=20.0,
+                        packet_loss=0.001,
+                    )
+                )
+        breakdowns = sink.score_all(config)
+        records = sink.as_set()
+        for region in ("a", "b"):
+            expected = score_region(
+                records.for_region(region).group_by_source(), config
+            )
+            assert breakdowns[region] == expected

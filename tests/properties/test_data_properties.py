@@ -130,3 +130,67 @@ def test_config_round_trip_for_random_variants(percentile, weights):
     rebuilt = IQBConfig.from_json(config.to_json())
     assert rebuilt.to_dict() == config.to_dict()
     assert rebuilt.aggregation.percentile == pytest.approx(percentile)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=120),
+    p=st.floats(0.0, 100.0),
+)
+def test_columnar_store_quantiles_equal_exact_quantiles(values, p):
+    """The columnar plane and the exact accumulator agree bit-for-bit."""
+    from repro.measurements.columnar import ColumnarStore
+    from repro.measurements.quantile import ExactQuantiles
+
+    records = [
+        Measurement(
+            region="r", source="ndt", timestamp=float(i), download_mbps=v
+        )
+        for i, v in enumerate(values)
+    ]
+    store = ColumnarStore(records)
+    exact = ExactQuantiles(values)
+    assert store.quantile(Metric.DOWNLOAD, p) == exact.quantile(p)
+    assert store.view(region="r", source="ndt").quantile(
+        Metric.DOWNLOAD, p
+    ) == exact.quantile(p)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=120),
+    p=st.floats(0.0, 100.0),
+)
+def test_measurement_set_cache_equals_exact_quantiles(values, p):
+    """Memoized MeasurementSet.quantile answers equal the exact plane."""
+    from repro.measurements.collection import MeasurementSet
+    from repro.measurements.quantile import ExactQuantiles
+
+    records = MeasurementSet(
+        Measurement(
+            region="r", source="ndt", timestamp=float(i), download_mbps=v
+        )
+        for i, v in enumerate(values)
+    )
+    exact = ExactQuantiles(values)
+    first = records.quantile(Metric.DOWNLOAD, p)
+    assert first == exact.quantile(p)
+    # The memo must return the same answer on a repeat query.
+    assert records.quantile(Metric.DOWNLOAD, p) == first
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=60),
+    extra=st.lists(finite, min_size=1, max_size=60),
+    p=st.floats(0.0, 100.0),
+)
+def test_exact_quantiles_invalidation_matches_fresh_build(values, extra, p):
+    """Mutating after a cached query must equal a from-scratch build."""
+    from repro.measurements.quantile import ExactQuantiles
+
+    mutated = ExactQuantiles(values)
+    mutated.quantile(p)  # warm the memo
+    mutated.extend(extra)
+    fresh = ExactQuantiles(values + extra)
+    assert mutated.quantile(p) == fresh.quantile(p)
