@@ -1,0 +1,23 @@
+# Development targets for the IQB reproduction.
+#
+# `make verify` is the PR gate: the full tier-1 test suite plus the
+# scoring-benchmark regression check against the checked-in baseline
+# (benchmarks/BENCH_baseline.json). Run it before every push.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test bench metrics
+
+verify: test bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/compare_bench.py
+
+# Quick operational sanity check: run an instrumented pipeline and
+# dump the metrics snapshot.
+metrics:
+	$(PYTHON) -m repro metrics

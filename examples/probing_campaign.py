@@ -58,10 +58,12 @@ def main() -> None:
             )
             report = runner.run(schedule)
 
+        rate = report.success_rate
         print(
             f"Campaign: {report.scheduled} probes scheduled, "
             f"{report.succeeded} succeeded "
-            f"({report.success_rate:.1%}), {report.retried} retries, "
+            f"({'n/a' if rate is None else format(rate, '.1%')}), "
+            f"{report.retried} retries, "
             f"{len(report.abandoned)} abandoned."
         )
         print(f"Archived {len(read_jsonl(archive))} records to JSONL.\n")

@@ -19,6 +19,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.exceptions import DataError
+from repro.obs import counter, span
+
+_NATIONAL_ROLLUPS = counter("national.rollups")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import IQBConfig
@@ -136,10 +139,15 @@ def national_breakdown(
     from repro.core.config import paper_config
     from repro.core.scoring import score_regions
 
-    breakdowns = score_regions(records, config or paper_config())
-    national = national_score(
-        {region: b.value for region, b in breakdowns.items()}, populations
-    )
+    with span("national_breakdown") as stage:
+        breakdowns = score_regions(records, config or paper_config())
+        with span("rollup"):
+            national = national_score(
+                {region: b.value for region, b in breakdowns.items()},
+                populations,
+            )
+        stage.annotate(regions=len(breakdowns))
+        _NATIONAL_ROLLUPS.inc()
     return national, breakdowns
 
 

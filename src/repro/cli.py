@@ -16,10 +16,19 @@ Subcommands:
 * ``label``    — consumer broadband-label scorecard for one region;
 * ``publish``  — assemble the full Markdown barometer report;
 * ``monitor``  — replay a measurement file through the alerting monitor;
-* ``adaptive`` — demonstrate uncertainty-driven probe allocation.
+* ``adaptive`` — demonstrate uncertainty-driven probe allocation;
+* ``metrics``  — run a pipeline end to end and dump the observability
+  snapshot (probe retries/abandons, ingest skips, cache hit rates).
+
+Global flags: ``--log-level {debug,info,warning,error}`` and
+``--log-json`` configure structured logging for every subcommand
+(events go to stderr; stdout stays clean for command output).
 
 Every command is pure stdlib ``argparse`` over the library API, so the
-CLI is also living documentation of the public surface.
+CLI is also living documentation of the public surface. Operational
+errors — an unreadable input path, a malformed measurement file — are
+caught at the top level and reported as one ``iqb: error: ...`` line
+with exit status 2; a traceback out of the CLI is by definition a bug.
 """
 
 from __future__ import annotations
@@ -31,11 +40,13 @@ from typing import List, Optional
 from repro.analysis.report import comparison_report, region_report
 from repro.analysis.tables import render_table
 from repro.core.config import IQBConfig, paper_config
+from repro.core.exceptions import SchemaError
 from repro.core.framework import IQBFramework
 from repro.core.sensitivity import percentile_sweep
 from repro.measurements.io import read_jsonl, write_jsonl
 from repro.netsim.population import REGION_PRESETS, region_preset
 from repro.netsim.simulator import CampaignConfig, simulate_regions
+from repro.obs import setup_logging
 
 
 def _load_config(path: Optional[str]) -> IQBConfig:
@@ -346,11 +357,76 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Exercise the pipeline end to end and dump the metrics snapshot.
+
+    Three instrumented stages run inside one ``pipeline`` span: a probe
+    campaign with injected transient failures (retry/abandon counters
+    and per-backend latency), measurement ingest (from ``input`` when
+    given, else the campaign's own records), and a batch scoring pass
+    (quantile-cache hit/miss counters). The registry snapshot then goes
+    to stdout as JSON (or aligned text with ``--text``).
+    """
+    from repro.core.scoring import score_regions
+    from repro.obs import REGISTRY, reset, span
+    from repro.probing.backends import ProbeRequest, SimulatedBackend
+    from repro.probing.runner import ProbeRunner
+    from repro.probing.sinks import MemorySink
+
+    reset()
+    config = _load_config(args.config)
+    names = args.regions or ["metro-fiber", "rural-dsl"]
+    profiles = [region_preset(name) for name in names]
+    with span("pipeline"):
+        with span("probe"):
+            backend = SimulatedBackend(
+                profiles=profiles,
+                seed=args.seed,
+                subscribers=args.subscribers,
+                failure_rate=args.failure_rate,
+            )
+            sink = MemorySink()
+            runner = ProbeRunner(backend, sink, max_attempts=3)
+            window = 7.0 * 86400.0
+            schedule = [
+                ProbeRequest(
+                    client=client,
+                    region=region,
+                    timestamp=(i + 0.5) * window / args.probes,
+                )
+                for region in backend.regions()
+                for client in backend.clients()
+                for i in range(args.probes)
+            ]
+            runner.run(schedule)
+        with span("ingest"):
+            if args.input:
+                records = read_jsonl(args.input, on_error=args.on_error)
+            else:
+                records = sink.as_set()
+        with span("score"):
+            if len(records):
+                score_regions(records, config)
+    print(REGISTRY.render_text() if args.text else REGISTRY.render_json())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="iqb",
         description="Internet Quality Barometer (IQB) reproduction toolkit.",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="pipeline log verbosity (events go to stderr)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log events as JSONL instead of human text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -499,14 +575,71 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--config", help="IQB config JSON (default: paper)")
     adaptive.set_defaults(func=_cmd_adaptive)
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented pipeline and dump the metrics snapshot",
+    )
+    metrics.add_argument(
+        "input",
+        nargs="?",
+        help="optional JSONL file to ingest/score (default: the probe "
+        "campaign's own records)",
+    )
+    metrics.add_argument("--config", help="IQB config JSON (default: paper)")
+    metrics.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="skip",
+        help="malformed-line handling when reading input (default: skip, "
+        "so skip counters show up in the snapshot)",
+    )
+    metrics.add_argument(
+        "--regions",
+        nargs="*",
+        choices=sorted(REGION_PRESETS),
+        help="region presets for the probe campaign (default: "
+        "metro-fiber rural-dsl)",
+    )
+    metrics.add_argument(
+        "--probes",
+        type=int,
+        default=40,
+        help="probes per (region, client) in the campaign",
+    )
+    metrics.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.15,
+        help="injected transient-failure probability (exercises retries)",
+    )
+    metrics.add_argument("--subscribers", type=int, default=25)
+    metrics.add_argument("--seed", type=int, default=42)
+    metrics.add_argument(
+        "--text",
+        action="store_true",
+        help="human-readable snapshot instead of JSON",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Operational failures (unreadable paths, malformed measurement
+    files) exit 2 with a one-line ``iqb: error: ...`` on stderr;
+    anything else propagating out of a command is a bug and keeps its
+    traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    setup_logging(level=args.log_level, json_mode=args.log_json)
+    try:
+        return args.func(args)
+    except (OSError, SchemaError) as exc:
+        print(f"iqb: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -32,12 +32,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.obs import counter, span
+
 from .aggregation import aggregate_metric
 from .config import IQBConfig, MissingDataPolicy, ScoreMode
 from .exceptions import DataError
 from .metrics import Metric
 from .quality import QualityLevel, credit_scale, grade
 from .usecases import UseCase
+
+_REGION_SCORES = counter("scoring.region_scores")
+_BATCH_REGIONS = counter("scoring.batch.regions")
 
 # QuantileSource is a Protocol; imported for typing clarity only.
 from .aggregation import QuantileSource
@@ -417,6 +422,7 @@ def score_region(
     """
     if not sources:
         raise DataError("score_region needs at least one dataset source")
+    _REGION_SCORES.inc()
     use_cases = tuple(
         score_use_case(use_case, sources, config)
         for use_case in UseCase.ordered()
@@ -454,25 +460,30 @@ def score_regions(
     Raises:
         DataError: when the batch is empty — via :func:`score_region`.
     """
-    if isinstance(records, Mapping):
-        grouped: Mapping[str, Mapping[str, QuantileSource]] = records
-    else:
-        # Imported lazily: repro.measurements depends on repro.core, so a
-        # module-level import here would be circular.
-        from repro.measurements.columnar import ColumnarStore
+    with span("score_regions") as stage:
+        if isinstance(records, Mapping):
+            grouped: Mapping[str, Mapping[str, QuantileSource]] = records
+        else:
+            # Imported lazily: repro.measurements depends on repro.core, so a
+            # module-level import here would be circular.
+            from repro.measurements.columnar import ColumnarStore
 
-        store = (
-            records
-            if isinstance(records, ColumnarStore)
-            else ColumnarStore.from_measurements(records)  # type: ignore[arg-type]
-        )
-        grouped = store.sources_by_region()
-    if not grouped:
-        raise DataError("score_regions needs at least one region of data")
-    return {
-        region: score_region(grouped[region], config)
-        for region in sorted(grouped)
-    }
+            with span("columnar_group"):
+                store = (
+                    records
+                    if isinstance(records, ColumnarStore)
+                    else ColumnarStore.from_measurements(records)  # type: ignore[arg-type]
+                )
+                grouped = store.sources_by_region()
+        if not grouped:
+            raise DataError("score_regions needs at least one region of data")
+        stage.annotate(regions=len(grouped))
+        _BATCH_REGIONS.inc(len(grouped))
+        with span("region_loop"):
+            return {
+                region: score_region(grouped[region], config)
+                for region in sorted(grouped)
+            }
 
 
 def flat_score(breakdown: ScoreBreakdown) -> float:

@@ -34,8 +34,18 @@ import numpy as np
 
 from repro.core.aggregation import percentile_of
 from repro.core.metrics import Metric
+from repro.obs import counter
 
 from .record import Measurement
+
+# Quantile-plane telemetry (see docs/methodology.md, "Observability"):
+# hits answer from the memoized (metric, percentile) map, misses pay
+# for an aggregation, sorts count the per-metric column sorts behind
+# them. Instruments are bound once here; .inc() is one attribute add,
+# cheap enough for the scoring hot path.
+_HITS = counter("quantile_cache.rowset.hits")
+_MISSES = counter("quantile_cache.rowset.misses")
+_SORTS = counter("quantile_cache.rowset.sorts")
 
 
 class MeasurementSet:
@@ -237,6 +247,7 @@ class MeasurementSet:
     def _sorted_values(self, metric: Metric) -> np.ndarray:
         cached = self._sorted_cache.get(metric)
         if cached is None:
+            _SORTS.inc()
             cached = np.asarray(self.values(metric), dtype=np.float64)
             cached.sort()
             self._sorted_cache[metric] = cached
@@ -250,7 +261,9 @@ class MeasurementSet:
         """
         key = (metric, percentile)
         if key in self._quantile_cache:
+            _HITS.inc()
             return self._quantile_cache[key]
+        _MISSES.inc()
         values = self._sorted_values(metric)
         answer: Optional[float]
         if values.size == 0:

@@ -35,8 +35,16 @@ import numpy as np
 
 from repro.core.aggregation import percentile_of
 from repro.core.metrics import Metric
+from repro.obs import counter
 
 from .record import Measurement
+
+# Columnar quantile-plane telemetry: these are what make PR 1's
+# memoization verifiable in production — a healthy batch-scoring run
+# shows hits ≫ misses and sorts bounded by (groups × metrics).
+_HITS = counter("quantile_cache.columnar.hits")
+_MISSES = counter("quantile_cache.columnar.misses")
+_SORTS = counter("quantile_cache.columnar.sorts")
 
 #: Group axes the store indexes out of the box.
 AXES = ("region", "source", "isp")
@@ -68,6 +76,7 @@ class ColumnarView:
         """Sorted non-missing values of ``metric`` in this view (cached)."""
         cached = self._sorted.get(metric)
         if cached is None:
+            _SORTS.inc()
             column = self._store.column(metric)
             values = column[self._rows] if self._rows.size else column[:0]
             values = values[~np.isnan(values)]
@@ -87,7 +96,9 @@ class ColumnarView:
         """Memoized percentile over the view's sorted column."""
         key = (metric, percentile)
         if key in self._quantiles:
+            _HITS.inc()
             return self._quantiles[key]
+        _MISSES.inc()
         values = self.sorted_values(metric)
         answer: Optional[float]
         if values.size == 0:

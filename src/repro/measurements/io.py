@@ -9,23 +9,47 @@ quoting surprises) with ``meta`` omitted.
 Readers are strict by default — a malformed line raises
 :class:`~repro.core.exceptions.SchemaError` naming the line number — and
 tolerant on request (``on_error="skip"``), because real measurement
-dumps do contain garbage rows.
+dumps do contain garbage rows. Skips are never silent: they increment
+the ``ingest.*.skipped`` counters and the whole-file readers log one
+WARNING with the drop count (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from repro.core.exceptions import SchemaError
 from repro.core.metrics import Metric
+from repro.obs import counter, get_logger
 
 from .collection import MeasurementSet
 from .record import Measurement
 
 _PathLike = Union[str, Path]
+
+_logger = get_logger(__name__)
+
+_JSONL_READ = counter("ingest.jsonl.lines")
+_JSONL_SKIPPED = counter("ingest.jsonl.skipped")
+_CSV_READ = counter("ingest.csv.rows")
+_CSV_SKIPPED = counter("ingest.csv.skipped")
+
+
+@dataclass
+class IngestStats:
+    """Per-call accounting of one reader invocation.
+
+    ``read`` counts records successfully decoded; ``skipped`` counts
+    malformed lines/rows dropped under ``on_error="skip"`` (always 0 in
+    ``"raise"`` mode, where the first bad line aborts the read).
+    """
+
+    read: int = 0
+    skipped: int = 0
 
 CSV_FIELDS = (
     "region",
@@ -52,13 +76,19 @@ def write_jsonl(records: MeasurementSet, path: _PathLike) -> int:
 
 
 def iter_jsonl(
-    path: _PathLike, on_error: str = "raise"
+    path: _PathLike,
+    on_error: str = "raise",
+    stats: Optional[IngestStats] = None,
 ) -> Iterator[Measurement]:
     """Stream records from a JSONL file.
 
     Args:
         on_error: ``"raise"`` (default) aborts on the first bad line;
-            ``"skip"`` silently drops undecodable or invalid lines.
+            ``"skip"`` drops undecodable or invalid lines. Every drop
+            increments the ``ingest.jsonl.skipped`` counter and logs
+            the offending line number at DEBUG.
+        stats: optional :class:`IngestStats` updated in place, for
+            callers that need this call's exact read/skip counts.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
@@ -69,18 +99,44 @@ def iter_jsonl(
                 continue
             try:
                 document = json.loads(line)
-                yield Measurement.from_dict(document)
+                record = Measurement.from_dict(document)
             except (json.JSONDecodeError, SchemaError) as exc:
                 if on_error == "skip":
+                    _JSONL_SKIPPED.inc()
+                    if stats is not None:
+                        stats.skipped += 1
+                    if _logger.isEnabledFor(10):  # logging.DEBUG
+                        _logger.debug(
+                            "skipped malformed line",
+                            extra={"ctx": {"path": str(path), "line": lineno}},
+                        )
                     continue
                 raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            _JSONL_READ.inc()
+            if stats is not None:
+                stats.read += 1
+            yield record
 
 
 def read_jsonl(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
-    """Load a whole JSONL file into a MeasurementSet."""
-    return MeasurementSet._adopt(
-        list(iter_jsonl(path, on_error=on_error)), shared=False
+    """Load a whole JSONL file into a MeasurementSet.
+
+    In ``on_error="skip"`` mode, a file with malformed lines loads the
+    good records and logs one WARNING with the skip count (also visible
+    as the ``ingest.jsonl.skipped`` counter).
+    """
+    stats = IngestStats()
+    records = MeasurementSet._adopt(
+        list(iter_jsonl(path, on_error=on_error, stats=stats)), shared=False
     )
+    if stats.skipped:
+        _logger.warning(
+            "skipped %d malformed line(s) reading %s",
+            stats.skipped,
+            path,
+            extra={"ctx": {"read": stats.read, "skipped": stats.skipped}},
+        )
+    return records
 
 
 def write_csv(records: MeasurementSet, path: _PathLike) -> int:
@@ -109,9 +165,12 @@ def read_csv(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
     """Load measurements from a CSV produced by :func:`write_csv`.
 
     Unknown extra columns are ignored; missing metric cells become None.
+    In ``on_error="skip"`` mode, dropped rows are counted
+    (``ingest.csv.skipped``) and reported with one WARNING.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
+    stats = IngestStats()
     records = []
     with open(path, "r", encoding="utf-8", newline="") as handle:
         reader = csv.DictReader(handle)
@@ -125,6 +184,22 @@ def read_csv(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
                 records.append(Measurement.from_dict(document))
             except SchemaError as exc:
                 if on_error == "skip":
+                    _CSV_SKIPPED.inc()
+                    stats.skipped += 1
+                    if _logger.isEnabledFor(10):  # logging.DEBUG
+                        _logger.debug(
+                            "skipped malformed row",
+                            extra={"ctx": {"path": str(path), "line": lineno}},
+                        )
                     continue
                 raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            _CSV_READ.inc()
+            stats.read += 1
+    if stats.skipped:
+        _logger.warning(
+            "skipped %d malformed row(s) reading %s",
+            stats.skipped,
+            path,
+            extra={"ctx": {"read": stats.read, "skipped": stats.skipped}},
+        )
     return MeasurementSet._adopt(records, shared=False)

@@ -14,7 +14,7 @@ timestamps:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.timeutil import hour_of_day
 
@@ -42,7 +42,7 @@ class TimeBucket:
 def time_buckets(
     records: MeasurementSet,
     width_seconds: float,
-    start: float = None,  # type: ignore[assignment]
+    start: Optional[float] = None,
 ) -> List[TimeBucket]:
     """Slice records into consecutive fixed-width windows.
 

@@ -1,0 +1,58 @@
+"""Observability for the barometer pipeline: metrics, logs, spans.
+
+The operational-telemetry layer every subsystem reports into:
+
+* :mod:`.registry` — process-wide counters / gauges / timers with
+  snapshot, in-place reset, and JSON/text renderers;
+* :mod:`.logs` — structured logging setup (human text or JSONL),
+  wired to the CLI's ``--log-level`` / ``--log-json`` flags;
+* :mod:`.spans` — nested context managers timing pipeline stages.
+
+Import discipline: this package depends only on the stdlib at import
+time (the t-digest behind :class:`~repro.obs.registry.Timer` loads
+lazily), so any repro module may import it without cycles.
+"""
+
+from __future__ import annotations
+
+from .logs import (
+    JsonlFormatter,
+    TextFormatter,
+    get_logger,
+    parse_level,
+    setup_logging,
+)
+from .registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    counter,
+    gauge,
+    reset,
+    snapshot,
+    timer,
+)
+from .spans import Span, current_span, span
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "JsonlFormatter",
+    "MetricsRegistry",
+    "Span",
+    "TextFormatter",
+    "Timer",
+    "counter",
+    "current_span",
+    "gauge",
+    "get_logger",
+    "parse_level",
+    "reset",
+    "setup_logging",
+    "snapshot",
+    "span",
+    "timer",
+]

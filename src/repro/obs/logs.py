@@ -1,0 +1,129 @@
+"""Structured logging setup for the barometer pipeline.
+
+All of :mod:`repro` logs through the standard :mod:`logging` hierarchy
+under the ``"repro"`` root, so library users keep full control: nothing
+here installs handlers at import time, and an application that already
+configures logging sees repro's events like any other library's.
+
+:func:`setup_logging` is the batteries-included path used by the CLI's
+``--log-level`` / ``--log-json`` flags. It installs exactly one stream
+handler on the ``"repro"`` logger (idempotent — calling it again
+reconfigures rather than stacking handlers) emitting either a terse
+human format or one JSON object per line (JSONL), the shape a log
+shipper wants.
+
+Hot-path discipline: instrumented code must guard event construction
+with ``logger.isEnabledFor(...)`` (or log with lazy ``%s`` formatting)
+so a disabled level costs one integer comparison and no string work.
+Structured fields ride on the standard ``extra`` mechanism under the
+single key ``ctx``::
+
+    logger.warning("ingest skipped lines", extra={"ctx": {"path": p}})
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+#: Marker attribute identifying the handler installed by setup_logging.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class JsonlFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, ctx."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        ctx = getattr(record, "ctx", None)
+        if isinstance(ctx, dict) and ctx:
+            document["ctx"] = ctx
+        if record.exc_info:
+            document["exc"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Terse human format: ``LEVEL logger: event {ctx}``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = (
+            f"{record.levelname.lower():7s} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        ctx = getattr(record, "ctx", None)
+        if isinstance(ctx, dict) and ctx:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(ctx.items()))
+            line = f"{line} [{pairs}]"
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts either a dunder module name (``repro.measurements.io``,
+    the idiomatic ``get_logger(__name__)``) or a bare suffix
+    (``"ingest"`` → ``repro.ingest``).
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def parse_level(level: str) -> int:
+    """Map a CLI level name to the stdlib constant.
+
+    Raises:
+        ValueError: for an unknown level name.
+    """
+    try:
+        return _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r} (have {sorted(_LEVELS)})"
+        ) from None
+
+
+def setup_logging(
+    level: str = "warning",
+    json_mode: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger with one stream handler.
+
+    Idempotent: a handler previously installed by this function is
+    replaced, not stacked, so the CLI (and tests) can call it freely.
+    Logs go to ``stream`` (default stderr, keeping stdout clean for
+    command output). Returns the configured root ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(parse_level(level))
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonlFormatter() if json_mode else TextFormatter())
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    return logger

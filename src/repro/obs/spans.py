@@ -1,0 +1,106 @@
+"""Lightweight spans: timed, nested pipeline stages.
+
+A span is a context manager marking one pipeline stage — "ingest",
+"score_regions", "national.rollup" — recording its wall-clock duration
+into the metrics registry (timer ``span.<name>``) and, at DEBUG level,
+logging a structured enter/exit pair. Spans nest: each thread keeps a
+span stack, and a span knows its slash-joined ``path`` and ``depth``,
+so a JSONL log of a pipeline run reconstructs the stage tree.
+
+Cost model: an enabled span is two ``perf_counter`` calls, one digest
+insert, and (only when DEBUG logging is on) two log records. There is
+deliberately no sampling or id-generation machinery — this is stage
+timing for a batch pipeline, not distributed tracing.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("score", regions=len(batch)):
+        with span("group"):
+            ...
+        with span("quantiles"):
+            ...
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .logs import get_logger
+from .registry import timer
+
+_logger = get_logger("repro.obs.span")
+
+_state = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost active span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed pipeline stage (use via :func:`span`)."""
+
+    __slots__ = ("name", "fields", "path", "depth", "duration", "_start")
+
+    def __init__(self, name: str, fields: Dict[str, object]) -> None:
+        self.name = name
+        self.fields = fields
+        self.path = name  # finalized on __enter__ from the active stack
+        self.depth = 0
+        #: Wall-clock seconds, populated on exit (None while running).
+        self.duration: Optional[float] = None
+        self._start = 0.0
+
+    def annotate(self, **fields: object) -> None:
+        """Attach extra fields mid-flight (shown on the exit event)."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.path = f"{parent.path}/{self.name}"
+            self.depth = parent.depth + 1
+        stack.append(self)
+        if _logger.isEnabledFor(10):  # logging.DEBUG
+            _logger.debug(
+                "span enter",
+                extra={"ctx": {"span": self.path, **self.fields}},
+            )
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.duration = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        timer(f"span.{self.name}").observe(self.duration)
+        if _logger.isEnabledFor(10):  # logging.DEBUG
+            ctx: Dict[str, object] = {
+                "span": self.path,
+                "seconds": round(self.duration, 6),
+                **self.fields,
+            }
+            if exc_type is not None:
+                ctx["error"] = getattr(exc_type, "__name__", str(exc_type))
+            _logger.debug("span exit", extra={"ctx": ctx})
+        # Exceptions always propagate (context manager returns None).
+
+
+def span(name: str, **fields: object) -> Span:
+    """A new span context manager for the named pipeline stage."""
+    return Span(name, dict(fields))

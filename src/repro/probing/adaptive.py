@@ -25,6 +25,13 @@ from repro.core.exceptions import DataError
 from repro.core.uncertainty import bootstrap_score
 from repro.measurements.collection import MeasurementSet
 from repro.netsim.rng import make_rng
+from repro.obs import counter, get_logger
+
+_logger = get_logger(__name__)
+
+_CI_COMPUTED = counter("adaptive.ci.computed")
+_CI_EMPTY = counter("adaptive.ci.empty_regions")
+_CI_FALLBACKS = counter("adaptive.ci.fallbacks")
 
 from .backends import MeasurementBackend, ProbeRequest
 from .runner import ProbeRunner
@@ -119,6 +126,7 @@ class AdaptiveAllocator:
         for region in self.backend.regions():
             subset = records.for_region(region)
             if len(subset) == 0:
+                _CI_EMPTY.inc()
                 widths[region] = 1.0  # no data: maximal uncertainty
                 continue
             try:
@@ -129,7 +137,16 @@ class AdaptiveAllocator:
                     seed=self.seed,
                 )
                 widths[region] = result.width95
-            except DataError:
+                _CI_COMPUTED.inc()
+            except DataError as exc:
+                # Unscorable region: fall back to maximal uncertainty,
+                # but record that the bootstrap was impossible.
+                _CI_FALLBACKS.inc()
+                _logger.warning(
+                    "CI bootstrap fell back to maximal width: %s",
+                    exc,
+                    extra={"ctx": {"region": region, "samples": len(subset)}},
+                )
                 widths[region] = 1.0
         return widths
 

@@ -20,6 +20,14 @@ from repro.core.config import IQBConfig
 from repro.core.exceptions import DataError
 from repro.core.scoring import score_region
 from repro.measurements.collection import MeasurementSet
+from repro.obs import counter, get_logger
+
+_logger = get_logger(__name__)
+
+_WINDOWS_SCORED = counter("monitor.windows.scored")
+_WINDOWS_THIN = counter("monitor.windows.below_min_samples")
+_WINDOWS_UNSCORABLE = counter("monitor.windows.unscorable")
+_ALERTS = counter("monitor.alerts")
 
 
 @dataclass(frozen=True)
@@ -83,11 +91,22 @@ class BarometerMonitor:
 
     def _score_window(self, records: MeasurementSet) -> Optional[float]:
         if len(records) < self.min_samples:
+            _WINDOWS_THIN.inc()
             return None
         try:
-            return score_region(records.group_by_source(), self.config).value
-        except DataError:
+            value = score_region(records.group_by_source(), self.config).value
+        except DataError as exc:
+            # A window that cannot be scored is an infrastructure event,
+            # not a silent no-op: count it and say why.
+            _WINDOWS_UNSCORABLE.inc()
+            _logger.warning(
+                "window unscorable: %s",
+                exc,
+                extra={"ctx": {"samples": len(records)}},
+            )
             return None
+        _WINDOWS_SCORED.inc()
+        return value
 
     def ingest(
         self,
@@ -131,6 +150,17 @@ class BarometerMonitor:
             history.append(point)
             alert = self._evaluate(region, history)
             if alert is not None:
+                _ALERTS.inc()
+                _logger.warning(
+                    "score drop alert",
+                    extra={
+                        "ctx": {
+                            "region": alert.region,
+                            "score": round(alert.score, 4),
+                            "baseline": round(alert.baseline, 4),
+                        }
+                    },
+                )
                 alerts.append(alert)
         return alerts
 

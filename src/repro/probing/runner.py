@@ -15,13 +15,22 @@ reproducible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.exceptions import BackendError
+from repro.obs import counter, get_logger, timer
 
 from .backends import MeasurementBackend, ProbeRequest
 from .sinks import ResultSink
+
+_logger = get_logger(__name__)
+
+_SCHEDULED = counter("probe.runner.scheduled")
+_SUCCEEDED = counter("probe.runner.succeeded")
+_RETRIED = counter("probe.runner.retried")
+_ABANDONED = counter("probe.runner.abandoned")
 
 
 @dataclass(frozen=True)
@@ -43,10 +52,15 @@ class RunReport:
     abandoned: Tuple[FailedProbe, ...]
 
     @property
-    def success_rate(self) -> float:
-        """Fraction of scheduled probes that eventually succeeded."""
+    def success_rate(self) -> Optional[float]:
+        """Fraction of scheduled probes that eventually succeeded.
+
+        ``None`` when nothing was scheduled: an empty run carries no
+        evidence of health, and reporting it as 1.0 let a monitor that
+        scheduled zero probes read as perfectly healthy.
+        """
         if self.scheduled == 0:
-            return 1.0
+            return None
         return self.succeeded / self.scheduled
 
 
@@ -69,6 +83,9 @@ class ProbeRunner:
         self.backend = backend
         self.sink = sink
         self.max_attempts = max_attempts
+        # Per-backend probe latency histogram, bound once per runner so
+        # the hot loop does no registry lookups.
+        self._latency = timer(f"probe.latency.{type(backend).__name__}")
 
     def run(self, schedule: Iterable[ProbeRequest]) -> RunReport:
         """Execute every request in the schedule.
@@ -81,21 +98,52 @@ class ProbeRunner:
         succeeded = 0
         retried = 0
         abandoned: List[FailedProbe] = []
+        debug = _logger.isEnabledFor(10)  # logging.DEBUG
         for request in schedule:
             scheduled += 1
+            _SCHEDULED.inc()
             last_error = ""
             for attempt in range(1, self.max_attempts + 1):
+                started = time.perf_counter()
                 try:
                     measurement = self.backend.run(request)
                 except BackendError as exc:
+                    self._latency.observe(time.perf_counter() - started)
                     last_error = str(exc)
                     if attempt < self.max_attempts:
                         retried += 1
+                        _RETRIED.inc()
+                        if debug:
+                            _logger.debug(
+                                "probe retry",
+                                extra={
+                                    "ctx": {
+                                        "client": request.client,
+                                        "region": request.region,
+                                        "attempt": attempt,
+                                        "error": last_error,
+                                    }
+                                },
+                            )
                     continue
+                self._latency.observe(time.perf_counter() - started)
                 self.sink.accept(measurement)
                 succeeded += 1
+                _SUCCEEDED.inc()
                 break
             else:
+                _ABANDONED.inc()
+                _logger.warning(
+                    "probe abandoned after %d attempts",
+                    self.max_attempts,
+                    extra={
+                        "ctx": {
+                            "client": request.client,
+                            "region": request.region,
+                            "error": last_error,
+                        }
+                    },
+                )
                 abandoned.append(
                     FailedProbe(
                         request=request,

@@ -110,13 +110,17 @@ class TestSweep:
 
 
 class TestErrorHandling:
-    def test_malformed_input_raises_by_default(self, tmp_path):
-        from repro.core.exceptions import SchemaError
-
+    def test_malformed_input_fails_cleanly_by_default(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text("{broken\n")
-        with pytest.raises(SchemaError):
-            main(["score", str(bad)])
+        assert main(["score", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "iqb: error:" in err
+        assert "bad.jsonl:1" in err
+
+    def test_missing_input_exits_2(self, tmp_path, capsys):
+        assert main(["score", str(tmp_path / "nope.jsonl")]) == 2
+        assert "iqb: error:" in capsys.readouterr().err
 
     def test_malformed_input_skippable(self, campaign_file, tmp_path, capsys):
         mixed = tmp_path / "mixed.jsonl"

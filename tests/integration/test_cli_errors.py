@@ -1,0 +1,143 @@
+"""Subprocess tests for the CLI error paths and the metrics snapshot.
+
+These run ``python -m repro`` as a real child process: the contract
+under test is the *process* one — exit status, one-line stderr, no
+traceback — which in-process ``main()`` calls cannot fully pin down.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+GOOD_LINE = (
+    '{"region": "r1", "source": "ndt", "timestamp": 1.0, '
+    '"download_mbps": 50.0, "upload_mbps": 10.0, "latency_ms": 20.0, '
+    '"packet_loss": 0.01}'
+)
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.jsonl"
+    path.write_text(GOOD_LINE + "\n{broken\n" + GOOD_LINE + "\n")
+    return path
+
+
+class TestMissingInput:
+    def test_exit_2_one_line_no_traceback(self, tmp_path):
+        result = run_cli("score", str(tmp_path / "nonexistent.jsonl"))
+        assert result.returncode == 2
+        assert result.stderr.startswith("iqb: error:")
+        assert len(result.stderr.strip().splitlines()) == 1
+        assert "Traceback" not in result.stderr
+
+    def test_other_readers_share_the_handler(self, tmp_path):
+        result = run_cli("report", str(tmp_path / "gone.jsonl"), "r1")
+        assert result.returncode == 2
+        assert "iqb: error:" in result.stderr
+        assert "Traceback" not in result.stderr
+
+
+class TestMalformedInput:
+    def test_raise_mode_exits_2_with_location(self, dirty_file):
+        result = run_cli("score", str(dirty_file))
+        assert result.returncode == 2
+        assert result.stderr.startswith("iqb: error:")
+        assert "dirty.jsonl:2" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_skip_mode_succeeds_and_warns_on_stderr(self, dirty_file):
+        result = run_cli("score", str(dirty_file), "--on-error", "skip")
+        assert result.returncode == 0
+        assert "r1" in result.stdout
+        assert "skipped 1 malformed line(s)" in result.stderr
+
+    def test_skip_warning_in_jsonl_mode_is_parseable(self, dirty_file):
+        result = run_cli(
+            "--log-json", "score", str(dirty_file), "--on-error", "skip"
+        )
+        assert result.returncode == 0
+        events = [
+            json.loads(line)
+            for line in result.stderr.splitlines()
+            if line.startswith("{")
+        ]
+        skip_events = [
+            e for e in events if "skipped" in e["event"]
+        ]
+        assert skip_events
+        assert skip_events[0]["level"] == "warning"
+        assert skip_events[0]["ctx"] == {"read": 2, "skipped": 1}
+
+
+class TestMetricsCommand:
+    def test_snapshot_covers_the_whole_pipeline(self, dirty_file):
+        result = run_cli(
+            "metrics", str(dirty_file), "--probes", "20",
+            "--failure-rate", "0.3", "--seed", "7",
+        )
+        assert result.returncode == 0
+        snapshot = json.loads(result.stdout)
+        counters = snapshot["counters"]
+        # Probe infrastructure health.
+        assert counters["probe.runner.scheduled"] > 0
+        assert counters["probe.runner.retried"] > 0
+        assert "probe.runner.abandoned" in counters
+        # Ingest accounting from the dirty input file.
+        assert counters["ingest.jsonl.lines"] == 2
+        assert counters["ingest.jsonl.skipped"] == 1
+        # Quantile-cache effectiveness (PR 1's memoization, verified
+        # from a production-style run).
+        assert counters["quantile_cache.columnar.misses"] > 0
+        assert counters["quantile_cache.columnar.hits"] > 0
+        # Per-backend latency histogram and pipeline spans.
+        timers = snapshot["timers"]
+        assert timers["probe.latency.SimulatedBackend"]["count"] > 0
+        for stage in ("pipeline", "probe", "ingest", "score"):
+            assert timers[f"span.{stage}"]["count"] == 1
+
+    def test_text_rendering(self):
+        result = run_cli("metrics", "--probes", "5", "--text")
+        assert result.returncode == 0
+        assert "counter probe.runner.scheduled" in result.stdout
+        assert "timer   span.pipeline" in result.stdout
+
+    def test_debug_logging_emits_span_events(self):
+        result = run_cli(
+            "--log-level", "debug", "--log-json", "metrics", "--probes", "5"
+        )
+        assert result.returncode == 0
+        events = [
+            json.loads(line)
+            for line in result.stderr.splitlines()
+            if line.startswith("{")
+        ]
+        span_paths = {
+            e["ctx"]["span"]
+            for e in events
+            if e["event"] == "span exit" and "span" in e.get("ctx", {})
+        }
+        assert "pipeline" in span_paths
+        assert "pipeline/score/score_regions" in span_paths

@@ -1,0 +1,97 @@
+"""Unit tests for repro.obs.logs (setup, formatters, JSONL shape)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    JsonlFormatter,
+    TextFormatter,
+    get_logger,
+    parse_level,
+    setup_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Leave the shared 'repro' logger as we found it."""
+    logger = logging.getLogger("repro")
+    saved = (logger.level, list(logger.handlers), logger.propagate)
+    yield
+    logger.setLevel(saved[0])
+    logger.handlers = saved[1]
+    logger.propagate = saved[2]
+
+
+def record(msg="hello", ctx=None, level=logging.INFO):
+    rec = logging.LogRecord(
+        name="repro.test", level=level, pathname=__file__, lineno=1,
+        msg=msg, args=(), exc_info=None,
+    )
+    if ctx is not None:
+        rec.ctx = ctx
+    return rec
+
+
+class TestFormatters:
+    def test_jsonl_is_one_parseable_object(self):
+        line = JsonlFormatter().format(record("event happened", {"n": 3}))
+        document = json.loads(line)
+        assert document["event"] == "event happened"
+        assert document["level"] == "info"
+        assert document["logger"] == "repro.test"
+        assert document["ctx"] == {"n": 3}
+        assert "\n" not in line
+
+    def test_jsonl_without_ctx_omits_key(self):
+        document = json.loads(JsonlFormatter().format(record()))
+        assert "ctx" not in document
+
+    def test_text_format_includes_ctx_pairs(self):
+        line = TextFormatter().format(record("skipped", {"path": "x.jsonl"}))
+        assert "repro.test: skipped" in line
+        assert "path=x.jsonl" in line
+
+
+class TestSetup:
+    def test_installs_single_handler_idempotently(self):
+        logger = setup_logging(level="info")
+        setup_logging(level="debug")
+        marked = [
+            h for h in logger.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(marked) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_level_controls_emission(self):
+        stream = io.StringIO()
+        setup_logging(level="error", stream=stream)
+        get_logger("unit").warning("not shown")
+        get_logger("unit").error("shown")
+        output = stream.getvalue()
+        assert "not shown" not in output
+        assert "shown" in output
+
+    def test_json_mode_emits_jsonl(self):
+        stream = io.StringIO()
+        setup_logging(level="info", json_mode=True, stream=stream)
+        get_logger("unit").info("structured", extra={"ctx": {"k": "v"}})
+        document = json.loads(stream.getvalue().strip())
+        assert document["event"] == "structured"
+        assert document["ctx"] == {"k": "v"}
+
+
+class TestHelpers:
+    def test_get_logger_prefixes_bare_names(self):
+        assert get_logger("ingest").name == "repro.ingest"
+        assert get_logger("repro.measurements.io").name == "repro.measurements.io"
+
+    def test_parse_level(self):
+        assert parse_level("DEBUG") == logging.DEBUG
+        assert parse_level("warning") == logging.WARNING
+        with pytest.raises(ValueError, match="unknown log level"):
+            parse_level("loud")

@@ -1,0 +1,51 @@
+"""Unit tests for repro.obs.spans (nesting, timing, error paths)."""
+
+import pytest
+
+from repro.obs import REGISTRY, current_span, span
+
+
+class TestSpan:
+    def test_records_duration_into_timer(self):
+        t = REGISTRY.timer("span.unit_test_stage")
+        before = t.count
+        with span("unit_test_stage"):
+            pass
+        assert t.count == before + 1
+
+    def test_duration_populated_on_exit(self):
+        with span("outer") as s:
+            assert s.duration is None
+        assert s.duration is not None
+        assert s.duration >= 0.0
+
+    def test_nesting_builds_paths_and_depths(self):
+        with span("parent") as parent:
+            assert parent.path == "parent"
+            assert parent.depth == 0
+            with span("child") as child:
+                assert child.path == "parent/child"
+                assert child.depth == 1
+                with span("grandchild") as grandchild:
+                    assert grandchild.path == "parent/child/grandchild"
+                    assert grandchild.depth == 2
+
+    def test_current_span_tracks_stack(self):
+        assert current_span() is None
+        with span("a") as a:
+            assert current_span() is a
+            with span("b") as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_exception_propagates_and_pops_stack(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("failing"):
+                raise RuntimeError("boom")
+        assert current_span() is None
+
+    def test_annotate_merges_fields(self):
+        with span("stage", items=3) as s:
+            s.annotate(regions=2)
+        assert s.fields == {"items": 3, "regions": 2}

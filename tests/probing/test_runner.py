@@ -94,10 +94,13 @@ class TestRunner:
         with pytest.raises(RuntimeError, match="genuine bug"):
             runner.run([request(0)])
 
-    def test_empty_schedule(self):
+    def test_empty_schedule_has_no_success_rate(self):
         report = ProbeRunner(ScriptedBackend(), MemorySink()).run([])
         assert report.scheduled == 0
-        assert report.success_rate == 1.0
+        # "Nothing ran" must be distinguishable from "everything
+        # succeeded" — a monitor that scheduled zero probes is not
+        # healthy, it is blind.
+        assert report.success_rate is None
 
     def test_max_attempts_validated(self):
         with pytest.raises(ValueError):
