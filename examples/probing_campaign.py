@@ -7,16 +7,24 @@ and deliver results simultaneously to (a) a durable JSONL archive and
 (b) an O(1)-memory streaming-quantile sink that can feed the IQB scorer
 directly — the architecture a long-running deployment would use.
 
+While the campaign runs, a :class:`~repro.obs.TelemetryServer` exposes
+``/metrics`` (Prometheus), ``/metrics.json``, and ``/healthz`` on an
+ephemeral port, and at the end a :class:`~repro.obs.RunManifest`
+records what ran: inputs hashed, config digested, and the full metrics
+snapshot — the provenance a published score should carry.
+
 Usage::
 
     python examples/probing_campaign.py
 """
 
 import tempfile
+import urllib.request
 from pathlib import Path
 
 from repro.core import paper_config, score_region
-from repro.measurements import read_jsonl
+from repro.measurements import IngestStats, read_jsonl
+from repro.obs import RunContext, TelemetryServer
 from repro.probing import (
     DiurnalSchedule,
     FanOutSink,
@@ -46,7 +54,11 @@ def main() -> None:
         seed=SEED,
     )
 
-    with tempfile.TemporaryDirectory() as tmp:
+    run = RunContext(["examples/probing_campaign.py"])
+    with tempfile.TemporaryDirectory() as tmp, TelemetryServer() as telemetry:
+        print(f"Telemetry live at {telemetry.url('/metrics')} "
+              "(also /metrics.json, /healthz)")
+
         archive = Path(tmp) / "campaign.jsonl"
         memory = MemorySink()
         streaming = StreamingQuantileSink()
@@ -66,9 +78,18 @@ def main() -> None:
             f"{report.retried} retries, "
             f"{len(report.abandoned)} abandoned."
         )
-        print(f"Archived {len(read_jsonl(archive))} records to JSONL.\n")
+        stats = IngestStats()
+        archived = read_jsonl(archive, stats=stats)
+        run.add_input(archive, stats)
+        print(f"Archived {len(archived)} records to JSONL.\n")
+
+        # One scrape of our own endpoint, like a Prometheus server would.
+        with urllib.request.urlopen(telemetry.url("/healthz")) as response:
+            print(f"Self-scrape /healthz -> {response.status} "
+                  f"{response.read().decode()[:72]}...\n")
 
         config = paper_config()
+        run.set_config(config)
         print("Scores from the in-memory record set (exact percentiles):")
         records = memory.as_set()
         for region in records.regions():
@@ -82,6 +103,16 @@ def main() -> None:
         print(
             "\nThe two agree closely; the streaming path never stored a "
             "raw measurement."
+        )
+
+        manifest_path = Path(tmp) / "campaign.manifest.json"
+        manifest = run.build()
+        manifest.save(manifest_path)
+        print(
+            f"\nManifest: {len(manifest.inputs)} input(s) hashed, "
+            f"config sha256 {manifest.config_sha256[:12]}..., "
+            f"{len(manifest.metrics['counters'])} counters snapshotted "
+            f"(written to {manifest_path.name})."
         )
 
 

@@ -15,6 +15,7 @@ from repro.core.config import IQBConfig, paper_config
 from repro.core.scoring import ScoreBreakdown, score_regions
 from repro.core.targets import metric_targets
 from repro.measurements.collection import MeasurementSet
+from repro.obs import span
 
 from .national import national_score
 from .ranking import rank_regions
@@ -40,17 +41,21 @@ def build_publication(
             publish) — via the underlying scorers.
     """
     config = config or paper_config()
-    # Batch fast path: one grouping pass + shared columns for all regions.
-    breakdowns = score_regions(records, config)
+    with span("publish", measurements=len(records)) as stage:
+        # Batch fast path: one grouping pass + shared columns for all
+        # regions.
+        breakdowns = score_regions(records, config)
+        stage.annotate(regions=len(breakdowns))
 
-    sections: List[str] = [f"# {title}", ""]
-    sections.extend(_headline_section(breakdowns, populations))
-    sections.extend(_regional_table(records, breakdowns))
-    for region, _ in rank_regions(
-        {name: b.value for name, b in breakdowns.items()}
-    ):
-        sections.extend(_region_section(region, breakdowns[region]))
-    sections.extend(_provenance_section(records, config))
+        with span("publish_render"):
+            sections: List[str] = [f"# {title}", ""]
+            sections.extend(_headline_section(breakdowns, populations))
+            sections.extend(_regional_table(records, breakdowns))
+            for region, _ in rank_regions(
+                {name: b.value for name, b in breakdowns.items()}
+            ):
+                sections.extend(_region_section(region, breakdowns[region]))
+            sections.extend(_provenance_section(records, config))
     return "\n".join(sections)
 
 

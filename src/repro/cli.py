@@ -18,11 +18,23 @@ Subcommands:
 * ``monitor``  — replay a measurement file through the alerting monitor;
 * ``adaptive`` — demonstrate uncertainty-driven probe allocation;
 * ``metrics``  — run a pipeline end to end and dump the observability
-  snapshot (probe retries/abandons, ingest skips, cache hit rates).
+  snapshot (probe retries/abandons, ingest skips, cache hit rates) as
+  JSON, text, or Prometheus exposition (``--format prom``);
+* ``runs``     — list and diff run-provenance manifests.
 
 Global flags: ``--log-level {debug,info,warning,error}`` and
 ``--log-json`` configure structured logging for every subcommand
 (events go to stderr; stdout stays clean for command output).
+Live-operations flags, also global:
+
+* ``--telemetry-port N`` — serve ``/metrics`` (Prometheus),
+  ``/metrics.json``, and ``/healthz`` while a long-running subcommand
+  (``monitor``, ``adaptive``) executes; port 0 picks an ephemeral one.
+* ``--trace-out PATH`` — record every pipeline span and write a Chrome
+  trace-event JSON (open in Perfetto / ``chrome://tracing``).
+* ``--manifest-out PATH`` — write the run-provenance manifest (command,
+  config digest, input SHA-256s, metrics snapshot, outputs).
+  ``publish --output X`` writes ``X.manifest.json`` automatically.
 
 Every command is pure stdlib ``argparse`` over the library API, so the
 CLI is also living documentation of the public surface. Operational
@@ -43,14 +55,65 @@ from repro.core.config import IQBConfig, paper_config
 from repro.core.exceptions import SchemaError
 from repro.core.framework import IQBFramework
 from repro.core.sensitivity import percentile_sweep
-from repro.measurements.io import read_jsonl, write_jsonl
+from repro.measurements.io import IngestStats, read_jsonl, write_jsonl
 from repro.netsim.population import REGION_PRESETS, region_preset
 from repro.netsim.simulator import CampaignConfig, simulate_regions
-from repro.obs import setup_logging
+from repro.obs import (
+    RunContext,
+    TelemetryServer,
+    TraceRecorder,
+    install_trace_recorder,
+    setup_logging,
+    uninstall_trace_recorder,
+    write_chrome_trace,
+)
+from repro.obs.manifest import MANIFEST_SUFFIX, RunManifest
+
+#: The active invocation's provenance accumulator (set by :func:`main`;
+#: commands register configs/inputs/outputs on it as they run).
+_RUN: Optional[RunContext] = None
+
+#: The live telemetry endpoint, when a subcommand started one. Module
+#: visible so an embedding test can reach the ephemeral port mid-run.
+_TELEMETRY: Optional[TelemetryServer] = None
 
 
 def _load_config(path: Optional[str]) -> IQBConfig:
-    return paper_config() if path is None else IQBConfig.load(path)
+    config = paper_config() if path is None else IQBConfig.load(path)
+    if _RUN is not None:
+        _RUN.set_config(config)
+    return config
+
+
+def _read_measurements(args: argparse.Namespace):
+    """Read the command's input file, recording provenance as we go."""
+    stats = IngestStats()
+    records = read_jsonl(args.input, on_error=args.on_error, stats=stats)
+    if _RUN is not None:
+        _RUN.add_input(args.input, stats)
+    return records
+
+
+def _start_telemetry(args: argparse.Namespace) -> Optional[TelemetryServer]:
+    """Bring up the telemetry endpoint when ``--telemetry-port`` is set."""
+    global _TELEMETRY
+    if getattr(args, "telemetry_port", None) is None:
+        return None
+    server = TelemetryServer(
+        port=args.telemetry_port,
+        stalled_after_s=getattr(args, "stalled_after", None),
+    )
+    server.start()
+    _TELEMETRY = server
+    print(f"telemetry: listening on http://{server.address}", file=sys.stderr)
+    return server
+
+
+def _stop_telemetry(server: Optional[TelemetryServer]) -> None:
+    global _TELEMETRY
+    if server is not None:
+        server.stop()
+    _TELEMETRY = None
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -64,12 +127,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     records = simulate_regions(profiles, seed=args.seed, config=campaign)
     count = write_jsonl(records, args.output)
+    if _RUN is not None:
+        _RUN.add_output(args.output)
     print(f"wrote {count} measurements for {len(profiles)} regions to {args.output}")
     return 0
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     if args.lint:
         from repro.core.lint import lint_config
@@ -96,7 +161,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     print(region_report(records, args.region, config))
     return 0
@@ -119,7 +184,7 @@ def _cmd_tiers(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     sources = records.for_region(args.region).group_by_source()
     sweep = percentile_sweep(sources, config, percentiles=args.percentiles)
@@ -136,7 +201,7 @@ def _cmd_trend(args: argparse.Namespace) -> int:
     from repro.analysis.temporal import score_time_series, trend
     from repro.core.exceptions import DataError
 
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     points = score_time_series(
         records,
@@ -171,7 +236,7 @@ def _cmd_trend(args: argparse.Namespace) -> int:
 def _cmd_peak(args: argparse.Namespace) -> int:
     from repro.analysis.temporal import peak_vs_offpeak
 
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     contrast = peak_vs_offpeak(records, args.region, config)
     fmt = lambda v: "n/a" if v is None else f"{v:.3f}"
@@ -192,7 +257,7 @@ def _cmd_equity(args: argparse.Namespace) -> int:
         scores_by_technology,
     )
 
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     analyze = scores_by_isp if args.by == "isp" else scores_by_technology
     breakdown = analyze(records, args.region, config)
@@ -220,7 +285,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.compare import attribute_difference, render_attribution
     from repro.core.scoring import score_region
 
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     breakdowns = []
     for region in (args.region_a, args.region_b):
@@ -238,7 +303,7 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 
     from repro.analysis.publish import build_publication
 
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     populations = None
     if args.populations:
@@ -251,6 +316,8 @@ def _cmd_publish(args: argparse.Namespace) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(document + "\n")
+        if _RUN is not None:
+            _RUN.add_output(args.output)
         print(f"wrote publication to {args.output}")
     else:
         print(document)
@@ -260,7 +327,7 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 def _cmd_label(args: argparse.Namespace) -> int:
     from repro.analysis.scorecard import build_scorecard, render_scorecard
 
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     card = build_scorecard(records, args.region, config)
     print(render_scorecard(card))
@@ -268,9 +335,11 @@ def _cmd_label(args: argparse.Namespace) -> int:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
+    import time as time_module
+
     from repro.probing.monitor import BarometerMonitor
 
-    records = read_jsonl(args.input, on_error=args.on_error)
+    records = _read_measurements(args)
     config = _load_config(args.config)
     if len(records) == 0:
         print("no measurements to monitor")
@@ -284,26 +353,35 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     end = max(timestamps)
     total_alerts = 0
     window_start = start
-    while window_start <= end:
-        window_end = window_start + width
-        alerts = monitor.ingest(records, window_start, window_end)
-        day = (window_start - start) / 86400.0
-        if alerts:
-            total_alerts += len(alerts)
-            for alert in alerts:
-                print(f"window +{day:.1f}d: {alert}")
-        elif args.verbose:
-            scores = ", ".join(
-                f"{region}="
-                + (
-                    "n/a"
-                    if monitor.history(region)[-1].score is None
-                    else f"{monitor.history(region)[-1].score:.3f}"
+    telemetry = _start_telemetry(args)
+    try:
+        while window_start <= end:
+            window_end = window_start + width
+            alerts = monitor.ingest(records, window_start, window_end)
+            day = (window_start - start) / 86400.0
+            if alerts:
+                total_alerts += len(alerts)
+                for alert in alerts:
+                    print(f"window +{day:.1f}d: {alert}")
+            elif args.verbose:
+                scores = ", ".join(
+                    f"{region}="
+                    + (
+                        "n/a"
+                        if monitor.history(region)[-1].score is None
+                        else f"{monitor.history(region)[-1].score:.3f}"
+                    )
+                    for region in monitor.regions()
                 )
-                for region in monitor.regions()
-            )
-            print(f"window +{day:.1f}d: ok ({scores})")
-        window_start = window_end
+                print(f"window +{day:.1f}d: ok ({scores})")
+            if args.cycle_sleep > 0:
+                # Pace the replay in real time — this is how a live
+                # campaign looks to a telemetry scraper, and how the
+                # integration tests curl a running monitor.
+                time_module.sleep(args.cycle_sleep)
+            window_start = window_end
+    finally:
+        _stop_telemetry(telemetry)
     print(f"{total_alerts} alert(s) over {len(records)} measurements")
     return 0
 
@@ -321,15 +399,19 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
             profiles=profiles, seed=args.seed, subscribers=args.subscribers
         )
 
-    adaptive = AdaptiveAllocator(
-        backend(),
-        config,
-        seed=args.seed,
-        pilot_per_region=args.pilot,
-    ).run(total_budget=args.budget, rounds=args.rounds)
-    uniform = uniform_campaign(
-        backend(), config, total_budget=args.budget, seed=args.seed
-    )
+    telemetry = _start_telemetry(args)
+    try:
+        adaptive = AdaptiveAllocator(
+            backend(),
+            config,
+            seed=args.seed,
+            pilot_per_region=args.pilot,
+        ).run(total_budget=args.budget, rounds=args.rounds)
+        uniform = uniform_campaign(
+            backend(), config, total_budget=args.budget, seed=args.seed
+        )
+    finally:
+        _stop_telemetry(telemetry)
     adaptive_counts = adaptive.tests_per_region()
     uniform_counts = uniform.tests_per_region()
     rows = [
@@ -401,13 +483,75 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             runner.run(schedule)
         with span("ingest"):
             if args.input:
-                records = read_jsonl(args.input, on_error=args.on_error)
+                records = _read_measurements(args)
             else:
                 records = sink.as_set()
         with span("score"):
             if len(records):
                 score_regions(records, config)
-    print(REGISTRY.render_text() if args.text else REGISTRY.render_json())
+    chosen = args.format or ("text" if args.text else "json")
+    if chosen == "prom":
+        print(REGISTRY.render_prometheus(), end="")
+    elif chosen == "text":
+        print(REGISTRY.render_text())
+    else:
+        print(REGISTRY.render_json())
+    return 0
+
+
+def _load_manifest(path: str) -> RunManifest:
+    """Load one manifest, mapping malformed JSON to a CLI-level error."""
+    import json as json_module
+
+    try:
+        return RunManifest.load(path)
+    except json_module.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not a manifest: {exc}") from exc
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.obs import find_manifests
+
+    paths = find_manifests(args.paths)
+    if not paths:
+        print("no manifests found")
+        return 0
+    rows = []
+    for path in paths:
+        manifest = _load_manifest(str(path))
+        command = " ".join(manifest.command) or "(unknown)"
+        if len(command) > 44:
+            command = command[:41] + "..."
+        started = time_module.strftime(
+            "%Y-%m-%d %H:%M:%SZ", time_module.gmtime(manifest.started_unix)
+        )
+        rows.append(
+            (
+                path.name,
+                command,
+                started,
+                f"{manifest.duration_s:.2f}s",
+                len(manifest.inputs),
+                len(manifest.outputs),
+            )
+        )
+    print(
+        render_table(
+            ["Manifest", "Command", "Started (UTC)", "Duration", "In", "Out"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import render_diff
+
+    manifest_a = _load_manifest(args.manifest_a)
+    manifest_b = _load_manifest(args.manifest_b)
+    print(render_diff(manifest_a, manifest_b))
     return 0
 
 
@@ -427,6 +571,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json",
         action="store_true",
         help="emit log events as JSONL instead of human text",
+    )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /metrics.json, /healthz while a "
+        "long-running subcommand (monitor, adaptive) executes "
+        "(0 = ephemeral port; address printed to stderr)",
+    )
+    parser.add_argument(
+        "--stalled-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="healthz reports 503 when no monitor cycle completed "
+        "within this many seconds (requires --telemetry-port)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record every pipeline span and write a Chrome "
+        "trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="write the run-provenance manifest (command, config "
+        "digest, input SHA-256s, metrics snapshot) to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -556,6 +731,14 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--verbose", action="store_true", help="print quiet windows too"
     )
+    monitor.add_argument(
+        "--cycle-sleep",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between windows to pace the replay in real time "
+        "(useful with --telemetry-port)",
+    )
     monitor.set_defaults(func=_cmd_monitor)
 
     adaptive = sub.add_parser(
@@ -615,11 +798,39 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--subscribers", type=int, default=25)
     metrics.add_argument("--seed", type=int, default=42)
     metrics.add_argument(
+        "--format",
+        choices=("json", "text", "prom"),
+        default=None,
+        help="snapshot rendering: JSON (default), aligned text, or "
+        "Prometheus text exposition",
+    )
+    metrics.add_argument(
         "--text",
         action="store_true",
-        help="human-readable snapshot instead of JSON",
+        help="alias for --format text",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    runs = sub.add_parser(
+        "runs", help="list and diff run-provenance manifests"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="tabulate manifests (files or directories)"
+    )
+    runs_list.add_argument(
+        "paths",
+        nargs="+",
+        help="manifest files, or directories searched for "
+        "*.manifest.json",
+    )
+    runs_list.set_defaults(func=_cmd_runs_list)
+    runs_diff = runs_sub.add_parser(
+        "diff", help="config/counter/timer deltas between two runs"
+    )
+    runs_diff.add_argument("manifest_a", help="baseline manifest")
+    runs_diff.add_argument("manifest_b", help="comparison manifest")
+    runs_diff.set_defaults(func=_cmd_runs_diff)
 
     return parser
 
@@ -631,15 +842,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     files) exit 2 with a one-line ``iqb: error: ...`` on stderr;
     anything else propagating out of a command is a bug and keeps its
     traceback.
+
+    Provenance and tracing are run-scoped: a fresh :class:`RunContext`
+    accumulates config/input/output registrations across the command,
+    and ``--trace-out`` installs a span recorder for exactly this
+    invocation. Both artifacts are written only after the command
+    succeeds — a failed run leaves no half-true provenance behind.
     """
+    global _RUN
     parser = build_parser()
     args = parser.parse_args(argv)
     setup_logging(level=args.log_level, json_mode=args.log_json)
+    _RUN = RunContext(argv if argv is not None else sys.argv[1:])
+    recorder: Optional[TraceRecorder] = None
+    if args.trace_out:
+        recorder = TraceRecorder()
+        install_trace_recorder(recorder)
     try:
-        return args.func(args)
+        code = args.func(args)
+        manifest_out = args.manifest_out
+        if (
+            manifest_out is None
+            and args.command == "publish"
+            and getattr(args, "output", None)
+        ):
+            # Publication artifacts carry their provenance alongside.
+            manifest_out = args.output + MANIFEST_SUFFIX
+        if recorder is not None:
+            uninstall_trace_recorder()
+            spans_written = write_chrome_trace(recorder, args.trace_out)
+            print(
+                f"trace: wrote {spans_written} span(s) to {args.trace_out}",
+                file=sys.stderr,
+            )
+            recorder = None
+        if manifest_out is not None:
+            _RUN.write(manifest_out)
+            print(f"manifest: wrote {manifest_out}", file=sys.stderr)
+        return code
     except (OSError, SchemaError) as exc:
         print(f"iqb: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            uninstall_trace_recorder()
+        _RUN = None
 
 
 if __name__ == "__main__":

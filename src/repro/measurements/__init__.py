@@ -22,6 +22,7 @@ from .calibration import (
 from .collection import MeasurementSet
 from .columnar import ColumnarStore, ColumnarView
 from .io import (
+    IngestStats,
     iter_jsonl,
     read_csv,
     read_jsonl,
@@ -48,6 +49,7 @@ __all__ = [
     "ColumnarView",
     "DEFAULT_PUBLISHED_PERCENTILES",
     "ExactQuantiles",
+    "IngestStats",
     "Measurement",
     "MeasurementSet",
     "MetricAggregate",

@@ -118,14 +118,21 @@ def iter_jsonl(
             yield record
 
 
-def read_jsonl(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
+def read_jsonl(
+    path: _PathLike,
+    on_error: str = "raise",
+    stats: Optional[IngestStats] = None,
+) -> MeasurementSet:
     """Load a whole JSONL file into a MeasurementSet.
 
     In ``on_error="skip"`` mode, a file with malformed lines loads the
     good records and logs one WARNING with the skip count (also visible
-    as the ``ingest.jsonl.skipped`` counter).
+    as the ``ingest.jsonl.skipped`` counter). Pass ``stats`` to receive
+    this call's exact read/skip counts (run-provenance manifests record
+    them per input file).
     """
-    stats = IngestStats()
+    if stats is None:
+        stats = IngestStats()
     records = MeasurementSet._adopt(
         list(iter_jsonl(path, on_error=on_error, stats=stats)), shared=False
     )
@@ -161,16 +168,22 @@ def write_csv(records: MeasurementSet, path: _PathLike) -> int:
     return count
 
 
-def read_csv(path: _PathLike, on_error: str = "raise") -> MeasurementSet:
+def read_csv(
+    path: _PathLike,
+    on_error: str = "raise",
+    stats: Optional[IngestStats] = None,
+) -> MeasurementSet:
     """Load measurements from a CSV produced by :func:`write_csv`.
 
     Unknown extra columns are ignored; missing metric cells become None.
     In ``on_error="skip"`` mode, dropped rows are counted
-    (``ingest.csv.skipped``) and reported with one WARNING.
+    (``ingest.csv.skipped``) and reported with one WARNING. ``stats``
+    receives this call's read/skip counts, as in :func:`read_jsonl`.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
-    stats = IngestStats()
+    if stats is None:
+        stats = IngestStats()
     records = []
     with open(path, "r", encoding="utf-8", newline="") as handle:
         reader = csv.DictReader(handle)

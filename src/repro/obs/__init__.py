@@ -1,4 +1,5 @@
-"""Observability for the barometer pipeline: metrics, logs, spans.
+"""Observability for the barometer pipeline: metrics, logs, spans — and
+their export half: exposition, telemetry HTTP, traces, manifests.
 
 The operational-telemetry layer every subsystem reports into:
 
@@ -6,21 +7,43 @@ The operational-telemetry layer every subsystem reports into:
   snapshot, in-place reset, and JSON/text renderers;
 * :mod:`.logs` — structured logging setup (human text or JSONL),
   wired to the CLI's ``--log-level`` / ``--log-json`` flags;
-* :mod:`.spans` — nested context managers timing pipeline stages.
+* :mod:`.spans` — nested context managers timing pipeline stages,
+  with an installable :class:`TraceRecorder` capturing every
+  completed span;
+
+and the layer that gets those signals *out of the process*:
+
+* :mod:`.exposition` — Prometheus/OpenMetrics text rendering;
+* :mod:`.httpd` — the ``/metrics`` / ``/metrics.json`` / ``/healthz``
+  telemetry endpoint for long-running campaigns;
+* :mod:`.trace` — Chrome trace-event JSON export (Perfetto-loadable
+  stage flamegraphs);
+* :mod:`.manifest` — per-run provenance manifests and their diffing.
 
 Import discipline: this package depends only on the stdlib at import
-time (the t-digest behind :class:`~repro.obs.registry.Timer` loads
-lazily), so any repro module may import it without cycles.
+time (the t-digest behind :class:`~repro.obs.registry.Timer` and the
+package version referenced by manifests load lazily), so any repro
+module may import it without cycles.
 """
 
 from __future__ import annotations
 
+from .exposition import prometheus_name, render_prometheus
+from .httpd import TelemetryServer
 from .logs import (
     JsonlFormatter,
     TextFormatter,
     get_logger,
     parse_level,
     setup_logging,
+)
+from .manifest import (
+    RunContext,
+    RunManifest,
+    diff_manifests,
+    file_digest,
+    find_manifests,
+    render_diff,
 )
 from .registry import (
     REGISTRY,
@@ -34,7 +57,17 @@ from .registry import (
     snapshot,
     timer,
 )
-from .spans import Span, current_span, span
+from .spans import (
+    Span,
+    SpanRecord,
+    TraceRecorder,
+    current_span,
+    get_trace_recorder,
+    install_trace_recorder,
+    span,
+    uninstall_trace_recorder,
+)
+from .trace import to_chrome_trace, write_chrome_trace
 
 __all__ = [
     "REGISTRY",
@@ -42,17 +75,33 @@ __all__ = [
     "Gauge",
     "JsonlFormatter",
     "MetricsRegistry",
+    "RunContext",
+    "RunManifest",
     "Span",
+    "SpanRecord",
+    "TelemetryServer",
     "TextFormatter",
     "Timer",
+    "TraceRecorder",
     "counter",
     "current_span",
+    "diff_manifests",
+    "file_digest",
+    "find_manifests",
     "gauge",
     "get_logger",
+    "get_trace_recorder",
+    "install_trace_recorder",
     "parse_level",
+    "prometheus_name",
+    "render_diff",
+    "render_prometheus",
     "reset",
     "setup_logging",
     "snapshot",
     "span",
     "timer",
+    "to_chrome_trace",
+    "uninstall_trace_recorder",
+    "write_chrome_trace",
 ]

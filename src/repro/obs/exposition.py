@@ -1,0 +1,97 @@
+"""Prometheus/OpenMetrics text exposition for the metrics registry.
+
+Maps the registry's dotted instrument names onto the Prometheus data
+model so any scraper (or ``curl``) can consume a live pipeline:
+
+* counters  → ``iqb_<name>_total`` with ``# TYPE ... counter``;
+* gauges    → ``iqb_<name>`` with ``# TYPE ... gauge``;
+* timers    → summary-style families ``iqb_<name>_seconds`` with
+  ``{quantile="0.5"|"0.95"|"1.0"}`` series (p50/p95/max straight from
+  the t-digest) plus the conventional ``_sum`` and ``_count`` samples.
+
+Name mangling is the standard one: every character outside
+``[a-zA-Z0-9_]`` becomes ``_`` (so ``probe.runner.retried`` →
+``iqb_probe_runner_retried_total``), and the original dotted name is
+preserved verbatim in the ``# HELP`` line so an operator can map a
+scraped series back to the instrument documented in
+``docs/methodology.md``. Everything here renders from a registry
+*snapshot*, so one exposition call costs the same as ``iqb metrics``
+and holds no locks while formatting.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import MetricsRegistry
+
+#: The exposition format this module emits (Prometheus text format).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Quantile label values emitted per timer, and the snapshot keys that
+#: back them (the registry snapshot already holds digest quantiles).
+_TIMER_QUANTILES = (("0.5", "p50_s"), ("0.95", "p95_s"), ("1.0", "max_s"))
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(dotted: str, prefix: str = "iqb") -> str:
+    """A valid Prometheus metric name for a dotted instrument name.
+
+    The prefix keeps every exported family in one namespace and
+    guarantees the first character is legal even for instrument names
+    that start with a digit.
+    """
+    return f"{prefix}_{_INVALID_CHARS.sub('_', dotted)}"
+
+
+def _format_value(value: object) -> str:
+    """Render a sample value the Prometheus parser accepts."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """The whole registry as Prometheus text exposition (format 0.0.4).
+
+    Families are emitted in sorted-name order, each with ``# HELP``
+    (carrying the original dotted instrument name) and ``# TYPE``
+    lines. Timers with no observations still expose ``_count``/``_sum``
+    (both zero) but omit quantile series — a quantile of an empty
+    digest has no value, and Prometheus treats an absent series as
+    exactly that.
+    """
+    snap = registry.snapshot()
+    lines: List[str] = []
+
+    for dotted, value in snap["counters"].items():
+        name = prometheus_name(dotted) + "_total"
+        lines.append(f"# HELP {name} IQB counter {dotted}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(value)}")
+
+    for dotted, value in snap["gauges"].items():
+        name = prometheus_name(dotted)
+        lines.append(f"# HELP {name} IQB gauge {dotted}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+
+    for dotted, stats in snap["timers"].items():
+        name = prometheus_name(dotted) + "_seconds"
+        lines.append(f"# HELP {name} IQB timer {dotted} (seconds)")
+        lines.append(f"# TYPE {name} summary")
+        if stats["count"]:
+            for label, key in _TIMER_QUANTILES:
+                lines.append(
+                    f'{name}{{quantile="{label}"}} '
+                    f"{_format_value(stats[key])}"
+                )
+        lines.append(f"{name}_sum {_format_value(stats['total_s'])}")
+        lines.append(f"{name}_count {_format_value(stats['count'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""

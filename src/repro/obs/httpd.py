@@ -1,0 +1,226 @@
+"""The telemetry endpoint: live metrics over HTTP for long-running runs.
+
+A deployed barometer campaign (``iqb monitor``/``iqb adaptive`` with
+``--telemetry-port``, or any embedding application) serves its own
+operational state so the measurement *infrastructure* is observable
+with the same rigor as the measurements:
+
+* ``GET /metrics``      — Prometheus text exposition (scrape target);
+* ``GET /metrics.json`` — the registry snapshot as JSON (the same
+  document ``iqb metrics`` prints);
+* ``GET /healthz``      — liveness JSON: uptime, cycle progress, alert
+  and unscorable-window counts; HTTP 503 once the pipeline looks
+  stalled (no completed cycle within ``stalled_after_s``).
+
+The server is a daemon-threaded stdlib ``http.server`` — it never
+blocks pipeline work or process exit, and serving a scrape costs one
+registry snapshot. Binding port 0 picks an ephemeral port (the bound
+port is returned from :meth:`TelemetryServer.start`), which is also how
+the integration tests run against a live campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .exposition import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from .logs import get_logger
+from .registry import REGISTRY, MetricsRegistry, counter
+
+_logger = get_logger(__name__)
+
+_REQUESTS = counter("telemetry.http.requests")
+_NOT_FOUND = counter("telemetry.http.not_found")
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes the three telemetry endpoints; everything else is 404."""
+
+    server: "_TelemetryHTTPServer"
+
+    # Silence the default stderr access log; scrapes are periodic and
+    # the request counter already accounts for them.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        _REQUESTS.inc()
+        telemetry = self.server.telemetry
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = telemetry.registry.render_prometheus()
+            self._reply(200, _PROM_CONTENT_TYPE, body)
+        elif path == "/metrics.json":
+            body = telemetry.registry.render_json() + "\n"
+            self._reply(200, "application/json; charset=utf-8", body)
+        elif path == "/healthz":
+            status, document = telemetry.health()
+            body = json.dumps(document, indent=2, sort_keys=True) + "\n"
+            self._reply(status, "application/json; charset=utf-8", body)
+        else:
+            _NOT_FOUND.inc()
+            self._reply(
+                404,
+                "text/plain; charset=utf-8",
+                "not found; try /metrics, /metrics.json, /healthz\n",
+            )
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    telemetry: "TelemetryServer"
+
+
+class TelemetryServer:
+    """Serves a registry's metrics and a health verdict over HTTP.
+
+    Usage::
+
+        server = TelemetryServer(port=0)       # ephemeral port
+        port = server.start()
+        ...                                    # run the campaign
+        server.stop()
+
+    Args:
+        registry: metrics source (default: the process registry).
+        host: bind address (default loopback; bind explicitly to
+            expose beyond the machine).
+        port: TCP port; 0 asks the OS for an ephemeral one.
+        stalled_after_s: when set, ``/healthz`` reports 503 once the
+            ``monitor.last_cycle_unix`` gauge is older than this many
+            seconds (a campaign that stopped completing cycles is down
+            even though the process is up). ``None`` disables the
+            check; :meth:`mark_stalled` forces a 503 either way.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stalled_after_s: Optional[float] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        self.host = host
+        self.stalled_after_s = stalled_after_s
+        self._requested_port = port
+        self._server: Optional[_TelemetryHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_unix: Optional[float] = None
+        self._stalled_reason: Optional[str] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        if self._server is not None:
+            return self.port
+        server = _TelemetryHTTPServer(
+            (self.host, self._requested_port), _TelemetryHandler
+        )
+        server.telemetry = self
+        self._server = server
+        self._started_unix = time.time()
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="iqb-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        _logger.info(
+            "telemetry endpoint up",
+            extra={"ctx": {"host": self.host, "port": self.port}},
+        )
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the listener down (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server = None
+        self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until :meth:`start`)."""
+        return self._server.server_address[1] if self._server else 0
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the live listener."""
+        return f"{self.host}:{self.port}"
+
+    def url(self, path: str = "/metrics") -> str:
+        """Absolute URL for one of the served paths."""
+        return f"http://{self.address}{path}"
+
+    def mark_stalled(self, reason: str) -> None:
+        """Force ``/healthz`` to 503 with an explicit reason."""
+        self._stalled_reason = reason
+
+    def clear_stalled(self) -> None:
+        """Drop a previous :meth:`mark_stalled` verdict."""
+        self._stalled_reason = None
+
+    def health(self) -> Tuple[int, Dict[str, object]]:
+        """The ``/healthz`` verdict: ``(http_status, document)``.
+
+        Liveness fields come straight from the registry gauges the
+        probing layer maintains (``monitor.cycles``,
+        ``monitor.last_cycle_unix``) and the alert/unscorable counters,
+        so batch runs and live campaigns report through one vocabulary.
+        """
+        now = time.time()
+        snap = self.registry.snapshot()
+        gauges = snap["gauges"]
+        counters = snap["counters"]
+        last_cycle = gauges.get("monitor.last_cycle_unix", 0.0) or None
+        reason = self._stalled_reason
+        if (
+            reason is None
+            and self.stalled_after_s is not None
+            and last_cycle is not None
+            and now - last_cycle > self.stalled_after_s
+        ):
+            reason = (
+                f"no cycle completed in {now - last_cycle:.1f}s "
+                f"(threshold {self.stalled_after_s:g}s)"
+            )
+        document: Dict[str, object] = {
+            "status": "stalled" if reason else "ok",
+            "uptime_s": round(now - (self._started_unix or now), 3),
+            "last_cycle_unix": last_cycle,
+            "cycles": gauges.get("monitor.cycles", 0.0),
+            "alerts": counters.get("monitor.alerts", 0),
+            "unscorable_windows": counters.get(
+                "monitor.windows.unscorable", 0
+            ),
+        }
+        if reason:
+            document["reason"] = reason
+        return (503 if reason else 200), document

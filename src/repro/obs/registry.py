@@ -94,30 +94,40 @@ class Timer:
     snapshot reports count, total, and p50/p95/max from the digest.
     Observing zero is fine; the digest is created lazily on the first
     observation so building a registry costs nothing.
+
+    Unlike counter/gauge updates, digest operations are guarded by a
+    per-timer lock: the t-digest *mutates* internal centroid lists on
+    both insert and quantile (it compresses lazily), so a telemetry
+    scrape snapshotting quantiles while a pipeline thread observes
+    would otherwise race on shared list state. Timers fire per stage or
+    per probe — orders of magnitude rarer than counter ticks — so the
+    lock is off every per-record path.
     """
 
-    __slots__ = ("name", "count", "total", "_digest")
+    __slots__ = ("name", "count", "total", "_digest", "_digest_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self._digest: Optional["TDigest"] = None
+        self._digest_lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation (seconds for latency timers)."""
         self.count += 1
         self.total += value
-        if self._digest is None:
-            # Lazy: repro.obs must not import repro.measurements at
-            # module load (measurements.io imports repro.obs back).
-            from repro.measurements.tdigest import TDigest
+        with self._digest_lock:
+            if self._digest is None:
+                # Lazy: repro.obs must not import repro.measurements at
+                # module load (measurements.io imports repro.obs back).
+                from repro.measurements.tdigest import TDigest
 
-            self._digest = TDigest()
-        # The digest rejects non-positive weights, not values; but a
-        # zero-duration stage is a legitimate observation, so clamp
-        # nothing and add the value directly.
-        self._digest.add(value)
+                self._digest = TDigest()
+            # The digest rejects non-positive weights, not values; but
+            # a zero-duration stage is a legitimate observation, so
+            # clamp nothing and add the value directly.
+            self._digest.add(value)
 
     def time(self) -> "_TimerContext":
         """Context manager recording the block's wall-clock duration."""
@@ -125,9 +135,10 @@ class Timer:
 
     def quantile(self, percentile: float) -> Optional[float]:
         """Estimated percentile of the observations (None when empty)."""
-        if self._digest is None:
-            return None
-        return self._digest.quantile_or_none(percentile)
+        with self._digest_lock:
+            if self._digest is None:
+                return None
+            return self._digest.quantile_or_none(percentile)
 
     @property
     def mean(self) -> Optional[float]:
@@ -138,7 +149,8 @@ class Timer:
         """Drop all observations in place."""
         self.count = 0
         self.total = 0.0
-        self._digest = None
+        with self._digest_lock:
+            self._digest = None
 
     def __repr__(self) -> str:
         return f"Timer({self.name}: n={self.count}, total={self.total:.6f}s)"
@@ -214,17 +226,26 @@ class MetricsRegistry:
     # -- snapshot / reset ---------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-compatible dump of every instrument's current state."""
+        """JSON-compatible dump of every instrument's current state.
+
+        The instrument maps are materialized under the creation lock so
+        a snapshot racing a get-or-create on another thread never
+        iterates a mutating dict; individual values are then read
+        lock-free (a torn counter read costs at most one tick, the same
+        trade the increment path makes).
+        """
+        with self._lock:
+            counter_items = sorted(self._counters.items())
+            gauge_items = sorted(self._gauges.items())
+            timer_items = sorted(self._timers.items())
         counters = {
-            name: instrument.value
-            for name, instrument in sorted(self._counters.items())
+            name: instrument.value for name, instrument in counter_items
         }
         gauges = {
-            name: instrument.value
-            for name, instrument in sorted(self._gauges.items())
+            name: instrument.value for name, instrument in gauge_items
         }
         timers: Dict[str, object] = {}
-        for name, instrument in sorted(self._timers.items()):
+        for name, instrument in timer_items:
             entry: Dict[str, object] = {
                 "count": instrument.count,
                 "total_s": instrument.total,
@@ -258,6 +279,17 @@ class MetricsRegistry:
         import json
 
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """The snapshot as Prometheus text exposition (format 0.0.4).
+
+        See :mod:`repro.obs.exposition` for the name-mapping rules.
+        The import is lazy so the registry module itself stays free of
+        intra-package import edges.
+        """
+        from .exposition import render_prometheus
+
+        return render_prometheus(self)
 
     def render_text(self) -> str:
         """Human-readable one-line-per-instrument rendering."""

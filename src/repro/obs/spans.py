@@ -27,14 +27,25 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from .logs import get_logger
-from .registry import timer
+from .registry import counter, timer
 
 _logger = get_logger("repro.obs.span")
 
 _state = threading.local()
+
+#: Out-of-order span exits repaired by popping stale stack entries (see
+#: :meth:`Span.__exit__`). A non-zero value means some code path holds
+#: spans across generator/coroutine suspension points.
+_MISMATCH = counter("span.stack.mismatch")
+
+#: The process-wide trace recorder, or None when tracing is off. A
+#: single ``is None`` check per span exit is the entire cost of the
+#: disabled path.
+_trace_recorder: Optional["TraceRecorder"] = None
 
 
 def _stack() -> List["Span"]:
@@ -88,7 +99,32 @@ class Span:
         stack = _stack()
         if stack and stack[-1] is self:
             stack.pop()
+        else:
+            # Out-of-order exit: a span held across a suspended (and
+            # never resumed) generator or an abandoned context left
+            # stale entries above us. Leaving them would silently
+            # corrupt path/depth for every later span on this thread,
+            # so pop down to and including self, counting each stale
+            # entry repaired; if self is not on the stack at all (its
+            # frame was already swept), count one mismatch and leave
+            # the stack alone.
+            position = next(
+                (
+                    index
+                    for index in range(len(stack) - 1, -1, -1)
+                    if stack[index] is self
+                ),
+                None,
+            )
+            if position is None:
+                _MISMATCH.inc()
+            else:
+                _MISMATCH.inc(len(stack) - position - 1)
+                del stack[position:]
         timer(f"span.{self.name}").observe(self.duration)
+        recorder = _trace_recorder
+        if recorder is not None:
+            recorder.record(self)
         if _logger.isEnabledFor(10):  # logging.DEBUG
             ctx: Dict[str, object] = {
                 "span": self.path,
@@ -104,3 +140,84 @@ class Span:
 def span(name: str, **fields: object) -> Span:
     """A new span context manager for the named pipeline stage."""
     return Span(name, dict(fields))
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, as captured by a :class:`TraceRecorder`.
+
+    ``start_s`` is seconds since the recorder's own epoch (the moment
+    it was constructed), which keeps every record on one monotonic
+    timeline regardless of thread; spans that were already running when
+    the recorder was installed clamp to 0.
+    """
+
+    name: str
+    path: str
+    depth: int
+    start_s: float
+    duration_s: float
+    thread_id: int
+    thread_name: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects every completed span for post-run trace export.
+
+    Installed per-run via :func:`install_trace_recorder` (the CLI does
+    this for ``--trace-out``); recording is thread-safe and append-only,
+    so a multi-threaded pipeline interleaves safely. The recorder sees
+    spans on *exit* — a span still running at export time is simply
+    absent, which is the right semantics for a run-scoped dump.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._epoch = time.perf_counter()
+        self.started_unix = time.time()
+
+    def record(self, completed: Span) -> None:
+        """Capture one completed span (called from ``Span.__exit__``)."""
+        current = threading.current_thread()
+        entry = SpanRecord(
+            name=completed.name,
+            path=completed.path,
+            depth=completed.depth,
+            start_s=max(0.0, completed._start - self._epoch),
+            duration_s=completed.duration or 0.0,
+            thread_id=current.ident or 0,
+            thread_name=current.name,
+            fields=dict(completed.fields),
+        )
+        with self._lock:
+            self._records.append(entry)
+
+    def records(self) -> Tuple[SpanRecord, ...]:
+        """Everything recorded so far, in completion order."""
+        with self._lock:
+            return tuple(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def install_trace_recorder(recorder: TraceRecorder) -> None:
+    """Make ``recorder`` the process-wide span sink (replaces any)."""
+    global _trace_recorder
+    _trace_recorder = recorder
+
+
+def uninstall_trace_recorder() -> Optional[TraceRecorder]:
+    """Stop recording spans; returns the recorder that was active."""
+    global _trace_recorder
+    recorder = _trace_recorder
+    _trace_recorder = None
+    return recorder
+
+
+def get_trace_recorder() -> Optional[TraceRecorder]:
+    """The active trace recorder, if any."""
+    return _trace_recorder

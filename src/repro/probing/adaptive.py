@@ -25,13 +25,18 @@ from repro.core.exceptions import DataError
 from repro.core.uncertainty import bootstrap_score
 from repro.measurements.collection import MeasurementSet
 from repro.netsim.rng import make_rng
-from repro.obs import counter, get_logger
+from repro.obs import counter, gauge, get_logger
 
 _logger = get_logger(__name__)
 
 _CI_COMPUTED = counter("adaptive.ci.computed")
 _CI_EMPTY = counter("adaptive.ci.empty_regions")
 _CI_FALLBACKS = counter("adaptive.ci.fallbacks")
+
+# Campaign-progress gauges: a telemetry scrape mid-campaign shows how
+# far the allocator has gotten and how much budget is left to spend.
+_ROUNDS_DONE = gauge("adaptive.rounds.completed")
+_BUDGET_LEFT = gauge("adaptive.budget.remaining")
 
 from .backends import MeasurementBackend, ProbeRequest
 from .runner import ProbeRunner
@@ -223,6 +228,8 @@ class AdaptiveAllocator:
         )
 
         remaining = total_budget - pilot_total
+        _ROUNDS_DONE.set(1.0)
+        _BUDGET_LEFT.set(remaining)
         adaptive_rounds = max(0, rounds - 1)
         for round_index in range(1, adaptive_rounds + 1):
             if remaining <= 0:
@@ -236,6 +243,8 @@ class AdaptiveAllocator:
             )
             runner.run(self._schedule(allocation, round_index))
             remaining -= sum(allocation.values())
+            _ROUNDS_DONE.set(round_index + 1)
+            _BUDGET_LEFT.set(remaining)
             audit.append(
                 AllocationRound(
                     index=round_index,

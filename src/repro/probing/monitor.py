@@ -12,6 +12,7 @@ simulation loop (see ``examples/incident_monitoring.py``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -20,7 +21,7 @@ from repro.core.config import IQBConfig
 from repro.core.exceptions import DataError
 from repro.core.scoring import score_region
 from repro.measurements.collection import MeasurementSet
-from repro.obs import counter, get_logger
+from repro.obs import counter, gauge, get_logger
 
 _logger = get_logger(__name__)
 
@@ -28,6 +29,11 @@ _WINDOWS_SCORED = counter("monitor.windows.scored")
 _WINDOWS_THIN = counter("monitor.windows.below_min_samples")
 _WINDOWS_UNSCORABLE = counter("monitor.windows.unscorable")
 _ALERTS = counter("monitor.alerts")
+
+# Liveness gauges for /healthz and `iqb metrics`: a healthy campaign
+# keeps completing cycles; a stalled one stops advancing these.
+_CYCLES = gauge("monitor.cycles")
+_LAST_CYCLE = gauge("monitor.last_cycle_unix")
 
 
 @dataclass(frozen=True)
@@ -162,6 +168,8 @@ class BarometerMonitor:
                     },
                 )
                 alerts.append(alert)
+        _CYCLES.inc()
+        _LAST_CYCLE.set(time.time())
         return alerts
 
     def _evaluate(

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.exceptions import BackendError
-from repro.obs import counter, get_logger, timer
+from repro.obs import counter, gauge, get_logger, timer
 
 from .backends import MeasurementBackend, ProbeRequest
 from .sinks import ResultSink
@@ -31,6 +31,16 @@ _SCHEDULED = counter("probe.runner.scheduled")
 _SUCCEEDED = counter("probe.runner.succeeded")
 _RETRIED = counter("probe.runner.retried")
 _ABANDONED = counter("probe.runner.abandoned")
+
+# Liveness gauges, maintained on every run (telemetry server or not) so
+# `iqb metrics` shows batch-run liveness through the same vocabulary a
+# live /healthz scrape uses.
+_UPTIME = gauge("probe.runner.uptime_s")
+_LAST_RUN = gauge("probe.runner.last_run_unix")
+
+#: Process start reference for the uptime gauge (module import is as
+#: close to process start as a library can observe).
+_PROCESS_START_UNIX = time.time()
 
 
 @dataclass(frozen=True)
@@ -50,6 +60,15 @@ class RunReport:
     succeeded: int
     retried: int
     abandoned: Tuple[FailedProbe, ...]
+    #: Wall-clock bounds of the invocation (Unix seconds; 0.0 when the
+    #: report was constructed by hand rather than by ``run``).
+    started_unix: float = 0.0
+    finished_unix: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock seconds the invocation took."""
+        return self.finished_unix - self.started_unix
 
     @property
     def success_rate(self) -> Optional[float]:
@@ -94,6 +113,7 @@ class ProbeRunner:
         abandoned (recorded in the report); any other exception is a
         bug and propagates.
         """
+        started_unix = time.time()
         scheduled = 0
         succeeded = 0
         retried = 0
@@ -151,9 +171,14 @@ class ProbeRunner:
                         last_error=last_error,
                     )
                 )
+        finished_unix = time.time()
+        _LAST_RUN.set(finished_unix)
+        _UPTIME.set(finished_unix - _PROCESS_START_UNIX)
         return RunReport(
             scheduled=scheduled,
             succeeded=succeeded,
             retried=retried,
             abandoned=tuple(abandoned),
+            started_unix=started_unix,
+            finished_unix=finished_unix,
         )

@@ -1,0 +1,99 @@
+"""Unit tests for repro.obs.exposition (Prometheus text rendering)."""
+
+import re
+
+import pytest
+
+from repro.obs.exposition import prometheus_name, render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+# Prometheus text-format 0.0.4 line grammar: HELP/TYPE comments and
+# sample lines `name{labels} value`. Deliberately strict about metric
+# names so a mangling regression fails loudly.
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP = re.compile(rf"^# HELP {_NAME} .+$")
+_TYPE = re.compile(rf"^# TYPE {_NAME} (counter|gauge|summary|histogram|untyped)$")
+_SAMPLE = re.compile(
+    rf"^{_NAME}(\{{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\}})? "
+    r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[0-9]+)$"
+)
+
+
+def assert_valid_exposition(text):
+    """Every line must match the Prometheus text-format line grammar."""
+    assert text == "" or text.endswith("\n")
+    for line in text.splitlines():
+        assert (
+            _HELP.match(line)
+            or _TYPE.match(line)
+            or _SAMPLE.match(line)
+        ), f"invalid exposition line: {line!r}"
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("probe.runner.retried").inc(12)
+    registry.gauge("monitor.last_cycle_unix").set(1.7e9)
+    exercised = registry.timer("span.score_regions")
+    for value in (0.010, 0.020, 0.030):
+        exercised.observe(value)
+    registry.timer("span.never_ran")  # created, zero observations
+    return registry
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("probe.runner.retried") == (
+            "iqb_probe_runner_retried"
+        )
+
+    def test_arbitrary_invalid_chars_mangled(self):
+        assert prometheus_name("a-b/c d.e") == "iqb_a_b_c_d_e"
+
+    def test_leading_digit_saved_by_prefix(self):
+        assert re.match(r"^[a-zA-Z_:]", prometheus_name("95th.percentile"))
+
+
+class TestRenderPrometheus:
+    def test_output_parses_as_prometheus_text(self, registry):
+        assert_valid_exposition(render_prometheus(registry))
+
+    def test_counter_gets_total_suffix_and_type(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE iqb_probe_runner_retried_total counter" in text
+        assert "iqb_probe_runner_retried_total 12" in text
+
+    def test_gauge_emitted_as_is(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE iqb_monitor_last_cycle_unix gauge" in text
+
+    def test_timer_is_summary_with_quantiles(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE iqb_span_score_regions_seconds summary" in text
+        assert 'iqb_span_score_regions_seconds{quantile="0.5"} 0.02' in text
+        assert 'iqb_span_score_regions_seconds{quantile="0.95"}' in text
+        assert 'iqb_span_score_regions_seconds{quantile="1.0"} 0.03' in text
+        assert "iqb_span_score_regions_seconds_count 3" in text
+        assert re.search(
+            r"iqb_span_score_regions_seconds_sum 0\.06", text
+        )
+
+    def test_empty_timer_has_count_sum_but_no_quantiles(self, registry):
+        text = render_prometheus(registry)
+        assert "iqb_span_never_ran_seconds_count 0" in text
+        assert "iqb_span_never_ran_seconds_sum 0" in text
+        assert 'iqb_span_never_ran_seconds{' not in text
+
+    def test_help_preserves_dotted_name(self, registry):
+        text = render_prometheus(registry)
+        assert (
+            "# HELP iqb_probe_runner_retried_total "
+            "IQB counter probe.runner.retried" in text
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_registry_method_matches_function(self, registry):
+        assert registry.render_prometheus() == render_prometheus(registry)

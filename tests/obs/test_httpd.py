@@ -1,0 +1,144 @@
+"""Unit tests for repro.obs.httpd (the telemetry endpoint)."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpd import TelemetryServer
+from repro.obs.registry import MetricsRegistry
+
+
+def _get(url):
+    """(status, content_type, body) for one GET, 4xx/5xx included."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            error.headers.get("Content-Type", ""),
+            error.read().decode("utf-8"),
+        )
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("monitor.alerts").inc(2)
+    registry.counter("monitor.windows.unscorable").inc(1)
+    registry.gauge("monitor.cycles").set(5.0)
+    registry.gauge("monitor.last_cycle_unix").set(time.time())
+    registry.timer("span.score").observe(0.01)
+    return registry
+
+
+@pytest.fixture()
+def server(registry):
+    server = TelemetryServer(registry=registry, port=0)
+    port = server.start()
+    assert port > 0
+    yield server
+    server.stop()
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self, server, registry):
+        status, content_type, body = _get(server.url("/metrics"))
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert body == registry.render_prometheus()
+
+    def test_metrics_json_serves_snapshot(self, server, registry):
+        status, content_type, body = _get(server.url("/metrics.json"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        document = json.loads(body)
+        assert document["counters"]["monitor.alerts"] == 2
+        assert document["timers"]["span.score"]["count"] == 1
+
+    def test_healthz_reports_liveness(self, server):
+        status, _, body = _get(server.url("/healthz"))
+        assert status == 200
+        document = json.loads(body)
+        assert document["status"] == "ok"
+        assert document["cycles"] == 5.0
+        assert document["alerts"] == 2
+        assert document["unscorable_windows"] == 1
+        assert document["uptime_s"] >= 0.0
+        assert document["last_cycle_unix"] is not None
+
+    def test_unknown_path_is_404(self, server):
+        status, _, body = _get(server.url("/nope"))
+        assert status == 404
+        assert "/metrics" in body
+
+    def test_query_string_ignored(self, server):
+        status, _, _ = _get(server.url("/healthz?verbose=1"))
+        assert status == 200
+
+
+class TestStalling:
+    def test_stale_cycle_gauge_means_503(self, registry):
+        registry.gauge("monitor.last_cycle_unix").set(time.time() - 120.0)
+        with TelemetryServer(
+            registry=registry, port=0, stalled_after_s=30.0
+        ) as server:
+            status, _, body = _get(server.url("/healthz"))
+        assert status == 503
+        document = json.loads(body)
+        assert document["status"] == "stalled"
+        assert "no cycle completed" in document["reason"]
+
+    def test_fresh_cycle_keeps_200(self, registry):
+        with TelemetryServer(
+            registry=registry, port=0, stalled_after_s=3600.0
+        ) as server:
+            status, _, _ = _get(server.url("/healthz"))
+        assert status == 200
+
+    def test_no_cycles_yet_is_not_stalled(self):
+        # A campaign that has not completed its first cycle has nothing
+        # to be stale relative to; only a *previous* cycle going quiet
+        # trips the detector.
+        with TelemetryServer(
+            registry=MetricsRegistry(), port=0, stalled_after_s=0.001
+        ) as server:
+            status, _, body = _get(server.url("/healthz"))
+        assert status == 200
+        assert json.loads(body)["last_cycle_unix"] is None
+
+    def test_mark_stalled_forces_503(self, server):
+        server.mark_stalled("operator says down")
+        status, _, body = _get(server.url("/healthz"))
+        assert status == 503
+        assert json.loads(body)["reason"] == "operator says down"
+        server.clear_stalled()
+        status, _, _ = _get(server.url("/healthz"))
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, server):
+        assert server.start() == server.port
+
+    def test_stop_is_idempotent(self, registry):
+        server = TelemetryServer(registry=registry, port=0)
+        server.start()
+        server.stop()
+        server.stop()
+        assert server.port == 0
+
+    def test_ephemeral_ports_are_distinct_instances(self, registry):
+        with TelemetryServer(registry=registry, port=0) as a:
+            with TelemetryServer(registry=registry, port=0) as b:
+                assert a.port != b.port
+                assert _get(a.url("/healthz"))[0] == 200
+                assert _get(b.url("/healthz"))[0] == 200

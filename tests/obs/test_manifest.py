@@ -1,0 +1,158 @@
+"""Unit tests for repro.obs.manifest (provenance capture and diffing)."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.config import paper_config
+from repro.measurements.io import IngestStats
+from repro.obs.manifest import (
+    MANIFEST_SUFFIX,
+    RunContext,
+    RunManifest,
+    config_digest,
+    diff_manifests,
+    file_digest,
+    find_manifests,
+    render_diff,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture()
+def input_file(tmp_path):
+    path = tmp_path / "data.jsonl"
+    path.write_text('{"a": 1}\n{"a": 2}\n{"a": 3}\n')
+    return path
+
+
+class TestFileDigest:
+    def test_sha_size_and_lines(self, input_file):
+        entry = file_digest(input_file)
+        raw = input_file.read_bytes()
+        assert entry["sha256"] == hashlib.sha256(raw).hexdigest()
+        assert entry["bytes"] == len(raw)
+        assert entry["lines"] == 3
+        assert entry["path"] == str(input_file)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        entry = file_digest(path)
+        assert entry["bytes"] == 0
+        assert entry["lines"] == 0
+
+
+class TestConfigDigest:
+    def test_deterministic_and_content_addressed(self):
+        config = paper_config()
+        assert config_digest(config) == config_digest(paper_config())
+        assert len(config_digest(config)) == 64
+
+
+class TestRunContext:
+    def test_build_collects_everything(self, input_file):
+        registry = MetricsRegistry()
+        registry.counter("probe.runner.retried").inc(4)
+        context = RunContext(["score", str(input_file)])
+        context.set_config(paper_config())
+        stats = IngestStats(read=3, skipped=1)
+        context.add_input(input_file, stats)
+        context.add_output("out.md")
+        manifest = context.build(registry)
+        assert manifest.command == ("score", str(input_file))
+        assert manifest.package_version
+        assert manifest.config_sha256 == config_digest(paper_config())
+        assert manifest.config["aggregation"]["percentile"] == 95.0
+        assert manifest.inputs[0]["records_read"] == 3
+        assert manifest.inputs[0]["records_skipped"] == 1
+        assert manifest.outputs == ("out.md",)
+        assert manifest.metrics["counters"]["probe.runner.retried"] == 4
+        assert manifest.duration_s >= 0.0
+        assert manifest.finished_unix >= manifest.started_unix
+
+    def test_config_optional(self):
+        manifest = RunContext(["tiers"]).build(MetricsRegistry())
+        assert manifest.config is None
+        assert manifest.config_sha256 is None
+
+    def test_write_and_load_round_trip(self, tmp_path, input_file):
+        context = RunContext(["score"])
+        context.set_config(paper_config())
+        context.add_input(input_file)
+        path = tmp_path / f"run{MANIFEST_SUFFIX}"
+        written = context.write(path, MetricsRegistry())
+        loaded = RunManifest.load(path)
+        assert loaded.to_dict() == written.to_dict()
+        # And the document on disk is stable-keyed JSON.
+        document = json.loads(path.read_text())
+        assert document["manifest_version"] == 1
+
+
+class TestDiff:
+    def _manifest(self, counters=None, percentile=95.0, timers=None):
+        config = paper_config().to_dict()
+        config["aggregation"]["percentile"] = percentile
+        return RunManifest(
+            command=("score", "x.jsonl"),
+            package_version="1.0.0",
+            started_unix=100.0,
+            finished_unix=101.0,
+            config=config,
+            config_sha256="c" * 64,
+            metrics={
+                "counters": counters or {},
+                "gauges": {},
+                "timers": timers or {},
+            },
+        )
+
+    def test_identical_manifests_diff_empty(self):
+        a = self._manifest(counters={"probe.runner.retried": 3})
+        diff = diff_manifests(a, a)
+        assert all(not section for section in diff.values())
+        assert "no config or metric differences" in render_diff(a, a)
+
+    def test_counter_deltas_reported(self):
+        a = self._manifest(counters={"probe.runner.retried": 3})
+        b = self._manifest(counters={"probe.runner.retried": 9})
+        diff = diff_manifests(a, b)
+        assert diff["counters"] == {"probe.runner.retried": (3, 9)}
+        rendered = render_diff(a, b, diff)
+        assert "probe.runner.retried: 3 -> 9  (+6)" in rendered
+
+    def test_config_deltas_use_dotted_paths(self):
+        a = self._manifest(percentile=95.0)
+        b = self._manifest(percentile=90.0)
+        diff = diff_manifests(a, b)
+        assert diff["config"]["aggregation.percentile"] == (95.0, 90.0)
+
+    def test_one_sided_keys_surface_as_none(self):
+        a = self._manifest(counters={"only.in.a": 1})
+        b = self._manifest(counters={"only.in.b": 2})
+        diff = diff_manifests(a, b)
+        assert diff["counters"]["only.in.a"] == (1, None)
+        assert diff["counters"]["only.in.b"] == (None, 2)
+
+    def test_timer_totals_compared(self):
+        a = self._manifest(timers={"span.score": {"count": 1, "total_s": 0.5}})
+        b = self._manifest(timers={"span.score": {"count": 1, "total_s": 0.2}})
+        diff = diff_manifests(a, b)
+        assert diff["timers"]["span.score"] == (0.5, 0.2)
+
+
+class TestFindManifests:
+    def test_directories_globbed_files_taken_verbatim(self, tmp_path):
+        nested = tmp_path / "runs" / "week1"
+        nested.mkdir(parents=True)
+        a = nested / f"a{MANIFEST_SUFFIX}"
+        a.write_text("{}")
+        plain = tmp_path / "custom.json"
+        plain.write_text("{}")
+        ignored = nested / "notes.txt"
+        ignored.write_text("x")
+        found = find_manifests([tmp_path, plain])
+        assert a in found
+        assert plain in found
+        assert ignored not in found

@@ -49,3 +49,68 @@ class TestSpan:
         with span("stage", items=3) as s:
             s.annotate(regions=2)
         assert s.fields == {"items": 3, "regions": 2}
+
+
+class TestStackRepair:
+    """Out-of-order exits must not corrupt later spans on the thread."""
+
+    def _mismatch(self):
+        return REGISTRY.counter("span.stack.mismatch")
+
+    def test_out_of_order_exit_pops_stale_entries(self):
+        before = self._mismatch().value
+        outer = span("repair_outer")
+        outer.__enter__()
+        stale_a = span("repair_stale_a")
+        stale_a.__enter__()
+        stale_b = span("repair_stale_b")
+        stale_b.__enter__()
+        # The outer scope unwinds while two abandoned spans still sit
+        # above it (the generator-GC shape): both stale entries must go.
+        outer.__exit__(None, None, None)
+        assert current_span() is None
+        assert self._mismatch().value == before + 2
+
+    def test_later_spans_see_clean_paths_after_repair(self):
+        outer = span("repair2_outer")
+        outer.__enter__()
+        span("repair2_stale").__enter__()
+        outer.__exit__(None, None, None)
+        with span("repair2_later") as later:
+            assert later.path == "repair2_later"
+            assert later.depth == 0
+
+    def test_exit_of_span_not_on_stack_counts_one_mismatch(self):
+        ghost = span("repair_ghost")
+        ghost.__enter__()
+        ghost.__exit__(None, None, None)  # normal exit
+        before = self._mismatch().value
+        ghost.__exit__(None, None, None)  # double exit: not on stack
+        assert self._mismatch().value == before + 1
+        assert current_span() is None
+
+    def test_double_exit_leaves_unrelated_stack_alone(self):
+        ghost = span("repair_ghost2")
+        ghost.__enter__()
+        ghost.__exit__(None, None, None)
+        with span("repair_live") as live:
+            ghost.__exit__(None, None, None)
+            assert current_span() is live
+
+    def test_abandoned_generator_scenario(self):
+        before = self._mismatch().value
+
+        def holds_span():
+            with span("repair_gen_held"):
+                yield
+
+        with span("repair_gen_outer"):
+            generator = holds_span()
+            next(generator)  # stack: outer, held (suspended)
+        # Exiting outer repaired the stack past the held span...
+        assert current_span() is None
+        assert self._mismatch().value == before + 1
+        # ...and closing the generator later is the not-on-stack case.
+        generator.close()
+        assert self._mismatch().value == before + 2
+        assert current_span() is None

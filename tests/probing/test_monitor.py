@@ -107,3 +107,20 @@ class TestIngest:
             feed(monitor, day, window_records(day))
         feed(monitor, 4, window_records(4, latency=500.0))
         assert feed(monitor, 5, window_records(5)) == []
+
+
+class TestLivenessGauges:
+    def test_each_cycle_advances_the_liveness_gauges(self, config):
+        import time
+
+        from repro.obs import REGISTRY
+
+        cycles = REGISTRY.gauge("monitor.cycles")
+        last_cycle = REGISTRY.gauge("monitor.last_cycle_unix")
+        before_cycles = cycles.value
+        before_time = time.time()
+        monitor = BarometerMonitor(config)
+        for day in range(3):
+            feed(monitor, day, window_records(day))
+        assert cycles.value == before_cycles + 3
+        assert last_cycle.value >= before_time

@@ -105,3 +105,44 @@ class TestRunner:
     def test_max_attempts_validated(self):
         with pytest.raises(ValueError):
             ProbeRunner(ScriptedBackend(), MemorySink(), max_attempts=0)
+
+
+class TestRunTiming:
+    def test_report_carries_wall_clock_bounds(self):
+        import time
+
+        before = time.time()
+        report = ProbeRunner(ScriptedBackend(), MemorySink()).run(
+            [request(i) for i in range(3)]
+        )
+        after = time.time()
+        assert before <= report.started_unix <= report.finished_unix
+        assert report.finished_unix <= after
+        assert report.duration_s == pytest.approx(
+            report.finished_unix - report.started_unix
+        )
+        assert report.duration_s >= 0.0
+
+    def test_hand_built_report_defaults_to_zero_times(self):
+        from repro.probing.runner import RunReport
+
+        report = RunReport(
+            scheduled=1, succeeded=1, retried=0, abandoned=()
+        )
+        assert report.started_unix == 0.0
+        assert report.duration_s == 0.0
+
+    def test_liveness_gauges_set_without_telemetry_server(self):
+        # Batch runs report liveness through the same gauges a live
+        # /healthz scrape reads — no server attachment required.
+        from repro.obs import REGISTRY
+
+        uptime = REGISTRY.gauge("probe.runner.uptime_s")
+        last_run = REGISTRY.gauge("probe.runner.last_run_unix")
+        uptime.set(-1.0)
+        last_run.set(-1.0)
+        report = ProbeRunner(ScriptedBackend(), MemorySink()).run(
+            [request(0)]
+        )
+        assert uptime.value >= 0.0
+        assert last_run.value == report.finished_unix
