@@ -22,6 +22,7 @@ gate, so adding a bench does not break CI until a baseline exists.
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import shutil
 import subprocess
@@ -33,7 +34,11 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 RESULTS_PATH = REPO_ROOT / "BENCH_scale.json"
-BENCH_FILES = ("test_bench_scale.py", "test_bench_eq_scoring.py")
+BENCH_FILES = (
+    "test_bench_scale.py",
+    "test_bench_eq_scoring.py",
+    "test_bench_parallel.py",
+)
 
 
 def run_benches(results_path: Path) -> int:
@@ -110,11 +115,26 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if importlib.util.find_spec("pytest_benchmark") is None:
+        print(
+            "compare_bench: pytest-benchmark is not installed; "
+            "install it (pip install pytest-benchmark) to run the gate",
+            file=sys.stderr,
+        )
+        return 1
+
     results_path = Path(args.results)
     code = run_benches(results_path)
     if code != 0:
         print(f"benchmark run failed with exit code {code}", file=sys.stderr)
         return code
+    if not results_path.exists():
+        print(
+            f"compare_bench: benchmark run produced no {results_path}; "
+            "pytest-benchmark may have collected zero benchmarks",
+            file=sys.stderr,
+        )
+        return 1
     print(f"wrote {results_path}")
 
     if args.update_baseline:

@@ -1,0 +1,127 @@
+"""Bench ext-parallel — sharded scoring and ingest vs the serial path.
+
+Paper artifact: none directly; a deployed barometer refreshing many
+regions wants wall-clock, and the IQB score is embarrassingly parallel
+across regions (Eqs. 1-5 never mix regions). These benches measure the
+``--workers`` fan-out at the largest scale-bench volume:
+
+* serial vs sharded ``score_regions`` over a cold columnar store;
+* serial vs sharded JSONL ingest of the same batch;
+* a speedup assertion (parallel >= 2x at 4 workers) that only runs
+  when the machine actually has >= 4 CPUs — on fewer cores a fork pool
+  cannot beat the serial path and the assertion would measure the
+  hardware, not the code. The parity assertions always run.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import score_regions
+from repro.measurements import ColumnarStore, MeasurementSet
+from repro.measurements.io import write_jsonl
+from repro.netsim import CampaignConfig, region_preset, simulate_region
+from repro.netsim.population import REGION_PRESETS
+from repro.parallel import fork_available, read_jsonl_parallel
+
+#: Matches the largest volume in test_bench_scale.py's volume sweep.
+TESTS_PER_CLIENT = 1600
+WORKERS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def large_batch():
+    """All six presets at the largest scale-bench volume."""
+    campaign = CampaignConfig(
+        subscribers=50, tests_per_client=TESTS_PER_CLIENT
+    )
+    combined = MeasurementSet()
+    for name in sorted(REGION_PRESETS):
+        combined = combined + simulate_region(
+            region_preset(name), seed=42, config=campaign
+        )
+    return list(combined)
+
+
+@pytest.fixture(scope="module")
+def large_jsonl(large_batch, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench_parallel") / "large.jsonl"
+    write_jsonl(MeasurementSet(large_batch), path)
+    return path
+
+
+def test_bench_score_regions_serial(benchmark, config, large_batch):
+    """Baseline: the columnar batch path, one process."""
+
+    def serial():
+        return score_regions(ColumnarStore(large_batch), config)
+
+    breakdowns = benchmark(serial)
+    assert len(breakdowns) == len(REGION_PRESETS)
+
+
+def test_bench_score_regions_parallel(benchmark, config, large_batch):
+    """The sharded path at 4 workers, including fork + merge overhead."""
+
+    def parallel():
+        return score_regions(
+            ColumnarStore(large_batch), config, workers=WORKERS
+        )
+
+    breakdowns = benchmark(parallel)
+    assert len(breakdowns) == len(REGION_PRESETS)
+    # The fan-out must agree with the serial path bit-for-bit.
+    assert breakdowns == score_regions(ColumnarStore(large_batch), config)
+
+
+def test_bench_ingest_parallel(benchmark, large_jsonl, large_batch):
+    """Sharded JSONL ingest of the full batch at 4 workers."""
+
+    def parallel_read():
+        return read_jsonl_parallel(large_jsonl, WORKERS)
+
+    loaded = benchmark(parallel_read)
+    assert len(loaded) == len(large_batch)
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+@pytest.mark.skipif(
+    _usable_cpus() < WORKERS,
+    reason=f"speedup needs >= {WORKERS} CPUs (have {_usable_cpus()}); "
+    "parity is asserted regardless in test_bench_score_regions_parallel",
+)
+def test_parallel_speedup_at_four_workers(config, large_batch):
+    """Median >= 2x speedup at 4 workers on a machine that has them."""
+
+    def median_of(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return sorted(times)[len(times) // 2]
+
+    serial = median_of(
+        lambda: score_regions(ColumnarStore(large_batch), config)
+    )
+    parallel = median_of(
+        lambda: score_regions(
+            ColumnarStore(large_batch), config, workers=WORKERS
+        )
+    )
+    speedup = serial / parallel
+    assert speedup >= 2.0, (
+        f"expected >= 2x speedup at {WORKERS} workers on "
+        f"{_usable_cpus()} CPUs; got {speedup:.2f}x "
+        f"(serial {serial:.3f}s, parallel {parallel:.3f}s)"
+    )

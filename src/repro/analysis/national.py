@@ -119,6 +119,7 @@ def national_breakdown(
     records: "MeasurementSet",
     populations: Mapping[str, float],
     config: Optional["IQBConfig"] = None,
+    workers: int = 1,
 ) -> Tuple[NationalScore, Dict[str, "ScoreBreakdown"]]:
     """Score a whole national measurement batch and roll it up.
 
@@ -132,6 +133,11 @@ def national_breakdown(
         ``(national, breakdowns)`` — the roll-up plus every region's
         full :class:`~repro.core.scoring.ScoreBreakdown` for drill-down.
 
+    Args:
+        workers: forwarded to :func:`repro.core.scoring.score_regions`;
+            ``> 1`` shards the regional scoring across a worker pool
+            with bit-identical results.
+
     Raises:
         DataError: on empty input or missing populations (see
             :func:`national_score`).
@@ -140,7 +146,9 @@ def national_breakdown(
     from repro.core.scoring import score_regions
 
     with span("national_breakdown") as stage:
-        breakdowns = score_regions(records, config or paper_config())
+        breakdowns = score_regions(
+            records, config or paper_config(), workers=workers
+        )
         with span("rollup"):
             national = national_score(
                 {region: b.value for region, b in breakdowns.items()},

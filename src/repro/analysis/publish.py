@@ -27,6 +27,7 @@ def build_publication(
     config: Optional[IQBConfig] = None,
     populations: Optional[Mapping[str, float]] = None,
     title: str = "Internet Quality Barometer report",
+    workers: int = 1,
 ) -> str:
     """Assemble the full Markdown publication for a measurement set.
 
@@ -35,6 +36,8 @@ def build_publication(
         config: scoring config (default: the paper's).
         populations: region → population; when provided, a national
             roll-up section is included.
+        workers: forwarded to the batch scorer; ``> 1`` shards regional
+            scoring across a worker pool (identical document).
 
     Raises:
         DataError: when the measurement set is empty (nothing to
@@ -44,7 +47,7 @@ def build_publication(
     with span("publish", measurements=len(records)) as stage:
         # Batch fast path: one grouping pass + shared columns for all
         # regions.
-        breakdowns = score_regions(records, config)
+        breakdowns = score_regions(records, config, workers=workers)
         stage.annotate(regions=len(breakdowns))
 
         with span("publish_render"):

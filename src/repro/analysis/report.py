@@ -114,12 +114,21 @@ def _opportunity_section(breakdown: ScoreBreakdown) -> List[str]:
 def comparison_report(
     records: MeasurementSet,
     config: Optional[IQBConfig] = None,
+    workers: int = 1,
 ) -> str:
-    """Side-by-side score table for every region in a measurement set."""
+    """Side-by-side score table for every region in a measurement set.
+
+    ``workers > 1`` shards the batch scoring across a worker pool
+    (identical table).
+    """
     config = config or paper_config()
     # Batch fast path: group once, score every region off shared columns.
     # An empty set renders as an empty table, matching the old loop.
-    breakdowns = score_regions(records, config) if len(records) else {}
+    breakdowns = (
+        score_regions(records, config, workers=workers)
+        if len(records)
+        else {}
+    )
     rows = []
     for region, breakdown in breakdowns.items():
         rows.append(

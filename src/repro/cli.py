@@ -24,7 +24,11 @@ Subcommands:
 
 Global flags: ``--log-level {debug,info,warning,error}`` and
 ``--log-json`` configure structured logging for every subcommand
-(events go to stderr; stdout stays clean for command output).
+(events go to stderr; stdout stays clean for command output);
+``--workers N`` shards measurement ingest, batch region scoring, and
+campaign simulation across a forked worker pool (``N <= 1`` keeps
+everything in-process; results are identical either way and worker
+telemetry merges back into the run's metrics).
 Live-operations flags, also global:
 
 * ``--telemetry-port N`` — serve ``/metrics`` (Prometheus),
@@ -68,6 +72,7 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.obs.manifest import MANIFEST_SUFFIX, RunManifest
+from repro.parallel import ShardError, read_jsonl_parallel
 
 #: The active invocation's provenance accumulator (set by :func:`main`;
 #: commands register configs/inputs/outputs on it as they run).
@@ -88,7 +93,13 @@ def _load_config(path: Optional[str]) -> IQBConfig:
 def _read_measurements(args: argparse.Namespace):
     """Read the command's input file, recording provenance as we go."""
     stats = IngestStats()
-    records = read_jsonl(args.input, on_error=args.on_error, stats=stats)
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        records = read_jsonl_parallel(
+            args.input, workers, on_error=args.on_error, stats=stats
+        )
+    else:
+        records = read_jsonl(args.input, on_error=args.on_error, stats=stats)
     if _RUN is not None:
         _RUN.add_input(args.input, stats)
     return records
@@ -125,7 +136,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         days=args.days,
         wifi_share=args.wifi_share,
     )
-    records = simulate_regions(profiles, seed=args.seed, config=campaign)
+    records = simulate_regions(
+        profiles, seed=args.seed, config=campaign, workers=args.workers
+    )
     count = write_jsonl(records, args.output)
     if _RUN is not None:
         _RUN.add_output(args.output)
@@ -149,14 +162,18 @@ def _cmd_score(args: argparse.Namespace) -> int:
 
         from repro.core.scoring import score_regions
 
-        breakdowns = score_regions(records, config) if len(records) else {}
+        breakdowns = (
+            score_regions(records, config, workers=args.workers)
+            if len(records)
+            else {}
+        )
         document = {
             region: breakdown.to_dict()
             for region, breakdown in breakdowns.items()
         }
         print(json_module.dumps(document, indent=2, sort_keys=True))
     else:
-        print(comparison_report(records, config))
+        print(comparison_report(records, config, workers=args.workers))
     return 0
 
 
@@ -312,7 +329,9 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                 str(region): float(value)
                 for region, value in json_module.load(handle).items()
             }
-    document = build_publication(records, config, populations=populations)
+    document = build_publication(
+        records, config, populations=populations, workers=args.workers
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(document + "\n")
@@ -488,7 +507,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 records = sink.as_set()
         with span("score"):
             if len(records):
-                score_regions(records, config)
+                score_regions(records, config, workers=args.workers)
     chosen = args.format or ("text" if args.text else "json")
     if chosen == "prom":
         print(REGISTRY.render_prometheus(), end="")
@@ -571,6 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json",
         action="store_true",
         help="emit log events as JSONL instead of human text",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard ingest, batch scoring, and simulation across N "
+        "forked worker processes (default 1 = fully in-process; "
+        "results are identical either way)",
     )
     parser.add_argument(
         "--telemetry-port",
@@ -880,7 +908,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _RUN.write(manifest_out)
             print(f"manifest: wrote {manifest_out}", file=sys.stderr)
         return code
-    except (OSError, SchemaError) as exc:
+    except (OSError, SchemaError, ShardError) as exc:
         print(f"iqb: error: {exc}", file=sys.stderr)
         return 2
     finally:

@@ -435,6 +435,7 @@ def score_region(
 def score_regions(
     records: "object",
     config: IQBConfig,
+    workers: int = 1,
 ) -> Dict[str, ScoreBreakdown]:
     """Batch-score every region of a combined measurement batch (Eq. 4 each).
 
@@ -451,6 +452,10 @@ def score_regions(
             ``ColumnarStore``, or a pre-grouped mapping
             ``region → {dataset → QuantileSource}``.
         config: the scoring configuration applied to every region.
+        workers: when ``> 1``, regions are scored by a forked worker
+            pool (:mod:`repro.parallel`); the merged result is
+            bit-identical to the serial path, and worker telemetry
+            merges back into this process's registry.
 
     Returns:
         region → :class:`ScoreBreakdown`, numerically identical to
@@ -459,8 +464,20 @@ def score_regions(
 
     Raises:
         DataError: when the batch is empty — via :func:`score_region`.
+        repro.parallel.ShardError: when a worker shard fails
+            (``workers > 1`` only), naming the shard's regions.
     """
     with span("score_regions") as stage:
+        if workers > 1:
+            # Imported lazily: repro.parallel sits above both core and
+            # measurements in the layering.
+            from repro.parallel.scoring import score_regions_parallel
+
+            merged = score_regions_parallel(
+                records, config, workers, stage=stage
+            )
+            _BATCH_REGIONS.inc(len(merged))
+            return merged
         if isinstance(records, Mapping):
             grouped: Mapping[str, Mapping[str, QuantileSource]] = records
         else:

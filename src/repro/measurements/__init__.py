@@ -23,6 +23,8 @@ from .collection import MeasurementSet
 from .columnar import ColumnarStore, ColumnarView
 from .io import (
     IngestStats,
+    csv_row_to_measurement,
+    iter_csv,
     iter_jsonl,
     read_csv,
     read_jsonl,
@@ -61,12 +63,14 @@ __all__ = [
     "aggregate_measurements",
     "by_hour_of_day",
     "cloudflare_row_to_measurement",
+    "csv_row_to_measurement",
     "estimate_biases",
     "flatten_nested",
     "ingest_cloudflare",
     "ingest_ndt",
     "ndt_row_to_measurement",
     "ookla_tiles_to_aggregate",
+    "iter_csv",
     "iter_jsonl",
     "peak_split",
     "read_csv",

@@ -168,6 +168,64 @@ def write_csv(records: MeasurementSet, path: _PathLike) -> int:
     return count
 
 
+def csv_row_to_measurement(row: "dict") -> Measurement:
+    """Decode one CSV row (a ``csv.DictReader`` mapping) into a record.
+
+    Empty cells and unknown extra columns are dropped before schema
+    validation — the shared decoding step behind :func:`read_csv`,
+    :func:`iter_csv`, and the parallel byte-range ingest.
+
+    Raises:
+        SchemaError: on a row that does not form a valid measurement.
+    """
+    document = {
+        key: value for key, value in row.items() if value not in ("", None)
+    }
+    return Measurement.from_dict(document)
+
+
+def iter_csv(
+    path: _PathLike,
+    on_error: str = "raise",
+    stats: Optional[IngestStats] = None,
+) -> Iterator[Measurement]:
+    """Stream records from a CSV produced by :func:`write_csv`.
+
+    Streaming parity with :func:`iter_jsonl`: one decoded record at a
+    time, strict by default, tolerant with ``on_error="skip"`` (drops
+    increment ``ingest.csv.skipped`` and log the row number at DEBUG).
+    Line numbers count the header as line 1, matching :func:`read_csv`.
+
+    Args:
+        on_error: ``"raise"`` (default) aborts on the first bad row;
+            ``"skip"`` drops rows that do not decode.
+        stats: optional :class:`IngestStats` updated in place.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                record = csv_row_to_measurement(row)
+            except SchemaError as exc:
+                if on_error == "skip":
+                    _CSV_SKIPPED.inc()
+                    if stats is not None:
+                        stats.skipped += 1
+                    if _logger.isEnabledFor(10):  # logging.DEBUG
+                        _logger.debug(
+                            "skipped malformed row",
+                            extra={"ctx": {"path": str(path), "line": lineno}},
+                        )
+                    continue
+                raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            _CSV_READ.inc()
+            if stats is not None:
+                stats.read += 1
+            yield record
+
+
 def read_csv(
     path: _PathLike,
     on_error: str = "raise",
@@ -180,34 +238,11 @@ def read_csv(
     (``ingest.csv.skipped``) and reported with one WARNING. ``stats``
     receives this call's read/skip counts, as in :func:`read_jsonl`.
     """
-    if on_error not in ("raise", "skip"):
-        raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
     if stats is None:
         stats = IngestStats()
-    records = []
-    with open(path, "r", encoding="utf-8", newline="") as handle:
-        reader = csv.DictReader(handle)
-        for lineno, row in enumerate(reader, start=2):
-            try:
-                document = {
-                    key: value
-                    for key, value in row.items()
-                    if value not in ("", None)
-                }
-                records.append(Measurement.from_dict(document))
-            except SchemaError as exc:
-                if on_error == "skip":
-                    _CSV_SKIPPED.inc()
-                    stats.skipped += 1
-                    if _logger.isEnabledFor(10):  # logging.DEBUG
-                        _logger.debug(
-                            "skipped malformed row",
-                            extra={"ctx": {"path": str(path), "line": lineno}},
-                        )
-                    continue
-                raise SchemaError(f"{path}:{lineno}: {exc}") from exc
-            _CSV_READ.inc()
-            stats.read += 1
+    records = MeasurementSet._adopt(
+        list(iter_csv(path, on_error=on_error, stats=stats)), shared=False
+    )
     if stats.skipped:
         _logger.warning(
             "skipped %d malformed row(s) reading %s",
@@ -215,4 +250,4 @@ def read_csv(
             path,
             extra={"ctx": {"read": stats.read, "skipped": stats.skipped}},
         )
-    return MeasurementSet._adopt(records, shared=False)
+    return records

@@ -75,6 +75,42 @@ class TDigest:
     def _all_centroids(self) -> List[Tuple[float, float]]:
         return self._centroids + self._buffer
 
+    # -- mergeable state (cross-process shipping) ---------------------------
+
+    def to_state(self) -> dict:
+        """JSON-compatible mergeable state (centroids plus extremes).
+
+        The state round-trips through :meth:`from_state` with sketch
+        accuracy preserved: centroids carry their weights, and the true
+        observed min/max travel alongside (centroid means alone would
+        understate the extremes). This is what lets a worker process
+        ship its timer digests back to a parent registry.
+        """
+        return {
+            "delta": self.delta,
+            "centroids": [
+                [mean, weight] for mean, weight in self._all_centroids()
+            ],
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TDigest":
+        """Rebuild a digest exported by :meth:`to_state`."""
+        digest = cls(delta=int(state.get("delta", DEFAULT_DELTA)))
+        for mean, weight in state.get("centroids", []):
+            digest.add(float(mean), float(weight))
+        # ``add`` derived extremes from centroid means; restore the
+        # true observed ones recorded in the state.
+        minimum = state.get("min")
+        maximum = state.get("max")
+        if minimum is not None:
+            digest._min = float(minimum)
+        if maximum is not None:
+            digest._max = float(maximum)
+        return digest
+
     def _compress(self) -> None:
         points = sorted(self._all_centroids())
         self._buffer = []

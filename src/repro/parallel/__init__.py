@@ -1,0 +1,32 @@
+"""Sharded parallel execution: multi-worker scoring and ingest.
+
+The pipeline's fan-out layer. :class:`ShardPlan` partitions work into
+disjoint, deterministic shards; :func:`run_sharded` executes a worker
+function over the shards in a forked process pool (payload delivered by
+fork inheritance, per-worker telemetry snapshots merged back into the
+parent registry, failures re-raised as :class:`ShardError` naming the
+failed shard's keys); :func:`score_regions_parallel` and the
+``read_*_parallel`` readers are the two fan-outs the CLI's global
+``--workers`` flag drives. Parallel output is bit-identical to serial
+output by construction — see each module's docstring for the argument.
+"""
+
+from .ingest import (
+    read_csv_parallel,
+    read_jsonl_parallel,
+    split_line_ranges,
+)
+from .plan import ShardPlan
+from .pool import ShardError, fork_available, run_sharded
+from .scoring import score_regions_parallel
+
+__all__ = [
+    "ShardPlan",
+    "ShardError",
+    "fork_available",
+    "run_sharded",
+    "score_regions_parallel",
+    "read_jsonl_parallel",
+    "read_csv_parallel",
+    "split_line_ranges",
+]

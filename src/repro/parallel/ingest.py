@@ -1,0 +1,311 @@
+"""Parallel file ingest: byte-range splitting + sharded JSONL/CSV readers.
+
+A measurement dump is a line-oriented file, so it splits for free: pick
+``workers`` byte offsets, slide each forward to the next newline, and
+every worker decodes a disjoint, line-aligned byte range with exactly
+the serial decode step (:func:`json.loads` + ``Measurement.from_dict``
+for JSONL, :func:`~repro.measurements.io.csv_row_to_measurement` for
+CSV). The parent concatenates the per-range record lists in range
+order, so the resulting :class:`~repro.measurements.collection.\
+MeasurementSet` is record-for-record identical to the serial readers.
+
+Accounting mirrors the serial readers: workers bump the same
+``ingest.*`` counters (their registry snapshots merge into the parent
+via the pool), per-range :class:`~repro.measurements.io.IngestStats`
+are summed into the caller's ``stats``, and skip mode logs one WARNING
+with the total drop count.
+
+Error semantics differ in one documented way: a malformed line in
+``"raise"`` mode reports its line number *within the failing byte
+range* (prefixed with the range's offsets) rather than a global line
+number, because no worker knows how many lines precede its range.
+
+Known constraint: the splitter assumes one record per line. That is
+always true for JSONL and for CSV files written by
+:func:`~repro.measurements.io.write_csv`; CSV files with embedded
+newlines inside quoted fields must use the serial reader.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import List, Optional, Tuple, Union
+
+from repro.core.exceptions import SchemaError
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.io import (
+    IngestStats,
+    csv_row_to_measurement,
+    read_csv,
+    read_jsonl,
+)
+from repro.measurements.record import Measurement
+from repro.obs import counter, get_logger, span
+
+from .pool import ShardError, run_sharded
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+_logger = get_logger(__name__)
+
+ByteRange = Tuple[int, int]
+
+
+def split_line_ranges(
+    path: _PathLike, parts: int, offset: int = 0
+) -> List[ByteRange]:
+    """Split ``path`` into at most ``parts`` line-aligned byte ranges.
+
+    Every range starts at a line boundary and ends at one (or EOF), the
+    ranges are disjoint, and together they cover ``[offset, filesize)``
+    exactly. Short files yield fewer ranges than requested — possibly
+    just one — never an empty range.
+
+    Args:
+        offset: where coverage starts; the CSV reader passes the byte
+            just past the header line.
+
+    Raises:
+        ValueError: when ``parts`` is not positive.
+        OSError: when the file cannot be stat'ed or read.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1: {parts}")
+    size = os.path.getsize(path)
+    if offset >= size:
+        return []
+    boundaries = [offset]
+    with open(path, "rb") as handle:
+        for index in range(1, parts):
+            target = offset + ((size - offset) * index) // parts
+            if target <= boundaries[-1]:
+                continue
+            handle.seek(target)
+            handle.readline()  # slide forward to the next line boundary
+            position = handle.tell()
+            if position >= size:
+                break
+            if position > boundaries[-1]:
+                boundaries.append(position)
+    boundaries.append(size)
+    return [
+        (boundaries[index], boundaries[index + 1])
+        for index in range(len(boundaries) - 1)
+    ]
+
+
+def _range_label(path: str, start: int, end: int, lineno: int) -> str:
+    return f"{path}: line {lineno} of byte range [{start}, {end})"
+
+
+def _read_jsonl_range(
+    payload: Tuple[str, str], shard: ByteRange
+) -> Tuple[List[Measurement], IngestStats]:
+    """Decode one byte range of a JSONL file (worker side)."""
+    path, on_error = payload
+    start, end = shard
+    read_count = counter("ingest.jsonl.lines")
+    skip_count = counter("ingest.jsonl.skipped")
+    stats = IngestStats()
+    records: List[Measurement] = []
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        data = handle.read(end - start)
+    for lineno, raw in enumerate(data.split(b"\n"), start=1):
+        line = raw.decode("utf-8").strip()
+        if not line:
+            continue
+        try:
+            record = Measurement.from_dict(json.loads(line))
+        except (json.JSONDecodeError, SchemaError) as exc:
+            if on_error == "skip":
+                skip_count.inc()
+                stats.skipped += 1
+                if _logger.isEnabledFor(10):  # logging.DEBUG
+                    _logger.debug(
+                        "skipped malformed line",
+                        extra={
+                            "ctx": {
+                                "path": path,
+                                "range": [start, end],
+                                "line": lineno,
+                            }
+                        },
+                    )
+                continue
+            raise SchemaError(
+                f"{_range_label(path, start, end, lineno)}: {exc}"
+            ) from exc
+        read_count.inc()
+        stats.read += 1
+        records.append(record)
+    return records, stats
+
+
+def _read_csv_range(
+    payload: Tuple[str, Tuple[str, ...], str], shard: ByteRange
+) -> Tuple[List[Measurement], IngestStats]:
+    """Decode one byte range of a CSV file (worker side).
+
+    The header line is excluded from every range; the parent reads it
+    once and ships the field names in the payload.
+    """
+    path, fieldnames, on_error = payload
+    start, end = shard
+    read_count = counter("ingest.csv.rows")
+    skip_count = counter("ingest.csv.skipped")
+    stats = IngestStats()
+    records: List[Measurement] = []
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        data = handle.read(end - start)
+    reader = csv.DictReader(
+        io.StringIO(data.decode("utf-8"), newline=""),
+        fieldnames=list(fieldnames),
+    )
+    for lineno, row in enumerate(reader, start=1):
+        try:
+            record = csv_row_to_measurement(
+                {key: value for key, value in row.items() if key is not None}
+            )
+        except SchemaError as exc:
+            if on_error == "skip":
+                skip_count.inc()
+                stats.skipped += 1
+                if _logger.isEnabledFor(10):  # logging.DEBUG
+                    _logger.debug(
+                        "skipped malformed row",
+                        extra={
+                            "ctx": {
+                                "path": path,
+                                "range": [start, end],
+                                "line": lineno,
+                            }
+                        },
+                    )
+                continue
+            raise SchemaError(
+                f"{_range_label(path, start, end, lineno)}: {exc}"
+            ) from exc
+        read_count.inc()
+        stats.read += 1
+        records.append(record)
+    return records, stats
+
+
+def _merge_range_results(
+    parts: List[Tuple[List[Measurement], IngestStats]],
+    stats: IngestStats,
+    path: _PathLike,
+    noun: str,
+) -> MeasurementSet:
+    records: List[Measurement] = []
+    for part_records, part_stats in parts:
+        records.extend(part_records)
+        stats.read += part_stats.read
+        stats.skipped += part_stats.skipped
+    if stats.skipped:
+        _logger.warning(
+            "skipped %d malformed %s(s) reading %s",
+            stats.skipped,
+            noun,
+            path,
+            extra={"ctx": {"read": stats.read, "skipped": stats.skipped}},
+        )
+    return MeasurementSet._adopt(records, shared=False)
+
+
+def _unwrap_shard_error(exc: ShardError) -> None:
+    """Re-raise an ingest ShardError as its file-level cause.
+
+    The CLI contract maps :class:`SchemaError` and :class:`OSError` to
+    exit code 2 with a one-line message; a sharded read must not change
+    that, so those causes propagate as themselves (the ShardError rides
+    along as ``__cause__`` for anyone who wants the shard context).
+    """
+    if isinstance(exc.cause, (SchemaError, OSError)):
+        raise exc.cause from exc
+
+
+def read_jsonl_parallel(
+    path: _PathLike,
+    workers: int,
+    on_error: str = "raise",
+    stats: Optional[IngestStats] = None,
+) -> MeasurementSet:
+    """Sharded :func:`~repro.measurements.io.read_jsonl`.
+
+    Identical records, counters, stats, and skip WARNING; see the
+    module docstring for the one difference in raise-mode line numbers.
+    ``workers <= 1`` delegates to the serial reader outright.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
+    if stats is None:
+        stats = IngestStats()
+    if workers <= 1:
+        return read_jsonl(path, on_error=on_error, stats=stats)
+    with span("ingest_parallel", format="jsonl", workers=workers) as stage:
+        ranges = split_line_ranges(path, workers)
+        stage.annotate(ranges=len(ranges))
+        if not ranges:
+            return MeasurementSet._adopt([], shared=False)
+        try:
+            parts = run_sharded(
+                _read_jsonl_range,
+                (str(path), on_error),
+                ranges,
+                workers=workers,
+            )
+        except ShardError as exc:
+            _unwrap_shard_error(exc)
+            raise
+        return _merge_range_results(parts, stats, path, "line")
+
+
+def read_csv_parallel(
+    path: _PathLike,
+    workers: int,
+    on_error: str = "raise",
+    stats: Optional[IngestStats] = None,
+) -> MeasurementSet:
+    """Sharded :func:`~repro.measurements.io.read_csv`.
+
+    The header row is read once in the parent; workers decode disjoint
+    line-aligned byte ranges of the body. Requires one record per line
+    (always true for :func:`~repro.measurements.io.write_csv` output).
+    ``workers <= 1`` delegates to the serial reader outright.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip': {on_error!r}")
+    if stats is None:
+        stats = IngestStats()
+    if workers <= 1:
+        return read_csv(path, on_error=on_error, stats=stats)
+    with span("ingest_parallel", format="csv", workers=workers) as stage:
+        with open(path, "rb") as handle:
+            header = handle.readline()
+            body_start = handle.tell()
+        if not header.strip():
+            return MeasurementSet._adopt([], shared=False)
+        fieldnames = tuple(
+            next(csv.reader([header.decode("utf-8")]))
+        )
+        ranges = split_line_ranges(path, workers, offset=body_start)
+        stage.annotate(ranges=len(ranges))
+        if not ranges:
+            return MeasurementSet._adopt([], shared=False)
+        try:
+            parts = run_sharded(
+                _read_csv_range,
+                (str(path), fieldnames, on_error),
+                ranges,
+                workers=workers,
+            )
+        except ShardError as exc:
+            _unwrap_shard_error(exc)
+            raise
+        return _merge_range_results(parts, stats, path, "row")

@@ -1,0 +1,251 @@
+"""Sharded process-pool execution with merged telemetry.
+
+The execution layer under every parallel fan-out in the pipeline
+(region scoring, file ingest, campaign simulation). One call shape:
+
+    results = run_sharded(worker, payload, shards, workers=N)
+
+``worker(payload, shard)`` is a module-level function; ``payload`` is
+the large shared input (a record grouping, a config) and each ``shard``
+is a small descriptor of one slice of the work (region names, a byte
+range). Results come back as a list in *shard order*, regardless of
+completion order, so parallel output merges deterministically.
+
+Design decisions, in order of importance:
+
+1. **The payload travels by fork, not pickle.** Workers are forked
+   (copy-on-write) after the payload is stashed in a module global, so
+   a multi-hundred-megabyte record batch costs nothing to "send". Only
+   the shard descriptors, the results, and the telemetry snapshots
+   cross the pipe. On platforms without ``fork`` the call degrades to
+   the serial path — same results, one process.
+
+2. **Telemetry survives the fork.** Each worker process resets its
+   inherited default :class:`~repro.obs.registry.MetricsRegistry`
+   before a shard, runs the shard under a ``span("shard")`` annotated
+   with the worker's pid, then ships ``snapshot(include_digests=True)``
+   home; the parent folds every snapshot into its own registry via
+   :meth:`~repro.obs.registry.MetricsRegistry.merge` in shard order.
+   Counters (quantile-cache hits, ingest skips) and span timers
+   therefore read the same under ``iqb metrics`` whether the run was
+   serial or sharded.
+
+3. **Crash isolation names the shard.** A worker exception is caught
+   in the worker, transported back (as the original exception when it
+   pickles), and re-raised as :class:`ShardError` carrying the failed
+   shard's key list — never a bare ``BrokenProcessPool`` with no clue
+   which regions were in flight. A hard worker death (signal, OOM) is
+   mapped the same way from the future that observed it.
+
+4. **Serial fallback is the same code path.** ``workers <= 1``, a
+   single shard, an unavailable ``fork`` start method, or shard
+   descriptors that don't pickle all run ``worker(payload, shard)``
+   inline in-process — instruments then land in the parent registry
+   directly, and failures raise the same :class:`ShardError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import REGISTRY, counter, gauge, span
+
+_SHARDS_COMPLETED = counter("parallel.shards.completed")
+_SHARDS_FAILED = counter("parallel.shards.failed")
+_SERIAL_FALLBACKS = counter("parallel.serial_fallbacks")
+_POOL_WORKERS = gauge("parallel.pool.workers")
+
+#: The fork-shared payload: set by :func:`run_sharded` immediately
+#: before the pool forks, inherited copy-on-write by every worker,
+#: cleared when the fan-out finishes. Never pickled.
+_PAYLOAD: Any = None
+
+ShardWorker = Callable[[Any, Any], Any]
+
+
+class ShardError(RuntimeError):
+    """One shard of a parallel fan-out failed.
+
+    Carries the shard's index and key list (the regions / ranges it
+    covered) plus the underlying cause, so an operator sees *which*
+    slice of the work died instead of a bare pool error.
+    """
+
+    def __init__(
+        self, shard_index: int, keys: Sequence[Any], cause: object
+    ) -> None:
+        self.shard_index = shard_index
+        self.keys = tuple(keys)
+        self.cause = cause
+        shown = ", ".join(str(key) for key in self.keys[:8])
+        if len(self.keys) > 8:
+            shown += ", ..."
+        super().__init__(
+            f"shard {shard_index} ({len(self.keys)} key(s): {shown}) "
+            f"failed: {cause}"
+        )
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _run_shard(worker: ShardWorker, index: int, shard: Any) -> Tuple:
+    """Worker-side wrapper: isolate telemetry, contain failures.
+
+    Runs in the forked child. The registry reset makes the returned
+    snapshot cover exactly this shard even when the pool reuses one
+    process for several shards (without it a reused worker would ship
+    cumulative counts and the parent would double-merge).
+    """
+    from repro.obs import reset
+
+    reset()
+    try:
+        with span("shard", shard=index, worker=os.getpid()):
+            result = worker(_PAYLOAD, shard)
+        return ("ok", index, result, REGISTRY.snapshot(include_digests=True))
+    except Exception as exc:
+        transported: object = (
+            exc if _picklable(exc) else f"{type(exc).__name__}: {exc}"
+        )
+        return (
+            "error",
+            index,
+            transported,
+            REGISTRY.snapshot(include_digests=True),
+        )
+
+
+def _shard_keys_for(
+    shards: Sequence[Any], shard_keys: Optional[Sequence[Sequence[Any]]]
+) -> List[Tuple[Any, ...]]:
+    if shard_keys is not None:
+        return [tuple(keys) for keys in shard_keys]
+    return [
+        tuple(shard) if isinstance(shard, (tuple, list)) else (shard,)
+        for shard in shards
+    ]
+
+
+def _run_serial(
+    worker: ShardWorker,
+    payload: Any,
+    shards: Sequence[Any],
+    keys: List[Tuple[Any, ...]],
+) -> List[Any]:
+    """In-process execution with the same ShardError contract."""
+    _SERIAL_FALLBACKS.inc()
+    results: List[Any] = []
+    for index, shard in enumerate(shards):
+        try:
+            with span("shard", shard=index, worker=os.getpid()):
+                results.append(worker(payload, shard))
+        except Exception as exc:
+            _SHARDS_FAILED.inc()
+            raise ShardError(index, keys[index], exc) from exc
+        _SHARDS_COMPLETED.inc()
+    return results
+
+
+def run_sharded(
+    worker: ShardWorker,
+    payload: Any,
+    shards: Sequence[Any],
+    workers: int,
+    shard_keys: Optional[Sequence[Sequence[Any]]] = None,
+) -> List[Any]:
+    """Run ``worker(payload, shard)`` over every shard; results in order.
+
+    Args:
+        worker: a module-level function (it crosses the process
+            boundary by reference) taking ``(payload, shard)``.
+        payload: the shared input, delivered to workers by fork
+            inheritance — never pickled, so size is effectively free.
+        shards: small per-shard descriptors (region-name tuples, byte
+            ranges); these *are* pickled, keep them light.
+        workers: target pool size; the pool never exceeds the shard
+            count. ``<= 1`` runs serially.
+        shard_keys: optional per-shard key lists for error reporting;
+            defaults to the shard descriptors themselves.
+
+    Returns:
+        Per-shard results, index-aligned with ``shards`` regardless of
+        completion order.
+
+    Raises:
+        ShardError: when any shard fails (worker exception or worker
+            process death), naming the shard's keys. Worker telemetry
+            collected before the failure is still merged.
+    """
+    shards = list(shards)
+    keys = _shard_keys_for(shards, shard_keys)
+    if len(keys) != len(shards):
+        raise ValueError(
+            f"shard_keys length {len(keys)} != shard count {len(shards)}"
+        )
+    if not shards:
+        return []
+    if (
+        workers <= 1
+        or len(shards) <= 1
+        or not fork_available()
+        or not _picklable(shards)
+    ):
+        return _run_serial(worker, payload, shards, keys)
+
+    global _PAYLOAD
+    pool_size = min(workers, len(shards))
+    _POOL_WORKERS.set(pool_size)
+    _PAYLOAD = payload
+    results: List[Any] = [None] * len(shards)
+    try:
+        with span(
+            "parallel_fanout", workers=pool_size, shards=len(shards)
+        ):
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                futures = [
+                    pool.submit(_run_shard, worker, index, shard)
+                    for index, shard in enumerate(shards)
+                ]
+                for index, future in enumerate(futures):
+                    try:
+                        status, _, outcome, metrics = future.result()
+                    except BrokenProcessPool as exc:
+                        _SHARDS_FAILED.inc()
+                        raise ShardError(
+                            index,
+                            keys[index],
+                            f"worker process died: {exc}",
+                        ) from exc
+                    if metrics:
+                        REGISTRY.merge(metrics)
+                    if status == "error":
+                        _SHARDS_FAILED.inc()
+                        if isinstance(outcome, BaseException):
+                            raise ShardError(
+                                index, keys[index], outcome
+                            ) from outcome
+                        raise ShardError(index, keys[index], outcome)
+                    _SHARDS_COMPLETED.inc()
+                    results[index] = outcome
+    finally:
+        _PAYLOAD = None
+    return results

@@ -1,0 +1,119 @@
+"""Parallel region scoring: shard by region, merge bit-identically.
+
+The fan-out behind ``score_regions(records, config, workers=N)``.
+Regions are independent under Eqs. 1–5, so the batch partitions into
+region shards (:class:`~repro.parallel.plan.ShardPlan` over the sorted
+region list) and each worker scores its shard with exactly the serial
+machinery: it builds a private
+:class:`~repro.measurements.columnar.ColumnarStore` over only its
+shard's records and calls :func:`repro.core.scoring.score_region` per
+region. Because a region's sorted per-(dataset, metric) columns are
+identical whether the store holds one region or the whole country, the
+merged output is **bit-identical** to the serial batch path — the same
+contract the columnar plane established against the original
+re-group-per-region loop (property tests assert dict equality for
+uneven worker/region ratios).
+
+Inputs follow :func:`repro.core.scoring.score_regions`: a record
+iterable / MeasurementSet / ColumnarStore (sharded by grouping raw
+records per region), or a pre-grouped ``region → {dataset →
+QuantileSource}`` mapping (sharded by region name; the sources travel
+to workers by fork inheritance, so they never need to pickle).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.exceptions import DataError
+from repro.core.scoring import score_region
+
+from .plan import ShardPlan
+from .pool import run_sharded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import IQBConfig
+    from repro.core.scoring import ScoreBreakdown
+    from repro.measurements.record import Measurement
+    from repro.obs import Span
+
+
+def _score_records_shard(
+    payload: Tuple[Dict[str, List["Measurement"]], "IQBConfig"],
+    shard: Tuple[str, ...],
+) -> Dict[str, "ScoreBreakdown"]:
+    """Score one shard of regions from raw records (worker side)."""
+    # Imported here, not at module top: repro.measurements imports
+    # repro.core, and keeping this module importable from repro.core's
+    # lazy fan-out must not close that cycle at import time.
+    from repro.measurements.columnar import ColumnarStore
+
+    groups, config = payload
+    records = [
+        record for region in shard for record in groups[region]
+    ]
+    grouped = ColumnarStore(records).sources_by_region()
+    return {
+        region: score_region(grouped[region], config) for region in shard
+    }
+
+
+def _score_grouped_shard(
+    payload: Tuple[Mapping[str, Mapping[str, object]], "IQBConfig"],
+    shard: Tuple[str, ...],
+) -> Dict[str, "ScoreBreakdown"]:
+    """Score one shard of regions from pre-grouped sources (worker side)."""
+    grouped, config = payload
+    return {
+        region: score_region(grouped[region], config) for region in shard
+    }
+
+
+def score_regions_parallel(
+    records: object,
+    config: "IQBConfig",
+    workers: int,
+    stage: Optional["Span"] = None,
+) -> Dict[str, "ScoreBreakdown"]:
+    """Sharded :func:`repro.core.scoring.score_regions` (see module doc).
+
+    Prefer calling ``score_regions(records, config, workers=N)``; this
+    is its implementation. Worker telemetry (quantile-cache counters,
+    span timers) merges into the parent registry, so `iqb metrics`
+    reads the same under any worker count.
+
+    Raises:
+        DataError: when the batch holds no regions.
+        ShardError: when a worker shard fails, naming its regions.
+    """
+    if isinstance(records, Mapping):
+        grouped: Mapping[str, object] = records
+        worker = _score_grouped_shard
+    else:
+        from repro.measurements.columnar import ColumnarStore
+
+        record_list = (
+            records.records()
+            if isinstance(records, ColumnarStore)
+            else list(records)  # type: ignore[call-overload]
+        )
+        groups: Dict[str, List["Measurement"]] = {}
+        for record in record_list:
+            groups.setdefault(record.region, []).append(record)
+        grouped = groups
+        worker = _score_records_shard
+    if not grouped:
+        raise DataError("score_regions needs at least one region of data")
+
+    plan = ShardPlan.for_keys(sorted(grouped), workers)
+    if stage is not None:
+        stage.annotate(
+            regions=len(grouped), workers=workers, shards=plan.shard_count
+        )
+    shard_results = run_sharded(
+        worker, (grouped, config), plan.shards, workers=workers
+    )
+    merged: Dict[str, "ScoreBreakdown"] = {}
+    for part in shard_results:
+        merged.update(part)
+    return merged

@@ -83,11 +83,17 @@ class MemorySink:
         """region → dataset → QuantileSource over the collected batch."""
         return self.as_columnar().sources_by_region()
 
-    def score_all(self, config: "IQBConfig") -> Dict[str, "ScoreBreakdown"]:
-        """Batch-score every region collected so far (columnar path)."""
+    def score_all(
+        self, config: "IQBConfig", workers: int = 1
+    ) -> Dict[str, "ScoreBreakdown"]:
+        """Batch-score every region collected so far (columnar path).
+
+        ``workers > 1`` shards the scoring across a worker pool with
+        bit-identical results.
+        """
         from repro.core.scoring import score_regions
 
-        return score_regions(self.as_columnar(), config)
+        return score_regions(self.as_columnar(), config, workers=workers)
 
 
 class JsonlSink:

@@ -5,6 +5,9 @@ import pytest
 from repro.core.exceptions import SchemaError
 from repro.measurements.collection import MeasurementSet
 from repro.measurements.io import (
+    IngestStats,
+    csv_row_to_measurement,
+    iter_csv,
     iter_jsonl,
     read_csv,
     read_jsonl,
@@ -147,3 +150,65 @@ class TestCsv:
         path.write_text("region,source\n")
         with pytest.raises(ValueError, match="on_error"):
             read_csv(path, on_error="ignore")
+
+
+class TestIterCsv:
+    def test_streams_same_records_as_read_csv(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(records, path)
+        assert list(iter_csv(path)) == list(read_csv(path))
+
+    def test_streams_lazily(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(records, path)
+        iterator = iter_csv(path)
+        first = next(iterator)
+        assert first.region == "r1"
+
+    def test_stats_updated_in_place(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(records, path)
+        with open(path, "a") as handle:
+            handle.write("r3,ndt,notanumber,1,,,,,\n")
+        stats = IngestStats()
+        loaded = list(iter_csv(path, on_error="skip", stats=stats))
+        assert len(loaded) == 2
+        assert stats.read == 2
+        assert stats.skipped == 1
+
+    def test_bad_row_raises_with_location(self, records, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(records, path)
+        with open(path, "a") as handle:
+            handle.write("r3,ndt,notanumber,1,,,,,\n")
+        with pytest.raises(SchemaError, match=":4"):
+            list(iter_csv(path))
+
+    def test_on_error_validated(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("region,source\n")
+        with pytest.raises(ValueError, match="on_error"):
+            list(iter_csv(path, on_error="ignore"))
+
+
+class TestCsvRowToMeasurement:
+    def test_decodes_row_dropping_empty_cells(self):
+        record = csv_row_to_measurement(
+            {
+                "region": "r1",
+                "source": "ndt",
+                "timestamp": "1.5",
+                "download_mbps": "42.0",
+                "upload_mbps": "",
+                "latency_ms": None,
+            }
+        )
+        assert record.region == "r1"
+        assert record.download_mbps == 42.0
+        assert record.upload_mbps is None
+
+    def test_invalid_row_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            csv_row_to_measurement(
+                {"region": "r1", "source": "ndt", "timestamp": "nope"}
+            )

@@ -1,0 +1,108 @@
+"""Unit tests for MetricsRegistry.merge (cross-process aggregation)."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def _worker_registry(counts, gauge_value, timer_obs):
+    source = MetricsRegistry()
+    for name, value in counts.items():
+        source.counter(name).inc(value)
+    source.gauge("g").set(gauge_value)
+    for value in timer_obs:
+        source.timer("t").observe(value)
+    return source
+
+
+class TestCounters:
+    def test_counters_add(self, registry):
+        registry.counter("c").inc(3)
+        registry.merge({"counters": {"c": 4, "new": 2}})
+        snap = registry.snapshot()["counters"]
+        assert snap["c"] == 7
+        assert snap["new"] == 2
+
+    def test_merge_commutes(self):
+        a = _worker_registry({"x": 3, "y": 1}, 1.0, [0.1]).snapshot(
+            include_digests=True
+        )
+        b = _worker_registry({"x": 5, "z": 2}, 2.0, [0.2, 0.4]).snapshot(
+            include_digests=True
+        )
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(a)
+        ab.merge(b)
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.snapshot()["counters"] == ba.snapshot()["counters"]
+        # Timer count/total are exactly commutative too.
+        t_ab = ab.snapshot()["timers"]["t"]
+        t_ba = ba.snapshot()["timers"]["t"]
+        assert t_ab["count"] == t_ba["count"] == 3
+        assert t_ab["total_s"] == pytest.approx(t_ba["total_s"])
+
+
+class TestGauges:
+    def test_gauges_last_write_wins(self, registry):
+        registry.gauge("g").set(10.0)
+        registry.merge({"gauges": {"g": 3.0}})
+        assert registry.snapshot()["gauges"]["g"] == 3.0
+
+
+class TestTimers:
+    def test_count_and_total_add(self, registry):
+        registry.timer("t").observe(1.0)
+        registry.merge({"timers": {"t": {"count": 2, "total_s": 3.0}}})
+        entry = registry.snapshot()["timers"]["t"]
+        assert entry["count"] == 3
+        assert entry["total_s"] == pytest.approx(4.0)
+
+    def test_digest_merge_keeps_quantiles_truthful(self, registry):
+        source = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3, 10.0):
+            source.timer("t").observe(value)
+        registry.merge(source.snapshot(include_digests=True))
+        merged = registry.timer("t")
+        assert merged.count == 4
+        # Max observation survives the digest transfer exactly.
+        assert merged.quantile(100.0) == pytest.approx(10.0)
+        assert merged.quantile(50.0) == pytest.approx(0.25, abs=0.1)
+
+    def test_merge_into_observed_timer_combines_distributions(
+        self, registry
+    ):
+        registry.timer("t").observe(1.0)
+        source = MetricsRegistry()
+        source.timer("t").observe(5.0)
+        registry.merge(source.snapshot(include_digests=True))
+        assert registry.timer("t").count == 2
+        assert registry.timer("t").quantile(100.0) == pytest.approx(5.0)
+
+    def test_digest_free_snapshot_still_merges(self, registry):
+        registry.merge({"timers": {"t": {"count": 4, "total_s": 2.0}}})
+        assert registry.timer("t").count == 4
+        # No digest shipped: quantiles stay unknown, not wrong.
+        assert registry.timer("t").quantile(50.0) is None
+
+
+class TestRoundTrip:
+    def test_merge_into_fresh_registry_reproduces_source(self):
+        source = _worker_registry({"a": 7}, 4.5, [0.5, 1.5])
+        clone = MetricsRegistry()
+        clone.merge(source.snapshot(include_digests=True))
+        assert clone.snapshot() == source.snapshot()
+
+    def test_snapshot_with_digests_is_superset(self):
+        source = _worker_registry({"a": 1}, 0.0, [0.25])
+        plain = source.snapshot()
+        rich = source.snapshot(include_digests=True)
+        for name, entry in plain["timers"].items():
+            for key, value in entry.items():
+                assert rich["timers"][name][key] == value
+        assert "digest" in rich["timers"]["t"]

@@ -1,0 +1,183 @@
+"""Parallel ingest: byte-range splitting + reader parity with serial."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.io import (
+    IngestStats,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.measurements.record import Measurement
+from repro.parallel import (
+    read_csv_parallel,
+    read_jsonl_parallel,
+    split_line_ranges,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return MeasurementSet(
+        [
+            Measurement(
+                region=f"r{i % 5}",
+                source=("ndt", "ookla", "cloudflare")[i % 3],
+                timestamp=float(i),
+                download_mbps=50.0 + i,
+                upload_mbps=10.0 + i,
+                latency_ms=20.0 + (i % 7),
+                packet_loss=0.001 * (i % 4),
+            )
+            for i in range(200)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def jsonl_file(records, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pingest") / "data.jsonl"
+    write_jsonl(records, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def csv_file(records, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pingest") / "data.csv"
+    write_csv(records, path)
+    return path
+
+
+class TestSplitLineRanges:
+    def test_covers_file_exactly(self, jsonl_file):
+        size = jsonl_file.stat().st_size
+        ranges = split_line_ranges(jsonl_file, 4)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == size
+        for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert end_a == start_b
+
+    def test_ranges_align_on_line_boundaries(self, jsonl_file):
+        data = jsonl_file.read_bytes()
+        for start, end in split_line_ranges(jsonl_file, 7):
+            if start > 0:
+                assert data[start - 1 : start] == b"\n"
+            # Each range decodes to whole JSON documents.
+            for line in data[start:end].decode().strip().splitlines():
+                json.loads(line)
+
+    def test_offset_excludes_prefix(self, csv_file):
+        header_end = csv_file.read_bytes().index(b"\n") + 1
+        ranges = split_line_ranges(csv_file, 3, offset=header_end)
+        assert ranges[0][0] == header_end
+
+    def test_short_file_fewer_parts(self, tmp_path):
+        path = tmp_path / "tiny.jsonl"
+        path.write_text('{"a": 1}\n')
+        assert len(split_line_ranges(path, 8)) == 1
+
+    def test_empty_file_no_ranges(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert split_line_ranges(path, 4) == []
+
+    def test_rejects_non_positive_parts(self, jsonl_file):
+        with pytest.raises(ValueError, match="parts"):
+            split_line_ranges(jsonl_file, 0)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            split_line_ranges(tmp_path / "nope.jsonl", 2)
+
+
+class TestJsonlParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 7])
+    def test_records_identical_to_serial(self, jsonl_file, records, workers):
+        loaded = read_jsonl_parallel(jsonl_file, workers)
+        assert list(loaded) == list(records)
+
+    def test_stats_match_serial(self, jsonl_file):
+        serial, parallel = IngestStats(), IngestStats()
+        read_jsonl(jsonl_file, stats=serial)
+        read_jsonl_parallel(jsonl_file, 4, stats=parallel)
+        assert (parallel.read, parallel.skipped) == (
+            serial.read,
+            serial.skipped,
+        )
+
+    def test_skip_mode_drops_same_rows(self, jsonl_file, tmp_path):
+        dirty = tmp_path / "dirty.jsonl"
+        lines = jsonl_file.read_text().splitlines()
+        lines.insert(50, "{not json")
+        lines.insert(150, '{"region": 7}')
+        dirty.write_text("\n".join(lines) + "\n")
+        serial_stats, parallel_stats = IngestStats(), IngestStats()
+        serial = read_jsonl(dirty, on_error="skip", stats=serial_stats)
+        parallel = read_jsonl_parallel(
+            dirty, 4, on_error="skip", stats=parallel_stats
+        )
+        assert list(parallel) == list(serial)
+        assert parallel_stats.skipped == serial_stats.skipped == 2
+
+    def test_raise_mode_surfaces_schema_error(self, jsonl_file, tmp_path):
+        dirty = tmp_path / "bad.jsonl"
+        lines = jsonl_file.read_text().splitlines()
+        lines[120] = "{broken"
+        dirty.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaError, match="byte range"):
+            read_jsonl_parallel(dirty, 4)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_jsonl_parallel(tmp_path / "nope.jsonl", 4)
+
+    def test_empty_file_empty_set(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert len(read_jsonl_parallel(path, 4)) == 0
+
+    def test_rejects_bad_on_error(self, jsonl_file):
+        with pytest.raises(ValueError, match="on_error"):
+            read_jsonl_parallel(jsonl_file, 4, on_error="explode")
+
+
+class TestCsvParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 7])
+    def test_records_identical_to_serial(self, csv_file, workers):
+        serial = read_csv(csv_file)
+        parallel = read_csv_parallel(csv_file, workers)
+        assert list(parallel) == list(serial)
+
+    def test_stats_match_serial(self, csv_file):
+        serial, parallel = IngestStats(), IngestStats()
+        read_csv(csv_file, stats=serial)
+        read_csv_parallel(csv_file, 4, stats=parallel)
+        assert (parallel.read, parallel.skipped) == (
+            serial.read,
+            serial.skipped,
+        )
+
+    def test_skip_mode_drops_bad_rows(self, csv_file, tmp_path):
+        dirty = tmp_path / "dirty.csv"
+        lines = csv_file.read_text().splitlines()
+        lines.insert(40, ",,,,,,,,")  # no region/source: schema failure
+        dirty.write_text("\n".join(lines) + "\n")
+        stats = IngestStats()
+        parallel = read_csv_parallel(dirty, 4, on_error="skip", stats=stats)
+        assert stats.skipped == 1
+        assert list(parallel) == list(read_csv(dirty, on_error="skip"))
+
+    def test_header_only_file_empty_set(self, tmp_path, csv_file):
+        path = tmp_path / "header.csv"
+        path.write_text(csv_file.read_text().splitlines()[0] + "\n")
+        assert len(read_csv_parallel(path, 4)) == 0
+
+    def test_empty_file_empty_set(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert len(read_csv_parallel(path, 4)) == 0

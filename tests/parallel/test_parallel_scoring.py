@@ -1,0 +1,129 @@
+"""Parallel region scoring: bit-identical to serial, any worker count."""
+
+import pytest
+
+from repro.core.exceptions import DataError
+from repro.core.scoring import score_regions
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.columnar import ColumnarStore
+from repro.netsim import CampaignConfig, region_preset, simulate_region
+from repro.netsim.population import REGION_PRESETS
+from repro.parallel import fork_available
+from repro.parallel.scoring import score_regions_parallel
+
+
+@pytest.fixture(scope="module")
+def six_region_batch():
+    """A campaign over all six presets — an uneven fit for most pools."""
+    campaign = CampaignConfig(subscribers=15, tests_per_client=40)
+    records = MeasurementSet()
+    for name in sorted(REGION_PRESETS):
+        records = records + simulate_region(
+            region_preset(name), seed=11, config=campaign
+        )
+    return records
+
+
+@pytest.fixture(scope="module")
+def serial_scores(six_region_batch, config):
+    return score_regions(six_region_batch, config)
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 7])
+    def test_parallel_equals_serial(
+        self, six_region_batch, config, serial_scores, workers
+    ):
+        parallel = score_regions(six_region_batch, config, workers=workers)
+        # Dataclass equality on ScoreBreakdown compares every float of
+        # every tier exactly — this is bit-equality, not tolerance.
+        assert parallel == serial_scores
+        assert list(parallel) == list(serial_scores)
+
+    def test_columnar_store_input(
+        self, six_region_batch, config, serial_scores
+    ):
+        store = ColumnarStore(list(six_region_batch))
+        assert score_regions(store, config, workers=3) == serial_scores
+
+    def test_pre_grouped_mapping_input(
+        self, six_region_batch, config, serial_scores
+    ):
+        grouped = ColumnarStore(list(six_region_batch)).sources_by_region()
+        assert score_regions(grouped, config, workers=4) == serial_scores
+
+    def test_single_region(self, config):
+        campaign = CampaignConfig(subscribers=10, tests_per_client=30)
+        records = simulate_region(
+            region_preset("metro-fiber"), seed=3, config=campaign
+        )
+        serial = score_regions(records, config)
+        assert score_regions(records, config, workers=4) == serial
+
+    def test_more_workers_than_regions(
+        self, six_region_batch, config, serial_scores
+    ):
+        assert (
+            score_regions(six_region_batch, config, workers=64)
+            == serial_scores
+        )
+
+
+class TestEdgeCases:
+    def test_empty_batch_raises_data_error(self, config):
+        with pytest.raises(DataError, match="at least one region"):
+            score_regions(MeasurementSet(), config, workers=4)
+
+    def test_empty_mapping_raises_data_error(self, config):
+        with pytest.raises(DataError, match="at least one region"):
+            score_regions_parallel({}, config, workers=4)
+
+    def test_batch_regions_counter_matches_serial(
+        self, six_region_batch, config
+    ):
+        from repro.obs import REGISTRY
+
+        def batch_count():
+            return REGISTRY.snapshot()["counters"].get(
+                "scoring.batch.regions", 0
+            )
+
+        before = batch_count()
+        score_regions(six_region_batch, config, workers=4)
+        assert batch_count() == before + 6
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+class TestWorkerTelemetry:
+    def test_quantile_cache_counters_merge(self, six_region_batch, config):
+        """Workers' columnar-cache activity shows up in the parent."""
+        from repro.obs import REGISTRY
+
+        def cache_counts():
+            counters = REGISTRY.snapshot()["counters"]
+            return (
+                counters.get("quantile_cache.columnar.hits", 0),
+                counters.get("quantile_cache.columnar.sorts", 0),
+            )
+
+        hits_before, sorts_before = cache_counts()
+        score_regions(six_region_batch, config, workers=4)
+        hits_after, sorts_after = cache_counts()
+        assert hits_after > hits_before
+        assert sorts_after > sorts_before
+
+    def test_region_scores_counter_matches_serial(
+        self, six_region_batch, config
+    ):
+        from repro.obs import REGISTRY
+
+        def region_count():
+            return REGISTRY.snapshot()["counters"].get(
+                "scoring.region_scores", 0
+            )
+
+        before = region_count()
+        score_regions(six_region_batch, config, workers=4)
+        assert region_count() == before + 6

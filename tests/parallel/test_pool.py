@@ -1,0 +1,126 @@
+"""Unit tests for repro.parallel.pool (sharded execution + telemetry)."""
+
+import os
+
+import pytest
+
+from repro.obs import REGISTRY, counter
+from repro.parallel import ShardError, fork_available, run_sharded
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+
+# Workers must be module-level: they cross the process boundary by
+# reference (fork) and run in-process on the serial path.
+
+def _double_shard(payload, shard):
+    return [payload * item for item in shard]
+
+
+def _shard_pid(payload, shard):
+    return os.getpid()
+
+
+def _fail_on_c(payload, shard):
+    if "c" in shard:
+        raise ValueError("boom on c")
+    return list(shard)
+
+
+def _count_work(payload, shard):
+    counter("test.pool.work_items").inc(len(shard))
+    return len(shard)
+
+
+class TestSerialFallback:
+    def test_workers_one_runs_inline(self):
+        before = REGISTRY.snapshot()["counters"].get(
+            "parallel.serial_fallbacks", 0
+        )
+        results = run_sharded(
+            _shard_pid, None, [("a",), ("b",)], workers=1
+        )
+        assert results == [os.getpid(), os.getpid()]
+        after = REGISTRY.snapshot()["counters"]["parallel.serial_fallbacks"]
+        assert after == before + 1
+
+    def test_single_shard_runs_inline(self):
+        results = run_sharded(_shard_pid, None, [("a", "b")], workers=8)
+        assert results == [os.getpid()]
+
+    def test_unpicklable_shards_run_inline(self):
+        shards = [(lambda: 1,), (lambda: 2,)]  # lambdas don't pickle
+        results = run_sharded(
+            _shard_pid, None, shards, workers=4, shard_keys=[("s0",), ("s1",)]
+        )
+        assert results == [os.getpid(), os.getpid()]
+
+    def test_serial_counters_land_in_parent(self):
+        instrument = counter("test.pool.work_items")
+        before = instrument.value
+        run_sharded(_count_work, None, [("a", "b"), ("c",)], workers=1)
+        assert instrument.value == before + 3
+
+    def test_serial_failure_raises_shard_error(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_sharded(
+                _fail_on_c, None, [("a", "b"), ("c", "d")], workers=1
+            )
+        assert excinfo.value.shard_index == 1
+        assert excinfo.value.keys == ("c", "d")
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestEmptyAndValidation:
+    def test_no_shards_no_results(self):
+        assert run_sharded(_double_shard, 2, [], workers=4) == []
+
+    def test_mismatched_shard_keys_rejected(self):
+        with pytest.raises(ValueError, match="shard_keys"):
+            run_sharded(
+                _double_shard, 2, [(1,), (2,)], workers=1, shard_keys=[("a",)]
+            )
+
+
+@needs_fork
+class TestParallel:
+    def test_results_in_shard_order(self):
+        shards = [(1, 2), (3,), (4, 5, 6)]
+        results = run_sharded(_double_shard, 10, shards, workers=3)
+        assert results == [[10, 20], [30], [40, 50, 60]]
+
+    def test_actually_forks(self):
+        pids = run_sharded(_shard_pid, None, [("a",), ("b",)], workers=2)
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_worker_counters_merge_into_parent(self):
+        instrument = counter("test.pool.work_items")
+        before = instrument.value
+        run_sharded(
+            _count_work, None, [("a", "b"), ("c",), ("d", "e")], workers=3
+        )
+        assert instrument.value == before + 5
+
+    def test_failure_names_the_shard(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_sharded(
+                _fail_on_c,
+                None,
+                [("a", "b"), ("c", "d"), ("e",)],
+                workers=3,
+            )
+        error = excinfo.value
+        assert error.shard_index == 1
+        assert error.keys == ("c", "d")
+        assert "c, d" in str(error)
+        assert "boom on c" in str(error)
+
+    def test_completed_shard_counter(self):
+        before = REGISTRY.snapshot()["counters"].get(
+            "parallel.shards.completed", 0
+        )
+        run_sharded(_double_shard, 1, [(1,), (2,), (3,)], workers=2)
+        after = REGISTRY.snapshot()["counters"]["parallel.shards.completed"]
+        assert after == before + 3

@@ -1,0 +1,77 @@
+"""Unit tests for repro.parallel.plan (shard partitioning)."""
+
+import pytest
+
+from repro.parallel import ShardPlan
+
+
+class TestForKeys:
+    def test_even_split(self):
+        plan = ShardPlan.for_keys(["a", "b", "c", "d"], workers=2)
+        assert plan.shards == (("a", "b"), ("c", "d"))
+
+    def test_uneven_split_front_loads_remainder(self):
+        plan = ShardPlan.for_keys(list("abcdefg"), workers=3)
+        assert plan.shards == (
+            ("a", "b", "c"),
+            ("d", "e"),
+            ("f", "g"),
+        )
+
+    def test_more_workers_than_keys_yields_singletons(self):
+        plan = ShardPlan.for_keys(["x", "y"], workers=8)
+        assert plan.shards == (("x",), ("y",))
+        assert plan.shard_count == 2
+
+    def test_single_worker_single_shard(self):
+        plan = ShardPlan.for_keys(["a", "b", "c"], workers=1)
+        assert plan.shards == (("a", "b", "c"),)
+
+    def test_empty_keys_empty_plan(self):
+        plan = ShardPlan.for_keys([], workers=4)
+        assert plan.shards == ()
+        assert len(plan) == 0
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardPlan.for_keys(["a"], workers=0)
+
+    def test_preserves_caller_order(self):
+        plan = ShardPlan.for_keys(["z", "a", "m"], workers=2)
+        assert plan.keys == ("z", "a", "m")
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("count", [1, 2, 5, 6, 7, 13, 100])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 7, 16])
+    def test_disjoint_covering_balanced(self, count, workers):
+        keys = [f"k{i}" for i in range(count)]
+        plan = ShardPlan.for_keys(keys, workers)
+        # Covers every key exactly once, in order.
+        assert list(plan.keys) == keys
+        # Never more shards than workers or keys; never an empty shard.
+        assert plan.shard_count == min(workers, count)
+        assert all(len(shard) >= 1 for shard in plan.shards)
+        # Balanced: sizes differ by at most one.
+        sizes = [len(shard) for shard in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        keys = [f"k{i}" for i in range(17)]
+        assert ShardPlan.for_keys(keys, 5) == ShardPlan.for_keys(keys, 5)
+
+
+class TestLookup:
+    def test_shard_of_and_assignment_agree(self):
+        plan = ShardPlan.for_keys(list("abcde"), workers=2)
+        assignment = plan.assignment()
+        for key in "abcde":
+            assert assignment[key] == plan.shard_of(key)
+
+    def test_shard_of_unknown_key_raises(self):
+        plan = ShardPlan.for_keys(["a"], workers=1)
+        with pytest.raises(KeyError):
+            plan.shard_of("nope")
+
+    def test_repr_shows_sizes(self):
+        assert "ShardPlan" in repr(ShardPlan.for_keys(list("abc"), 2))
