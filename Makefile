@@ -7,12 +7,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
+# Suite-wide hang protection: enforced only where pytest-timeout is
+# installed (CI installs it; a bare dev box without the plugin still
+# runs the suite, just without the watchdog).
+TIMEOUT_FLAG := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo --timeout=300)
+
 .PHONY: verify test bench metrics
 
 verify: test bench
 
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(TIMEOUT_FLAG)
 
 bench:
 	$(PYTHON) benchmarks/compare_bench.py

@@ -28,6 +28,7 @@ def build_publication(
     populations: Optional[Mapping[str, float]] = None,
     title: str = "Internet Quality Barometer report",
     workers: int = 1,
+    breakdowns: Optional[Mapping[str, ScoreBreakdown]] = None,
 ) -> str:
     """Assemble the full Markdown publication for a measurement set.
 
@@ -38,6 +39,10 @@ def build_publication(
             roll-up section is included.
         workers: forwarded to the batch scorer; ``> 1`` shards regional
             scoring across a worker pool (identical document).
+        breakdowns: pre-computed per-region breakdowns; when given the
+            batch scorer is skipped (callers that already scored —
+            e.g. to register degraded regions in a run manifest —
+            publish without paying for a second pass).
 
     Raises:
         DataError: when the measurement set is empty (nothing to
@@ -47,7 +52,8 @@ def build_publication(
     with span("publish", measurements=len(records)) as stage:
         # Batch fast path: one grouping pass + shared columns for all
         # regions.
-        breakdowns = score_regions(records, config, workers=workers)
+        if breakdowns is None:
+            breakdowns = score_regions(records, config, workers=workers)
         stage.annotate(regions=len(breakdowns))
 
         with span("publish_render"):
@@ -95,20 +101,29 @@ def _regional_table(
     breakdowns: Mapping[str, ScoreBreakdown],
 ) -> List[str]:
     rows = []
+    degraded_notes: List[str] = []
     for region, score in rank_regions(
         {name: b.value for name, b in breakdowns.items()}
     ):
         breakdown = breakdowns[region]
+        label = region
+        if breakdown.degraded:
+            label = f"{region} \\*"
+            degraded_notes.append(
+                f"- \\* **{region}**: scored without "
+                f"{', '.join(breakdown.degraded_datasets)} "
+                f"(degraded data coverage)"
+            )
         rows.append(
             (
-                region,
+                label,
                 f"{score:.3f}",
                 breakdown.grade,
                 breakdown.credit,
                 len(records.for_region(region)),
             )
         )
-    return [
+    lines = [
         "## Regional scores",
         "",
         render_markdown(
@@ -116,6 +131,10 @@ def _regional_table(
         ),
         "",
     ]
+    if degraded_notes:
+        lines.extend(degraded_notes)
+        lines.append("")
+    return lines
 
 
 def _region_section(region: str, breakdown: ScoreBreakdown) -> List[str]:
@@ -124,6 +143,17 @@ def _region_section(region: str, breakdown: ScoreBreakdown) -> List[str]:
         "",
         f"Score **{breakdown.value:.3f}** (grade {breakdown.grade}).",
         "",
+    ]
+    if breakdown.degraded:
+        lines.extend(
+            [
+                f"> **Degraded:** no usable measurements from "
+                f"{', '.join(breakdown.degraded_datasets)}; the score "
+                f"rests on the remaining datasets (Eq. 1 renormalized).",
+                "",
+            ]
+        )
+    lines.extend([
         render_markdown(
             ["Use case", "Score"],
             [
@@ -132,7 +162,7 @@ def _region_section(region: str, breakdown: ScoreBreakdown) -> List[str]:
             ],
         ),
         "",
-    ]
+    ])
     targets = metric_targets(breakdown)
     if targets:
         lines.append("Improvement needed to clear every failing bar:")

@@ -52,6 +52,14 @@ class Scorecard:
     fix_first: Optional[str]
     tests: int
     datasets: Tuple[str, ...]
+    #: Configured datasets that contributed nothing to this region's
+    #: score (degraded-mode scoring); empty for full coverage.
+    degraded_datasets: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when the label rests on less data than configured."""
+        return bool(self.degraded_datasets)
 
 
 def build_scorecard(
@@ -129,6 +137,7 @@ def scorecard_from_breakdown(
         fix_first=fix_first,
         tests=tests,
         datasets=datasets,
+        degraded_datasets=breakdown.degraded_datasets,
     )
 
 
@@ -163,5 +172,8 @@ def render_scorecard(card: Scorecard, width: int = 68) -> str:
         lines.append(row(" Fix first: " + card.fix_first))
     source = ", ".join(card.datasets) if card.datasets else "n/a"
     lines.append(row(f" Based on {card.tests} tests from: {source}"))
+    if card.degraded:
+        missing = ", ".join(card.degraded_datasets)
+        lines.append(row(f" DEGRADED: no usable data from {missing}"))
     lines.append(rule)
     return "\n".join(lines)

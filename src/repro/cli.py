@@ -15,7 +15,10 @@ Subcommands:
 * ``compare``  — exact attribution of the score gap between two regions;
 * ``label``    — consumer broadband-label scorecard for one region;
 * ``publish``  — assemble the full Markdown barometer report;
-* ``monitor``  — replay a measurement file through the alerting monitor;
+* ``monitor``  — replay a measurement file through the alerting monitor
+  (``--journal``/``--resume`` make the campaign crash-safe: completed
+  windows land in an append-only journal and a killed run resumes with
+  identical baselines, skipping finished work);
 * ``adaptive`` — demonstrate uncertainty-driven probe allocation;
 * ``metrics``  — run a pipeline end to end and dump the observability
   snapshot (probe retries/abandons, ingest skips, cache hit rates) as
@@ -127,6 +130,14 @@ def _stop_telemetry(server: Optional[TelemetryServer]) -> None:
     _TELEMETRY = None
 
 
+def _record_degraded(breakdowns) -> None:
+    """Register every degraded region's missing datasets with the run."""
+    if _RUN is None:
+        return
+    for region, breakdown in breakdowns.items():
+        _RUN.add_degraded(region, breakdown.degraded_datasets)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     names = args.regions or sorted(REGION_PRESETS)
     profiles = [region_preset(name) for name in names]
@@ -167,6 +178,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
             if len(records)
             else {}
         )
+        _record_degraded(breakdowns)
         document = {
             region: breakdown.to_dict()
             for region, breakdown in breakdowns.items()
@@ -319,6 +331,8 @@ def _cmd_publish(args: argparse.Namespace) -> int:
     import json as json_module
 
     from repro.analysis.publish import build_publication
+    from repro.core.scoring import score_regions
+    from repro.fsutil import atomic_write
 
     records = _read_measurements(args)
     config = _load_config(args.config)
@@ -329,12 +343,17 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                 str(region): float(value)
                 for region, value in json_module.load(handle).items()
             }
+    breakdowns = score_regions(records, config, workers=args.workers)
+    _record_degraded(breakdowns)
     document = build_publication(
-        records, config, populations=populations, workers=args.workers
+        records,
+        config,
+        populations=populations,
+        workers=args.workers,
+        breakdowns=breakdowns,
     )
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(document + "\n")
+        atomic_write(args.output, document + "\n")
         if _RUN is not None:
             _RUN.add_output(args.output)
         print(f"wrote publication to {args.output}")
@@ -353,10 +372,33 @@ def _cmd_label(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_monitor_journal(args: argparse.Namespace):
+    """Open the campaign journal per ``--journal`` / ``--resume``.
+
+    ``--resume PATH`` demands an existing journal (a typo'd path must
+    not silently start a fresh campaign); ``--journal PATH`` records to
+    PATH and resumes automatically when it already exists.
+    """
+    import os as os_module
+
+    from repro.resilience import CampaignJournal
+
+    path = args.resume or args.journal
+    if path is None:
+        return None
+    if args.resume and not os_module.path.exists(args.resume):
+        raise FileNotFoundError(
+            f"--resume journal not found: {args.resume} "
+            f"(use --journal to start a new campaign)"
+        )
+    return CampaignJournal(path)
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     import time as time_module
 
     from repro.probing.monitor import BarometerMonitor
+    from repro.resilience import window_key
 
     records = _read_measurements(args)
     config = _load_config(args.config)
@@ -366,6 +408,24 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     monitor = BarometerMonitor(
         config, min_drop=args.min_drop, trailing=args.trailing
     )
+    journal = _open_monitor_journal(args)
+    resumed_windows = 0
+    if journal is not None and len(journal):
+        # Snapshot state first, then redo the post-snapshot WAL
+        # windows from their recorded score points — the baselines a
+        # resumed campaign alerts against are bit-identical to an
+        # uninterrupted run's.
+        if journal.state is not None:
+            monitor.restore_state(journal.state)
+        for _, data in journal.replay():
+            if data:
+                monitor.apply_window(data)
+        resumed_windows = len(journal)
+        print(
+            f"resuming: {resumed_windows} window(s) already complete "
+            f"in journal",
+            file=sys.stderr,
+        )
     width = args.window_days * 86400.0
     timestamps = [record.timestamp for record in records]
     start = min(timestamps)
@@ -376,7 +436,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     try:
         while window_start <= end:
             window_end = window_start + width
+            key = window_key(window_start, window_end)
+            if journal is not None and key in journal:
+                window_start = window_end
+                continue
             alerts = monitor.ingest(records, window_start, window_end)
+            if journal is not None:
+                journal.record(
+                    key, data=monitor.window_state(window_start, window_end)
+                )
             day = (window_start - start) / 86400.0
             if alerts:
                 total_alerts += len(alerts)
@@ -400,8 +468,16 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                 time_module.sleep(args.cycle_sleep)
             window_start = window_end
     finally:
+        # Flush on every exit — including KeyboardInterrupt — so the
+        # journal always reflects the windows that completed.
+        if journal is not None:
+            journal.checkpoint(monitor.state_dict())
+            journal.close()
         _stop_telemetry(telemetry)
-    print(f"{total_alerts} alert(s) over {len(records)} measurements")
+    summary = f"{total_alerts} alert(s) over {len(records)} measurements"
+    if resumed_windows:
+        summary += f" ({resumed_windows} window(s) resumed from journal)"
+    print(summary)
     return 0
 
 
@@ -767,6 +843,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="sleep between windows to pace the replay in real time "
         "(useful with --telemetry-port)",
     )
+    monitor.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="record completed windows to a crash-safe campaign "
+        "journal at PATH; an existing journal resumes automatically "
+        "(completed windows are skipped, baselines restored)",
+    )
+    monitor.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume a killed campaign from an existing journal "
+        "(errors when PATH does not exist; otherwise like --journal)",
+    )
     monitor.set_defaults(func=_cmd_monitor)
 
     adaptive = sub.add_parser(
@@ -908,6 +999,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             _RUN.write(manifest_out)
             print(f"manifest: wrote {manifest_out}", file=sys.stderr)
         return code
+    except KeyboardInterrupt:
+        # Ctrl-C is an operator action, not a bug: command-level
+        # cleanup (journal checkpoint, telemetry shutdown) already ran
+        # via its finally blocks on the way up. Flush the partial run's
+        # provenance when asked for, report in one line, and exit with
+        # the conventional SIGINT status.
+        if args.manifest_out is not None:
+            try:
+                _RUN.write(args.manifest_out)
+                print(
+                    f"manifest: wrote {args.manifest_out} (interrupted run)",
+                    file=sys.stderr,
+                )
+            except OSError:
+                pass
+        print("iqb: interrupted", file=sys.stderr)
+        return 130
     except (OSError, SchemaError, ShardError) as exc:
         print(f"iqb: error: {exc}", file=sys.stderr)
         return 2

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.obs import counter, span
+from repro.obs import counter, gauge, span
 
 from .aggregation import aggregate_metric
 from .config import IQBConfig, MissingDataPolicy, ScoreMode
@@ -43,6 +43,12 @@ from .usecases import UseCase
 
 _REGION_SCORES = counter("scoring.region_scores")
 _BATCH_REGIONS = counter("scoring.batch.regions")
+
+# Degraded-mode visibility: regions scored without one or more of their
+# configured datasets in the latest batch. Eq. 1 already renormalizes
+# over the datasets that did report (corroboration over what exists);
+# this gauge is what keeps that silent fallback from being *invisible*.
+_DEGRADED_REGIONS = gauge("score.degraded.regions")
 
 # QuantileSource is a Protocol; imported for typing clarity only.
 from .aggregation import QuantileSource
@@ -131,6 +137,16 @@ class ScoreBreakdown:
 
     value: float
     use_cases: Tuple[UseCaseScore, ...]
+    #: Configured datasets (positive weight somewhere in the tensor)
+    #: that contributed no verdict anywhere in this breakdown: the
+    #: score is legitimate under Eq. 1's renormalization, but it rests
+    #: on less corroboration than the config intended.
+    degraded_datasets: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one configured dataset went dark."""
+        return bool(self.degraded_datasets)
 
     def use_case(self, use_case: UseCase) -> UseCaseScore:
         """The score object for one use case."""
@@ -161,6 +177,7 @@ class ScoreBreakdown:
             "score": self.value,
             "grade": self.grade,
             "credit": self.credit,
+            "degraded_datasets": list(self.degraded_datasets),
             "use_cases": [
                 {
                     "use_case": entry.use_case.value,
@@ -233,7 +250,14 @@ class ScoreBreakdown:
                 )
                 for entry in document["use_cases"]
             )
-            return cls(value=float(document["score"]), use_cases=use_cases)
+            return cls(
+                value=float(document["score"]),
+                use_cases=use_cases,
+                # Absent in pre-degraded-mode archives: default clean.
+                degraded_datasets=tuple(
+                    str(d) for d in document.get("degraded_datasets", ())
+                ),
+            )
         except (KeyError, TypeError, ValueError) as exc:
             raise DataError(f"malformed breakdown document: {exc}") from exc
 
@@ -429,7 +453,25 @@ def score_region(
     )
     total = sum(entry.weight for entry in use_cases)
     value = sum(entry.weight * entry.value for entry in use_cases) / total
-    return ScoreBreakdown(value=value, use_cases=use_cases)
+    observed = {
+        verdict.dataset
+        for entry in use_cases
+        for req in entry.requirements
+        for verdict in req.verdicts
+    }
+    degraded = tuple(
+        dataset
+        for dataset in config.dataset_weights.datasets
+        if dataset not in observed
+        and any(
+            config.dataset_weights.get(use_case, metric, dataset) > 0
+            for use_case in UseCase.ordered()
+            for metric in Metric.ordered()
+        )
+    )
+    return ScoreBreakdown(
+        value=value, use_cases=use_cases, degraded_datasets=degraded
+    )
 
 
 def score_regions(
@@ -477,6 +519,9 @@ def score_regions(
                 records, config, workers, stage=stage
             )
             _BATCH_REGIONS.inc(len(merged))
+            _DEGRADED_REGIONS.set(
+                float(sum(1 for b in merged.values() if b.degraded))
+            )
             return merged
         if isinstance(records, Mapping):
             grouped: Mapping[str, Mapping[str, QuantileSource]] = records
@@ -497,10 +542,14 @@ def score_regions(
         stage.annotate(regions=len(grouped))
         _BATCH_REGIONS.inc(len(grouped))
         with span("region_loop"):
-            return {
+            scored = {
                 region: score_region(grouped[region], config)
                 for region in sorted(grouped)
             }
+        _DEGRADED_REGIONS.set(
+            float(sum(1 for b in scored.values() if b.degraded))
+        )
+        return scored
 
 
 def flat_score(breakdown: ScoreBreakdown) -> float:

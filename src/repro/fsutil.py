@@ -1,0 +1,66 @@
+"""Crash-safe filesystem primitives shared across the pipeline.
+
+Every artifact the pipeline persists — publications, run manifests,
+Chrome traces, journal snapshots — must never be observable in a
+half-written state: a consumer (or a resumed campaign) reading a
+truncated JSON document is strictly worse than one reading the previous
+complete version. :func:`atomic_write` is the one way artifacts land on
+disk: write to a temporary sibling, flush (and optionally fsync), then
+``os.replace`` onto the destination, which POSIX and Windows both
+guarantee to be atomic within a filesystem.
+
+Stdlib-only and dependency-free on purpose: this module sits below
+``repro.obs`` and ``repro.resilience`` in the layering so both can use
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+
+def atomic_write(
+    path: _PathLike,
+    data: Union[str, bytes],
+    encoding: str = "utf-8",
+    fsync: bool = False,
+) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash at any point leaves either the previous complete file or the
+    new complete file at ``path`` — never a truncated artifact. The
+    temporary file lives in the destination directory (``os.replace``
+    must not cross filesystems) and is removed on failure.
+
+    Args:
+        data: text (encoded with ``encoding``) or raw bytes.
+        fsync: force the data to stable storage before the rename;
+            costs a disk flush, so reserve it for journals and other
+            files whose loss cannot be recomputed.
+
+    Raises:
+        OSError: when the destination directory is missing or unwritable.
+    """
+    target = Path(path)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -220,6 +220,11 @@ class TelemetryServer:
             "unscorable_windows": counters.get(
                 "monitor.windows.unscorable", 0
             ),
+            # Resilience visibility: datasets currently black-holed by
+            # circuit breakers, and regions last scored with a dataset
+            # missing — degraded operation is "ok" but must be seen.
+            "open_breakers": gauges.get("probe.circuit.open", 0.0),
+            "degraded_regions": gauges.get("score.degraded.regions", 0.0),
         }
         if reason:
             document["reason"] = reason

@@ -39,6 +39,8 @@ from typing import (
     Union,
 )
 
+from repro.fsutil import atomic_write
+
 from .registry import REGISTRY, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -108,6 +110,9 @@ class RunManifest:
     inputs: Tuple[Dict[str, object], ...] = ()
     outputs: Tuple[str, ...] = ()
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: region → datasets that contributed nothing there (degraded-mode
+    #: scoring); empty when every configured dataset reported everywhere.
+    degraded: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def duration_s(self) -> float:
@@ -127,6 +132,10 @@ class RunManifest:
             "inputs": [dict(entry) for entry in self.inputs],
             "outputs": list(self.outputs),
             "metrics": self.metrics,
+            "degraded": {
+                region: list(datasets)
+                for region, datasets in sorted(self.degraded.items())
+            },
         }
 
     @classmethod
@@ -141,13 +150,25 @@ class RunManifest:
             inputs=tuple(dict(e) for e in document.get("inputs", ())),
             outputs=tuple(document.get("outputs", ())),
             metrics=dict(document.get("metrics", {})),
+            degraded={
+                str(region): [str(d) for d in datasets]
+                for region, datasets in dict(
+                    document.get("degraded", {})
+                ).items()
+            },
         )
 
     def save(self, path: _PathLike) -> None:
-        """Write the manifest as stable-keyed JSON."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Write the manifest as stable-keyed JSON, atomically.
+
+        A manifest is the run's chain of custody; a torn one is worse
+        than the previous run's, so the write goes through
+        :func:`repro.fsutil.atomic_write`.
+        """
+        atomic_write(
+            path,
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
 
     @classmethod
     def load(cls, path: _PathLike) -> "RunManifest":
@@ -171,6 +192,7 @@ class RunContext:
         self._config: Optional["IQBConfig"] = None
         self._inputs: List[Dict[str, object]] = []
         self._outputs: List[str] = []
+        self._degraded: Dict[str, List[str]] = {}
 
     def set_config(self, config: "IQBConfig") -> None:
         """Record the scoring config this run used (last write wins)."""
@@ -189,6 +211,15 @@ class RunContext:
     def add_output(self, path: _PathLike) -> None:
         """Record one produced artifact."""
         self._outputs.append(str(path))
+
+    def add_degraded(self, region: str, datasets: Sequence[str]) -> None:
+        """Record that ``region`` was scored without ``datasets``.
+
+        No-op for an empty dataset list, so callers can funnel every
+        breakdown's ``degraded_datasets`` through without filtering.
+        """
+        if datasets:
+            self._degraded[str(region)] = [str(d) for d in datasets]
 
     def build(
         self, registry: Optional[MetricsRegistry] = None
@@ -209,6 +240,7 @@ class RunContext:
             inputs=tuple(self._inputs),
             outputs=tuple(self._outputs),
             metrics=registry.snapshot(),
+            degraded=dict(self._degraded),
         )
 
     def write(

@@ -23,6 +23,8 @@ import json
 import os
 from typing import Dict, List, Union
 
+from repro.fsutil import atomic_write
+
 from .spans import TraceRecorder
 
 _PathLike = Union[str, "os.PathLike[str]"]
@@ -78,9 +80,9 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, object]:
 def write_chrome_trace(recorder: TraceRecorder, path: _PathLike) -> int:
     """Write the trace JSON to ``path``; returns the span-event count."""
     document = to_chrome_trace(recorder)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
     return sum(
         1 for event in document["traceEvents"] if event.get("ph") == "X"
     )

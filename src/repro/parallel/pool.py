@@ -34,8 +34,13 @@ Design decisions, in order of importance:
    in the worker, transported back (as the original exception when it
    pickles), and re-raised as :class:`ShardError` carrying the failed
    shard's key list — never a bare ``BrokenProcessPool`` with no clue
-   which regions were in flight. A hard worker death (signal, OOM) is
-   mapped the same way from the future that observed it.
+   which regions were in flight. A hard worker death (signal, OOM) and
+   an untransportable result are mapped the same way from the future
+   that observed them. Before giving up, a poisoned shard is retried
+   *serially in the parent* (default on): transient worker faults heal
+   with the run completing normally, and only a shard that fails twice
+   raises — or, when the caller passes a ``quarantine`` list, is
+   reported there (result ``None``) while the rest of the run finishes.
 
 4. **Serial fallback is the same code path.** ``workers <= 1``, a
    single shard, an unavailable ``fork`` start method, or shard
@@ -57,6 +62,8 @@ from repro.obs import REGISTRY, counter, gauge, span
 
 _SHARDS_COMPLETED = counter("parallel.shards.completed")
 _SHARDS_FAILED = counter("parallel.shards.failed")
+_SHARDS_RETRIED = counter("parallel.shards.retried")
+_SHARDS_QUARANTINED = counter("parallel.shards.quarantined")
 _SERIAL_FALLBACKS = counter("parallel.serial_fallbacks")
 _POOL_WORKERS = gauge("parallel.pool.workers")
 
@@ -147,6 +154,7 @@ def _run_serial(
     payload: Any,
     shards: Sequence[Any],
     keys: List[Tuple[Any, ...]],
+    quarantine: Optional[List[ShardError]] = None,
 ) -> List[Any]:
     """In-process execution with the same ShardError contract."""
     _SERIAL_FALLBACKS.inc()
@@ -157,9 +165,58 @@ def _run_serial(
                 results.append(worker(payload, shard))
         except Exception as exc:
             _SHARDS_FAILED.inc()
-            raise ShardError(index, keys[index], exc) from exc
+            error = ShardError(index, keys[index], exc)
+            error.__cause__ = exc
+            if quarantine is not None:
+                _SHARDS_QUARANTINED.inc()
+                quarantine.append(error)
+                results.append(None)
+                continue
+            raise error from exc
         _SHARDS_COMPLETED.inc()
     return results
+
+
+def _recover_shard(
+    worker: ShardWorker,
+    payload: Any,
+    shard: Any,
+    index: int,
+    keys: List[Tuple[Any, ...]],
+    cause: object,
+    retry_failed: bool,
+    quarantine: Optional[List[ShardError]],
+    results: List[Any],
+) -> None:
+    """Handle one poisoned shard: retry serially, then quarantine/raise.
+
+    The retry runs in the parent process, so its telemetry lands in the
+    parent registry directly and a crash-prone worker environment (OOM,
+    signal) is taken out of the equation for the second attempt.
+    """
+    _SHARDS_FAILED.inc()
+    error: ShardError
+    if retry_failed:
+        _SHARDS_RETRIED.inc()
+        try:
+            with span("shard_retry", shard=index, worker=os.getpid()):
+                results[index] = worker(payload, shard)
+        except Exception as retry_exc:
+            error = ShardError(index, keys[index], retry_exc)
+            error.__cause__ = retry_exc
+        else:
+            _SHARDS_COMPLETED.inc()
+            return
+    else:
+        error = ShardError(index, keys[index], cause)
+        if isinstance(cause, BaseException):
+            error.__cause__ = cause
+    if quarantine is not None:
+        _SHARDS_QUARANTINED.inc()
+        quarantine.append(error)
+        results[index] = None
+        return
+    raise error
 
 
 def run_sharded(
@@ -168,6 +225,8 @@ def run_sharded(
     shards: Sequence[Any],
     workers: int,
     shard_keys: Optional[Sequence[Sequence[Any]]] = None,
+    retry_failed: bool = True,
+    quarantine: Optional[List[ShardError]] = None,
 ) -> List[Any]:
     """Run ``worker(payload, shard)`` over every shard; results in order.
 
@@ -182,15 +241,24 @@ def run_sharded(
             count. ``<= 1`` runs serially.
         shard_keys: optional per-shard key lists for error reporting;
             defaults to the shard descriptors themselves.
+        retry_failed: retry a poisoned shard serially in the parent
+            before giving up on it (transient worker faults — a killed
+            process, an untransportable result — heal in place;
+            deterministic worker exceptions fail again and surface).
+        quarantine: when given, shards that still fail after the retry
+            are reported here as :class:`ShardError` entries with a
+            ``None`` result, and the run completes instead of raising.
 
     Returns:
         Per-shard results, index-aligned with ``shards`` regardless of
-        completion order.
+        completion order (``None`` for quarantined shards).
 
     Raises:
-        ShardError: when any shard fails (worker exception or worker
-            process death), naming the shard's keys. Worker telemetry
-            collected before the failure is still merged.
+        ShardError: when any shard fails (worker exception, worker
+            process death, or untransportable result), its serial retry
+            also fails, and no ``quarantine`` was given — naming the
+            shard's keys. Worker telemetry collected before the failure
+            is still merged.
     """
     shards = list(shards)
     keys = _shard_keys_for(shards, shard_keys)
@@ -206,7 +274,7 @@ def run_sharded(
         or not fork_available()
         or not _picklable(shards)
     ):
-        return _run_serial(worker, payload, shards, keys)
+        return _run_serial(worker, payload, shards, keys, quarantine)
 
     global _PAYLOAD
     pool_size = min(workers, len(shards))
@@ -229,21 +297,30 @@ def run_sharded(
                     try:
                         status, _, outcome, metrics = future.result()
                     except BrokenProcessPool as exc:
-                        _SHARDS_FAILED.inc()
-                        raise ShardError(
-                            index,
-                            keys[index],
+                        _recover_shard(
+                            worker, payload, shards[index], index, keys,
                             f"worker process died: {exc}",
-                        ) from exc
+                            retry_failed, quarantine, results,
+                        )
+                        continue
+                    except Exception as exc:
+                        # The shard "succeeded" but its result (or the
+                        # transported exception) could not cross the
+                        # pipe — e.g. an unpicklable return value.
+                        _recover_shard(
+                            worker, payload, shards[index], index, keys,
+                            f"shard result not transportable: {exc}",
+                            retry_failed, quarantine, results,
+                        )
+                        continue
                     if metrics:
                         REGISTRY.merge(metrics)
                     if status == "error":
-                        _SHARDS_FAILED.inc()
-                        if isinstance(outcome, BaseException):
-                            raise ShardError(
-                                index, keys[index], outcome
-                            ) from outcome
-                        raise ShardError(index, keys[index], outcome)
+                        _recover_shard(
+                            worker, payload, shards[index], index, keys,
+                            outcome, retry_failed, quarantine, results,
+                        )
+                        continue
                     _SHARDS_COMPLETED.inc()
                     results[index] = outcome
     finally:

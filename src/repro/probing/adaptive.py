@@ -18,7 +18,7 @@ uniform allocation at the same total budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.config import IQBConfig
 from repro.core.exceptions import DataError
@@ -37,6 +37,9 @@ _CI_FALLBACKS = counter("adaptive.ci.fallbacks")
 # far the allocator has gotten and how much budget is left to spend.
 _ROUNDS_DONE = gauge("adaptive.rounds.completed")
 _BUDGET_LEFT = gauge("adaptive.budget.remaining")
+
+from repro.resilience import RetryPolicy
+from repro.resilience.breaker import BreakerBoard
 
 from .backends import MeasurementBackend, ProbeRequest
 from .runner import ProbeRunner
@@ -84,6 +87,8 @@ class AdaptiveAllocator:
         pilot_per_region: int = 60,
         bootstrap_replicates: int = 60,
         window_days: float = 7.0,
+        retry_policy: Optional["RetryPolicy"] = None,
+        breakers: Optional["BreakerBoard"] = None,
     ) -> None:
         """Args:
             backend: where probes run (all its regions participate).
@@ -92,6 +97,8 @@ class AdaptiveAllocator:
                 the backend's clients).
             bootstrap_replicates: bootstrap size per CI estimate.
             window_days: timestamps are spread over this window.
+            retry_policy: forwarded to the internal ProbeRunner.
+            breakers: forwarded to the internal ProbeRunner.
         """
         if pilot_per_region < len(backend.clients()):
             raise ValueError(
@@ -104,6 +111,8 @@ class AdaptiveAllocator:
         self.pilot_per_region = pilot_per_region
         self.bootstrap_replicates = bootstrap_replicates
         self.window_days = window_days
+        self.retry_policy = retry_policy
+        self.breakers = breakers
 
     def _schedule(
         self, allocation: Mapping[str, int], round_index: int
@@ -214,7 +223,13 @@ class AdaptiveAllocator:
             raise ValueError(f"rounds must be >= 1: {rounds}")
 
         sink = MemorySink()
-        runner = ProbeRunner(self.backend, sink, max_attempts=3)
+        runner = ProbeRunner(
+            self.backend,
+            sink,
+            max_attempts=3,
+            retry_policy=self.retry_policy,
+            breakers=self.breakers,
+        )
         audit: List[AllocationRound] = []
 
         pilot = {region: self.pilot_per_region for region in regions}

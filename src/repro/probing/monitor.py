@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.temporal import ScorePoint, detect_drops
 from repro.core.config import IQBConfig
@@ -94,6 +94,66 @@ class BarometerMonitor:
     def regions(self) -> Tuple[str, ...]:
         """Regions seen so far, sorted."""
         return tuple(sorted(self._history))
+
+    # -- resumable state ----------------------------------------------------
+    #
+    # A monitoring campaign is exactly its per-region window history:
+    # serializing that (plus per-window redo entries in the campaign
+    # journal) is what lets `iqb monitor --resume` continue a killed
+    # campaign with identical baselines and alerts.
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The full monitor state as a JSON-compatible document."""
+        return {
+            "history": {
+                region: [
+                    [p.start, p.end, p.score, p.samples] for p in history
+                ]
+                for region, history in self._history.items()
+            }
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Replace history with a :meth:`state_dict` document."""
+        history: Dict[str, List[ScorePoint]] = {}
+        for region, points in dict(state.get("history", {})).items():
+            history[str(region)] = [self._point(entry) for entry in points]
+        self._history = history
+
+    def window_state(
+        self, window_start: float, window_end: float
+    ) -> Dict[str, List[Any]]:
+        """One window's per-region points (a journal redo payload)."""
+        out: Dict[str, List[Any]] = {}
+        for region, history in self._history.items():
+            for point in history:
+                if point.start == window_start and point.end == window_end:
+                    out[region] = [
+                        point.start, point.end, point.score, point.samples
+                    ]
+        return out
+
+    def apply_window(self, points: Mapping[str, Sequence[Any]]) -> None:
+        """Redo one window from its :meth:`window_state` payload.
+
+        Appends the recorded points without rescoring (the window's raw
+        measurements are gone by resume time) and without re-emitting
+        alerts (they were already delivered by the original run).
+        """
+        for region in sorted(points):
+            self._history.setdefault(str(region), []).append(
+                self._point(points[region])
+            )
+
+    @staticmethod
+    def _point(entry: Sequence[Any]) -> ScorePoint:
+        start, end, score, samples = entry
+        return ScorePoint(
+            start=float(start),
+            end=float(end),
+            score=None if score is None else float(score),
+            samples=int(samples),
+        )
 
     def _score_window(self, records: MeasurementSet) -> Optional[float]:
         if len(records) < self.min_samples:

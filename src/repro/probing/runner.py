@@ -1,11 +1,25 @@
 """The probe runner: schedules in, measurements out.
 
 Executes every :class:`~repro.probing.backends.ProbeRequest` of a
-schedule against a backend, with bounded retries on
-:class:`~repro.core.exceptions.BackendError` (transient failures are a
-fact of life for real measurement infrastructure) and a final abandon
-count, delivering successes to a sink and returning an auditable
-:class:`RunReport`.
+schedule against a backend, delivering successes to a sink and
+returning an auditable :class:`RunReport`. Failure handling is
+delegated to the resilience layer:
+
+* a :class:`~repro.resilience.RetryPolicy` bounds attempts per probe,
+  spaces retries with decorrelated-jitter backoff, and enforces a
+  per-campaign wall-clock deadline (after which no new work starts);
+* an optional :class:`~repro.resilience.BreakerBoard` short-circuits
+  probes whose ``(backend, client)`` circuit is open, so a dead dataset
+  stops consuming the schedule;
+* an optional :class:`~repro.resilience.CampaignJournal` makes the run
+  crash-safe: completed probes are recorded after their measurement is
+  in the sink, and an interrupted campaign resumed against the same
+  journal skips exactly the work already done.
+
+Both :class:`~repro.core.exceptions.BackendError` (the backend failed
+the probe) and ``OSError`` from the sink (the measurement could not be
+persisted) consume attempts; any other exception is a bug and
+propagates.
 
 The runner is synchronous and single-threaded on purpose: probe
 *timing* lives in the schedule's timestamps, not in wall-clock
@@ -21,6 +35,8 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.core.exceptions import BackendError
 from repro.obs import counter, gauge, get_logger, timer
+from repro.resilience import CampaignJournal, RetryPolicy, probe_key
+from repro.resilience.breaker import BreakerBoard
 
 from .backends import MeasurementBackend, ProbeRequest
 from .sinks import ResultSink
@@ -31,16 +47,30 @@ _SCHEDULED = counter("probe.runner.scheduled")
 _SUCCEEDED = counter("probe.runner.succeeded")
 _RETRIED = counter("probe.runner.retried")
 _ABANDONED = counter("probe.runner.abandoned")
+_SHORT_CIRCUITED = counter("probe.circuit.short_circuited")
+_RESUMED = counter("probe.runner.resumed")
+_DEADLINE_EXPIRED = counter("probe.runner.deadline_expired")
 
 # Liveness gauges, maintained on every run (telemetry server or not) so
 # `iqb metrics` shows batch-run liveness through the same vocabulary a
 # live /healthz scrape uses.
 _UPTIME = gauge("probe.runner.uptime_s")
 _LAST_RUN = gauge("probe.runner.last_run_unix")
+_OPEN_CIRCUITS = gauge("probe.circuit.open")
 
 #: Process start reference for the uptime gauge (module import is as
 #: close to process start as a library can observe).
 _PROCESS_START_UNIX = time.time()
+
+
+def backend_name(backend: MeasurementBackend) -> str:
+    """The stable name used in breaker keys for ``backend``.
+
+    Wrappers (e.g. :class:`~repro.resilience.ChaosBackend`) may expose a
+    ``name`` attribute to keep breaker keys stable across wrapping;
+    otherwise the class name serves.
+    """
+    return str(getattr(backend, "name", type(backend).__name__))
 
 
 @dataclass(frozen=True)
@@ -64,6 +94,13 @@ class RunReport:
     #: report was constructed by hand rather than by ``run``).
     started_unix: float = 0.0
     finished_unix: float = 0.0
+    #: Probes skipped because their circuit breaker was open.
+    short_circuited: int = 0
+    #: Probes skipped because a journal shows them already completed.
+    resumed: int = 0
+    #: True when the campaign deadline expired before the schedule was
+    #: exhausted (remaining probes never started and are not counted).
+    deadline_expired: bool = False
 
     @property
     def duration_s(self) -> float:
@@ -91,17 +128,32 @@ class ProbeRunner:
         backend: MeasurementBackend,
         sink: ResultSink,
         max_attempts: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerBoard] = None,
+        journal: Optional[CampaignJournal] = None,
     ) -> None:
         """Args:
             backend: where probes run.
             sink: where successful measurements go.
-            max_attempts: total tries per probe (1 = no retries).
+            max_attempts: total tries per probe (1 = no retries);
+                ignored when ``retry_policy`` is given.
+            retry_policy: attempt budget + backoff + campaign deadline.
+                The default policy retries immediately (no backoff, no
+                deadline), matching the historical runner.
+            breakers: per-(backend, client) circuit breakers; ``None``
+                disables short-circuiting.
+            journal: crash-safe campaign journal; when given, probes
+                recorded complete in it are skipped and new completions
+                are recorded after their measurement reaches the sink.
         """
-        if max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        if retry_policy is None:
+            retry_policy = RetryPolicy(max_attempts=max_attempts)
         self.backend = backend
         self.sink = sink
-        self.max_attempts = max_attempts
+        self.policy = retry_policy
+        self.max_attempts = retry_policy.max_attempts
+        self.breakers = breakers
+        self.journal = journal
         # Per-backend probe latency histogram, bound once per runner so
         # the hot loop does no registry lookups.
         self._latency = timer(f"probe.latency.{type(backend).__name__}")
@@ -109,71 +161,92 @@ class ProbeRunner:
     def run(self, schedule: Iterable[ProbeRequest]) -> RunReport:
         """Execute every request in the schedule.
 
-        BackendErrors are retried up to ``max_attempts`` times and then
+        ``BackendError`` from the backend and ``OSError`` from the sink
+        are retried within the policy's attempt budget and then
         abandoned (recorded in the report); any other exception is a
-        bug and propagates.
+        bug and propagates. With a journal, completed probes are
+        durably recorded and a compaction checkpoint is attempted even
+        when the run dies mid-schedule.
         """
         started_unix = time.time()
         scheduled = 0
         succeeded = 0
         retried = 0
+        short_circuited = 0
+        resumed = 0
+        deadline_expired = False
         abandoned: List[FailedProbe] = []
-        debug = _logger.isEnabledFor(10)  # logging.DEBUG
-        for request in schedule:
-            scheduled += 1
-            _SCHEDULED.inc()
-            last_error = ""
-            for attempt in range(1, self.max_attempts + 1):
-                started = time.perf_counter()
-                try:
-                    measurement = self.backend.run(request)
-                except BackendError as exc:
-                    self._latency.observe(time.perf_counter() - started)
-                    last_error = str(exc)
-                    if attempt < self.max_attempts:
-                        retried += 1
-                        _RETRIED.inc()
-                        if debug:
-                            _logger.debug(
-                                "probe retry",
-                                extra={
-                                    "ctx": {
-                                        "client": request.client,
-                                        "region": request.region,
-                                        "attempt": attempt,
-                                        "error": last_error,
-                                    }
-                                },
-                            )
-                    continue
-                self._latency.observe(time.perf_counter() - started)
-                self.sink.accept(measurement)
-                succeeded += 1
-                _SUCCEEDED.inc()
-                break
-            else:
-                _ABANDONED.inc()
-                _logger.warning(
-                    "probe abandoned after %d attempts",
-                    self.max_attempts,
-                    extra={
-                        "ctx": {
-                            "client": request.client,
-                            "region": request.region,
-                            "error": last_error,
-                        }
-                    },
-                )
-                abandoned.append(
-                    FailedProbe(
-                        request=request,
-                        attempts=self.max_attempts,
-                        last_error=last_error,
+        deadline = self.policy.deadline()
+        source = backend_name(self.backend)
+        try:
+            for request in schedule:
+                if deadline.expired():
+                    # Stop *starting* work: a campaign must not outlive
+                    # its reporting window on a slow-failing backend.
+                    deadline_expired = True
+                    _DEADLINE_EXPIRED.inc()
+                    _logger.warning(
+                        "campaign deadline expired after %.1fs",
+                        deadline.elapsed(),
+                        extra={"ctx": {"deadline_s": deadline.seconds}},
                     )
+                    break
+                key = probe_key(request.client, request.region,
+                                request.timestamp)
+                if self.journal is not None and key in self.journal:
+                    resumed += 1
+                    _RESUMED.inc()
+                    continue
+                scheduled += 1
+                _SCHEDULED.inc()
+                if self.breakers is not None:
+                    guard = self.breakers.breaker((source, request.client))
+                    if not guard.allow():
+                        short_circuited += 1
+                        _SHORT_CIRCUITED.inc()
+                        continue
+                else:
+                    guard = None
+                delivered, attempts, last_error = self._run_one(
+                    request, guard, deadline
                 )
-        finished_unix = time.time()
-        _LAST_RUN.set(finished_unix)
-        _UPTIME.set(finished_unix - _PROCESS_START_UNIX)
+                retried += attempts - 1
+                if delivered:
+                    succeeded += 1
+                    _SUCCEEDED.inc()
+                    if self.journal is not None:
+                        self.journal.record(key)
+                else:
+                    _ABANDONED.inc()
+                    _logger.warning(
+                        "probe abandoned after %d attempts",
+                        attempts,
+                        extra={
+                            "ctx": {
+                                "client": request.client,
+                                "region": request.region,
+                                "error": last_error,
+                            }
+                        },
+                    )
+                    abandoned.append(
+                        FailedProbe(
+                            request=request,
+                            attempts=attempts,
+                            last_error=last_error,
+                        )
+                    )
+        finally:
+            # Runs even when the campaign dies (KeyboardInterrupt, a
+            # sink bug): compact what completed so a resume skips it.
+            if self.journal is not None:
+                self.journal.checkpoint()
+            if self.breakers is not None:
+                _OPEN_CIRCUITS.set(float(self.breakers.open_count()))
+            _RETRIED.inc(retried)
+            finished_unix = time.time()
+            _LAST_RUN.set(finished_unix)
+            _UPTIME.set(finished_unix - _PROCESS_START_UNIX)
         return RunReport(
             scheduled=scheduled,
             succeeded=succeeded,
@@ -181,4 +254,55 @@ class ProbeRunner:
             abandoned=tuple(abandoned),
             started_unix=started_unix,
             finished_unix=finished_unix,
+            short_circuited=short_circuited,
+            resumed=resumed,
+            deadline_expired=deadline_expired,
         )
+
+    def _run_one(self, request, guard, deadline):
+        """One probe through its full retry sequence.
+
+        Returns ``(delivered, attempts, last_error)``; attempts counts
+        every try made, so ``attempts - 1`` is this probe's retries.
+        """
+        debug = _logger.isEnabledFor(10)  # logging.DEBUG
+        last_error = ""
+        attempt = 0
+        delays = self.policy.delays()
+        while True:
+            attempt += 1
+            error: Optional[str] = None
+            started = time.perf_counter()
+            try:
+                measurement = self.backend.run(request)
+            except BackendError as exc:
+                error = str(exc)
+            self._latency.observe(time.perf_counter() - started)
+            if error is None:
+                try:
+                    self.sink.accept(measurement)
+                except OSError as exc:
+                    error = f"sink write failed: {exc}"
+            if error is None:
+                if guard is not None:
+                    guard.record_success()
+                return True, attempt, ""
+            last_error = error
+            if guard is not None:
+                guard.record_failure()
+            delay = next(delays, None)
+            if delay is None or deadline.expired():
+                return False, attempt, last_error
+            if debug:
+                _logger.debug(
+                    "probe retry",
+                    extra={
+                        "ctx": {
+                            "client": request.client,
+                            "region": request.region,
+                            "attempt": attempt,
+                            "error": last_error,
+                        }
+                    },
+                )
+            self.policy.backoff(delay)

@@ -97,16 +97,30 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Appends measurements to a JSONL file as they arrive."""
+    """Appends measurements to a JSONL file as they arrive.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    With ``flush_every_record=True`` each accepted measurement is
+    flushed to the OS before ``accept`` returns — required when a
+    campaign journal records the probe as complete right afterwards,
+    since a completed-but-buffered measurement would be lost by a crash
+    while the journal survives (breaking resume parity).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        flush_every_record: bool = False,
+    ) -> None:
         self.path = Path(path)
         self.written = 0
+        self.flush_every_record = flush_every_record
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def accept(self, measurement: Measurement) -> None:
         self._handle.write(json.dumps(measurement.to_dict(), sort_keys=True))
         self._handle.write("\n")
+        if self.flush_every_record:
+            self._handle.flush()
         self.written += 1
 
     def close(self) -> None:

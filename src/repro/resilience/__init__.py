@@ -1,0 +1,59 @@
+"""Failure-handling layer: retries, breakers, journals, fault injection.
+
+The IQB pipeline's robustness story lives here, in four pieces that
+compose with (rather than entangle) the probing and scoring layers:
+
+* :mod:`repro.resilience.retry` — per-probe attempt budgets with
+  decorrelated-jitter backoff and per-campaign wall-clock deadlines;
+* :mod:`repro.resilience.breaker` — per-``(backend, client)`` circuit
+  breakers so a dead dataset stops consuming the schedule;
+* :mod:`repro.resilience.journal` — the crash-safe campaign journal
+  (JSONL WAL + atomic snapshots) behind ``iqb monitor --resume``;
+* :mod:`repro.resilience.chaos` — seeded, deterministic fault injection
+  used by the chaos test suite to prove all of the above actually works.
+
+Layering: this package depends on ``repro.core``, ``repro.obs``,
+``repro.fsutil``, and the probing protocol types — never on the CLI or
+analysis layers, which consume it.
+"""
+
+from repro.fsutil import atomic_write
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+from repro.resilience.chaos import (
+    ChaosBackend,
+    ChaosConfig,
+    ChaosSink,
+    strip_metrics,
+)
+from repro.resilience.journal import (
+    CampaignJournal,
+    probe_key,
+    window_key,
+)
+from repro.resilience.retry import Deadline, RetryPolicy
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerBoard",
+    "BreakerOpenError",
+    "CampaignJournal",
+    "ChaosBackend",
+    "ChaosConfig",
+    "ChaosSink",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "atomic_write",
+    "probe_key",
+    "strip_metrics",
+    "window_key",
+]

@@ -1,0 +1,221 @@
+"""Circuit breakers: stop burning the schedule on a dead dataset.
+
+The paper's corroboration story (NDT + Cloudflare + Ookla) only helps
+if one dataset going dark doesn't take the campaign down with it. A
+:class:`CircuitBreaker` guards one ``(backend, client)`` pair with the
+classic three-state machine:
+
+* **closed** — probes flow; failures are counted (consecutive run and
+  sliding failure rate);
+* **open** — tripped: every probe is short-circuited without touching
+  the backend until ``recovery_s`` has elapsed;
+* **half-open** — after the cooldown, a limited number of trial probes
+  are let through; one success closes the breaker, one failure re-opens
+  it (and restarts the cooldown).
+
+A :class:`BreakerBoard` holds one breaker per key and feeds the
+``probe.circuit.open`` gauge, so `iqb metrics`, `/healthz`, and the run
+manifest all show which datasets are currently black-holed.
+
+Determinism: state transitions depend only on the recorded outcomes and
+the injectable ``clock``, so chaos tests drive breakers with a fake
+clock and get reproducible trips.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, Optional, Tuple
+
+from repro.core.exceptions import ProbeError
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpenError(ProbeError):
+    """A probe was short-circuited because its circuit is open.
+
+    Carries the breaker key and the cooldown remaining, so the error is
+    actionable ("ookla via SimulatedBackend is tripped, retry in 12s")
+    rather than a silent skip.
+    """
+
+    def __init__(self, key: Hashable, retry_in_s: float) -> None:
+        self.key = key
+        self.retry_in_s = retry_in_s
+        super().__init__(
+            f"circuit open for {key!r}: short-circuited, "
+            f"next trial probe in {max(0.0, retry_in_s):.1f}s"
+        )
+
+
+class CircuitBreaker:
+    """Three-state breaker over one (backend, client) probe stream."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        failure_rate_threshold: Optional[float] = None,
+        window: int = 20,
+        min_calls: int = 10,
+        recovery_s: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Args:
+            failure_threshold: consecutive failures that trip the
+                breaker.
+            failure_rate_threshold: optional failure fraction over the
+                sliding ``window`` that also trips it (needs at least
+                ``min_calls`` outcomes recorded).
+            window: sliding-window size for the rate check.
+            min_calls: minimum outcomes before the rate check applies.
+            recovery_s: cooldown before an open breaker admits trial
+                probes (half-open).
+            half_open_max: trial probes admitted while half-open.
+            clock: time source (injectable for deterministic tests).
+        """
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if failure_rate_threshold is not None and not (
+            0.0 < failure_rate_threshold <= 1.0
+        ):
+            raise ValueError(
+                f"failure_rate_threshold outside (0, 1]: "
+                f"{failure_rate_threshold}"
+            )
+        if recovery_s <= 0:
+            raise ValueError(f"recovery_s must be positive: {recovery_s}")
+        if half_open_max < 1:
+            raise ValueError(f"half_open_max must be >= 1: {half_open_max}")
+        self.failure_threshold = failure_threshold
+        self.failure_rate_threshold = failure_rate_threshold
+        self.min_calls = max(1, min_calls)
+        self.recovery_s = recovery_s
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._outcomes: Deque[bool] = deque(maxlen=max(window, min_calls))
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        #: Lifetime trip count (how many times this breaker opened).
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open after cooldown."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_s
+        ):
+            self._state = HALF_OPEN
+            self._half_open_inflight = 0
+        return self._state
+
+    def retry_in_s(self) -> float:
+        """Seconds until an open breaker admits its next trial probe."""
+        if self.state != OPEN:
+            return 0.0
+        return self.recovery_s - (self._clock() - self._opened_at)
+
+    def allow(self) -> bool:
+        """Whether the next probe may proceed (admits half-open trials)."""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            if self._half_open_inflight < self.half_open_max:
+                self._half_open_inflight += 1
+                return True
+            return False
+        return False
+
+    def record_success(self) -> None:
+        """One probe succeeded: closes a half-open breaker."""
+        self._consecutive_failures = 0
+        self._outcomes.append(True)
+        if self._state == HALF_OPEN:
+            self._state = CLOSED
+            self._half_open_inflight = 0
+
+    def record_failure(self) -> None:
+        """One probe failed: may trip (or re-open) the breaker."""
+        self._consecutive_failures += 1
+        self._outcomes.append(False)
+        if self._state == HALF_OPEN:
+            self._trip()
+            return
+        if self._state != CLOSED:
+            return
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+            return
+        if (
+            self.failure_rate_threshold is not None
+            and len(self._outcomes) >= self.min_calls
+        ):
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= self.failure_rate_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._half_open_inflight = 0
+        self.trips += 1
+
+
+class BreakerBoard:
+    """One :class:`CircuitBreaker` per (backend, client) key.
+
+    Breakers are created lazily with the board's shared settings; the
+    board is the unit the runner consults, and :meth:`open_count` /
+    :meth:`states` are what telemetry reads.
+    """
+
+    def __init__(self, **breaker_kwargs: object) -> None:
+        """Args:
+            **breaker_kwargs: forwarded to every lazily created
+                :class:`CircuitBreaker` (thresholds, recovery, clock).
+        """
+        self._kwargs = breaker_kwargs
+        self._breakers: Dict[Hashable, CircuitBreaker] = {}
+
+    def breaker(self, key: Hashable) -> CircuitBreaker:
+        """The breaker guarding ``key`` (created closed on first use)."""
+        existing = self._breakers.get(key)
+        if existing is None:
+            existing = CircuitBreaker(**self._kwargs)  # type: ignore[arg-type]
+            self._breakers[key] = existing
+        return existing
+
+    def check(self, key: Hashable) -> None:
+        """Raise :class:`BreakerOpenError` unless ``key`` may probe."""
+        guard = self.breaker(key)
+        if not guard.allow():
+            raise BreakerOpenError(key, guard.retry_in_s())
+
+    def open_count(self) -> int:
+        """How many breakers are currently open (excludes half-open)."""
+        return sum(
+            1 for guard in self._breakers.values() if guard.state == OPEN
+        )
+
+    def states(self) -> Dict[Tuple, str]:
+        """Current state per key (for manifests and debugging)."""
+        return {
+            key if isinstance(key, tuple) else (key,): guard.state
+            for key, guard in sorted(
+                self._breakers.items(), key=lambda kv: str(kv[0])
+            )
+        }
+
+    def __len__(self) -> int:
+        return len(self._breakers)

@@ -1,0 +1,207 @@
+"""Seeded fault injection: chaos wrappers for backends and sinks.
+
+The resilience layer is only trustworthy if its failure paths are
+*exercised*, not just written. :class:`ChaosBackend` wraps any
+:class:`~repro.probing.backends.MeasurementBackend` and injects the
+failure modes real measurement infrastructure exhibits:
+
+* **error bursts** — consecutive :class:`~repro.core.exceptions.\
+  BackendError` runs (an unreachable test server fails every probe for
+  a while, not one probe in isolation);
+* **latency stalls** — a probe that eventually succeeds but only after
+  a stall (drives retry-budget and deadline logic);
+* **corrupt records** — a measurement that arrives with every metric
+  stripped (a test that "completed" but carried no usable data; feeds
+  degraded-mode scoring).
+
+:class:`ChaosSink` wraps any sink and injects ``OSError`` write
+failures (a full disk, a dropped pipe).
+
+Everything is driven by one seeded ``random.Random`` per wrapper, so a
+chaos schedule is a pure function of ``(seed, call sequence)`` — the
+chaos suite asserts exact outcomes, not flaky probabilities. Stalls are
+*simulated* by default (the injected delay is recorded, no wall-clock
+sleep), keeping the suite fast; pass a real ``sleep`` to actually stall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.exceptions import BackendError
+from repro.measurements.record import Measurement
+from repro.obs import counter
+
+if TYPE_CHECKING:
+    # Annotation-only: importing repro.probing at runtime would cycle
+    # (probing.adaptive imports repro.resilience).
+    from repro.probing.backends import MeasurementBackend, ProbeRequest
+    from repro.probing.sinks import ResultSink
+
+_BURST_FAILURES = counter("chaos.backend.failures")
+_STALLS = counter("chaos.backend.stalls")
+_CORRUPTED = counter("chaos.backend.corrupted")
+_SINK_FAILURES = counter("chaos.sink.failures")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault-injection rates for one chaos wrapper (all off by default)."""
+
+    seed: int = 0
+    #: Probability a probe starts a BackendError burst.
+    failure_rate: float = 0.0
+    #: Consecutive probes each burst fails (>= 1).
+    burst_length: int = 1
+    #: Probability a successful probe is stalled first.
+    stall_rate: float = 0.0
+    #: Injected stall duration (seconds).
+    stall_s: float = 0.05
+    #: Probability a successful probe returns a metric-stripped record.
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "stall_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} outside [0, 1]: {value}")
+        if self.burst_length < 1:
+            raise ValueError(
+                f"burst_length must be >= 1: {self.burst_length}"
+            )
+        if self.stall_s < 0:
+            raise ValueError(f"stall_s must be >= 0: {self.stall_s}")
+
+
+def strip_metrics(measurement: Measurement) -> Measurement:
+    """The 'corrupt record' fault: same identity, every metric gone.
+
+    Corruption violates invariants by definition, so the record is built
+    around ``Measurement.__post_init__`` (which would reject an
+    all-``None`` record): in memory it contributes to no quantile, so a
+    fully corrupted dataset vanishes from every Eq. 1 verdict and
+    surfaces via degraded-mode scoring; serialized and re-read, it fails
+    schema validation — both realistic downstream symptoms.
+    """
+    corrupt = object.__new__(Measurement)
+    for spec in dataclasses.fields(Measurement):
+        object.__setattr__(corrupt, spec.name, getattr(measurement, spec.name))
+    for name in ("download_mbps", "upload_mbps", "latency_ms", "packet_loss"):
+        object.__setattr__(corrupt, name, None)
+    return corrupt
+
+
+class ChaosBackend:
+    """A :class:`MeasurementBackend` wrapper injecting seeded faults."""
+
+    def __init__(
+        self,
+        inner: MeasurementBackend,
+        config: ChaosConfig,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Args:
+            inner: the real backend probes are delegated to.
+            config: fault rates (seeded; deterministic per call order).
+            sleep: how stalls are realized; ``None`` records the stall
+                in :attr:`stalled_s` without sleeping (fast tests).
+        """
+        self.inner = inner
+        self.config = config
+        self._sleep = sleep
+        self._rng = random.Random(config.seed)
+        self._burst_remaining = 0
+        #: Total injected stall time (seconds), slept or simulated.
+        self.stalled_s = 0.0
+        #: Injected fault counts, by kind.
+        self.injected_failures = 0
+        self.injected_stalls = 0
+        self.injected_corruptions = 0
+
+    @property
+    def name(self) -> str:
+        """The inner backend's stable name.
+
+        Breaker keys are derived from the backend name, so interposing
+        chaos must not re-key (and thereby reset) the circuit state.
+        """
+        return str(
+            getattr(self.inner, "name", type(self.inner).__name__)
+        )
+
+    def regions(self):
+        return self.inner.regions()
+
+    def clients(self):
+        return self.inner.clients()
+
+    def run(self, request: ProbeRequest) -> Measurement:
+        """Delegate one probe, possibly injecting a fault first.
+
+        Raises:
+            BackendError: for injected burst failures (and whatever the
+                inner backend raises on its own).
+        """
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            self._fail(request)
+        elif (
+            self.config.failure_rate > 0
+            and self._rng.random() < self.config.failure_rate
+        ):
+            self._burst_remaining = self.config.burst_length - 1
+            self._fail(request)
+        if (
+            self.config.stall_rate > 0
+            and self._rng.random() < self.config.stall_rate
+        ):
+            self.injected_stalls += 1
+            self.stalled_s += self.config.stall_s
+            _STALLS.inc()
+            if self._sleep is not None:
+                self._sleep(self.config.stall_s)
+        measurement = self.inner.run(request)
+        if (
+            self.config.corrupt_rate > 0
+            and self._rng.random() < self.config.corrupt_rate
+        ):
+            self.injected_corruptions += 1
+            _CORRUPTED.inc()
+            return strip_metrics(measurement)
+        return measurement
+
+    def _fail(self, request: ProbeRequest) -> None:
+        self.injected_failures += 1
+        _BURST_FAILURES.inc()
+        raise BackendError(
+            f"chaos: injected failure running {request.client} in "
+            f"{request.region} at t={request.timestamp:.0f}"
+        )
+
+
+class ChaosSink:
+    """A :class:`ResultSink` wrapper injecting seeded write failures."""
+
+    def __init__(self, inner: ResultSink, seed: int = 0,
+                 failure_rate: float = 0.0) -> None:
+        """Args:
+            inner: the real sink accepted measurements go to.
+            failure_rate: probability one ``accept`` raises ``OSError``.
+        """
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate outside [0, 1]: {failure_rate}")
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self.injected_failures = 0
+
+    def accept(self, measurement: Measurement) -> None:
+        """Forward one measurement, or raise an injected ``OSError``."""
+        if self.failure_rate > 0 and self._rng.random() < self.failure_rate:
+            self.injected_failures += 1
+            _SINK_FAILURES.inc()
+            raise OSError("chaos: injected sink write failure")
+        self.inner.accept(measurement)

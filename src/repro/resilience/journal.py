@@ -1,0 +1,240 @@
+"""Crash-safe campaign checkpoints: a JSONL WAL plus atomic snapshots.
+
+A long measurement campaign must survive its process dying. The
+:class:`CampaignJournal` is a classic write-ahead redo log:
+
+* every completed unit of work (a probe key, a monitor window) is
+  appended to the journal file as one flushed JSONL line — optionally
+  carrying that unit's redo ``data`` (e.g. the window's score points),
+  so replay reconstructs downstream state exactly;
+* :meth:`checkpoint` compacts the log: the full completed-key set and
+  an opaque ``state`` document are written to a sibling ``.snap`` file
+  via :func:`repro.fsutil.atomic_write`, after which the WAL is
+  truncated. A crash at any instant leaves either the old snapshot +
+  full WAL or the new snapshot (+ possibly a few redundant WAL lines,
+  which replay harmlessly into the completed set).
+
+On open, the journal loads ``snapshot ∪ WAL``; a torn final WAL line
+(the process died mid-write) is detected and ignored — that unit simply
+re-runs, which is safe because completed keys are recorded *after*
+their effects are durable.
+
+Resume contract: work keyed identically across runs, with per-key
+results that are deterministic functions of the key and the replayed
+state, resumes to output bit-identical to an uninterrupted run with
+zero duplicated work. The crash-resume parity tests assert exactly
+this for the probe runner and the monitor CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.fsutil import atomic_write
+from repro.obs import counter, get_logger
+
+_PathLike = Union[str, Path]
+
+_logger = get_logger(__name__)
+
+_RECORDED = counter("journal.records")
+_CHECKPOINTS = counter("journal.checkpoints")
+_RESUMED_KEYS = counter("journal.resumed_keys")
+_TORN_LINES = counter("journal.torn_lines")
+
+#: Sibling-file suffix for the compacted snapshot.
+SNAPSHOT_SUFFIX = ".snap"
+
+#: Snapshot document version (bump on incompatible shape changes).
+SNAPSHOT_VERSION = 1
+
+
+class CampaignJournal:
+    """Append-only WAL of completed work keys, with atomic snapshots."""
+
+    def __init__(
+        self,
+        path: _PathLike,
+        snapshot_every: int = 256,
+        fsync: bool = False,
+    ) -> None:
+        """Open (or create) the journal at ``path``.
+
+        An existing journal resumes: its snapshot and WAL are loaded
+        into :attr:`state` and the completed-key set before the WAL is
+        reopened for append.
+
+        Args:
+            snapshot_every: auto-checkpoint after this many new records
+                (the last provided state is reused); 0 disables
+                auto-checkpointing.
+            fsync: fsync the WAL after every record — maximal
+                durability at real disk-flush cost.
+
+        Raises:
+            OSError: when the journal path is unreadable/unwritable.
+        """
+        if snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0: {snapshot_every}"
+            )
+        self.path = Path(path)
+        self.snapshot_path = Path(str(path) + SNAPSHOT_SUFFIX)
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        self._completed: Dict[str, None] = {}  # ordered set
+        self._wal_entries: List[Tuple[str, Any]] = []
+        self.state: Optional[Dict[str, Any]] = None
+        self._since_checkpoint = 0
+        self._pending_data = False
+        self._load()
+        if self._completed:
+            _RESUMED_KEYS.inc(len(self._completed))
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- loading ------------------------------------------------------------
+
+    def _load(self) -> None:
+        if self.snapshot_path.exists():
+            with open(self.snapshot_path, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            for key in snapshot.get("keys", ()):
+                self._completed[str(key)] = None
+            self.state = snapshot.get("state")
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = str(entry["key"])
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A torn final line from a mid-write crash: the unit
+                    # was not durably completed, so it will re-run.
+                    _TORN_LINES.inc()
+                    _logger.warning(
+                        "ignoring torn journal line",
+                        extra={"ctx": {"path": str(self.path)}},
+                    )
+                    continue
+                if key not in self._completed:
+                    data = entry.get("data")
+                    self._completed[key] = None
+                    self._wal_entries.append((key, data))
+                    self._pending_data = self._pending_data or data is not None
+
+    # -- the completed set --------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def completed_keys(self) -> Tuple[str, ...]:
+        """Every completed key, in completion order."""
+        return tuple(self._completed)
+
+    def replay(self) -> Iterator[Tuple[str, Any]]:
+        """Yield ``(key, data)`` for WAL entries after the snapshot.
+
+        Snapshot-covered keys carry their effects inside :attr:`state`;
+        only post-snapshot entries need redo, in completion order.
+        """
+        return iter(list(self._wal_entries))
+
+    # -- writing ------------------------------------------------------------
+
+    def record(self, key: str, data: Any = None) -> None:
+        """Durably mark one unit of work complete (idempotent).
+
+        The line is flushed before :meth:`record` returns, so a crash
+        afterwards never re-runs the unit. ``data`` is the unit's redo
+        payload, handed back by :meth:`replay` on resume.
+        """
+        if key in self._completed:
+            return
+        entry: Dict[str, Any] = {"key": key}
+        if data is not None:
+            entry["data"] = data
+        self._handle.write(json.dumps(entry, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._completed[key] = None
+        self._wal_entries.append((key, data))
+        self._since_checkpoint += 1
+        self._pending_data = self._pending_data or data is not None
+        _RECORDED.inc()
+        # Auto-compaction is only safe for key-only entries: an entry's
+        # redo data would be lost if compacted under a stale state, so
+        # callers that record data own their checkpoint cadence.
+        if (
+            self.snapshot_every
+            and self._since_checkpoint >= self.snapshot_every
+            and not self._pending_data
+        ):
+            self.checkpoint(self.state)
+
+    def checkpoint(self, state: Optional[Dict[str, Any]] = None) -> None:
+        """Compact: atomic snapshot of keys + ``state``, then truncate WAL.
+
+        ``state`` is an opaque JSON-compatible document (e.g. the
+        monitor's full history); pass ``None`` to keep the previous
+        checkpoint's state. After a checkpoint, :meth:`replay` yields
+        nothing — everything is inside the snapshot.
+        """
+        if state is not None:
+            self.state = state
+        document = {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "keys": list(self._completed),
+            "state": self.state,
+        }
+        atomic_write(
+            self.snapshot_path,
+            json.dumps(document, sort_keys=True) + "\n",
+            fsync=self.fsync,
+        )
+        # Truncate the WAL only after the snapshot is durably in place;
+        # a crash in between leaves redundant WAL lines, which replay
+        # idempotently into the completed set.
+        self._handle.close()
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._wal_entries = []
+        self._since_checkpoint = 0
+        self._pending_data = False
+        _CHECKPOINTS.inc()
+
+    def close(self) -> None:
+        """Flush and close the WAL handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def probe_key(client: str, region: str, timestamp: float) -> str:
+    """The canonical journal key for one probe request.
+
+    ``repr`` of the timestamp keeps full float precision, so a resumed
+    schedule regenerates byte-identical keys.
+    """
+    return f"probe|{client}|{region}|{timestamp!r}"
+
+
+def window_key(window_start: float, window_end: float) -> str:
+    """The canonical journal key for one monitor window."""
+    return f"window|{window_start!r}|{window_end!r}"

@@ -1,0 +1,137 @@
+"""Retry policy: exponential backoff, decorrelated jitter, deadlines.
+
+Real measurement infrastructure fails transiently all the time
+(Feamster & Livingood), and the classic failure mode of naive retry
+loops is the synchronized stampede: every prober retries a struggling
+backend at the same instant. :class:`RetryPolicy` replaces the runner's
+bare fixed-count loop with the AWS-style *decorrelated jitter*
+schedule — each delay is drawn uniformly from ``[base, 3 × previous]``
+and capped — which spreads retries out in time while keeping the
+expected backoff exponential.
+
+Two budgets bound every campaign:
+
+* a per-probe **attempt budget** (``max_attempts``), after which the
+  probe is abandoned; and
+* a per-campaign **wall-clock deadline** (``deadline_s``), after which
+  the runner stops starting new work entirely — a schedule must never
+  outlive its reporting window just because a backend is slow-failing.
+
+Determinism: the jitter stream comes from a seeded ``random.Random``,
+so two runs with the same policy draw identical delays — chaos tests
+and crash-resume parity depend on this.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, Optional
+
+
+class Deadline:
+    """A wall-clock budget measured from construction time."""
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Args:
+            seconds: budget; ``None`` means unbounded (never expires).
+            clock: time source (injectable for deterministic tests).
+        """
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"deadline must be positive: {seconds}")
+        self._clock = clock
+        self._started = clock()
+        self._seconds = seconds
+
+    @property
+    def seconds(self) -> Optional[float]:
+        """The configured budget (``None`` = unbounded)."""
+        return self._seconds
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return self._clock() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (``None`` = unbounded; never below 0)."""
+        if self._seconds is None:
+            return None
+        return max(0.0, self._seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self._seconds is not None and self.elapsed() >= self._seconds
+
+
+class RetryPolicy:
+    """Attempt budget + decorrelated-jitter backoff + campaign deadline.
+
+    The default policy (``base_s=0``) never sleeps, matching the
+    historical runner behavior exactly — backoff is opt-in via a
+    positive ``base_s``.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_s: float = 0.0,
+        cap_s: float = 30.0,
+        deadline_s: Optional[float] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Args:
+            max_attempts: total tries per probe (1 = no retries).
+            base_s: minimum backoff delay; 0 disables sleeping.
+            cap_s: upper bound on any single delay.
+            deadline_s: per-campaign wall-clock budget (None = none).
+            seed: jitter RNG seed (delays are reproducible per policy).
+            sleep: sleep function (injectable for tests).
+            clock: time source for deadlines (injectable for tests).
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        if base_s < 0:
+            raise ValueError(f"base_s must be >= 0: {base_s}")
+        if cap_s < base_s:
+            raise ValueError(f"cap_s {cap_s} below base_s {base_s}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive: {deadline_s}")
+        self.max_attempts = max_attempts
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.deadline_s = deadline_s
+        self.seed = seed
+        self.sleep = sleep
+        self._clock = clock
+        self._rng = random.Random(seed)
+
+    def deadline(self) -> Deadline:
+        """Start a fresh campaign deadline (unbounded when unset)."""
+        return Deadline(self.deadline_s, clock=self._clock)
+
+    def delays(self) -> Iterator[float]:
+        """The backoff-delay stream for one probe's retry sequence.
+
+        Yields ``max_attempts - 1`` delays (one before each retry).
+        With ``base_s == 0`` every delay is 0 — retry immediately.
+        """
+        previous = self.base_s
+        for _ in range(self.max_attempts - 1):
+            if self.base_s <= 0:
+                yield 0.0
+                continue
+            previous = min(
+                self.cap_s, self._rng.uniform(self.base_s, previous * 3)
+            )
+            yield previous
+
+    def backoff(self, delay: float) -> None:
+        """Sleep for one backoff delay (no-op for zero delays)."""
+        if delay > 0:
+            self.sleep(delay)

@@ -1,0 +1,180 @@
+"""CLI failure handling: monitor resume, interrupts, atomic artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def campaign_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("resilience") / "campaign.jsonl"
+    code = main(
+        [
+            "simulate",
+            str(path),
+            "--regions",
+            "metro-fiber",
+            "rural-dsl",
+            "--tests",
+            "4",
+            "--subscribers",
+            "10",
+            "--days",
+            "6",
+            "--seed",
+            "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def monitor(campaign_file, capsys, *extra):
+    code = main(
+        [
+            "monitor",
+            str(campaign_file),
+            "--window-days",
+            "1",
+            "--verbose",
+            *extra,
+        ]
+    )
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def window_lines(text):
+    return [line for line in text.splitlines() if line.startswith("window ")]
+
+
+class TestMonitorJournal:
+    def test_journaled_run_matches_plain_run(
+        self, campaign_file, capsys, tmp_path
+    ):
+        code, plain_out, _ = monitor(campaign_file, capsys)
+        assert code == 0
+        journal = tmp_path / "campaign.journal"
+        code, journaled_out, _ = monitor(
+            campaign_file, capsys, "--journal", str(journal)
+        )
+        assert code == 0
+        assert journaled_out == plain_out
+        # The campaign checkpointed on exit: compacted snapshot, empty WAL.
+        assert journal.exists()
+        snapshot = json.loads((tmp_path / "campaign.journal.snap").read_text())
+        assert len(snapshot["keys"]) == len(window_lines(plain_out))
+        assert journal.read_text() == ""
+
+    def test_resume_skips_completed_windows(
+        self, campaign_file, capsys, tmp_path
+    ):
+        journal = tmp_path / "campaign.journal"
+        code, full_out, _ = monitor(
+            campaign_file, capsys, "--journal", str(journal)
+        )
+        assert code == 0
+        windows = len(window_lines(full_out))
+        code, resumed_out, resumed_err = monitor(
+            campaign_file, capsys, "--resume", str(journal)
+        )
+        assert code == 0
+        assert window_lines(resumed_out) == []  # nothing recomputed
+        assert f"{windows} window(s) resumed from journal" in resumed_out
+        assert f"resuming: {windows} window(s) already complete" in resumed_err
+
+    def test_partial_journal_resumes_the_remaining_windows(
+        self, campaign_file, capsys, tmp_path
+    ):
+        # Emulate a campaign killed partway: journal only the windows
+        # covered by the first three days of measurements, then resume
+        # against the full file. (Window boundaries derive from the
+        # minimum timestamp, which the time-based split preserves.)
+        lines = campaign_file.read_text().splitlines(keepends=True)
+        stamps = [json.loads(line)["timestamp"] for line in lines]
+        cutoff = min(stamps) + 3 * 86400.0
+        partial_file = tmp_path / "partial.jsonl"
+        partial_file.write_text(
+            "".join(
+                line
+                for line, stamp in zip(lines, stamps)
+                if stamp < cutoff
+            )
+        )
+        journal = tmp_path / "campaign.journal"
+
+        code, partial_out, _ = monitor(
+            partial_file, capsys, "--journal", str(journal)
+        )
+        assert code == 0
+        code, resumed_out, _ = monitor(
+            campaign_file, capsys, "--resume", str(journal)
+        )
+        assert code == 0
+        code, reference_out, _ = monitor(campaign_file, capsys)
+        assert code == 0
+
+        done = window_lines(partial_out)
+        resumed = window_lines(resumed_out)
+        reference = window_lines(reference_out)
+        assert done and resumed  # the split actually exercised both runs
+        assert done + resumed == reference  # union covers every window once
+
+    def test_resume_requires_an_existing_journal(
+        self, campaign_file, capsys, tmp_path
+    ):
+        code, _, err = monitor(
+            campaign_file,
+            capsys,
+            "--resume",
+            str(tmp_path / "missing.journal"),
+        )
+        assert code == 2
+        assert "iqb: error: --resume journal not found" in err
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_exits_130_with_one_line(
+        self, campaign_file, capsys, monkeypatch
+    ):
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli.read_jsonl", interrupted)
+        code = main(["score", str(campaign_file)])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "iqb: interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_interrupt_flushes_partial_manifest(
+        self, campaign_file, capsys, monkeypatch, tmp_path
+    ):
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.core.scoring.score_regions", interrupted
+        )
+        manifest_path = tmp_path / "run.manifest.json"
+        code = main(
+            [
+                "--manifest-out",
+                str(manifest_path),
+                "score",
+                str(campaign_file),
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "(interrupted run)" in captured.err
+        manifest = json.loads(manifest_path.read_text())
+        # The run's provenance up to the interrupt survived: the input
+        # file registration happened before the crash point.
+        assert any(
+            str(campaign_file) in str(entry.get("path", ""))
+            for entry in manifest.get("inputs", [])
+        )

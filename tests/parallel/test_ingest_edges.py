@@ -1,0 +1,111 @@
+"""Degenerate-file parity: parallel readers must match serial exactly.
+
+The shard planner earns its keep on big files; these tests pin the
+other end of the distribution — empty files, files smaller than one
+shard, and files whose final record has no trailing newline — where
+off-by-one byte-range bugs live.
+"""
+
+import pytest
+
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.measurements.record import Measurement
+from repro.parallel import read_csv_parallel, read_jsonl_parallel
+
+
+def records(n):
+    return MeasurementSet(
+        [
+            Measurement(
+                region=f"r{i % 3}",
+                source=("ndt", "ookla")[i % 2],
+                timestamp=float(i),
+                download_mbps=100.0 + i,
+                upload_mbps=20.0,
+                latency_ms=15.0,
+                packet_loss=0.002,
+            )
+            for i in range(n)
+        ]
+    )
+
+
+def dump(collection):
+    return [
+        (m.region, m.source, m.timestamp, m.download_mbps)
+        for m in collection
+    ]
+
+
+class TestZeroByteFile:
+    def test_jsonl(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        serial = read_jsonl(path)
+        parallel = read_jsonl_parallel(path, workers=4)
+        assert len(serial) == len(parallel) == 0
+
+    def test_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_bytes(b"")
+        serial = read_csv(path)
+        parallel = read_csv_parallel(path, workers=4)
+        assert len(serial) == len(parallel) == 0
+
+    def test_csv_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        write_csv(records(1), path)
+        header = path.read_text().splitlines()[0]
+        path.write_text(header + "\n")
+        serial = read_csv(path)
+        parallel = read_csv_parallel(path, workers=4)
+        assert len(serial) == len(parallel) == 0
+
+
+class TestFileSmallerThanOneShard:
+    def test_jsonl_two_lines_eight_workers(self, tmp_path):
+        path = tmp_path / "tiny.jsonl"
+        write_jsonl(records(2), path)
+        assert dump(read_jsonl_parallel(path, workers=8)) == dump(
+            read_jsonl(path)
+        )
+
+    def test_jsonl_single_line(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        write_jsonl(records(1), path)
+        assert dump(read_jsonl_parallel(path, workers=8)) == dump(
+            read_jsonl(path)
+        )
+
+    def test_csv_two_rows_eight_workers(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        write_csv(records(2), path)
+        assert dump(read_csv_parallel(path, workers=8)) == dump(
+            read_csv(path)
+        )
+
+
+class TestNoTrailingNewline:
+    def strip_final_newline(self, path):
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        path.write_bytes(data[:-1])
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_jsonl(self, tmp_path, workers):
+        path = tmp_path / "chopped.jsonl"
+        write_jsonl(records(25), path)
+        self.strip_final_newline(path)
+        serial = dump(read_jsonl(path))
+        assert len(serial) == 25  # the final record still counts
+        assert dump(read_jsonl_parallel(path, workers=workers)) == serial
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_csv(self, tmp_path, workers):
+        path = tmp_path / "chopped.csv"
+        write_csv(records(25), path)
+        self.strip_final_newline(path)
+        serial = dump(read_csv(path))
+        assert len(serial) == 25
+        assert dump(read_csv_parallel(path, workers=workers)) == serial

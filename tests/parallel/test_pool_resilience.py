@@ -1,0 +1,171 @@
+"""Failure-path tests for run_sharded: retry, quarantine, hard deaths."""
+
+import os
+import signal
+
+import pytest
+
+from repro.obs import REGISTRY, counter
+from repro.parallel import ShardError, fork_available, run_sharded
+
+pytestmark = pytest.mark.timeout(60)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+
+# Workers are module-level (they cross the process boundary by
+# reference). The child-only failure modes key off the parent pid
+# passed as the payload: the fault fires in a forked worker but not in
+# the parent's serial retry, modeling a transient worker-environment
+# fault (OOM kill, bad node) that heals on retry.
+
+def _ok(payload, shard):
+    return list(shard)
+
+
+def _die_in_child(parent_pid, shard):
+    if "die" in shard and os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return list(shard)
+
+
+def _unpicklable_in_child(parent_pid, shard):
+    if "lambda" in shard and os.getpid() != parent_pid:
+        return lambda: shard  # cannot cross the pipe
+    return list(shard)
+
+
+def _always_fails(payload, shard):
+    if "bad" in shard:
+        raise ValueError(f"deterministic failure on {shard}")
+    return list(shard)
+
+
+def _count_and_fail(payload, shard):
+    counter("test.pool.attempted").inc()
+    if "bad" in shard:
+        raise ValueError("boom")
+    return list(shard)
+
+
+def counters():
+    return REGISTRY.snapshot()["counters"]
+
+
+class TestHardWorkerDeath:
+    @needs_fork
+    def test_sigkilled_worker_heals_via_serial_retry(self):
+        before = counters().get("parallel.shards.retried", 0)
+        shards = [("a",), ("die", "b"), ("c",)]
+        results = run_sharded(
+            _die_in_child, os.getpid(), shards, workers=2
+        )
+        assert results == [["a"], ["die", "b"], ["c"]]
+        assert counters()["parallel.shards.retried"] >= before + 1
+
+    @needs_fork
+    def test_sigkilled_worker_without_retry_names_the_shard(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_sharded(
+                _die_in_child,
+                os.getpid(),
+                [("a",), ("die",)],
+                workers=2,
+                retry_failed=False,
+            )
+        assert "worker process died" in str(excinfo.value)
+        assert excinfo.value.keys == ("die",)
+
+    @needs_fork
+    def test_unpicklable_result_heals_via_serial_retry(self):
+        shards = [("a",), ("lambda",), ("c",)]
+        results = run_sharded(
+            _unpicklable_in_child, os.getpid(), shards, workers=2
+        )
+        # The parent retry hits the healthy path (pid == parent) and
+        # produces the shard's normal result.
+        assert results == [["a"], ["lambda"], ["c"]]
+
+    @needs_fork
+    def test_unpicklable_result_without_retry_is_actionable(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_sharded(
+                _unpicklable_in_child,
+                os.getpid(),
+                [("a",), ("lambda",)],
+                workers=2,
+                retry_failed=False,
+            )
+        assert "not transportable" in str(excinfo.value)
+
+
+class TestQuarantine:
+    @needs_fork
+    def test_deterministic_failure_is_quarantined_not_fatal(self):
+        quarantine = []
+        results = run_sharded(
+            _always_fails,
+            None,
+            [("a",), ("bad",), ("c",)],
+            workers=2,
+            quarantine=quarantine,
+        )
+        assert results == [["a"], None, ["c"]]
+        assert len(quarantine) == 1
+        assert isinstance(quarantine[0], ShardError)
+        assert quarantine[0].keys == ("bad",)
+        assert "deterministic failure" in str(quarantine[0])
+
+    @needs_fork
+    def test_partial_metrics_merge_despite_quarantine(self):
+        before = counters().get("test.pool.attempted", 0)
+        quarantine = []
+        run_sharded(
+            _count_and_fail,
+            None,
+            [("a",), ("bad",), ("c",)],
+            workers=2,
+            quarantine=quarantine,
+        )
+        after = counters()["test.pool.attempted"]
+        # Two successful worker shards merged home, plus the parent's
+        # serial retry of the poisoned one.
+        assert after - before >= 3
+        assert counters()["parallel.shards.quarantined"] >= 1
+
+    def test_serial_path_quarantines_identically(self):
+        quarantine = []
+        results = run_sharded(
+            _always_fails,
+            None,
+            [("a",), ("bad",), ("c",)],
+            workers=1,
+            quarantine=quarantine,
+        )
+        assert results == [["a"], None, ["c"]]
+        assert quarantine[0].keys == ("bad",)
+
+    @needs_fork
+    def test_retry_disabled_still_quarantines(self):
+        quarantine = []
+        results = run_sharded(
+            _always_fails,
+            None,
+            [("bad",), ("c",)],
+            workers=2,
+            retry_failed=False,
+            quarantine=quarantine,
+        )
+        assert results == [None, ["c"]]
+        assert len(quarantine) == 1
+
+    @needs_fork
+    def test_without_quarantine_second_failure_raises(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_sharded(
+                _always_fails, None, [("a",), ("bad",)], workers=2
+            )
+        assert excinfo.value.shard_index == 1
+        assert isinstance(excinfo.value.__cause__, ValueError)

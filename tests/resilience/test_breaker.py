@@ -1,0 +1,185 @@
+"""Unit tests for repro.resilience.breaker (state machine + board)."""
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def breaker(**kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    return CircuitBreaker(**kwargs)
+
+
+class TestConsecutiveTrip:
+    def test_starts_closed_and_allows(self):
+        guard = breaker()
+        assert guard.state == CLOSED
+        assert guard.allow()
+        assert guard.trips == 0
+
+    def test_trips_on_consecutive_failures(self):
+        guard = breaker(failure_threshold=3)
+        for _ in range(2):
+            guard.record_failure()
+        assert guard.state == CLOSED
+        guard.record_failure()
+        assert guard.state == OPEN
+        assert not guard.allow()
+        assert guard.trips == 1
+
+    def test_success_resets_the_consecutive_run(self):
+        guard = breaker(failure_threshold=3)
+        guard.record_failure()
+        guard.record_failure()
+        guard.record_success()
+        guard.record_failure()
+        guard.record_failure()
+        assert guard.state == CLOSED
+
+
+class TestRateTrip:
+    def test_trips_on_failure_rate_over_window(self):
+        guard = breaker(
+            failure_threshold=100,  # consecutive trip out of the way
+            failure_rate_threshold=0.5,
+            window=10,
+            min_calls=10,
+        )
+        # Alternating outcomes: 50% failure rate once 10 calls land.
+        for index in range(10):
+            if index % 2:
+                guard.record_failure()
+            else:
+                guard.record_success()
+        assert guard.state == OPEN
+
+    def test_rate_needs_min_calls(self):
+        guard = breaker(
+            failure_threshold=100,
+            failure_rate_threshold=0.5,
+            window=10,
+            min_calls=10,
+        )
+        for _ in range(4):
+            guard.record_failure()
+            guard.record_success()
+        assert guard.state == CLOSED  # 8 calls < min_calls
+
+    def test_rate_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_rate_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_rate_threshold=1.5)
+
+
+class TestRecovery:
+    def trip(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 1)
+        kwargs.setdefault("recovery_s", 30.0)
+        guard = CircuitBreaker(clock=clock, **kwargs)
+        guard.record_failure()
+        assert guard.state == OPEN
+        return guard
+
+    def test_half_open_after_cooldown(self):
+        clock = FakeClock()
+        guard = self.trip(clock)
+        assert guard.retry_in_s() == pytest.approx(30.0)
+        clock.advance(29.9)
+        assert guard.state == OPEN
+        clock.advance(0.1)
+        assert guard.state == HALF_OPEN
+        assert guard.retry_in_s() == 0.0
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        guard = self.trip(clock)
+        clock.advance(30.0)
+        assert guard.allow()
+        guard.record_success()
+        assert guard.state == CLOSED
+        assert guard.allow()
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        guard = self.trip(clock)
+        clock.advance(30.0)
+        assert guard.allow()
+        guard.record_failure()
+        assert guard.state == OPEN
+        assert guard.trips == 2
+        clock.advance(29.0)
+        assert guard.state == OPEN
+
+    def test_half_open_admits_limited_trials(self):
+        clock = FakeClock()
+        guard = self.trip(clock, half_open_max=2)
+        clock.advance(30.0)
+        assert guard.allow()
+        assert guard.allow()
+        assert not guard.allow()  # third trial blocked
+
+
+class TestBreakerBoard:
+    def test_lazily_creates_one_breaker_per_key(self):
+        board = BreakerBoard(failure_threshold=2)
+        assert len(board) == 0
+        first = board.breaker(("sim", "ndt"))
+        assert board.breaker(("sim", "ndt")) is first
+        board.breaker(("sim", "ookla"))
+        assert len(board) == 2
+
+    def test_check_raises_actionable_error_when_open(self):
+        clock = FakeClock()
+        board = BreakerBoard(
+            failure_threshold=1, recovery_s=30.0, clock=clock
+        )
+        key = ("sim", "ndt")
+        board.check(key)  # closed: no raise
+        board.breaker(key).record_failure()
+        with pytest.raises(BreakerOpenError) as excinfo:
+            board.check(key)
+        assert excinfo.value.key == key
+        assert excinfo.value.retry_in_s == pytest.approx(30.0)
+        message = str(excinfo.value)
+        assert "circuit open" in message
+        assert "ndt" in message
+
+    def test_open_count_excludes_half_open(self):
+        clock = FakeClock()
+        board = BreakerBoard(
+            failure_threshold=1, recovery_s=30.0, clock=clock
+        )
+        board.breaker("a").record_failure()
+        board.breaker("b").record_failure()
+        board.breaker("c").record_success()
+        assert board.open_count() == 2
+        clock.advance(30.0)
+        assert board.open_count() == 0  # both now half-open
+
+    def test_states_normalizes_keys_to_tuples(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.breaker(("sim", "ndt")).record_failure()
+        board.breaker("solo").record_success()
+        assert board.states() == {
+            ("sim", "ndt"): OPEN,
+            ("solo",): CLOSED,
+        }

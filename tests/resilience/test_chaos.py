@@ -1,0 +1,398 @@
+"""Chaos suite: seeded fault injection through the resilience stack.
+
+Every test here is deterministic — the chaos schedule is a pure
+function of (seed, call sequence) — so assertions are exact, not
+probabilistic. The per-test timeout only bites when pytest-timeout is
+installed (CI); without the plugin the marker is inert.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import paper_config
+from repro.core.exceptions import BackendError
+from repro.core.scoring import score_regions
+from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+from repro.obs import REGISTRY
+from repro.probing.backends import ProbeRequest
+from repro.probing.runner import ProbeRunner, backend_name
+from repro.probing.sinks import MemorySink
+from repro.resilience import (
+    BreakerBoard,
+    CampaignJournal,
+    ChaosBackend,
+    ChaosConfig,
+    ChaosSink,
+    RetryPolicy,
+    strip_metrics,
+)
+
+pytestmark = pytest.mark.timeout(60)
+
+
+class PureBackend:
+    """A stateless backend: each measurement is a function of its request.
+
+    This is the backend shape the crash-resume parity contract needs —
+    re-running any subset of the schedule reproduces identical records
+    (unlike SimulatedBackend, whose per-client RNG streams are stateful
+    across probes).
+    """
+
+    name = "pure"
+
+    def run(self, request):
+        base = 50.0 + (request.timestamp % 7.0)
+        return Measurement(
+            region=request.region,
+            source=request.client,
+            timestamp=request.timestamp,
+            download_mbps=base,
+            upload_mbps=base / 4,
+            latency_ms=20.0 + (request.timestamp % 3.0),
+            packet_loss=0.001,
+        )
+
+    def regions(self):
+        return ("r",)
+
+    def clients(self):
+        return ("ndt", "cloudflare", "ookla")
+
+
+def schedule(n, client="ndt", region="r"):
+    return [
+        ProbeRequest(client=client, region=region, timestamp=float(i))
+        for i in range(n)
+    ]
+
+
+def sink_records(sink):
+    """A sink's measurements in deterministic order, for comparison."""
+    return sorted(
+        sink.as_set(), key=lambda m: (m.source, m.region, m.timestamp)
+    )
+
+
+def outcomes(backend, n):
+    """success/failure sequence of n probes against a chaos backend."""
+    result = []
+    for request in schedule(n):
+        try:
+            backend.run(request)
+            result.append(True)
+        except BackendError:
+            result.append(False)
+    return result
+
+
+class TestChaosConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(failure_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(stall_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosConfig(burst_length=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(stall_s=-1.0)
+
+
+class TestChaosBackend:
+    def test_schedule_is_deterministic_per_seed(self):
+        config = ChaosConfig(seed=42, failure_rate=0.3, burst_length=2)
+        first = outcomes(ChaosBackend(PureBackend(), config), 200)
+        second = outcomes(ChaosBackend(PureBackend(), config), 200)
+        assert first == second
+        assert False in first and True in first
+
+    def test_different_seeds_differ(self):
+        base = dict(failure_rate=0.3, burst_length=2)
+        first = outcomes(
+            ChaosBackend(PureBackend(), ChaosConfig(seed=1, **base)), 200
+        )
+        second = outcomes(
+            ChaosBackend(PureBackend(), ChaosConfig(seed=2, **base)), 200
+        )
+        assert first != second
+
+    def test_failures_come_in_bursts(self):
+        config = ChaosConfig(seed=3, failure_rate=0.1, burst_length=3)
+        sequence = outcomes(ChaosBackend(PureBackend(), config), 400)
+        runs = []
+        length = 0
+        for ok in sequence:
+            if not ok:
+                length += 1
+            elif length:
+                runs.append(length)
+                length = 0
+        # A burst truncated by the end of the sequence is dropped.
+        assert runs  # chaos actually fired
+        # Each burst fails exactly burst_length consecutive probes;
+        # adjacent bursts concatenate, so run lengths are multiples.
+        assert all(run % 3 == 0 for run in runs)
+
+    def test_stalls_are_recorded_not_slept_by_default(self):
+        config = ChaosConfig(seed=0, stall_rate=1.0, stall_s=0.5)
+        backend = ChaosBackend(PureBackend(), config)
+        for request in schedule(4):
+            backend.run(request)
+        assert backend.injected_stalls == 4
+        assert backend.stalled_s == pytest.approx(2.0)
+
+    def test_stalls_use_injected_sleep(self):
+        slept = []
+        config = ChaosConfig(seed=0, stall_rate=1.0, stall_s=0.25)
+        backend = ChaosBackend(PureBackend(), config, sleep=slept.append)
+        backend.run(schedule(1)[0])
+        assert slept == [0.25]
+
+    def test_corruption_strips_every_metric(self):
+        config = ChaosConfig(seed=0, corrupt_rate=1.0)
+        backend = ChaosBackend(PureBackend(), config)
+        request = schedule(1)[0]
+        measurement = backend.run(request)
+        assert measurement.region == "r"
+        assert measurement.source == "ndt"
+        assert measurement.timestamp == request.timestamp
+        assert measurement.download_mbps is None
+        assert measurement.upload_mbps is None
+        assert measurement.latency_ms is None
+        assert measurement.packet_loss is None
+        assert backend.injected_corruptions == 1
+
+    def test_delegates_topology(self):
+        backend = ChaosBackend(PureBackend(), ChaosConfig())
+        assert backend.regions() == ("r",)
+        assert backend.clients() == ("ndt", "cloudflare", "ookla")
+
+
+class TestChaosSink:
+    def test_injects_oserror_and_drops_the_write(self):
+        inner = MemorySink()
+        sink = ChaosSink(inner, seed=0, failure_rate=1.0)
+        with pytest.raises(OSError, match="chaos: injected sink"):
+            sink.accept(PureBackend().run(schedule(1)[0]))
+        assert len(inner) == 0
+        assert sink.injected_failures == 1
+
+    def test_failure_rate_validated(self):
+        with pytest.raises(ValueError):
+            ChaosSink(MemorySink(), failure_rate=2.0)
+
+
+class TestRunnerUnderChaos:
+    def run_campaign(self, n=120, **chaos):
+        config = ChaosConfig(seed=9, **chaos)
+        backend = ChaosBackend(PureBackend(), config)
+        sink = MemorySink()
+        runner = ProbeRunner(
+            backend, sink, retry_policy=RetryPolicy(max_attempts=3, seed=9)
+        )
+        return runner.run(schedule(n)), sink, backend
+
+    def test_accounting_is_exact(self):
+        report, sink, backend = self.run_campaign(
+            failure_rate=0.2, burst_length=2
+        )
+        assert report.scheduled == 120
+        assert report.succeeded + len(report.abandoned) == 120
+        assert len(sink) == report.succeeded
+        assert backend.injected_failures > 0
+        for failed in report.abandoned:
+            assert failed.attempts == 3
+            assert "chaos: injected failure" in failed.last_error
+
+    def test_chaotic_campaign_is_reproducible(self):
+        first, first_sink, _ = self.run_campaign(
+            failure_rate=0.2, burst_length=2
+        )
+        second, second_sink, _ = self.run_campaign(
+            failure_rate=0.2, burst_length=2
+        )
+        # Identical outcomes; only the wall-clock stamps may differ.
+        assert dataclasses.replace(
+            first, started_unix=0.0, finished_unix=0.0
+        ) == dataclasses.replace(
+            second, started_unix=0.0, finished_unix=0.0
+        )
+        assert sink_records(first_sink) == sink_records(second_sink)
+
+    def test_sink_failures_consume_attempts(self):
+        backend = PureBackend()
+        sink = ChaosSink(MemorySink(), seed=1, failure_rate=1.0)
+        runner = ProbeRunner(backend, sink, max_attempts=2)
+        report = runner.run(schedule(5))
+        assert report.succeeded == 0
+        assert len(report.abandoned) == 5
+        assert all(
+            "sink write failed" in failed.last_error
+            for failed in report.abandoned
+        )
+        assert report.retried == 5  # one retry per probe
+
+
+class TestBreakersUnderChaos:
+    def test_dead_dataset_trips_and_short_circuits(self):
+        config = ChaosConfig(seed=0, failure_rate=1.0)
+        backend = ChaosBackend(PureBackend(), config)
+        breakers = BreakerBoard(failure_threshold=5)
+        runner = ProbeRunner(
+            backend, MemorySink(), max_attempts=1, breakers=breakers
+        )
+        report = runner.run(schedule(40))
+        key = (backend_name(backend), "ndt")
+        assert breakers.breaker(key).state == "open"
+        # 5 real failures trip the breaker; everything after is skipped
+        # without touching the backend.
+        assert len(report.abandoned) == 5
+        assert report.short_circuited == 35
+        assert backend.injected_failures == 5
+        assert REGISTRY.snapshot()["gauges"]["probe.circuit.open"] == 1.0
+
+    def test_chaos_breaker_keys_follow_the_wrapped_backend(self):
+        backend = ChaosBackend(PureBackend(), ChaosConfig())
+        # The wrapper delegates the inner backend's name, keeping
+        # breaker keys stable whether or not chaos is interposed.
+        assert backend_name(backend) == "pure"
+
+
+class TestDegradedScoringFromChaos:
+    def build_records(self):
+        records = []
+        for source in ("ndt", "cloudflare", "ookla"):
+            for i in range(24):
+                records.append(
+                    Measurement(
+                        region="metro",
+                        source=source,
+                        timestamp=float(i),
+                        download_mbps=200.0,
+                        upload_mbps=40.0,
+                        latency_ms=15.0,
+                        packet_loss=0.001,
+                    )
+                )
+        return records
+
+    def test_fully_corrupted_dataset_degrades_the_region(self):
+        records = [
+            strip_metrics(m) if m.source == "ookla" else m
+            for m in self.build_records()
+        ]
+        breakdowns = score_regions(MeasurementSet(records), paper_config())
+        breakdown = breakdowns["metro"]
+        assert breakdown.degraded
+        assert breakdown.degraded_datasets == ("ookla",)
+        assert 0.0 < breakdown.value <= 1.0
+        gauges = REGISTRY.snapshot()["gauges"]
+        assert gauges["score.degraded.regions"] == 1.0
+
+    def test_clean_batch_is_not_degraded(self):
+        breakdowns = score_regions(
+            MeasurementSet(self.build_records()), paper_config()
+        )
+        assert not breakdowns["metro"].degraded
+        assert breakdowns["metro"].degraded_datasets == ()
+        assert REGISTRY.snapshot()["gauges"]["score.degraded.regions"] == 0.0
+
+    def test_degraded_score_matches_renormalized_subset(self):
+        # Eq. 1 renormalization: scoring without ookla must equal
+        # scoring a batch that never had ookla records at all.
+        records = self.build_records()
+        corrupted = [
+            strip_metrics(m) if m.source == "ookla" else m for m in records
+        ]
+        without = [m for m in records if m.source != "ookla"]
+        config = paper_config()
+        degraded = score_regions(MeasurementSet(corrupted), config)["metro"]
+        subset = score_regions(MeasurementSet(without), config)["metro"]
+        assert degraded.value == pytest.approx(subset.value)
+
+
+class InterruptingSink:
+    """Accepts ``allow`` measurements, then dies like an operator Ctrl-C."""
+
+    def __init__(self, inner, allow):
+        self.inner = inner
+        self.allow = allow
+
+    def accept(self, measurement):
+        if self.allow <= 0:
+            raise KeyboardInterrupt
+        self.allow -= 1
+        self.inner.accept(measurement)
+
+
+class TestCrashResumeParity:
+    def test_interrupted_campaign_resumes_bit_identical(self, tmp_path):
+        journal_path = tmp_path / "campaign.journal"
+        full_schedule = schedule(30)
+
+        # The uninterrupted reference run.
+        reference = MemorySink()
+        ProbeRunner(PureBackend(), reference).run(full_schedule)
+
+        # Run 1: killed mid-campaign after 11 deliveries.
+        sink = MemorySink()
+        journal = CampaignJournal(journal_path)
+        runner = ProbeRunner(
+            PureBackend(), InterruptingSink(sink, 11), journal=journal
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(full_schedule)
+        journal.close()
+        assert len(sink) == 11
+
+        # Run 2: same schedule, same journal path, fresh process state.
+        journal = CampaignJournal(journal_path)
+        report = ProbeRunner(
+            PureBackend(), InterruptingSink(sink, 10**9), journal=journal
+        ).run(full_schedule)
+        journal.close()
+
+        assert report.resumed == 11  # completed work never re-ran
+        assert report.succeeded == 30 - 11
+        combined = sink_records(sink)
+        assert combined == sink_records(reference)  # bit-identical
+        timestamps = [m.timestamp for m in combined]
+        assert len(timestamps) == len(set(timestamps))  # zero duplicates
+
+    def test_resume_under_chaos_never_duplicates(self, tmp_path):
+        journal_path = tmp_path / "campaign.journal"
+        full_schedule = schedule(40)
+        sink = MemorySink()
+
+        def runner(accepts):
+            return ProbeRunner(
+                ChaosBackend(
+                    PureBackend(),
+                    ChaosConfig(seed=5, failure_rate=0.2, burst_length=2),
+                ),
+                InterruptingSink(sink, accepts),
+                retry_policy=RetryPolicy(max_attempts=3, seed=5),
+                journal=CampaignJournal(journal_path),
+            )
+
+        with pytest.raises(KeyboardInterrupt):
+            runner(7).run(full_schedule)
+        runner(10**9).run(full_schedule)
+        timestamps = [m.timestamp for m in sink_records(sink)]
+        assert len(timestamps) == len(set(timestamps))
+
+    def test_deadline_stops_new_work(self):
+        clock_value = [0.0]
+
+        def clock():
+            clock_value[0] += 0.4  # every clock read advances time
+            return clock_value[0]
+
+        policy = RetryPolicy(max_attempts=1, deadline_s=1.0, clock=clock)
+        report = ProbeRunner(
+            PureBackend(), MemorySink(), retry_policy=policy
+        ).run(schedule(50))
+        assert report.deadline_expired
+        assert report.succeeded < 50

@@ -1,0 +1,155 @@
+"""Unit tests for repro.resilience.journal (WAL + atomic snapshots)."""
+
+import json
+
+import pytest
+
+from repro.fsutil import atomic_write
+from repro.resilience import CampaignJournal, probe_key, window_key
+from repro.resilience.journal import SNAPSHOT_SUFFIX, SNAPSHOT_VERSION
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return tmp_path / "campaign.journal"
+
+
+class TestRecording:
+    def test_record_and_membership(self, path):
+        with CampaignJournal(path) as journal:
+            journal.record("a")
+            journal.record("b")
+            assert "a" in journal
+            assert "c" not in journal
+            assert len(journal) == 2
+            assert journal.completed_keys() == ("a", "b")
+
+    def test_record_is_idempotent(self, path):
+        with CampaignJournal(path) as journal:
+            journal.record("a")
+            journal.record("a")
+            assert len(journal) == 1
+        assert sum(1 for _ in open(path)) == 1
+
+    def test_records_are_durable_lines(self, path):
+        with CampaignJournal(path) as journal:
+            journal.record("a", data={"score": 0.5})
+            # Flushed before record() returns — visible to a reader now.
+            lines = [json.loads(line) for line in open(path)]
+        assert lines == [{"key": "a", "data": {"score": 0.5}}]
+
+
+class TestResume:
+    def test_reopen_resumes_completed_set(self, path):
+        with CampaignJournal(path) as journal:
+            journal.record("a")
+            journal.record("b", data=[1, 2])
+        with CampaignJournal(path) as journal:
+            assert journal.completed_keys() == ("a", "b")
+            assert list(journal.replay()) == [("a", None), ("b", [1, 2])]
+
+    def test_torn_final_line_is_ignored(self, path):
+        with CampaignJournal(path) as journal:
+            journal.record("a")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b"')  # crash mid-write: no newline
+        with CampaignJournal(path) as journal:
+            assert journal.completed_keys() == ("a",)
+
+    def test_missing_journal_starts_empty(self, path):
+        with CampaignJournal(path) as journal:
+            assert len(journal) == 0
+            assert journal.state is None
+
+
+class TestCheckpoint:
+    def test_checkpoint_compacts_wal_into_snapshot(self, path):
+        with CampaignJournal(path) as journal:
+            journal.record("a", data={"x": 1})
+            journal.record("b")
+            journal.checkpoint({"history": [1, 2]})
+            assert list(journal.replay()) == []
+        snapshot = json.loads(
+            open(str(path) + SNAPSHOT_SUFFIX, encoding="utf-8").read()
+        )
+        assert snapshot == {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "keys": ["a", "b"],
+            "state": {"history": [1, 2]},
+        }
+        assert open(path).read() == ""  # WAL truncated
+
+    def test_reopen_after_checkpoint_restores_state(self, path):
+        with CampaignJournal(path) as journal:
+            journal.record("a")
+            journal.checkpoint({"n": 1})
+            journal.record("b", data="redo-b")
+        with CampaignJournal(path) as journal:
+            assert journal.completed_keys() == ("a", "b")
+            assert journal.state == {"n": 1}
+            # Only the post-snapshot entry needs redo.
+            assert list(journal.replay()) == [("b", "redo-b")]
+
+    def test_checkpoint_none_keeps_previous_state(self, path):
+        with CampaignJournal(path) as journal:
+            journal.checkpoint({"n": 1})
+            journal.record("a")
+            journal.checkpoint()
+            assert journal.state == {"n": 1}
+
+    def test_auto_checkpoint_for_key_only_records(self, path):
+        with CampaignJournal(path, snapshot_every=3) as journal:
+            for index in range(7):
+                journal.record(f"k{index}")
+            # 7 records, snapshot_every=3: two auto checkpoints; one
+            # entry left in the WAL.
+            assert len(list(journal.replay())) == 1
+        assert (path.parent / (path.name + SNAPSHOT_SUFFIX)).exists()
+
+    def test_data_records_disable_auto_checkpoint(self, path):
+        with CampaignJournal(path, snapshot_every=2) as journal:
+            for index in range(6):
+                journal.record(f"k{index}", data={"i": index})
+            # Redo data must never be compacted under a stale state, so
+            # every entry is still replayable.
+            assert len(list(journal.replay())) == 6
+
+    def test_snapshot_every_zero_disables_auto_checkpoint(self, path):
+        with CampaignJournal(path, snapshot_every=0) as journal:
+            for index in range(10):
+                journal.record(f"k{index}")
+            assert len(list(journal.replay())) == 10
+
+    def test_snapshot_every_validated(self, path):
+        with pytest.raises(ValueError):
+            CampaignJournal(path, snapshot_every=-1)
+
+    def test_redundant_wal_lines_after_snapshot_replay_harmlessly(
+        self, path
+    ):
+        # A crash between snapshot write and WAL truncation leaves both.
+        with CampaignJournal(path) as journal:
+            journal.record("a")
+            journal.record("b")
+        snapshot = {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "keys": ["a", "b"],
+            "state": None,
+        }
+        atomic_write(
+            str(path) + SNAPSHOT_SUFFIX, json.dumps(snapshot) + "\n"
+        )
+        with CampaignJournal(path) as journal:
+            assert journal.completed_keys() == ("a", "b")
+            assert len(journal) == 2
+
+
+class TestKeys:
+    def test_probe_key_preserves_float_precision(self):
+        key = probe_key("ndt", "metro-fiber", 0.30000000000000004)
+        assert key == "probe|ndt|metro-fiber|0.30000000000000004"
+        assert probe_key("ndt", "r", 1.0) != probe_key("ndt", "r", 1.5)
+
+    def test_window_key_distinct_per_window(self):
+        assert window_key(0.0, 86400.0) == "window|0.0|86400.0"
+        assert window_key(0.0, 1.0) != window_key(1.0, 2.0)

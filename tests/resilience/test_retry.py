@@ -1,0 +1,129 @@
+"""Unit tests for repro.resilience.retry (policy, jitter, deadlines)."""
+
+import pytest
+
+from repro.resilience import Deadline, RetryPolicy
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+        assert deadline.seconds is None
+
+    def test_expires_after_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == 5.0
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(10.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.elapsed() == pytest.approx(10.0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=-0.1)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=2.0, cap_s=1.0)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+
+class TestDelays:
+    def test_default_policy_never_sleeps(self):
+        # base_s=0 is the historical runner behavior: retry immediately.
+        delays = list(RetryPolicy(max_attempts=5).delays())
+        assert delays == [0.0] * 4
+
+    def test_yields_max_attempts_minus_one(self):
+        policy = RetryPolicy(max_attempts=4, base_s=0.1, seed=3)
+        assert len(list(policy.delays())) == 3
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    def test_same_seed_same_delays(self):
+        first = list(RetryPolicy(max_attempts=6, base_s=0.1, seed=7).delays())
+        second = list(RetryPolicy(max_attempts=6, base_s=0.1, seed=7).delays())
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        first = list(RetryPolicy(max_attempts=6, base_s=0.1, seed=1).delays())
+        second = list(RetryPolicy(max_attempts=6, base_s=0.1, seed=2).delays())
+        assert first != second
+
+    def test_delays_bounded_by_base_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=50, base_s=0.5, cap_s=2.0, seed=11
+        )
+        for delay in policy.delays():
+            assert 0.5 <= delay <= 2.0
+
+    def test_decorrelated_jitter_envelope(self):
+        # Each delay is drawn from [base, 3 * previous] (capped), with
+        # "previous" starting at base.
+        policy = RetryPolicy(
+            max_attempts=10, base_s=1.0, cap_s=1000.0, seed=5
+        )
+        previous = 1.0
+        for delay in policy.delays():
+            assert 1.0 <= delay <= 3 * previous
+            previous = delay
+
+
+class TestBackoff:
+    def test_backoff_sleeps_positive_delays_only(self):
+        slept = []
+        policy = RetryPolicy(base_s=0.1, sleep=slept.append)
+        policy.backoff(0.25)
+        policy.backoff(0.0)
+        assert slept == [0.25]
+
+    def test_deadline_uses_policy_clock(self):
+        clock = FakeClock()
+        policy = RetryPolicy(deadline_s=3.0, clock=clock)
+        deadline = policy.deadline()
+        clock.advance(3.0)
+        assert deadline.expired()
+
+    def test_deadline_unbounded_by_default(self):
+        assert RetryPolicy().deadline().seconds is None
