@@ -1,11 +1,38 @@
 #!/usr/bin/env python
 """Scoring-benchmark regression gate.
 
-Runs the scale and Eq. 1-5 scoring benches under ``pytest-benchmark``,
-writes the machine-readable results to ``BENCH_scale.json``, and fails
-(exit code 1) when any scoring benchmark's median time regresses more
-than the allowed fraction (default 20%) against the checked-in baseline
-``benchmarks/BENCH_baseline.json``.
+Runs the scale, Eq. 1-5 scoring, parallel, and kernel benches under
+``pytest-benchmark``, writes the machine-readable results to
+``BENCH_scale.json``, and fails (exit code 1) when any scoring
+benchmark regresses more than the allowed fraction (default 20%)
+against the checked-in baseline ``benchmarks/BENCH_baseline.json``.
+
+Two measures keep the gate meaningful on shared/noisy machines, where
+raw wall-clock medians of an *unchanged* tree swing far beyond 20%
+between runs:
+
+* each bench is compared on its **min** round time (the
+  least-disturbed round; the classic noise-robust statistic), and
+* per-bench ratios are **drift-normalized** by the cohort's median
+  ratio, which cancels whole-machine speed differences between the
+  baseline run and this run. A real regression stands out against the
+  cohort; a slow CI box does not. (The flip side — a change that
+  slows *every* bench by the same factor is invisible here — is an
+  accepted tradeoff; the per-bench assertions inside the bench files
+  still bound absolute behaviour.)
+
+On top of the relative threshold, a bench must also be at least
+``--slack`` seconds (default 0.5ms) slower than its drift-adjusted
+baseline to count as a regression: sub-millisecond microbenches
+jitter by double-digit percentages between processes (allocator and
+layout effects), and a relative-only gate would flag them forever.
+
+When the first run still reports regressions the gate re-runs the
+benches (up to ``--retries`` extra passes) and keeps each bench's
+best-of-all-runs time before re-comparing. Load spikes during a
+~50s sequential bench run hit different benches in different runs,
+so the per-bench minimum converges on quiet-machine numbers; a real
+regression is slow in every run and survives the merge.
 
 Usage::
 
@@ -38,6 +65,13 @@ BENCH_FILES = (
     "test_bench_scale.py",
     "test_bench_eq_scoring.py",
     "test_bench_parallel.py",
+    "test_bench_kernel.py",
+)
+
+#: The pair of kernel benches the summary speedup ratio is read from.
+SPEEDUP_BENCHES = (
+    "test_bench_exact_kernel[256]",
+    "test_bench_vectorized_kernel[256]",
 )
 
 
@@ -50,49 +84,100 @@ def run_benches(results_path: Path) -> int:
         *[str(BENCH_DIR / name) for name in BENCH_FILES],
         "-q",
         "--benchmark-only",
+        # One timer for the whole cohort: drift normalization divides
+        # every bench by the cohort median ratio, which is only sound
+        # when all benches move with the same clock. CPU time also
+        # shields the gate from noisy-neighbour wall-clock swings.
+        "--benchmark-timer=time.process_time",
+        "--benchmark-warmup=on",
+        "--benchmark-warmup-iterations=1",
+        "--benchmark-min-rounds=7",
         f"--benchmark-json={results_path}",
     ]
     completed = subprocess.run(command, cwd=REPO_ROOT)
     return completed.returncode
 
 
-def load_medians(path: Path) -> Dict[str, float]:
-    """benchmark name → median seconds from a pytest-benchmark JSON."""
+def load_times(path: Path, stat: str = "min") -> Dict[str, float]:
+    """benchmark name → ``stat`` seconds from a pytest-benchmark JSON."""
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     return {
-        bench["name"]: float(bench["stats"]["median"])
+        bench["name"]: float(bench["stats"][stat])
         for bench in document.get("benchmarks", [])
     }
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
 def compare(
     baseline: Dict[str, float],
     current: Dict[str, float],
     threshold: float,
+    slack: float = 0.0005,
 ) -> int:
-    """Print the comparison table; return the number of regressions."""
+    """Print the comparison table; return the number of regressions.
+
+    Ratios are drift-normalized: each bench's current/baseline ratio
+    is divided by the cohort's median ratio, so a uniformly slower or
+    faster machine cancels out and only per-bench outliers regress.
+    A bench must exceed the relative threshold *and* be more than
+    ``slack`` seconds over its drift-adjusted baseline to regress.
+    """
     regressions = 0
     width = max((len(name) for name in current), default=10)
-    print(f"{'benchmark'.ljust(width)}  baseline    current     ratio")
+    ratios = {
+        name: current[name] / baseline[name]
+        for name in current
+        if baseline.get(name, 0.0) > 0.0
+    }
+    drift = _median(ratios.values()) if ratios else 1.0
+    if drift <= 0.0:
+        drift = 1.0
+    print(f"machine drift vs baseline run: {drift:.2f}x (cohort median)")
+    print(
+        f"{'benchmark'.ljust(width)}  baseline    current     ratio"
+        f"  normalized"
+    )
     for name in sorted(current):
-        median = current[name]
+        value = current[name]
         base = baseline.get(name)
         if base is None or base <= 0.0:
-            print(f"{name.ljust(width)}  {'n/a':>9}  {median:9.6f}  (no baseline)")
+            print(f"{name.ljust(width)}  {'n/a':>9}  {value:9.6f}  (no baseline)")
             continue
-        ratio = median / base
+        ratio = ratios[name]
+        normalized = ratio / drift
         verdict = ""
-        if ratio > 1.0 + threshold:
+        over_relative = normalized > 1.0 + threshold
+        over_absolute = (value - base * drift) > slack
+        if over_relative and over_absolute:
             verdict = f"  REGRESSION (> +{threshold:.0%})"
             regressions += 1
+        elif over_relative:
+            verdict = "  (jitter: within absolute slack)"
         print(
-            f"{name.ljust(width)}  {base:9.6f}  {median:9.6f}  {ratio:8.2f}x"
-            f"{verdict}"
+            f"{name.ljust(width)}  {base:9.6f}  {value:9.6f}  {ratio:8.2f}x"
+            f"  {normalized:8.2f}x{verdict}"
         )
     for name in sorted(set(baseline) - set(current)):
         print(f"{name.ljust(width)}  (in baseline only; not run)")
     return regressions
+
+
+def kernel_speedup(current: Dict[str, float]):
+    """exact/vectorized time ratio on the 256-region kernel bench."""
+    exact_name, vectorized_name = SPEEDUP_BENCHES
+    exact = current.get(exact_name)
+    vectorized = current.get(vectorized_name)
+    if not exact or not vectorized:
+        return None
+    return exact / vectorized
 
 
 def main(argv=None) -> int:
@@ -102,6 +187,24 @@ def main(argv=None) -> int:
         type=float,
         default=0.20,
         help="allowed median-time regression fraction (default 0.20)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.0005,
+        help=(
+            "absolute seconds a bench must exceed its drift-adjusted "
+            "baseline by to regress (default 0.0005)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help=(
+            "extra bench passes to merge (best-of) when the first "
+            "comparison reports regressions (default 2)"
+        ),
     )
     parser.add_argument(
         "--update-baseline",
@@ -137,9 +240,17 @@ def main(argv=None) -> int:
         return 1
     print(f"wrote {results_path}")
 
+    current = load_times(results_path)
+    speedup = kernel_speedup(current)
+    speedup_note = (
+        f" (exact/vectorized kernel speedup at 256 regions: {speedup:.1f}x)"
+        if speedup is not None
+        else ""
+    )
+
     if args.update_baseline:
         shutil.copyfile(results_path, BASELINE_PATH)
-        print(f"updated baseline at {BASELINE_PATH}")
+        print(f"updated baseline at {BASELINE_PATH}{speedup_note}")
         return 0
 
     if not BASELINE_PATH.exists():
@@ -150,11 +261,35 @@ def main(argv=None) -> int:
         )
         return 1
 
-    regressions = compare(
-        load_medians(BASELINE_PATH),
-        load_medians(results_path),
-        args.threshold,
-    )
+    baseline = load_times(BASELINE_PATH)
+    regressions = compare(baseline, current, args.threshold, args.slack)
+    retries_left = max(args.retries, 0)
+    while regressions and retries_left:
+        retries_left -= 1
+        print(
+            f"{regressions} apparent regression(s); re-running benches "
+            f"and merging best-of times ({retries_left} retries left)"
+        )
+        code = run_benches(results_path)
+        if code != 0:
+            print(
+                f"benchmark re-run failed with exit code {code}",
+                file=sys.stderr,
+            )
+            return code
+        rerun = load_times(results_path)
+        current = {
+            name: min(value, rerun.get(name, value))
+            for name, value in current.items()
+        }
+        speedup = kernel_speedup(current)
+        speedup_note = (
+            f" (exact/vectorized kernel speedup at 256 regions: "
+            f"{speedup:.1f}x)"
+            if speedup is not None
+            else ""
+        )
+        regressions = compare(baseline, current, args.threshold, args.slack)
     if regressions:
         print(
             f"{regressions} benchmark(s) regressed more than "
@@ -162,7 +297,9 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    print("no scoring benchmark regressed beyond the threshold")
+    print(
+        "no scoring benchmark regressed beyond the threshold" + speedup_note
+    )
     return 0
 
 

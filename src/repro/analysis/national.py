@@ -120,6 +120,7 @@ def national_breakdown(
     populations: Mapping[str, float],
     config: Optional["IQBConfig"] = None,
     workers: int = 1,
+    kernel: str = "vectorized",
 ) -> Tuple[NationalScore, Dict[str, "ScoreBreakdown"]]:
     """Score a whole national measurement batch and roll it up.
 
@@ -137,6 +138,8 @@ def national_breakdown(
         workers: forwarded to :func:`repro.core.scoring.score_regions`;
             ``> 1`` shards the regional scoring across a worker pool
             with bit-identical results.
+        kernel: batch-scoring kernel, likewise forwarded (identical
+            roll-up either way).
 
     Raises:
         DataError: on empty input or missing populations (see
@@ -147,7 +150,8 @@ def national_breakdown(
 
     with span("national_breakdown") as stage:
         breakdowns = score_regions(
-            records, config or paper_config(), workers=workers
+            records, config or paper_config(), workers=workers,
+            kernel=kernel,
         )
         with span("rollup"):
             national = national_score(

@@ -29,6 +29,7 @@ def build_publication(
     title: str = "Internet Quality Barometer report",
     workers: int = 1,
     breakdowns: Optional[Mapping[str, ScoreBreakdown]] = None,
+    kernel: str = "vectorized",
 ) -> str:
     """Assemble the full Markdown publication for a measurement set.
 
@@ -43,6 +44,8 @@ def build_publication(
             batch scorer is skipped (callers that already scored —
             e.g. to register degraded regions in a run manifest —
             publish without paying for a second pass).
+        kernel: batch-scoring kernel forwarded to the scorer when
+            ``breakdowns`` is not supplied (identical document).
 
     Raises:
         DataError: when the measurement set is empty (nothing to
@@ -53,7 +56,9 @@ def build_publication(
         # Batch fast path: one grouping pass + shared columns for all
         # regions.
         if breakdowns is None:
-            breakdowns = score_regions(records, config, workers=workers)
+            breakdowns = score_regions(
+                records, config, workers=workers, kernel=kernel
+            )
         stage.annotate(regions=len(breakdowns))
 
         with span("publish_render"):

@@ -115,17 +115,19 @@ def comparison_report(
     records: MeasurementSet,
     config: Optional[IQBConfig] = None,
     workers: int = 1,
+    kernel: str = "vectorized",
 ) -> str:
     """Side-by-side score table for every region in a measurement set.
 
-    ``workers > 1`` shards the batch scoring across a worker pool
-    (identical table).
+    ``workers > 1`` shards the batch scoring across a worker pool, and
+    ``kernel`` selects the batch-scoring kernel (identical table either
+    way).
     """
     config = config or paper_config()
     # Batch fast path: group once, score every region off shared columns.
     # An empty set renders as an empty table, matching the old loop.
     breakdowns = (
-        score_regions(records, config, workers=workers)
+        score_regions(records, config, workers=workers, kernel=kernel)
         if len(records)
         else {}
     )

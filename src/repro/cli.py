@@ -174,18 +174,27 @@ def _cmd_score(args: argparse.Namespace) -> int:
         from repro.core.scoring import score_regions
 
         breakdowns = (
-            score_regions(records, config, workers=args.workers)
+            score_regions(
+                records, config, workers=args.workers, kernel=args.kernel
+            )
             if len(records)
             else {}
         )
         _record_degraded(breakdowns)
         document = {
-            region: breakdown.to_dict()
-            for region, breakdown in breakdowns.items()
+            "kernel": args.kernel,
+            "regions": {
+                region: breakdown.to_dict()
+                for region, breakdown in breakdowns.items()
+            },
         }
         print(json_module.dumps(document, indent=2, sort_keys=True))
     else:
-        print(comparison_report(records, config, workers=args.workers))
+        print(
+            comparison_report(
+                records, config, workers=args.workers, kernel=args.kernel
+            )
+        )
     return 0
 
 
@@ -343,7 +352,9 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                 str(region): float(value)
                 for region, value in json_module.load(handle).items()
             }
-    breakdowns = score_regions(records, config, workers=args.workers)
+    breakdowns = score_regions(
+        records, config, workers=args.workers, kernel=args.kernel
+    )
     _record_degraded(breakdowns)
     document = build_publication(
         records,
@@ -583,7 +594,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 records = sink.as_set()
         with span("score"):
             if len(records):
-                score_regions(records, config, workers=args.workers)
+                score_regions(
+                    records,
+                    config,
+                    workers=args.workers,
+                    kernel=args.kernel,
+                )
     chosen = args.format or ("text" if args.text else "json")
     if chosen == "prom":
         print(REGISTRY.render_prometheus(), end="")
@@ -675,6 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard ingest, batch scoring, and simulation across N "
         "forked worker processes (default 1 = fully in-process; "
         "results are identical either way)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("vectorized", "exact"),
+        default="vectorized",
+        help="batch-scoring kernel: the batched numpy kernel (default) "
+        "or the scalar reference path; breakdowns are identical "
+        "either way (the choice is recorded in --json output and "
+        "run manifests)",
     )
     parser.add_argument(
         "--telemetry-port",
@@ -973,6 +998,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     setup_logging(level=args.log_level, json_mode=args.log_json)
     _RUN = RunContext(argv if argv is not None else sys.argv[1:])
+    _RUN.set_kernel(args.kernel)
     recorder: Optional[TraceRecorder] = None
     if args.trace_out:
         recorder = TraceRecorder()

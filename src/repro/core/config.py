@@ -119,6 +119,22 @@ class IQBConfig:
         """A modified copy (thin wrapper over ``dataclasses.replace``)."""
         return replace(self, **changes)
 
+    def compiled(self) -> "Any":
+        """This config flattened into the vectorized kernel's tensors.
+
+        Compiled once and memoized on the instance (safe: the config is
+        frozen, and ``with_`` copies start with a fresh cache). The
+        kernel import is lazy so loading a config never pays for numpy
+        tensor assembly.
+        """
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            from .kernel import compile_config
+
+            cached = compile_config(self)
+            object.__setattr__(self, "_compiled", cached)
+        return cached
+
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:

@@ -44,6 +44,11 @@ from .usecases import UseCase
 _REGION_SCORES = counter("scoring.region_scores")
 _BATCH_REGIONS = counter("scoring.batch.regions")
 
+#: Batch-scoring kernels ``score_regions`` accepts: the batched numpy
+#: kernel (:mod:`repro.core.kernel`) and the scalar oracle in this
+#: module. The two are bit-parity twins (see tests/core/test_kernel_parity).
+KERNELS = ("vectorized", "exact")
+
 # Degraded-mode visibility: regions scored without one or more of their
 # configured datasets in the latest batch. Eq. 1 already renormalizes
 # over the datasets that did report (corroboration over what exists);
@@ -461,13 +466,8 @@ def score_region(
     }
     degraded = tuple(
         dataset
-        for dataset in config.dataset_weights.datasets
+        for dataset in config.dataset_weights.positively_weighted()
         if dataset not in observed
-        and any(
-            config.dataset_weights.get(use_case, metric, dataset) > 0
-            for use_case in UseCase.ordered()
-            for metric in Metric.ordered()
-        )
     )
     return ScoreBreakdown(
         value=value, use_cases=use_cases, degraded_datasets=degraded
@@ -478,15 +478,16 @@ def score_regions(
     records: "object",
     config: IQBConfig,
     workers: int = 1,
+    kernel: str = "vectorized",
 ) -> Dict[str, ScoreBreakdown]:
     """Batch-score every region of a combined measurement batch (Eq. 4 each).
 
     This is the columnar fast path for national refreshes: instead of
     re-filtering and re-grouping the record stream once per region (the
     ``for_region(...).group_by_source()`` loop), the batch is transposed
-    once into a :class:`~repro.measurements.columnar.ColumnarStore`,
-    grouped once by (region, dataset), and every region is scored off
-    shared sorted columns with memoized quantiles.
+    once into a :class:`~repro.measurements.columnar.ColumnarStore` and
+    every region is scored off shared per-metric planes — by default in
+    one batched numpy pass (:mod:`repro.core.kernel`).
 
     Args:
         records: a :class:`~repro.measurements.collection.MeasurementSet`,
@@ -498,6 +499,13 @@ def score_regions(
             pool (:mod:`repro.parallel`); the merged result is
             bit-identical to the serial path, and worker telemetry
             merges back into this process's registry.
+        kernel: ``"vectorized"`` (default) scores all regions in one
+            batched numpy pass over the store's aggregate cube;
+            ``"exact"`` runs the scalar reference loop. Pre-grouped
+            mappings carry opaque QuantileSources (not columnar
+            arrays), so they always fall back to the exact path; both
+            kernels produce identical breakdowns (tests assert
+            bit-equality for BINARY, ≤1e-12 for the graded modes).
 
     Returns:
         region → :class:`ScoreBreakdown`, numerically identical to
@@ -505,10 +513,15 @@ def score_regions(
         (tests assert bit-equality).
 
     Raises:
+        ValueError: on an unknown ``kernel`` name.
         DataError: when the batch is empty — via :func:`score_region`.
         repro.parallel.ShardError: when a worker shard fails
             (``workers > 1`` only), naming the shard's regions.
     """
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown scoring kernel: {kernel!r} (have {KERNELS})"
+        )
     with span("score_regions") as stage:
         if workers > 1:
             # Imported lazily: repro.parallel sits above both core and
@@ -516,7 +529,7 @@ def score_regions(
             from repro.parallel.scoring import score_regions_parallel
 
             merged = score_regions_parallel(
-                records, config, workers, stage=stage
+                records, config, workers, stage=stage, kernel=kernel
             )
             _BATCH_REGIONS.inc(len(merged))
             _DEGRADED_REGIONS.set(
@@ -524,6 +537,8 @@ def score_regions(
             )
             return merged
         if isinstance(records, Mapping):
+            # Pre-grouped sources are opaque QuantileSources; only the
+            # scalar path can drive them (automatic exact fallback).
             grouped: Mapping[str, Mapping[str, QuantileSource]] = records
         else:
             # Imported lazily: repro.measurements depends on repro.core, so a
@@ -536,7 +551,19 @@ def score_regions(
                     if isinstance(records, ColumnarStore)
                     else ColumnarStore.from_measurements(records)  # type: ignore[arg-type]
                 )
-                grouped = store.sources_by_region()
+                if kernel == "vectorized":
+                    from .kernel import score_store
+
+                    grouped = None
+                else:
+                    grouped = store.sources_by_region()
+            if grouped is None:
+                scored = score_store(store, config, stage=stage)
+                _BATCH_REGIONS.inc(len(scored))
+                _DEGRADED_REGIONS.set(
+                    float(sum(1 for b in scored.values() if b.degraded))
+                )
+                return scored
         if not grouped:
             raise DataError("score_regions needs at least one region of data")
         stage.annotate(regions=len(grouped))

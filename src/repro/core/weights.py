@@ -18,7 +18,7 @@ handled by the scorer, not a configuration error.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from .exceptions import WeightError
 from .metrics import Metric
@@ -166,11 +166,31 @@ class DatasetWeights:
             )
             datasets.add(dataset)
         self._datasets: Tuple[str, ...] = tuple(sorted(datasets))
+        self._positive: Optional[Tuple[str, ...]] = None
 
     @property
     def datasets(self) -> Tuple[str, ...]:
         """All dataset names mentioned anywhere in the tensor."""
         return self._datasets
+
+    def positively_weighted(self) -> Tuple[str, ...]:
+        """Datasets carrying positive weight anywhere in the tensor.
+
+        This is the set degraded-mode detection checks a region's
+        verdicts against (a zero-everywhere dataset can never
+        contribute, so its absence is not degradation). Computed once
+        and cached: the scorer asks per region, the kernel per batch.
+        """
+        if self._positive is None:
+            positive = {
+                dataset
+                for (_, _, dataset), weight in self._tensor.items()
+                if weight > 0
+            }
+            self._positive = tuple(
+                d for d in self._datasets if d in positive
+            )
+        return self._positive
 
     def get(self, use_case: UseCase, metric: Metric, dataset: str) -> int:
         """Raw weight; datasets absent from the tensor weigh 0."""

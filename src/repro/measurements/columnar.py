@@ -10,16 +10,24 @@ six use cases over four metrics re-reads every record dozens of times.
 numpy columns plus dict-based group indexes (region / source / ISP),
 then hands out :class:`ColumnarView` objects — lightweight row-index
 selections that implement the QuantileSource protocol. Views share the
-store's columns (no record copying), lazily materialize one sorted
-value array per metric they are asked about, and memoize every
-(metric, percentile) answer. Scoring all regions of a national batch
-therefore groups once, sorts each (region, source, metric) column once,
-and answers the six-use-case percentile fan-out from cache.
+store's columns (no record copying) and memoize every
+(metric, percentile) answer.
 
-Numerical contract: every quantile a view answers is bit-identical to
-``MeasurementSet.quantile`` over the same records (both reduce to the
-single :func:`~repro.core.aggregation.percentile_of` definition), which
-is what lets :func:`repro.core.scoring.score_regions` swap in for the
+Sorting happens once per metric, store-wide: :meth:`_pair_plane` groups
+a metric column by (region, dataset) pair with one ``lexsort`` and
+keeps the segment offsets, so a pair view's ``sorted_values`` is a
+zero-copy slice of the shared plane instead of a per-view re-sort.
+The same planes feed :meth:`aggregate_cube`, the batched aggregate
+``A[region, dataset, metric]`` (plus sample counts) that the
+vectorized scoring kernel (:mod:`repro.core.kernel`) consumes: every
+cell's percentile is computed in one vectorized pass with exactly the
+:func:`~repro.core.aggregation._interpolate_sorted` arithmetic.
+
+Numerical contract: every quantile a view answers — and every cell of
+the aggregate cube — is bit-identical to ``MeasurementSet.quantile``
+over the same records (all reduce to the single
+:func:`~repro.core.aggregation.percentile_of` definition), which is
+what lets :func:`repro.core.scoring.score_regions` swap in for the
 per-region re-group loop without changing a single ScoreBreakdown.
 
 The store is deliberately immutable: build it from a finished batch.
@@ -29,7 +37,7 @@ columns — see :class:`repro.probing.sinks.MemorySink`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +49,8 @@ from .record import Measurement
 
 # Columnar quantile-plane telemetry: these are what make PR 1's
 # memoization verifiable in production — a healthy batch-scoring run
-# shows hits ≫ misses and sorts bounded by (groups × metrics).
+# shows hits ≫ misses and sorts bounded by the number of metric planes
+# (or, for ad-hoc views, groups × metrics).
 _HITS = counter("quantile_cache.columnar.hits")
 _MISSES = counter("quantile_cache.columnar.misses")
 _SORTS = counter("quantile_cache.columnar.sorts")
@@ -50,21 +59,73 @@ _SORTS = counter("quantile_cache.columnar.sorts")
 AXES = ("region", "source", "isp")
 
 
+class _MetricPlane:
+    """One metric column grouped by (region, dataset) pair, sorted once.
+
+    ``values`` holds every non-missing observation of the metric,
+    ordered by pair slot then ascending value; pair ``slot``'s segment
+    is ``values[starts[slot] : starts[slot] + counts[slot]]``.
+    """
+
+    __slots__ = ("values", "starts", "counts")
+
+    def __init__(
+        self, values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+    ) -> None:
+        self.values = values
+        self.starts = starts
+        self.counts = counts
+
+
+class AggregateCube:
+    """Batched percentile aggregates: ``A[region, dataset, metric]``.
+
+    ``aggregates`` is NaN where a (region, dataset) pair has no
+    observations for a metric (including datasets absent from the
+    batch); ``counts`` carries the matching sample counts. ``cells`` is
+    the number of non-empty cells — the quantile answers the cube
+    effectively memoizes, reported on the columnar cache counters.
+    """
+
+    __slots__ = ("regions", "aggregates", "counts", "cells")
+
+    def __init__(
+        self,
+        regions: Tuple[str, ...],
+        aggregates: np.ndarray,
+        counts: np.ndarray,
+        cells: int,
+    ) -> None:
+        self.regions = regions
+        self.aggregates = aggregates
+        self.counts = counts
+        self.cells = cells
+
+
 class ColumnarView:
     """A row selection of a :class:`ColumnarStore` (QuantileSource).
 
     Holds only a reference to the parent store and an integer row-index
     array; per-metric sorted value arrays and quantile answers are
     materialized on first use and cached for the life of the view.
+    Views covering exactly one (region, dataset) pair additionally know
+    their pair slot, so their sorted values are shared slices of the
+    store-wide metric planes.
     """
 
-    __slots__ = ("_store", "_rows", "_sorted", "_quantiles")
+    __slots__ = ("_store", "_rows", "_sorted", "_quantiles", "_pair")
 
-    def __init__(self, store: "ColumnarStore", rows: np.ndarray) -> None:
+    def __init__(
+        self,
+        store: "ColumnarStore",
+        rows: np.ndarray,
+        pair: Optional[int] = None,
+    ) -> None:
         self._store = store
         self._rows = rows
         self._sorted: Dict[Metric, np.ndarray] = {}
         self._quantiles: Dict[Tuple[Metric, float], Optional[float]] = {}
+        self._pair = pair
 
     def __len__(self) -> int:
         return int(self._rows.size)
@@ -73,22 +134,42 @@ class ColumnarView:
         return f"ColumnarView({self._rows.size} rows)"
 
     def sorted_values(self, metric: Metric) -> np.ndarray:
-        """Sorted non-missing values of ``metric`` in this view (cached)."""
+        """Sorted non-missing values of ``metric`` in this view (cached).
+
+        Pair views slice the store's shared per-metric plane (sorted
+        once store-wide); ad-hoc views fall back to a per-view sort.
+        """
         cached = self._sorted.get(metric)
         if cached is None:
-            _SORTS.inc()
-            column = self._store.column(metric)
-            values = column[self._rows] if self._rows.size else column[:0]
-            values = values[~np.isnan(values)]
-            values.sort()
-            self._sorted[metric] = cached = values
+            if self._pair is not None:
+                plane = self._store._pair_plane(metric)
+                start = int(plane.starts[self._pair])
+                stop = start + int(plane.counts[self._pair])
+                cached = plane.values[start:stop]
+            else:
+                _SORTS.inc()
+                column = self._store.column(metric)
+                values = column[self._rows] if self._rows.size else column[:0]
+                values = values[~np.isnan(values)]
+                values.sort()
+                cached = values
+            self._sorted[metric] = cached
         return cached
 
-    def values(self, metric: Metric) -> List[float]:
-        """Non-missing values of ``metric``, in record order."""
+    def values(self, metric: Metric) -> np.ndarray:
+        """Non-missing values of ``metric``, in record order (ndarray).
+
+        Returns the float64 array directly — this sits on the scoring
+        hot path. Callers that need a Python list (serialization,
+        ``==`` against literals) should use :meth:`value_list`.
+        """
         column = self._store.column(metric)
         selected = column[self._rows] if self._rows.size else column[:0]
-        return selected[~np.isnan(selected)].tolist()
+        return selected[~np.isnan(selected)]
+
+    def value_list(self, metric: Metric) -> List[float]:
+        """:meth:`values` as a plain Python list (compat shim)."""
+        return self.values(metric).tolist()
 
     # -- QuantileSource protocol ------------------------------------------
 
@@ -116,9 +197,10 @@ class ColumnarView:
 class ColumnarStore:
     """Per-metric columns + group indexes over one measurement batch.
 
-    Construction is O(records); every column, index, and view is built
-    lazily on first request and shared thereafter. The record list is
-    adopted as-is when a list is passed (the store never mutates it).
+    Construction is O(records); every column, index, plane, and view is
+    built lazily on first request and shared thereafter. The record
+    list is adopted as-is when a list is passed (the store never
+    mutates it).
     """
 
     def __init__(self, records: Iterable[Measurement] = ()) -> None:
@@ -128,8 +210,16 @@ class ColumnarStore:
         self._columns: Dict[Metric, np.ndarray] = {}
         self._indexes: Dict[str, Dict[str, np.ndarray]] = {}
         self._pair_index: Optional[Dict[Tuple[str, str], np.ndarray]] = None
+        self._pair_keys: Optional[Tuple[Tuple[str, str], ...]] = None
+        self._pair_slots: Optional[Dict[Tuple[str, str], int]] = None
+        self._pair_ids: Optional[np.ndarray] = None
+        self._planes: Dict[Metric, _MetricPlane] = {}
+        self._cubes: Dict[
+            Tuple[Tuple[str, ...], Tuple[float, ...]], AggregateCube
+        ] = {}
         self._all_view: Optional[ColumnarView] = None
         self._axis_views: Dict[Tuple[str, str], ColumnarView] = {}
+        self._pair_views: Dict[Tuple[str, str], ColumnarView] = {}
         self._by_region: Optional[Dict[str, Dict[str, ColumnarView]]] = None
 
     @classmethod
@@ -203,6 +293,140 @@ class ColumnarStore:
         """Distinct ISPs, sorted (empty names excluded)."""
         return tuple(sorted(self.index("isp")))
 
+    # -- pair planes (store-wide one-sort-per-metric layout) ---------------
+
+    def _ensure_pairs(self) -> None:
+        """Build the (region, dataset) pair index, slots, and row → slot map."""
+        if self._pair_slots is not None:
+            return
+        if self._pair_index is None:
+            buckets: Dict[Tuple[str, str], List[int]] = {}
+            for row, record in enumerate(self._records):
+                buckets.setdefault(
+                    (record.region, record.source), []
+                ).append(row)
+            self._pair_index = {
+                key: np.asarray(rows, dtype=np.intp)
+                for key, rows in buckets.items()
+            }
+        self._pair_keys = tuple(sorted(self._pair_index))
+        self._pair_slots = {
+            key: slot for slot, key in enumerate(self._pair_keys)
+        }
+        ids = np.empty(len(self._records), dtype=np.intp)
+        for key, rows in self._pair_index.items():
+            ids[rows] = self._pair_slots[key]
+        self._pair_ids = ids
+
+    def _pair_plane(self, metric: Metric) -> _MetricPlane:
+        """The metric's column grouped by pair and sorted, built once.
+
+        One ``lexsort`` replaces a sort per (region, dataset) view: the
+        column is ordered by pair slot first, value second, and every
+        pair's segment is located by the prefix-sum offsets.
+        """
+        plane = self._planes.get(metric)
+        if plane is None:
+            self._ensure_pairs()
+            _SORTS.inc()
+            column = self.column(metric)
+            valid = ~np.isnan(column)
+            values = column[valid]
+            ids = self._pair_ids[valid]
+            order = np.lexsort((values, ids))
+            counts = np.bincount(ids, minlength=len(self._pair_keys))
+            starts = np.cumsum(counts) - counts
+            plane = _MetricPlane(values[order], starts, counts)
+            self._planes[metric] = plane
+        return plane
+
+    def aggregate_cube(
+        self,
+        datasets: Sequence[str],
+        percentiles: Sequence[float],
+    ) -> AggregateCube:
+        """Percentile aggregates for every (region, dataset, metric) cell.
+
+        Args:
+            datasets: dataset axis of the cube, in order (typically the
+                config's sorted dataset names); batch datasets not
+                listed are dropped, listed datasets without data yield
+                NaN cells.
+            percentiles: the percentile to evaluate per metric, aligned
+                with :meth:`Metric.ordered` (direction-resolved by the
+                caller's aggregation policy).
+
+        Every cell is computed with the vectorized equivalent of
+        :func:`~repro.core.aggregation._interpolate_sorted` — the same
+        floor/lerp branch structure, so answers are bit-identical to
+        ``ColumnarView.quantile`` on the pair's sorted values. Cubes
+        are cached per (datasets, percentiles) key; the cache counters
+        mirror the per-view memoization they replace (one miss per
+        non-empty cell on build, the same number of hits on reuse).
+        """
+        key = (tuple(datasets), tuple(float(p) for p in percentiles))
+        cached = self._cubes.get(key)
+        if cached is not None:
+            _HITS.inc(cached.cells)
+            return cached
+        self._ensure_pairs()
+        metrics = Metric.ordered()
+        if len(key[1]) != len(metrics):
+            raise ValueError(
+                f"aggregate_cube needs one percentile per metric "
+                f"({len(metrics)}), got {len(key[1])}"
+            )
+        regions = self.regions()
+        region_slot = {name: g for g, name in enumerate(regions)}
+        dataset_slot = {name: d for d, name in enumerate(key[0])}
+        shape = (len(regions), len(key[0]), len(metrics))
+        aggregates = np.full(shape, np.nan, dtype=np.float64)
+        counts = np.zeros(shape, dtype=np.int64)
+        # Pairs that land in the cube: their plane slot and (g, d) cell.
+        slots: List[int] = []
+        g_idx: List[int] = []
+        d_idx: List[int] = []
+        for slot, (region, source) in enumerate(self._pair_keys or ()):
+            d = dataset_slot.get(source)
+            if d is None:
+                continue
+            slots.append(slot)
+            g_idx.append(region_slot[region])
+            d_idx.append(d)
+        if slots:
+            slot_arr = np.asarray(slots, dtype=np.intp)
+            g_arr = np.asarray(g_idx, dtype=np.intp)
+            d_arr = np.asarray(d_idx, dtype=np.intp)
+            for r, metric in enumerate(metrics):
+                plane = self._pair_plane(metric)
+                n = plane.counts[slot_arr]
+                counts[g_arr, d_arr, r] = n
+                nz = n > 0
+                if not nz.any():
+                    continue
+                ns = n[nz].astype(np.float64)
+                seg_starts = plane.starts[slot_arr][nz]
+                pos = (key[1][r] / 100.0) * (ns - 1.0)
+                lo = np.floor(pos)
+                hi = np.minimum(lo + 1.0, ns - 1.0)
+                gamma = pos - lo
+                a = plane.values[seg_starts + lo.astype(np.intp)]
+                b = plane.values[seg_starts + hi.astype(np.intp)]
+                aggregates[g_arr[nz], d_arr[nz], r] = np.where(
+                    gamma >= 0.5,
+                    b - (b - a) * (1.0 - gamma),
+                    a + (b - a) * gamma,
+                )
+        cube = AggregateCube(
+            regions=regions,
+            aggregates=aggregates,
+            counts=counts,
+            cells=int(np.count_nonzero(counts)),
+        )
+        _MISSES.inc(cube.cells)
+        self._cubes[key] = cube
+        return cube
+
     # -- views -------------------------------------------------------------
 
     def view(
@@ -215,8 +439,11 @@ class ColumnarStore:
 
         With no arguments, the whole store; with one argument the cached
         per-group view; with several, the intersection of the group
-        indexes (row order preserved).
+        indexes (row order preserved). (region, source) selections are
+        cached pair views sharing the store-wide sorted planes.
         """
+        if region is not None and source is not None and isp is None:
+            return self._pair_view(region, source)
         selected = [
             (axis, key)
             for axis, key in (
@@ -253,29 +480,38 @@ class ColumnarStore:
             )
         return ColumnarView(self, rows)
 
+    def _pair_view(self, region: str, source: str) -> ColumnarView:
+        """The cached plane-backed view of one (region, dataset) pair."""
+        key = (region, source)
+        view = self._pair_views.get(key)
+        if view is None:
+            self._ensure_pairs()
+            assert self._pair_index is not None  # _ensure_pairs built it
+            rows = self._pair_index.get(key)
+            if rows is None:
+                view = ColumnarView(self, np.empty(0, dtype=np.intp))
+            else:
+                view = ColumnarView(
+                    self, rows, pair=self._pair_slots[key]
+                )
+            self._pair_views[key] = view
+        return view
+
     def sources_by_region(self) -> Dict[str, Dict[str, ColumnarView]]:
         """region → dataset → QuantileSource, grouped in one pass.
 
         This is the batch-scoring plane: the mapping plugs straight into
         :func:`repro.core.scoring.score_region` per region (or, better,
         :func:`repro.core.scoring.score_regions` consumes it wholesale).
-        Views are cached, so repeated scoring shares every sorted column.
+        Views are cached pair views, so repeated scoring shares every
+        plane-sorted column.
         """
         if self._by_region is None:
-            if self._pair_index is None:
-                buckets: Dict[Tuple[str, str], List[int]] = {}
-                for row, record in enumerate(self._records):
-                    buckets.setdefault(
-                        (record.region, record.source), []
-                    ).append(row)
-                self._pair_index = {
-                    key: np.asarray(rows, dtype=np.intp)
-                    for key, rows in buckets.items()
-                }
+            self._ensure_pairs()
             grouped: Dict[str, Dict[str, ColumnarView]] = {}
-            for (region, source), rows in self._pair_index.items():
-                grouped.setdefault(region, {})[source] = ColumnarView(
-                    self, rows
+            for region, source in self._pair_keys or ():
+                grouped.setdefault(region, {})[source] = self._pair_view(
+                    region, source
                 )
             self._by_region = grouped
         return {region: dict(views) for region, views in self._by_region.items()}

@@ -113,6 +113,12 @@ class RunManifest:
     #: region → datasets that contributed nothing there (degraded-mode
     #: scoring); empty when every configured dataset reported everywhere.
     degraded: Dict[str, List[str]] = field(default_factory=dict)
+    #: Which batch-scoring kernel produced the run's scores
+    #: ("vectorized" / "exact"); None for runs that never scored and for
+    #: manifests written before the kernel existed. Provenance for perf
+    #: comparisons: ``iqb runs diff`` ratios are only apples-to-apples
+    #: when both runs name the same kernel.
+    kernel: Optional[str] = None
 
     @property
     def duration_s(self) -> float:
@@ -136,6 +142,7 @@ class RunManifest:
                 region: list(datasets)
                 for region, datasets in sorted(self.degraded.items())
             },
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -156,6 +163,7 @@ class RunManifest:
                     document.get("degraded", {})
                 ).items()
             },
+            kernel=document.get("kernel"),
         )
 
     def save(self, path: _PathLike) -> None:
@@ -193,10 +201,15 @@ class RunContext:
         self._inputs: List[Dict[str, object]] = []
         self._outputs: List[str] = []
         self._degraded: Dict[str, List[str]] = {}
+        self._kernel: Optional[str] = None
 
     def set_config(self, config: "IQBConfig") -> None:
         """Record the scoring config this run used (last write wins)."""
         self._config = config
+
+    def set_kernel(self, kernel: str) -> None:
+        """Record which batch-scoring kernel the run selected."""
+        self._kernel = str(kernel)
 
     def add_input(
         self, path: _PathLike, stats: Optional["IngestStats"] = None
@@ -241,6 +254,7 @@ class RunContext:
             outputs=tuple(self._outputs),
             metrics=registry.snapshot(),
             degraded=dict(self._degraded),
+            kernel=self._kernel,
         )
 
     def write(

@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def _score_records_shard(
-    payload: Tuple[Dict[str, List["Measurement"]], "IQBConfig"],
+    payload: Tuple[Dict[str, List["Measurement"]], "IQBConfig", str],
     shard: Tuple[str, ...],
 ) -> Dict[str, "ScoreBreakdown"]:
     """Score one shard of regions from raw records (worker side)."""
@@ -48,22 +48,35 @@ def _score_records_shard(
     # lazy fan-out must not close that cycle at import time.
     from repro.measurements.columnar import ColumnarStore
 
-    groups, config = payload
+    groups, config, kernel = payload
     records = [
         record for region in shard for record in groups[region]
     ]
-    grouped = ColumnarStore(records).sources_by_region()
+    store = ColumnarStore(records)
+    if kernel == "vectorized":
+        from repro.core.kernel import score_store
+
+        # A region's cube cells are identical whether the store holds
+        # one region or the whole country, so per-shard kernel runs
+        # merge bit-identically — same argument as the scalar path.
+        return score_store(store, config)
+    grouped = store.sources_by_region()
     return {
         region: score_region(grouped[region], config) for region in shard
     }
 
 
 def _score_grouped_shard(
-    payload: Tuple[Mapping[str, Mapping[str, object]], "IQBConfig"],
+    payload: Tuple[Mapping[str, Mapping[str, object]], "IQBConfig", str],
     shard: Tuple[str, ...],
 ) -> Dict[str, "ScoreBreakdown"]:
-    """Score one shard of regions from pre-grouped sources (worker side)."""
-    grouped, config = payload
+    """Score one shard of regions from pre-grouped sources (worker side).
+
+    Pre-grouped sources are opaque QuantileSources, so this worker is
+    always the exact scalar path regardless of the requested kernel
+    (the same automatic fallback the serial path applies).
+    """
+    grouped, config, _ = payload
     return {
         region: score_region(grouped[region], config) for region in shard
     }
@@ -74,13 +87,16 @@ def score_regions_parallel(
     config: "IQBConfig",
     workers: int,
     stage: Optional["Span"] = None,
+    kernel: str = "vectorized",
 ) -> Dict[str, "ScoreBreakdown"]:
     """Sharded :func:`repro.core.scoring.score_regions` (see module doc).
 
     Prefer calling ``score_regions(records, config, workers=N)``; this
     is its implementation. Worker telemetry (quantile-cache counters,
     span timers) merges into the parent registry, so `iqb metrics`
-    reads the same under any worker count.
+    reads the same under any worker count. Each record-backed shard
+    runs the requested kernel over its private store; pre-grouped
+    mappings fall back to the exact path.
 
     Raises:
         DataError: when the batch holds no regions.
@@ -111,7 +127,7 @@ def score_regions_parallel(
             regions=len(grouped), workers=workers, shards=plan.shard_count
         )
     shard_results = run_sharded(
-        worker, (grouped, config), plan.shards, workers=workers
+        worker, (grouped, config, kernel), plan.shards, workers=workers
     )
     merged: Dict[str, "ScoreBreakdown"] = {}
     for part in shard_results:

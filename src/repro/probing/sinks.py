@@ -84,16 +84,22 @@ class MemorySink:
         return self.as_columnar().sources_by_region()
 
     def score_all(
-        self, config: "IQBConfig", workers: int = 1
+        self,
+        config: "IQBConfig",
+        workers: int = 1,
+        kernel: str = "vectorized",
     ) -> Dict[str, "ScoreBreakdown"]:
         """Batch-score every region collected so far (columnar path).
 
-        ``workers > 1`` shards the scoring across a worker pool with
-        bit-identical results.
+        ``workers > 1`` shards the scoring across a worker pool, and
+        ``kernel`` selects the batch-scoring kernel — bit-identical
+        results either way.
         """
         from repro.core.scoring import score_regions
 
-        return score_regions(self.as_columnar(), config, workers=workers)
+        return score_regions(
+            self.as_columnar(), config, workers=workers, kernel=kernel
+        )
 
 
 class JsonlSink:

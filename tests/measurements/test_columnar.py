@@ -94,12 +94,15 @@ class TestViews:
 
     def test_view_values_in_record_order(self, store):
         view = store.view(region="r1")
-        assert view.values(Metric.DOWNLOAD) == [10.0, 20.0, 15.0]
+        values = view.values(Metric.DOWNLOAD)
+        assert isinstance(values, np.ndarray)
+        assert values.tolist() == [10.0, 20.0, 15.0]
+        assert view.value_list(Metric.DOWNLOAD) == [10.0, 20.0, 15.0]
 
     def test_intersection_view(self, store):
         view = store.view(region="r1", source="ndt")
         assert len(view) == 2
-        assert view.values(Metric.DOWNLOAD) == [10.0, 15.0]
+        assert view.value_list(Metric.DOWNLOAD) == [10.0, 15.0]
 
     def test_missing_group_is_empty(self, store):
         view = store.view(region="nowhere")
