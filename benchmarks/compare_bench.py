@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Scoring-benchmark regression gate.
 
-Runs the scale, Eq. 1-5 scoring, parallel, and kernel benches under
+Runs the scale, Eq. 1-5 scoring, parallel, kernel, and streaming
+benches under
 ``pytest-benchmark``, writes the machine-readable results to
 ``BENCH_scale.json``, and fails (exit code 1) when any scoring
 benchmark regresses more than the allowed fraction (default 20%)
@@ -66,12 +67,20 @@ BENCH_FILES = (
     "test_bench_eq_scoring.py",
     "test_bench_parallel.py",
     "test_bench_kernel.py",
+    "test_bench_streaming.py",
 )
 
 #: The pair of kernel benches the summary speedup ratio is read from.
 SPEEDUP_BENCHES = (
     "test_bench_exact_kernel[256]",
     "test_bench_vectorized_kernel[256]",
+)
+
+#: Batch recompute vs incremental streaming re-score at a 100k-record
+#: buffered window (see test_bench_streaming.py).
+STREAMING_BENCHES = (
+    "test_bench_batch_rescore",
+    "test_bench_incremental_rescore",
 )
 
 
@@ -180,6 +189,35 @@ def kernel_speedup(current: Dict[str, float]):
     return exact / vectorized
 
 
+def streaming_speedup(current: Dict[str, float]):
+    """batch/incremental time ratio on the 100k streaming benches."""
+    batch_name, incremental_name = STREAMING_BENCHES
+    batch = current.get(batch_name)
+    incremental = current.get(incremental_name)
+    if not batch or not incremental:
+        return None
+    return batch / incremental
+
+
+def speedup_note(current: Dict[str, float]) -> str:
+    """Human-readable summary of the headline speedup ratios."""
+    parts = []
+    kernel = kernel_speedup(current)
+    if kernel is not None:
+        parts.append(
+            f"exact/vectorized kernel speedup at 256 regions: {kernel:.1f}x"
+        )
+    streaming = streaming_speedup(current)
+    if streaming is not None:
+        parts.append(
+            f"batch/incremental streaming re-score speedup at 100k: "
+            f"{streaming:.1f}x"
+        )
+    if not parts:
+        return ""
+    return f" ({'; '.join(parts)})"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -241,16 +279,11 @@ def main(argv=None) -> int:
     print(f"wrote {results_path}")
 
     current = load_times(results_path)
-    speedup = kernel_speedup(current)
-    speedup_note = (
-        f" (exact/vectorized kernel speedup at 256 regions: {speedup:.1f}x)"
-        if speedup is not None
-        else ""
-    )
+    note = speedup_note(current)
 
     if args.update_baseline:
         shutil.copyfile(results_path, BASELINE_PATH)
-        print(f"updated baseline at {BASELINE_PATH}{speedup_note}")
+        print(f"updated baseline at {BASELINE_PATH}{note}")
         return 0
 
     if not BASELINE_PATH.exists():
@@ -282,13 +315,7 @@ def main(argv=None) -> int:
             name: min(value, rerun.get(name, value))
             for name, value in current.items()
         }
-        speedup = kernel_speedup(current)
-        speedup_note = (
-            f" (exact/vectorized kernel speedup at 256 regions: "
-            f"{speedup:.1f}x)"
-            if speedup is not None
-            else ""
-        )
+        note = speedup_note(current)
         regressions = compare(baseline, current, args.threshold, args.slack)
     if regressions:
         print(
@@ -297,9 +324,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(
-        "no scoring benchmark regressed beyond the threshold" + speedup_note
-    )
+    print("no scoring benchmark regressed beyond the threshold" + note)
     return 0
 
 

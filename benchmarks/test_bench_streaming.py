@@ -1,0 +1,170 @@
+"""Streaming-scoring benchmarks: incremental re-score vs batch recompute.
+
+The streaming engine's contract is that once a window's measurements
+are folded into the sketch plane, re-scoring after a burst of arrivals
+costs O(burst + cells · delta) — independent of how many measurements
+the window has buffered. The batch path pays the full O(n) recompute
+(re-transpose + re-sort the exact plane) every time.
+
+Three pytest-benchmark entries (tracked by ``compare_bench`` against
+``BENCH_baseline.json``) at a ≥100k-record buffered window:
+
+* ``test_bench_batch_rescore`` — the exact plane's cheapest route to
+  fresh composite scores: rebuild the :class:`ColumnarStore` and run
+  the scores-only kernel. This is deliberately the *fastest* batch
+  path (no breakdown trees), so the streaming win below is measured
+  against the strongest baseline.
+* ``test_bench_incremental_rescore`` — fold a 100-measurement burst
+  into the live plane, then re-read every region's scores from the
+  digests.
+* ``test_bench_sketch_plane_build`` — the one-time cost of sketching
+  the whole buffer, amortized away by every later incremental round.
+
+``TestStreamingSpeedup`` is the acceptance gate: incremental re-score
+must beat the batch recompute by ≥ 10x on the same buffer.
+"""
+
+import dataclasses
+import gc
+import time
+
+import pytest
+
+from repro.core.config import paper_config
+from repro.core.kernel import score_values
+from repro.measurements.columnar import ColumnarStore
+from repro.measurements.sketchplane import SketchPlane, sketch_records
+from repro.netsim import CampaignConfig, region_preset, simulate_region
+
+#: 16 regions × (3 clients × 2100 tests) = 100,800 buffered records —
+#: past the 100k mark the ROADMAP's live-scoring item is gated on.
+_REGIONS = 16
+_CAMPAIGN = CampaignConfig(subscribers=3, tests_per_client=2100)
+_SEED = 42
+#: Arrivals folded per incremental round (one monitor tick's worth).
+_BURST = 100
+
+
+def _buffer():
+    """The buffered window: one simulated region cloned across 16."""
+    base = list(
+        simulate_region(
+            region_preset("mixed-urban"), seed=_SEED, config=_CAMPAIGN
+        )
+    )
+    records = []
+    for i in range(_REGIONS):
+        records.extend(
+            dataclasses.replace(record, region=f"region-{i:02d}")
+            for record in base
+        )
+    return records
+
+
+@pytest.fixture(scope="module")
+def streaming_config():
+    return paper_config()
+
+
+@pytest.fixture(scope="module")
+def buffered(streaming_config):
+    """(records, live plane, prebuilt burst) shared across benches.
+
+    The burst is prebuilt so the timed incremental path measures fold +
+    re-score, not record construction. The plane keeps absorbing bursts
+    across rounds — that is the engine's normal operating mode, and
+    digest compaction keeps per-round cost flat regardless.
+    """
+    records = _buffer()
+    plane = sketch_records(records)
+    burst = [
+        dataclasses.replace(record, region="region-00")
+        for record in records[:_BURST]
+    ]
+    return records, plane, burst
+
+
+#: CPU time, not wall time — same rationale as the kernel benches.
+_STEADY = pytest.mark.benchmark(
+    timer=time.process_time, min_rounds=7, warmup=True
+)
+
+
+@_STEADY
+def test_bench_batch_rescore(benchmark, buffered, streaming_config):
+    records, _, _ = buffered
+    result = benchmark(
+        lambda: score_values(ColumnarStore(list(records)), streaming_config)
+    )
+    assert len(result) == _REGIONS
+
+
+@_STEADY
+def test_bench_incremental_rescore(benchmark, buffered, streaming_config):
+    _, plane, burst = buffered
+
+    def tick():
+        plane.extend(burst)
+        return score_values(plane, streaming_config)
+
+    result = benchmark(tick)
+    assert len(result) == _REGIONS
+    assert all(0.0 <= value <= 1.0 for value in result.values())
+
+
+@_STEADY
+def test_bench_sketch_plane_build(benchmark, buffered):
+    records, _, _ = buffered
+    plane = benchmark(lambda: sketch_records(records))
+    assert isinstance(plane, SketchPlane)
+    assert len(plane) == len(records)
+
+
+class TestStreamingSpeedup:
+    """The acceptance bar: ≥ 10x at a ≥100k-record buffered window."""
+
+    ROUNDS = 9
+
+    @staticmethod
+    def _cpu_time(fn):
+        gc.collect()
+        start = time.process_time()
+        fn()
+        return time.process_time() - start
+
+    def test_incremental_rescore_speedup_100k(self, streaming_config):
+        records = _buffer()
+        assert len(records) >= 100_000
+        plane = sketch_records(records)
+        burst = [
+            dataclasses.replace(record, region="region-00")
+            for record in records[:_BURST]
+        ]
+
+        def batch():
+            return score_values(
+                ColumnarStore(list(records)), streaming_config
+            )
+
+        def incremental():
+            plane.extend(burst)
+            return score_values(plane, streaming_config)
+
+        # Same-process warmup, then interleaved rounds; min-of-rounds
+        # CPU time so scheduler noise cannot fail the build (the same
+        # harness the kernel speedup gate uses).
+        batch()
+        incremental()
+        batch_times, incremental_times = [], []
+        for _ in range(self.ROUNDS):
+            batch_times.append(self._cpu_time(batch))
+            incremental_times.append(self._cpu_time(incremental))
+        batch_best = min(batch_times)
+        incremental_best = min(incremental_times)
+
+        assert batch_best >= 10.0 * incremental_best, (
+            f"incremental re-score not >= 10x faster at "
+            f"{len(records)} buffered measurements: batch "
+            f"{batch_best * 1e3:.1f}ms vs incremental "
+            f"{incremental_best * 1e3:.1f}ms"
+        )

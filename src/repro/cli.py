@@ -175,7 +175,11 @@ def _cmd_score(args: argparse.Namespace) -> int:
 
         breakdowns = (
             score_regions(
-                records, config, workers=args.workers, kernel=args.kernel
+                records,
+                config,
+                workers=args.workers,
+                kernel=args.kernel,
+                quantiles=args.quantiles,
             )
             if len(records)
             else {}
@@ -188,11 +192,17 @@ def _cmd_score(args: argparse.Namespace) -> int:
                 for region, breakdown in breakdowns.items()
             },
         }
+        if args.quantiles is not None:
+            document["quantiles"] = args.quantiles
         print(json_module.dumps(document, indent=2, sort_keys=True))
     else:
         print(
             comparison_report(
-                records, config, workers=args.workers, kernel=args.kernel
+                records,
+                config,
+                workers=args.workers,
+                kernel=args.kernel,
+                quantiles=args.quantiles,
             )
         )
     return 0
@@ -353,7 +363,11 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                 for region, value in json_module.load(handle).items()
             }
     breakdowns = score_regions(
-        records, config, workers=args.workers, kernel=args.kernel
+        records,
+        config,
+        workers=args.workers,
+        kernel=args.kernel,
+        quantiles=args.quantiles,
     )
     _record_degraded(breakdowns)
     document = build_publication(
@@ -417,7 +431,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print("no measurements to monitor")
         return 0
     monitor = BarometerMonitor(
-        config, min_drop=args.min_drop, trailing=args.trailing
+        config,
+        min_drop=args.min_drop,
+        trailing=args.trailing,
+        quantiles=args.quantiles or "exact",
     )
     journal = _open_monitor_journal(args)
     resumed_windows = 0
@@ -512,6 +529,7 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
             config,
             seed=args.seed,
             pilot_per_region=args.pilot,
+            quantiles=args.quantiles or "exact",
         ).run(total_budget=args.budget, rounds=args.rounds)
         uniform = uniform_campaign(
             backend(), config, total_budget=args.budget, seed=args.seed
@@ -599,6 +617,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                     config,
                     workers=args.workers,
                     kernel=args.kernel,
+                    quantiles=args.quantiles,
                 )
     chosen = args.format or ("text" if args.text else "json")
     if chosen == "prom":
@@ -700,6 +719,17 @@ def build_parser() -> argparse.ArgumentParser:
         "or the scalar reference path; breakdowns are identical "
         "either way (the choice is recorded in --json output and "
         "run manifests)",
+    )
+    parser.add_argument(
+        "--quantiles",
+        choices=("exact", "sketch"),
+        default=None,
+        help="quantile plane for scoring: exact sorted columns "
+        "(bit-identical to the historical output) or streaming "
+        "t-digest sketches (O(1) incremental updates; p95/p99 "
+        "relative error ≤ 1%%). Default: follow the config's "
+        "per-dataset quantile policy. Recorded in --json output "
+        "and run manifests",
     )
     parser.add_argument(
         "--telemetry-port",
@@ -999,6 +1029,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     setup_logging(level=args.log_level, json_mode=args.log_json)
     _RUN = RunContext(argv if argv is not None else sys.argv[1:])
     _RUN.set_kernel(args.kernel)
+    _RUN.set_quantiles(args.quantiles)
     recorder: Optional[TraceRecorder] = None
     if args.trace_out:
         recorder = TraceRecorder()

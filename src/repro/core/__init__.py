@@ -26,6 +26,8 @@ from .config import (
     DEFAULT_DATASET_CAPABILITIES,
     IQBConfig,
     MissingDataPolicy,
+    QuantileMode,
+    QuantilePolicy,
     ScoreMode,
     paper_config,
 )
@@ -104,6 +106,8 @@ __all__ = [
     "LintFinding",
     "Metric",
     "MissingDataPolicy",
+    "QuantileMode",
+    "QuantilePolicy",
     "PercentileSemantics",
     "ProbeError",
     "QualityLevel",

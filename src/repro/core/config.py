@@ -80,6 +80,82 @@ class ScoreMode(enum.Enum):
     CONTINUOUS = "continuous"
 
 
+class QuantileMode(enum.Enum):
+    """Which quantile plane answers the aggregation rule's queries.
+
+    * ``EXACT`` — the columnar sorted plane: every percentile is the
+      exact linear-interpolation answer over the dataset's observations
+      (the default, and the parity oracle);
+    * ``SKETCH`` — the streaming t-digest plane
+      (:class:`repro.measurements.sketchplane.SketchPlane`): O(1)
+      amortized per measurement, answers without re-sorting, with
+      relative error concentrated away from the tails (the parity suite
+      bounds p95/p99 relative error at ≤ 1%). The paper's Ookla path —
+      scoring from aggregate summaries rather than raw samples — is the
+      precedent for this mode.
+    """
+
+    EXACT = "exact"
+    SKETCH = "sketch"
+
+
+@dataclass(frozen=True)
+class QuantilePolicy:
+    """Per-dataset choice of quantile plane (exact vs sketch).
+
+    ``default`` applies to every dataset without an explicit override;
+    ``overrides`` is a sorted tuple of ``(dataset, mode)`` pairs. The
+    paper's heterogeneous sources motivate per-dataset choice: a
+    high-volume streaming feed (Cloudflare-scale) can run on sketches
+    while a small curated dataset stays exact.
+    """
+
+    default: QuantileMode = QuantileMode.EXACT
+    overrides: Tuple[Tuple[str, QuantileMode], ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.overrides))
+        if ordered != self.overrides:
+            object.__setattr__(self, "overrides", ordered)
+
+    def mode_for(self, dataset: str) -> QuantileMode:
+        """The mode scoring uses for ``dataset``."""
+        for name, mode in self.overrides:
+            if name == dataset:
+                return mode
+        return self.default
+
+    def modes(self, datasets: Tuple[str, ...]) -> Tuple[QuantileMode, ...]:
+        """Resolved mode per dataset, aligned with ``datasets``."""
+        return tuple(self.mode_for(d) for d in datasets)
+
+    def uses_sketch(self, datasets: Tuple[str, ...]) -> bool:
+        """True when any of ``datasets`` resolves to the sketch plane."""
+        return any(m is QuantileMode.SKETCH for m in self.modes(datasets))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "default": self.default.value,
+            "overrides": {name: mode.value for name, mode in self.overrides},
+        }
+
+    @classmethod
+    def from_dict(cls, document: Optional[Mapping[str, Any]]) -> "QuantilePolicy":
+        if document is None:
+            return cls()
+        return cls(
+            default=QuantileMode(document.get("default", "exact")),
+            overrides=tuple(
+                sorted(
+                    (str(name), QuantileMode(mode))
+                    for name, mode in dict(
+                        document.get("overrides", {})
+                    ).items()
+                )
+            ),
+        )
+
+
 class MissingDataPolicy(enum.Enum):
     """What the scorer does when no dataset observes a requirement.
 
@@ -108,6 +184,7 @@ class IQBConfig:
     range_policy: RangePolicy = RangePolicy.LOW
     missing_data: MissingDataPolicy = MissingDataPolicy.SKIP
     score_mode: ScoreMode = ScoreMode.BINARY
+    quantiles: QuantilePolicy = field(default_factory=QuantilePolicy)
 
     def threshold_value(self, use_case: UseCase, metric: Metric) -> float:
         """The scalar threshold this config scores (u, r) against."""
@@ -171,6 +248,7 @@ class IQBConfig:
             "range_policy": self.range_policy.value,
             "missing_data": self.missing_data.value,
             "score_mode": self.score_mode.value,
+            "quantiles": self.quantiles.to_dict(),
             "thresholds": thresholds,
             "requirement_weights": requirement_weights,
             "use_case_weights": {
@@ -225,6 +303,8 @@ class IQBConfig:
             range_policy = RangePolicy(document["range_policy"])
             missing_data = MissingDataPolicy(document["missing_data"])
             score_mode = ScoreMode(document.get("score_mode", "binary"))
+            # Absent in pre-streaming configs: default to exact planes.
+            quantiles = QuantilePolicy.from_dict(document.get("quantiles"))
         except ConfigurationError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -239,6 +319,7 @@ class IQBConfig:
             range_policy=range_policy,
             missing_data=missing_data,
             score_mode=score_mode,
+            quantiles=quantiles,
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -54,7 +54,7 @@ import numpy as np
 
 from repro.obs import counter, span
 
-from .config import IQBConfig, MissingDataPolicy, ScoreMode
+from .config import IQBConfig, MissingDataPolicy, QuantileMode, ScoreMode
 from .exceptions import DataError
 from .metrics import Direction, Metric
 from .quality import QualityLevel
@@ -274,6 +274,7 @@ def score_cube(
     aggregates: np.ndarray,
     counts: np.ndarray,
     config: IQBConfig,
+    quantile_source: str = "exact",
 ) -> Dict[str, ScoreBreakdown]:
     """Score every region of an aggregate cube in one batched pass.
 
@@ -283,6 +284,8 @@ def score_cube(
             aggregates, NaN where a dataset has no observations.
         counts: matching per-cell sample counts.
         config: the scoring configuration (compiled on first use).
+        quantile_source: provenance stamp for the rebuilt breakdowns
+            (which plane produced ``aggregates``).
 
     Returns:
         region → :class:`ScoreBreakdown`, reconstructed to match the
@@ -311,6 +314,7 @@ def score_cube(
             s_iqb.tolist(),
             observed_dataset.tolist(),
             cc.missing_data is MissingDataPolicy.FAIL,
+            quantile_source,
         )
 
 
@@ -431,6 +435,7 @@ def _rebuild(
     s_iqb_l,
     observed_dataset_l,
     fail_policy: bool,
+    quantile_source: str = "exact",
 ) -> Dict[str, ScoreBreakdown]:
     """Reconstruct the scalar path's breakdown trees from kernel output.
 
@@ -520,6 +525,7 @@ def _rebuild(
                 for d in dataset_range
                 if positive[d] and not observed_row[d]
             ),
+            "quantile_source": quantile_source,
         })
         out[region] = breakdown
     return out
@@ -579,47 +585,119 @@ def _templates(cc: CompiledConfig):
     return cached
 
 
+def _resolve_cube(
+    store: "object",
+    cc: CompiledConfig,
+    modes: Optional[Tuple[QuantileMode, ...]] = None,
+) -> Tuple["object", str]:
+    """The aggregate cube honoring per-dataset quantile modes.
+
+    ``store`` is duck-typed: anything exposing
+    ``aggregate_cube(datasets, percentiles)``. Its class-level
+    ``QUANTILE_SOURCE`` attribute (``"exact"`` for the columnar store,
+    ``"sketch"`` for a sketch plane; absent means exact) names the
+    native plane, and ``sketch_plane()`` — when present — yields the
+    attached streaming plane for sketch/mixed modes.
+
+    Returns ``(cube, label)`` where ``label`` is the provenance stamp
+    (``"exact"`` / ``"sketch"`` / ``"mixed"``) for the breakdowns.
+    """
+    native = getattr(store, "QUANTILE_SOURCE", "exact")
+    if modes is None:
+        return store.aggregate_cube(cc.datasets, cc.percentiles), native
+    wants_sketch = tuple(mode is QuantileMode.SKETCH for mode in modes)
+    if not any(wants_sketch):
+        if native != "exact":
+            raise DataError(
+                "store has no exact quantile plane but every dataset "
+                "requested exact quantiles"
+            )
+        return store.aggregate_cube(cc.datasets, cc.percentiles), "exact"
+    if all(wants_sketch):
+        sketch = store if native == "sketch" else store.sketch_plane()
+        return (
+            sketch.aggregate_cube(cc.datasets, cc.percentiles),
+            "sketch",
+        )
+    if native != "exact":
+        raise DataError(
+            "mixed quantile modes need both planes; store only carries "
+            "sketches"
+        )
+    exact_cube = store.aggregate_cube(cc.datasets, cc.percentiles)
+    sketch_cube = store.sketch_plane().aggregate_cube(
+        cc.datasets, cc.percentiles
+    )
+    # Both planes summarize the same records, so the region axes agree.
+    assert exact_cube.regions == sketch_cube.regions
+    mask = np.asarray(wants_sketch, dtype=bool)[None, :, None]
+    aggregates = np.where(
+        mask, sketch_cube.aggregates, exact_cube.aggregates
+    )
+    cube = type(exact_cube)(
+        regions=exact_cube.regions,
+        aggregates=aggregates,
+        counts=exact_cube.counts,
+        cells=exact_cube.cells,
+    )
+    return cube, "mixed"
+
+
 def score_store(
     store: "object",
     config: IQBConfig,
     stage: Optional["Span"] = None,
+    modes: Optional[Tuple[QuantileMode, ...]] = None,
 ) -> Dict[str, ScoreBreakdown]:
-    """Vectorized batch scoring over a columnar store's aggregate cube.
+    """Vectorized batch scoring over a store's aggregate cube.
 
     ``store`` is duck-typed (anything exposing
     ``aggregate_cube(datasets, percentiles)`` — in practice a
-    :class:`~repro.measurements.columnar.ColumnarStore`), which keeps
-    this module free of measurement-layer imports.
+    :class:`~repro.measurements.columnar.ColumnarStore` or a
+    :class:`~repro.measurements.sketchplane.SketchPlane`), which keeps
+    this module free of measurement-layer imports. ``modes`` selects
+    the quantile plane per configured dataset (see
+    :func:`_resolve_cube`); None scores the store's native plane.
     """
     cc = config.compiled()
     with span("aggregate_cube"):
-        cube = store.aggregate_cube(cc.datasets, cc.percentiles)
+        cube, source = _resolve_cube(store, cc, modes)
     # Each of the |U| use cases reads every computed cube cell; the
     # first read computed it (a miss, counted by aggregate_cube), the
     # rest are served by the shared cube.
     _CUBE_FANOUT_HITS.inc((len(cc.use_cases) - 1) * cube.cells)
     if stage is not None:
-        stage.annotate(regions=len(cube.regions), kernel="vectorized")
+        stage.annotate(
+            regions=len(cube.regions),
+            kernel="vectorized",
+            quantiles=source,
+        )
     with span("score_cube"):
         return score_cube(
-            cube.regions, cube.aggregates, cube.counts, config
+            cube.regions,
+            cube.aggregates,
+            cube.counts,
+            config,
+            quantile_source=source,
         )
 
 
 def score_values(
     store: "object",
     config: IQBConfig,
+    modes: Optional[Tuple[QuantileMode, ...]] = None,
 ) -> Dict[str, float]:
     """Composite S_IQB per region off a store, scores only.
 
     The scores-only twin of :func:`score_store`: same cube, same
     tensor pass, same errors, but no breakdown reconstruction — the
     cheapest way to refresh every region's composite score. See
-    :func:`score_cube_values`.
+    :func:`score_cube_values`. Accepts a sketch plane directly, which
+    is the streaming monitor's re-score hot path.
     """
     cc = config.compiled()
     with span("aggregate_cube"):
-        cube = store.aggregate_cube(cc.datasets, cc.percentiles)
+        cube, _ = _resolve_cube(store, cc, modes)
     _CUBE_FANOUT_HITS.inc((len(cc.use_cases) - 1) * cube.cells)
     with span("score_cube_values"):
         return score_cube_values(

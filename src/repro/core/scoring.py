@@ -35,7 +35,13 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.obs import counter, gauge, span
 
 from .aggregation import aggregate_metric
-from .config import IQBConfig, MissingDataPolicy, ScoreMode
+from .config import (
+    IQBConfig,
+    MissingDataPolicy,
+    QuantileMode,
+    QuantilePolicy,
+    ScoreMode,
+)
 from .exceptions import DataError
 from .metrics import Metric
 from .quality import QualityLevel, credit_scale, grade
@@ -48,6 +54,12 @@ _BATCH_REGIONS = counter("scoring.batch.regions")
 #: kernel (:mod:`repro.core.kernel`) and the scalar oracle in this
 #: module. The two are bit-parity twins (see tests/core/test_kernel_parity).
 KERNELS = ("vectorized", "exact")
+
+#: Quantile planes ``score_regions`` can source aggregates from: the
+#: exact sorted columnar plane (the oracle) and the streaming t-digest
+#: plane. The exact-vs-sketch parity suite bounds the sketch plane's
+#: p95/p99 relative error at ≤ 1%.
+QUANTILE_SOURCES = ("exact", "sketch")
 
 # Degraded-mode visibility: regions scored without one or more of their
 # configured datasets in the latest batch. Eq. 1 already renormalizes
@@ -147,6 +159,12 @@ class ScoreBreakdown:
     #: score is legitimate under Eq. 1's renormalization, but it rests
     #: on less corroboration than the config intended.
     degraded_datasets: Tuple[str, ...] = ()
+    #: Which quantile plane answered the percentile rule: ``"exact"``
+    #: (sorted columns, the default and the historical behaviour),
+    #: ``"sketch"`` (streaming t-digests), or ``"mixed"`` (per-dataset
+    #: split). Provenance for comparing archived scores: sketch-sourced
+    #: aggregates carry bounded estimation error.
+    quantile_source: str = "exact"
 
     @property
     def degraded(self) -> bool:
@@ -177,13 +195,21 @@ class ScoreBreakdown:
     # -- serialization (archiving / machine-readable CLI output) --------
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-compatible representation of the full breakdown."""
-        return {
+        """JSON-compatible representation of the full breakdown.
+
+        ``quantile_source`` is emitted only for non-exact provenance,
+        so exact-plane output stays byte-identical to pre-streaming
+        archives.
+        """
+        document: Dict[str, object] = {
             "score": self.value,
             "grade": self.grade,
             "credit": self.credit,
             "degraded_datasets": list(self.degraded_datasets),
-            "use_cases": [
+        }
+        if self.quantile_source != "exact":
+            document["quantile_source"] = self.quantile_source
+        document["use_cases"] = [
                 {
                     "use_case": entry.use_case.value,
                     "score": entry.value,
@@ -211,8 +237,8 @@ class ScoreBreakdown:
                     ],
                 }
                 for entry in self.use_cases
-            ],
-        }
+        ]
+        return document
 
     @classmethod
     def from_dict(cls, document: Dict[str, object]) -> "ScoreBreakdown":
@@ -261,6 +287,10 @@ class ScoreBreakdown:
                 # Absent in pre-degraded-mode archives: default clean.
                 degraded_datasets=tuple(
                     str(d) for d in document.get("degraded_datasets", ())
+                ),
+                # Absent in pre-streaming archives: exact plane.
+                quantile_source=str(
+                    document.get("quantile_source", "exact")
                 ),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -441,13 +471,17 @@ def score_use_case(
 def score_region(
     sources: Mapping[str, QuantileSource],
     config: IQBConfig,
+    quantile_source: str = "exact",
 ) -> ScoreBreakdown:
     """Compute ``S_IQB`` (Eq. 4) from per-dataset measurement sources.
 
     ``sources`` maps dataset name (matching the config's dataset weights)
     to anything implementing the QuantileSource protocol — raw
-    measurement collections, pre-computed aggregate tables, or plain
-    sequences via :class:`~repro.core.aggregation.SequenceSource`.
+    measurement collections, pre-computed aggregate tables, plain
+    sequences via :class:`~repro.core.aggregation.SequenceSource`, or
+    streaming sketch views. ``quantile_source`` is a provenance stamp
+    recorded on the breakdown (the math is whatever the sources
+    answer); callers feeding sketch-backed sources pass ``"sketch"``.
     """
     if not sources:
         raise DataError("score_region needs at least one dataset source")
@@ -470,8 +504,63 @@ def score_region(
         if dataset not in observed
     )
     return ScoreBreakdown(
-        value=value, use_cases=use_cases, degraded_datasets=degraded
+        value=value,
+        use_cases=use_cases,
+        degraded_datasets=degraded,
+        quantile_source=quantile_source,
     )
+
+
+def _effective_modes(
+    config: IQBConfig, quantiles: Optional[str]
+) -> Tuple[QuantileMode, ...]:
+    """Resolved quantile mode per configured dataset.
+
+    ``quantiles`` (the CLI-style global override) wins over the
+    config's per-dataset :class:`~repro.core.config.QuantilePolicy`.
+    """
+    cc = config.compiled()
+    if quantiles is None:
+        return config.quantiles.modes(cc.datasets)
+    mode = QuantileMode(quantiles)
+    return (mode,) * len(cc.datasets)
+
+
+def _grouped_sources(
+    store: "object",
+    config: IQBConfig,
+    modes: Tuple[QuantileMode, ...],
+) -> Tuple[Mapping[str, Mapping[str, QuantileSource]], str]:
+    """(region → dataset → source, provenance label) honoring ``modes``.
+
+    The scalar kernel's plane selection: exact modes read the store's
+    columnar views, sketch modes read the attached sketch plane's
+    views, and a mixed policy stitches the two per dataset. Batch
+    datasets outside the configured axis keep their exact views (they
+    carry no weight, so only ``sample_count`` cosmetics could differ).
+    """
+    cc = config.compiled()
+    if all(mode is QuantileMode.EXACT for mode in modes):
+        return store.sources_by_region(), "exact"
+    native_sketch = getattr(store, "QUANTILE_SOURCE", "exact") == "sketch"
+    sketch = store if native_sketch else store.sketch_plane()
+    if all(mode is QuantileMode.SKETCH for mode in modes):
+        return sketch.sources_by_region(), "sketch"
+    exact_grouped = store.sources_by_region()
+    sketch_grouped = sketch.sources_by_region()
+    mode_of = dict(zip(cc.datasets, modes))
+    combined: Dict[str, Dict[str, QuantileSource]] = {}
+    for region, sources in exact_grouped.items():
+        row: Dict[str, QuantileSource] = {}
+        for dataset, view in sources.items():
+            if mode_of.get(dataset) is QuantileMode.SKETCH:
+                row[dataset] = sketch_grouped.get(region, {}).get(
+                    dataset, view
+                )
+            else:
+                row[dataset] = view
+        combined[region] = row
+    return combined, "mixed"
 
 
 def score_regions(
@@ -479,6 +568,7 @@ def score_regions(
     config: IQBConfig,
     workers: int = 1,
     kernel: str = "vectorized",
+    quantiles: Optional[str] = None,
 ) -> Dict[str, ScoreBreakdown]:
     """Batch-score every region of a combined measurement batch (Eq. 4 each).
 
@@ -506,6 +596,15 @@ def score_regions(
             arrays), so they always fall back to the exact path; both
             kernels produce identical breakdowns (tests assert
             bit-equality for BINARY, ≤1e-12 for the graded modes).
+        quantiles: global override of the config's
+            :class:`~repro.core.config.QuantilePolicy` — ``"exact"``
+            forces the sorted columnar plane for every dataset
+            (bit-identical to pre-streaming output), ``"sketch"``
+            forces the streaming t-digest plane, ``None`` (default)
+            follows the config's per-dataset policy. A
+            :class:`~repro.measurements.sketchplane.SketchPlane` passed
+            as ``records`` always scores from its sketches (it has no
+            exact plane; requesting ``"exact"`` on one raises).
 
     Returns:
         region → :class:`ScoreBreakdown`, numerically identical to
@@ -522,6 +621,11 @@ def score_regions(
         raise ValueError(
             f"unknown scoring kernel: {kernel!r} (have {KERNELS})"
         )
+    if quantiles is not None and quantiles not in QUANTILE_SOURCES:
+        raise ValueError(
+            f"unknown quantile source: {quantiles!r} "
+            f"(have {QUANTILE_SOURCES})"
+        )
     with span("score_regions") as stage:
         if workers > 1:
             # Imported lazily: repro.parallel sits above both core and
@@ -529,13 +633,19 @@ def score_regions(
             from repro.parallel.scoring import score_regions_parallel
 
             merged = score_regions_parallel(
-                records, config, workers, stage=stage, kernel=kernel
+                records,
+                config,
+                workers,
+                stage=stage,
+                kernel=kernel,
+                quantiles=quantiles,
             )
             _BATCH_REGIONS.inc(len(merged))
             _DEGRADED_REGIONS.set(
                 float(sum(1 for b in merged.values() if b.degraded))
             )
             return merged
+        source_label = "exact"
         if isinstance(records, Mapping):
             # Pre-grouped sources are opaque QuantileSources; only the
             # scalar path can drive them (automatic exact fallback).
@@ -544,21 +654,37 @@ def score_regions(
             # Imported lazily: repro.measurements depends on repro.core, so a
             # module-level import here would be circular.
             from repro.measurements.columnar import ColumnarStore
+            from repro.measurements.sketchplane import SketchPlane
 
             with span("columnar_group"):
-                store = (
-                    records
-                    if isinstance(records, ColumnarStore)
-                    else ColumnarStore.from_measurements(records)  # type: ignore[arg-type]
-                )
+                if isinstance(records, SketchPlane):
+                    if quantiles == "exact":
+                        raise ValueError(
+                            "a sketch plane carries no exact quantile "
+                            "plane; score the raw records to use "
+                            "quantiles='exact'"
+                        )
+                    store: "object" = records
+                    modes: Tuple[QuantileMode, ...] = (
+                        QuantileMode.SKETCH,
+                    ) * len(config.compiled().datasets)
+                else:
+                    store = (
+                        records
+                        if isinstance(records, ColumnarStore)
+                        else ColumnarStore.from_measurements(records)  # type: ignore[arg-type]
+                    )
+                    modes = _effective_modes(config, quantiles)
                 if kernel == "vectorized":
                     from .kernel import score_store
 
                     grouped = None
                 else:
-                    grouped = store.sources_by_region()
+                    grouped, source_label = _grouped_sources(
+                        store, config, modes
+                    )
             if grouped is None:
-                scored = score_store(store, config, stage=stage)
+                scored = score_store(store, config, stage=stage, modes=modes)
                 _BATCH_REGIONS.inc(len(scored))
                 _DEGRADED_REGIONS.set(
                     float(sum(1 for b in scored.values() if b.degraded))
@@ -570,7 +696,9 @@ def score_regions(
         _BATCH_REGIONS.inc(len(grouped))
         with span("region_loop"):
             scored = {
-                region: score_region(grouped[region], config)
+                region: score_region(
+                    grouped[region], config, quantile_source=source_label
+                )
                 for region in sorted(grouped)
             }
         _DEGRADED_REGIONS.set(

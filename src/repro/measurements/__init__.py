@@ -32,6 +32,7 @@ from .io import (
     write_jsonl,
 )
 from .quantile import ExactQuantiles, P2Quantile
+from .sketchplane import SketchPlane, SketchView, sketch_records
 from .tdigest import TDigest
 from .record import Measurement
 from .windows import (
@@ -58,9 +59,12 @@ __all__ = [
     "P2Quantile",
     "PEAK_END_HOUR",
     "PEAK_START_HOUR",
+    "SketchPlane",
+    "SketchView",
     "TDigest",
     "TimeBucket",
     "aggregate_measurements",
+    "sketch_records",
     "by_hour_of_day",
     "cloudflare_row_to_measurement",
     "csv_row_to_measurement",

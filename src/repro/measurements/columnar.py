@@ -30,9 +30,16 @@ over the same records (all reduce to the single
 what lets :func:`repro.core.scoring.score_regions` swap in for the
 per-region re-group loop without changing a single ScoreBreakdown.
 
-The store is deliberately immutable: build it from a finished batch.
-Accumulating sinks rebuild (cheaply, one pass) when they need fresh
-columns — see :class:`repro.probing.sinks.MemorySink`.
+The exact plane is batch-shaped: build it from a finished batch, and
+treat :meth:`ColumnarStore.append` as a batch boundary — it adopts the
+new records, drops every derived column/index/plane/view (stale views
+must be re-fetched), and incrementally feeds the store's attached
+:class:`~.sketchplane.SketchPlane` (if one was requested via
+:meth:`ColumnarStore.sketch_plane`), which is how the streaming scoring
+path stays O(1) per arrival while the exact plane stays a rebuild-on-
+read batch artifact. Accumulating sinks rebuild (cheaply, one pass)
+when they need fresh columns — see
+:class:`repro.probing.sinks.MemorySink`.
 """
 
 from __future__ import annotations
@@ -203,6 +210,9 @@ class ColumnarStore:
     mutates it).
     """
 
+    #: Native quantile plane (kernel provenance): exact sorted columns.
+    QUANTILE_SOURCE = "exact"
+
     def __init__(self, records: Iterable[Measurement] = ()) -> None:
         self._records: List[Measurement] = (
             records if isinstance(records, list) else list(records)
@@ -221,6 +231,10 @@ class ColumnarStore:
         self._axis_views: Dict[Tuple[str, str], ColumnarView] = {}
         self._pair_views: Dict[Tuple[str, str], ColumnarView] = {}
         self._by_region: Optional[Dict[str, Dict[str, ColumnarView]]] = None
+        # Adopted lists belong to the caller until the first append
+        # copies them (the store promises never to mutate its input).
+        self._owns_records = not isinstance(records, list)
+        self._sketch = None  # type: Optional["SketchPlane"]
 
     @classmethod
     def from_measurements(
@@ -238,6 +252,66 @@ class ColumnarStore:
     def records(self) -> Tuple[Measurement, ...]:
         """The underlying records (row order preserved)."""
         return tuple(self._records)
+
+    # -- streaming ingest --------------------------------------------------
+
+    def append(self, records: Iterable[Measurement]) -> None:
+        """Adopt new records: a batch boundary for the exact plane.
+
+        Every derived artifact (columns, indexes, sorted planes, cubes,
+        views) is dropped — views handed out before the append are
+        frozen snapshots of the old batch and must be re-fetched — but
+        the attached sketch plane (see :meth:`sketch_plane`) is fed
+        *incrementally*, O(1) amortized per record, which is what lets
+        the streaming scoring path re-score after an append without the
+        O(n log n) exact-plane rebuild.
+        """
+        new = records if isinstance(records, list) else list(records)
+        if not new:
+            return
+        if not self._owns_records:
+            self._records = list(self._records)
+            self._owns_records = True
+        self._records.extend(new)
+        self._columns.clear()
+        self._indexes.clear()
+        self._pair_index = None
+        self._pair_keys = None
+        self._pair_slots = None
+        self._pair_ids = None
+        self._planes.clear()
+        self._cubes.clear()
+        self._all_view = None
+        self._axis_views.clear()
+        self._pair_views.clear()
+        self._by_region = None
+        if self._sketch is not None:
+            self._sketch.extend(new)
+
+    def sketch_plane(self, delta: Optional[int] = None) -> "SketchPlane":
+        """The store's attached sketch plane, built lazily and kept fed.
+
+        The first call sketches the current records in one pass;
+        afterwards :meth:`append` streams new records straight into the
+        plane, so re-reading it is free. ``delta`` only takes effect on
+        the first call (the plane is built once); later calls with a
+        different delta raise rather than silently answer at the wrong
+        compression.
+        """
+        from .sketchplane import SketchPlane
+        from .tdigest import DEFAULT_DELTA
+
+        if self._sketch is None:
+            self._sketch = SketchPlane(
+                delta=delta if delta is not None else DEFAULT_DELTA
+            )
+            self._sketch.extend(self._records)
+        elif delta is not None and delta != self._sketch.delta:
+            raise ValueError(
+                f"store sketch plane already built at delta="
+                f"{self._sketch.delta}; requested {delta}"
+            )
+        return self._sketch
 
     # -- columns & indexes -------------------------------------------------
 

@@ -20,6 +20,7 @@ test.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.exceptions import AggregationError
@@ -29,7 +30,16 @@ DEFAULT_DELTA = 100
 
 
 class TDigest:
-    """Mergeable streaming quantile sketch."""
+    """Mergeable streaming quantile sketch.
+
+    Thread-safe: every operation that touches centroid state holds a
+    per-instance lock (the same discipline ``Timer`` uses for its
+    latency digest), so a monitor thread ``add``-ing while a scorer
+    calls ``quantile`` cannot corrupt the centroid list. ``quantile``
+    still compacts the buffer — keeping reads amortized O(1) — but the
+    compaction happens entirely under the lock, so it is invisible to
+    concurrent callers.
+    """
 
     def __init__(self, delta: int = DEFAULT_DELTA) -> None:
         if delta < 10:
@@ -41,6 +51,7 @@ class TDigest:
         self._count = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._lock = threading.Lock()
 
     # -- ingestion ----------------------------------------------------------
 
@@ -49,12 +60,13 @@ class TDigest:
         if weight <= 0:
             raise AggregationError(f"weight must be positive: {weight}")
         value = float(value)
-        self._buffer.append((value, float(weight)))
-        self._count += weight
-        self._min = value if self._min is None else min(self._min, value)
-        self._max = value if self._max is None else max(self._max, value)
-        if len(self._buffer) >= 4 * self.delta:
-            self._compress()
+        with self._lock:
+            self._buffer.append((value, float(weight)))
+            self._count += weight
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            if len(self._buffer) >= 4 * self.delta:
+                self._compress()
 
     def extend(self, values: Iterable[float]) -> None:
         """Add many observations."""
@@ -62,18 +74,34 @@ class TDigest:
             self.add(value)
 
     def merge(self, other: "TDigest") -> "TDigest":
-        """A new digest summarizing both inputs (inputs unchanged)."""
+        """A new digest summarizing both inputs (inputs unchanged).
+
+        The combined centroids are handed straight to one compression
+        pass under the merged digest's (smaller) delta — *not* replayed
+        through :meth:`add` — so the merged count is exactly
+        ``self._count + other._count`` and the extremes are the true
+        observed extremes of both inputs, independent of buffering
+        thresholds or float re-accumulation order.
+        """
+        own_points, own_count, own_min, own_max = self._snapshot()
+        other_points, other_count, other_min, other_max = other._snapshot()
         merged = TDigest(delta=min(self.delta, other.delta))
-        for source in (self, other):
-            for mean, weight in source._all_centroids():
-                merged.add(mean, weight)
-        merged._min = _opt_min(self._min, other._min)
-        merged._max = _opt_max(self._max, other._max)
+        merged._buffer = own_points + other_points
+        merged._count = own_count + other_count
+        merged._min = _opt_min(own_min, other_min)
+        merged._max = _opt_max(own_max, other_max)
         merged._compress()
         return merged
 
     def _all_centroids(self) -> List[Tuple[float, float]]:
         return self._centroids + self._buffer
+
+    def _snapshot(
+        self,
+    ) -> Tuple[List[Tuple[float, float]], float, Optional[float], Optional[float]]:
+        """A consistent (centroids, count, min, max) view, under the lock."""
+        with self._lock:
+            return self._all_centroids(), self._count, self._min, self._max
 
     # -- mergeable state (cross-process shipping) ---------------------------
 
@@ -86,29 +114,51 @@ class TDigest:
         understate the extremes). This is what lets a worker process
         ship its timer digests back to a parent registry.
         """
+        points, count, minimum, maximum = self._snapshot()
         return {
             "delta": self.delta,
-            "centroids": [
-                [mean, weight] for mean, weight in self._all_centroids()
-            ],
-            "min": self._min,
-            "max": self._max,
+            "count": count,
+            "centroids": [[mean, weight] for mean, weight in points],
+            "min": minimum,
+            "max": maximum,
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "TDigest":
-        """Rebuild a digest exported by :meth:`to_state`."""
+        """Rebuild a digest exported by :meth:`to_state`.
+
+        Centroids are restored directly (one compression pass) rather
+        than replayed through :meth:`add`: replaying re-derives the
+        extremes from centroid *means* and re-accumulates the count in
+        a different float order, both of which drift from the exported
+        digest. The state's recorded count and min/max are
+        authoritative; older states without a ``count`` key fall back
+        to summing centroid weights.
+        """
         digest = cls(delta=int(state.get("delta", DEFAULT_DELTA)))
-        for mean, weight in state.get("centroids", []):
-            digest.add(float(mean), float(weight))
-        # ``add`` derived extremes from centroid means; restore the
-        # true observed ones recorded in the state.
+        points = [
+            (float(mean), float(weight))
+            for mean, weight in state.get("centroids", [])
+        ]
+        digest._buffer = points
+        count = state.get("count")
+        digest._count = (
+            float(count)
+            if count is not None
+            else sum(weight for _, weight in points)
+        )
         minimum = state.get("min")
         maximum = state.get("max")
         if minimum is not None:
             digest._min = float(minimum)
+        elif points:
+            digest._min = min(mean for mean, _ in points)
         if maximum is not None:
             digest._max = float(maximum)
+        elif points:
+            digest._max = max(mean for mean, _ in points)
+        if len(digest._buffer) >= 4 * digest.delta:
+            digest._compress()
         return digest
 
     def _compress(self) -> None:
@@ -140,35 +190,46 @@ class TDigest:
     # -- queries --------------------------------------------------------------
 
     def __len__(self) -> int:
-        return int(self._count)
+        with self._lock:
+            return int(self._count)
 
     @property
     def centroid_count(self) -> int:
         """Current sketch size (memory proxy)."""
-        return len(self._all_centroids())
+        with self._lock:
+            return len(self._all_centroids())
 
     def quantile(self, percentile: float) -> float:
         """Estimate the percentile in [0, 100].
 
+        Safe to call concurrently with :meth:`add`: the buffer
+        compaction a read triggers happens under the instance lock, so
+        callers can treat this as a const query.
+
         Raises:
             AggregationError: on an empty digest or bad percentile.
         """
-        if self._count == 0:
-            raise AggregationError("t-digest has seen no values")
         if not 0.0 <= percentile <= 100.0:
             raise AggregationError(
                 f"percentile out of [0, 100]: {percentile!r}"
             )
-        self._compress()
-        centroids = self._centroids
-        assert self._min is not None and self._max is not None
+        with self._lock:
+            if self._count == 0:
+                raise AggregationError("t-digest has seen no values")
+            if self._buffer:
+                self._compress()
+            centroids = self._centroids
+            count = self._count
+            minimum = self._min
+            maximum = self._max
+        assert minimum is not None and maximum is not None
         if percentile == 0.0:
-            return self._min
+            return minimum
         if percentile == 100.0:
-            return self._max
-        target = percentile / 100.0 * self._count
+            return maximum
+        target = percentile / 100.0 * count
         cumulative = 0.0
-        previous_mean = self._min
+        previous_mean = minimum
         previous_cum = 0.0
         for mean, weight in centroids:
             centre = cumulative + weight / 2.0
@@ -181,7 +242,7 @@ class TDigest:
             previous_mean = mean
             previous_cum = centre
             cumulative += weight
-        return self._max
+        return maximum
 
     def quantile_or_none(self, percentile: float) -> Optional[float]:
         """Like :meth:`quantile` but None when empty."""

@@ -46,9 +46,14 @@ def time_buckets(
 ) -> List[TimeBucket]:
     """Slice records into consecutive fixed-width windows.
 
-    Windows are half-open ``[start, start+width)`` and cover the full
-    timestamp span; empty interior windows are preserved (a monitoring
-    gap is information, not something to silently squeeze out).
+    Interior windows are half-open ``[start, start+width)``; the final
+    window is closed, ``[start, start+width]``, so a last timestamp
+    landing exactly on a boundary belongs to the window it ends rather
+    than spawning a spurious trailing window that starts *at* the last
+    record. Every record lands in exactly one window, and the windows
+    cover the full timestamp span; empty interior windows are
+    preserved (a monitoring gap is information, not something to
+    silently squeeze out).
 
     Raises:
         ValueError: for a non-positive width or an empty record set.
@@ -62,17 +67,21 @@ def time_buckets(
     last = max(timestamps)
     buckets: List[TimeBucket] = []
     window_start = first
-    while window_start <= last:
+    while True:
         window_end = window_start + width_seconds
-        buckets.append(
-            TimeBucket(
-                start=window_start,
-                end=window_end,
-                records=records.between(window_start, window_end),
+        final = window_end >= last
+        if final:
+            window = records.filter(
+                lambda r: window_start <= r.timestamp <= window_end
             )
+        else:
+            window = records.between(window_start, window_end)
+        buckets.append(
+            TimeBucket(start=window_start, end=window_end, records=window)
         )
+        if final:
+            return buckets
         window_start = window_end
-    return buckets
 
 
 def by_hour_of_day(

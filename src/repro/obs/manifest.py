@@ -119,6 +119,11 @@ class RunManifest:
     #: comparisons: ``iqb runs diff`` ratios are only apples-to-apples
     #: when both runs name the same kernel.
     kernel: Optional[str] = None
+    #: Which quantile plane scored the run ("exact" / "sketch"); None
+    #: when the run followed the config's per-dataset policy (or never
+    #: scored). Same apples-to-apples caveat as ``kernel``: sketch
+    #: scores are estimates, so diffs across planes are expected noise.
+    quantiles: Optional[str] = None
 
     @property
     def duration_s(self) -> float:
@@ -143,6 +148,7 @@ class RunManifest:
                 for region, datasets in sorted(self.degraded.items())
             },
             "kernel": self.kernel,
+            "quantiles": self.quantiles,
         }
 
     @classmethod
@@ -164,6 +170,7 @@ class RunManifest:
                 ).items()
             },
             kernel=document.get("kernel"),
+            quantiles=document.get("quantiles"),
         )
 
     def save(self, path: _PathLike) -> None:
@@ -202,6 +209,7 @@ class RunContext:
         self._outputs: List[str] = []
         self._degraded: Dict[str, List[str]] = {}
         self._kernel: Optional[str] = None
+        self._quantiles: Optional[str] = None
 
     def set_config(self, config: "IQBConfig") -> None:
         """Record the scoring config this run used (last write wins)."""
@@ -210,6 +218,10 @@ class RunContext:
     def set_kernel(self, kernel: str) -> None:
         """Record which batch-scoring kernel the run selected."""
         self._kernel = str(kernel)
+
+    def set_quantiles(self, quantiles: Optional[str]) -> None:
+        """Record the run's quantile-plane override (None = config)."""
+        self._quantiles = None if quantiles is None else str(quantiles)
 
     def add_input(
         self, path: _PathLike, stats: Optional["IngestStats"] = None
@@ -255,6 +267,7 @@ class RunContext:
             metrics=registry.snapshot(),
             degraded=dict(self._degraded),
             kernel=self._kernel,
+            quantiles=self._quantiles,
         )
 
     def write(

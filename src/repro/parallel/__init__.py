@@ -19,6 +19,7 @@ from .ingest import (
 from .plan import ShardPlan
 from .pool import ShardError, fork_available, run_sharded
 from .scoring import score_regions_parallel
+from .sketching import sketch_records_parallel
 
 __all__ = [
     "ShardPlan",
@@ -26,6 +27,7 @@ __all__ = [
     "fork_available",
     "run_sharded",
     "score_regions_parallel",
+    "sketch_records_parallel",
     "read_jsonl_parallel",
     "read_csv_parallel",
     "split_line_ranges",

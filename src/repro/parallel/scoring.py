@@ -39,46 +39,61 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def _score_records_shard(
-    payload: Tuple[Dict[str, List["Measurement"]], "IQBConfig", str],
+    payload: Tuple[
+        Dict[str, List["Measurement"]], "IQBConfig", str, Optional[str]
+    ],
     shard: Tuple[str, ...],
 ) -> Dict[str, "ScoreBreakdown"]:
     """Score one shard of regions from raw records (worker side)."""
     # Imported here, not at module top: repro.measurements imports
     # repro.core, and keeping this module importable from repro.core's
     # lazy fan-out must not close that cycle at import time.
+    from repro.core.scoring import _effective_modes, _grouped_sources
     from repro.measurements.columnar import ColumnarStore
 
-    groups, config, kernel = payload
+    groups, config, kernel, quantiles = payload
     records = [
         record for region in shard for record in groups[region]
     ]
     store = ColumnarStore(records)
+    modes = _effective_modes(config, quantiles)
     if kernel == "vectorized":
         from repro.core.kernel import score_store
 
         # A region's cube cells are identical whether the store holds
         # one region or the whole country, so per-shard kernel runs
         # merge bit-identically — same argument as the scalar path.
-        return score_store(store, config)
-    grouped = store.sources_by_region()
+        # (Sketch cells are shard-local too: a region's digests see
+        # exactly its own records regardless of sharding.)
+        return score_store(store, config, modes=modes)
+    grouped, label = _grouped_sources(store, config, modes)
     return {
-        region: score_region(grouped[region], config) for region in shard
+        region: score_region(
+            grouped[region], config, quantile_source=label
+        )
+        for region in shard
     }
 
 
 def _score_grouped_shard(
-    payload: Tuple[Mapping[str, Mapping[str, object]], "IQBConfig", str],
+    payload: Tuple[
+        Mapping[str, Mapping[str, object]], "IQBConfig", str, str
+    ],
     shard: Tuple[str, ...],
 ) -> Dict[str, "ScoreBreakdown"]:
     """Score one shard of regions from pre-grouped sources (worker side).
 
     Pre-grouped sources are opaque QuantileSources, so this worker is
     always the exact scalar path regardless of the requested kernel
-    (the same automatic fallback the serial path applies).
+    (the same automatic fallback the serial path applies); the payload
+    carries the provenance label to stamp on the breakdowns.
     """
-    grouped, config, _ = payload
+    grouped, config, _, label = payload
     return {
-        region: score_region(grouped[region], config) for region in shard
+        region: score_region(
+            grouped[region], config, quantile_source=label
+        )
+        for region in shard
     }
 
 
@@ -88,6 +103,7 @@ def score_regions_parallel(
     workers: int,
     stage: Optional["Span"] = None,
     kernel: str = "vectorized",
+    quantiles: Optional[str] = None,
 ) -> Dict[str, "ScoreBreakdown"]:
     """Sharded :func:`repro.core.scoring.score_regions` (see module doc).
 
@@ -95,16 +111,31 @@ def score_regions_parallel(
     is its implementation. Worker telemetry (quantile-cache counters,
     span timers) merges into the parent registry, so `iqb metrics`
     reads the same under any worker count. Each record-backed shard
-    runs the requested kernel over its private store; pre-grouped
-    mappings fall back to the exact path.
+    runs the requested kernel over its private store (resolving the
+    exact/sketch quantile plane from ``quantiles`` / the config policy
+    exactly like the serial path); pre-grouped mappings and sketch
+    planes fall back to the scalar path over their existing sources.
 
     Raises:
         DataError: when the batch holds no regions.
         ShardError: when a worker shard fails, naming its regions.
     """
+    tail: Tuple[object, ...]
     if isinstance(records, Mapping):
         grouped: Mapping[str, object] = records
         worker = _score_grouped_shard
+        tail = (kernel, "exact")
+    elif getattr(records, "QUANTILE_SOURCE", "exact") == "sketch":
+        # A sketch plane carries no raw records to reshard; its views
+        # fork to workers and each shard scores the scalar path.
+        if quantiles == "exact":
+            raise ValueError(
+                "a sketch plane carries no exact quantile plane; score "
+                "the raw records to use quantiles='exact'"
+            )
+        grouped = records.sources_by_region()  # type: ignore[attr-defined]
+        worker = _score_grouped_shard
+        tail = (kernel, "sketch")
     else:
         from repro.measurements.columnar import ColumnarStore
 
@@ -118,6 +149,7 @@ def score_regions_parallel(
             groups.setdefault(record.region, []).append(record)
         grouped = groups
         worker = _score_records_shard
+        tail = (kernel, quantiles)
     if not grouped:
         raise DataError("score_regions needs at least one region of data")
 
@@ -127,7 +159,7 @@ def score_regions_parallel(
             regions=len(grouped), workers=workers, shards=plan.shard_count
         )
     shard_results = run_sharded(
-        worker, (grouped, config, kernel), plan.shards, workers=workers
+        worker, (grouped, config) + tail, plan.shards, workers=workers
     )
     merged: Dict[str, "ScoreBreakdown"] = {}
     for part in shard_results:

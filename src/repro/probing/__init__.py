@@ -15,6 +15,7 @@ from .sinks import (
     JsonlSink,
     MemorySink,
     ResultSink,
+    SketchSink,
     StreamingQuantileSink,
     TDigestSink,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "ResultSink",
     "RunReport",
     "SimulatedBackend",
+    "SketchSink",
     "StreamingQuantileSink",
     "TDigestSink",
     "UniformSchedule",

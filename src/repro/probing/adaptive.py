@@ -18,10 +18,12 @@ uniform allocation at the same total budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.config import IQBConfig
 from repro.core.exceptions import DataError
+from repro.core.scoring import QUANTILE_SOURCES, score_region
 from repro.core.uncertainty import bootstrap_score
 from repro.measurements.collection import MeasurementSet
 from repro.netsim.rng import make_rng
@@ -43,16 +45,23 @@ from repro.resilience.breaker import BreakerBoard
 
 from .backends import MeasurementBackend, ProbeRequest
 from .runner import ProbeRunner
-from .sinks import MemorySink
+from .sinks import FanOutSink, MemorySink, SketchSink
 
 
 @dataclass(frozen=True)
 class AllocationRound:
-    """Audit record of one adaptive round."""
+    """Audit record of one adaptive round.
+
+    ``scores`` is populated only by sketch-mode campaigns: the
+    region's IQB read from the live t-digest plane after the round,
+    an incremental re-score instead of a per-round batch recompute
+    (regions still unscorable at that point are absent).
+    """
 
     index: int
     allocation: Mapping[str, int]
     ci_widths: Mapping[str, float]
+    scores: Mapping[str, float] = dataclasses_field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -89,6 +98,7 @@ class AdaptiveAllocator:
         window_days: float = 7.0,
         retry_policy: Optional["RetryPolicy"] = None,
         breakers: Optional["BreakerBoard"] = None,
+        quantiles: str = "exact",
     ) -> None:
         """Args:
             backend: where probes run (all its regions participate).
@@ -99,11 +109,22 @@ class AdaptiveAllocator:
             window_days: timestamps are spread over this window.
             retry_policy: forwarded to the internal ProbeRunner.
             breakers: forwarded to the internal ProbeRunner.
+            quantiles: ``"sketch"`` tees every probe result into a live
+                t-digest plane and records each round's region scores
+                incrementally (see :class:`AllocationRound.scores`);
+                ``"exact"`` (default) skips per-round score tracking.
+                CI widths always bootstrap over the raw records — the
+                resample needs full-fidelity samples either way.
         """
         if pilot_per_region < len(backend.clients()):
             raise ValueError(
                 f"pilot_per_region must cover every client at least once: "
                 f"{pilot_per_region} < {len(backend.clients())}"
+            )
+        if quantiles not in QUANTILE_SOURCES:
+            raise ValueError(
+                f"unknown quantile source: {quantiles!r} "
+                f"(have {QUANTILE_SOURCES})"
             )
         self.backend = backend
         self.config = config
@@ -113,6 +134,7 @@ class AdaptiveAllocator:
         self.window_days = window_days
         self.retry_policy = retry_policy
         self.breakers = breakers
+        self.quantiles = quantiles
 
     def _schedule(
         self, allocation: Mapping[str, int], round_index: int
@@ -134,6 +156,22 @@ class AdaptiveAllocator:
                     )
                 )
         return requests
+
+    def _sketch_scores(
+        self, sketch: Optional[SketchSink]
+    ) -> Dict[str, float]:
+        """Region scores read from the live plane (sketch mode only)."""
+        if sketch is None:
+            return {}
+        scores: Dict[str, float] = {}
+        for region, sources in sketch.plane.sources_by_region().items():
+            try:
+                scores[region] = score_region(
+                    sources, self.config, quantile_source="sketch"
+                ).value
+            except DataError:
+                continue  # not yet scorable this round; CI covers it
+        return scores
 
     def _ci_widths(self, records: MeasurementSet) -> Dict[str, float]:
         widths: Dict[str, float] = {}
@@ -223,9 +261,16 @@ class AdaptiveAllocator:
             raise ValueError(f"rounds must be >= 1: {rounds}")
 
         sink = MemorySink()
+        sketch: Optional[SketchSink] = None
+        runner_sink: object = sink
+        if self.quantiles == "sketch":
+            # Every result folds into the live plane as it lands, so
+            # round-end scores are sketch reads, not batch recomputes.
+            sketch = SketchSink()
+            runner_sink = FanOutSink(sink, sketch)
         runner = ProbeRunner(
             self.backend,
-            sink,
+            runner_sink,
             max_attempts=3,
             retry_policy=self.retry_policy,
             breakers=self.breakers,
@@ -239,6 +284,7 @@ class AdaptiveAllocator:
                 index=0,
                 allocation=pilot,
                 ci_widths=self._ci_widths(sink.as_set()),
+                scores=self._sketch_scores(sketch),
             )
         )
 
@@ -265,6 +311,7 @@ class AdaptiveAllocator:
                     index=round_index,
                     allocation=allocation,
                     ci_widths=self._ci_widths(sink.as_set()),
+                    scores=self._sketch_scores(sketch),
                 )
             )
 

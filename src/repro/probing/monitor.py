@@ -19,8 +19,10 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.analysis.temporal import ScorePoint, detect_drops
 from repro.core.config import IQBConfig
 from repro.core.exceptions import DataError
-from repro.core.scoring import score_region
+from repro.core.scoring import QUANTILE_SOURCES, score_region
 from repro.measurements.collection import MeasurementSet
+from repro.measurements.record import Measurement
+from repro.measurements.sketchplane import SketchPlane
 from repro.obs import counter, gauge, get_logger
 
 _logger = get_logger(__name__)
@@ -69,6 +71,7 @@ class BarometerMonitor:
         min_drop: float = 0.1,
         trailing: int = 3,
         min_samples: int = 20,
+        quantiles: str = "exact",
     ) -> None:
         """Args:
             config: scoring configuration for every window.
@@ -76,16 +79,31 @@ class BarometerMonitor:
             trailing: windows in the baseline median.
             min_samples: windows with fewer tests are recorded as
                 unscored (they never alert and never enter baselines).
+            quantiles: ``"exact"`` scores each window by batch sort
+                (the original path); ``"sketch"`` scores from streaming
+                t-digests, enabling :meth:`observe` /
+                :meth:`score_pending` — measurements fold in one at a
+                time and closing the window re-reads live sketches
+                instead of recomputing the batch.
         """
         if min_drop <= 0:
             raise ValueError(f"min_drop must be positive: {min_drop}")
         if trailing < 1:
             raise ValueError(f"trailing must be >= 1: {trailing}")
+        if quantiles not in QUANTILE_SOURCES:
+            raise ValueError(
+                f"unknown quantile source: {quantiles!r} "
+                f"(have {QUANTILE_SOURCES})"
+            )
         self.config = config
         self.min_drop = min_drop
         self.trailing = trailing
         self.min_samples = min_samples
+        self.quantiles = quantiles
         self._history: Dict[str, List[ScorePoint]] = {}
+        self._pending: Optional[SketchPlane] = (
+            SketchPlane() if quantiles == "sketch" else None
+        )
 
     def history(self, region: str) -> Tuple[ScorePoint, ...]:
         """The region's full window history so far."""
@@ -103,8 +121,13 @@ class BarometerMonitor:
     # campaign with identical baselines and alerts.
 
     def state_dict(self) -> Dict[str, Any]:
-        """The full monitor state as a JSON-compatible document."""
-        return {
+        """The full monitor state as a JSON-compatible document.
+
+        In sketch mode this includes the live t-digest plane of any
+        not-yet-closed window (``pending_sketch``), so a resumed
+        campaign continues mid-window with the same sketches.
+        """
+        document: Dict[str, Any] = {
             "history": {
                 region: [
                     [p.start, p.end, p.score, p.samples] for p in history
@@ -112,6 +135,11 @@ class BarometerMonitor:
                 for region, history in self._history.items()
             }
         }
+        if self.quantiles != "exact":
+            document["quantiles"] = self.quantiles
+        if self._pending is not None and len(self._pending):
+            document["pending_sketch"] = self._pending.to_state()
+        return document
 
     def restore_state(self, state: Mapping[str, Any]) -> None:
         """Replace history with a :meth:`state_dict` document."""
@@ -119,6 +147,13 @@ class BarometerMonitor:
         for region, points in dict(state.get("history", {})).items():
             history[str(region)] = [self._point(entry) for entry in points]
         self._history = history
+        if self.quantiles == "sketch":
+            pending = state.get("pending_sketch")
+            self._pending = (
+                SketchPlane.from_state(dict(pending))
+                if pending
+                else SketchPlane()
+            )
 
     def window_state(
         self, window_start: float, window_end: float
@@ -174,6 +209,84 @@ class BarometerMonitor:
         _WINDOWS_SCORED.inc()
         return value
 
+    def _score_sketch_region(
+        self, sources: Mapping[str, Any], samples: int
+    ) -> Optional[float]:
+        """Score one region's live sketch cells (no batch recompute)."""
+        if samples < self.min_samples:
+            _WINDOWS_THIN.inc()
+            return None
+        try:
+            value = score_region(
+                sources, self.config, quantile_source="sketch"
+            ).value
+        except DataError as exc:
+            _WINDOWS_UNSCORABLE.inc()
+            _logger.warning(
+                "window unscorable: %s",
+                exc,
+                extra={"ctx": {"samples": samples}},
+            )
+            return None
+        _WINDOWS_SCORED.inc()
+        return value
+
+    # -- streaming (sketch mode) --------------------------------------------
+
+    def observe(self, record: Measurement) -> None:
+        """Fold one measurement into the open window — O(1) amortized.
+
+        Sketch mode only: the record lands in the live
+        :class:`~repro.measurements.sketchplane.SketchPlane` and the
+        next :meth:`score_pending` reads it, without ever re-sorting
+        the window's accumulated measurements.
+
+        Raises:
+            ValueError: in exact mode, which has no live plane.
+        """
+        if self._pending is None:
+            raise ValueError(
+                "observe() requires quantiles='sketch'; the exact "
+                "monitor scores whole windows via ingest()"
+            )
+        self._pending.add(record)
+
+    def pending(self) -> int:
+        """Measurements streamed into the open window so far."""
+        return 0 if self._pending is None else len(self._pending)
+
+    def score_pending(
+        self, window_start: float, window_end: float
+    ) -> List[Alert]:
+        """Close the streamed window: score live sketches, emit alerts.
+
+        The incremental counterpart of :meth:`ingest` — every region's
+        percentiles are read straight from its t-digests, so closing a
+        window costs O(cells · delta) regardless of how many
+        measurements :meth:`observe` buffered. The plane resets for
+        the next window.
+
+        Raises:
+            ValueError: on an inverted window or in exact mode.
+        """
+        if self._pending is None:
+            raise ValueError(
+                "score_pending() requires quantiles='sketch'"
+            )
+        if window_end <= window_start:
+            raise ValueError(
+                f"inverted window: [{window_start}, {window_end})"
+            )
+        scored: Dict[str, Tuple[Optional[float], int]] = {}
+        for region, sources in self._pending.sources_by_region().items():
+            samples = sum(len(view) for view in sources.values())
+            scored[region] = (
+                self._score_sketch_region(sources, samples),
+                samples,
+            )
+        self._pending = SketchPlane(delta=self._pending.delta)
+        return self._close_window(scored, window_start, window_end)
+
     def ingest(
         self,
         records: MeasurementSet,
@@ -185,7 +298,10 @@ class BarometerMonitor:
         Every region present in ``records`` gets a window entry;
         previously-seen regions absent from this window get an unscored
         gap entry (a silent region must not freeze its baseline
-        forever without trace).
+        forever without trace). In sketch mode the window's records
+        fold into the live plane (joining anything already streamed
+        via :meth:`observe`) and the window closes through
+        :meth:`score_pending`.
 
         Raises:
             ValueError: on an empty or inverted window.
@@ -195,17 +311,27 @@ class BarometerMonitor:
                 f"inverted window: [{window_start}, {window_end})"
             )
         window = records.between(window_start, window_end)
+        if self._pending is not None:
+            self._pending.extend(window)
+            return self.score_pending(window_start, window_end)
         # Group the window once; every region's subset shares the index.
         by_region = window.group_by_region()
+        scored = {
+            region: (self._score_window(subset), len(subset))
+            for region, subset in by_region.items()
+        }
+        return self._close_window(scored, window_start, window_end)
+
+    def _close_window(
+        self,
+        scored: Mapping[str, Tuple[Optional[float], int]],
+        window_start: float,
+        window_end: float,
+    ) -> List[Alert]:
+        """Append one window's points, evaluate the drop detector."""
         alerts: List[Alert] = []
-        for region in sorted(set(by_region) | set(self._history)):
-            subset = by_region.get(region)
-            if subset is not None:
-                score = self._score_window(subset)
-                samples = len(subset)
-            else:
-                score = None
-                samples = 0
+        for region in sorted(set(scored) | set(self._history)):
+            score, samples = scored.get(region, (None, 0))
             point = ScorePoint(
                 start=window_start,
                 end=window_end,

@@ -11,6 +11,15 @@ implementations cover the realistic deployment modes:
   (region, source, metric), so an arbitrarily long campaign can feed
   the IQB scorer in O(1) memory. Its per-(region, source) views
   implement the QuantileSource protocol directly.
+* :class:`SketchSink` — feed a live
+  :class:`~repro.measurements.sketchplane.SketchPlane`: like the P²
+  sink it holds O(1) state per cell, but its t-digests are mergeable
+  and serializable, so a campaign can checkpoint/resume sketch state
+  (``state_dict`` / ``restore_state``) and score any prefix of the
+  stream through the standard ``score_regions`` surface.
+
+:class:`FanOutSink` fans one runner's results out to several sinks
+(e.g. durable JSONL plus a live sketch plane).
 """
 
 from __future__ import annotations
@@ -88,18 +97,70 @@ class MemorySink:
         config: "IQBConfig",
         workers: int = 1,
         kernel: str = "vectorized",
+        quantiles: Optional[str] = None,
     ) -> Dict[str, "ScoreBreakdown"]:
         """Batch-score every region collected so far (columnar path).
 
-        ``workers > 1`` shards the scoring across a worker pool, and
+        ``workers > 1`` shards the scoring across a worker pool,
         ``kernel`` selects the batch-scoring kernel — bit-identical
-        results either way.
+        results either way — and ``quantiles`` overrides the config's
+        quantile policy (exact / sketch plane selection).
         """
         from repro.core.scoring import score_regions
 
         return score_regions(
-            self.as_columnar(), config, workers=workers, kernel=kernel
+            self.as_columnar(),
+            config,
+            workers=workers,
+            kernel=kernel,
+            quantiles=quantiles,
         )
+
+
+class SketchSink:
+    """Folds measurements into a live t-digest plane as they arrive.
+
+    O(1) amortized per measurement and O(cells · delta) memory like
+    :class:`StreamingQuantileSink`, but the plane is mergeable and
+    serializable: :meth:`state_dict` / :meth:`restore_state` let a
+    campaign journal checkpoint mid-stream, and :meth:`score_all`
+    re-scores the stream so far without ever materializing records.
+    """
+
+    def __init__(self, delta: Optional[int] = None) -> None:
+        from repro.measurements.sketchplane import SketchPlane
+        from repro.measurements.tdigest import DEFAULT_DELTA
+
+        self._plane = SketchPlane(
+            delta=DEFAULT_DELTA if delta is None else delta
+        )
+
+    def accept(self, measurement: Measurement) -> None:
+        self._plane.add(measurement)
+
+    def __len__(self) -> int:
+        return len(self._plane)
+
+    @property
+    def plane(self) -> "object":
+        """The live :class:`SketchPlane` (shared, not a copy)."""
+        return self._plane
+
+    def score_all(self, config: "IQBConfig") -> Dict[str, "ScoreBreakdown"]:
+        """Score every region's live sketches (no batch recompute)."""
+        from repro.core.scoring import score_regions
+
+        return score_regions(self._plane, config)
+
+    def state_dict(self) -> dict:
+        """JSON-compatible checkpoint of the plane."""
+        return self._plane.to_state()
+
+    def restore_state(self, state: dict) -> None:
+        """Replace the plane with a :meth:`state_dict` checkpoint."""
+        from repro.measurements.sketchplane import SketchPlane
+
+        self._plane = SketchPlane.from_state(dict(state))
 
 
 class JsonlSink:

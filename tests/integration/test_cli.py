@@ -127,3 +127,80 @@ class TestErrorHandling:
         mixed.write_text(campaign_file.read_text() + "{broken\n")
         assert main(["score", str(mixed), "--on-error", "skip"]) == 0
         assert "metro-fiber" in capsys.readouterr().out
+
+
+class TestQuantilesFlag:
+    def test_exact_override_matches_default_json(self, campaign_file, capsys):
+        assert main(["score", str(campaign_file), "--json"]) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                ["--quantiles", "exact", "score", str(campaign_file), "--json"]
+            )
+            == 0
+        )
+        forced = json.loads(capsys.readouterr().out)
+        assert forced["quantiles"] == "exact"
+        assert forced["regions"] == default["regions"]
+        assert "quantiles" not in default
+
+    def test_sketch_scoring_stamps_provenance(self, campaign_file, capsys):
+        assert (
+            main(
+                ["--quantiles", "sketch", "score", str(campaign_file), "--json"]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["quantiles"] == "sketch"
+        for breakdown in document["regions"].values():
+            assert breakdown["quantile_source"] == "sketch"
+
+    def test_sketch_table_output(self, campaign_file, capsys):
+        assert (
+            main(["--quantiles", "sketch", "score", str(campaign_file)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "metro-fiber" in out
+
+    def test_monitor_accepts_sketch(self, campaign_file, capsys):
+        assert (
+            main(
+                [
+                    "--quantiles",
+                    "sketch",
+                    "monitor",
+                    str(campaign_file),
+                    "--window-days",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "alert(s)" in capsys.readouterr().out
+
+    def test_manifest_records_quantiles(
+        self, campaign_file, capsys, tmp_path
+    ):
+        manifest_path = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "--quantiles",
+                    "sketch",
+                    "--manifest-out",
+                    str(manifest_path),
+                    "score",
+                    str(campaign_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["quantiles"] == "sketch"
+        assert manifest["kernel"] == "vectorized"
+
+    def test_unknown_quantiles_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--quantiles", "p2", "score", "x"])

@@ -1,0 +1,165 @@
+"""Unit tests for the streaming sketch plane (see test_sketch_parity
+for the exact-vs-sketch accuracy contract)."""
+
+import json
+
+import pytest
+
+from repro.core.metrics import Metric
+from repro.measurements.columnar import ColumnarStore
+from repro.measurements.record import Measurement
+from repro.measurements.sketchplane import (
+    SketchPlane,
+    SketchView,
+    sketch_records,
+)
+from repro.obs import REGISTRY
+
+
+def _record(i, region="alpha", source="ndt", **overrides):
+    values = {
+        "download_mbps": 100.0 + i,
+        "upload_mbps": 20.0 + i,
+        "latency_ms": 30.0 + i,
+        "packet_loss": 0.001,
+    }
+    values.update(overrides)
+    return Measurement(
+        region=region, source=source, timestamp=float(i), **values
+    )
+
+
+class TestSketchView:
+    def test_observe_tracks_counts_per_metric(self):
+        view = SketchView()
+        view.observe(_record(0))
+        view.observe(_record(1, upload_mbps=None))
+        assert len(view) == 2
+        assert view.sample_count(Metric.DOWNLOAD) == 2
+        assert view.sample_count(Metric.UPLOAD) == 1
+
+    def test_unobserved_metric_quantile_is_none(self):
+        view = SketchView()
+        view.observe(_record(0, packet_loss=None))
+        assert view.quantile(Metric.PACKET_LOSS, 95.0) is None
+        assert view.sample_count(Metric.PACKET_LOSS) == 0
+
+    def test_state_roundtrip(self):
+        view = SketchView()
+        for i in range(25):
+            view.observe(_record(i))
+        rebuilt = SketchView.from_state(
+            json.loads(json.dumps(view.to_state()))
+        )
+        assert len(rebuilt) == len(view)
+        for metric in Metric.ordered():
+            assert rebuilt.sample_count(metric) == view.sample_count(metric)
+            assert rebuilt.quantile(metric, 95.0) == pytest.approx(
+                view.quantile(metric, 95.0)
+            )
+
+    def test_merge_leaves_inputs_unchanged(self):
+        a, b = SketchView(), SketchView()
+        for i in range(10):
+            a.observe(_record(i))
+        for i in range(5):
+            b.observe(_record(i, latency_ms=None))
+        merged = a.merge(b)
+        assert len(merged) == 15
+        assert merged.sample_count(Metric.LATENCY) == 10
+        assert len(a) == 10 and len(b) == 5
+
+
+class TestSketchPlane:
+    def test_add_routes_records_to_cells(self):
+        plane = SketchPlane()
+        plane.add(_record(0))
+        plane.add(_record(1, region="beta"))
+        plane.add(_record(2, source="ookla"))
+        assert len(plane) == 3
+        assert plane.regions() == ("alpha", "beta")
+        assert plane.sources() == ("ndt", "ookla")
+        assert len(plane.view("alpha", "ndt")) == 1
+        # An unobserved cell reads as empty, not a KeyError.
+        assert len(plane.view("beta", "ookla")) == 0
+
+    def test_sources_by_region_shape(self):
+        plane = sketch_records(
+            [_record(0), _record(1, source="ookla"), _record(2, region="b")]
+        )
+        grouped = plane.sources_by_region()
+        assert sorted(grouped) == ["alpha", "b"]
+        assert sorted(grouped["alpha"]) == ["ndt", "ookla"]
+
+    def test_aggregate_cube_rejects_percentile_mismatch(self):
+        plane = sketch_records([_record(0)])
+        with pytest.raises(ValueError, match="one percentile per metric"):
+            plane.aggregate_cube(("ndt",), (95.0, 95.0))
+
+    def test_plane_state_roundtrip(self):
+        plane = sketch_records([_record(i) for i in range(40)])
+        rebuilt = SketchPlane.from_state(
+            json.loads(json.dumps(plane.to_state()))
+        )
+        assert len(rebuilt) == 40
+        assert rebuilt.delta == plane.delta
+        assert rebuilt.regions() == plane.regions()
+        view, original = rebuilt.view("alpha", "ndt"), plane.view("alpha", "ndt")
+        assert view.quantile(Metric.DOWNLOAD, 95.0) == pytest.approx(
+            original.quantile(Metric.DOWNLOAD, 95.0)
+        )
+
+    def test_update_counter_increments_per_metric_value(self):
+        before = REGISTRY.counter("sketch.updates").value
+        sketch_records([_record(0), _record(1, upload_mbps=None)])
+        # 4 metric values + 3 metric values.
+        assert REGISTRY.counter("sketch.updates").value - before == 7
+
+    def test_rescore_counter_increments_per_cube_read(self):
+        plane = sketch_records([_record(i) for i in range(5)])
+        before = REGISTRY.counter("sketch.rescore.hits").value
+        plane.aggregate_cube(("ndt",), (95.0, 95.0, 95.0, 95.0))
+        plane.aggregate_cube(("ndt",), (95.0, 95.0, 95.0, 95.0))
+        assert REGISTRY.counter("sketch.rescore.hits").value - before == 2
+
+
+class TestColumnarAppend:
+    def test_append_feeds_attached_sketch(self):
+        store = ColumnarStore([_record(i) for i in range(10)])
+        plane = store.sketch_plane()
+        assert len(plane) == 10
+        store.append([_record(10), _record(11)])
+        # The live plane absorbed the new records incrementally.
+        assert store.sketch_plane() is plane
+        assert len(plane) == 12
+
+    def test_append_invalidates_exact_caches(self):
+        store = ColumnarStore([_record(i) for i in range(4)])
+        cube_before = store.aggregate_cube(
+            ("ndt",), (95.0, 95.0, 5.0, 5.0)
+        )
+        assert cube_before.counts.max() == 4
+        store.append([_record(4)])
+        cube_after = store.aggregate_cube(
+            ("ndt",), (95.0, 95.0, 5.0, 5.0)
+        )
+        assert cube_after.counts.max() == 5
+
+    def test_append_does_not_mutate_adopted_list(self):
+        adopted = [_record(0), _record(1)]
+        store = ColumnarStore(adopted)
+        store.append([_record(2)])
+        assert len(adopted) == 2
+        assert len(store.records()) == 3
+
+    def test_sketch_plane_delta_is_sticky(self):
+        store = ColumnarStore([_record(0)])
+        store.sketch_plane(delta=50)
+        assert store.sketch_plane(delta=50).delta == 50
+        assert store.sketch_plane().delta == 50  # default = existing
+        with pytest.raises(ValueError, match="delta"):
+            store.sketch_plane(delta=200)
+
+    def test_quantile_source_markers(self):
+        assert ColumnarStore.QUANTILE_SOURCE == "exact"
+        assert SketchPlane.QUANTILE_SOURCE == "sketch"

@@ -1,5 +1,7 @@
 """Unit and property tests for the merging t-digest."""
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -118,6 +120,106 @@ class TestMerge:
         merged = a.merge(b)
         assert merged.quantile(0.0) == 0.0
         assert merged.quantile(100.0) == 1099.0
+
+    def test_merge_weighted_count_is_exact(self):
+        # Regression: rebuilding through add() re-accumulated weights
+        # in a different float order, so int(_count) could truncate to
+        # one more (or fewer) than the sum of the inputs' lengths.
+        a, b = TDigest(), TDigest()
+        rng = np.random.default_rng(11)
+        for value, weight in zip(rng.normal(size=80), rng.uniform(0.1, 2.0, 80)):
+            a.add(float(value), float(weight))
+        for value, weight in zip(rng.normal(size=60), rng.uniform(0.1, 2.0, 60)):
+            b.add(float(value), float(weight))
+        merged = a.merge(b)
+        assert merged.to_state()["count"] == (
+            a.to_state()["count"] + b.to_state()["count"]
+        )
+
+
+class TestConcurrency:
+    def test_interleaved_add_and_quantile(self):
+        # Regression: quantile() used to compress without a lock, so a
+        # reader racing a writer could corrupt the centroid list (lost
+        # buffered values, duplicated centroids). Hammer one digest
+        # from a writer and a reader thread and check the final count
+        # and every interleaved estimate stay sane.
+        digest = TDigest(delta=20)  # small delta: compress constantly
+        n_values = 20_000
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for i in range(n_values):
+                    digest.add(float(i % 1000))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    estimate = digest.quantile_or_none(95.0)
+                    if estimate is not None and not 0.0 <= estimate <= 999.0:
+                        errors.append(
+                            AssertionError(f"estimate out of range: {estimate}")
+                        )
+                        return
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        assert len(digest) == n_values
+        assert digest.quantile(0.0) == 0.0
+        assert digest.quantile(100.0) == 999.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=300),
+    right=st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=300),
+    left_delta=st.sampled_from([10, 25, 100, 400]),
+    right_delta=st.sampled_from([10, 25, 100, 400]),
+)
+def test_property_merge_count_and_extremes(left, right, left_delta, right_delta):
+    """merged len == sum of inputs; quantile(0)/quantile(100) are the
+    true observed extremes — across delta mixes and empty-side merges."""
+    a = TDigest(delta=left_delta)
+    a.extend(left)
+    b = TDigest(delta=right_delta)
+    b.extend(right)
+    merged = a.merge(b)
+    assert len(merged) == len(left) + len(right)
+    combined = left + right
+    if combined:
+        assert merged.quantile(0.0) == min(combined)
+        assert merged.quantile(100.0) == max(combined)
+    else:
+        with pytest.raises(AggregationError, match="no values"):
+            merged.quantile(50.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=600),
+    delta=st.sampled_from([10, 50, 100]),
+)
+def test_property_state_roundtrip_count_and_extremes(values, delta):
+    digest = TDigest(delta=delta)
+    digest.extend(values)
+    restored = TDigest.from_state(digest.to_state())
+    assert len(restored) == len(values)
+    assert restored.delta == delta
+    if values:
+        assert restored.quantile(0.0) == min(values)
+        assert restored.quantile(100.0) == max(values)
 
 
 @settings(max_examples=30, deadline=None)

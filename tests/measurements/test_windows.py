@@ -31,15 +31,43 @@ class TestTimeBuckets:
         assert len(buckets[0].records) == 4
         assert len(buckets[1].records) == 4
 
-    def test_half_open_windows(self):
+    def test_boundary_record_lands_in_exactly_one_bucket(self):
+        # A record exactly on an interior boundary belongs to the
+        # window it *starts* (half-open interiors) ...
+        records = MeasurementSet([rec(0.0), rec(DAY), rec(2 * DAY - 1.0)])
+        buckets = time_buckets(records, DAY)
+        assert [len(b.records) for b in buckets] == [1, 2]
+        assert sum(len(b.records) for b in buckets) == len(records)
+
+    def test_last_timestamp_on_boundary_has_no_trailing_bucket(self):
+        # ... and a last timestamp exactly on a boundary closes the
+        # final window instead of spawning a spurious trailing bucket
+        # [last, last+width) holding only the edge record.
         records = MeasurementSet([rec(0.0), rec(DAY)])
         buckets = time_buckets(records, DAY)
-        assert [len(b.records) for b in buckets] == [1, 1]
+        assert [len(b.records) for b in buckets] == [2]
+        assert buckets[-1].start < DAY <= buckets[-1].end
+        assert sum(len(b.records) for b in buckets) == len(records)
 
     def test_empty_interior_windows_preserved(self):
         records = MeasurementSet([rec(0.0), rec(3 * DAY)])
         buckets = time_buckets(records, DAY)
-        assert [len(b.records) for b in buckets] == [1, 0, 0, 1]
+        assert [len(b.records) for b in buckets] == [1, 0, 1]
+
+    def test_every_record_in_exactly_one_bucket(self):
+        # Records on and off boundaries, including the span's edges.
+        stamps = [0.0, 0.5 * DAY, DAY, 1.25 * DAY, 2 * DAY]
+        records = MeasurementSet(rec(ts) for ts in stamps)
+        buckets = time_buckets(records, DAY)
+        assert [len(b.records) for b in buckets] == [2, 3]
+        assert sum(len(b.records) for b in buckets) == len(records)
+        for ts in stamps:
+            holders = [
+                b
+                for b in buckets
+                if any(r.timestamp == ts for r in b.records)
+            ]
+            assert len(holders) == 1, ts
 
     def test_explicit_start(self, two_days):
         buckets = time_buckets(two_days, DAY, start=-DAY)

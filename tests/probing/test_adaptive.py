@@ -122,3 +122,48 @@ class TestUniformComparator:
         )
         counts = result.tests_per_region()
         assert all(count == 50 for count in counts.values())
+
+
+class TestSketchRounds:
+    def test_sketch_mode_records_incremental_round_scores(
+        self, backend, config
+    ):
+        result = make_allocator(
+            backend, config, quantiles="sketch"
+        ).run(total_budget=250, rounds=2)
+        assert len(result.rounds) >= 1
+        for audit in result.rounds:
+            # Every region pilot-probed in round 0 is scoreable by then.
+            assert set(audit.scores) == set(REGIONS)
+            for score in audit.scores.values():
+                assert 0.0 <= score <= 1.0
+        # Later rounds see strictly more data folded into the plane;
+        # the final round's scores come from every probe so far.
+        final = result.rounds[-1].scores
+        assert all(isinstance(v, float) for v in final.values())
+
+    def test_exact_mode_skips_round_scores(self, backend, config):
+        result = make_allocator(backend, config).run(
+            total_budget=250, rounds=2
+        )
+        assert all(audit.scores == {} for audit in result.rounds)
+
+    def test_sketch_mode_probe_records_match_exact_mode(self, config):
+        def run(quantiles):
+            backend = SimulatedBackend(
+                profiles=[region_preset(name) for name in REGIONS],
+                seed=5,
+                subscribers=25,
+            )
+            return make_allocator(
+                backend, config, quantiles=quantiles
+            ).run(total_budget=250, rounds=2)
+
+        exact, sketch = run("exact"), run("sketch")
+        # The tee only observes; allocation and CI widths are untouched.
+        assert sketch.tests_per_region() == exact.tests_per_region()
+        assert sketch.final_ci_widths == exact.final_ci_widths
+
+    def test_unknown_quantiles_rejected(self, backend, config):
+        with pytest.raises(ValueError, match="unknown quantile source"):
+            make_allocator(backend, config, quantiles="p2")

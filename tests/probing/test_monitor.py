@@ -124,3 +124,76 @@ class TestLivenessGauges:
             feed(monitor, day, window_records(day))
         assert cycles.value == before_cycles + 3
         assert last_cycle.value >= before_time
+
+
+class TestSketchMode:
+    """The incremental streaming path: observe() → score_pending()."""
+
+    def test_ingest_parity_with_exact_mode(self, config):
+        exact = BarometerMonitor(config)
+        sketch = BarometerMonitor(config, quantiles="sketch")
+        for day in range(5):
+            feed(exact, day, window_records(day))
+            feed(sketch, day, window_records(day))
+        assert sketch.regions() == exact.regions()
+        for e, s in zip(exact.history("r"), sketch.history("r")):
+            assert s.samples == e.samples
+            assert s.score == pytest.approx(e.score, abs=0.05)
+
+    def test_observe_then_score_pending_matches_ingest(self, config):
+        streamed = BarometerMonitor(config, quantiles="sketch")
+        batched = BarometerMonitor(config, quantiles="sketch")
+        records = window_records(0)
+        for record in records:
+            streamed.observe(record)
+        assert streamed.pending() == len(records)
+        streamed.score_pending(0.0, DAY)
+        assert streamed.pending() == 0
+        batched.ingest(records, 0.0, DAY)
+        assert streamed.history("r") == batched.history("r")
+
+    def test_sketch_collapse_still_alerts(self, config):
+        monitor = BarometerMonitor(
+            config, min_drop=0.1, trailing=3, quantiles="sketch"
+        )
+        for day in range(4):
+            feed(monitor, day, window_records(day))
+        alerts = feed(monitor, 4, window_records(4, latency=500.0))
+        assert len(alerts) == 1
+
+    def test_exact_mode_rejects_streaming_calls(self, config):
+        monitor = BarometerMonitor(config)
+        with pytest.raises(ValueError, match="sketch"):
+            monitor.observe(next(iter(window_records(0))))
+        with pytest.raises(ValueError, match="sketch"):
+            monitor.score_pending(0.0, DAY)
+        assert monitor.pending() == 0
+
+    def test_unknown_quantiles_rejected(self, config):
+        with pytest.raises(ValueError, match="unknown quantile source"):
+            BarometerMonitor(config, quantiles="p2")
+
+    def test_state_roundtrip_restores_pending_sketch(self, config):
+        monitor = BarometerMonitor(config, quantiles="sketch")
+        feed(monitor, 0, window_records(0))
+        for record in window_records(1, n=7):
+            monitor.observe(record)
+        state = monitor.state_dict()
+        assert state["quantiles"] == "sketch"
+        assert state["pending_sketch"]["records"] == 7
+
+        resumed = BarometerMonitor(config, quantiles="sketch")
+        resumed.restore_state(state)
+        assert resumed.pending() == 7
+        assert resumed.history("r") == monitor.history("r")
+        # Both finish the half-streamed window identically.
+        monitor.score_pending(DAY, 2 * DAY)
+        resumed.score_pending(DAY, 2 * DAY)
+        assert resumed.history("r") == monitor.history("r")
+
+    def test_exact_state_has_no_sketch_keys(self, config):
+        monitor = BarometerMonitor(config)
+        feed(monitor, 0, window_records(0))
+        state = monitor.state_dict()
+        assert "quantiles" not in state
+        assert "pending_sketch" not in state

@@ -164,3 +164,78 @@ class TestMemorySinkColumnar:
                 records.for_region(region).group_by_source(), config
             )
             assert breakdowns[region] == expected
+
+
+class TestSketchSink:
+    def _measure(self, i, region="a", source="ndt"):
+        return Measurement(
+            region=region,
+            source=source,
+            timestamp=float(i),
+            download_mbps=100.0 + i,
+            upload_mbps=20.0 + i,
+            latency_ms=25.0,
+            packet_loss=0.001,
+        )
+
+    def test_accept_feeds_live_plane(self):
+        from repro.probing.sinks import SketchSink
+
+        sink = SketchSink()
+        for i in range(30):
+            sink.accept(self._measure(i, region="a" if i % 2 else "b"))
+        assert len(sink) == 30
+        assert sink.plane.regions() == ("a", "b")
+
+    def test_score_all_matches_sketch_scoring_of_records(self):
+        from repro.core import paper_config
+        from repro.core.scoring import score_regions
+        from repro.probing.sinks import SketchSink
+
+        config = paper_config()
+        sink = SketchSink()
+        records = [self._measure(i) for i in range(50)] + [
+            self._measure(i, source="cloudflare") for i in range(50)
+        ]
+        for record in records:
+            sink.accept(record)
+        assert sink.score_all(config) == score_regions(
+            records, config, quantiles="sketch"
+        )
+
+    def test_state_roundtrip(self):
+        import json
+
+        from repro.probing.sinks import SketchSink
+
+        sink = SketchSink()
+        for i in range(20):
+            sink.accept(self._measure(i))
+        restored = SketchSink()
+        restored.restore_state(json.loads(json.dumps(sink.state_dict())))
+        assert len(restored) == 20
+        assert restored.plane.regions() == ("a",)
+
+    def test_fan_out_with_memory_sink(self):
+        from repro.probing.sinks import FanOutSink, MemorySink, SketchSink
+
+        memory, sketch = MemorySink(), SketchSink()
+        tee = FanOutSink(memory, sketch)
+        for i in range(5):
+            tee.accept(self._measure(i))
+        assert len(memory) == 5
+        assert len(sketch) == 5
+
+    def test_memory_sink_score_all_quantiles_passthrough(self):
+        from repro.core import paper_config
+        from repro.probing.sinks import MemorySink
+
+        config = paper_config()
+        sink = MemorySink()
+        for i in range(40):
+            sink.accept(self._measure(i))
+        sketch = sink.score_all(config, quantiles="sketch")
+        assert sketch["a"].quantile_source == "sketch"
+        assert sink.score_all(config, quantiles="exact") == sink.score_all(
+            config
+        )
