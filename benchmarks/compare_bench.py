@@ -68,6 +68,7 @@ BENCH_FILES = (
     "test_bench_parallel.py",
     "test_bench_kernel.py",
     "test_bench_streaming.py",
+    "test_bench_health.py",
 )
 
 #: The pair of kernel benches the summary speedup ratio is read from.

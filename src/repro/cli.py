@@ -18,7 +18,14 @@ Subcommands:
 * ``monitor``  — replay a measurement file through the alerting monitor
   (``--journal``/``--resume`` make the campaign crash-safe: completed
   windows land in an append-only journal and a killed run resumes with
-  identical baselines, skipping finished work);
+  identical baselines, skipping finished work; ``--slo-rules`` runs a
+  data-quality health monitor alongside and records the end-of-run
+  :class:`~repro.obs.slo.HealthReport` in the manifest);
+* ``health``   — assess a measurement file against data-quality SLOs
+  (freshness, completeness, ingest error rate, scoring latency) with
+  burn-rate states and score-drift detection; ``--json`` emits the
+  full deterministic HealthReport, ``--watch`` paces the replay and
+  prints per-window health; exits 1 when any SLO is at PAGE;
 * ``adaptive`` — demonstrate uncertainty-driven probe allocation;
 * ``metrics``  — run a pipeline end to end and dump the observability
   snapshot (probe retries/abandons, ingest skips, cache hit rates) as
@@ -35,8 +42,9 @@ telemetry merges back into the run's metrics).
 Live-operations flags, also global:
 
 * ``--telemetry-port N`` — serve ``/metrics`` (Prometheus),
-  ``/metrics.json``, and ``/healthz`` while a long-running subcommand
-  (``monitor``, ``adaptive``) executes; port 0 picks an ephemeral one.
+  ``/metrics.json``, ``/healthz``, ``/slo``, and ``/quality`` while a
+  long-running subcommand (``monitor``, ``health``, ``adaptive``)
+  executes; port 0 picks an ephemeral one.
 * ``--trace-out PATH`` — record every pipeline span and write a Chrome
   trace-event JSON (open in Perfetto / ``chrome://tracing``).
 * ``--manifest-out PATH`` — write the run-provenance manifest (command,
@@ -419,6 +427,37 @@ def _open_monitor_journal(args: argparse.Namespace):
     return CampaignJournal(path)
 
 
+def _load_slo_rules(path: Optional[str], records, window_s: float):
+    """Resolve the SLO rule set: a rule file, or built-in defaults.
+
+    The built-in set derives per-dataset freshness budgets from the
+    datasets actually present in ``records`` and the replay's window
+    width, so ``iqb health data.jsonl`` is useful with zero config.
+    """
+    from repro.obs.health import default_rules
+    from repro.obs.slo import load_rules
+
+    if path is not None:
+        return load_rules(path)
+    datasets = sorted({record.source for record in records})
+    return default_rules(datasets, window_s)
+
+
+def _finish_health(health) -> "object":
+    """Uninstall the monitor and file its report with the run.
+
+    Runs in command ``finally`` blocks, so an interrupted campaign
+    still leaves its last-known health verdict in the manifest.
+    """
+    from repro.obs.health import uninstall_health_monitor
+
+    uninstall_health_monitor()
+    report = health.evaluate()
+    if _RUN is not None:
+        _RUN.set_health_report(report)
+    return report
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     import time as time_module
 
@@ -430,6 +469,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if len(records) == 0:
         print("no measurements to monitor")
         return 0
+    width = args.window_days * 86400.0
+    health = None
+    if args.slo_rules is not None:
+        from repro.obs.health import HealthMonitor, install_health_monitor
+
+        health = HealthMonitor(
+            rules=_load_slo_rules(args.slo_rules, records, width)
+        )
+        install_health_monitor(health)
     monitor = BarometerMonitor(
         config,
         min_drop=args.min_drop,
@@ -454,7 +502,6 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             f"in journal",
             file=sys.stderr,
         )
-    width = args.window_days * 86400.0
     timestamps = [record.timestamp for record in records]
     start = min(timestamps)
     end = max(timestamps)
@@ -497,16 +544,115 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             window_start = window_end
     finally:
         # Flush on every exit — including KeyboardInterrupt — so the
-        # journal always reflects the windows that completed.
+        # journal always reflects the windows that completed and the
+        # manifest carries the last-known health verdict.
         if journal is not None:
             journal.checkpoint(monitor.state_dict())
             journal.close()
+        if health is not None:
+            health_report = _finish_health(health)
         _stop_telemetry(telemetry)
     summary = f"{total_alerts} alert(s) over {len(records)} measurements"
     if resumed_windows:
         summary += f" ({resumed_windows} window(s) resumed from journal)"
     print(summary)
+    if health is not None:
+        print(f"health: {health_report.status}")
     return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Replay a measurement file and judge the *barometer's* health.
+
+    The score says how the internet is doing; this says whether the
+    barometer itself can be believed — dataset freshness and
+    completeness SLOs with burn-rate states, ingest error rate,
+    scoring latency, and score-drift detection that separates real
+    shifts from stale data. Exit status 1 when any SLO is at PAGE.
+    """
+    import json as json_module
+    import time as time_module
+
+    from repro.obs.health import HealthMonitor, install_health_monitor
+    from repro.probing.monitor import BarometerMonitor
+
+    records = _read_measurements(args)
+    config = _load_config(args.config)
+    if len(records) == 0:
+        print("no measurements to assess")
+        return 0
+    width = args.window_days * 86400.0
+    health = HealthMonitor(
+        rules=_load_slo_rules(args.rules, records, width)
+    )
+    install_health_monitor(health)
+    # Sketch-backed replay: every record folds into the live t-digest
+    # plane (notifying health per arrival) and each window close hands
+    # the drift detector incremental scores.
+    monitor = BarometerMonitor(config, quantiles="sketch")
+    telemetry = _start_telemetry(args)
+    timestamps = [record.timestamp for record in records]
+    start = min(timestamps)
+    end = max(timestamps)
+    window_start = start
+    windows = 0
+    try:
+        while window_start <= end:
+            window_end = window_start + width
+            monitor.ingest(records, window_start, window_end)
+            windows += 1
+            if args.watch:
+                snapshot = health.evaluate()
+                day = (window_start - start) / 86400.0
+                breaches = ", ".join(
+                    f"{status.name}={status.state}"
+                    for status in snapshot.rules
+                    if status.state != "ok"
+                )
+                print(
+                    f"window +{day:.1f}d: {snapshot.status}"
+                    + (f" ({breaches})" if breaches else "")
+                )
+                if args.cycles and windows >= args.cycles:
+                    break
+                if args.interval > 0:
+                    time_module.sleep(args.interval)
+            window_start = window_end
+    finally:
+        # Uninstall + file the report even on Ctrl-C out of a watch
+        # loop: the manifest still gets the last-known verdict.
+        report = _finish_health(health)
+        _stop_telemetry(telemetry)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            (
+                status.name,
+                status.signal,
+                status.state.upper(),
+                f"{status.burn_fast:.2f}",
+                f"{status.burn_slow:.2f}",
+                status.samples,
+                status.detail or "-",
+            )
+            for status in report.rules
+        ]
+        print(
+            render_table(
+                ["Rule", "Signal", "State", "Burn (fast)", "Burn (slow)",
+                 "Samples", "Detail"],
+                rows,
+            )
+        )
+        for event in report.drift:
+            print(
+                f"drift: {event['region']} {event['kind']} "
+                f"({event['direction']}) score {event['score']:.3f} "
+                f"vs baseline {event['baseline']:.3f}"
+            )
+        print(f"health: {report.status} over {windows} window(s)")
+    return 1 if report.status == "page" else 0
 
 
 def _cmd_adaptive(args: argparse.Namespace) -> int:
@@ -913,7 +1059,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a killed campaign from an existing journal "
         "(errors when PATH does not exist; otherwise like --journal)",
     )
+    monitor.add_argument(
+        "--slo-rules",
+        default=None,
+        metavar="PATH",
+        help="evaluate data-quality SLOs alongside the replay (rule "
+        "file as for 'health'); the end-of-run HealthReport lands in "
+        "the run manifest and the /slo endpoint",
+    )
     monitor.set_defaults(func=_cmd_monitor)
+
+    health_cmd = sub.add_parser(
+        "health",
+        help="data-quality SLO and score-drift assessment of a "
+        "measurement file",
+    )
+    add_common(health_cmd)
+    health_cmd.add_argument("--window-days", type=float, default=1.0)
+    health_cmd.add_argument(
+        "--rules",
+        default=None,
+        metavar="PATH",
+        help="SLO rule file: a JSON list of rule objects or "
+        '{"rules": [...]} (YAML accepted when pyyaml is installed). '
+        "Default: built-in rules derived from the file's datasets "
+        "and the window width",
+    )
+    health_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full HealthReport as JSON instead of the table",
+    )
+    health_cmd.add_argument(
+        "--watch",
+        action="store_true",
+        help="pace the replay one window per --interval, printing "
+        "per-window health (Ctrl-C exits cleanly; useful with "
+        "--telemetry-port)",
+    )
+    health_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sleep between windows in watch mode",
+    )
+    health_cmd.add_argument(
+        "--cycles",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N windows in watch mode (0 = replay all)",
+    )
+    health_cmd.set_defaults(func=_cmd_health)
 
     adaptive = sub.add_parser(
         "adaptive", help="adaptive vs uniform probe-budget allocation demo"
@@ -1060,8 +1258,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Ctrl-C is an operator action, not a bug: command-level
         # cleanup (journal checkpoint, telemetry shutdown) already ran
         # via its finally blocks on the way up. Flush the partial run's
-        # provenance when asked for, report in one line, and exit with
-        # the conventional SIGINT status.
+        # provenance — the trace as well as the manifest: an operator
+        # interrupting a stuck `monitor --watch` wants the spans up to
+        # the interrupt, and losing them made Ctrl-C the one exit path
+        # with no trace. Report in one line and exit with the
+        # conventional SIGINT status.
+        if recorder is not None:
+            uninstall_trace_recorder()
+            try:
+                spans_written = write_chrome_trace(recorder, args.trace_out)
+                print(
+                    f"trace: wrote {spans_written} span(s) to "
+                    f"{args.trace_out} (interrupted run)",
+                    file=sys.stderr,
+                )
+            except OSError:
+                pass
+            recorder = None
         if args.manifest_out is not None:
             try:
                 _RUN.write(args.manifest_out)

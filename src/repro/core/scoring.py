@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.obs import counter, gauge, span
+from repro.obs import counter, gauge, span, timer
 
 from .aggregation import aggregate_metric
 from .config import (
@@ -66,6 +66,11 @@ QUANTILE_SOURCES = ("exact", "sketch")
 # over the datasets that did report (corroboration over what exists);
 # this gauge is what keeps that silent fallback from being *invisible*.
 _DEGRADED_REGIONS = gauge("score.degraded.regions")
+
+# End-to-end scoring latency (per region/batch call), the input of the
+# health subsystem's latency SLO rules — p95 of this timer against a
+# declared budget is what "serving scores on time" means.
+_SCORE_LATENCY = timer("score.latency")
 
 # QuantileSource is a Protocol; imported for typing clarity only.
 from .aggregation import QuantileSource
@@ -486,10 +491,11 @@ def score_region(
     if not sources:
         raise DataError("score_region needs at least one dataset source")
     _REGION_SCORES.inc()
-    use_cases = tuple(
-        score_use_case(use_case, sources, config)
-        for use_case in UseCase.ordered()
-    )
+    with _SCORE_LATENCY.time():
+        use_cases = tuple(
+            score_use_case(use_case, sources, config)
+            for use_case in UseCase.ordered()
+        )
     total = sum(entry.weight for entry in use_cases)
     value = sum(entry.weight * entry.value for entry in use_cases) / total
     observed = {
@@ -684,7 +690,10 @@ def score_regions(
                         store, config, modes
                     )
             if grouped is None:
-                scored = score_store(store, config, stage=stage, modes=modes)
+                with _SCORE_LATENCY.time():
+                    scored = score_store(
+                        store, config, stage=stage, modes=modes
+                    )
                 _BATCH_REGIONS.inc(len(scored))
                 _DEGRADED_REGIONS.set(
                     float(sum(1 for b in scored.values() if b.degraded))

@@ -286,7 +286,18 @@ class ColumnarStore:
         self._pair_views.clear()
         self._by_region = None
         if self._sketch is not None:
+            # The plane's own add() notifies the health monitor per
+            # record; notifying here too would double-count arrivals.
             self._sketch.extend(new)
+        else:
+            from repro.obs.health import get_health_monitor
+
+            health = get_health_monitor()
+            if health is not None:
+                for record in new:
+                    health.record_arrival(
+                        record.region, record.source, record.timestamp
+                    )
 
     def sketch_plane(self, delta: Optional[int] = None) -> "SketchPlane":
         """The store's attached sketch plane, built lazily and kept fed.

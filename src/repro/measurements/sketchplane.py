@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.metrics import Metric
 from repro.obs import counter
+from repro.obs.health import get_health_monitor
 
 from .columnar import AggregateCube
 from .record import Measurement
@@ -170,6 +171,14 @@ class SketchPlane:
             self._views[key] = view
         view.observe(record)
         self._records += 1
+        # Data-quality hook: every accepted measurement advances the
+        # health monitor's freshness watermark (one None check when
+        # health tracking is off).
+        health = get_health_monitor()
+        if health is not None:
+            health.record_arrival(
+                record.region, record.source, record.timestamp
+            )
 
     def extend(self, records: Iterable[Measurement]) -> None:
         for record in records:

@@ -8,14 +8,22 @@ The operational-telemetry layer every subsystem reports into:
 * :mod:`.logs` — structured logging setup (human text or JSONL),
   wired to the CLI's ``--log-level`` / ``--log-json`` flags;
 * :mod:`.spans` — nested context managers timing pipeline stages,
-  with an installable :class:`TraceRecorder` capturing every
-  completed span;
+  with trace-context propagation (trace/span/parent ids that survive
+  process forks) and an installable :class:`TraceRecorder` capturing
+  every completed span;
+* :mod:`.slo` — declarative data-quality SLO rules with sliding
+  multi-window burn-rate evaluation (OK / WARN / PAGE);
+* :mod:`.health` — the barometer health monitor: per-(region, dataset)
+  freshness and completeness tracking, SLO evaluation into a
+  deterministic :class:`HealthReport`, and score-drift detection that
+  distinguishes real score shifts from stale datasets;
 
 and the layer that gets those signals *out of the process*:
 
 * :mod:`.exposition` — Prometheus/OpenMetrics text rendering;
 * :mod:`.httpd` — the ``/metrics`` / ``/metrics.json`` / ``/healthz``
-  telemetry endpoint for long-running campaigns;
+  / ``/slo`` / ``/quality`` telemetry endpoint for long-running
+  campaigns;
 * :mod:`.trace` — Chrome trace-event JSON export (Perfetto-loadable
   stage flamegraphs);
 * :mod:`.manifest` — per-run provenance manifests and their diffing.
@@ -28,7 +36,24 @@ module may import it without cycles.
 
 from __future__ import annotations
 
-from .exposition import prometheus_name, render_prometheus
+from .exposition import (
+    escape_help,
+    escape_label_value,
+    format_labels,
+    prometheus_name,
+    render_prometheus,
+)
+from .health import (
+    DriftConfig,
+    DriftDetector,
+    DriftEvent,
+    HealthMonitor,
+    QualityTracker,
+    default_rules,
+    get_health_monitor,
+    install_health_monitor,
+    uninstall_health_monitor,
+)
 from .httpd import TelemetryServer
 from .logs import (
     JsonlFormatter,
@@ -57,13 +82,23 @@ from .registry import (
     snapshot,
     timer,
 )
+from .slo import (
+    HealthReport,
+    SLOEvaluator,
+    SLORule,
+    SLOStatus,
+    load_rules,
+    worst_state,
+)
 from .spans import (
     Span,
     SpanRecord,
     TraceRecorder,
     current_span,
+    current_trace_context,
     get_trace_recorder,
     install_trace_recorder,
+    set_remote_parent,
     span,
     uninstall_trace_recorder,
 )
@@ -72,11 +107,20 @@ from .trace import to_chrome_trace, write_chrome_trace
 __all__ = [
     "REGISTRY",
     "Counter",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftEvent",
     "Gauge",
+    "HealthMonitor",
+    "HealthReport",
     "JsonlFormatter",
     "MetricsRegistry",
+    "QualityTracker",
     "RunContext",
     "RunManifest",
+    "SLOEvaluator",
+    "SLORule",
+    "SLOStatus",
     "Span",
     "SpanRecord",
     "TelemetryServer",
@@ -85,23 +129,34 @@ __all__ = [
     "TraceRecorder",
     "counter",
     "current_span",
+    "current_trace_context",
+    "default_rules",
     "diff_manifests",
+    "escape_help",
+    "escape_label_value",
     "file_digest",
     "find_manifests",
+    "format_labels",
     "gauge",
+    "get_health_monitor",
     "get_logger",
     "get_trace_recorder",
+    "install_health_monitor",
     "install_trace_recorder",
+    "load_rules",
     "parse_level",
     "prometheus_name",
     "render_diff",
     "render_prometheus",
     "reset",
+    "set_remote_parent",
     "setup_logging",
     "snapshot",
     "span",
     "timer",
     "to_chrome_trace",
+    "uninstall_health_monitor",
     "uninstall_trace_recorder",
+    "worst_state",
     "write_chrome_trace",
 ]

@@ -17,12 +17,21 @@ scraped series back to the instrument documented in
 ``docs/methodology.md``. Everything here renders from a registry
 *snapshot*, so one exposition call costs the same as ``iqb metrics``
 and holds no locks while formatting.
+
+Label values and ``# HELP`` text follow the 0.0.4 escaping rules
+(:func:`escape_label_value` / :func:`escape_help`): backslash,
+newline, and — in label values — the double quote are escaped, so
+operator-supplied strings (hostile region names included) cannot
+corrupt the exposition. The labeled health families served alongside
+the registry (see :meth:`repro.obs.health.HealthMonitor.
+render_prometheus`) build their samples through :func:`format_labels`
+for the same reason.
 """
 
 from __future__ import annotations
 
 import re
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .registry import MetricsRegistry
@@ -45,6 +54,48 @@ def prometheus_name(dotted: str, prefix: str = "iqb") -> str:
     that start with a digit.
     """
     return f"{prefix}_{_INVALID_CHARS.sub('_', dotted)}"
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the 0.0.4 text format.
+
+    Help text escapes backslash and newline (a raw newline would start
+    a bogus exposition line and break every scraper).
+    """
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the 0.0.4 text format.
+
+    Label values additionally escape the double quote that delimits
+    them. Region and dataset names are operator-supplied strings, so a
+    hostile name like ``ru"ral\\nnorth`` must round-trip instead of
+    corrupting the exposition.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: Mapping[str, str]) -> str:
+    """Render a label set as ``{name="value",...}`` (escaped).
+
+    Label *names* must already be valid identifiers (they are
+    code-chosen); label *values* go through
+    :func:`escape_label_value`. An empty mapping renders as the empty
+    string so unlabeled samples keep their canonical form.
+    """
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
 
 
 def _format_value(value: object) -> str:
@@ -71,24 +122,26 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
 
     for dotted, value in snap["counters"].items():
         name = prometheus_name(dotted) + "_total"
-        lines.append(f"# HELP {name} IQB counter {dotted}")
+        lines.append(f"# HELP {name} {escape_help(f'IQB counter {dotted}')}")
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {_format_value(value)}")
 
     for dotted, value in snap["gauges"].items():
         name = prometheus_name(dotted)
-        lines.append(f"# HELP {name} IQB gauge {dotted}")
+        lines.append(f"# HELP {name} {escape_help(f'IQB gauge {dotted}')}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_format_value(value)}")
 
     for dotted, stats in snap["timers"].items():
         name = prometheus_name(dotted) + "_seconds"
-        lines.append(f"# HELP {name} IQB timer {dotted} (seconds)")
+        lines.append(
+            f"# HELP {name} {escape_help(f'IQB timer {dotted} (seconds)')}"
+        )
         lines.append(f"# TYPE {name} summary")
         if stats["count"]:
             for label, key in _TIMER_QUANTILES:
                 lines.append(
-                    f'{name}{{quantile="{label}"}} '
+                    f"{name}{format_labels({'quantile': label})} "
                     f"{_format_value(stats[key])}"
                 )
         lines.append(f"{name}_sum {_format_value(stats['total_s'])}")

@@ -5,12 +5,19 @@ A deployed barometer campaign (``iqb monitor``/``iqb adaptive`` with
 operational state so the measurement *infrastructure* is observable
 with the same rigor as the measurements:
 
-* ``GET /metrics``      — Prometheus text exposition (scrape target);
+* ``GET /metrics``      — Prometheus text exposition (scrape target),
+  including the labeled per-(region, dataset) health families when a
+  :class:`~repro.obs.health.HealthMonitor` is active;
 * ``GET /metrics.json`` — the registry snapshot as JSON (the same
   document ``iqb metrics`` prints);
 * ``GET /healthz``      — liveness JSON: uptime, cycle progress, alert
   and unscorable-window counts; HTTP 503 once the pipeline looks
-  stalled (no completed cycle within ``stalled_after_s``).
+  stalled (no completed cycle within ``stalled_after_s``) or once the
+  SLO verdict reaches PAGE;
+* ``GET /slo``          — the deterministic ``HealthReport`` (overall
+  state, per-rule burn rates, drift events) as JSON;
+* ``GET /quality``      — the data-quality section alone: freshness,
+  completeness, and stale (region, dataset) cells.
 
 The server is a daemon-threaded stdlib ``http.server`` — it never
 blocks pipeline work or process exit, and serving a scrape costs one
@@ -28,6 +35,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from .exposition import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from .health import HealthMonitor, get_health_monitor
 from .logs import get_logger
 from .registry import REGISTRY, MetricsRegistry, counter
 
@@ -53,6 +61,9 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
             body = telemetry.registry.render_prometheus()
+            monitor = telemetry.health_monitor()
+            if monitor is not None:
+                body += monitor.render_prometheus()
             self._reply(200, _PROM_CONTENT_TYPE, body)
         elif path == "/metrics.json":
             body = telemetry.registry.render_json() + "\n"
@@ -61,12 +72,21 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
             status, document = telemetry.health()
             body = json.dumps(document, indent=2, sort_keys=True) + "\n"
             self._reply(status, "application/json; charset=utf-8", body)
+        elif path == "/slo":
+            status, document = telemetry.slo()
+            body = json.dumps(document, indent=2, sort_keys=True) + "\n"
+            self._reply(status, "application/json; charset=utf-8", body)
+        elif path == "/quality":
+            status, document = telemetry.quality()
+            body = json.dumps(document, indent=2, sort_keys=True) + "\n"
+            self._reply(status, "application/json; charset=utf-8", body)
         else:
             _NOT_FOUND.inc()
             self._reply(
                 404,
                 "text/plain; charset=utf-8",
-                "not found; try /metrics, /metrics.json, /healthz\n",
+                "not found; try /metrics, /metrics.json, /healthz, "
+                "/slo, /quality\n",
             )
 
     def _reply(self, status: int, content_type: str, body: str) -> None:
@@ -103,6 +123,10 @@ class TelemetryServer:
             seconds (a campaign that stopped completing cycles is down
             even though the process is up). ``None`` disables the
             check; :meth:`mark_stalled` forces a 503 either way.
+        health: an explicit :class:`~repro.obs.health.HealthMonitor`
+            to serve from ``/slo`` and ``/quality``; by default the
+            process-installed monitor (if any) is picked up at request
+            time, so installing one after :meth:`start` still works.
     """
 
     def __init__(
@@ -111,10 +135,12 @@ class TelemetryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         stalled_after_s: Optional[float] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.registry = registry if registry is not None else REGISTRY
         self.host = host
         self.stalled_after_s = stalled_after_s
+        self._health_monitor = health
         self._requested_port = port
         self._server: Optional[_TelemetryHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -187,6 +213,36 @@ class TelemetryServer:
         """Drop a previous :meth:`mark_stalled` verdict."""
         self._stalled_reason = None
 
+    def health_monitor(self) -> Optional[HealthMonitor]:
+        """The health monitor to serve from (explicit, else installed)."""
+        if self._health_monitor is not None:
+            return self._health_monitor
+        return get_health_monitor()
+
+    def slo(self) -> Tuple[int, Dict[str, object]]:
+        """The ``/slo`` verdict: the full HealthReport document.
+
+        Always HTTP 200 — the report's ``status`` field carries the
+        verdict (``/healthz`` is where PAGE turns into a 503, for
+        load-balancer consumption). With no monitor installed the
+        endpoint says so instead of 404ing, so dashboards can probe it
+        unconditionally.
+        """
+        monitor = self.health_monitor()
+        if monitor is None:
+            return 200, {"status": "disabled", "rules": [], "drift": []}
+        return 200, monitor.evaluate().to_dict()
+
+    def quality(self) -> Tuple[int, Dict[str, object]]:
+        """The ``/quality`` document: freshness/completeness/staleness."""
+        monitor = self.health_monitor()
+        if monitor is None:
+            return 200, {"status": "disabled"}
+        report = monitor.evaluate()
+        document: Dict[str, object] = {"status": report.status}
+        document.update(report.to_dict()["quality"])
+        return 200, document
+
     def health(self) -> Tuple[int, Dict[str, object]]:
         """The ``/healthz`` verdict: ``(http_status, document)``.
 
@@ -194,6 +250,9 @@ class TelemetryServer:
         probing layer maintains (``monitor.cycles``,
         ``monitor.last_cycle_unix``) and the alert/unscorable counters,
         so batch runs and live campaigns report through one vocabulary.
+        With a health monitor active the document also carries the SLO
+        verdict, and a PAGE state is a 503 — a load balancer should
+        stop trusting a barometer whose own SLOs are burning.
         """
         now = time.time()
         snap = self.registry.snapshot()
@@ -226,6 +285,13 @@ class TelemetryServer:
             "open_breakers": gauges.get("probe.circuit.open", 0.0),
             "degraded_regions": gauges.get("score.degraded.regions", 0.0),
         }
+        monitor = self.health_monitor()
+        if monitor is not None:
+            slo_state = monitor.evaluate().status
+            document["slo"] = slo_state
+            if reason is None and slo_state == "page":
+                reason = "slo burn rate at page severity"
+                document["status"] = "page"
         if reason:
             document["reason"] = reason
         return (503 if reason else 200), document

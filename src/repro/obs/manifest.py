@@ -124,6 +124,12 @@ class RunManifest:
     #: scored). Same apples-to-apples caveat as ``kernel``: sketch
     #: scores are estimates, so diffs across planes are expected noise.
     quantiles: Optional[str] = None
+    #: End-of-run :class:`~repro.obs.slo.HealthReport` as a plain dict
+    #: (SLO states, burn rates, data-quality section, drift events);
+    #: None for runs without a health monitor and for manifests written
+    #: before the health subsystem existed. Provenance: a published
+    #: score's manifest records whether its feeding data met its SLOs.
+    health: Optional[Dict[str, Any]] = None
 
     @property
     def duration_s(self) -> float:
@@ -149,6 +155,7 @@ class RunManifest:
             },
             "kernel": self.kernel,
             "quantiles": self.quantiles,
+            "health": self.health,
         }
 
     @classmethod
@@ -171,6 +178,7 @@ class RunManifest:
             },
             kernel=document.get("kernel"),
             quantiles=document.get("quantiles"),
+            health=document.get("health"),
         )
 
     def save(self, path: _PathLike) -> None:
@@ -210,6 +218,7 @@ class RunContext:
         self._degraded: Dict[str, List[str]] = {}
         self._kernel: Optional[str] = None
         self._quantiles: Optional[str] = None
+        self._health: Optional[Dict[str, Any]] = None
 
     def set_config(self, config: "IQBConfig") -> None:
         """Record the scoring config this run used (last write wins)."""
@@ -222,6 +231,20 @@ class RunContext:
     def set_quantiles(self, quantiles: Optional[str]) -> None:
         """Record the run's quantile-plane override (None = config)."""
         self._quantiles = None if quantiles is None else str(quantiles)
+
+    def set_health_report(self, report: Any) -> None:
+        """Record the end-of-run health report (last write wins).
+
+        Accepts a :class:`~repro.obs.slo.HealthReport` or an
+        already-serialized dict, so interrupt paths can hand over
+        whatever they captured before the run died.
+        """
+        if report is None:
+            self._health = None
+        elif isinstance(report, Mapping):
+            self._health = dict(report)
+        else:
+            self._health = report.to_dict()
 
     def add_input(
         self, path: _PathLike, stats: Optional["IngestStats"] = None
@@ -268,6 +291,7 @@ class RunContext:
             degraded=dict(self._degraded),
             kernel=self._kernel,
             quantiles=self._quantiles,
+            health=self._health,
         )
 
     def write(

@@ -104,19 +104,44 @@ class Timer:
     lock is off every per-record path.
     """
 
-    __slots__ = ("name", "count", "total", "_digest", "_digest_lock")
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "max_value",
+        "exemplar",
+        "_digest",
+        "_digest_lock",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
+        #: Largest observation so far (None before any observation).
+        self.max_value: Optional[float] = None
+        #: Trace context of the largest observation — the span id a
+        #: caller attached via ``observe(..., exemplar=...)`` — so a
+        #: slow outlier in a timer points straight at its slice in the
+        #: Chrome trace export. None until an exemplar-bearing
+        #: observation sets the maximum.
+        self.exemplar: Optional[str] = None
         self._digest: Optional["TDigest"] = None
         self._digest_lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one observation (seconds for latency timers)."""
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record one observation (seconds for latency timers).
+
+        ``exemplar`` optionally attaches a span id to the observation;
+        the timer keeps the exemplar of its largest observation (the
+        slow-shard pointer an operator actually wants).
+        """
         self.count += 1
         self.total += value
+        if self.max_value is None or value >= self.max_value:
+            self.max_value = value
+            if exemplar is not None:
+                self.exemplar = exemplar
         with self._digest_lock:
             if self._digest is None:
                 # Lazy: repro.obs must not import repro.measurements at
@@ -157,16 +182,26 @@ class Timer:
         count: int,
         total: float,
         digest_state: Optional[dict] = None,
+        max_value: Optional[float] = None,
+        exemplar: Optional[str] = None,
     ) -> None:
         """Fold another timer's observations into this one.
 
         ``count``/``total`` add; when ``digest_state`` (from
         :meth:`digest_state`) is provided the centroid sketches merge,
         so quantiles over the union stay truthful. Without it only the
-        count/total/mean are combined.
+        count/total/mean are combined. The larger of the two maxima
+        keeps its exemplar, so a merged registry still points at the
+        globally slowest span.
         """
         self.count += int(count)
         self.total += float(total)
+        if max_value is not None and (
+            self.max_value is None or max_value >= self.max_value
+        ):
+            self.max_value = float(max_value)
+            if exemplar is not None:
+                self.exemplar = exemplar
         if not digest_state:
             return
         from repro.measurements.tdigest import TDigest
@@ -187,6 +222,8 @@ class Timer:
         """Drop all observations in place."""
         self.count = 0
         self.total = 0.0
+        self.max_value = None
+        self.exemplar = None
         with self._digest_lock:
             self._digest = None
 
@@ -302,6 +339,10 @@ class MetricsRegistry:
                 entry["p50_s"] = instrument.quantile(50.0)
                 entry["p95_s"] = instrument.quantile(95.0)
                 entry["max_s"] = instrument.quantile(100.0)
+                # Emitted only when set, so exemplar-free snapshots
+                # keep their pre-existing shape.
+                if instrument.exemplar is not None:
+                    entry["exemplar"] = instrument.exemplar
                 if include_digests:
                     state = instrument.digest_state()
                     if state is not None:
@@ -336,10 +377,13 @@ class MetricsRegistry:
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(float(value))
         for name, entry in snapshot.get("timers", {}).items():
+            raw_max = entry.get("max_s")
             self.timer(name).merge_from(
                 int(entry.get("count", 0)),
                 float(entry.get("total_s", 0.0)),
                 entry.get("digest"),
+                max_value=None if raw_max is None else float(raw_max),
+                exemplar=entry.get("exemplar"),
             )
 
     def reset(self) -> None:

@@ -1,0 +1,476 @@
+"""Declarative SLOs over the barometer's own health signals.
+
+The paper's framework only means something while the measurement
+pipelines feeding it are themselves healthy — Feamster & Livingood's
+point that measurement *infrastructure* must be continuously validated
+before its numbers are trusted. This module turns that into the
+standard SRE machinery: a rule file declares objectives over the
+pipeline's data-quality signals, and a multi-window burn-rate engine
+turns violations into OK/WARN/PAGE verdicts.
+
+Four signal kinds are understood, matching what
+:class:`~repro.obs.health.HealthMonitor` tracks:
+
+* ``freshness``    — seconds since the last accepted measurement per
+  (region, dataset) cell, judged against ``threshold_s``;
+* ``completeness`` — observed vs expected sample counts per closed
+  window, judged against ``min_ratio``;
+* ``error_rate``   — the per-tick delta of a bad/total counter pair
+  from the metrics registry (e.g. skipped ingest lines over read
+  lines), judged against the rule's error budget ``1 - target``;
+* ``latency``      — a registry timer's percentile (e.g. scoring
+  latency) judged against ``threshold_s``.
+
+**Burn-rate math.** Every evaluation tick contributes one good/bad
+sample per rule. Over a sliding window, ``burn = bad_fraction /
+(1 - target)`` — how many times faster than "just meets the SLO" the
+error budget is being spent (burn 1.0 exhausts the budget exactly at
+the window's end; burn 10 exhausts it 10x early). Two windows are
+evaluated per rule — a *fast* one (default 1h) that reacts quickly and
+a *slow* one (default 6h) that filters blips — and the state is taken
+from the **smaller** of the two burns: PAGE needs both windows burning
+at ``page_burn``, WARN both at ``warn_burn``, so a transient spike
+(fast high, slow low) stays quiet and recovery (fast drains first) is
+prompt. The engine is driven entirely by the timestamps handed to
+:meth:`SLOEvaluator.sample` / :meth:`SLOEvaluator.statuses`, so tests
+inject clocks and replays are deterministic — there is no hidden
+``time.time()`` anywhere in the evaluation path.
+
+Rule files are JSON first (always available); YAML loads through an
+optional ``pyyaml`` import and fails with a clear error when the
+dependency is absent.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .registry import gauge
+
+#: Ordered severity scale: index = numeric severity (exported as the
+#: ``iqb_slo_state`` gauge value).
+STATES: Tuple[str, ...] = ("ok", "warn", "page")
+
+SIGNALS: Tuple[str, ...] = (
+    "freshness",
+    "completeness",
+    "error_rate",
+    "latency",
+)
+
+#: Default sliding windows (seconds): 1h fast / 6h slow.
+DEFAULT_FAST_WINDOW_S = 3600.0
+DEFAULT_SLOW_WINDOW_S = 21600.0
+
+
+def worst_state(states: Sequence[str]) -> str:
+    """The most severe of the given states (``"ok"`` when empty)."""
+    if not states:
+        return STATES[0]
+    return STATES[max(STATES.index(state) for state in states)]
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative objective over a pipeline health signal.
+
+    Args:
+        name: unique rule name (labels the ``slo.burn_rate.<name>``
+            gauge and every report entry).
+        signal: one of :data:`SIGNALS`.
+        target: the fraction of evaluation ticks that must find the
+            signal healthy; the error budget is ``1 - target``.
+        dataset / region: optional selectors narrowing freshness and
+            completeness rules to one dataset and/or region (``None``
+            matches all).
+        threshold_s: the freshness age limit, or the latency budget,
+            in seconds (required for those signals).
+        min_ratio: the completeness floor (observed/expected).
+        bad_counter / total_counter: registry counter names whose
+            per-tick delta ratio drives an ``error_rate`` rule.
+        timer: registry timer name for a ``latency`` rule.
+        percentile: which percentile of the timer to judge.
+        fast_window_s / slow_window_s: the two burn-rate windows.
+        warn_burn / page_burn: burn thresholds for WARN and PAGE.
+    """
+
+    name: str
+    signal: str
+    target: float = 0.99
+    dataset: Optional[str] = None
+    region: Optional[str] = None
+    threshold_s: Optional[float] = None
+    min_ratio: float = 0.9
+    bad_counter: Optional[str] = None
+    total_counter: Optional[str] = None
+    timer: Optional[str] = None
+    percentile: float = 95.0
+    fast_window_s: float = DEFAULT_FAST_WINDOW_S
+    slow_window_s: float = DEFAULT_SLOW_WINDOW_S
+    warn_burn: float = 2.0
+    page_burn: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO rule requires a name")
+        if self.signal not in SIGNALS:
+            raise ValueError(
+                f"unknown SLO signal {self.signal!r} (have {SIGNALS})"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"target must be in (0, 1): {self.target} ({self.name})"
+            )
+        if self.signal in ("freshness", "latency"):
+            if self.threshold_s is None or self.threshold_s <= 0:
+                raise ValueError(
+                    f"{self.signal} rule {self.name!r} requires a "
+                    f"positive threshold_s"
+                )
+        if self.signal == "completeness" and not 0.0 < self.min_ratio <= 1.0:
+            raise ValueError(
+                f"min_ratio must be in (0, 1]: {self.min_ratio} "
+                f"({self.name})"
+            )
+        if self.signal == "error_rate" and (
+            not self.bad_counter or not self.total_counter
+        ):
+            raise ValueError(
+                f"error_rate rule {self.name!r} requires bad_counter "
+                f"and total_counter"
+            )
+        if self.signal == "latency" and not self.timer:
+            raise ValueError(
+                f"latency rule {self.name!r} requires a timer name"
+            )
+        if not 0.0 < self.fast_window_s <= self.slow_window_s:
+            raise ValueError(
+                f"windows must satisfy 0 < fast <= slow: "
+                f"{self.fast_window_s} / {self.slow_window_s} ({self.name})"
+            )
+        if not 0.0 < self.warn_burn <= self.page_burn:
+            raise ValueError(
+                f"burns must satisfy 0 < warn <= page: "
+                f"{self.warn_burn} / {self.page_burn} ({self.name})"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The allowed bad fraction (floored away from zero)."""
+        return max(1.0 - self.target, 1e-9)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (round-trips through :func:`rule_from_dict`)."""
+        document: Dict[str, Any] = {
+            "name": self.name,
+            "signal": self.signal,
+            "target": self.target,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "warn_burn": self.warn_burn,
+            "page_burn": self.page_burn,
+        }
+        for key in (
+            "dataset",
+            "region",
+            "threshold_s",
+            "bad_counter",
+            "total_counter",
+            "timer",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                document[key] = value
+        if self.signal == "completeness":
+            document["min_ratio"] = self.min_ratio
+        if self.signal == "latency":
+            document["percentile"] = self.percentile
+        return document
+
+
+_RULE_FIELDS = frozenset(
+    (
+        "name",
+        "signal",
+        "target",
+        "dataset",
+        "region",
+        "threshold_s",
+        "min_ratio",
+        "bad_counter",
+        "total_counter",
+        "timer",
+        "percentile",
+        "fast_window_s",
+        "slow_window_s",
+        "warn_burn",
+        "page_burn",
+    )
+)
+
+
+def rule_from_dict(document: Mapping[str, Any]) -> SLORule:
+    """Build one :class:`SLORule` from a rule-file entry.
+
+    Raises:
+        repro.core.exceptions.SchemaError: on unknown keys, so a typo
+            in a rule file fails loudly instead of silently relaxing
+            the objective.
+    """
+    from repro.core.exceptions import SchemaError
+
+    unknown = sorted(set(document) - _RULE_FIELDS)
+    if unknown:
+        raise SchemaError(
+            f"unknown SLO rule key(s): {', '.join(unknown)} "
+            f"(rule {document.get('name', '?')!r})"
+        )
+    try:
+        return SLORule(**dict(document))
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"invalid SLO rule: {exc}") from exc
+
+
+def load_rules(path: str) -> Tuple[SLORule, ...]:
+    """Load SLO rules from a JSON (or, with pyyaml, YAML) file.
+
+    The document is either a bare list of rule objects or a mapping
+    with a top-level ``"rules"`` list. JSON needs nothing beyond the
+    stdlib; ``.yaml``/``.yml`` files import pyyaml lazily and raise a
+    :class:`~repro.core.exceptions.SchemaError` naming the missing
+    dependency when it is not installed.
+    """
+    from repro.core.exceptions import SchemaError
+
+    text = open(path, "r", encoding="utf-8").read()
+    lowered = str(path).lower()
+    if lowered.endswith((".yaml", ".yml")):
+        try:
+            import yaml  # type: ignore[import-untyped]
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise SchemaError(
+                f"YAML rule file {path} requires pyyaml; install it or "
+                f"use the JSON rule format"
+            ) from exc
+        document = yaml.safe_load(text)
+    else:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"invalid JSON rule file {path}: {exc}") from exc
+    if isinstance(document, Mapping):
+        entries = document.get("rules")
+    else:
+        entries = document
+    if not isinstance(entries, list):
+        raise SchemaError(
+            f"rule file {path} must be a list of rules or "
+            f'{{"rules": [...]}}'
+        )
+    rules = tuple(rule_from_dict(entry) for entry in entries)
+    names = [rule.name for rule in rules]
+    if len(set(names)) != len(names):
+        dupes = sorted({name for name in names if names.count(name) > 1})
+        raise SchemaError(f"duplicate SLO rule name(s): {', '.join(dupes)}")
+    return rules
+
+
+class _BurnSeries:
+    """Ring of (timestamp, bad) evaluation samples for one rule.
+
+    Samples older than the slow window are pruned on insert, so memory
+    is bounded by tick rate x slow window regardless of campaign
+    length.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: Deque[Tuple[float, bool]] = deque()
+
+    def add(self, at: float, bad: bool, horizon_s: float) -> None:
+        samples = self._samples
+        samples.append((float(at), bool(bad)))
+        cutoff = at - horizon_s
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def window(self, at: float, window_s: float) -> Tuple[int, int]:
+        """(total, bad) sample counts inside ``[at - window_s, at]``."""
+        cutoff = at - window_s
+        total = bad = 0
+        for when, was_bad in self._samples:
+            if cutoff <= when <= at:
+                total += 1
+                if was_bad:
+                    bad += 1
+        return total, bad
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One rule's deterministic verdict at an evaluation instant."""
+
+    name: str
+    signal: str
+    state: str
+    burn_fast: float
+    burn_slow: float
+    samples: int
+    bad: int
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "signal": self.signal,
+            "state": self.state,
+            "burn_fast": round(self.burn_fast, 4),
+            "burn_slow": round(self.burn_slow, 4),
+            "samples": self.samples,
+            "bad": self.bad,
+            "detail": self.detail,
+        }
+
+
+class SLOEvaluator:
+    """Multi-window burn-rate evaluation over a fixed rule set.
+
+    :meth:`sample` records one good/bad observation per rule (the
+    health monitor calls it every tick); :meth:`statuses` folds the
+    sample history into per-rule verdicts at an explicit instant and
+    publishes ``slo.burn_rate.<rule>`` / ``slo.state.<rule>`` gauges.
+    Both are pure functions of the timestamps given — no wall clock.
+    """
+
+    def __init__(self, rules: Sequence[SLORule]) -> None:
+        self.rules: Tuple[SLORule, ...] = tuple(rules)
+        self._by_name: Dict[str, SLORule] = {
+            rule.name: rule for rule in self.rules
+        }
+        self._series: Dict[str, _BurnSeries] = {
+            rule.name: _BurnSeries() for rule in self.rules
+        }
+        self._details: Dict[str, str] = {}
+
+    def sample(
+        self, name: str, bad: bool, at: float, detail: str = ""
+    ) -> None:
+        """Record one evaluation tick's verdict for rule ``name``."""
+        rule = self._by_name.get(name)
+        if rule is None:
+            raise KeyError(f"unknown SLO rule: {name!r}")
+        self._series[name].add(at, bad, rule.slow_window_s)
+        self._details[name] = detail
+
+    def statuses(self, at: float) -> Tuple[SLOStatus, ...]:
+        """Every rule's verdict at instant ``at``, sorted by rule name."""
+        out: List[SLOStatus] = []
+        for rule in sorted(self.rules, key=lambda r: r.name):
+            series = self._series[rule.name]
+            fast_total, fast_bad = series.window(at, rule.fast_window_s)
+            slow_total, slow_bad = series.window(at, rule.slow_window_s)
+            burn_fast = self._burn(fast_total, fast_bad, rule)
+            burn_slow = self._burn(slow_total, slow_bad, rule)
+            effective = min(burn_fast, burn_slow)
+            if effective >= rule.page_burn:
+                state = "page"
+            elif effective >= rule.warn_burn:
+                state = "warn"
+            else:
+                state = "ok"
+            gauge(f"slo.burn_rate.{rule.name}").set(
+                burn_fast if math.isfinite(burn_fast) else 1e9
+            )
+            gauge(f"slo.state.{rule.name}").set(float(STATES.index(state)))
+            out.append(
+                SLOStatus(
+                    name=rule.name,
+                    signal=rule.signal,
+                    state=state,
+                    burn_fast=burn_fast,
+                    burn_slow=burn_slow,
+                    samples=slow_total,
+                    bad=slow_bad,
+                    detail=self._details.get(rule.name, ""),
+                )
+            )
+        return tuple(out)
+
+    @staticmethod
+    def _burn(total: int, bad: int, rule: SLORule) -> float:
+        if total == 0:
+            return 0.0
+        return (bad / total) / rule.error_budget
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The deterministic end-to-end health verdict.
+
+    What ``/slo``, ``/quality``, ``iqb health --json`` and the run
+    manifest all serialize: an overall state (the worst rule verdict),
+    per-rule burn-rate statuses, the data-quality section (freshness /
+    completeness / stale cells), and recent score-drift events. The
+    dictionary form is fully sorted, so two evaluations over the same
+    inputs byte-compare equal.
+    """
+
+    generated_at: float
+    status: str
+    rules: Tuple[SLOStatus, ...]
+    quality: Mapping[str, Any] = field(default_factory=dict)
+    drift: Tuple[Dict[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "generated_at": self.generated_at,
+            "status": self.status,
+            "rules": [status.to_dict() for status in self.rules],
+            "quality": _sorted_deep(self.quality),
+            "drift": [dict(event) for event in self.drift],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "HealthReport":
+        return cls(
+            generated_at=float(document.get("generated_at", 0.0)),
+            status=str(document.get("status", "ok")),
+            rules=tuple(
+                SLOStatus(
+                    name=str(entry["name"]),
+                    signal=str(entry["signal"]),
+                    state=str(entry["state"]),
+                    burn_fast=float(entry.get("burn_fast", 0.0)),
+                    burn_slow=float(entry.get("burn_slow", 0.0)),
+                    samples=int(entry.get("samples", 0)),
+                    bad=int(entry.get("bad", 0)),
+                    detail=str(entry.get("detail", "")),
+                )
+                for entry in document.get("rules", ())
+            ),
+            quality=dict(document.get("quality", {})),
+            drift=tuple(dict(e) for e in document.get("drift", ())),
+        )
+
+
+def _sorted_deep(value: Any) -> Any:
+    """Recursively key-sort mappings for byte-stable serialization."""
+    if isinstance(value, Mapping):
+        return {key: _sorted_deep(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_sorted_deep(item) for item in value]
+    return value

@@ -12,9 +12,12 @@ Only the stdlib is involved, and only the *document* shape matters:
   recorder's epoch;
 * ``pid`` is the real process id, ``tid`` the recording thread's id,
   with metadata events naming the process and each thread;
-* span ``fields`` and the slash-joined ``path``/``depth`` ride in
-  ``args``, so clicking a slice in the viewer shows the same context a
-  DEBUG span log line carries.
+* span ``fields``, the slash-joined ``path``/``depth``, and the trace
+  context (``trace_id``/``span_id``/``parent_id``) ride in ``args``,
+  so clicking a slice in the viewer shows the same context a DEBUG
+  span log line carries — and shard slices adopted from forked
+  workers (see :meth:`~repro.obs.spans.TraceRecorder.adopt`) are
+  correlated to their parent fan-out span by shared trace id.
 """
 
 from __future__ import annotations
@@ -56,6 +59,11 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, object]:
                 }
             )
         args: Dict[str, object] = {"path": record.path, "depth": record.depth}
+        if record.trace_id:
+            args["trace_id"] = record.trace_id
+            args["span_id"] = record.span_id
+            if record.parent_id is not None:
+                args["parent_id"] = record.parent_id
         for key, value in record.fields.items():
             args[key] = value if isinstance(value, (int, float, bool)) else str(value)
         events.append(

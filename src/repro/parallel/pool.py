@@ -51,14 +51,21 @@ Design decisions, in order of importance:
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import REGISTRY, counter, gauge, span
+from repro.obs.spans import (
+    TraceRecorder,
+    get_trace_recorder,
+    install_trace_recorder,
+    set_remote_parent,
+)
 
 _SHARDS_COMPLETED = counter("parallel.shards.completed")
 _SHARDS_FAILED = counter("parallel.shards.failed")
@@ -111,21 +118,65 @@ def _picklable(obj: object) -> bool:
     return True
 
 
-def _run_shard(worker: ShardWorker, index: int, shard: Any) -> Tuple:
+def _shipped_spans(
+    recorder: Optional[TraceRecorder],
+) -> Optional[Tuple[float, List[Dict[str, object]]]]:
+    """A worker recorder's records as a picklable adopt() payload.
+
+    Field values are coerced the same way the Chrome exporter coerces
+    them, so an unpicklable annotation object cannot poison the shard
+    result on its way home.
+    """
+    if recorder is None:
+        return None
+    entries: List[Dict[str, object]] = []
+    for record in recorder.records():
+        entry = dataclasses.asdict(record)
+        entry["fields"] = {
+            key: value if isinstance(value, (int, float, bool)) else str(value)
+            for key, value in record.fields.items()
+        }
+        entries.append(entry)
+    return (recorder.started_unix, entries)
+
+
+def _run_shard(
+    worker: ShardWorker,
+    index: int,
+    shard: Any,
+    trace_ctx: Optional[Tuple[str, str]] = None,
+) -> Tuple:
     """Worker-side wrapper: isolate telemetry, contain failures.
 
     Runs in the forked child. The registry reset makes the returned
     snapshot cover exactly this shard even when the pool reuses one
     process for several shards (without it a reused worker would ship
-    cumulative counts and the parent would double-merge).
+    cumulative counts and the parent would double-merge). Trace
+    isolation mirrors it: the fork-inherited trace recorder (when the
+    parent is tracing) is replaced with a private one whose records
+    ship home with the result, and ``trace_ctx`` — the parent fan-out
+    span's (trace_id, span_id) — is adopted so the shard span nests
+    under it in the merged trace.
     """
     from repro.obs import reset
 
     reset()
+    recorder: Optional[TraceRecorder] = None
+    if get_trace_recorder() is not None:
+        recorder = TraceRecorder()
+        install_trace_recorder(recorder)
+    if trace_ctx is not None:
+        set_remote_parent(*trace_ctx)
     try:
         with span("shard", shard=index, worker=os.getpid()):
             result = worker(_PAYLOAD, shard)
-        return ("ok", index, result, REGISTRY.snapshot(include_digests=True))
+        return (
+            "ok",
+            index,
+            result,
+            REGISTRY.snapshot(include_digests=True),
+            _shipped_spans(recorder),
+        )
     except Exception as exc:
         transported: object = (
             exc if _picklable(exc) else f"{type(exc).__name__}: {exc}"
@@ -135,6 +186,7 @@ def _run_shard(worker: ShardWorker, index: int, shard: Any) -> Tuple:
             index,
             transported,
             REGISTRY.snapshot(include_digests=True),
+            _shipped_spans(recorder),
         )
 
 
@@ -284,18 +336,27 @@ def run_sharded(
     try:
         with span(
             "parallel_fanout", workers=pool_size, shards=len(shards)
-        ):
+        ) as fanout:
+            trace_ctx = (fanout.trace_id, fanout.span_id)
             with ProcessPoolExecutor(
                 max_workers=pool_size,
                 mp_context=multiprocessing.get_context("fork"),
             ) as pool:
                 futures = [
-                    pool.submit(_run_shard, worker, index, shard)
+                    pool.submit(
+                        _run_shard, worker, index, shard, trace_ctx
+                    )
                     for index, shard in enumerate(shards)
                 ]
                 for index, future in enumerate(futures):
                     try:
-                        status, _, outcome, metrics = future.result()
+                        (
+                            status,
+                            _,
+                            outcome,
+                            metrics,
+                            shipped,
+                        ) = future.result()
                     except BrokenProcessPool as exc:
                         _recover_shard(
                             worker, payload, shards[index], index, keys,
@@ -315,6 +376,10 @@ def run_sharded(
                         continue
                     if metrics:
                         REGISTRY.merge(metrics)
+                    if shipped is not None:
+                        recorder = get_trace_recorder()
+                        if recorder is not None:
+                            recorder.adopt(*shipped)
                     if status == "error":
                         _recover_shard(
                             worker, payload, shards[index], index, keys,

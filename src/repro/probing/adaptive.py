@@ -136,6 +136,19 @@ class AdaptiveAllocator:
         self.breakers = breakers
         self.quantiles = quantiles
 
+    @staticmethod
+    def _health_tick() -> None:
+        """Sample the installed health monitor's SLOs after a round.
+
+        Adaptive campaigns close no monitor windows, so without this
+        the SLO burn-rate series would never accumulate samples.
+        """
+        from repro.obs.health import get_health_monitor
+
+        health = get_health_monitor()
+        if health is not None:
+            health.tick()
+
     def _schedule(
         self, allocation: Mapping[str, int], round_index: int
     ) -> List[ProbeRequest]:
@@ -291,6 +304,7 @@ class AdaptiveAllocator:
         remaining = total_budget - pilot_total
         _ROUNDS_DONE.set(1.0)
         _BUDGET_LEFT.set(remaining)
+        self._health_tick()
         adaptive_rounds = max(0, rounds - 1)
         for round_index in range(1, adaptive_rounds + 1):
             if remaining <= 0:
@@ -306,6 +320,7 @@ class AdaptiveAllocator:
             remaining -= sum(allocation.values())
             _ROUNDS_DONE.set(round_index + 1)
             _BUDGET_LEFT.set(remaining)
+            self._health_tick()
             audit.append(
                 AllocationRound(
                     index=round_index,

@@ -24,6 +24,7 @@ from repro.measurements.collection import MeasurementSet
 from repro.measurements.record import Measurement
 from repro.measurements.sketchplane import SketchPlane
 from repro.obs import counter, gauge, get_logger
+from repro.obs.health import get_health_monitor
 
 _logger = get_logger(__name__)
 
@@ -36,6 +37,12 @@ _ALERTS = counter("monitor.alerts")
 # keeps completing cycles; a stalled one stops advancing these.
 _CYCLES = gauge("monitor.cycles")
 _LAST_CYCLE = gauge("monitor.last_cycle_unix")
+
+# Streamed-but-unscored measurements in the open sketch window: a
+# score_pending loop that stalls shows up as this gauge climbing while
+# monitor.cycles stands still (the complement of the stalled-campaign
+# 503, which only fires once cycles stop entirely).
+_PENDING = gauge("monitor.pending.records")
 
 
 @dataclass(frozen=True)
@@ -154,6 +161,10 @@ class BarometerMonitor:
                 if pending
                 else SketchPlane()
             )
+            # A resumed campaign reports its carried-over buffer; the
+            # liveness gauges (cycles, last_cycle_unix) are left alone
+            # so a journal restore never masquerades as fresh progress.
+            _PENDING.set(float(len(self._pending)))
 
     def window_state(
         self, window_start: float, window_end: float
@@ -250,6 +261,7 @@ class BarometerMonitor:
                 "monitor scores whole windows via ingest()"
             )
         self._pending.add(record)
+        _PENDING.set(float(len(self._pending)))
 
     def pending(self) -> int:
         """Measurements streamed into the open window so far."""
@@ -285,6 +297,7 @@ class BarometerMonitor:
                 samples,
             )
         self._pending = SketchPlane(delta=self._pending.delta)
+        _PENDING.set(0.0)
         return self._close_window(scored, window_start, window_end)
 
     def ingest(
@@ -314,6 +327,14 @@ class BarometerMonitor:
         if self._pending is not None:
             self._pending.extend(window)
             return self.score_pending(window_start, window_end)
+        # Exact mode has no live plane to notify the health monitor, so
+        # arrivals are fed here, once per windowed record.
+        health = get_health_monitor()
+        if health is not None:
+            for record in window:
+                health.record_arrival(
+                    record.region, record.source, record.timestamp
+                )
         # Group the window once; every region's subset shares the index.
         by_region = window.group_by_region()
         scored = {
@@ -356,6 +377,13 @@ class BarometerMonitor:
                 alerts.append(alert)
         _CYCLES.inc()
         _LAST_CYCLE.set(time.time())
+        health = get_health_monitor()
+        if health is not None:
+            health.window_closed(
+                window_start,
+                window_end,
+                {region: score for region, (score, _) in scored.items()},
+            )
         return alerts
 
     def _evaluate(

@@ -35,6 +35,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.core.exceptions import BackendError
 from repro.obs import counter, gauge, get_logger, timer
+from repro.obs.health import get_health_monitor
 from repro.resilience import CampaignJournal, RetryPolicy, probe_key
 from repro.resilience.breaker import BreakerBoard
 
@@ -286,6 +287,20 @@ class ProbeRunner:
             if error is None:
                 if guard is not None:
                     guard.record_success()
+                # The sink accepted the measurement: advance health
+                # freshness. Freshness-only (count=False) because a
+                # sketch-feeding sink already notifies per record —
+                # the freshness watermark is an idempotent max, but a
+                # second completeness count would double-book the
+                # sample.
+                health = get_health_monitor()
+                if health is not None:
+                    health.record_arrival(
+                        measurement.region,
+                        measurement.source,
+                        measurement.timestamp,
+                        count=False,
+                    )
                 return True, attempt, ""
             last_error = error
             if guard is not None:

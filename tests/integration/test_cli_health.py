@@ -1,0 +1,216 @@
+"""Integration tests for `iqb health` and `monitor --slo-rules`.
+
+The subcommand replays a measurement file through the sketch-backed
+monitor with a HealthMonitor installed, so these tests cover the whole
+wire: arrival hooks -> window closes -> burn-rate evaluation -> table /
+JSON / manifest surfaces and exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.manifest import RunManifest
+
+
+@pytest.fixture(scope="module")
+def campaign_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("health") / "campaign.jsonl"
+    code = main(
+        [
+            "simulate",
+            str(path),
+            "--regions",
+            "metro-fiber",
+            "rural-dsl",
+            "--tests",
+            "40",
+            "--subscribers",
+            "20",
+            "--seed",
+            "7",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def paging_rules(tmp_path):
+    # A 1s freshness bound against day-wide windows: every evaluation
+    # tick is bad, so the rule pages by the end of any replay.
+    path = tmp_path / "rules.json"
+    path.write_text(
+        json.dumps(
+            [
+                {
+                    "name": "fresh-tight",
+                    "signal": "freshness",
+                    "target": 0.9,
+                    "threshold_s": 1.0,
+                }
+            ]
+        )
+    )
+    return path
+
+
+class TestHealthSubcommand:
+    def test_table_lists_default_rules_per_dataset(
+        self, campaign_file, capsys
+    ):
+        code = main(["health", str(campaign_file)])
+        out = capsys.readouterr().out
+        assert code == 0  # warn at worst on a healthy simulation
+        for column in ("Rule", "Signal", "State", "Burn (fast)"):
+            assert column in out
+        # One freshness rule per dataset present in the file, plus the
+        # pipeline-level rules.
+        for rule in (
+            "freshness-ndt",
+            "freshness-ookla",
+            "freshness-cloudflare",
+            "completeness",
+            "ingest-errors",
+            "scoring-latency",
+        ):
+            assert rule in out
+        assert "health: " in out
+
+    def test_json_report_is_deterministic(self, campaign_file, capsys):
+        assert main(["health", str(campaign_file), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["health", str(campaign_file), "--json"]) == 0
+        second = capsys.readouterr().out
+        # Data-time evaluation: same file, byte-identical report.
+        assert first == second
+        report = json.loads(first)
+        assert report["status"] in ("ok", "warn", "page")
+        names = [rule["name"] for rule in report["rules"]]
+        assert names == sorted(names)
+        quality = report["quality"]
+        assert quality["freshness_s"]["metro-fiber"]["ndt"] > 0.0
+        assert 0.0 <= quality["completeness"]["rural-dsl"]["ndt"] <= 1.0
+
+    def test_page_sets_exit_code_one(
+        self, campaign_file, paging_rules, capsys
+    ):
+        code = main(
+            [
+                "health",
+                str(campaign_file),
+                "--rules",
+                str(paging_rules),
+                "--json",
+            ]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "page"
+        (rule,) = report["rules"]
+        assert rule["name"] == "fresh-tight"
+        assert rule["state"] == "page"
+
+    def test_invalid_rules_file_is_a_usage_error(
+        self, campaign_file, tmp_path, capsys
+    ):
+        path = tmp_path / "rules.json"
+        document = {
+            "name": "typo",
+            "signal": "freshness",
+            "thresold_s": 1.0,
+        }
+        path.write_text(json.dumps([document]))
+        code = main(
+            ["health", str(campaign_file), "--rules", str(path)]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "iqb: error:" in err
+        assert "thresold_s" in err
+
+    def test_manifest_carries_the_health_report(
+        self, campaign_file, tmp_path, capsys
+    ):
+        manifest_path = tmp_path / "health.manifest.json"
+        code = main(
+            [
+                "--manifest-out",
+                str(manifest_path),
+                "health",
+                str(campaign_file),
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.health is not None
+        assert manifest.health["status"] == report["status"]
+        assert manifest.health["rules"] == report["rules"]
+
+    def test_watch_prints_one_line_per_window(
+        self, campaign_file, capsys
+    ):
+        code = main(
+            [
+                "health",
+                str(campaign_file),
+                "--watch",
+                "--cycles",
+                "2",
+                "--interval",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "window +0.0d:" in out
+        assert "window +1.0d:" in out
+        assert "window +2.0d:" not in out  # --cycles capped the replay
+        assert "health: " in out  # the final table still prints
+
+    def test_empty_input_is_a_clean_noop(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["health", str(empty)]) == 0
+        assert "no measurements" in capsys.readouterr().out
+
+
+class TestMonitorSLORules:
+    def test_monitor_reports_health_and_manifest(
+        self, campaign_file, paging_rules, tmp_path, capsys
+    ):
+        manifest_path = tmp_path / "monitor.manifest.json"
+        code = main(
+            [
+                "--manifest-out",
+                str(manifest_path),
+                "monitor",
+                str(campaign_file),
+                "--slo-rules",
+                str(paging_rules),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # monitor reports; only `health` gates exit
+        assert "health: page" in out
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.health["status"] == "page"
+
+    def test_monitor_without_flag_records_no_health(
+        self, campaign_file, tmp_path, capsys
+    ):
+        manifest_path = tmp_path / "plain.manifest.json"
+        code = main(
+            [
+                "--manifest-out",
+                str(manifest_path),
+                "monitor",
+                str(campaign_file),
+            ]
+        )
+        assert code == 0
+        assert "health:" not in capsys.readouterr().out
+        assert RunManifest.load(manifest_path).health is None

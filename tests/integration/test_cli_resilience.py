@@ -1,6 +1,7 @@
 """CLI failure handling: monitor resume, interrupts, atomic artifacts."""
 
 import json
+import re
 
 import pytest
 
@@ -178,3 +179,45 @@ class TestKeyboardInterrupt:
             str(campaign_file) in str(entry.get("path", ""))
             for entry in manifest.get("inputs", [])
         )
+
+    def test_interrupt_flushes_partial_trace(
+        self, campaign_file, capsys, monkeypatch, tmp_path
+    ):
+        # Ctrl-C used to be the one exit path that dropped the spans
+        # recorded so far; the trace must flush next to the manifest.
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.core.kernel.score_store", interrupted
+        )
+        trace_path = tmp_path / "trace.json"
+        manifest_path = tmp_path / "run.manifest.json"
+        code = main(
+            [
+                "--trace-out",
+                str(trace_path),
+                "--manifest-out",
+                str(manifest_path),
+                "score",
+                str(campaign_file),
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert re.search(
+            r"trace: wrote \d+ span\(s\) to .* \(interrupted run\)",
+            captured.err,
+        )
+        document = json.loads(trace_path.read_text())
+        spans = [
+            event
+            for event in document["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        # The grouping stage completed before the interrupt hit the
+        # kernel, and the enclosing scoring span closed on the way up.
+        names = {event["name"] for event in spans}
+        assert {"columnar_group", "score_regions"} <= names
+        assert manifest_path.exists()

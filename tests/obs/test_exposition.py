@@ -4,7 +4,13 @@ import re
 
 import pytest
 
-from repro.obs.exposition import prometheus_name, render_prometheus
+from repro.obs.exposition import (
+    escape_help,
+    escape_label_value,
+    format_labels,
+    prometheus_name,
+    render_prometheus,
+)
 from repro.obs.registry import MetricsRegistry
 
 # Prometheus text-format 0.0.4 line grammar: HELP/TYPE comments and
@@ -97,3 +103,65 @@ class TestRenderPrometheus:
 
     def test_registry_method_matches_function(self, registry):
         assert registry.render_prometheus() == render_prometheus(registry)
+
+
+def _unescape_label_value(escaped):
+    """Inverse of the 0.0.4 label-value escaping, for round-trip checks."""
+    out = []
+    i = 0
+    while i < len(escaped):
+        char = escaped[i]
+        if char == "\\":
+            nxt = escaped[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}[nxt])
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
+
+
+class TestEscaping:
+    """0.0.4 escaping of operator-supplied strings (regression: a
+    hostile region name must not corrupt the exposition)."""
+
+    HOSTILE = 'ru"ral\nnorth\\east'
+
+    def test_help_escapes_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_additionally_escapes_quote(self):
+        assert escape_label_value(self.HOSTILE) == (
+            'ru\\"ral\\nnorth\\\\east'
+        )
+
+    def test_label_value_round_trips(self):
+        assert (
+            _unescape_label_value(escape_label_value(self.HOSTILE))
+            == self.HOSTILE
+        )
+
+    def test_format_labels_renders_escaped_pairs(self):
+        rendered = format_labels(
+            {"region": self.HOSTILE, "dataset": "ookla"}
+        )
+        assert rendered == (
+            '{region="ru\\"ral\\nnorth\\\\east",dataset="ookla"}'
+        )
+
+    def test_format_labels_empty_is_empty_string(self):
+        assert format_labels({}) == ""
+
+    def test_hostile_labels_stay_on_one_physical_line(self):
+        rendered = format_labels({"region": self.HOSTILE})
+        assert "\n" not in rendered
+        # The rendered form has no *unescaped* quote except the two
+        # delimiters, so a scraper's tokenizer cannot be derailed.
+        unguarded = re.sub(r'\\.', "", rendered)
+        assert unguarded.count('"') == 2
+
+    def test_plain_values_pass_through_unchanged(self):
+        assert escape_label_value("metro-fiber") == "metro-fiber"
+        assert escape_help("IQB counter probe.runner.retried") == (
+            "IQB counter probe.runner.retried"
+        )

@@ -125,6 +125,193 @@ class TestStalling:
         assert status == 200
 
 
+def _paged_monitor():
+    """A HealthMonitor whose single freshness rule is burning at PAGE."""
+    from repro.obs.health import HealthMonitor
+    from repro.obs.slo import SLORule
+
+    rule = SLORule(
+        name="fresh",
+        signal="freshness",
+        target=0.9,
+        threshold_s=60.0,
+        fast_window_s=600.0,
+        slow_window_s=3600.0,
+    )
+    monitor = HealthMonitor(rules=(rule,))
+    monitor.record_arrival("metro", "ookla", 0.0)
+    for minute in range(2, 70):  # every tick sees age > 60s: all bad
+        monitor.tick(minute * 60.0)
+    assert monitor.evaluate().status == "page"
+    return monitor
+
+
+class TestSLOEndpoints:
+    def test_slo_without_monitor_reports_disabled(self, server):
+        status, content_type, body = _get(server.url("/slo"))
+        assert status == 200
+        assert content_type.startswith("application/json")
+        assert json.loads(body)["status"] == "disabled"
+
+    def test_quality_without_monitor_reports_disabled(self, server):
+        status, _, body = _get(server.url("/quality"))
+        assert status == 200
+        assert json.loads(body)["status"] == "disabled"
+
+    def test_slo_serves_the_health_report(self, registry):
+        with TelemetryServer(
+            registry=registry, port=0, health=_paged_monitor()
+        ) as server:
+            status, _, body = _get(server.url("/slo"))
+        assert status == 200  # the verdict is data; /healthz does 503s
+        document = json.loads(body)
+        assert document["status"] == "page"
+        (rule,) = document["rules"]
+        assert rule["name"] == "fresh"
+        assert rule["state"] == "page"
+        assert rule["burn_fast"] >= 10.0
+        assert "quality" in document and "drift" in document
+
+    def test_slo_report_is_deterministic_across_scrapes(self, registry):
+        with TelemetryServer(
+            registry=registry, port=0, health=_paged_monitor()
+        ) as server:
+            first = _get(server.url("/slo"))[2]
+            second = _get(server.url("/slo"))[2]
+        assert first == second
+
+    def test_quality_serves_freshness_and_stale_cells(self, registry):
+        with TelemetryServer(
+            registry=registry, port=0, health=_paged_monitor()
+        ) as server:
+            status, _, body = _get(server.url("/quality"))
+        assert status == 200
+        document = json.loads(body)
+        assert document["status"] == "page"
+        assert document["freshness_s"]["metro"]["ookla"] > 60.0
+        assert document["stale"] == {"metro": ["ookla"]}
+
+    def test_healthz_turns_page_into_503(self, registry):
+        with TelemetryServer(
+            registry=registry, port=0, health=_paged_monitor()
+        ) as server:
+            status, _, body = _get(server.url("/healthz"))
+        assert status == 503
+        document = json.loads(body)
+        assert document["status"] == "page"
+        assert document["slo"] == "page"
+        assert "burn rate" in document["reason"]
+
+    def test_healthz_carries_ok_slo_without_503(self, registry):
+        from repro.obs.health import HealthMonitor
+
+        with TelemetryServer(
+            registry=registry, port=0, health=HealthMonitor()
+        ) as server:
+            status, _, body = _get(server.url("/healthz"))
+        assert status == 200
+        assert json.loads(body)["slo"] == "ok"
+
+    def test_metrics_appends_labeled_health_families(self, registry):
+        with TelemetryServer(
+            registry=registry, port=0, health=_paged_monitor()
+        ) as server:
+            status, _, body = _get(server.url("/metrics"))
+        assert status == 200
+        assert body.startswith(registry.render_prometheus())
+        assert 'iqb_health_freshness_seconds{region="metro"' in body
+        assert 'iqb_slo_burn_rate{rule="fresh",window="fast"}' in body
+
+    def test_installed_monitor_picked_up_at_request_time(self, server):
+        from repro.obs.health import (
+            install_health_monitor,
+            uninstall_health_monitor,
+        )
+
+        install_health_monitor(_paged_monitor())
+        try:
+            status, _, body = _get(server.url("/slo"))
+        finally:
+            uninstall_health_monitor()
+        assert status == 200
+        assert json.loads(body)["status"] == "page"
+        # And gone again once uninstalled.
+        assert json.loads(_get(server.url("/slo"))[2])["status"] == (
+            "disabled"
+        )
+
+    def test_404_lists_all_endpoints(self, server):
+        _, _, body = _get(server.url("/nope"))
+        for path in ("/metrics", "/healthz", "/slo", "/quality"):
+            assert path in body
+
+
+class TestSketchResumeLiveness:
+    """A journal restore must not masquerade as campaign progress."""
+
+    def test_restore_keeps_liveness_gauges_and_healthz_verdict(
+        self, config
+    ):
+        from repro.measurements.collection import MeasurementSet
+        from repro.measurements.record import Measurement
+        from repro.obs.registry import REGISTRY
+        from repro.probing.monitor import BarometerMonitor
+
+        def window_records(day, n=40):
+            return MeasurementSet(
+                Measurement(
+                    region="r",
+                    source="ndt" if i % 2 == 0 else "cloudflare",
+                    timestamp=day * 86400.0 + i * 1000.0,
+                    download_mbps=500.0,
+                    upload_mbps=200.0,
+                    latency_ms=20.0,
+                    packet_loss=0.0005,
+                )
+                for i in range(n)
+            )
+
+        monitor = BarometerMonitor(config, quantiles="sketch")
+        monitor.ingest(window_records(0), 0.0, 86400.0)
+        for record in window_records(1, n=5):
+            monitor.observe(record)  # mid-window buffer to carry over
+        state = monitor.state_dict()
+        assert "pending_sketch" in state
+
+        # The campaign dies; by restart the last completed cycle is
+        # two minutes old and the operator's threshold is 30s.
+        last_cycle = REGISTRY.gauge("monitor.last_cycle_unix")
+        last_cycle.set(time.time() - 120.0)
+        stale_value = last_cycle.value
+        cycles_before = REGISTRY.gauge("monitor.cycles").value
+
+        resumed = BarometerMonitor(config, quantiles="sketch")
+        resumed.restore_state(state)
+
+        # Restoring replayed no cycles: the liveness gauges are
+        # untouched, so /healthz still reports the campaign stalled
+        # instead of letting the restore masquerade as progress.
+        assert last_cycle.value == stale_value
+        assert REGISTRY.gauge("monitor.cycles").value == cycles_before
+        assert resumed.pending() == 5
+        assert REGISTRY.gauge("monitor.pending.records").value == 5.0
+        with TelemetryServer(
+            registry=REGISTRY, port=0, stalled_after_s=30.0
+        ) as server:
+            status, _, body = _get(server.url("/healthz"))
+        assert status == 503
+        assert json.loads(body)["status"] == "stalled"
+
+        # The first *real* cycle after the resume clears the verdict.
+        resumed.ingest(window_records(1), 86400.0, 2 * 86400.0)
+        assert last_cycle.value > stale_value
+        with TelemetryServer(
+            registry=REGISTRY, port=0, stalled_after_s=30.0
+        ) as server:
+            status, _, _ = _get(server.url("/healthz"))
+        assert status == 200
+
+
 class TestLifecycle:
     def test_start_is_idempotent(self, server):
         assert server.start() == server.port

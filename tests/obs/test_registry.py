@@ -89,6 +89,68 @@ class TestTimer:
         assert registry.timer("t") is t
 
 
+class TestTimerExemplars:
+    """The slow-outlier pointer: exemplar of the largest observation."""
+
+    def test_exemplar_tracks_the_maximum(self, registry):
+        t = registry.timer("t")
+        t.observe(0.1, exemplar="fast-span")
+        t.observe(0.9, exemplar="slow-span")
+        t.observe(0.5, exemplar="middling-span")
+        assert t.max_value == pytest.approx(0.9)
+        assert t.exemplar == "slow-span"
+
+    def test_exemplar_free_observations_leave_it_unset(self, registry):
+        t = registry.timer("t")
+        t.observe(0.5)
+        assert t.exemplar is None
+
+    def test_new_maximum_without_exemplar_keeps_old_pointer(
+        self, registry
+    ):
+        # A bare observation can displace the max; the stale span id is
+        # still the best pointer available, so it survives.
+        t = registry.timer("t")
+        t.observe(0.1, exemplar="small-span")
+        t.observe(5.0)
+        assert t.max_value == pytest.approx(5.0)
+        assert t.exemplar == "small-span"
+
+    def test_snapshot_emits_exemplar_only_when_set(self, registry):
+        registry.timer("bare").observe(0.1)
+        registry.timer("tagged").observe(0.2, exemplar="abc123")
+        timers = registry.snapshot()["timers"]
+        assert "exemplar" not in timers["bare"]
+        assert timers["tagged"]["exemplar"] == "abc123"
+
+    def test_merge_keeps_exemplar_of_larger_maximum(self, registry):
+        registry.timer("t").observe(1.0, exemplar="local-slow")
+        source = MetricsRegistry()
+        source.timer("t").observe(9.0, exemplar="worker-slower")
+        registry.merge(source.snapshot(include_digests=True))
+        assert registry.timer("t").exemplar == "worker-slower"
+        # The other direction: a smaller incoming max does not steal it.
+        lesser = MetricsRegistry()
+        lesser.timer("t").observe(0.5, exemplar="worker-fast")
+        registry.merge(lesser.snapshot(include_digests=True))
+        assert registry.timer("t").exemplar == "worker-slower"
+
+    def test_reset_clears_exemplar(self, registry):
+        t = registry.timer("t")
+        t.observe(1.0, exemplar="gone")
+        registry.reset()
+        assert t.exemplar is None
+
+    def test_span_exit_attaches_span_id_as_exemplar(self):
+        from repro.obs import REGISTRY, span
+
+        with span("exemplar_unit_test") as s:
+            pass
+        assert REGISTRY.timer("span.exemplar_unit_test").exemplar == (
+            s.span_id
+        )
+
+
 class TestSnapshot:
     def test_structure(self, registry):
         registry.counter("a").inc(2)

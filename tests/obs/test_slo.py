@@ -1,0 +1,268 @@
+"""Unit tests for repro.obs.slo (rules, loading, burn-rate engine).
+
+Every evaluation here drives the engine with explicit timestamps — no
+sleeps, no wall clock — which is exactly the contract the module
+promises (deterministic replay).
+"""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.obs.slo import (
+    HealthReport,
+    SLOEvaluator,
+    SLORule,
+    SLOStatus,
+    load_rules,
+    rule_from_dict,
+    worst_state,
+)
+
+
+def _freshness_rule(**overrides):
+    base = dict(
+        name="fresh",
+        signal="freshness",
+        target=0.9,
+        threshold_s=60.0,
+        fast_window_s=600.0,
+        slow_window_s=3600.0,
+        warn_burn=2.0,
+        page_burn=10.0,
+    )
+    base.update(overrides)
+    return SLORule(**base)
+
+
+class TestWorstState:
+    def test_empty_is_ok(self):
+        assert worst_state([]) == "ok"
+
+    def test_page_dominates(self):
+        assert worst_state(["ok", "page", "warn"]) == "page"
+
+    def test_warn_beats_ok(self):
+        assert worst_state(["ok", "warn", "ok"]) == "warn"
+
+
+class TestRuleValidation:
+    def test_freshness_requires_threshold(self):
+        with pytest.raises(ValueError, match="threshold_s"):
+            SLORule(name="f", signal="freshness")
+
+    def test_latency_requires_timer(self):
+        with pytest.raises(ValueError, match="timer"):
+            SLORule(name="l", signal="latency", threshold_s=1.0)
+
+    def test_error_rate_requires_both_counters(self):
+        with pytest.raises(ValueError, match="bad_counter"):
+            SLORule(name="e", signal="error_rate", bad_counter="x")
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO signal"):
+            SLORule(name="x", signal="vibes")
+
+    def test_target_must_be_fraction(self):
+        with pytest.raises(ValueError, match="target"):
+            _freshness_rule(target=1.0)
+
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(ValueError, match="fast <= slow"):
+            _freshness_rule(fast_window_s=7200.0, slow_window_s=3600.0)
+
+    def test_burns_must_be_ordered(self):
+        with pytest.raises(ValueError, match="warn <= page"):
+            _freshness_rule(warn_burn=20.0, page_burn=10.0)
+
+    def test_error_budget_floors_away_from_zero(self):
+        rule = _freshness_rule(target=0.5)
+        assert rule.error_budget == pytest.approx(0.5)
+
+    def test_to_dict_round_trips(self):
+        rule = _freshness_rule(dataset="ookla", region="metro")
+        assert rule_from_dict(rule.to_dict()) == rule
+
+
+class TestRuleLoading:
+    def test_loads_bare_list(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps([_freshness_rule().to_dict()]))
+        (rule,) = load_rules(str(path))
+        assert rule.name == "fresh"
+
+    def test_loads_rules_mapping(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(
+            json.dumps({"rules": [_freshness_rule().to_dict()]})
+        )
+        assert len(load_rules(str(path))) == 1
+
+    def test_unknown_key_is_schema_error(self, tmp_path):
+        document = _freshness_rule().to_dict()
+        document["thresold_s"] = 10.0  # the typo must fail loudly
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps([document]))
+        with pytest.raises(SchemaError, match="thresold_s"):
+            load_rules(str(path))
+
+    def test_duplicate_names_are_schema_error(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(
+            json.dumps([_freshness_rule().to_dict()] * 2)
+        )
+        with pytest.raises(SchemaError, match="duplicate"):
+            load_rules(str(path))
+
+    def test_invalid_json_is_schema_error(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{nope")
+        with pytest.raises(SchemaError, match="invalid JSON"):
+            load_rules(str(path))
+
+    def test_non_list_document_is_schema_error(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": "all of them"}))
+        with pytest.raises(SchemaError, match="list of rules"):
+            load_rules(str(path))
+
+    def test_invalid_rule_value_is_schema_error(self, tmp_path):
+        document = _freshness_rule().to_dict()
+        document["target"] = 2.0
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps([document]))
+        with pytest.raises(SchemaError, match="invalid SLO rule"):
+            load_rules(str(path))
+
+
+class TestBurnRateStates:
+    """The OK -> WARN -> PAGE -> recovery ladder, clock-injected."""
+
+    def _tick_range(self, evaluator, bad, start, count, step=60.0):
+        for i in range(count):
+            evaluator.sample("fresh", bad, start + i * step)
+        return start + (count - 1) * step
+
+    def test_all_good_is_ok(self):
+        evaluator = SLOEvaluator([_freshness_rule()])
+        at = self._tick_range(evaluator, False, 0.0, 10)
+        (status,) = evaluator.statuses(at)
+        assert status.state == "ok"
+        assert status.burn_fast == 0.0
+        assert status.burn_slow == 0.0
+
+    def test_no_samples_is_ok_with_zero_burn(self):
+        evaluator = SLOEvaluator([_freshness_rule()])
+        (status,) = evaluator.statuses(1000.0)
+        assert status.state == "ok"
+        assert status.samples == 0
+
+    def test_sustained_badness_escalates_to_page(self):
+        # target 0.9 -> budget 0.1; all-bad ticks burn at 10x in both
+        # windows once the slow window is saturated.
+        evaluator = SLOEvaluator([_freshness_rule()])
+        at = self._tick_range(evaluator, True, 0.0, 61)
+        (status,) = evaluator.statuses(at)
+        assert status.state == "page"
+        assert status.burn_fast == pytest.approx(10.0)
+        assert status.burn_slow == pytest.approx(10.0)
+
+    def test_partial_badness_warns_without_paging(self):
+        # 3 bad of 11 in both windows: burn ~2.7 -> warn, below page.
+        rule = _freshness_rule()
+        evaluator = SLOEvaluator([rule])
+        for i in range(11):
+            evaluator.sample("fresh", i < 3, i * 60.0)
+        (status,) = evaluator.statuses(600.0)
+        assert status.state == "warn"
+        assert 2.0 <= min(status.burn_fast, status.burn_slow) < 10.0
+
+    def test_fast_spike_alone_does_not_page(self):
+        # A burst of bad ticks inside the fast window only: the slow
+        # window dilutes it, and state comes from the smaller burn.
+        rule = _freshness_rule()
+        evaluator = SLOEvaluator([rule])
+        for i in range(50):  # 50 good ticks across the slow window
+            evaluator.sample("fresh", False, i * 60.0)
+        for i in range(5):  # then a 5-tick bad burst
+            evaluator.sample("fresh", True, 3000.0 + i * 60.0)
+        (status,) = evaluator.statuses(3240.0)
+        assert status.burn_fast > status.burn_slow
+        assert status.state == "ok"
+
+    def test_recovery_drains_fast_window_first(self):
+        evaluator = SLOEvaluator([_freshness_rule()])
+        at = self._tick_range(evaluator, True, 0.0, 61)
+        (status,) = evaluator.statuses(at)
+        assert status.state == "page"
+        # Good ticks push the bad ones out of the fast window; the slow
+        # window still remembers them, but min(fast, slow) recovers.
+        for i in range(1, 11):
+            evaluator.sample("fresh", False, at + i * 60.0)
+        (status,) = evaluator.statuses(at + 600.0)
+        assert status.burn_fast < status.burn_slow
+        assert status.state == "ok"
+
+    def test_sample_rejects_unknown_rule(self):
+        evaluator = SLOEvaluator([_freshness_rule()])
+        with pytest.raises(KeyError, match="unknown SLO rule"):
+            evaluator.sample("nope", True, 0.0)
+
+    def test_detail_clears_on_recovery(self):
+        evaluator = SLOEvaluator([_freshness_rule()])
+        evaluator.sample("fresh", True, 0.0, detail="age 90s > 60s")
+        (status,) = evaluator.statuses(0.0)
+        assert status.detail == "age 90s > 60s"
+        evaluator.sample("fresh", False, 60.0, detail="")
+        (status,) = evaluator.statuses(60.0)
+        assert status.detail == ""
+
+    def test_statuses_sorted_by_rule_name(self):
+        rules = [
+            _freshness_rule(name="zeta"),
+            _freshness_rule(name="alpha"),
+        ]
+        evaluator = SLOEvaluator(rules)
+        names = [status.name for status in evaluator.statuses(0.0)]
+        assert names == ["alpha", "zeta"]
+
+    def test_series_memory_is_bounded_by_slow_window(self):
+        rule = _freshness_rule(fast_window_s=60.0, slow_window_s=120.0)
+        evaluator = SLOEvaluator([rule])
+        for i in range(10_000):
+            evaluator.sample("fresh", False, float(i))
+        assert len(evaluator._series["fresh"]._samples) <= 122
+
+
+class TestHealthReport:
+    def _report(self):
+        status = SLOStatus(
+            name="fresh",
+            signal="freshness",
+            state="warn",
+            burn_fast=3.0,
+            burn_slow=2.5,
+            samples=10,
+            bad=3,
+            detail="metro/ookla age 90s > 60s",
+        )
+        return HealthReport(
+            generated_at=123.0,
+            status="warn",
+            rules=(status,),
+            quality={"freshness_s": {"metro": {"ookla": 90.0}}},
+            drift=({"region": "metro", "kind": "score_shift"},),
+        )
+
+    def test_round_trips_through_dict(self):
+        report = self._report()
+        clone = HealthReport.from_dict(report.to_dict())
+        assert clone.status == report.status
+        assert clone.rules == report.rules
+        assert clone.drift == report.drift
+
+    def test_serialization_is_deterministic(self):
+        a = json.dumps(self._report().to_dict(), sort_keys=True)
+        b = json.dumps(self._report().to_dict(), sort_keys=True)
+        assert a == b

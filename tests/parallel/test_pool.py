@@ -34,6 +34,13 @@ def _count_work(payload, shard):
     return len(shard)
 
 
+def _spanning_work(payload, shard):
+    from repro.obs import span
+
+    with span("inner_work", items=len(shard)):
+        return len(shard)
+
+
 class TestSerialFallback:
     def test_workers_one_runs_inline(self):
         before = REGISTRY.snapshot()["counters"].get(
@@ -124,3 +131,83 @@ class TestParallel:
         run_sharded(_double_shard, 1, [(1,), (2,), (3,)], workers=2)
         after = REGISTRY.snapshot()["counters"]["parallel.shards.completed"]
         assert after == before + 3
+
+
+@needs_fork
+class TestShardTracing:
+    """Forked shard spans must join the parent's trace."""
+
+    def _traced_run(self):
+        from repro.obs import (
+            TraceRecorder,
+            install_trace_recorder,
+            uninstall_trace_recorder,
+        )
+
+        recorder = TraceRecorder()
+        install_trace_recorder(recorder)
+        try:
+            run_sharded(
+                _spanning_work, None, [("a",), ("b",)], workers=2
+            )
+        finally:
+            uninstall_trace_recorder()
+        return recorder
+
+    def test_shard_spans_share_the_parent_trace_id(self):
+        records = self._traced_run().records()
+        fanout = next(
+            record
+            for record in records
+            if record.name == "parallel_fanout"
+        )
+        shards = [
+            record for record in records if record.name == "shard"
+        ]
+        assert len(shards) == 2
+        for shard in shards:
+            assert shard.trace_id == fanout.trace_id
+            assert shard.parent_id == fanout.span_id
+        # The worker's own spans nest one level further down, still on
+        # the same trace.
+        inner = [
+            record for record in records if record.name == "inner_work"
+        ]
+        assert len(inner) == 2
+        shard_ids = {shard.span_id for shard in shards}
+        for record in inner:
+            assert record.trace_id == fanout.trace_id
+            assert record.parent_id in shard_ids
+
+    def test_chrome_export_nests_shards_under_fanout(self, tmp_path):
+        from repro.obs.trace import write_chrome_trace
+
+        recorder = self._traced_run()
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(recorder, path) >= 5
+        import json
+
+        events = [
+            event
+            for event in json.loads(path.read_text())["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        fanout = next(
+            event for event in events if event["name"] == "parallel_fanout"
+        )
+        shards = [
+            event for event in events if event["name"] == "shard"
+        ]
+        assert len(shards) == 2
+        for shard in shards:
+            assert shard["args"]["trace_id"] == (
+                fanout["args"]["trace_id"]
+            )
+            assert shard["args"]["parent_id"] == (
+                fanout["args"]["span_id"]
+            )
+            # Re-based onto the parent timeline: a shard cannot start
+            # before the fan-out span that spawned it (small wall-clock
+            # skew between the two processes' epochs tolerated).
+            assert shard["ts"] >= fanout["ts"] - 0.1e6
+            assert shard["args"]["worker"] != os.getpid()

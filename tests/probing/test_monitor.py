@@ -191,6 +191,17 @@ class TestSketchMode:
         resumed.score_pending(DAY, 2 * DAY)
         assert resumed.history("r") == monitor.history("r")
 
+    def test_pending_records_gauge_tracks_buffer(self, config):
+        from repro.obs import REGISTRY
+
+        gauge = REGISTRY.gauge("monitor.pending.records")
+        monitor = BarometerMonitor(config, quantiles="sketch")
+        for count, record in enumerate(window_records(0, n=6), start=1):
+            monitor.observe(record)
+            assert gauge.value == float(count)
+        monitor.score_pending(0.0, DAY)
+        assert gauge.value == 0.0
+
     def test_exact_state_has_no_sketch_keys(self, config):
         monitor = BarometerMonitor(config)
         feed(monitor, 0, window_records(0))
