@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Scoring-benchmark regression gate.
 
-Runs the scale, Eq. 1-5 scoring, parallel, kernel, and streaming
-benches under
+Runs the scale, Eq. 1-5 scoring, parallel, kernel, streaming, and
+serving benches under
 ``pytest-benchmark``, writes the machine-readable results to
 ``BENCH_scale.json``, and fails (exit code 1) when any scoring
 benchmark regresses more than the allowed fraction (default 20%)
@@ -69,6 +69,7 @@ BENCH_FILES = (
     "test_bench_kernel.py",
     "test_bench_streaming.py",
     "test_bench_health.py",
+    "test_bench_serve.py",
 )
 
 #: The pair of kernel benches the summary speedup ratio is read from.
@@ -82,6 +83,13 @@ SPEEDUP_BENCHES = (
 STREAMING_BENCHES = (
     "test_bench_batch_rescore",
     "test_bench_incremental_rescore",
+)
+
+#: Invalidated kernel sweep vs warm cached read on the 256-region
+#: serving plane (see test_bench_serve.py).
+SERVE_BENCHES = (
+    "test_bench_serve_cold_sweep",
+    "test_bench_serve_warm_read",
 )
 
 
@@ -200,6 +208,16 @@ def streaming_speedup(current: Dict[str, float]):
     return batch / incremental
 
 
+def serve_speedup(current: Dict[str, float]):
+    """cold-sweep/warm-read time ratio on the 256-region serve bench."""
+    cold_name, warm_name = SERVE_BENCHES
+    cold = current.get(cold_name)
+    warm = current.get(warm_name)
+    if not cold or not warm:
+        return None
+    return cold / warm
+
+
 def speedup_note(current: Dict[str, float]) -> str:
     """Human-readable summary of the headline speedup ratios."""
     parts = []
@@ -213,6 +231,11 @@ def speedup_note(current: Dict[str, float]) -> str:
         parts.append(
             f"batch/incremental streaming re-score speedup at 100k: "
             f"{streaming:.1f}x"
+        )
+    serve = serve_speedup(current)
+    if serve is not None:
+        parts.append(
+            f"warm-cache serve read speedup at 256 regions: {serve:.0f}x"
         )
     if not parts:
         return ""

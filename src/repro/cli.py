@@ -26,6 +26,12 @@ Subcommands:
   burn-rate states and score-drift detection; ``--json`` emits the
   full deterministic HealthReport, ``--watch`` paces the replay and
   prints per-window health; exits 1 when any SLO is at PAGE;
+* ``serve``    — long-lived scoring service: the ``/v1`` query API
+  (``/v1/scores``, ``/v1/scores/<region>``, ``/v1/national``,
+  ``/v1/config``) over a generation-cached, request-coalescing
+  scoring engine, plus the full telemetry surface; ``--follow``
+  tails the input file and ingests appended measurements live;
+  SIGTERM/Ctrl-C drains in-flight requests and exits 0;
 * ``adaptive`` — demonstrate uncertainty-driven probe allocation;
 * ``metrics``  — run a pipeline end to end and dump the observability
   snapshot (probe retries/abandons, ingest skips, cache hit rates) as
@@ -561,6 +567,186 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _follow_jsonl(path, service, stop, interval, on_error) -> None:
+    """Tail ``path`` for appended JSONL records and ingest them.
+
+    Byte-offset tailing with torn-line tolerance: only lines ending in
+    a newline are consumed, a partial tail stays buffered for the next
+    poll (the same guarantee the campaign journal makes for its WAL).
+    Malformed lines follow ``--on-error``: ``skip`` counts them into
+    ``serve.follow.skipped``; ``raise`` stops the follower and leaves
+    the error visible in the log (the server keeps serving the last
+    consistent generation).
+    """
+    import json as json_module
+    import os
+
+    from repro.measurements.record import Measurement
+    from repro.obs import counter, get_logger
+
+    logger = get_logger(__name__)
+    skipped = counter("serve.follow.skipped")
+    ingested = counter("serve.follow.records")
+    try:
+        offset = os.path.getsize(path)
+    except OSError:
+        offset = 0
+    pending = b""
+    while not stop.wait(interval):
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            continue
+        if size <= offset:
+            continue
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            continue
+        offset += len(chunk)
+        pending += chunk
+        complete, newline, pending = pending.rpartition(b"\n")
+        if not newline:
+            pending = complete
+            continue
+        batch = []
+        for raw in complete.split(b"\n"):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = Measurement.from_dict(
+                    json_module.loads(line.decode("utf-8"))
+                )
+            except Exception as exc:  # noqa: BLE001 - per-line verdict
+                if on_error == "raise":
+                    logger.error(
+                        "serve follower stopped on malformed line",
+                        extra={"ctx": {"path": path, "error": repr(exc)}},
+                    )
+                    return
+                skipped.inc()
+                continue
+            batch.append(record)
+        if batch:
+            service.ingest(batch)
+            ingested.inc(len(batch))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the /v1 scoring API until SIGTERM/SIGINT, then drain."""
+    import json as json_module
+    import signal
+    import threading
+    import time as time_module
+
+    from repro.measurements.columnar import ColumnarStore
+    from repro.serve import ScoringService, ServeServer
+
+    global _TELEMETRY
+
+    records = _read_measurements(args)
+    config = _load_config(args.config)
+    populations = None
+    if args.populations is not None:
+        with open(args.populations, "r", encoding="utf-8") as handle:
+            populations = {
+                str(region): float(population)
+                for region, population in json_module.load(handle).items()
+            }
+    health = None
+    if args.slo_rules is not None:
+        from repro.obs.health import (
+            HealthMonitor,
+            install_health_monitor,
+            serve_default_rules,
+        )
+        from repro.obs.slo import load_rules
+
+        rules = (
+            serve_default_rules()
+            if args.slo_rules == "default"
+            else load_rules(args.slo_rules)
+        )
+        # Wall-clock evaluation: a query service has no data-time
+        # replay to anchor to — burn rates age in real time.
+        health = HealthMonitor(rules=rules, clock=time_module.time)
+        install_health_monitor(health)
+    service = ScoringService(
+        ColumnarStore(list(records)),
+        config,
+        populations=populations,
+        kernel=args.kernel,
+        quantiles=args.quantiles,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        batch_window_s=args.batch_window,
+    )
+    server = ServeServer(
+        service,
+        host=args.host,
+        port=args.port,
+        stalled_after_s=getattr(args, "stalled_after", None),
+        health=health,
+    )
+    server.start()
+    _TELEMETRY = server
+    # The address line goes to stderr, flushed: scripts (and the CI
+    # smoke step) read the ephemeral port from it.
+    print(
+        f"serve: listening on http://{server.address}",
+        file=sys.stderr,
+        flush=True,
+    )
+    print(
+        f"serve: {len(records)} measurement(s) at generation "
+        f"{service.generation}, config {service.config_sha256[:12]}",
+        file=sys.stderr,
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous_term = signal.signal(signal.SIGTERM, _request_stop)
+    previous_int = signal.signal(signal.SIGINT, _request_stop)
+    follower = None
+    if args.follow > 0:
+        follower = threading.Thread(
+            target=_follow_jsonl,
+            args=(args.input, service, stop, args.follow, args.on_error),
+            name="iqb-serve-follow",
+            daemon=True,
+        )
+        follower.start()
+    try:
+        while not stop.wait(0.25):
+            if health is not None:
+                health.tick(time_module.time())
+    finally:
+        # Graceful shutdown on any exit: stop taking the process down
+        # with requests mid-flight, then flush health into the run
+        # manifest (main() writes it on the normal return path).
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+        stop.set()
+        if follower is not None:
+            follower.join(timeout=2.0)
+        drained = server.drain(timeout=args.drain_timeout)
+        _stop_telemetry(server)
+        if health is not None:
+            _finish_health(health)
+    drain_note = "" if drained else " (drain timed out)"
+    print(
+        f"serve: shut down after {server.request_count()} request(s), "
+        f"generation {service.generation}{drain_note}"
+    )
+    return 0
+
+
 def _cmd_health(args: argparse.Namespace) -> int:
     """Replay a measurement file and judge the *barometer's* health.
 
@@ -1068,6 +1254,74 @@ def build_parser() -> argparse.ArgumentParser:
         "the run manifest and the /slo endpoint",
     )
     monitor.set_defaults(func=_cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve cached region scores over HTTP (/v1 query API)",
+    )
+    add_common(serve)
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default loopback; bind 0.0.0.0 to expose)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port; 0 picks an ephemeral one (printed to stderr)",
+    )
+    serve.add_argument(
+        "--populations",
+        default=None,
+        metavar="PATH",
+        help="JSON {region: population} table weighting /v1/national "
+        "(default: every region weighs the same)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="score-cache LRU bound (results retained across "
+        "generations; each entry is one full sweep's output)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="how long a cache-miss leader waits before sweeping so a "
+        "request burst coalesces onto one compute (default 0: sweep "
+        "immediately)",
+    )
+    serve.add_argument(
+        "--follow",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="poll the input file every SECONDS and ingest appended "
+        "JSONL records live (0 disables; ingest bumps the generation "
+        "and retires every cached score)",
+    )
+    serve.add_argument(
+        "--slo-rules",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="PATH",
+        help="evaluate serve SLOs while running: with no PATH, "
+        "built-in p99 latency rules over the /v1 endpoints; with a "
+        "PATH, the rule file replaces them (as for 'health')",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     health_cmd = sub.add_parser(
         "health",

@@ -517,19 +517,26 @@ def score_region(
     )
 
 
-def _effective_modes(
-    config: IQBConfig, quantiles: Optional[str]
+def effective_modes(
+    config: IQBConfig, quantiles: Optional[str] = None
 ) -> Tuple[QuantileMode, ...]:
     """Resolved quantile mode per configured dataset.
 
     ``quantiles`` (the CLI-style global override) wins over the
     config's per-dataset :class:`~repro.core.config.QuantilePolicy`.
+    Public so callers that pre-resolve modes once and reuse them per
+    request (the serving layer's cached ``score_values`` sweeps) stay
+    in lockstep with what :func:`score_regions` would pick.
     """
     cc = config.compiled()
     if quantiles is None:
         return config.quantiles.modes(cc.datasets)
     mode = QuantileMode(quantiles)
     return (mode,) * len(cc.datasets)
+
+
+#: Backwards-compatible private alias (pre-serving-layer name).
+_effective_modes = effective_modes
 
 
 def _grouped_sources(

@@ -235,6 +235,7 @@ class ColumnarStore:
         # copies them (the store promises never to mutate its input).
         self._owns_records = not isinstance(records, list)
         self._sketch = None  # type: Optional["SketchPlane"]
+        self.generation = 0
 
     @classmethod
     def from_measurements(
@@ -265,6 +266,13 @@ class ColumnarStore:
         *incrementally*, O(1) amortized per record, which is what lets
         the streaming scoring path re-score after an append without the
         O(n log n) exact-plane rebuild.
+
+        Each non-empty call also bumps :attr:`generation` — but only
+        *after* the records are adopted, the stale caches dropped, and
+        the sketch plane fed, so a reader that observes the new stamp
+        is guaranteed a fully consistent plane. Generation-keyed caches
+        (the serving layer's score cache) invalidate on a single
+        integer compare.
         """
         new = records if isinstance(records, list) else list(records)
         if not new:
@@ -298,6 +306,10 @@ class ColumnarStore:
                     health.record_arrival(
                         record.region, record.source, record.timestamp
                     )
+        # Bumped last: the plane is fully consistent (records adopted,
+        # caches dropped, sketch fed) before the stamp moves, so a
+        # stamp can never name a partially-appended batch.
+        self.generation += 1
 
     def sketch_plane(self, delta: Optional[int] = None) -> "SketchPlane":
         """The store's attached sketch plane, built lazily and kept fed.

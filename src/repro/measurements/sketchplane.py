@@ -154,6 +154,19 @@ class SketchPlane:
     def __len__(self) -> int:
         return self._records
 
+    @property
+    def generation(self) -> int:
+        """Monotone change stamp for generation-keyed score caches.
+
+        Advances once per accepted record, and only *after* the cell
+        digests have observed it (``add`` updates the view before the
+        count), so a reader that sees a stamp sees a plane consistent
+        with it. Survives :meth:`to_state`/:meth:`from_state` and adds
+        across :meth:`merge`, mirroring
+        :attr:`~repro.measurements.columnar.ColumnarStore.generation`.
+        """
+        return self._records
+
     def __repr__(self) -> str:
         return (
             f"SketchPlane({self._records} records, "

@@ -707,3 +707,43 @@ def default_rules(
         )
     )
     return tuple(rules)
+
+
+#: The serving layer's route labels (see repro.serve.http.ServeServer)
+#: — the timers the default serve latency rules watch.
+SERVE_ROUTES: Tuple[str, ...] = (
+    "/v1/scores",
+    "/v1/scores/:region",
+    "/v1/national",
+    "/v1/config",
+)
+
+
+def serve_default_rules(
+    routes: Sequence[str] = SERVE_ROUTES,
+    latency_budget_s: float = 0.25,
+    percentile: float = 99.0,
+    window_s: float = 300.0,
+) -> Tuple[SLORule, ...]:
+    """Latency SLO rules for the ``iqb serve`` query endpoints.
+
+    One burn-rate rule per route label over the per-endpoint
+    ``http.latency.<route>`` timer the telemetry handler maintains
+    (the rules read the process registry, which is where the serve
+    CLI's default server observes). The p99 budget defaults to 250ms
+    — generous for a cache hit, tight enough that sustained cache-miss
+    storms or a wedged plane lock burn through it and page.
+    """
+    return tuple(
+        SLORule(
+            name=f"serve-latency-{route}",
+            signal="latency",
+            target=0.99,
+            timer=f"http.latency.{route}",
+            threshold_s=latency_budget_s,
+            percentile=percentile,
+            fast_window_s=window_s,
+            slow_window_s=6.0 * window_s,
+        )
+        for route in routes
+    )

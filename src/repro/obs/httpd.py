@@ -7,7 +7,8 @@ with the same rigor as the measurements:
 
 * ``GET /metrics``      — Prometheus text exposition (scrape target),
   including the labeled per-(region, dataset) health families when a
-  :class:`~repro.obs.health.HealthMonitor` is active;
+  :class:`~repro.obs.health.HealthMonitor` is active, and the labeled
+  per-(path, status) ``iqb_http_requests_total`` family;
 * ``GET /metrics.json`` — the registry snapshot as JSON (the same
   document ``iqb metrics`` prints);
 * ``GET /healthz``      — liveness JSON: uptime, cycle progress, alert
@@ -18,6 +19,21 @@ with the same rigor as the measurements:
   state, per-rule burn rates, drift events) as JSON;
 * ``GET /quality``      — the data-quality section alone: freshness,
   completeness, and stale (region, dataset) cells.
+
+Routing lives on the *server object* (:meth:`TelemetryServer.dispatch`
+returns a :class:`Response`), not in the handler, so subclasses — the
+scoring service's :class:`~repro.serve.http.ServeServer` — extend the
+route table by overriding one method. The handler contributes the
+transport-level guarantees around every dispatch:
+
+* a handler exception becomes a well-formed 500 JSON body (correct
+  ``Content-Length``, so clients never hang on a truncated response)
+  and bumps the ``http.errors`` counter;
+* every request is counted per (route, status) and timed into an
+  ``http.latency.<route>`` registry timer — the p50/p99 source for
+  serve SLO latency rules;
+* in-flight requests are tracked, so :meth:`TelemetryServer.drain`
+  can wait them out before a graceful shutdown.
 
 The server is a daemon-threaded stdlib ``http.server`` — it never
 blocks pipeline work or process exit, and serving a scrape costs one
@@ -32,9 +48,10 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, NamedTuple, Optional, Tuple
 
 from .exposition import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from .exposition import escape_help, format_labels, prometheus_name
 from .health import HealthMonitor, get_health_monitor
 from .logs import get_logger
 from .registry import REGISTRY, MetricsRegistry, counter
@@ -44,9 +61,43 @@ _logger = get_logger(__name__)
 _REQUESTS = counter("telemetry.http.requests")
 _NOT_FOUND = counter("telemetry.http.not_found")
 
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Route label for paths outside the route table. One shared bucket —
+#: per-endpoint metrics must not grow a series per scanned URL.
+UNKNOWN_ROUTE = "(unknown)"
+
+_EMPTY_HEADERS: Mapping[str, str] = {}
+
+
+class Response(NamedTuple):
+    """One dispatched response, ready for the handler to write.
+
+    ``route`` is the *label* the request is accounted under (the
+    route-table entry, e.g. ``/v1/scores/:region`` — never the raw
+    concrete path, which would be unbounded-cardinality).
+    """
+
+    status: int
+    content_type: str
+    body: str
+    headers: Mapping[str, str] = _EMPTY_HEADERS
+    route: str = UNKNOWN_ROUTE
+
+
+def json_response(
+    status: int,
+    document: Mapping[str, object],
+    route: str,
+    headers: Mapping[str, str] = _EMPTY_HEADERS,
+) -> Response:
+    """A JSON :class:`Response` (sorted keys, trailing newline)."""
+    body = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    return Response(status, JSON_CONTENT_TYPE, body, headers, route)
+
 
 class _TelemetryHandler(BaseHTTPRequestHandler):
-    """Routes the three telemetry endpoints; everything else is 404."""
+    """Transport shim: dispatch on the server object, reply safely."""
 
     server: "_TelemetryHTTPServer"
 
@@ -59,43 +110,42 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         _REQUESTS.inc()
         telemetry = self.server.telemetry
         path = self.path.split("?", 1)[0]
-        if path == "/metrics":
-            body = telemetry.registry.render_prometheus()
-            monitor = telemetry.health_monitor()
-            if monitor is not None:
-                body += monitor.render_prometheus()
-            self._reply(200, _PROM_CONTENT_TYPE, body)
-        elif path == "/metrics.json":
-            body = telemetry.registry.render_json() + "\n"
-            self._reply(200, "application/json; charset=utf-8", body)
-        elif path == "/healthz":
-            status, document = telemetry.health()
-            body = json.dumps(document, indent=2, sort_keys=True) + "\n"
-            self._reply(status, "application/json; charset=utf-8", body)
-        elif path == "/slo":
-            status, document = telemetry.slo()
-            body = json.dumps(document, indent=2, sort_keys=True) + "\n"
-            self._reply(status, "application/json; charset=utf-8", body)
-        elif path == "/quality":
-            status, document = telemetry.quality()
-            body = json.dumps(document, indent=2, sort_keys=True) + "\n"
-            self._reply(status, "application/json; charset=utf-8", body)
-        else:
-            _NOT_FOUND.inc()
-            self._reply(
-                404,
-                "text/plain; charset=utf-8",
-                "not found; try /metrics, /metrics.json, /healthz, "
-                "/slo, /quality\n",
+        telemetry._request_started()
+        started = time.perf_counter()
+        try:
+            try:
+                response = telemetry.dispatch(path, self.headers)
+            except Exception as exc:  # noqa: BLE001 - the 500 boundary
+                response = telemetry.internal_error(path, exc)
+            if response.status == 404:
+                _NOT_FOUND.inc()
+            telemetry.observe_request(
+                response.route,
+                response.status,
+                time.perf_counter() - started,
             )
+            self._reply(response)
+        finally:
+            telemetry._request_finished()
 
-    def _reply(self, status: int, content_type: str, body: str) -> None:
-        payload = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+    def _reply(self, response: Response) -> None:
+        payload = response.body.encode("utf-8")
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            # A 304 carries headers only (RFC 9110 §15.4.5); the
+            # Content-Length above is 0 for the empty body.
+            if payload and response.status != 304:
+                self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-write. Nothing to salvage, and
+            # it is not a server failure — don't let http.server spray
+            # a traceback from the worker thread.
+            pass
 
 
 class _TelemetryHTTPServer(ThreadingHTTPServer):
@@ -111,10 +161,14 @@ class TelemetryServer:
         server = TelemetryServer(port=0)       # ephemeral port
         port = server.start()
         ...                                    # run the campaign
+        server.drain()                         # graceful: finish work
         server.stop()
 
     Args:
         registry: metrics source (default: the process registry).
+            Per-endpoint latency timers are observed into it, so SLO
+            latency rules (which read the process registry) see serve
+            traffic when the default is used.
         host: bind address (default loopback; bind explicitly to
             expose beyond the machine).
         port: TCP port; 0 asks the OS for an ephemeral one.
@@ -128,6 +182,15 @@ class TelemetryServer:
             process-installed monitor (if any) is picked up at request
             time, so installing one after :meth:`start` still works.
     """
+
+    #: The base route table; subclasses extend via :meth:`routes`.
+    BASE_ROUTES: Tuple[str, ...] = (
+        "/metrics",
+        "/metrics.json",
+        "/healthz",
+        "/slo",
+        "/quality",
+    )
 
     def __init__(
         self,
@@ -146,6 +209,12 @@ class TelemetryServer:
         self._thread: Optional[threading.Thread] = None
         self._started_unix: Optional[float] = None
         self._stalled_reason: Optional[str] = None
+        # Per-(route, status) request counts for the labeled family,
+        # and the in-flight count drain() waits on — one lock for both.
+        self._http_lock = threading.Lock()
+        self._http_counts: Dict[Tuple[str, int], int] = {}
+        self._inflight = 0
+        self._idle = threading.Condition(self._http_lock)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -172,7 +241,11 @@ class TelemetryServer:
         return self.port
 
     def stop(self) -> None:
-        """Shut the listener down (idempotent)."""
+        """Shut the listener down (idempotent).
+
+        Does not wait for in-flight requests — call :meth:`drain`
+        first for a graceful shutdown.
+        """
         server, thread = self._server, self._thread
         self._server = None
         self._thread = None
@@ -182,12 +255,152 @@ class TelemetryServer:
         if thread is not None:
             thread.join(timeout=5.0)
 
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until no request is mid-dispatch; True when drained.
+
+        New connections are still accepted while draining (the
+        listener is up until :meth:`stop`); the graceful-shutdown
+        sequence is therefore *drain then stop*, bounded by
+        ``timeout`` seconds so a wedged handler cannot hold the
+        process exit hostage.
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
     def __enter__(self) -> "TelemetryServer":
         self.start()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+    # -- routing ------------------------------------------------------------
+
+    def routes(self) -> Tuple[str, ...]:
+        """The served route labels (404 bodies and metric hygiene)."""
+        return self.BASE_ROUTES
+
+    def route_label(self, path: str) -> str:
+        """The accounting label for a concrete request path."""
+        return path if path in self.routes() else UNKNOWN_ROUTE
+
+    def dispatch(self, path: str, headers: Mapping[str, str]) -> Response:
+        """Route one GET; subclasses extend and fall back to super()."""
+        if path == "/metrics":
+            body = self.registry.render_prometheus()
+            monitor = self.health_monitor()
+            if monitor is not None:
+                body += monitor.render_prometheus()
+            body += self.render_http_prometheus()
+            return Response(200, _PROM_CONTENT_TYPE, body, route="/metrics")
+        if path == "/metrics.json":
+            body = self.registry.render_json() + "\n"
+            return Response(
+                200, JSON_CONTENT_TYPE, body, route="/metrics.json"
+            )
+        if path == "/healthz":
+            status, document = self.health()
+            return json_response(status, document, "/healthz")
+        if path == "/slo":
+            status, document = self.slo()
+            return json_response(status, document, "/slo")
+        if path == "/quality":
+            status, document = self.quality()
+            return json_response(status, document, "/quality")
+        return self.not_found(path)
+
+    def not_found(self, path: str) -> Response:
+        """The 404 response, naming every served route."""
+        return Response(
+            404,
+            "text/plain; charset=utf-8",
+            f"not found; try {', '.join(self.routes())}\n",
+            route=self.route_label(path),
+        )
+
+    def internal_error(self, path: str, exc: BaseException) -> Response:
+        """A dispatch exception as a well-formed 500 JSON response.
+
+        The body is built *before* any byte is written, so the client
+        always gets a complete response with a correct Content-Length
+        instead of a hung connection; the ``http.errors`` counter makes
+        the failure visible to scrapes.
+        """
+        self.registry.counter("http.errors").inc()
+        _logger.error(
+            "telemetry handler error",
+            extra={"ctx": {"path": path, "error": repr(exc)}},
+        )
+        document = {
+            "error": "internal server error",
+            "exception": type(exc).__name__,
+            "detail": str(exc),
+            "path": path,
+        }
+        return json_response(500, document, self.route_label(path))
+
+    # -- per-endpoint observability -----------------------------------------
+
+    def observe_request(
+        self, route: str, status: int, seconds: float
+    ) -> None:
+        """Account one finished request under its route label.
+
+        Feeds both halves of the per-endpoint story: the labeled
+        ``http.requests{path,status}`` family (instance state, rendered
+        by :meth:`render_http_prometheus` — the registry's unlabeled
+        namespace cannot hold it without colliding families) and the
+        ``http.latency.<route>`` registry timer whose p50/p99 the SLO
+        latency rules and ``/metrics`` summaries read.
+        """
+        with self._http_lock:
+            key = (route, int(status))
+            self._http_counts[key] = self._http_counts.get(key, 0) + 1
+        self.registry.timer(f"http.latency.{route}").observe(seconds)
+
+    def request_count(self) -> int:
+        """Total requests accounted so far (all routes and statuses)."""
+        with self._http_lock:
+            return sum(self._http_counts.values())
+
+    def render_http_prometheus(self) -> str:
+        """The labeled per-(path, status) request-count family.
+
+        Escaped through the standard 0.0.4 helpers; empty until the
+        first request finishes, so a fresh server's ``/metrics`` body
+        is exactly the registry exposition.
+        """
+        with self._http_lock:
+            counts = sorted(self._http_counts.items())
+        if not counts:
+            return ""
+        name = prometheus_name("http.requests") + "_total"
+        help_text = escape_help(
+            "IQB counter http.requests (by path and status)"
+        )
+        lines = [f"# HELP {name} {help_text}", f"# TYPE {name} counter"]
+        for (route, status), value in counts:
+            labels = format_labels({"path": route, "status": str(status)})
+            lines.append(f"{name}{labels} {value}")
+        return "\n".join(lines) + "\n"
+
+    # -- in-flight accounting (drain support) --------------------------------
+
+    def _request_started(self) -> None:
+        with self._idle:
+            self._inflight += 1
+
+    def _request_finished(self) -> None:
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
 
     # -- introspection ------------------------------------------------------
 

@@ -1,0 +1,230 @@
+"""The ``/v1`` query endpoints: scoring-as-a-service over HTTP.
+
+:class:`ServeServer` extends the telemetry endpoint
+(:class:`~repro.obs.httpd.TelemetryServer` — which keeps serving
+``/metrics``, ``/healthz``, ``/slo``, ``/quality``) with the read-only
+query API backed by a :class:`~repro.serve.service.ScoringService`:
+
+=========================  ==============================================
+``GET /v1/scores``         every region's composite ``S_IQB``
+``GET /v1/scores/<region>`` one region's full use-case breakdown
+``GET /v1/national``       the population-weighted national rollup
+``GET /v1/config``         the served scoring config + its digest
+=========================  ==============================================
+
+Score responses carry a strong ``ETag`` built from the config digest
+and the plane generation (``"<digest12>-<generation>"``). A client
+replaying it via ``If-None-Match`` gets ``304 Not Modified`` **iff**
+the generation is unchanged — the conditional check is a string
+compare against the current stamp, so polling dashboards cost nothing
+between ingests.
+
+Per-region paths are accounted under the ``/v1/scores/:region`` route
+label (one metric series, not one per region), and every endpoint
+inherits the handler's 500-JSON error boundary, per-endpoint
+latency timers, and drain-aware shutdown.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+from urllib.parse import unquote
+
+from repro.core.exceptions import DataError
+from repro.obs.health import HealthMonitor
+from repro.obs.httpd import (
+    JSON_CONTENT_TYPE,
+    Response,
+    TelemetryServer,
+    json_response,
+)
+from repro.obs.registry import MetricsRegistry
+
+from .service import ScoringService
+
+#: Route label for every concrete /v1/scores/<region> path.
+REGION_ROUTE = "/v1/scores/:region"
+
+_SCORES_PREFIX = "/v1/scores/"
+
+
+class ServeServer(TelemetryServer):
+    """The ``iqb serve`` listener: telemetry + the /v1 query API."""
+
+    V1_ROUTES: Tuple[str, ...] = (
+        "/v1/scores",
+        REGION_ROUTE,
+        "/v1/national",
+        "/v1/config",
+    )
+
+    def __init__(
+        self,
+        service: ScoringService,
+        registry: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stalled_after_s: Optional[float] = None,
+        health: Optional[HealthMonitor] = None,
+    ) -> None:
+        super().__init__(
+            registry=registry,
+            host=host,
+            port=port,
+            stalled_after_s=stalled_after_s,
+            health=health,
+        )
+        self.service = service
+
+    # -- routing ------------------------------------------------------------
+
+    def routes(self) -> Tuple[str, ...]:
+        return self.V1_ROUTES + self.BASE_ROUTES
+
+    def route_label(self, path: str) -> str:
+        if path.startswith(_SCORES_PREFIX) and path != _SCORES_PREFIX:
+            return REGION_ROUTE
+        return super().route_label(path)
+
+    def dispatch(self, path: str, headers: Mapping[str, str]) -> Response:
+        if path == "/v1/scores":
+            return self._scores(headers)
+        if path.startswith(_SCORES_PREFIX) and path != _SCORES_PREFIX:
+            region = unquote(path[len(_SCORES_PREFIX):])
+            return self._region(region, headers)
+        if path == "/v1/national":
+            return self._national(headers)
+        if path == "/v1/config":
+            return self._config(headers)
+        return super().dispatch(path, headers)
+
+    # -- conditional-GET plumbing -------------------------------------------
+
+    @staticmethod
+    def _matches(headers: Mapping[str, str], etag: str) -> bool:
+        """True when If-None-Match names ``etag`` (or ``*``)."""
+        raw = headers.get("If-None-Match")
+        if not raw:
+            return False
+        for candidate in raw.split(","):
+            token = candidate.strip()
+            if token.startswith("W/"):
+                token = token[2:]
+            if token == etag or token == "*":
+                return True
+        return False
+
+    def _not_modified(self, etag: str, route: str) -> Response:
+        return Response(
+            304, JSON_CONTENT_TYPE, "", {"ETag": etag}, route
+        )
+
+    def _no_data(self, route: str) -> Response:
+        return json_response(
+            503,
+            {
+                "error": "no measurements ingested yet; retry later",
+                "generation": self.service.generation,
+            },
+            route,
+            {"Retry-After": "1"},
+        )
+
+    # -- /v1 endpoints -------------------------------------------------------
+
+    def _scores(self, headers: Mapping[str, str]) -> Response:
+        route = "/v1/scores"
+        current = self.service.etag()
+        if self._matches(headers, current):
+            return self._not_modified(current, route)
+        if self.service.empty:
+            return self._no_data(route)
+        result = self.service.scores()
+        etag = self.service.etag(result.generation)
+        document = {
+            "generation": result.generation,
+            "config_sha256": self.service.config_sha256,
+            "quantiles": result.quantile_source,
+            "regions": dict(sorted(result.values.items())),
+        }
+        return json_response(200, document, route, {"ETag": etag})
+
+    def _region(
+        self, region: str, headers: Mapping[str, str]
+    ) -> Response:
+        route = REGION_ROUTE
+        current = self.service.etag()
+        if self._matches(headers, current):
+            return self._not_modified(current, route)
+        if self.service.empty:
+            return self._no_data(route)
+        try:
+            generation, breakdown = self.service.breakdown(region)
+        except KeyError:
+            return json_response(
+                404,
+                {
+                    "error": f"unknown region: {region}",
+                    "generation": self.service.generation,
+                },
+                route,
+            )
+        etag = self.service.etag(generation)
+        document = {
+            "generation": generation,
+            "config_sha256": self.service.config_sha256,
+            "region": region,
+            "breakdown": breakdown.to_dict(),
+        }
+        return json_response(200, document, route, {"ETag": etag})
+
+    def _national(self, headers: Mapping[str, str]) -> Response:
+        route = "/v1/national"
+        current = self.service.etag()
+        if self._matches(headers, current):
+            return self._not_modified(current, route)
+        if self.service.empty:
+            return self._no_data(route)
+        try:
+            result = self.service.national()
+        except DataError as exc:
+            # A population table that does not cover the scored
+            # regions is a client-visible config problem, not a crash.
+            return json_response(
+                422,
+                {
+                    "error": str(exc),
+                    "generation": self.service.generation,
+                },
+                route,
+            )
+        rollup = result.national
+        etag = self.service.etag(result.generation)
+        document = {
+            "generation": result.generation,
+            "config_sha256": self.service.config_sha256,
+            "national": rollup.value,
+            "shortfall": rollup.shortfall,
+            "regions": [
+                {
+                    "region": share.region,
+                    "score": share.score,
+                    "population": share.population,
+                    "weight": share.weight,
+                    "shortfall_contribution": share.shortfall_contribution,
+                }
+                for share in rollup.ranked_by_shortfall()
+            ],
+        }
+        return json_response(200, document, route, {"ETag": etag})
+
+    def _config(self, headers: Mapping[str, str]) -> Response:
+        route = "/v1/config"
+        # The config never changes for a server's lifetime; its ETag
+        # is the digest alone (generation-independent on purpose).
+        etag = f'"{self.service.config_sha256}"'
+        if self._matches(headers, etag):
+            return self._not_modified(etag, route)
+        return json_response(
+            200, self.service.config_document(), route, {"ETag": etag}
+        )

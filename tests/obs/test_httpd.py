@@ -50,11 +50,15 @@ def server(registry):
 
 class TestEndpoints:
     def test_metrics_serves_prometheus_text(self, server, registry):
+        # The scrape itself is accounted only after its body renders,
+        # so the first scrape of a fresh server is exactly the
+        # registry exposition as it stood before the request.
+        expected = registry.render_prometheus()
         status, content_type, body = _get(server.url("/metrics"))
         assert status == 200
         assert content_type.startswith("text/plain")
         assert "version=0.0.4" in content_type
-        assert body == registry.render_prometheus()
+        assert body == expected
 
     def test_metrics_json_serves_snapshot(self, server, registry):
         status, content_type, body = _get(server.url("/metrics.json"))
@@ -213,12 +217,13 @@ class TestSLOEndpoints:
         assert json.loads(body)["slo"] == "ok"
 
     def test_metrics_appends_labeled_health_families(self, registry):
+        expected_prefix = registry.render_prometheus()
         with TelemetryServer(
             registry=registry, port=0, health=_paged_monitor()
         ) as server:
             status, _, body = _get(server.url("/metrics"))
         assert status == 200
-        assert body.startswith(registry.render_prometheus())
+        assert body.startswith(expected_prefix)
         assert 'iqb_health_freshness_seconds{region="metro"' in body
         assert 'iqb_slo_burn_rate{rule="fresh",window="fast"}' in body
 

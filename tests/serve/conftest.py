@@ -1,0 +1,44 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import paper_config
+from repro.measurements.columnar import ColumnarStore
+from repro.netsim import CampaignConfig, region_preset, simulate_region
+
+_CAMPAIGN = CampaignConfig(subscribers=3, tests_per_client=3)
+_SEED = 42
+
+
+def batch(n_regions):
+    """A national batch: one simulated region cloned across n regions."""
+    base = list(
+        simulate_region(
+            region_preset("mixed-urban"), seed=_SEED, config=_CAMPAIGN
+        )
+    )
+    records = []
+    for i in range(n_regions):
+        records.extend(
+            dataclasses.replace(record, region=f"region-{i:03d}")
+            for record in base
+        )
+    return records
+
+
+@pytest.fixture()
+def records():
+    """A small 4-region batch (fresh list per test)."""
+    return batch(4)
+
+
+@pytest.fixture()
+def store(records):
+    return ColumnarStore(records)
+
+
+@pytest.fixture()
+def config():
+    return paper_config()

@@ -1,0 +1,248 @@
+"""Integration tests for the /v1 endpoints (repro.serve.http)."""
+
+import dataclasses
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.measurements.columnar import ColumnarStore
+from repro.measurements.io import write_jsonl
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ScoringService, ServeServer
+
+
+def _get(url, etag=None):
+    """(status, headers, body) for one GET, 3xx/4xx/5xx included."""
+    request = urllib.request.Request(url)
+    if etag is not None:
+        request.add_header("If-None-Match", etag)
+    try:
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            dict(error.headers),
+            error.read().decode("utf-8"),
+        )
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def service(store, config):
+    return ScoringService(store, config)
+
+
+@pytest.fixture()
+def server(service, registry):
+    server = ServeServer(service, registry=registry, port=0)
+    port = server.start()
+    assert port > 0
+    yield server
+    server.stop()
+
+
+class TestScoresEndpoint:
+    def test_scores_document(self, server, service):
+        status, headers, body = _get(server.url("/v1/scores"))
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        document = json.loads(body)
+        assert document["generation"] == 0
+        assert document["config_sha256"] == service.config_sha256
+        assert document["quantiles"] == "exact"
+        assert document["regions"] == dict(service.scores().values)
+
+    def test_etag_roundtrip_304(self, server):
+        _, headers, _ = _get(server.url("/v1/scores"))
+        etag = headers["ETag"]
+        status, headers304, body = _get(server.url("/v1/scores"), etag)
+        assert status == 304
+        assert body == ""
+        assert headers304["ETag"] == etag
+
+    def test_304_iff_generation_unchanged(self, server, service, records):
+        _, headers, _ = _get(server.url("/v1/scores"))
+        etag = headers["ETag"]
+        # Unchanged plane: 304.
+        assert _get(server.url("/v1/scores"), etag)[0] == 304
+        # Ingest bumps the generation: same ETag now misses.
+        service.ingest(
+            [dataclasses.replace(records[0], region="region-new")]
+        )
+        status, fresh_headers, body = _get(server.url("/v1/scores"), etag)
+        assert status == 200
+        assert fresh_headers["ETag"] != etag
+        assert json.loads(body)["generation"] == 1
+        # And the new ETag conditions again.
+        assert (
+            _get(server.url("/v1/scores"), fresh_headers["ETag"])[0] == 304
+        )
+
+    def test_weak_and_star_etags_accepted(self, server):
+        _, headers, _ = _get(server.url("/v1/scores"))
+        etag = headers["ETag"]
+        assert _get(server.url("/v1/scores"), f"W/{etag}")[0] == 304
+        assert _get(server.url("/v1/scores"), "*")[0] == 304
+
+    def test_empty_plane_is_503_not_crash(self, config, registry):
+        service = ScoringService(ColumnarStore([]), config)
+        with ServeServer(service, registry=registry, port=0) as server:
+            status, headers, body = _get(server.url("/v1/scores"))
+        assert status == 503
+        assert "no measurements" in json.loads(body)["error"]
+        assert headers.get("Retry-After") == "1"
+
+
+class TestRegionEndpoint:
+    def test_breakdown_bit_identical_to_cli_score_json(
+        self, server, records, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "records.jsonl"
+        write_jsonl(records, str(path))
+        assert main(["score", str(path), "--json"]) == 0
+        cli_document = json.loads(capsys.readouterr().out)
+
+        status, _, body = _get(server.url("/v1/scores/region-002"))
+        assert status == 200
+        served = json.loads(body)
+        assert served["region"] == "region-002"
+        assert (
+            served["breakdown"] == cli_document["regions"]["region-002"]
+        )
+
+    def test_unknown_region_404_json(self, server):
+        status, _, body = _get(server.url("/v1/scores/atlantis"))
+        assert status == 404
+        assert json.loads(body)["error"] == "unknown region: atlantis"
+
+    def test_url_encoded_region_names(self, server, service, records):
+        service.ingest(
+            [dataclasses.replace(records[0], region="east side")]
+        )
+        status, _, body = _get(server.url("/v1/scores/east%20side"))
+        assert status == 200
+        assert json.loads(body)["region"] == "east side"
+
+    def test_conditional_get(self, server):
+        _, headers, _ = _get(server.url("/v1/scores/region-000"))
+        assert (
+            _get(server.url("/v1/scores/region-000"), headers["ETag"])[0]
+            == 304
+        )
+
+
+class TestNationalEndpoint:
+    def test_national_document(self, server, service):
+        status, _, body = _get(server.url("/v1/national"))
+        assert status == 200
+        document = json.loads(body)
+        expected = service.national().national
+        assert document["national"] == expected.value
+        assert document["shortfall"] == expected.shortfall
+        assert len(document["regions"]) == 4
+        share = document["regions"][0]
+        assert set(share) == {
+            "region",
+            "score",
+            "population",
+            "weight",
+            "shortfall_contribution",
+        }
+
+    def test_bad_population_table_is_422(self, store, config, registry):
+        service = ScoringService(
+            store, config, populations={"region-000": 1.0}
+        )
+        with ServeServer(service, registry=registry, port=0) as server:
+            status, _, body = _get(server.url("/v1/national"))
+        assert status == 422
+        assert "population" in json.loads(body)["error"]
+
+
+class TestConfigEndpoint:
+    def test_config_document(self, server, service):
+        status, _, body = _get(server.url("/v1/config"))
+        assert status == 200
+        document = json.loads(body)
+        assert document["config_sha256"] == service.config_sha256
+        assert document["kernel"] == "vectorized"
+        assert "thresholds" in document["config"]
+
+    def test_config_etag_is_generation_independent(
+        self, server, service, records
+    ):
+        _, headers, _ = _get(server.url("/v1/config"))
+        etag = headers["ETag"]
+        service.ingest(
+            [dataclasses.replace(records[0], region="region-new")]
+        )
+        assert _get(server.url("/v1/config"), etag)[0] == 304
+
+
+class TestTelemetrySurface:
+    def test_base_routes_still_served(self, server):
+        assert _get(server.url("/healthz"))[0] == 200
+        assert _get(server.url("/metrics"))[0] == 200
+        status, _, body = _get(server.url("/nope"))
+        assert status == 404
+        assert "/v1/scores" in body  # the 404 names the /v1 routes too
+
+    def test_per_endpoint_metrics_families(self, server):
+        _get(server.url("/v1/scores"))
+        _get(server.url("/v1/scores/region-000"))
+        _get(server.url("/v1/scores/region-001"))
+        _, _, body = _get(server.url("/metrics"))
+        # Labeled per-(path, status) counts...
+        assert (
+            'iqb_http_requests_total{path="/v1/scores",status="200"} 1'
+            in body
+        )
+        # ...region paths collapse onto one label (bounded cardinality),
+        assert (
+            'iqb_http_requests_total{path="/v1/scores/:region",'
+            'status="200"} 2' in body
+        )
+        # ...and per-endpoint latency timers for the SLO rules.
+        assert "iqb_http_latency__v1_scores_seconds" in body
+
+    def test_handler_exception_is_well_formed_500(
+        self, server, service, monkeypatch
+    ):
+        def boom():
+            raise RuntimeError("plane on fire")
+
+        monkeypatch.setattr(service, "scores", boom)
+        before = server.registry.counter("http.errors").value
+        status, headers, body = _get(server.url("/v1/scores"))
+        assert status == 500
+        document = json.loads(body)
+        assert document["error"] == "internal server error"
+        assert document["exception"] == "RuntimeError"
+        assert document["detail"] == "plane on fire"
+        # Content-Length matches the body: the client never hangs.
+        assert int(headers["Content-Length"]) == len(
+            body.encode("utf-8")
+        )
+        assert server.registry.counter("http.errors").value == before + 1
+        # The failure is accounted under its route, not lost.
+        _, _, metrics = _get(server.url("/metrics"))
+        assert (
+            'iqb_http_requests_total{path="/v1/scores",status="500"} 1'
+            in metrics
+        )
+
+    def test_drain_idle_server(self, server):
+        assert server.drain(timeout=1.0) is True

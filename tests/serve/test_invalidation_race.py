@@ -1,0 +1,158 @@
+"""Threaded stress test: no served result may straddle an ingest.
+
+A writer appends known batches while reader threads hammer
+``ScoringService.scores``. The invariant under test is the whole
+consistency model: every response's generation stamp must map
+*bit-identically* onto the scores of exactly that prefix of batches —
+a response that mixed a half-appended batch, or carried a stale stamp
+for fresh values (or vice versa), fails the lookup.
+
+This is the regression test for the ordering contract:
+``ColumnarStore.append`` bumps the generation only after the plane is
+fully consistent, and a cache-miss sweep re-reads the generation
+inside the plane lock.
+"""
+
+import dataclasses
+import threading
+
+from repro.core.config import paper_config
+from repro.core.kernel import score_values
+from repro.measurements.columnar import ColumnarStore
+from repro.serve import ScoringService
+
+from tests.serve.conftest import batch
+
+_N_BATCHES = 8
+_N_READERS = 4
+
+
+def _batches():
+    """Deterministic ingest batches: one new region per generation."""
+    base = batch(1)
+    return [
+        [
+            dataclasses.replace(record, region=f"ingested-{i:03d}")
+            for record in base
+        ]
+        for i in range(_N_BATCHES)
+    ]
+
+
+def test_reads_racing_ingest_stay_generation_consistent():
+    config = paper_config()
+    initial = batch(3)
+    batches = _batches()
+
+    # Expected scores for every prefix of batches, computed up front on
+    # independent stores: expected[g] is the one true answer for
+    # generation g.
+    expected = {}
+    accumulated = list(initial)
+    for generation in range(_N_BATCHES + 1):
+        expected[generation] = score_values(
+            ColumnarStore(list(accumulated)), config
+        )
+        if generation < _N_BATCHES:
+            accumulated.extend(batches[generation])
+
+    service = ScoringService(ColumnarStore(initial), config)
+    stop = threading.Event()
+    observed = [[] for _ in range(_N_READERS)]
+    failures = []
+
+    def reader(slot):
+        while not stop.is_set():
+            result = service.scores()
+            if result.values != expected.get(result.generation):
+                failures.append(
+                    (slot, result.generation, dict(result.values))
+                )
+                return
+            observed[slot].append(result.generation)
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,))
+        for slot in range(_N_READERS)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        for generation, records in enumerate(batches):
+            # Let readers chew on this generation before moving on.
+            barrier_len = len(observed[0]) + 3
+            deadline = threading.Event()
+            while len(observed[0]) < barrier_len and not deadline.wait(
+                0.005
+            ):
+                pass
+            assert service.ingest(records) == len(records)
+            assert service.generation == generation + 1
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+    assert failures == []
+    # Every reader saw real work, and the stamps only ever advanced.
+    for stamps in observed:
+        assert stamps, "reader made no observations"
+        assert stamps == sorted(stamps)
+    # The run actually exercised multiple generations end to end.
+    assert service.generation == _N_BATCHES
+    final = service.scores()
+    assert final.generation == _N_BATCHES
+    assert final.values == expected[_N_BATCHES]
+
+
+def test_ingest_during_batch_window_never_mixes_generations():
+    """A sweep whose leader lingers in the batch window must stamp and
+    serve the generation it actually computed from — even when an
+    ingest lands mid-window."""
+    config = paper_config()
+    initial = batch(2)
+    extra = [
+        dataclasses.replace(record, region="late-arrival")
+        for record in batch(1)
+    ]
+    expected_before = score_values(ColumnarStore(list(initial)), config)
+    expected_after = score_values(
+        ColumnarStore(list(initial) + list(extra)), config
+    )
+
+    service = ScoringService(
+        ColumnarStore(initial), config, batch_window_s=0.1
+    )
+    results = []
+
+    def read():
+        results.append(service.scores())
+
+    reader = threading.Thread(target=read)
+    reader.start()
+    # Land the ingest while the leader is still lingering in its
+    # window: the sweep must then observe the *post*-ingest plane.
+    ingested = threading.Event()
+
+    def write():
+        service.ingest(extra)
+        ingested.set()
+
+    writer = threading.Thread(target=write)
+    writer.start()
+    writer.join(timeout=5.0)
+    reader.join(timeout=10.0)
+    assert ingested.is_set()
+    assert len(results) == 1
+    (result,) = results
+    # Whichever side of the lock the sweep landed on, the stamp and the
+    # values must agree with each other.
+    if result.generation == 0:
+        assert result.values == expected_before
+    else:
+        assert result.generation == 1
+        assert result.values == expected_after
+    # And a fresh read now reflects the ingest exactly.
+    final = service.scores()
+    assert final.generation == 1
+    assert final.values == expected_after
