@@ -70,6 +70,7 @@ BENCH_FILES = (
     "test_bench_streaming.py",
     "test_bench_health.py",
     "test_bench_serve.py",
+    "test_bench_cache.py",
 )
 
 #: The pair of kernel benches the summary speedup ratio is read from.
@@ -90,6 +91,13 @@ STREAMING_BENCHES = (
 SERVE_BENCHES = (
     "test_bench_serve_cold_sweep",
     "test_bench_serve_warm_read",
+)
+
+#: Cold JSONL re-ingest vs tile warm-start on the 100k-record
+#: campaign (see test_bench_cache.py).
+CACHE_BENCHES = (
+    "test_bench_cold_reingest",
+    "test_bench_cache_warm_start",
 )
 
 
@@ -218,6 +226,16 @@ def serve_speedup(current: Dict[str, float]):
     return cold / warm
 
 
+def cache_speedup(current: Dict[str, float]):
+    """re-ingest/warm-start time ratio on the 100k cache benches."""
+    cold_name, warm_name = CACHE_BENCHES
+    cold = current.get(cold_name)
+    warm = current.get(warm_name)
+    if not cold or not warm:
+        return None
+    return cold / warm
+
+
 def speedup_note(current: Dict[str, float]) -> str:
     """Human-readable summary of the headline speedup ratios."""
     parts = []
@@ -236,6 +254,11 @@ def speedup_note(current: Dict[str, float]) -> str:
     if serve is not None:
         parts.append(
             f"warm-cache serve read speedup at 256 regions: {serve:.0f}x"
+        )
+    cache = cache_speedup(current)
+    if cache is not None:
+        parts.append(
+            f"cache warm-start speedup at 100k records: {cache:.1f}x"
         )
     if not parts:
         return ""

@@ -1,0 +1,167 @@
+"""Dataset-cache benchmarks: warm-start from tiles vs re-ingesting raw
+measurements.
+
+The cache's performance contract is that ``iqb score --from-cache``
+skips the expensive part of a cold start — parsing ~100k JSONL lines
+and folding every measurement into the sketch plane — by loading
+pre-aggregated quantile-sketch tiles whose size scales with *cells*
+(region × source), not records.
+
+Three pytest-benchmark entries (tracked by ``compare_bench`` against
+``BENCH_baseline.json``) at a ≥100k-record campaign:
+
+* ``test_bench_cold_reingest`` — the path the cache replaces: read the
+  JSONL file, sketch every record, score.
+* ``test_bench_cache_warm_start`` — verified tile reads, plane
+  reassembly from sketch state, score.
+* ``test_bench_cache_build`` — the producer-side one-time cost of
+  reducing the campaign to published tiles.
+
+``TestWarmStartSpeedup`` is the acceptance gate: warm-start must beat
+re-ingest by ≥ 5x on the same campaign.
+"""
+
+import dataclasses
+import gc
+import time
+
+import pytest
+
+from repro.cache import LocalCache, warm_plane, write_tiles
+from repro.core.config import paper_config
+from repro.core.kernel import score_values
+from repro.measurements.io import read_jsonl, write_jsonl
+from repro.netsim import CampaignConfig, region_preset, simulate_region
+
+#: Same scale as the streaming benches: 16 regions × (3 clients ×
+#: 2100 tests) = 100,800 records — past the 100k acceptance mark.
+_REGIONS = 16
+_CAMPAIGN = CampaignConfig(subscribers=3, tests_per_client=2100)
+_SEED = 42
+
+
+def _buffer():
+    """The campaign: one simulated region cloned across 16."""
+    base = list(
+        simulate_region(
+            region_preset("mixed-urban"), seed=_SEED, config=_CAMPAIGN
+        )
+    )
+    records = []
+    for i in range(_REGIONS):
+        records.extend(
+            dataclasses.replace(record, region=f"region-{i:02d}")
+            for record in base
+        )
+    return records
+
+
+@pytest.fixture(scope="module")
+def cache_config():
+    return paper_config()
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """(jsonl path, cache root) — dataset written and tiles built once.
+
+    Both benched paths start from bytes on disk, so the comparison is
+    cold-start vs warm-start of the same campaign, not parse vs
+    no-parse of different data.
+    """
+    root = tmp_path_factory.mktemp("bench-cache")
+    path = root / "campaign.jsonl"
+    records = _buffer()
+    write_jsonl(records, path)
+    cache = LocalCache(root / "cache")
+    write_tiles(cache, records)
+    return path, cache.root, records
+
+
+def _cold(path, config):
+    from repro.measurements.sketchplane import sketch_records
+
+    plane = sketch_records(read_jsonl(path))
+    return score_values(plane, config)
+
+
+def _warm(cache_root, config):
+    plane = warm_plane(LocalCache(cache_root))
+    return score_values(plane, config)
+
+
+#: CPU time, not wall time — same rationale as the kernel benches.
+_STEADY = pytest.mark.benchmark(
+    timer=time.process_time, min_rounds=5, warmup=True
+)
+
+
+@_STEADY
+def test_bench_cold_reingest(benchmark, campaign, cache_config):
+    path, _, _ = campaign
+    result = benchmark(lambda: _cold(path, cache_config))
+    assert len(result) == _REGIONS
+
+
+@_STEADY
+def test_bench_cache_warm_start(benchmark, campaign, cache_config):
+    _, cache_root, _ = campaign
+    result = benchmark(lambda: _warm(cache_root, cache_config))
+    assert len(result) == _REGIONS
+    assert all(0.0 <= value <= 1.0 for value in result.values())
+
+
+@_STEADY
+def test_bench_cache_build(benchmark, campaign, tmp_path):
+    _, _, records = campaign
+    counter = iter(range(1_000_000))
+
+    def build():
+        cache = LocalCache(tmp_path / f"build-{next(counter)}")
+        return write_tiles(cache, records)
+
+    entries = benchmark(build)
+    assert entries
+
+
+class TestWarmStartSpeedup:
+    """The acceptance bar: ≥ 5x at a ≥100k-record campaign."""
+
+    ROUNDS = 7
+
+    @staticmethod
+    def _cpu_time(fn):
+        gc.collect()
+        start = time.process_time()
+        fn()
+        return time.process_time() - start
+
+    def test_warm_start_speedup_100k(self, campaign, cache_config):
+        path, cache_root, records = campaign
+        assert len(records) >= 100_000
+
+        def cold():
+            return _cold(path, cache_config)
+
+        def warm():
+            return _warm(cache_root, cache_config)
+
+        # Both paths produce the same composite scores (the parity the
+        # CLI tests pin byte-for-byte) before we time anything.
+        assert warm() == pytest.approx(cold(), abs=1e-12)
+
+        # Same-process warmup, then interleaved rounds; min-of-rounds
+        # CPU time so scheduler noise cannot fail the build (the same
+        # harness the kernel and streaming speedup gates use).
+        cold_times, warm_times = [], []
+        for _ in range(self.ROUNDS):
+            cold_times.append(self._cpu_time(cold))
+            warm_times.append(self._cpu_time(warm))
+        cold_best = min(cold_times)
+        warm_best = min(warm_times)
+
+        assert cold_best >= 5.0 * warm_best, (
+            f"cache warm-start not >= 5x faster at {len(records)} "
+            f"records: re-ingest {cold_best * 1e3:.1f}ms vs warm "
+            f"{warm_best * 1e3:.1f}ms"
+        )

@@ -147,10 +147,24 @@ def comparison_report(
                 breakdown.value,
                 breakdown.grade,
                 breakdown.credit,
-                len(records.for_region(region)),
+                _region_tests(records, region),
             )
         )
     rows.sort(key=lambda row: -float(row[1]))
     return render_table(
         ["Region", "IQB", "Grade", "Credit", "Tests"], rows
     )
+
+
+def _region_tests(records: object, region: str) -> int:
+    """One region's observation count, for any scoreable store.
+
+    Record-backed stores expose ``for_region``; sketch planes (the
+    ``--from-cache`` path) only carry per-view sample tallies, so fall
+    back to summing those.
+    """
+    for_region = getattr(records, "for_region", None)
+    if for_region is not None:
+        return len(for_region(region))
+    views = records.sources_by_region().get(region, {})
+    return sum(len(view) for view in views.values())

@@ -1,0 +1,91 @@
+"""Content-addressed dataset cache: verified tiles, manifests, remotes.
+
+The "don't re-ingest the world per run" layer, reproducing m-lab's
+production data-distribution design: measurement streams reduce to
+pre-aggregated quantile-sketch *tiles* stored under a versioned
+``cache/v1/`` tree where every artifact is named by the SHA-256 of its
+bytes and indexed by a signed-by-digest ``MANIFEST.json``. Integrity
+is enforced, not assumed — reads re-hash, corrupt bytes quarantine
+loudly, pulls over unreliable remotes retry/resume and never publish
+an unverified artifact. See ``docs/deployment.md`` ("Dataset cache &
+distribution") for the operator view and the layout/trust model.
+"""
+
+from .layout import (
+    CACHE_VERSION,
+    DEFAULT_PERIOD_S,
+    MANIFEST_NAME,
+    CacheEntry,
+    CacheManifest,
+    Finding,
+    artifact_path,
+    empty_manifest,
+    entries_digest,
+    period_key,
+    plane_name,
+    sha256_hex,
+)
+from .remote import (
+    FileRemote,
+    HttpRemote,
+    PullReport,
+    PushReport,
+    Remote,
+    default_breaker,
+    default_policy,
+    fetch_remote_manifest,
+    open_remote,
+    pull,
+    push,
+)
+from .store import GCReport, LocalCache, VerifyReport, publish_entries
+from .tiles import (
+    DEFAULT_GRANULARITIES,
+    GRANULARITIES,
+    build_tiles,
+    tile_entries,
+    tile_key,
+    tile_payload,
+    parse_tile,
+    warm_plane,
+    write_tiles,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_GRANULARITIES",
+    "DEFAULT_PERIOD_S",
+    "GRANULARITIES",
+    "MANIFEST_NAME",
+    "CacheEntry",
+    "CacheManifest",
+    "FileRemote",
+    "Finding",
+    "GCReport",
+    "HttpRemote",
+    "LocalCache",
+    "PullReport",
+    "PushReport",
+    "Remote",
+    "VerifyReport",
+    "artifact_path",
+    "build_tiles",
+    "default_breaker",
+    "default_policy",
+    "empty_manifest",
+    "entries_digest",
+    "fetch_remote_manifest",
+    "open_remote",
+    "parse_tile",
+    "period_key",
+    "plane_name",
+    "publish_entries",
+    "pull",
+    "push",
+    "sha256_hex",
+    "tile_entries",
+    "tile_key",
+    "tile_payload",
+    "warm_plane",
+    "write_tiles",
+]

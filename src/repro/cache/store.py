@@ -1,0 +1,366 @@
+"""The local content-addressed artifact store with integrity enforcement.
+
+:class:`LocalCache` owns one on-disk cache tree (see
+:mod:`repro.cache.layout`) and enforces the cache's two invariants:
+
+* **atomic publication** — an artifact or manifest is either fully on
+  disk or absent; writes go through :func:`repro.fsutil.atomic_write`
+  with a file *and* directory fsync, so a power cut cannot leave a
+  torn artifact behind the manifest's back;
+* **verify-on-read** — every artifact read re-hashes the bytes against
+  the content address. A mismatch is never served: the bytes are moved
+  to ``quarantine/`` (preserved for forensics, out of the trusted
+  tree), the ``cache.corrupt`` counter increments, and a loud
+  :class:`~repro.core.exceptions.IntegrityError` names the artifact.
+
+``verify()`` sweeps the whole manifest (quarantining every corrupt
+artifact it finds) and ``gc()`` removes unreferenced artifacts and
+stale partial downloads — the two operator verbs behind
+``iqb cache verify`` and ``iqb cache gc``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.exceptions import IntegrityError
+from repro.fsutil import atomic_write, fsync_dir
+from repro.obs import counter
+
+from .layout import (
+    FINDING_CORRUPT,
+    FINDING_MISSING,
+    FINDING_UNREFERENCED,
+    MANIFEST_NAME,
+    PARTIAL_DIR,
+    PARTIAL_SUFFIX,
+    QUARANTINE_DIR,
+    VERSION_DIR,
+    CacheEntry,
+    CacheManifest,
+    Finding,
+    artifact_path,
+    empty_manifest,
+    sha256_hex,
+)
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+#: Artifacts whose bytes failed their digest (each one also quarantines).
+_CORRUPT = counter("cache.corrupt")
+#: Artifacts read and digest-verified successfully.
+_VERIFIED_READS = counter("cache.reads.verified")
+#: Artifacts published into the store.
+_PUTS = counter("cache.puts")
+
+
+class LocalCache:
+    """One on-disk content-addressed cache tree."""
+
+    def __init__(self, root: _PathLike) -> None:
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    @property
+    def partial_dir(self) -> Path:
+        return self.root / PARTIAL_DIR
+
+    def artifact_abspath(self, rel_path: str) -> Path:
+        """Resolve a manifest-relative path, rejecting escapes.
+
+        Manifest paths are remote input; re-deriving the path from its
+        validated components (period / plane / digest) is what stops a
+        hostile ``../../`` entry from ever touching the filesystem.
+        """
+        parts = rel_path.split("/")
+        if len(parts) != 4 or parts[0] != VERSION_DIR:
+            raise IntegrityError(f"unexpected artifact path shape: {rel_path!r}")
+        sha = parts[3]
+        if not sha.endswith(".json"):
+            raise IntegrityError(f"unexpected artifact suffix: {rel_path!r}")
+        rebuilt = artifact_path(parts[1], parts[2], sha[: -len(".json")])
+        if rebuilt != rel_path:
+            raise IntegrityError(f"artifact path fails validation: {rel_path!r}")
+        return self.root / rebuilt
+
+    def partial_path(self, entry: CacheEntry) -> Path:
+        """Where ``entry``'s in-flight download is staged."""
+        return self.partial_dir / f"{entry.sha256}{PARTIAL_SUFFIX}"
+
+    # -- manifest ------------------------------------------------------------
+
+    def manifest(self) -> CacheManifest:
+        """The signed local manifest (empty for a fresh cache root).
+
+        Raises:
+            IntegrityError: the stored manifest fails its signature —
+                a torn or tampered index invalidates the whole cache
+                until it is re-pulled or rebuilt.
+        """
+        try:
+            payload = self.manifest_path.read_bytes()
+        except FileNotFoundError:
+            return CacheManifest()
+        return CacheManifest.from_json(payload)
+
+    def write_manifest(self, manifest: CacheManifest) -> None:
+        """Atomically (and durably) publish the manifest."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write(self.manifest_path, manifest.to_json(), fsync=True)
+
+    # -- artifacts -----------------------------------------------------------
+
+    def put(
+        self,
+        payload: bytes,
+        period: str,
+        plane: str,
+        records: int = 0,
+    ) -> CacheEntry:
+        """Publish one artifact; returns its manifest entry.
+
+        Content addressing makes this idempotent: re-putting identical
+        bytes lands on the same path and is a no-op. The write is
+        atomic and fsynced (file + directory) — the artifact exists
+        durably before any manifest could reference it.
+        """
+        sha = sha256_hex(payload)
+        rel = artifact_path(period, plane, sha)
+        target = self.root / rel
+        if not target.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write(target, payload, fsync=True)
+            _PUTS.inc()
+        return CacheEntry(
+            path=rel,
+            sha256=sha,
+            bytes=len(payload),
+            period=period,
+            plane=plane,
+            records=records,
+        )
+
+    def read(self, entry: CacheEntry) -> bytes:
+        """Read one artifact, verifying its digest before returning.
+
+        A mismatch quarantines the bytes and raises — corrupted
+        aggregates are never scored, full stop.
+
+        Raises:
+            IntegrityError: the artifact is missing, or its bytes do
+                not hash to the content address (quarantined first).
+        """
+        target = self.artifact_abspath(entry.path)
+        try:
+            payload = target.read_bytes()
+        except FileNotFoundError:
+            raise IntegrityError(
+                f"cache artifact missing: {entry.path}"
+            ) from None
+        actual = sha256_hex(payload)
+        if actual != entry.sha256:
+            quarantined = self.quarantine(entry.path)
+            _CORRUPT.inc()
+            raise IntegrityError(
+                f"cache artifact corrupt: {entry.path} "
+                f"(sha256 {actual}, manifest says {entry.sha256}); "
+                f"bytes quarantined at {quarantined}"
+            )
+        _VERIFIED_READS.inc()
+        return payload
+
+    def quarantine(self, rel_path: str, source: Optional[Path] = None) -> Path:
+        """Move bad bytes out of the trusted tree; returns the new home.
+
+        Quarantined files keep their full relative path flattened into
+        the filename, so an operator can see exactly which artifact
+        went bad and when (collisions get a numeric suffix rather than
+        overwriting earlier evidence).
+        """
+        origin = source if source is not None else (self.root / rel_path)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        base = rel_path.replace("/", "__")
+        destination = self.quarantine_dir / base
+        bump = 0
+        while destination.exists():
+            bump += 1
+            destination = self.quarantine_dir / f"{base}.{bump}"
+        os.replace(origin, destination)
+        fsync_dir(self.quarantine_dir)
+        return destination
+
+    # -- whole-cache operations ----------------------------------------------
+
+    def verify(self) -> "VerifyReport":
+        """Sweep every manifest entry; quarantine whatever fails.
+
+        Returns a report rather than raising so ``iqb cache verify``
+        can name *all* the damage in one pass; callers that need the
+        raise-on-first-failure behavior use :meth:`read`.
+        """
+        manifest = self.manifest()
+        findings: List[Finding] = []
+        verified = 0
+        for entry in manifest.entries:
+            target = self.artifact_abspath(entry.path)
+            try:
+                payload = target.read_bytes()
+            except FileNotFoundError:
+                findings.append(
+                    Finding(FINDING_MISSING, entry.path, "file not found")
+                )
+                continue
+            actual = sha256_hex(payload)
+            if actual != entry.sha256:
+                quarantined = self.quarantine(entry.path)
+                _CORRUPT.inc()
+                findings.append(
+                    Finding(
+                        FINDING_CORRUPT,
+                        entry.path,
+                        f"sha256 {actual}; quarantined at {quarantined}",
+                    )
+                )
+                continue
+            verified += 1
+        for rel in self._unreferenced(manifest):
+            findings.append(
+                Finding(FINDING_UNREFERENCED, rel, "not in manifest")
+            )
+        return VerifyReport(
+            verified=verified,
+            manifest_sha256=manifest.manifest_sha256,
+            findings=tuple(findings),
+        )
+
+    def gc(self) -> "GCReport":
+        """Remove unreferenced artifacts, stale partials, empty dirs.
+
+        Quarantine is deliberately *not* collected — it is evidence,
+        and deleting it is an explicit operator action, not a sweep.
+        """
+        manifest = self.manifest()
+        removed: List[str] = []
+        for rel in self._unreferenced(manifest):
+            (self.root / rel).unlink()
+            removed.append(rel)
+        partials: List[str] = []
+        if self.partial_dir.is_dir():
+            for part in sorted(self.partial_dir.glob(f"*{PARTIAL_SUFFIX}")):
+                part.unlink()
+                partials.append(f"{PARTIAL_DIR}/{part.name}")
+        self._prune_empty_dirs()
+        return GCReport(removed=tuple(removed), partials=tuple(partials))
+
+    def _unreferenced(self, manifest: CacheManifest) -> List[str]:
+        """Files under ``v1/`` that no manifest entry claims."""
+        version_root = self.root / VERSION_DIR
+        if not version_root.is_dir():
+            return []
+        referenced = {entry.path for entry in manifest.entries}
+        found: List[str] = []
+        for path in sorted(version_root.rglob("*")):
+            if not path.is_file():
+                continue
+            rel = path.relative_to(self.root).as_posix()
+            if rel not in referenced:
+                found.append(rel)
+        return found
+
+    def _prune_empty_dirs(self) -> None:
+        version_root = self.root / VERSION_DIR
+        if not version_root.is_dir():
+            return
+        for path in sorted(
+            (p for p in version_root.rglob("*") if p.is_dir()),
+            key=lambda p: len(p.parts),
+            reverse=True,
+        ):
+            try:
+                path.rmdir()
+            except OSError:
+                pass
+
+
+class VerifyReport:
+    """Outcome of one :meth:`LocalCache.verify` sweep."""
+
+    def __init__(
+        self,
+        verified: int,
+        manifest_sha256: str,
+        findings: Tuple[Finding, ...],
+    ) -> None:
+        self.verified = verified
+        self.manifest_sha256 = manifest_sha256
+        self.findings = findings
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing is corrupt or missing.
+
+        Unreferenced files are clutter (``gc`` fodder), not an
+        integrity failure — they are outside the trusted set.
+        """
+        return not any(
+            finding.kind in (FINDING_CORRUPT, FINDING_MISSING)
+            for finding in self.findings
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "verified": self.verified,
+            "manifest_sha256": self.manifest_sha256,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+class GCReport:
+    """Outcome of one :meth:`LocalCache.gc` sweep."""
+
+    def __init__(
+        self, removed: Tuple[str, ...], partials: Tuple[str, ...]
+    ) -> None:
+        self.removed = removed
+        self.partials = partials
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "removed": list(self.removed),
+            "partials": list(self.partials),
+        }
+
+
+def publish_entries(
+    cache: LocalCache, entries: Iterable[CacheEntry]
+) -> CacheManifest:
+    """Merge ``entries`` into the cache manifest and write it durably.
+
+    The ordering is the publication protocol: artifacts first (durable
+    via :meth:`LocalCache.put`), manifest last — a crash between the
+    two leaves unreferenced artifacts (``gc`` fodder), never a manifest
+    naming bytes that do not exist.
+    """
+    manifest = cache.manifest().merged(entries)
+    cache.write_manifest(manifest)
+    return manifest
+
+
+__all__ = [
+    "GCReport",
+    "LocalCache",
+    "VerifyReport",
+    "publish_entries",
+]

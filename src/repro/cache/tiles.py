@@ -1,0 +1,242 @@
+"""Pre-aggregated quantile-sketch tiles: score without re-ingesting.
+
+A *tile* is one (time period, dataset, granularity) slice of the
+measurement stream reduced to mergeable t-digest state — the cache's
+unit of distribution. The serialization is exactly
+:meth:`SketchPlane.to_state <repro.measurements.sketchplane.SketchPlane.to_state>`,
+so warming a scoring plane from tiles is parse + merge, no record
+replay; the paper's own Ookla aggregate-only path (PAPER.md §2) is the
+methodological precedent for scoring from summaries, and the sketch
+parity suite bounds the percentile error (p95/p99 relative error
+≤ 1% vs the exact plane).
+
+Granularities mirror the real IQB's multi-level aggregation (country /
+subdivision / ASN / city). On this repo's record schema they map to:
+
+* ``region``       — the region axis as-is (the scoring default);
+* ``region_isp``   — ``{region}/{isp}`` keys (per-provider tiles, the
+  ASN analog);
+* ``region_tech``  — ``{region}/{access_tech}`` keys (fiber vs DSL vs
+  cable tiles).
+
+Tiles are deterministic: the same records serialize to byte-identical
+JSON (sorted keys, canonical separators), so content addressing
+dedupes rebuilt periods for free and ``iqb cache build`` is
+idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import DataError, IntegrityError
+from repro.measurements.record import Measurement
+from repro.measurements.sketchplane import SketchPlane, SketchView
+from repro.measurements.tdigest import DEFAULT_DELTA
+
+from .layout import DEFAULT_PERIOD_S, CacheEntry, period_key, plane_name
+from .store import LocalCache, publish_entries
+
+#: Current tile document shape.
+TILE_VERSION = 1
+
+#: Supported aggregation granularities (see module docstring).
+GRANULARITIES = ("region", "region_isp", "region_tech")
+
+#: Default granularities ``iqb cache build`` materializes.
+DEFAULT_GRANULARITIES = ("region",)
+
+
+def tile_key(record: Measurement, granularity: str) -> str:
+    """The aggregation-axis key one record falls under."""
+    if granularity == "region":
+        return record.region
+    if granularity == "region_isp":
+        return f"{record.region}/{record.isp or 'unknown'}"
+    if granularity == "region_tech":
+        return f"{record.region}/{record.access_tech or 'unknown'}"
+    raise ValueError(
+        f"unknown granularity: {granularity!r} (have {GRANULARITIES})"
+    )
+
+
+def build_tiles(
+    records: Iterable[Measurement],
+    granularity: str = "region",
+    period_s: float = DEFAULT_PERIOD_S,
+    delta: int = DEFAULT_DELTA,
+) -> Dict[Tuple[str, str], dict]:
+    """Reduce records to tile documents, keyed by (period, source).
+
+    One pass, O(1) amortized per record (buffered digest inserts) —
+    building tiles over a multi-GB dump costs ingest, not sorting.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity: {granularity!r} (have {GRANULARITIES})"
+        )
+    cells: Dict[Tuple[str, str], Dict[str, SketchView]] = {}
+    for record in records:
+        period = period_key(record.timestamp, period_s)
+        views = cells.setdefault((period, record.source), {})
+        key = tile_key(record, granularity)
+        view = views.get(key)
+        if view is None:
+            view = SketchView(delta=delta)
+            views[key] = view
+        view.observe(record)
+    tiles: Dict[Tuple[str, str], dict] = {}
+    for (period, source), views in sorted(cells.items()):
+        plane_state = {
+            "delta": delta,
+            "records": sum(len(view) for view in views.values()),
+            "views": [
+                [key, source, view.to_state()]
+                for key, view in sorted(views.items())
+            ],
+        }
+        tiles[(period, source)] = {
+            "tile_version": TILE_VERSION,
+            "period": period,
+            "source": source,
+            "granularity": granularity,
+            "records": plane_state["records"],
+            "plane": plane_state,
+        }
+    return tiles
+
+
+def tile_payload(document: dict) -> bytes:
+    """Canonical tile bytes: sorted keys, compact separators, newline.
+
+    Canonicalization is what makes tiles content-addressable — two
+    builds over the same records produce byte-identical payloads and
+    therefore the same artifact name.
+    """
+    return (
+        json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def parse_tile(payload: bytes) -> dict:
+    """Decode and shape-check one tile artifact's bytes."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IntegrityError(f"tile artifact is not JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise IntegrityError("tile artifact is not an object")
+    if document.get("tile_version") != TILE_VERSION:
+        raise IntegrityError(
+            f"unsupported tile_version: {document.get('tile_version')!r}"
+        )
+    if not isinstance(document.get("plane"), dict):
+        raise IntegrityError("tile artifact carries no plane state")
+    return document
+
+
+def write_tiles(
+    cache: LocalCache,
+    records: Iterable[Measurement],
+    granularities: Sequence[str] = DEFAULT_GRANULARITIES,
+    period_s: float = DEFAULT_PERIOD_S,
+    delta: int = DEFAULT_DELTA,
+) -> List[CacheEntry]:
+    """Build tiles at each granularity and publish them into ``cache``.
+
+    Incremental by construction: artifacts land content-addressed (a
+    rebuilt unchanged period is a no-op put) and the manifest merge
+    appends new periods without rewriting old entries. Returns the
+    entries for everything built this call.
+    """
+    batch = records if isinstance(records, list) else list(records)
+    entries: List[CacheEntry] = []
+    for granularity in granularities:
+        for (period, source), document in build_tiles(
+            batch, granularity=granularity, period_s=period_s, delta=delta
+        ).items():
+            payload = tile_payload(document)
+            entries.append(
+                cache.put(
+                    payload,
+                    period=period,
+                    plane=plane_name(source, granularity),
+                    records=int(document["records"]),
+                )
+            )
+    publish_entries(cache, entries)
+    return entries
+
+
+def tile_entries(
+    cache: LocalCache,
+    granularity: str = "region",
+    periods: Optional[Sequence[str]] = None,
+) -> List[CacheEntry]:
+    """Manifest entries holding tiles at one granularity.
+
+    Args:
+        periods: restrict to these period keys (``None`` = all) — the
+            time-travel hook: warm a plane as of any cached window.
+    """
+    suffix = f"_by_{granularity}"
+    wanted = set(periods) if periods is not None else None
+    return [
+        entry
+        for entry in cache.manifest().entries
+        if entry.plane.endswith(suffix)
+        and (wanted is None or entry.period in wanted)
+    ]
+
+
+def warm_plane(
+    cache: LocalCache,
+    granularity: str = "region",
+    periods: Optional[Sequence[str]] = None,
+) -> SketchPlane:
+    """A scoring-ready :class:`SketchPlane` merged from cached tiles.
+
+    Every tile read is digest-verified (:meth:`LocalCache.read`), so a
+    corrupted artifact raises — and quarantines — instead of warming a
+    plane with wrong aggregates. The result plugs straight into
+    ``score_regions`` / ``ScoringService``: this is the ``iqb score
+    --from-cache`` / ``iqb serve --from-cache`` fast path.
+
+    Raises:
+        DataError: the cache holds no tiles at this granularity (an
+            empty plane would score nothing and mask the operator
+            error).
+        IntegrityError: a tile failed verification (quarantined).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity: {granularity!r} (have {GRANULARITIES})"
+        )
+    entries = tile_entries(cache, granularity=granularity, periods=periods)
+    if not entries:
+        raise DataError(
+            f"cache at {cache.root} holds no tiles for granularity "
+            f"{granularity!r}"
+            + (f" in periods {sorted(set(periods))}" if periods else "")
+        )
+    merged: Optional[SketchPlane] = None
+    for entry in sorted(entries, key=lambda e: e.path):
+        document = parse_tile(cache.read(entry))
+        plane = SketchPlane.from_state(document["plane"])
+        merged = plane if merged is None else merged.merge(plane)
+    assert merged is not None
+    return merged
+
+
+__all__ = [
+    "DEFAULT_GRANULARITIES",
+    "GRANULARITIES",
+    "TILE_VERSION",
+    "build_tiles",
+    "parse_tile",
+    "tile_entries",
+    "tile_key",
+    "tile_payload",
+    "warm_plane",
+]

@@ -36,6 +36,17 @@ Subcommands:
 * ``metrics``  — run a pipeline end to end and dump the observability
   snapshot (probe retries/abandons, ingest skips, cache hit rates) as
   JSON, text, or Prometheus exposition (``--format prom``);
+* ``cache``    — content-addressed dataset cache: ``build`` reduces a
+  measurement file to quantile-sketch tiles under a versioned
+  ``cache/v1/`` tree (every artifact named by the SHA-256 of its
+  bytes, indexed by a signed ``MANIFEST.json``); ``push``/``pull``
+  sync with an http(s) or directory remote — incremental by manifest
+  diff, resumable, retried with decorrelated-jitter backoff, and an
+  artifact is never published without passing its digest check;
+  ``verify`` re-hashes the whole cache (corruption quarantines, exit
+  1); ``gc`` removes unreferenced artifacts. ``score --from-cache``
+  and ``serve --from-cache`` warm their scoring plane straight from
+  tiles, skipping ingest entirely;
 * ``runs``     — list and diff run-provenance manifests.
 
 Global flags: ``--log-level {debug,info,warning,error}`` and
@@ -122,6 +133,43 @@ def _read_measurements(args: argparse.Namespace):
     return records
 
 
+def _warm_from_cache(args: argparse.Namespace):
+    """Warm a scoring plane from a local tile cache, with provenance.
+
+    Every tile read is digest-verified; the cache manifest's signature
+    digest lands in the run manifest so a published score is pinned to
+    the exact cache snapshot it came from.
+    """
+    from repro.cache import LocalCache, tile_entries, warm_plane
+
+    cache = LocalCache(args.from_cache)
+    granularity = getattr(args, "cache_granularity", None) or "region"
+    plane = warm_plane(cache, granularity=granularity)
+    if _RUN is not None:
+        manifest = cache.manifest()
+        _RUN.set_cache_source(
+            cache.root,
+            manifest.manifest_sha256,
+            tiles=len(tile_entries(cache, granularity=granularity)),
+            granularity=granularity,
+        )
+    return plane
+
+
+def _check_cache_args(args: argparse.Namespace) -> Optional[str]:
+    """Validate the input-vs-cache choice for cache-warmable commands."""
+    if args.input is None and args.from_cache is None:
+        return "an input file or --from-cache DIR is required"
+    if args.input is not None and args.from_cache is not None:
+        return "give an input file or --from-cache, not both"
+    if args.from_cache is not None and args.quantiles == "exact":
+        return (
+            "--from-cache scores from quantile-sketch tiles; "
+            "--quantiles exact needs the raw measurement file"
+        )
+    return None
+
+
 def _start_telemetry(args: argparse.Namespace) -> Optional[TelemetryServer]:
     """Bring up the telemetry endpoint when ``--telemetry-port`` is set."""
     global _TELEMETRY
@@ -172,7 +220,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
-    records = _read_measurements(args)
+    problem = _check_cache_args(args)
+    if problem is None and args.from_cache is not None and args.lint:
+        problem = "--lint inspects raw measurements; it cannot run --from-cache"
+    if problem is not None:
+        print(f"iqb: error: {problem}", file=sys.stderr)
+        return 2
+    if args.from_cache is not None:
+        from repro.core.exceptions import DataError, IntegrityError
+
+        try:
+            records = _warm_from_cache(args)
+        except (IntegrityError, DataError) as exc:
+            print(f"iqb: error: {exc}", file=sys.stderr)
+            return 1
+        if args.quantiles is None:
+            # Tiles are sketches; there is no exact plane to fall back
+            # to. Re-record so the manifest reflects what actually ran.
+            args.quantiles = "sketch"
+            if _RUN is not None:
+                _RUN.set_quantiles("sketch")
+    else:
+        records = _read_measurements(args)
     config = _load_config(args.config)
     if args.lint:
         from repro.core.lint import lint_config
@@ -577,6 +646,14 @@ def _follow_jsonl(path, service, stop, interval, on_error) -> None:
     ``serve.follow.skipped``; ``raise`` stops the follower and leaves
     the error visible in the log (the server keeps serving the last
     consistent generation).
+
+    Truncation (logrotate copytruncate, an operator rewriting the
+    file) is detected by the file shrinking below our offset: the
+    follower resets to byte 0, drops any buffered partial tail (it
+    belonged to the old file), counts ``serve.follow.truncations``,
+    and re-ingests the rewritten content on the same poll — without
+    the reset a shrunk file silently stops being followed until it
+    grows past the stale offset, serving stale scores forever.
     """
     import json as json_module
     import os
@@ -587,6 +664,7 @@ def _follow_jsonl(path, service, stop, interval, on_error) -> None:
     logger = get_logger(__name__)
     skipped = counter("serve.follow.skipped")
     ingested = counter("serve.follow.records")
+    truncations = counter("serve.follow.truncations")
     try:
         offset = os.path.getsize(path)
     except OSError:
@@ -597,6 +675,14 @@ def _follow_jsonl(path, service, stop, interval, on_error) -> None:
             size = os.path.getsize(path)
         except OSError:
             continue
+        if size < offset:
+            truncations.inc()
+            logger.warning(
+                "serve follower: input truncated, re-reading from start",
+                extra={"ctx": {"path": path, "old_offset": offset}},
+            )
+            offset = 0
+            pending = b""
         if size <= offset:
             continue
         try:
@@ -647,7 +733,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     global _TELEMETRY
 
-    records = _read_measurements(args)
+    problem = _check_cache_args(args)
+    if problem is None and args.from_cache is not None and args.follow > 0:
+        problem = "--follow tails a measurement file; it cannot run --from-cache"
+    if problem is not None:
+        print(f"iqb: error: {problem}", file=sys.stderr)
+        return 2
+    if args.from_cache is not None:
+        from repro.core.exceptions import DataError, IntegrityError
+
+        try:
+            store = _warm_from_cache(args)
+        except (IntegrityError, DataError) as exc:
+            print(f"iqb: error: {exc}", file=sys.stderr)
+            return 1
+        records = store
+    else:
+        records = _read_measurements(args)
+        store = ColumnarStore(list(records))
     config = _load_config(args.config)
     populations = None
     if args.populations is not None:
@@ -675,7 +778,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         health = HealthMonitor(rules=rules, clock=time_module.time)
         install_health_monitor(health)
     service = ScoringService(
-        ColumnarStore(list(records)),
+        store,
         config,
         populations=populations,
         kernel=args.kernel,
@@ -961,6 +1064,182 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_build(args: argparse.Namespace) -> int:
+    """Reduce a measurement file to verified quantile-sketch tiles."""
+    import json as json_module
+
+    from repro.cache import LocalCache, write_tiles
+
+    records = _read_measurements(args)
+    cache = LocalCache(args.cache)
+    granularities = tuple(args.granularity or ("region",))
+    already_published = {entry.path for entry in cache.manifest().entries}
+    entries = write_tiles(
+        cache,
+        records,
+        granularities=granularities,
+        period_s=args.period_days * 86400.0,
+    )
+    built = sorted(
+        entry.path for entry in entries
+        if entry.path not in already_published
+    )
+    manifest = cache.manifest()
+    if _RUN is not None:
+        _RUN.add_output(str(cache.manifest_path))
+        _RUN.set_cache_source(
+            cache.root, manifest.manifest_sha256, tiles=len(manifest.entries)
+        )
+    if args.json:
+        document = {
+            "cache": str(cache.root),
+            "built": built,
+            "tiles": len(manifest.entries),
+            "periods": manifest.periods(),
+            "manifest_sha256": manifest.manifest_sha256,
+        }
+        print(json_module.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            f"cache build: {len(built)} new tile(s) "
+            f"({len(manifest.entries)} total) in {cache.root}, "
+            f"manifest {manifest.manifest_sha256[:12]}"
+        )
+    return 0
+
+
+def _cmd_cache_push(args: argparse.Namespace) -> int:
+    """Upload verified local artifacts a remote is missing."""
+    import json as json_module
+
+    from repro.cache import LocalCache, default_breaker, open_remote, push
+    from repro.core.exceptions import IntegrityError, RemoteError
+    from repro.resilience import BreakerOpenError, RetryPolicy
+
+    cache = LocalCache(args.cache)
+    remote = open_remote(args.remote)
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts, base_s=0.05, cap_s=2.0
+    )
+    try:
+        report = push(cache, remote, policy=policy, breaker=default_breaker())
+    except (IntegrityError, RemoteError, BreakerOpenError) as exc:
+        print(f"iqb cache: error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"cache push: {len(report.uploaded)} uploaded, "
+            f"{len(report.skipped)} already on {remote.name}, "
+            f"{report.retries} retried, "
+            f"{report.bytes_transferred} bytes; "
+            f"manifest {report.manifest_sha256[:12]}"
+        )
+    return 0
+
+
+def _cmd_cache_pull(args: argparse.Namespace) -> int:
+    """Fetch missing artifacts; resume partials; verify everything."""
+    import json as json_module
+
+    from repro.cache import LocalCache, default_breaker, open_remote, pull
+    from repro.core.exceptions import IntegrityError, RemoteError
+    from repro.resilience import BreakerOpenError, RetryPolicy
+
+    cache = LocalCache(args.cache)
+    remote = open_remote(args.remote)
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts, base_s=0.05, cap_s=2.0
+    )
+    try:
+        report = pull(cache, remote, policy=policy, breaker=default_breaker())
+    except (IntegrityError, RemoteError, BreakerOpenError) as exc:
+        print(f"iqb cache: error: {exc}", file=sys.stderr)
+        return 1
+    if _RUN is not None:
+        _RUN.set_cache_source(
+            cache.root,
+            report.manifest_sha256,
+            tiles=len(cache.manifest().entries),
+        )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"cache pull: {len(report.fetched)} fetched, "
+            f"{len(report.skipped)} already present, "
+            f"{report.resumed} resumed, {report.retries} retried, "
+            f"{report.bytes_transferred} bytes; "
+            f"manifest {report.manifest_sha256[:12]}"
+        )
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    """Re-hash every manifest entry; quarantine and report corruption."""
+    import json as json_module
+
+    from repro.cache import LocalCache
+    from repro.core.exceptions import IntegrityError
+
+    cache = LocalCache(args.cache)
+    try:
+        report = cache.verify()
+    except IntegrityError as exc:
+        # The manifest itself failed its signature — nothing below it
+        # can be trusted, so this is its own loud failure mode.
+        print(f"iqb cache: error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        document = {
+            "cache": str(cache.root),
+            "ok": report.ok,
+            "verified": report.verified,
+            "manifest_sha256": report.manifest_sha256,
+            "findings": [
+                {"kind": f.kind, "path": f.path, "detail": f.detail}
+                for f in report.findings
+            ],
+        }
+        print(json_module.dumps(document, indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            detail = f" ({finding.detail})" if finding.detail else ""
+            print(f"cache verify: {finding.kind}: {finding.path}{detail}")
+        verdict = "ok" if report.ok else "FAILED"
+        print(
+            f"cache verify: {verdict} — {report.verified} artifact(s) "
+            f"verified, {len(report.findings)} finding(s); "
+            f"manifest {report.manifest_sha256[:12]}"
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    """Delete unreferenced artifacts and stale partial downloads."""
+    import json as json_module
+
+    from repro.cache import LocalCache
+
+    cache = LocalCache(args.cache)
+    report = cache.gc()
+    if args.json:
+        document = {
+            "cache": str(cache.root),
+            "removed": sorted(report.removed),
+            "partials": sorted(report.partials),
+        }
+        print(json_module.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            f"cache gc: removed {len(report.removed)} unreferenced "
+            f"artifact(s), {len(report.partials)} partial download(s) "
+            f"from {cache.root}"
+        )
+    return 0
+
+
 def _load_manifest(path: str) -> RunManifest:
     """Load one manifest, mapping malformed JSON to a CLI-level error."""
     import json as json_module
@@ -1120,8 +1399,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(func=_cmd_simulate)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("input", help="JSONL measurement file")
+    from repro.cache.tiles import GRANULARITIES
+
+    def add_common(
+        p: argparse.ArgumentParser, cacheable: bool = False
+    ) -> None:
+        if cacheable:
+            p.add_argument(
+                "input",
+                nargs="?",
+                default=None,
+                help="JSONL measurement file (optional with --from-cache)",
+            )
+            p.add_argument(
+                "--from-cache",
+                default=None,
+                metavar="DIR",
+                help="warm the scoring plane from a local tile cache "
+                "(see 'iqb cache') instead of ingesting a measurement "
+                "file; every tile read is digest-verified and the cache "
+                "manifest digest is recorded in the run manifest",
+            )
+            p.add_argument(
+                "--cache-granularity",
+                choices=GRANULARITIES,
+                default="region",
+                help="tile granularity to warm from the cache "
+                "(default: region)",
+            )
+        else:
+            p.add_argument("input", help="JSONL measurement file")
         p.add_argument("--config", help="IQB config JSON (default: paper)")
         p.add_argument(
             "--on-error",
@@ -1131,7 +1438,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     score = sub.add_parser("score", help="score all regions in a JSONL file")
-    add_common(score)
+    add_common(score, cacheable=True)
     score.add_argument(
         "--lint",
         action="store_true",
@@ -1259,7 +1566,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve cached region scores over HTTP (/v1 query API)",
     )
-    add_common(serve)
+    add_common(serve, cacheable=True)
     serve.add_argument(
         "--host",
         default="127.0.0.1",
@@ -1436,6 +1743,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="alias for --format text",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="content-addressed dataset cache: build, push, pull, "
+        "verify, gc",
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache",
+            required=True,
+            metavar="DIR",
+            help="local cache root (holds v1/, MANIFEST.json, "
+            "quarantine/)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit a machine-readable report instead of the summary "
+            "line",
+        )
+
+    def add_cache_remote(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "remote",
+            help="remote spec: an http(s):// base URL or a directory "
+            "path (file remote)",
+        )
+        p.add_argument(
+            "--max-attempts",
+            type=int,
+            default=5,
+            metavar="N",
+            help="transfer attempts per artifact before giving up "
+            "(decorrelated-jitter backoff between tries)",
+        )
+
+    cache_build = cache_sub.add_parser(
+        "build",
+        help="reduce a JSONL measurement file to quantile-sketch tiles",
+    )
+    cache_build.add_argument("input", help="JSONL measurement file")
+    add_cache_common(cache_build)
+    cache_build.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help="malformed-line handling when reading input",
+    )
+    cache_build.add_argument(
+        "--granularity",
+        action="append",
+        choices=GRANULARITIES,
+        default=None,
+        metavar="G",
+        help="tile granularity to materialize (repeatable; default: "
+        "region; choices: %(choices)s)",
+    )
+    cache_build.add_argument(
+        "--period-days",
+        type=float,
+        default=7.0,
+        metavar="DAYS",
+        help="time-period width of one tile (default: 7)",
+    )
+    cache_build.set_defaults(func=_cmd_cache_build)
+
+    cache_push = cache_sub.add_parser(
+        "push", help="upload verified local artifacts a remote is missing"
+    )
+    add_cache_remote(cache_push)
+    add_cache_common(cache_push)
+    cache_push.set_defaults(func=_cmd_cache_push)
+
+    cache_pull = cache_sub.add_parser(
+        "pull",
+        help="fetch missing artifacts with retry/resume; never publish "
+        "unverified bytes",
+    )
+    add_cache_remote(cache_pull)
+    add_cache_common(cache_pull)
+    cache_pull.set_defaults(func=_cmd_cache_pull)
+
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="re-hash every cached artifact against the signed manifest "
+        "(exit 1 on any integrity failure)",
+    )
+    add_cache_common(cache_verify)
+    cache_verify.set_defaults(func=_cmd_cache_verify)
+
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="delete unreferenced artifacts and stale partial downloads",
+    )
+    add_cache_common(cache_gc)
+    cache_gc.set_defaults(func=_cmd_cache_gc)
 
     runs = sub.add_parser(
         "runs", help="list and diff run-provenance manifests"

@@ -45,6 +45,26 @@ class AggregationError(DataError):
     """An aggregation request cannot be satisfied (e.g. empty input)."""
 
 
+class IntegrityError(DataError):
+    """Stored or transferred bytes fail their content digest.
+
+    Raised by the dataset cache when an artifact's SHA-256 does not
+    match its manifest entry. The offending bytes are quarantined, never
+    served: a barometer that silently scored corrupted aggregates would
+    publish numbers nobody can defend.
+    """
+
+
+class RemoteError(IQBError):
+    """A cache remote failed to serve or accept a transfer.
+
+    Covers transport-level failures (unreachable hosts, 5xx responses,
+    reset connections) — the transient family the retry policy and
+    circuit breaker exist for. Digest mismatches are
+    :class:`IntegrityError`, not this.
+    """
+
+
 class ProbeError(IQBError):
     """A probe test failed to execute against its backend."""
 

@@ -24,6 +24,30 @@ from typing import Union
 _PathLike = Union[str, "os.PathLike[str]"]
 
 
+def fsync_dir(path: _PathLike) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes a rename atomic, but the *directory entry*
+    pointing at the new file lives in the directory's own data blocks —
+    until those are flushed, a crash can forget the rename entirely and
+    resurface the old file (or nothing). Callers that fsync file
+    contents must also fsync the containing directory or the durability
+    story has a hole exactly one power cut wide.
+
+    Best-effort on platforms where directories cannot be opened for
+    reading (notably Windows): ``OSError`` from the open is swallowed,
+    matching what every production WAL implementation does.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def atomic_write(
     path: _PathLike,
     data: Union[str, bytes],
@@ -39,9 +63,12 @@ def atomic_write(
 
     Args:
         data: text (encoded with ``encoding``) or raw bytes.
-        fsync: force the data to stable storage before the rename;
-            costs a disk flush, so reserve it for journals and other
-            files whose loss cannot be recomputed.
+        fsync: force the data to stable storage before the rename, and
+            the containing directory's entry after it (without the
+            latter a power loss right after the rename can lose the
+            file even though its bytes were flushed); costs disk
+            flushes, so reserve it for journals, cache artifacts, and
+            other files whose loss cannot be recomputed.
 
     Raises:
         OSError: when the destination directory is missing or unwritable.
@@ -58,6 +85,8 @@ def atomic_write(
             if fsync:
                 os.fsync(handle.fileno())
         os.replace(tmp_name, target)
+        if fsync:
+            fsync_dir(target.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -124,6 +124,13 @@ class RunManifest:
     #: scored). Same apples-to-apples caveat as ``kernel``: sketch
     #: scores are estimates, so diffs across planes are expected noise.
     quantiles: Optional[str] = None
+    #: Dataset-cache provenance for ``--from-cache`` runs (and cache
+    #: subcommands): the cache path and its manifest's signature digest
+    #: (:attr:`~repro.cache.layout.CacheManifest.manifest_sha256`),
+    #: plus tile counts. One digest pins the exact cache snapshot the
+    #: run scored from, so a published number is reproducible from a
+    #: cache pull alone; None for runs that never touched a cache.
+    cache: Optional[Dict[str, Any]] = None
     #: End-of-run :class:`~repro.obs.slo.HealthReport` as a plain dict
     #: (SLO states, burn rates, data-quality section, drift events);
     #: None for runs without a health monitor and for manifests written
@@ -155,6 +162,7 @@ class RunManifest:
             },
             "kernel": self.kernel,
             "quantiles": self.quantiles,
+            "cache": self.cache,
             "health": self.health,
         }
 
@@ -178,6 +186,7 @@ class RunManifest:
             },
             kernel=document.get("kernel"),
             quantiles=document.get("quantiles"),
+            cache=document.get("cache"),
             health=document.get("health"),
         )
 
@@ -218,6 +227,7 @@ class RunContext:
         self._degraded: Dict[str, List[str]] = {}
         self._kernel: Optional[str] = None
         self._quantiles: Optional[str] = None
+        self._cache: Optional[Dict[str, Any]] = None
         self._health: Optional[Dict[str, Any]] = None
 
     def set_config(self, config: "IQBConfig") -> None:
@@ -231,6 +241,27 @@ class RunContext:
     def set_quantiles(self, quantiles: Optional[str]) -> None:
         """Record the run's quantile-plane override (None = config)."""
         self._quantiles = None if quantiles is None else str(quantiles)
+
+    def set_cache_source(
+        self,
+        path: _PathLike,
+        manifest_sha256: str,
+        tiles: int = 0,
+        granularity: Optional[str] = None,
+    ) -> None:
+        """Record the dataset cache a ``--from-cache`` run scored from.
+
+        The manifest digest pins the exact cache snapshot, so the run
+        is reproducible from ``iqb cache pull`` alone — no raw
+        measurement files needed.
+        """
+        self._cache = {
+            "path": str(path),
+            "manifest_sha256": str(manifest_sha256),
+            "tiles": int(tiles),
+        }
+        if granularity is not None:
+            self._cache["granularity"] = str(granularity)
 
     def set_health_report(self, report: Any) -> None:
         """Record the end-of-run health report (last write wins).
@@ -291,6 +322,7 @@ class RunContext:
             degraded=dict(self._degraded),
             kernel=self._kernel,
             quantiles=self._quantiles,
+            cache=self._cache,
             health=self._health,
         )
 

@@ -29,6 +29,8 @@ from repro.resilience.breaker import (
 from repro.resilience.chaos import (
     ChaosBackend,
     ChaosConfig,
+    ChaosRemote,
+    ChaosRemoteConfig,
     ChaosSink,
     strip_metrics,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "CampaignJournal",
     "ChaosBackend",
     "ChaosConfig",
+    "ChaosRemote",
+    "ChaosRemoteConfig",
     "ChaosSink",
     "CircuitBreaker",
     "Deadline",

@@ -17,6 +17,13 @@ failure modes real measurement infrastructure exhibits:
 :class:`ChaosSink` wraps any sink and injects ``OSError`` write
 failures (a full disk, a dropped pipe).
 
+:class:`ChaosRemote` wraps any :class:`~repro.cache.remote.Remote` and
+injects the transfer-level faults a cache pull meets in the wild —
+truncated bodies, bit-flipped chunks, mid-transfer connection resets,
+and 5xx error bursts — which is how the cache's convergence contract
+("a verified artifact or a loud, quarantined failure; never a wrong
+byte served") is property-tested across hundreds of fault schedules.
+
 Everything is driven by one seeded ``random.Random`` per wrapper, so a
 chaos schedule is a pure function of ``(seed, call sequence)`` — the
 chaos suite asserts exact outcomes, not flaky probabilities. Stalls are
@@ -180,6 +187,162 @@ class ChaosBackend:
             f"chaos: injected failure running {request.client} in "
             f"{request.region} at t={request.timestamp:.0f}"
         )
+
+
+@dataclass(frozen=True)
+class ChaosRemoteConfig:
+    """Fault-injection rates for one chaos remote (all off by default).
+
+    The four fault kinds are the cache-transfer vocabulary:
+
+    * **truncation** — the body stops short (a dropped connection after
+      partial delivery; exercises ranged resume);
+    * **bit flips** — the body arrives complete but wrong (a mangling
+      proxy or flaky disk; exercises digest gating + quarantine);
+    * **resets** — the transfer dies delivering nothing (exercises
+      plain retry);
+    * **5xx bursts** — consecutive server-side errors (an origin
+      falling over for a while; exercises backoff and the breaker).
+    """
+
+    seed: int = 0
+    #: Probability a fetch's body is truncated (at least 1 byte lost).
+    truncate_rate: float = 0.0
+    #: Probability one byte of a fetch's body is bit-flipped.
+    bitflip_rate: float = 0.0
+    #: Probability a fetch raises a connection reset (no bytes).
+    reset_rate: float = 0.0
+    #: Probability a call starts a 5xx burst.
+    error_rate: float = 0.0
+    #: Consecutive calls each 5xx burst fails (>= 1).
+    error_burst: int = 1
+    #: Whether manifest fetches are also faulted (artifact fetches
+    #: always are). Manifest corruption is detected by the manifest's
+    #: own signature, so enabling this exercises that gate too.
+    fault_manifest: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "truncate_rate",
+            "bitflip_rate",
+            "reset_rate",
+            "error_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} outside [0, 1]: {value}")
+        if self.error_burst < 1:
+            raise ValueError(f"error_burst must be >= 1: {self.error_burst}")
+
+
+_REMOTE_TRUNCATED = counter("chaos.remote.truncated")
+_REMOTE_BITFLIPS = counter("chaos.remote.bitflips")
+_REMOTE_RESETS = counter("chaos.remote.resets")
+_REMOTE_ERRORS = counter("chaos.remote.errors")
+
+
+class ChaosRemote:
+    """A cache :class:`~repro.cache.remote.Remote` wrapper injecting
+    seeded transfer faults.
+
+    Wraps the *read path* (``fetch_manifest`` / ``fetch``) and the
+    write path (``put``); ``exists`` passes through untouched. One
+    seeded RNG drives every draw, so a fault schedule is a pure
+    function of ``(seed, call sequence)`` — the chaos suite asserts
+    exact convergence outcomes across seeds, not probabilities.
+    """
+
+    def __init__(self, inner: "object", config: ChaosRemoteConfig) -> None:
+        """Args:
+            inner: the real remote (any object with the Remote verbs).
+            config: fault rates (seeded; deterministic per call order).
+        """
+        # Annotation is loose ("object") because importing repro.cache
+        # here would invert the layering (cache builds on resilience).
+        self.inner = inner
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._burst_remaining = 0
+        #: Injected fault counts, by kind.
+        self.injected_truncations = 0
+        self.injected_bitflips = 0
+        self.injected_resets = 0
+        self.injected_errors = 0
+
+    @property
+    def name(self) -> str:
+        """The inner remote's stable name (breaker keys must not re-key)."""
+        return str(getattr(self.inner, "name", type(self.inner).__name__))
+
+    def _server_fault(self) -> None:
+        """Raise an injected 5xx (possibly continuing a burst)."""
+        from repro.core.exceptions import RemoteError
+
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+        elif (
+            self.config.error_rate > 0
+            and self._rng.random() < self.config.error_rate
+        ):
+            self._burst_remaining = self.config.error_burst - 1
+        else:
+            return
+        self.injected_errors += 1
+        _REMOTE_ERRORS.inc()
+        raise RemoteError("chaos: injected HTTP 503 from remote")
+
+    def _reset_fault(self) -> None:
+        from repro.core.exceptions import RemoteError
+
+        if (
+            self.config.reset_rate > 0
+            and self._rng.random() < self.config.reset_rate
+        ):
+            self.injected_resets += 1
+            _REMOTE_RESETS.inc()
+            raise RemoteError("chaos: connection reset mid-transfer")
+
+    def _mangle_body(self, body: bytes) -> bytes:
+        """Apply truncation / bit-flip faults to a fetched body."""
+        if (
+            body
+            and self.config.truncate_rate > 0
+            and self._rng.random() < self.config.truncate_rate
+        ):
+            self.injected_truncations += 1
+            _REMOTE_TRUNCATED.inc()
+            body = body[: self._rng.randrange(0, len(body))]
+        if (
+            body
+            and self.config.bitflip_rate > 0
+            and self._rng.random() < self.config.bitflip_rate
+        ):
+            self.injected_bitflips += 1
+            _REMOTE_BITFLIPS.inc()
+            index = self._rng.randrange(0, len(body))
+            flipped = body[index] ^ (1 << self._rng.randrange(0, 8))
+            body = body[:index] + bytes((flipped,)) + body[index + 1 :]
+        return body
+
+    def fetch_manifest(self) -> bytes:
+        if self.config.fault_manifest:
+            self._server_fault()
+            self._reset_fault()
+            return self._mangle_body(self.inner.fetch_manifest())
+        return self.inner.fetch_manifest()
+
+    def fetch(self, rel_path: str, offset: int = 0) -> bytes:
+        self._server_fault()
+        self._reset_fault()
+        return self._mangle_body(self.inner.fetch(rel_path, offset))
+
+    def put(self, rel_path: str, payload: bytes) -> None:
+        self._server_fault()
+        self._reset_fault()
+        self.inner.put(rel_path, payload)
+
+    def exists(self, rel_path: str) -> bool:
+        return self.inner.exists(rel_path)
 
 
 class ChaosSink:

@@ -1,0 +1,277 @@
+"""Chaos suite for cache pulls: the convergence contract under seeded
+transfer faults.
+
+The contract (module docstring of :mod:`repro.cache.remote`): a pull
+either (a) returns, after which the local cache verifies end to end, or
+(b) raises loudly — and in *both* cases every artifact inside the
+trusted ``v1/`` tree hashes to its content address, with damaged bytes
+confined to ``quarantine/`` and ``partial/``. No fault schedule may
+produce a silently corrupt cache, because a corrupt artifact that gets
+scored is the one failure mode a measurement platform cannot tolerate.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cache.remote import FileRemote, default_breaker, pull, push
+from repro.cache.store import LocalCache, publish_entries
+from repro.core.exceptions import IntegrityError, RemoteError
+from repro.resilience import (
+    BreakerOpenError,
+    ChaosRemote,
+    ChaosRemoteConfig,
+    RetryPolicy,
+)
+
+#: Fault schedules exercised by the property sweep. Kept ≥ 200 so the
+#: sweep visits truncation/bit-flip/reset/burst interleavings densely
+#: enough to have caught every ordering bug found during development.
+SEEDS = range(200)
+
+
+def fast_policy(seed=0, max_attempts=6):
+    return RetryPolicy(max_attempts=max_attempts, base_s=0.0, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def remote_tree(tmp_path_factory):
+    """One pushed remote reused across every seed (it is read-only)."""
+    root = tmp_path_factory.mktemp("chaos-remote")
+    source = LocalCache(root / "source")
+    payloads = [
+        b'{"tile": %d, "pad": "%s"}\n' % (i, b"x" * (50 + 37 * i))
+        for i in range(4)
+    ]
+    entries = [
+        source.put(
+            payload, period=f"{i:06d}", plane="ndt_by_region", records=1
+        )
+        for i, payload in enumerate(payloads)
+    ]
+    publish_entries(source, entries)
+    remote = FileRemote(root / "remote")
+    push(source, remote, policy=fast_policy())
+    return source, remote
+
+
+def assert_trusted_tree_is_clean(cache):
+    """Every file under v1/ hashes to its own filename — always."""
+    version_root = cache.root / "v1"
+    if not version_root.is_dir():
+        return
+    for path in version_root.rglob("*.json"):
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert path.stem == digest, (
+            f"unverified bytes inside the trusted tree: {path}"
+        )
+
+
+class TestConvergenceContract:
+    def test_every_fault_schedule_converges_or_fails_loudly(
+        self, remote_tree, tmp_path
+    ):
+        source, remote = remote_tree
+        converged = failed = 0
+        faults_seen = 0
+        for seed in SEEDS:
+            clone = LocalCache(tmp_path / f"clone-{seed}")
+            chaos = ChaosRemote(
+                remote,
+                ChaosRemoteConfig(
+                    seed=seed,
+                    truncate_rate=0.30,
+                    bitflip_rate=0.15,
+                    reset_rate=0.15,
+                    error_rate=0.15,
+                    error_burst=2,
+                    fault_manifest=False,
+                ),
+            )
+            try:
+                pull(
+                    clone,
+                    chaos,
+                    policy=fast_policy(seed=seed),
+                    breaker=default_breaker(),
+                )
+            except (IntegrityError, RemoteError, BreakerOpenError):
+                failed += 1
+            else:
+                converged += 1
+                report = clone.verify()
+                assert report.ok, (
+                    f"seed {seed}: pull returned but verify found "
+                    f"{report.findings}"
+                )
+                assert (
+                    clone.manifest().manifest_sha256
+                    == source.manifest().manifest_sha256
+                )
+            # The invariant that must hold on *every* exit path.
+            assert_trusted_tree_is_clean(clone)
+            faults_seen += (
+                chaos.injected_truncations
+                + chaos.injected_bitflips
+                + chaos.injected_resets
+                + chaos.injected_errors
+            )
+        # The sweep must actually exercise faults and both outcomes.
+        assert faults_seen > len(SEEDS)
+        assert converged > 0, "no schedule converged — rates too hostile"
+        assert failed > 0, "no schedule failed — rates too gentle"
+
+    def test_interrupted_pull_resumes_to_convergence(self, remote_tree, tmp_path):
+        """A failed chaotic pull + a clean re-pull always heals."""
+        source, remote = remote_tree
+        healed = 0
+        for seed in range(40):
+            clone = LocalCache(tmp_path / f"resume-{seed}")
+            chaos = ChaosRemote(
+                remote,
+                ChaosRemoteConfig(
+                    seed=seed,
+                    truncate_rate=0.5,
+                    reset_rate=0.4,
+                    fault_manifest=False,
+                ),
+            )
+            try:
+                pull(
+                    clone,
+                    chaos,
+                    policy=fast_policy(seed=seed, max_attempts=2),
+                    breaker=default_breaker(),
+                )
+            except (RemoteError, BreakerOpenError, IntegrityError):
+                pass
+            assert_trusted_tree_is_clean(clone)
+            # The operator retries against the now-healthy remote.
+            pull(clone, remote, policy=fast_policy())
+            report = clone.verify()
+            assert report.ok
+            assert (
+                clone.manifest().manifest_sha256
+                == source.manifest().manifest_sha256
+            )
+            healed += 1
+        assert healed == 40
+
+
+class TestFaultKinds:
+    def test_truncation_triggers_ranged_resume(self, remote_tree, tmp_path):
+        _, remote = remote_tree
+        resumed_somewhere = False
+        for seed in range(30):
+            clone = LocalCache(tmp_path / f"trunc-{seed}")
+            chaos = ChaosRemote(
+                remote,
+                ChaosRemoteConfig(
+                    seed=seed, truncate_rate=0.6, fault_manifest=False
+                ),
+            )
+            try:
+                report = pull(
+                    clone,
+                    chaos,
+                    policy=fast_policy(seed=seed, max_attempts=10),
+                    breaker=default_breaker(),
+                )
+            except RemoteError:
+                # Every attempt truncated — a loud failure is allowed,
+                # a dirty tree is not.
+                assert_trusted_tree_is_clean(clone)
+                continue
+            if chaos.injected_truncations and report.resumed:
+                resumed_somewhere = True
+            assert clone.verify().ok
+        assert resumed_somewhere
+
+    def test_bitflips_quarantine_and_restart(self, remote_tree, tmp_path):
+        _, remote = remote_tree
+        quarantined_somewhere = False
+        for seed in range(30):
+            clone = LocalCache(tmp_path / f"flip-{seed}")
+            chaos = ChaosRemote(
+                remote,
+                ChaosRemoteConfig(
+                    seed=seed, bitflip_rate=0.4, fault_manifest=False
+                ),
+            )
+            try:
+                report = pull(
+                    clone,
+                    chaos,
+                    policy=fast_policy(seed=seed, max_attempts=10),
+                    breaker=default_breaker(),
+                )
+            except IntegrityError:
+                assert_trusted_tree_is_clean(clone)
+                continue
+            if chaos.injected_bitflips:
+                assert report.quarantined or report.retries
+                if report.quarantined:
+                    quarantined_somewhere = True
+                    assert list(clone.quarantine_dir.iterdir())
+            assert clone.verify().ok
+        assert quarantined_somewhere
+
+    def test_manifest_bitflip_is_caught_by_its_signature(
+        self, remote_tree, tmp_path
+    ):
+        _, remote = remote_tree
+        caught = False
+        for seed in range(40):
+            clone = LocalCache(tmp_path / f"mflip-{seed}")
+            chaos = ChaosRemote(
+                remote,
+                ChaosRemoteConfig(seed=seed, bitflip_rate=0.9),
+            )
+            try:
+                pull(
+                    clone,
+                    chaos,
+                    policy=fast_policy(seed=seed),
+                    breaker=default_breaker(),
+                )
+            except IntegrityError:
+                caught = True
+                break
+            except (RemoteError, BreakerOpenError):
+                continue
+        assert caught, "a mangled manifest was never rejected"
+
+    def test_same_seed_same_fault_schedule(self, remote_tree, tmp_path):
+        _, remote = remote_tree
+        counts = []
+        for attempt in range(2):
+            clone = LocalCache(tmp_path / f"det-{attempt}")
+            chaos = ChaosRemote(
+                remote,
+                ChaosRemoteConfig(
+                    seed=1234,
+                    truncate_rate=0.3,
+                    bitflip_rate=0.2,
+                    reset_rate=0.2,
+                    error_rate=0.2,
+                    fault_manifest=False,
+                ),
+            )
+            try:
+                pull(
+                    clone,
+                    chaos,
+                    policy=fast_policy(seed=1234),
+                    breaker=default_breaker(),
+                )
+            except (IntegrityError, RemoteError, BreakerOpenError):
+                pass
+            counts.append(
+                (
+                    chaos.injected_truncations,
+                    chaos.injected_bitflips,
+                    chaos.injected_resets,
+                    chaos.injected_errors,
+                )
+            )
+        assert counts[0] == counts[1]

@@ -1,0 +1,319 @@
+"""Transfer tests: file/http remotes, incremental sync, resume, retry,
+breaker integration, corruption refusing to propagate."""
+
+import threading
+
+import pytest
+
+from repro.cache.layout import MANIFEST_NAME, sha256_hex
+from repro.cache.remote import (
+    FileRemote,
+    HttpRemote,
+    Remote,
+    open_remote,
+    pull,
+    push,
+)
+from repro.cache.store import LocalCache, publish_entries
+from repro.core.exceptions import IntegrityError, RemoteError
+from repro.resilience import BreakerOpenError, CircuitBreaker, RetryPolicy
+
+
+def fast_policy(max_attempts=4, seed=0):
+    """A retry budget that never sleeps (tests stay instant)."""
+    return RetryPolicy(max_attempts=max_attempts, base_s=0.0, seed=seed)
+
+
+def seeded_cache(tmp_path, name="local", payloads=(b'{"n":1}\n', b'{"n":2}\n')):
+    cache = LocalCache(tmp_path / name)
+    entries = [
+        cache.put(payload, period="000001", plane="ndt_by_region", records=1)
+        for payload in payloads
+    ]
+    publish_entries(cache, entries)
+    return cache
+
+
+class FlakyRemote(Remote):
+    """Wraps a real remote; fails the first N calls of chosen verbs."""
+
+    def __init__(self, inner, fetch_failures=0, put_failures=0):
+        self.inner = inner
+        self.name = inner.name
+        self.fetch_failures = fetch_failures
+        self.put_failures = put_failures
+        self.calls = 0
+
+    def fetch_manifest(self):
+        return self.inner.fetch_manifest()
+
+    def fetch(self, rel_path, offset=0):
+        self.calls += 1
+        if self.fetch_failures > 0:
+            self.fetch_failures -= 1
+            raise RemoteError("flaky: fetch refused")
+        return self.inner.fetch(rel_path, offset)
+
+    def put(self, rel_path, payload):
+        if self.put_failures > 0:
+            self.put_failures -= 1
+            raise RemoteError("flaky: put refused")
+        self.inner.put(rel_path, payload)
+
+    def exists(self, rel_path):
+        return self.inner.exists(rel_path)
+
+
+class TestFileRemoteRoundTrip:
+    def test_push_then_pull_reproduces_the_cache(self, tmp_path):
+        source = seeded_cache(tmp_path)
+        remote = FileRemote(tmp_path / "remote")
+        report = push(source, remote, policy=fast_policy())
+        assert len(report.uploaded) == 2
+        assert remote.exists(MANIFEST_NAME)
+
+        clone = LocalCache(tmp_path / "clone")
+        pulled = pull(clone, remote, policy=fast_policy())
+        assert sorted(pulled.fetched) == sorted(report.uploaded)
+        assert clone.verify().ok
+        assert (
+            clone.manifest().manifest_sha256
+            == source.manifest().manifest_sha256
+        )
+
+    def test_second_pull_is_a_noop(self, tmp_path):
+        source = seeded_cache(tmp_path)
+        remote = FileRemote(tmp_path / "remote")
+        push(source, remote, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        pull(clone, remote, policy=fast_policy())
+        again = pull(clone, remote, policy=fast_policy())
+        assert again.fetched == []
+        assert len(again.skipped) == 2
+        assert again.bytes_transferred == 0
+
+    def test_incremental_push_uploads_only_the_delta(self, tmp_path):
+        source = seeded_cache(tmp_path)
+        remote = FileRemote(tmp_path / "remote")
+        push(source, remote, policy=fast_policy())
+        new_entry = source.put(
+            b'{"n":3}\n', period="000002", plane="ndt_by_region", records=1
+        )
+        publish_entries(source, [new_entry])
+        report = push(source, remote, policy=fast_policy())
+        assert report.uploaded == [new_entry.path]
+        assert len(report.skipped) == 2
+
+    def test_incremental_pull_appends_new_periods(self, tmp_path):
+        source = seeded_cache(tmp_path)
+        remote = FileRemote(tmp_path / "remote")
+        push(source, remote, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        pull(clone, remote, policy=fast_policy())
+        new_entry = source.put(
+            b'{"n":3}\n', period="000002", plane="ndt_by_region", records=1
+        )
+        publish_entries(source, [new_entry])
+        push(source, remote, policy=fast_policy())
+        report = pull(clone, remote, policy=fast_policy())
+        assert report.fetched == [new_entry.path]
+        assert clone.manifest().periods() == ("000001", "000002")
+
+    def test_pull_refetches_missing_local_bytes(self, tmp_path):
+        """A quarantined (or deleted) artifact self-heals on re-pull."""
+        source = seeded_cache(tmp_path)
+        remote = FileRemote(tmp_path / "remote")
+        push(source, remote, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        pull(clone, remote, policy=fast_policy())
+        victim = clone.manifest().entries[0]
+        (clone.root / victim.path).unlink()
+        report = pull(clone, remote, policy=fast_policy())
+        assert report.fetched == [victim.path]
+        assert clone.verify().ok
+
+    def test_missing_remote_manifest_is_a_remote_error(self, tmp_path):
+        clone = LocalCache(tmp_path / "clone")
+        with pytest.raises(RemoteError):
+            pull(
+                clone,
+                FileRemote(tmp_path / "empty"),
+                policy=fast_policy(max_attempts=2),
+            )
+
+
+class TestResume:
+    def test_pull_resumes_a_staged_partial(self, tmp_path):
+        payload = b'{"n":1,"pad":"' + b"x" * 400 + b'"}\n'
+        source = seeded_cache(tmp_path, payloads=(payload,))
+        remote = FileRemote(tmp_path / "remote")
+        push(source, remote, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        entry = source.manifest().entries[0]
+        # A previous pull died mid-transfer: half the bytes are staged.
+        clone.partial_dir.mkdir(parents=True)
+        clone.partial_path(entry).write_bytes(payload[:137])
+        report = pull(clone, remote, policy=fast_policy())
+        assert report.resumed == 1
+        assert report.fetched == [entry.path]
+        # Only the unseen suffix crossed the wire.
+        assert report.bytes_transferred == len(payload) - 137
+        assert clone.verify().ok
+
+    def test_stale_oversized_partial_is_quarantined_not_served(
+        self, tmp_path
+    ):
+        payload = b'{"n":1}\n'
+        source = seeded_cache(tmp_path, payloads=(payload,))
+        remote = FileRemote(tmp_path / "remote")
+        push(source, remote, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        entry = source.manifest().entries[0]
+        clone.partial_dir.mkdir(parents=True)
+        clone.partial_path(entry).write_bytes(b"z" * (len(payload) + 10))
+        report = pull(clone, remote, policy=fast_policy())
+        assert report.quarantined  # the overshoot became evidence
+        assert clone.verify().ok  # and the retry from zero succeeded
+
+
+class TestRetryAndBreaker:
+    def test_transient_fetch_failures_are_retried(self, tmp_path):
+        source = seeded_cache(tmp_path, payloads=(b'{"n":1}\n',))
+        remote = FlakyRemote(
+            FileRemote(tmp_path / "remote"), fetch_failures=2
+        )
+        push(source, remote.inner, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        report = pull(clone, remote, policy=fast_policy(max_attempts=5))
+        assert report.retries == 2
+        assert clone.verify().ok
+
+    def test_exhausted_retries_raise_remote_error(self, tmp_path):
+        source = seeded_cache(tmp_path, payloads=(b'{"n":1}\n',))
+        remote = FlakyRemote(
+            FileRemote(tmp_path / "remote"), fetch_failures=99
+        )
+        push(source, remote.inner, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        with pytest.raises(RemoteError, match="not transferred"):
+            pull(clone, remote, policy=fast_policy(max_attempts=3))
+        # Nothing unverified entered the trusted tree.
+        assert clone.verify().ok
+
+    def test_open_breaker_stops_hammering_a_dead_remote(self, tmp_path):
+        source = seeded_cache(tmp_path, payloads=(b'{"n":1}\n',))
+        remote = FlakyRemote(
+            FileRemote(tmp_path / "remote"), fetch_failures=999
+        )
+        push(source, remote.inner, policy=fast_policy())
+        clone = LocalCache(tmp_path / "clone")
+        breaker = CircuitBreaker(failure_threshold=2, recovery_s=60.0)
+        with pytest.raises(BreakerOpenError):
+            pull(
+                clone,
+                remote,
+                policy=fast_policy(max_attempts=5),
+                breaker=breaker,
+            )
+        # The breaker cut the attempt budget short.
+        assert remote.calls == 2
+
+    def test_push_retries_flaky_uploads(self, tmp_path):
+        source = seeded_cache(tmp_path, payloads=(b'{"n":1}\n',))
+        remote = FlakyRemote(FileRemote(tmp_path / "remote"), put_failures=2)
+        report = push(source, remote, policy=fast_policy(max_attempts=5))
+        assert report.retries == 2
+        assert remote.inner.exists(MANIFEST_NAME)
+
+
+class TestCorruptionDoesNotPropagate:
+    def test_push_refuses_a_corrupt_local_artifact(self, tmp_path):
+        source = seeded_cache(tmp_path, payloads=(b'{"n":1}\n',))
+        victim = source.manifest().entries[0]
+        (source.root / victim.path).write_bytes(b"rotten")
+        remote = FileRemote(tmp_path / "remote")
+        with pytest.raises(IntegrityError):
+            push(source, remote, policy=fast_policy())
+        # The rot stayed local: nothing was uploaded.
+        assert not remote.exists(victim.path)
+        assert not remote.exists(MANIFEST_NAME)
+
+    def test_tampered_remote_manifest_fails_loudly_without_retry(
+        self, tmp_path
+    ):
+        source = seeded_cache(tmp_path)
+        remote = FileRemote(tmp_path / "remote")
+        push(source, remote, policy=fast_policy())
+        manifest_file = tmp_path / "remote" / MANIFEST_NAME
+        manifest_file.write_text(
+            manifest_file.read_text().replace('"records": 1', '"records": 5')
+        )
+        clone = LocalCache(tmp_path / "clone")
+        with pytest.raises(IntegrityError, match="signature"):
+            pull(clone, remote, policy=fast_policy())
+
+
+class TestHttpRemote:
+    @pytest.fixture()
+    def http_remote(self, tmp_path):
+        """A real HTTP server fronting a pushed remote tree."""
+        import functools
+        from http.server import SimpleHTTPRequestHandler, ThreadingHTTPServer
+
+        source = seeded_cache(tmp_path)
+        push(source, FileRemote(tmp_path / "remote"), policy=fast_policy())
+        handler = functools.partial(
+            SimpleHTTPRequestHandler, directory=str(tmp_path / "remote")
+        )
+        handler.log_message = lambda *args, **kwargs: None
+        server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        try:
+            yield source, HttpRemote(f"http://{host}:{port}")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_pull_over_http(self, tmp_path, http_remote):
+        source, remote = http_remote
+        clone = LocalCache(tmp_path / "clone")
+        report = pull(clone, remote, policy=fast_policy())
+        assert len(report.fetched) == 2
+        assert clone.verify().ok
+        assert (
+            clone.manifest().manifest_sha256
+            == source.manifest().manifest_sha256
+        )
+
+    def test_offset_fetch_degrades_on_rangeless_server(
+        self, tmp_path, http_remote
+    ):
+        # SimpleHTTPRequestHandler ignores Range headers and replies
+        # 200 with the whole body; the client must slice the surplus.
+        source, remote = http_remote
+        entry = source.manifest().entries[0]
+        full = remote.fetch(entry.path)
+        assert sha256_hex(full) == entry.sha256
+        assert remote.fetch(entry.path, offset=5) == full[5:]
+
+    def test_http_errors_become_remote_errors(self, http_remote):
+        _, remote = http_remote
+        with pytest.raises(RemoteError, match="404"):
+            remote.fetch("v1/nope/nothing/" + "a" * 64 + ".json")
+
+    def test_exists_via_head(self, http_remote):
+        source, remote = http_remote
+        assert remote.exists(MANIFEST_NAME)
+        assert not remote.exists("v1/absent.json")
+
+
+class TestOpenRemote:
+    def test_url_specs_dispatch_to_http(self):
+        assert isinstance(open_remote("http://example.test/c"), HttpRemote)
+        assert isinstance(open_remote("https://example.test/c"), HttpRemote)
+
+    def test_paths_dispatch_to_file(self, tmp_path):
+        remote = open_remote(str(tmp_path))
+        assert isinstance(remote, FileRemote)

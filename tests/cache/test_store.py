@@ -1,0 +1,177 @@
+"""Unit tests for the local store: atomic puts, verify-on-read,
+quarantine, whole-cache verify/gc."""
+
+import pytest
+
+from repro.cache.layout import sha256_hex
+from repro.cache.store import LocalCache, publish_entries
+from repro.core.exceptions import IntegrityError
+from repro.obs import REGISTRY
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return LocalCache(tmp_path / "cache")
+
+
+def put_one(cache, payload=b'{"n":1}\n', period="000001", plane="ndt_by_region"):
+    entry = cache.put(payload, period=period, plane=plane, records=1)
+    publish_entries(cache, [entry])
+    return entry
+
+
+class TestPut:
+    def test_put_lands_content_addressed(self, cache):
+        payload = b'{"n":1}\n'
+        entry = put_one(cache, payload)
+        assert entry.sha256 == sha256_hex(payload)
+        assert (cache.root / entry.path).read_bytes() == payload
+
+    def test_put_is_idempotent(self, cache):
+        first = put_one(cache)
+        second = cache.put(b'{"n":1}\n', period="000001", plane="ndt_by_region", records=1)
+        assert first.path == second.path
+        assert len(cache.manifest()) == 1
+
+    def test_distinct_payloads_coexist(self, cache):
+        a = put_one(cache, b'{"n":1}\n')
+        b = put_one(cache, b'{"n":2}\n')
+        assert a.path != b.path
+        assert len(cache.manifest()) == 2
+
+
+class TestRead:
+    def test_read_returns_verified_bytes(self, cache):
+        entry = put_one(cache)
+        assert cache.read(entry) == b'{"n":1}\n'
+
+    def test_corrupt_read_quarantines_and_raises(self, cache):
+        entry = put_one(cache)
+        target = cache.root / entry.path
+        target.write_bytes(b'{"n":1} tampered\n')
+        before = REGISTRY.counter("cache.corrupt").value
+        with pytest.raises(IntegrityError, match=entry.path):
+            cache.read(entry)
+        assert REGISTRY.counter("cache.corrupt").value == before + 1
+        # Bytes moved out of the trusted tree, preserved as evidence.
+        assert not target.exists()
+        quarantined = list(cache.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == b'{"n":1} tampered\n'
+
+    def test_missing_artifact_raises(self, cache):
+        entry = put_one(cache)
+        (cache.root / entry.path).unlink()
+        with pytest.raises(IntegrityError, match="missing"):
+            cache.read(entry)
+
+    def test_quarantine_collisions_keep_earlier_evidence(self, cache):
+        entry = put_one(cache)
+        (cache.root / entry.path).write_bytes(b"bad1")
+        with pytest.raises(IntegrityError):
+            cache.read(entry)
+        # Same artifact goes bad again after a re-put.
+        cache.put(b'{"n":1}\n', period="000001", plane="ndt_by_region")
+        (cache.root / entry.path).write_bytes(b"bad2")
+        with pytest.raises(IntegrityError):
+            cache.read(entry)
+        contents = sorted(
+            p.read_bytes() for p in cache.quarantine_dir.iterdir()
+        )
+        assert contents == [b"bad1", b"bad2"]
+
+
+class TestPathHardening:
+    def test_hostile_manifest_path_rejected(self, cache):
+        for hostile in (
+            "../../etc/passwd",
+            "v1/../../x/aa.json",
+            "v1/p/plane/extra/aa.json",
+            "v1/p/plane/notahash.json",
+        ):
+            with pytest.raises(IntegrityError):
+                cache.artifact_abspath(hostile)
+
+    def test_valid_path_resolves_under_root(self, cache):
+        entry = put_one(cache)
+        resolved = cache.artifact_abspath(entry.path)
+        assert resolved == cache.root / entry.path
+
+
+class TestVerify:
+    def test_clean_cache_verifies(self, cache):
+        put_one(cache, b'{"n":1}\n')
+        put_one(cache, b'{"n":2}\n')
+        report = cache.verify()
+        assert report.ok
+        assert report.verified == 2
+        assert report.findings == ()
+
+    def test_verify_names_all_damage_in_one_pass(self, cache):
+        good = put_one(cache, b'{"n":1}\n')
+        corrupt = put_one(cache, b'{"n":2}\n')
+        missing = put_one(cache, b'{"n":3}\n')
+        (cache.root / corrupt.path).write_bytes(b"garbage")
+        (cache.root / missing.path).unlink()
+        stray = cache.root / "v1" / "000001" / "ndt_by_region" / (
+            "f" * 64 + ".json"
+        )
+        stray.write_bytes(b"stray")
+        report = cache.verify()
+        assert not report.ok
+        kinds = {(f.kind, f.path) for f in report.findings}
+        assert ("corrupt", corrupt.path) in kinds
+        assert ("missing", missing.path) in kinds
+        assert any(kind == "unreferenced" for kind, _ in kinds)
+        assert report.verified == 1
+        # The corrupt artifact was quarantined by the sweep.
+        assert not (cache.root / corrupt.path).exists()
+        assert list(cache.quarantine_dir.iterdir())
+        assert (cache.root / good.path).exists()
+
+    def test_unreferenced_alone_is_not_a_failure(self, cache):
+        put_one(cache)
+        stray = cache.root / "v1" / "000001" / "ndt_by_region" / (
+            "e" * 64 + ".json"
+        )
+        stray.write_bytes(b"stray")
+        report = cache.verify()
+        assert report.ok
+        assert [f.kind for f in report.findings] == ["unreferenced"]
+
+    def test_tampered_manifest_raises_before_artifacts_are_trusted(
+        self, cache
+    ):
+        put_one(cache)
+        raw = cache.manifest_path.read_text()
+        cache.manifest_path.write_text(raw.replace('"records": 1', '"records": 9'))
+        with pytest.raises(IntegrityError, match="signature"):
+            cache.manifest()
+
+    def test_fresh_root_has_empty_manifest(self, tmp_path):
+        assert len(LocalCache(tmp_path / "nowhere").manifest()) == 0
+
+
+class TestGC:
+    def test_gc_removes_unreferenced_and_partials_only(self, cache):
+        kept = put_one(cache)
+        stray = cache.root / "v1" / "000009" / "ndt_by_region" / (
+            "d" * 64 + ".json"
+        )
+        stray.parent.mkdir(parents=True)
+        stray.write_bytes(b"stray")
+        cache.partial_dir.mkdir(parents=True)
+        (cache.partial_dir / ("a" * 64 + ".part")).write_bytes(b"half")
+        cache.quarantine_dir.mkdir(parents=True)
+        evidence = cache.quarantine_dir / "old_evidence.json"
+        evidence.write_bytes(b"bad")
+        report = cache.gc()
+        assert list(report.removed) == [
+            f"v1/000009/ndt_by_region/{'d' * 64}.json"
+        ]
+        assert len(report.partials) == 1
+        assert not stray.exists()
+        assert not stray.parent.exists()  # empty dirs pruned
+        assert (cache.root / kept.path).exists()
+        assert evidence.exists()  # quarantine is never collected
+        assert cache.verify().ok

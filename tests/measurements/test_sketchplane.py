@@ -163,3 +163,54 @@ class TestColumnarAppend:
     def test_quantile_source_markers(self):
         assert ColumnarStore.QUANTILE_SOURCE == "exact"
         assert SketchPlane.QUANTILE_SOURCE == "sketch"
+
+
+class TestOnDiskRoundTrip:
+    def test_state_survives_a_cache_artifact_bit_identically(
+        self, tmp_path
+    ):
+        """The dataset-cache contract: serialize → content-address →
+        reload must reproduce the plane exactly, not approximately —
+        ``score --from-cache`` promises the same numbers as scoring
+        the plane that built the tile."""
+        import hashlib
+
+        import numpy as np
+
+        plane = sketch_records(
+            [_record(i, region=r) for i in range(200) for r in ("a", "b")]
+        )
+        payload = (
+            json.dumps(
+                plane.to_state(), sort_keys=True, separators=(",", ":")
+            )
+            + "\n"
+        ).encode("utf-8")
+        artifact = tmp_path / (
+            hashlib.sha256(payload).hexdigest() + ".json"
+        )
+        artifact.write_bytes(payload)
+
+        raw = artifact.read_bytes()
+        assert hashlib.sha256(raw).hexdigest() == artifact.stem
+        rebuilt = SketchPlane.from_state(json.loads(raw.decode("utf-8")))
+
+        assert len(rebuilt) == len(plane)
+        assert rebuilt.regions() == plane.regions()
+        percentiles = (95.0, 95.0, 95.0, 95.0)
+        original = plane.aggregate_cube(("ndt",), percentiles)
+        recovered = rebuilt.aggregate_cube(("ndt",), percentiles)
+        np.testing.assert_array_equal(
+            recovered.aggregates, original.aggregates
+        )
+        np.testing.assert_array_equal(recovered.counts, original.counts)
+        assert recovered.cells == original.cells
+
+    def test_reserialized_state_is_byte_stable(self):
+        """Same plane, serialized twice, gives identical bytes — the
+        property that makes cache tiles content-addressable."""
+        records = [_record(i) for i in range(60)]
+        one = sketch_records(records).to_state()
+        two = sketch_records(list(records)).to_state()
+        dump = lambda s: json.dumps(s, sort_keys=True, separators=(",", ":"))  # noqa: E731
+        assert dump(one) == dump(two)

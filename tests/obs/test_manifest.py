@@ -42,6 +42,34 @@ class TestFileDigest:
         entry = file_digest(path)
         assert entry["bytes"] == 0
         assert entry["lines"] == 0
+        assert entry["sha256"] == hashlib.sha256(b"").hexdigest()
+
+    def test_multi_chunk_file_streams_correctly(self, tmp_path):
+        """A file spanning several 1 MiB read chunks digests the same
+        as a whole-file hash — including a line that straddles the
+        chunk boundary."""
+        line = b'{"x": "' + b"a" * 500 + b'"}\n'
+        raw = line * (3 * (1 << 20) // len(line) + 1)
+        assert len(raw) > 3 * (1 << 20)
+        path = tmp_path / "big.jsonl"
+        path.write_bytes(raw)
+        entry = file_digest(path)
+        assert entry["sha256"] == hashlib.sha256(raw).hexdigest()
+        assert entry["bytes"] == len(raw)
+        assert entry["lines"] == raw.count(b"\n")
+
+    def test_symlink_digests_its_target(self, tmp_path, input_file):
+        link = tmp_path / "link.jsonl"
+        try:
+            link.symlink_to(input_file)
+        except (OSError, NotImplementedError):
+            pytest.skip("platform does not support symlinks")
+        entry = file_digest(link)
+        target = file_digest(input_file)
+        assert entry["sha256"] == target["sha256"]
+        assert entry["bytes"] == target["bytes"]
+        # The manifest records the path the run was actually given.
+        assert entry["path"] == str(link)
 
 
 class TestConfigDigest:
@@ -76,6 +104,29 @@ class TestRunContext:
         manifest = RunContext(["tiers"]).build(MetricsRegistry())
         assert manifest.config is None
         assert manifest.config_sha256 is None
+
+    def test_cache_source_defaults_to_none(self):
+        manifest = RunContext(["score"]).build(MetricsRegistry())
+        assert manifest.cache is None
+        assert manifest.to_dict()["cache"] is None
+
+    def test_cache_source_round_trips(self, tmp_path):
+        context = RunContext(["score", "--from-cache", "cache"])
+        context.set_cache_source(
+            tmp_path / "cache",
+            "ab" * 32,
+            tiles=6,
+            granularity="region",
+        )
+        manifest = context.build(MetricsRegistry())
+        assert manifest.cache == {
+            "path": str(tmp_path / "cache"),
+            "manifest_sha256": "ab" * 32,
+            "tiles": 6,
+            "granularity": "region",
+        }
+        reloaded = RunManifest.from_dict(manifest.to_dict())
+        assert reloaded.cache == manifest.cache
 
     def test_write_and_load_round_trip(self, tmp_path, input_file):
         context = RunContext(["score"])

@@ -1,0 +1,70 @@
+"""Durability tests for the crash-safe write primitives."""
+
+import os
+import stat
+
+import pytest
+
+from repro.fsutil import atomic_write, fsync_dir
+
+
+@pytest.fixture()
+def fsync_log(monkeypatch):
+    """Record every fsynced fd as (is_directory, path-ish stat)."""
+    synced = []
+    real_fsync = os.fsync
+
+    def recording_fsync(fd):
+        synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", recording_fsync)
+    return synced
+
+
+class TestAtomicWrite:
+    def test_writes_text_and_bytes(self, tmp_path):
+        atomic_write(tmp_path / "t.txt", "héllo")
+        assert (tmp_path / "t.txt").read_text(encoding="utf-8") == "héllo"
+        atomic_write(tmp_path / "b.bin", b"\x00\x01")
+        assert (tmp_path / "b.bin").read_bytes() == b"\x00\x01"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "f.json"
+        atomic_write(target, "old")
+        atomic_write(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_litter_on_failure(self, tmp_path):
+        with pytest.raises(TypeError):
+            atomic_write(tmp_path / "f.json", 12345)  # not str/bytes
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fsync_true_syncs_file_and_directory(self, tmp_path, fsync_log):
+        """The durability regression guard: after the rename, the
+        *containing directory* must be fsynced too — without it a power
+        cut can forget the rename even though the file's bytes made it
+        to disk."""
+        atomic_write(tmp_path / "f.json", "data", fsync=True)
+        assert True in fsync_log, "directory entry was never fsynced"
+        assert False in fsync_log, "file contents were never fsynced"
+        # Ordering: the file's bytes go stable before the rename's
+        # directory entry does, never the other way around.
+        assert fsync_log.index(False) < fsync_log.index(True)
+
+    def test_fsync_false_never_syncs(self, tmp_path, fsync_log):
+        atomic_write(tmp_path / "f.json", "data", fsync=False)
+        assert fsync_log == []
+
+    def test_missing_directory_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            atomic_write(tmp_path / "absent" / "f.json", "data")
+
+
+class TestFsyncDir:
+    def test_syncs_a_real_directory(self, tmp_path, fsync_log):
+        fsync_dir(tmp_path)
+        assert fsync_log == [True]
+
+    def test_missing_path_is_best_effort(self, tmp_path):
+        fsync_dir(tmp_path / "nope")  # must not raise
